@@ -1,0 +1,71 @@
+// Ablation: the deadline scheduler's design knobs (Section III-C):
+//   * exponential-decay rate lambda of phi = e^(-lambda t) (paper default 1)
+//   * propagation history length m of Eq (13) (paper default h_2 = 10)
+// Swept at a clearly overloaded operating point where the drop policy is
+// exercised on every enqueue.
+#include "bench_common.h"
+#include "systems/supernode_experiment.h"
+#include "util/stats.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+SupernodeExperimentConfig overloaded(std::size_t seed) {
+  SupernodeExperimentConfig config;
+  config.num_players = 25;
+  config.scheduling = true;
+  config.uplink_kbps = 21'500.0;  // offered load ~1.07: drops required
+  config.seed = 7 + seed * 10;
+  config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: scheduler",
+                      "decay lambda and propagation history of Eqs (13)-(14)");
+
+  util::Table lambda_table("decay lambda sweep (CloudFog-schedule, overload)");
+  lambda_table.set_header({"lambda (1/s)", "satisfied", "continuity",
+                           "dropped pkts"});
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    util::RunningStats sat, cont;
+    std::uint64_t dropped = 0;
+    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+      auto config = overloaded(seed);
+      config.cloudfog.scheduler.decay_lambda_per_s = lambda;
+      const auto r = run_supernode_experiment(config);
+      sat.add(r.satisfied_fraction);
+      cont.add(r.mean_continuity);
+      dropped += r.packets_dropped;
+    }
+    lambda_table.add_row({util::format_double(lambda, 1),
+                          util::format_double(sat.mean(), 3),
+                          util::format_double(cont.mean(), 3),
+                          std::to_string(dropped / bench::seed_count())});
+  }
+  bench::print_table(lambda_table);
+
+  util::Table m_table("propagation history m sweep (Eq 13)");
+  m_table.set_header({"m (samples)", "satisfied", "continuity", "dropped pkts"});
+  for (std::size_t m : {1u, 3u, 10u, 30u}) {
+    util::RunningStats sat, cont;
+    std::uint64_t dropped = 0;
+    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+      auto config = overloaded(seed);
+      config.cloudfog.scheduler.propagation_history = m;
+      const auto r = run_supernode_experiment(config);
+      sat.add(r.satisfied_fraction);
+      cont.add(r.mean_continuity);
+      dropped += r.packets_dropped;
+    }
+    m_table.add_row({std::to_string(m), util::format_double(sat.mean(), 3),
+                     util::format_double(cont.mean(), 3),
+                     std::to_string(dropped / bench::seed_count())});
+  }
+  bench::print_table(m_table);
+  return 0;
+}

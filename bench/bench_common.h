@@ -1,0 +1,79 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one figure of the paper's Section IV: it builds
+// the matching scenario (simulation profile = PeerSim, PlanetLab profile =
+// the testbed), sweeps the figure's x-axis, and prints the same series the
+// paper plots. Absolute values depend on our synthetic substrate; the
+// reproduction target is the *shape* (see EXPERIMENTS.md).
+//
+// Environment:
+//   CLOUDFOG_BENCH_FAST=1   shrink populations/windows ~4x (smoke runs)
+//   CLOUDFOG_BENCH_SEEDS=n  number of seeds averaged (default 3)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "systems/scenario.h"
+#include "util/table.h"
+
+namespace cloudfog::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("CLOUDFOG_BENCH_FAST");
+  return env != nullptr && std::string(env) != "0";
+}
+
+inline std::size_t seed_count() {
+  if (const char* env = std::getenv("CLOUDFOG_BENCH_SEEDS")) {
+    const long n = std::atol(env);
+    if (n >= 1 && n <= 50) return static_cast<std::size_t>(n);
+  }
+  return 3;
+}
+
+/// Scales a size down in fast mode.
+inline std::size_t scaled(std::size_t full, std::size_t fast) {
+  return fast_mode() ? fast : full;
+}
+
+/// The full-paper-scale simulation scenario (10,000 players, 5 DCs,
+/// 45 edge servers, 600 supernodes) — shrunk 4x in fast mode with
+/// proportional edge/supernode/datacenter-uplink scaling.
+inline systems::ScenarioParams sim_profile(std::uint64_t seed) {
+  systems::ScenarioParams p = systems::ScenarioParams::simulation_defaults(seed);
+  if (fast_mode()) {
+    p.num_players = 2'500;
+    p.num_edge_servers = 11;
+    p.num_supernodes = 150;
+    p.dc_uplink_kbps /= 4.0;
+  }
+  return p;
+}
+
+/// The PlanetLab-profile scenario (750 hosts, 2 DCs, 8 edge servers,
+/// supernodes from 300 capable hosts).
+inline systems::ScenarioParams planetlab_profile(std::uint64_t seed) {
+  systems::ScenarioParams p = systems::ScenarioParams::planetlab_defaults(seed);
+  if (fast_mode()) {
+    p.num_players = 400;
+    p.num_supernodes = 100;
+    p.dc_uplink_kbps /= 2.0;
+  }
+  return p;
+}
+
+inline void print_table(const util::Table& table) {
+  std::cout << table.to_text() << '\n';
+}
+
+inline void print_header(const std::string& figure, const std::string& what) {
+  std::cout << "################################################################\n"
+            << "# " << figure << " — " << what << '\n'
+            << "# profile sizes " << (fast_mode() ? "(FAST mode)" : "(paper scale)")
+            << ", seeds averaged: " << seed_count() << '\n'
+            << "################################################################\n\n";
+}
+
+}  // namespace cloudfog::bench

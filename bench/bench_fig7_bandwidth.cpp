@@ -1,0 +1,54 @@
+// Reproduces paper Figure 7: cloud bandwidth consumption vs. number of
+// players, for Cloud, EdgeCloud and CloudFog/B (the paper: CloudFog/A and
+// /B consume identically). Expected shape: Cloud > EdgeCloud > CloudFog/B
+// with CloudFog growing slowest.
+#include "bench_common.h"
+#include "systems/bandwidth.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+void run_profile(const char* title, const Scenario& scenario,
+                 const std::vector<std::size_t>& player_counts) {
+  util::Table table(title);
+  table.set_header({"#players", "Cloud (Mbps)", "EdgeCloud (Mbps)",
+                    "CloudFog/B (Mbps)", "fog: sn-served", "fog: update feed (Mbps)"});
+  for (std::size_t n : player_counts) {
+    const auto cloud = measure_bandwidth(SystemKind::kCloud, scenario, n);
+    const auto edge = measure_bandwidth(SystemKind::kEdgeCloud, scenario, n);
+    const auto fog = measure_bandwidth(SystemKind::kCloudFogB, scenario, n);
+    table.add_row({std::to_string(n), util::format_double(cloud.cloud_mbps, 1),
+                   util::format_double(edge.cloud_mbps, 1),
+                   util::format_double(fog.cloud_mbps, 1),
+                   std::to_string(fog.supernode_supported),
+                   util::format_double(fog.update_feed_mbps, 1)});
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 7", "server bandwidth consumption vs #players");
+
+  {
+    ScenarioParams p = bench::sim_profile(1);
+    const Scenario scenario = Scenario::build(p);
+    const std::vector<std::size_t> counts =
+        bench::fast_mode()
+            ? std::vector<std::size_t>{500, 1'000, 1'500, 2'500}
+            : std::vector<std::size_t>{2'000, 4'000, 6'000, 8'000, 10'000};
+    run_profile("Fig 7(a): simulation profile", scenario, counts);
+  }
+  {
+    ScenarioParams p = bench::planetlab_profile(1);
+    const Scenario scenario = Scenario::build(p);
+    const std::vector<std::size_t> counts =
+        bench::fast_mode() ? std::vector<std::size_t>{100, 200, 400}
+                           : std::vector<std::size_t>{150, 300, 450, 600, 750};
+    run_profile("Fig 7(b): PlanetLab profile", scenario, counts);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Figure 8: average response latency per player for the
+// four systems (Cloud, EdgeCloud, CloudFog/B, CloudFog/A) at the loaded
+// default operating point. Expected shape:
+//   Cloud > EdgeCloud > CloudFog/B > CloudFog/A.
+#include "bench_common.h"
+#include "systems/streaming_sim.h"
+#include "util/stats.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+void run_profile(const char* title, const Scenario& scenario,
+                 std::size_t players) {
+  const std::array<SystemKind, 4> kinds{SystemKind::kCloud,
+                                        SystemKind::kEdgeCloud,
+                                        SystemKind::kCloudFogB,
+                                        SystemKind::kCloudFogA};
+  util::Table table(title);
+  table.set_header({"system", "mean response latency (ms)", "p95 (ms)",
+                    "continuity", "cloud Mbps", "sn-served"});
+  for (SystemKind kind : kinds) {
+    util::RunningStats latency, p95, continuity, cloud_mbps;
+    std::size_t sn_served = 0;
+    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+      StreamingOptions options;
+      options.num_players = players;
+      options.warmup_ms = 3'000.0;
+      options.duration_ms = bench::fast_mode() ? 4'000.0 : 8'000.0;
+      options.seed_salt = seed;
+      const StreamingResult r = run_streaming(kind, scenario, options);
+      latency.add(r.mean_response_latency_ms);
+      p95.add(r.p95_response_latency_ms);
+      continuity.add(r.mean_continuity);
+      cloud_mbps.add(r.cloud_uplink_mbps);
+      sn_served = r.supernode_supported;
+    }
+    table.add_row({to_string(kind), util::format_double(latency.mean(), 1),
+                   util::format_double(p95.mean(), 1),
+                   util::format_double(continuity.mean(), 3),
+                   util::format_double(cloud_mbps.mean(), 1),
+                   std::to_string(sn_served)});
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 8", "average response latency per player");
+  {
+    const Scenario scenario = Scenario::build(bench::sim_profile(1));
+    run_profile("Fig 8(a): simulation profile",
+                scenario, bench::scaled(3'000, 800));
+  }
+  {
+    const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
+    run_profile("Fig 8(b): PlanetLab profile", scenario,
+                bench::scaled(320, 160));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces paper Figure 9: average playback continuity vs. number of
+// concurrently playing players. Expected shape: continuity decreases with
+// player count for every system, with CloudFog above EdgeCloud above Cloud
+// in the loaded regime (the cloud's fixed bandwidth provisioning is the
+// bottleneck CloudFog's supernodes bypass).
+#include "bench_common.h"
+#include "systems/streaming_sim.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+void run_profile(const char* title, const Scenario& scenario,
+                 const std::vector<std::size_t>& counts) {
+  const std::array<SystemKind, 4> kinds{SystemKind::kCloud,
+                                        SystemKind::kEdgeCloud,
+                                        SystemKind::kCloudFogB,
+                                        SystemKind::kCloudFogA};
+  util::Table table(title);
+  table.set_header({"#players", "Cloud", "EdgeCloud", "CloudFog/B", "CloudFog/A"});
+  for (std::size_t n : counts) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (SystemKind kind : kinds) {
+      StreamingOptions options;
+      options.num_players = n;
+      options.warmup_ms = 2'000.0;
+      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+      const StreamingResult r = run_streaming(kind, scenario, options);
+      row.push_back(util::format_double(r.mean_continuity, 3));
+    }
+    table.add_row(row);
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 9", "playback continuity vs #players");
+  {
+    const Scenario scenario = Scenario::build(bench::sim_profile(1));
+    const auto counts =
+        bench::fast_mode()
+            ? std::vector<std::size_t>{500, 1'000, 2'000}
+            : std::vector<std::size_t>{1'000, 2'000, 4'000, 6'000, 8'000};
+    run_profile("Fig 9(a): simulation profile", scenario, counts);
+  }
+  {
+    const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
+    const auto counts = bench::fast_mode()
+                            ? std::vector<std::size_t>{100, 250, 400}
+                            : std::vector<std::size_t>{200, 400, 600, 750};
+    run_profile("Fig 9(b): PlanetLab profile", scenario, counts);
+  }
+  return 0;
+}

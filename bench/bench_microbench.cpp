@@ -1,0 +1,197 @@
+// Google-benchmark microbenchmarks of the hot substrate paths: event queue
+// throughput, latency-model evaluation, the fluid senders and the deadline
+// scheduler. These bound how large a scenario the simulator can sustain on
+// one core.
+#include <benchmark/benchmark.h>
+
+#include "core/deadline_scheduler.h"
+#include "net/latency_model.h"
+#include "net/topology.h"
+#include "net/uplink.h"
+#include "sim/simulator.h"
+#include "stream/queued_sender.h"
+#include "stream/video.h"
+#include "util/rng.h"
+#include "world/interest.h"
+#include "world/partition.h"
+
+namespace cloudfog {
+namespace {
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleAndRun)->Arg(1'000)->Arg(10'000);
+
+void BM_SimulatorPeriodicEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_every(static_cast<double>(i), 10.0, [] {});
+    }
+    sim.run_until(1'000.0);
+    benchmark::DoNotOptimize(sim.executed());
+  }
+}
+BENCHMARK(BM_SimulatorPeriodicEvents);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  double total = 0.0;
+  for (auto _ : state) total += rng.uniform();
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngPareto(benchmark::State& state) {
+  util::Rng rng(1);
+  double total = 0.0;
+  for (auto _ : state) total += rng.pareto_with_mean(5.0, 1.0);
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_RngPareto);
+
+void BM_LatencyExpectedOneWay(benchmark::State& state) {
+  const net::LatencyModel model(net::LatencyParams::simulation_profile(1));
+  const net::Endpoint a{1, {40.7, -74.0}, 10.0};
+  const net::Endpoint b{2, {34.0, -118.2}, 8.0};
+  double total = 0.0;
+  for (auto _ : state) total += model.expected_one_way_ms(a, b);
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyExpectedOneWay);
+
+void BM_TopologyNearestOf25(benchmark::State& state) {
+  net::PlacementConfig config;
+  config.num_players = 100;
+  config.num_datacenters = 25;
+  const net::Topology topo =
+      net::build_topology(config, net::LatencyParams::simulation_profile(1));
+  const auto dcs = topo.hosts_with_role(net::HostRole::kDatacenter);
+  const auto players = topo.hosts_with_role(net::HostRole::kPlayer);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.nearest(players[i % players.size()], dcs));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopologyNearestOf25);
+
+void BM_QueuedSenderEnqueue(benchmark::State& state) {
+  stream::QueuedSender sender(1'000'000.0);
+  double now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sender.enqueue(now, 53.0));
+    now += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueuedSenderEnqueue);
+
+void BM_FairShareUplinkChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FairShareUplink uplink(sim, 10'000.0);
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_at(static_cast<double>(i), [&uplink] {
+        uplink.start_flow(100.0, 0.0, [](const net::FlowResult&) {});
+      });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(uplink.total_delivered());
+  }
+}
+BENCHMARK(BM_FairShareUplinkChurn);
+
+void BM_DeadlineSchedulerEnqueuePop(benchmark::State& state) {
+  stream::SegmentFactory factory;
+  for (auto _ : state) {
+    core::DeadlineScheduler sched(30'000.0, core::DeadlineSchedulerConfig{});
+    double now = 0.0;
+    for (int i = 0; i < 64; ++i) {
+      sched.enqueue(
+          factory.make(static_cast<NodeId>(i % 8), i % 5, 3, 33.3, now), now);
+      now += 4.0;
+    }
+    while (sched.pop_packet(now).has_value()) {
+    }
+    benchmark::DoNotOptimize(sched.total_dropped_packets());
+  }
+}
+BENCHMARK(BM_DeadlineSchedulerEnqueuePop);
+
+void BM_PacketizeSegment(benchmark::State& state) {
+  stream::SegmentFactory factory;
+  const auto seg = factory.make(1, 4, 5, 100.0, 0.0);  // 180 kbit, 15 packets
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream::packetize(seg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketizeSegment);
+
+void BM_WorldTick(benchmark::State& state) {
+  world::WorldConfig config;
+  config.width = config.height = 4'000.0;
+  world::VirtualWorld w(config);
+  util::Rng rng(1);
+  std::vector<world::AvatarId> avatars;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) avatars.push_back(w.spawn(rng));
+  for (auto _ : state) {
+    for (auto a : avatars) {
+      w.submit({a, world::ActionType::kMove, 1.0, 0.5});
+    }
+    benchmark::DoNotOptimize(w.tick(rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorldTick)->Arg(500)->Arg(2'000);
+
+void BM_KdPartitionBuild(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<world::Position> population;
+  for (int i = 0; i < 10'000; ++i) {
+    population.push_back(
+        {rng.uniform(0.0, 4'000.0), rng.uniform(0.0, 4'000.0)});
+  }
+  for (auto _ : state) {
+    world::KdPartition kd(population, 4);
+    benchmark::DoNotOptimize(kd.servers());
+  }
+}
+BENCHMARK(BM_KdPartitionBuild);
+
+void BM_InterestRefresh(benchmark::State& state) {
+  world::WorldConfig config;
+  config.width = config.height = 4'000.0;
+  config.region_size = 250.0;
+  world::VirtualWorld w(config);
+  util::Rng rng(3);
+  world::InterestManager interest(w, 1);
+  for (NodeId sn = 0; sn < 100; ++sn) {
+    for (int p = 0; p < 5; ++p) interest.track(sn, w.spawn(rng));
+  }
+  for (auto _ : state) {
+    interest.refresh();
+    benchmark::DoNotOptimize(interest.supernodes());
+  }
+}
+BENCHMARK(BM_InterestRefresh);
+
+}  // namespace
+}  // namespace cloudfog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// cloudfog_runner — the command-line experiment runner.
+//
+// Runs one streaming experiment with everything configurable from the
+// command line and emits an aligned table plus optional CSV, e.g.:
+//
+//   cloudfog_sim --profile=sim --players=3000 --duration-s=8 \
+//                --systems=cloud,edge,fog-b,fog-a --seed=1 --csv=out.csv
+//
+// Flags (defaults in brackets):
+//   --profile=sim|planetlab    world profile                       [sim]
+//   --systems=...              comma list: cloud,edge,fog-b,
+//                              fog-adapt,fog-schedule,fog-a        [cloud,fog-a]
+//   --players=N                concurrently playing players        [2000]
+//   --population=N             total population                    [profile]
+//   --supernodes=N             selected supernodes                 [profile]
+//   --datacenters=N            datacenters                         [profile]
+//   --dc-uplink-mbps=X         per-datacenter uplink               [profile]
+//   --duration-s=X             measurement window                  [10]
+//   --warmup-s=X               warmup                              [3]
+//   --seed=N                   master seed                         [1]
+//   --csv=PATH                 also write results as CSV
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "systems/streaming_sim.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_system(const std::string& name, SystemKind* out) {
+  if (name == "cloud") *out = SystemKind::kCloud;
+  else if (name == "edge") *out = SystemKind::kEdgeCloud;
+  else if (name == "fog-b") *out = SystemKind::kCloudFogB;
+  else if (name == "fog-adapt") *out = SystemKind::kCloudFogAdapt;
+  else if (name == "fog-schedule") *out = SystemKind::kCloudFogSchedule;
+  else if (name == "fog-a") *out = SystemKind::kCloudFogA;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::vector<std::string> known{
+      "profile", "systems",       "players",  "population", "supernodes",
+      "datacenters", "dc-uplink-mbps", "duration-s", "warmup-s", "seed",
+      "csv", "help"};
+  if (flags.has("help")) {
+    std::cout << "see the header comment of examples/cloudfog_runner.cpp\n";
+    return 0;
+  }
+  const auto unknown = flags.unknown(known);
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& k : unknown) std::cerr << " --" << k;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const std::string profile = flags.get("profile", "sim");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  ScenarioParams params = profile == "planetlab"
+                              ? ScenarioParams::planetlab_defaults(seed)
+                              : ScenarioParams::simulation_defaults(seed);
+  if (profile != "sim" && profile != "planetlab") {
+    std::cerr << "unknown profile '" << profile << "'\n";
+    return 2;
+  }
+  params.num_players = static_cast<std::size_t>(
+      flags.get_int("population", static_cast<std::int64_t>(params.num_players)));
+  params.num_supernodes = static_cast<std::size_t>(flags.get_int(
+      "supernodes", static_cast<std::int64_t>(params.num_supernodes)));
+  params.num_datacenters = static_cast<std::size_t>(flags.get_int(
+      "datacenters", static_cast<std::int64_t>(params.num_datacenters)));
+  params.dc_uplink_kbps =
+      flags.get_double("dc-uplink-mbps", params.dc_uplink_kbps / 1'000.0) *
+      1'000.0;
+
+  std::vector<SystemKind> kinds;
+  for (const std::string& name :
+       split_csv(flags.get("systems", "cloud,fog-a"))) {
+    SystemKind kind;
+    if (!parse_system(name, &kind)) {
+      std::cerr << "unknown system '" << name << "'\n";
+      return 2;
+    }
+    kinds.push_back(kind);
+  }
+
+  StreamingOptions options;
+  options.num_players =
+      static_cast<std::size_t>(flags.get_int("players", 2'000));
+  options.duration_ms = flags.get_double("duration-s", 10.0) * 1'000.0;
+  options.warmup_ms = flags.get_double("warmup-s", 3.0) * 1'000.0;
+
+  std::cout << "building " << profile << " scenario: "
+            << params.num_players << " players, " << params.num_datacenters
+            << " DCs, " << params.num_supernodes << " supernodes (seed "
+            << seed << ")\n";
+  const Scenario scenario = Scenario::build(params);
+
+  util::Table table("cloudfog_runner results");
+  table.set_header({"system", "mean latency (ms)", "p95 (ms)", "continuity",
+                    "satisfied", "cloud Mbps", "mean level", "sn-served",
+                    "edge-served"});
+  for (SystemKind kind : kinds) {
+    const StreamingResult r = run_streaming(kind, scenario, options);
+    table.add_row({to_string(kind),
+                   util::format_double(r.mean_response_latency_ms, 1),
+                   util::format_double(r.p95_response_latency_ms, 1),
+                   util::format_double(r.mean_continuity, 3),
+                   util::format_double(r.satisfied_fraction, 3),
+                   util::format_double(r.cloud_uplink_mbps, 1),
+                   util::format_double(r.mean_quality_level, 2),
+                   std::to_string(r.supernode_supported),
+                   std::to_string(r.edge_supported)});
+  }
+  std::cout << table.to_text();
+
+  if (flags.has("csv")) {
+    const std::string path = flags.get("csv");
+    std::ofstream os(path);
+    if (!os.good()) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    os << table.to_csv();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

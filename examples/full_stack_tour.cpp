@@ -1,0 +1,124 @@
+// Full-stack tour: every layer of the reproduction composed in one run.
+//
+//   1. A Scenario builds the US topology, population and supernode pool.
+//   2. The cloud runs the VirtualWorld at 30 ticks/s; avatars of the
+//      online players move and fight; a kd-tree partitions state
+//      computation across the 5 datacenters.
+//   3. Players attach to supernodes through the SessionManager
+//      (Section III-A3 + backups); the InterestManager filters each tick's
+//      delta into per-supernode update feeds — the measured Lambda.
+//   4. The streaming simulation then evaluates the QoE this fog delivers
+//      against the plain Cloud model.
+//
+// The point: the update-feed bandwidth assumed by the analytic experiments
+// (Lambda) and the supernode assignment driving the streaming results come
+// from the same mechanically-simulated stack.
+#include <iostream>
+
+#include "core/session_manager.h"
+#include "systems/streaming_sim.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "world/interest.h"
+#include "world/partition.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+int main() {
+  // --- 1. the world people live in -----------------------------------------
+  ScenarioParams params = ScenarioParams::simulation_defaults(/*seed=*/31);
+  params.num_players = 2'000;
+  params.num_supernodes = 140;
+  params.dc_uplink_kbps = 300'000.0;
+  const Scenario scenario = Scenario::build(params);
+  std::cout << "scenario: " << scenario.population().size() << " players, "
+            << scenario.supernode_players().size() << " supernodes\n";
+
+  // --- 2+3. sessions, avatars, interest-filtered updates -------------------
+  core::SessionManager sessions(scenario.topology(),
+                                core::SupernodeManagerConfig{},
+                                core::SessionManagerConfig{},
+                                scenario.fork_rng("tour-sessions"));
+  for (std::size_t sn : scenario.supernode_players()) {
+    sessions.supernode_join(scenario.player_host(sn),
+                            scenario.supernode_capacity(sn),
+                            scenario.supernode_uplink_kbps(sn));
+  }
+
+  world::WorldConfig world_config;
+  world_config.width = world_config.height = 4'000.0;
+  world_config.region_size = 250.0;
+  world::VirtualWorld vworld(world_config);
+  util::Rng rng = scenario.fork_rng("tour-world");
+  world::InterestManager interest(vworld, /*halo=*/1);
+
+  // The first 800 players are online for the tour; each gets a session and
+  // an avatar tracked by its serving supernode (cloud-served players are
+  // fed directly and need no supernode subscription).
+  std::size_t fog_served = 0;
+  for (std::size_t p = 0; p < 800; ++p) {
+    const NodeId host = scenario.player_host(p);
+    const auto& session = sessions.player_join(host, scenario.player_game(p));
+    const world::AvatarId avatar = vworld.spawn(rng);
+    if (!session.on_cloud()) {
+      interest.track(session.supernode, avatar);
+      ++fog_served;
+    }
+  }
+  std::cout << "sessions: " << fog_served << " fog-served, "
+            << sessions.cloud_sessions() << " cloud-served\n";
+
+  // Run 3 seconds of world time; measure the real update feeds.
+  util::RunningStats lambda_kbps;
+  std::vector<world::AvatarId> avatars;
+  for (world::AvatarId a = 1; a <= 800; ++a) avatars.push_back(a);
+  for (int t = 0; t < 90; ++t) {
+    for (auto a : avatars) {
+      if (rng.bernoulli(0.6)) {
+        vworld.submit({a, world::ActionType::kMove, rng.uniform(-1.0, 1.0),
+                       rng.uniform(-1.0, 1.0)});
+      } else if (rng.bernoulli(0.1)) {
+        vworld.submit({a, world::ActionType::kStrike, 0.0, 0.0});
+      }
+    }
+    const auto delta = vworld.tick(rng);
+    interest.refresh();
+    const auto sizes = interest.feed_sizes(delta);
+    if (interest.supernodes() > 0) {
+      lambda_kbps.add(sizes.filtered_kbit * 30.0 /
+                      static_cast<double>(interest.supernodes()));
+    }
+  }
+  std::cout << "measured update feed per supernode (Lambda): "
+            << util::format_double(lambda_kbps.mean(), 1) << " kbps vs "
+            << util::format_double(params.update_stream_kbps, 1)
+            << " kbps assumed by the analytic experiments\n";
+
+  // kd-tree balance across the 5 datacenters' state servers.
+  std::vector<world::Position> positions;
+  for (auto a : avatars) positions.push_back(vworld.avatar(a).position);
+  world::KdPartition kd(positions, /*depth=*/3);
+  std::cout << "state-server imbalance with kd partitioning (8 servers): "
+            << util::format_double(kd.stats(positions).imbalance(), 2)
+            << " (1.0 = perfect)\n\n";
+
+  // --- 4. the QoE this fog delivers -----------------------------------------
+  StreamingOptions options;
+  options.num_players = 800;
+  options.warmup_ms = 2'000.0;
+  options.duration_ms = 8'000.0;
+  util::Table table("QoE: plain Cloud vs the full CloudFog stack");
+  table.set_header({"system", "mean latency (ms)", "continuity", "satisfied",
+                    "cloud Mbps"});
+  for (SystemKind kind : {SystemKind::kCloud, SystemKind::kCloudFogA}) {
+    const StreamingResult r = run_streaming(kind, scenario, options);
+    table.add_row({to_string(kind),
+                   util::format_double(r.mean_response_latency_ms, 1),
+                   util::format_double(r.mean_continuity, 3),
+                   util::format_double(r.satisfied_fraction, 3),
+                   util::format_double(r.cloud_uplink_mbps, 1)});
+  }
+  std::cout << table.to_text();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Substrate example: the PlanetLab-style measurement workflow.
+//
+// Builds the 750-host PlanetLab-profile topology (Princeton + UCLA as the
+// cloud hosts), runs a "measurement campaign" to produce a pairwise latency
+// trace, saves it, reloads it, and prints the latency distributions the
+// simulation profile is calibrated against — the same role the PlanetLab
+// trace plays for the paper's PeerSim runs.
+//
+// Usage: latency_trace_tool [output-path]
+#include <iostream>
+
+#include "net/trace.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace cloudfog;
+using namespace cloudfog::net;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/cloudfog_planetlab_trace.txt";
+
+  // Keep the host count moderate: a dense 200x200 matrix is plenty to show
+  // the distribution and keeps the text trace small.
+  Topology topo = build_planetlab_topology(/*num_hosts=*/200, /*seed=*/3);
+  util::Rng rng(3);
+  const LatencyTrace trace = LatencyTrace::measure(topo, rng);
+  trace.save_file(path);
+  const LatencyTrace loaded = LatencyTrace::load_file(path);
+  std::cout << "measured " << trace.size() << "x" << trace.size()
+            << " one-way latency matrix, saved to " << path << "\n\n";
+
+  // Distribution of host-to-host and host-to-datacenter latencies.
+  util::SampleSet peer, to_dc;
+  const auto players = topo.hosts_with_role(HostRole::kPlayer);
+  const auto dcs = topo.hosts_with_role(HostRole::kDatacenter);
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    for (std::size_t j = i + 1; j < players.size(); ++j)
+      peer.add(loaded.one_way_ms(players[i], players[j]));
+    for (NodeId dc : dcs) to_dc.add(loaded.one_way_ms(players[i], dc));
+  }
+
+  util::Table table("PlanetLab-profile one-way latency distribution (ms)");
+  table.set_header({"pair class", "p10", "median", "p90", "p99", "max"});
+  auto row = [&](const char* name, util::SampleSet& s) {
+    table.add_row({name, util::format_double(s.percentile(10), 1),
+                   util::format_double(s.median(), 1),
+                   util::format_double(s.percentile(90), 1),
+                   util::format_double(s.percentile(99), 1),
+                   util::format_double(s.max(), 1)});
+  };
+  row("host <-> host", peer);
+  row("host <-> cloud (Princeton/UCLA)", to_dc);
+  std::cout << table.to_text();
+
+  // A small ASCII histogram of peer latencies.
+  util::Histogram hist(0.0, 120.0, 12);
+  for (double v : peer.samples()) hist.add(v);
+  std::cout << "\npeer one-way latency histogram (10 ms buckets):\n"
+            << hist.render(40);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, every figure/ablation
+# bench, and all examples, teeing outputs next to the repo root.
+#
+# Usage:
+#   scripts/reproduce.sh            # paper scale (~3 min of benches)
+#   CLOUDFOG_BENCH_FAST=1 scripts/reproduce.sh   # smoke scale
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "== examples (smoke) =="
+for e in build/examples/*; do
+  echo "--- $e ---"
+  "$e" > /dev/null && echo ok
+done
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

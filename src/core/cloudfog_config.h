@@ -1,0 +1,29 @@
+// Aggregated CloudFog defaults — one place holding every paper parameter.
+//
+// Paper Section IV defaults: theta = 0.5, lambda = 1, h_1 = 100, h_2 = 10.
+// The paper does not spell out h_1/h_2; we adopt the natural reading used
+// throughout this codebase (documented in DESIGN.md):
+//   h_1 = sender buffer capacity in segments (DeadlineSchedulerConfig
+//         ::max_queue_segments),
+//   h_2 = history/estimation window length (propagation samples m of Eq 13
+//         and the consecutive-estimate count of the adaptation debounce).
+#pragma once
+
+#include "core/deadline_scheduler.h"
+#include "core/incentive.h"
+#include "core/rate_adaptation.h"
+#include "core/supernode_manager.h"
+
+namespace cloudfog::core {
+
+struct CloudFogConfig {
+  RateAdaptationConfig adaptation{};          // theta = 0.5, 10 estimates
+  DeadlineSchedulerConfig scheduler{};        // lambda = 1, m = 10, 100 segments
+  SupernodeManagerConfig supernode_manager{}; // 8 candidates per assignment
+  IncentiveParams incentives{};
+
+  /// Builds the paper's Section-IV default configuration.
+  static CloudFogConfig defaults() { return CloudFogConfig{}; }
+};
+
+}  // namespace cloudfog::core

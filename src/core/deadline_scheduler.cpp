@@ -1,0 +1,223 @@
+#include "core/deadline_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+std::vector<int> allocate_drops(const std::vector<double>& weights, int total) {
+  CF_CHECK_MSG(total >= 0, "drop total must be non-negative");
+  std::vector<int> out(weights.size(), 0);
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    CF_CHECK_MSG(w >= 0.0, "drop weights must be non-negative");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0 || total == 0) return out;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    out[k] = static_cast<int>(
+        std::lround(weights[k] / weight_sum * static_cast<double>(total)));
+  }
+  return out;
+}
+
+int QueuedSegment::remaining_packets() const {
+  int n = 0;
+  for (std::size_t i = static_cast<std::size_t>(next_packet); i < packets.size(); ++i)
+    if (!packets[i].dropped) ++n;
+  return n;
+}
+
+Kbit QueuedSegment::remaining_kbit() const {
+  Kbit total = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(next_packet); i < packets.size(); ++i)
+    if (!packets[i].dropped) total += packets[i].size_kbit;
+  return total;
+}
+
+int QueuedSegment::droppable() const {
+  const int budget = static_cast<int>(std::floor(
+      segment.loss_tolerance * static_cast<double>(packets.size())));
+  const int available = std::min(budget - dropped, remaining_packets());
+  return std::max(0, available);
+}
+
+DeadlineScheduler::DeadlineScheduler(Kbps uplink_kbps,
+                                     DeadlineSchedulerConfig config)
+    : uplink_kbps_(uplink_kbps), config_(config) {
+  CF_CHECK_MSG(uplink_kbps > 0.0, "uplink rate must be positive");
+  CF_CHECK_MSG(config.decay_lambda_per_s >= 0.0, "decay lambda must be >= 0");
+  CF_CHECK_MSG(config.propagation_history >= 1, "need at least one sample");
+  CF_CHECK_MSG(config.max_queue_segments >= 1, "queue must hold a segment");
+}
+
+bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now) {
+  if (queue_.size() >= config_.max_queue_segments) {
+    ++overflow_segments_;
+    return false;
+  }
+  QueuedSegment qs;
+  qs.segment = segment;
+  qs.enqueued_ms = now;
+  qs.packets = stream::packetize(segment);
+  // Insert in ascending expected arrival time t_a (ties: earlier action,
+  // then id, for determinism).
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), qs,
+      [](const QueuedSegment& a, const QueuedSegment& b) {
+        if (a.segment.deadline_ms != b.segment.deadline_ms)
+          return a.segment.deadline_ms < b.segment.deadline_ms;
+        return a.segment.id < b.segment.id;
+      });
+  queue_.insert(pos, std::move(qs));
+  estimate_and_drop(now);
+  return true;
+}
+
+void DeadlineScheduler::record_propagation(NodeId player, TimeMs prop_ms) {
+  CF_CHECK_MSG(prop_ms >= 0.0, "propagation delay must be non-negative");
+  auto& history = propagation_[player];
+  history.push_back(prop_ms);
+  while (history.size() > config_.propagation_history) history.pop_front();
+}
+
+TimeMs DeadlineScheduler::estimated_propagation_ms(NodeId player) const {
+  const auto it = propagation_.find(player);
+  if (it == propagation_.end() || it->second.empty())
+    return config_.default_propagation_ms;
+  double total = 0.0;
+  for (TimeMs v : it->second) total += v;
+  return total / static_cast<double>(it->second.size());
+}
+
+TimeMs DeadlineScheduler::estimated_arrival_ms(std::size_t position,
+                                               TimeMs now) const {
+  CF_CHECK_MSG(position < queue_.size(), "queue position out of range");
+  // l_q: bytes of all preceding segments; l_t: this segment's remaining
+  // bytes; l_r + l_s have already elapsed (we work from `now`).
+  Kbit preceding = 0.0;
+  for (std::size_t k = 0; k < position; ++k) preceding += queue_[k].remaining_kbit();
+  const Kbit own = queue_[position].remaining_kbit();
+  const TimeMs l_q = transmission_ms(preceding, uplink_kbps_);
+  const TimeMs l_t = transmission_ms(own, uplink_kbps_);
+  const TimeMs l_p = estimated_propagation_ms(queue_[position].segment.player);
+  return now + l_q + l_t + l_p;
+}
+
+int DeadlineScheduler::drop_from_segment(std::size_t k, int want) {
+  QueuedSegment& qs = queue_[k];
+  const int can = std::min(want, qs.droppable());
+  int done = 0;
+  // Drop from the tail: the last packets of a segment are the ones that
+  // would arrive after the deadline. Already-sent packets (index below
+  // next_packet) cannot be dropped.
+  for (int i = static_cast<int>(qs.packets.size()) - 1;
+       i >= qs.next_packet && done < can; --i) {
+    auto& p = qs.packets[static_cast<std::size_t>(i)];
+    if (!p.dropped) {
+      p.dropped = true;
+      ++done;
+      if (on_drop_) on_drop_(qs.segment.id, p.index);
+    }
+  }
+  qs.dropped += done;
+  total_dropped_ += static_cast<std::uint64_t>(done);
+  return done;
+}
+
+void DeadlineScheduler::estimate_and_drop(TimeMs now) {
+  // sigma: mean latency shed by dropping one packet — one packet's
+  // transmission time on this uplink.
+  const TimeMs sigma = transmission_ms(stream::kPacketKbit, uplink_kbps_);
+  if (sigma <= 0.0) return;
+
+  // Walk the queue front-to-back keeping a running preceding-size total;
+  // whenever a segment is predicted late, allocate drops per Eq (14).
+  Kbit preceding = 0.0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Kbit own = queue_[i].remaining_kbit();
+    const TimeMs l_q = transmission_ms(preceding, uplink_kbps_);
+    const TimeMs l_t = transmission_ms(own, uplink_kbps_);
+    const TimeMs l_p = estimated_propagation_ms(queue_[i].segment.player);
+    const TimeMs estimated_arrival = now + l_q + l_t + l_p;
+    const TimeMs expected_arrival = queue_[i].segment.deadline_ms;
+
+    if (estimated_arrival > expected_arrival) {
+      const int needed = static_cast<int>(
+          std::ceil((estimated_arrival - expected_arrival) / sigma));
+      // Eq (14) weights over segments 0..i.
+      std::vector<double> weights(i + 1, 0.0);
+      for (std::size_t k = 0; k <= i; ++k) {
+        const double wait_s = (now - queue_[k].enqueued_ms) / 1000.0;
+        const double phi = std::exp(-config_.decay_lambda_per_s * wait_s);
+        weights[k] = queue_[k].segment.loss_tolerance * phi;
+      }
+      // Proportional allocation (Eq 14), rounded; the tolerance budget caps
+      // each segment's share inside drop_from_segment.
+      const std::vector<int> shares = allocate_drops(weights, needed);
+      int dropped_total = 0;
+      for (std::size_t k = 0; k <= i && dropped_total < needed; ++k) {
+        if (shares[k] > 0)
+          dropped_total +=
+              drop_from_segment(k, std::min(shares[k], needed - dropped_total));
+      }
+      // Residual pass (rounding may under-allocate): take what tolerance
+      // budgets still allow, earliest segments first.
+      for (std::size_t k = 0; k <= i && dropped_total < needed; ++k) {
+        dropped_total += drop_from_segment(k, needed - dropped_total);
+      }
+    }
+    preceding += queue_[i].remaining_kbit();
+  }
+}
+
+std::optional<DeadlineScheduler::NextPacket> DeadlineScheduler::pop_packet(
+    TimeMs /*now*/) {
+  while (!queue_.empty()) {
+    QueuedSegment& head = queue_.front();
+    // Skip dropped packets.
+    while (head.next_packet < static_cast<int>(head.packets.size()) &&
+           head.packets[static_cast<std::size_t>(head.next_packet)].dropped) {
+      ++head.next_packet;
+    }
+    if (head.next_packet >= static_cast<int>(head.packets.size())) {
+      queue_.pop_front();
+      continue;
+    }
+    NextPacket out;
+    out.packet = head.packets[static_cast<std::size_t>(head.next_packet)];
+    out.player = head.segment.player;
+    out.game = head.segment.game;
+    out.segment_action_ms = head.segment.action_time_ms;
+    ++head.next_packet;
+    // Retire the segment if that was its last live packet.
+    bool any_left = false;
+    for (std::size_t i = static_cast<std::size_t>(head.next_packet);
+         i < head.packets.size(); ++i) {
+      if (!head.packets[i].dropped) {
+        any_left = true;
+        break;
+      }
+    }
+    if (!any_left) queue_.pop_front();
+    return out;
+  }
+  return std::nullopt;
+}
+
+bool DeadlineScheduler::empty() const {
+  for (const auto& qs : queue_)
+    if (qs.remaining_packets() > 0) return false;
+  return true;
+}
+
+std::size_t DeadlineScheduler::queued_packets() const {
+  std::size_t total = 0;
+  for (const auto& qs : queue_)
+    total += static_cast<std::size_t>(qs.remaining_packets());
+  return total;
+}
+
+}  // namespace cloudfog::core

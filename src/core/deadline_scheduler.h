@@ -1,0 +1,132 @@
+// Deadline-driven sender buffer scheduling — paper Section III-C,
+// Equations (12)–(14).
+//
+// The supernode keeps a single queuing buffer of video segments ordered by
+// expected arrival time t_a = t_m + L~_r (the player's action time plus its
+// game's response latency requirement); earlier deadlines transmit first.
+//
+// When a segment is enqueued the supernode estimates every queued segment's
+// response latency
+//     L_r = l_r + l_s + l_q + l_t + l_p                          (Eq 12)
+// with l_q = np/lambda_r (preceding bytes over uplink rate), l_t = s/lambda_r
+// and l_p the mean of the last m measured propagation delays to that player
+// (Eq 13). A segment predicted to arrive D_i = (L_r - L~_r)/sigma packets
+// too late triggers packet drops, allocated over it and its preceding
+// segments proportionally to loss tolerance weighted by exponential decay
+//     d_k = (L~_t_k * phi_k) / sum_j(L~_t_j * phi_j) * D_i       (Eq 14)
+// with phi_k = e^(-lambda * wait_k). sigma is the mean latency shed per
+// dropped packet (one packet's transmission time on this uplink).
+//
+// Interpretation note (documented in DESIGN.md): drops within a segment are
+// additionally capped by the segment's loss-tolerance budget
+// floor(L~_t * packet_count), so a scheduled game never exceeds its
+// tolerable loss rate — this realises the paper's "drop packets while still
+// meeting their packet loss rate requirements".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/video.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+/// Equation (14) allocation: splits `total` packet drops across segments
+/// proportionally to their weights L~_t_k * phi_k (rounded to nearest).
+/// Rounding may under- or over-shoot slightly; the scheduler's residual
+/// pass (and per-segment tolerance caps) settles the difference. Exposed
+/// for direct testing against the paper's formula.
+std::vector<int> allocate_drops(const std::vector<double>& weights, int total);
+
+struct DeadlineSchedulerConfig {
+  /// lambda of the exponential decay phi = e^(-lambda * t), t in seconds the
+  /// segment has waited (paper default lambda = 1).
+  double decay_lambda_per_s = 1.0;
+  /// m: how many recent propagation measurements per player to average
+  /// (Eq 13). We map the paper's h_2 = 10 default here.
+  std::size_t propagation_history = 10;
+  /// Sender buffer capacity in segments (paper's h_1 = 100 default);
+  /// enqueueing beyond it drops the whole new segment (buffer overflow).
+  std::size_t max_queue_segments = 100;
+  /// Fallback propagation estimate before any measurement exists.
+  TimeMs default_propagation_ms = 20.0;
+};
+
+/// One queued segment plus its per-packet drop state.
+struct QueuedSegment {
+  stream::VideoSegment segment;
+  TimeMs enqueued_ms = 0.0;
+  std::vector<stream::Packet> packets;
+  int next_packet = 0;     // first unsent, possibly-dropped packet index
+  int dropped = 0;         // packets marked dropped in this segment
+
+  int remaining_packets() const;   // unsent and not dropped
+  Kbit remaining_kbit() const;     // size still to transmit
+  int droppable() const;           // loss-tolerance budget still available
+};
+
+/// The sender-buffer scheduler. It owns queue ordering and the drop policy;
+/// actual transmission timing is driven by a sender (see SupernodeSender).
+class DeadlineScheduler {
+ public:
+  DeadlineScheduler(Kbps uplink_kbps, DeadlineSchedulerConfig config);
+
+  /// Inserts a segment in ascending expected-arrival order, then runs the
+  /// Eq (12)–(14) estimate-and-drop pass over the queue. Returns false if
+  /// the buffer was full and the segment was discarded.
+  bool enqueue(const stream::VideoSegment& segment, TimeMs now);
+
+  /// Observer invoked for every packet the Eq (14) policy drops — lets
+  /// harnesses keep exact per-segment accounting.
+  using DropObserver = std::function<void(std::uint64_t segment_id, int packet_index)>;
+  void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }
+
+  /// Records a measured propagation delay for a player (Eq 13 history).
+  void record_propagation(NodeId player, TimeMs prop_ms);
+
+  /// Mean of the last m measurements, or the configured default (Eq 13).
+  TimeMs estimated_propagation_ms(NodeId player) const;
+
+  /// Pops the next packet to transmit (earliest-deadline segment first,
+  /// skipping dropped packets). Returns nullopt when the buffer is empty.
+  struct NextPacket {
+    stream::Packet packet;
+    NodeId player = kInvalidNode;
+    game::GameId game = -1;
+    TimeMs segment_action_ms = 0.0;
+  };
+  std::optional<NextPacket> pop_packet(TimeMs now);
+
+  bool empty() const;
+  std::size_t queued_segments() const { return queue_.size(); }
+  std::size_t queued_packets() const;
+  std::uint64_t total_dropped_packets() const { return total_dropped_; }
+  std::uint64_t total_overflow_segments() const { return overflow_segments_; }
+  Kbps uplink_kbps() const { return uplink_kbps_; }
+
+  /// Eq (12) estimate for the queued segment at `position`, at time `now`:
+  /// the predicted absolute arrival time of its last packet.
+  TimeMs estimated_arrival_ms(std::size_t position, TimeMs now) const;
+
+ private:
+  /// Runs the estimate-and-drop pass (Eq 12 check + Eq 14 allocation).
+  void estimate_and_drop(TimeMs now);
+
+  /// Drops up to `want` packets from queue position `k`; returns dropped.
+  int drop_from_segment(std::size_t k, int want);
+
+  Kbps uplink_kbps_;
+  DeadlineSchedulerConfig config_;
+  std::deque<QueuedSegment> queue_;  // ascending segment.deadline_ms
+  DropObserver on_drop_;
+  std::unordered_map<NodeId, std::deque<TimeMs>> propagation_;
+  std::uint64_t total_dropped_ = 0;
+  std::uint64_t overflow_segments_ = 0;
+};
+
+}  // namespace cloudfog::core

@@ -1,0 +1,74 @@
+#include "core/incentive.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+double supernode_profit(const IncentiveParams& params, Kbps upload_kbps,
+                        double utilization, double contributor_cost) {
+  CF_CHECK_MSG(upload_kbps >= 0.0, "upload capacity must be non-negative");
+  CF_CHECK_MSG(utilization >= 0.0 && utilization <= 1.0,
+               "utilization must be in [0, 1] (Eq 5)");
+  return params.reward_per_kbps * upload_kbps * utilization - contributor_cost;
+}
+
+Kbps bandwidth_reduction(const IncentiveParams& params, double n_supported,
+                         double m_supernodes) {
+  CF_CHECK_MSG(n_supported >= 0.0 && m_supernodes >= 0.0,
+               "counts must be non-negative");
+  return n_supported * params.stream_rate_kbps -
+         params.update_stream_kbps * m_supernodes;
+}
+
+namespace {
+Kbps contributed_bandwidth(const std::vector<SupernodeOffer>& deployed) {
+  return std::accumulate(deployed.begin(), deployed.end(), 0.0,
+                         [](Kbps acc, const SupernodeOffer& o) {
+                           return acc + o.upload_kbps * o.utilization;
+                         });
+}
+}  // namespace
+
+double provider_saving(const IncentiveParams& params, double n_supported,
+                       const std::vector<SupernodeOffer>& deployed) {
+  const Kbps b_r = bandwidth_reduction(params, n_supported,
+                                       static_cast<double>(deployed.size()));
+  const Kbps b_s = contributed_bandwidth(deployed);
+  return params.value_per_kbps * b_r - params.reward_per_kbps * b_s;
+}
+
+bool deployment_feasible(const IncentiveParams& params, double n_supported,
+                         const std::vector<SupernodeOffer>& deployed) {
+  for (const auto& o : deployed) {
+    if (o.utilization < 0.0 || o.utilization > 1.0) return false;  // Eq (5)
+  }
+  // Eq (4): total contribution covers the demand of the supported players.
+  return contributed_bandwidth(deployed) >=
+         n_supported * params.stream_rate_kbps;
+}
+
+double marginal_gain(const IncentiveParams& params, const SupernodeOffer& offer) {
+  return params.value_per_kbps *
+             (offer.new_players_covered * params.stream_rate_kbps -
+              params.update_stream_kbps) -
+         params.reward_per_kbps * offer.upload_kbps * offer.utilization;
+}
+
+std::vector<std::size_t> greedy_deployment(
+    const IncentiveParams& params, const std::vector<SupernodeOffer>& offers) {
+  std::vector<std::size_t> order(offers.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return marginal_gain(params, offers[a]) > marginal_gain(params, offers[b]);
+  });
+  std::vector<std::size_t> accepted;
+  for (std::size_t i : order) {
+    if (marginal_gain(params, offers[i]) > 0.0) accepted.push_back(i);
+  }
+  return accepted;
+}
+
+}  // namespace cloudfog::core

@@ -1,0 +1,69 @@
+// Economic model of CloudFog — paper Section III-A1/A2, Equations (1)–(6).
+//
+// Two sides:
+//   * A contributor earns  P_s(j) = c_s * c_j * u_j - cost_j   (Eq 1) and
+//     contributes when the profit clears its own threshold.
+//   * The game service provider saves bandwidth
+//     B_r = n*R - Lambda*m                                      (Eq 2)
+//     and maximises C_g = c_c * B_r - c_s * B_s                 (Eq 3)
+//     subject to sum(c_j u_j) >= n*R (Eq 4) and u_j <= 1 (Eq 5); the
+//     marginal value of one more supernode is
+//     G_s(j) = c_c * (nu*R - Lambda) - c_s * c_j * u_j          (Eq 6).
+//
+// Monetary quantities are in reward-units per kbps (the paper leaves the
+// unit abstract); bandwidths in kbps.
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+/// Pricing knobs shared by both sides of the market.
+struct IncentiveParams {
+  double reward_per_kbps = 0.5;   // c_s: reward per unit of contributed upload
+  double value_per_kbps = 1.0;    // c_c: provider's value of saved cloud upload
+  Kbps update_stream_kbps = 100;  // Lambda: cloud->supernode update bandwidth
+  Kbps stream_rate_kbps = 800;    // R: game video streaming rate
+};
+
+/// One candidate supernode in the provider's deployment decision.
+struct SupernodeOffer {
+  NodeId host = kInvalidNode;
+  Kbps upload_kbps = 0.0;   // c_j
+  double utilization = 1.0; // u_j in [0, 1]
+  double contributor_cost = 0.0;  // cost_j (same unit as rewards)
+  double new_players_covered = 0.0;  // nu: coverage gain if deployed
+};
+
+/// Equation (1): contributor profit of supernode j.
+double supernode_profit(const IncentiveParams& params, Kbps upload_kbps,
+                        double utilization, double contributor_cost);
+
+/// Equation (2): bandwidth reduction of CloudFog vs. the all-cloud system,
+/// for n supernode-supported players and m supernodes.
+Kbps bandwidth_reduction(const IncentiveParams& params, double n_supported,
+                         double m_supernodes);
+
+/// Equation (3) objective value for a concrete deployment (not maximised):
+/// C_g = c_c * B_r - c_s * B_s, where B_s = sum(c_j * u_j).
+/// Returns the saving; callers check feasibility with `deployment_feasible`.
+double provider_saving(const IncentiveParams& params, double n_supported,
+                       const std::vector<SupernodeOffer>& deployed);
+
+/// Equations (4) and (5): the deployment supports n players and respects
+/// per-node utilization bounds.
+bool deployment_feasible(const IncentiveParams& params, double n_supported,
+                         const std::vector<SupernodeOffer>& deployed);
+
+/// Equation (6): provider's marginal gain of deploying offer j.
+double marginal_gain(const IncentiveParams& params, const SupernodeOffer& offer);
+
+/// Greedy deployment: accepts offers in descending marginal gain while the
+/// gain is positive — the provider-side decision rule the paper derives from
+/// Eq (6). Returns indices into `offers` in acceptance order.
+std::vector<std::size_t> greedy_deployment(const IncentiveParams& params,
+                                           const std::vector<SupernodeOffer>& offers);
+
+}  // namespace cloudfog::core

@@ -1,0 +1,78 @@
+#include "core/rate_adaptation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+RateAdaptationController::RateAdaptationController(
+    const game::GameProfile& profile, RateAdaptationConfig config,
+    int initial_level)
+    : profile_(profile), config_(config) {
+  CF_CHECK_MSG(config.theta > 0.0 && config.theta <= 1.0,
+               "theta must be in (0, 1] (Eq 11)");
+  CF_CHECK_MSG(config.consecutive_estimates >= 1,
+               "need at least one estimate before acting");
+  CF_CHECK_MSG(profile.latency_tolerance > 0.0 && profile.latency_tolerance <= 1.0,
+               "latency tolerance degree rho must be in (0, 1]");
+  max_level_ = profile.target_quality_level;
+  level_ = initial_level < 0 ? max_level_ : initial_level;
+  CF_CHECK_MSG(level_ >= game::kMinQualityLevel && level_ <= max_level_,
+               "initial level out of range for this game");
+}
+
+double RateAdaptationController::up_threshold() const {
+  return (1.0 + game::adjust_up_beta()) / profile_.latency_tolerance;
+}
+
+double RateAdaptationController::down_threshold() const {
+  return config_.theta / profile_.latency_tolerance;
+}
+
+RateAdaptationController::Decision RateAdaptationController::observe_rates(
+    TimeMs dt_ms, Kbps download_kbps, Kbps playback_kbps, Kbit tau_kbit) {
+  CF_CHECK_MSG(dt_ms > 0.0, "estimation interval must be positive");
+  CF_CHECK_MSG(download_kbps >= 0.0 && playback_kbps > 0.0,
+               "rates must be sane");
+  CF_CHECK_MSG(tau_kbit > 0.0, "segment size tau must be positive");
+  if (!estimator_initialised_) {
+    s_estimate_ = tau_kbit;  // start with one buffered segment
+    estimator_initialised_ = true;
+  }
+  s_estimate_ += (download_kbps - playback_kbps) * dt_ms / 1000.0;  // Eq (7)
+  s_estimate_ = std::clamp(s_estimate_, 0.0, 4.0 * tau_kbit);
+  return observe(s_estimate_ / tau_kbit);  // Eq (8)
+}
+
+RateAdaptationController::Decision RateAdaptationController::observe(
+    double buffered_segments) {
+  CF_CHECK_MSG(buffered_segments >= 0.0, "r must be non-negative");
+  if (buffered_segments > up_threshold()) {
+    ++up_count_;
+    down_count_ = 0;
+    if (up_count_ >= config_.consecutive_estimates) {
+      up_count_ = 0;
+      if (level_ < max_level_) {
+        ++level_;
+        return Decision::kUp;
+      }
+    }
+  } else if (buffered_segments < down_threshold()) {
+    ++down_count_;
+    up_count_ = 0;
+    if (down_count_ >= config_.consecutive_estimates) {
+      down_count_ = 0;
+      if (level_ > game::kMinQualityLevel) {
+        --level_;
+        return Decision::kDown;
+      }
+    }
+  } else {
+    up_count_ = 0;
+    down_count_ = 0;
+  }
+  return Decision::kHold;
+}
+
+}  // namespace cloudfog::core

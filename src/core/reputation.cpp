@@ -1,0 +1,60 @@
+#include "core/reputation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+ReputationSystem::ReputationSystem(ReputationConfig config) : config_(config) {
+  CF_CHECK_MSG(config.prior_good > 0.0 && config.prior_bad > 0.0,
+               "Beta prior must be positive");
+  CF_CHECK_MSG(config.eviction_threshold > 0.0 && config.eviction_threshold < 1.0,
+               "eviction threshold must be in (0, 1)");
+  CF_CHECK_MSG(config.forgetting > 0.0 && config.forgetting <= 1.0,
+               "forgetting factor must be in (0, 1]");
+}
+
+void ReputationSystem::report(NodeId supernode, bool ok) {
+  Entry& e = ledger_[supernode];
+  e.good *= config_.forgetting;
+  e.bad *= config_.forgetting;
+  if (ok) {
+    e.good += 1.0;
+  } else {
+    e.bad += 1.0;
+  }
+  ++e.reports;
+}
+
+double ReputationSystem::score(NodeId supernode) const {
+  double good = config_.prior_good;
+  double bad = config_.prior_bad;
+  if (const auto it = ledger_.find(supernode); it != ledger_.end()) {
+    good += it->second.good;
+    bad += it->second.bad;
+  }
+  return good / (good + bad);
+}
+
+std::uint64_t ReputationSystem::observations(NodeId supernode) const {
+  const auto it = ledger_.find(supernode);
+  return it == ledger_.end() ? 0 : it->second.reports;
+}
+
+bool ReputationSystem::should_evict(NodeId supernode) const {
+  return observations(supernode) >= config_.min_observations &&
+         score(supernode) < config_.eviction_threshold;
+}
+
+std::vector<NodeId> ReputationSystem::evictions() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, entry] : ledger_) {
+    if (should_evict(id)) out.push_back(id);
+  }
+  return out;
+}
+
+void ReputationSystem::reset(NodeId supernode) { ledger_.erase(supernode); }
+
+}  // namespace cloudfog::core

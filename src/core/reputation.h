@@ -1,0 +1,76 @@
+// Supernode reputation — the paper's Section-V future work ("dealing with
+// malicious supernodes").
+//
+// The cloud already relays every player's action and observes supernode
+// behaviour indirectly; players can additionally report delivery outcomes.
+// This module keeps a per-supernode Beta-Bernoulli reputation over such
+// reports with exponential forgetting:
+//
+//   score = (good + prior_good) / (good + bad + prior_good + prior_bad)
+//
+// where good/bad decay by `forgetting` per report window, so a compromised
+// node's history cannot shield it forever and a recovered node can earn its
+// way back. A supernode is flagged for eviction once its score drops below
+// the threshold with enough observations to be confident.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+struct ReputationConfig {
+  /// Beta prior — optimistic start (a vetted contributor).
+  double prior_good = 8.0;
+  double prior_bad = 2.0;
+  /// Evict below this score (honest nodes with a few % background failures
+  /// sit near 0.95; a 30%-sabotage node converges to ~0.70)...
+  double eviction_threshold = 0.80;
+  /// ...but only after this many observations (confidence gate).
+  std::uint64_t min_observations = 30;
+  /// Multiplicative decay applied to accumulated counts per report —
+  /// bounds the effective memory to ~1/(1-forgetting) reports.
+  double forgetting = 0.995;
+};
+
+/// Per-supernode reputation ledger.
+class ReputationSystem {
+ public:
+  explicit ReputationSystem(ReputationConfig config = {});
+
+  /// Records one delivery outcome for `supernode`: `ok` means the packet
+  /// (or segment) arrived on time and intact.
+  void report(NodeId supernode, bool ok);
+
+  /// Current score in (0, 1); unseen supernodes get the prior mean.
+  double score(NodeId supernode) const;
+
+  /// Observations accumulated (decayed count, rounded down).
+  std::uint64_t observations(NodeId supernode) const;
+
+  /// True when the supernode should be removed from the roster.
+  bool should_evict(NodeId supernode) const;
+
+  /// All tracked supernodes currently below the eviction bar.
+  std::vector<NodeId> evictions() const;
+
+  /// Forgets a supernode entirely (e.g. after re-vetting).
+  void reset(NodeId supernode);
+
+  std::size_t tracked() const { return ledger_.size(); }
+
+ private:
+  struct Entry {
+    double good = 0.0;
+    double bad = 0.0;
+    std::uint64_t reports = 0;
+  };
+
+  ReputationConfig config_;
+  std::unordered_map<NodeId, Entry> ledger_;
+};
+
+}  // namespace cloudfog::core

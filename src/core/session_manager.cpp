@@ -1,0 +1,195 @@
+#include "core/session_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+SessionManager::SessionManager(const net::Topology& topology,
+                               SupernodeManagerConfig manager_config,
+                               SessionManagerConfig config, util::Rng rng)
+    : topology_(topology),
+      manager_(topology, manager_config, rng.fork("manager")),
+      config_(config),
+      rng_(rng) {
+  CF_CHECK_MSG(config.shed_utilization > 0.0, "shed threshold must be positive");
+}
+
+void SessionManager::supernode_join(NodeId host, int capacity, Kbps uplink_kbps) {
+  manager_.add_supernode(host, capacity, uplink_kbps);
+}
+
+void SessionManager::attach(Session& s, NodeId target, TimeMs delay_ms) {
+  s.supernode = target;
+  s.stream_delay_ms = delay_ms;
+  served_[target].push_back(s.player);
+  demand_[target] += s.bitrate_kbps;
+}
+
+void SessionManager::detach(Session& s) {
+  if (s.on_cloud()) return;
+  auto& list = served_[s.supernode];
+  list.erase(std::remove(list.begin(), list.end(), s.player), list.end());
+  demand_[s.supernode] -= s.bitrate_kbps;
+  if (demand_[s.supernode] < 0.0) demand_[s.supernode] = 0.0;
+  manager_.release(s.supernode);
+  s.supernode = kInvalidNode;
+  s.stream_delay_ms = 0.0;
+}
+
+const Session& SessionManager::player_join(NodeId player, game::GameId game) {
+  CF_CHECK_MSG(!sessions_.contains(player), "player already has a session");
+  const game::GameProfile& profile = game::game_by_id(game);
+  Session s;
+  s.player = player;
+  s.game = game;
+  s.bitrate_kbps =
+      game::quality_for_level(profile.target_quality_level).bitrate_kbps;
+
+  const Assignment a = manager_.assign(player, profile.latency_requirement_ms);
+  if (!a.direct_to_cloud()) {
+    s.backups.assign(
+        a.backups.begin(),
+        a.backups.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(a.backups.size(), config_.max_backups)));
+    attach(s, a.supernode, a.delay_ms);
+  }
+  auto [it, inserted] = sessions_.emplace(player, std::move(s));
+  CF_DCHECK(inserted);
+  return it->second;
+}
+
+void SessionManager::player_leave(NodeId player) {
+  auto it = sessions_.find(player);
+  CF_CHECK_MSG(it != sessions_.end(), "player has no session");
+  detach(it->second);
+  sessions_.erase(it);
+}
+
+const Session& SessionManager::session(NodeId player) const {
+  auto it = sessions_.find(player);
+  CF_CHECK_MSG(it != sessions_.end(), "player has no session");
+  return it->second;
+}
+
+std::optional<NodeId> SessionManager::try_backups(Session& s,
+                                                  bool respect_utilization) {
+  const game::GameProfile& profile = game::game_by_id(s.game);
+  for (NodeId backup : s.backups) {
+    if (!manager_.is_supernode(backup)) continue;  // backup itself left
+    if (manager_.record(backup).available() <= 0) continue;
+    if (respect_utilization &&
+        (utilization(backup) + s.bitrate_kbps /
+                                   manager_.record(backup).upload_kbps) >
+            config_.shed_utilization) {
+      continue;  // would just overload the neighbour
+    }
+    // Re-probe: the cached qualification may be stale.
+    const TimeMs delay = topology_.expected_server_one_way_ms(backup, s.player);
+    if (delay > profile.latency_requirement_ms) continue;
+    // Claim the slot through the manager's bookkeeping: a direct targeted
+    // claim keeps the Assignment path single-purpose.
+    // (assign() would re-run candidate discovery; the backup list IS the
+    // discovered candidate set, so we take the slot directly.)
+    manager_.claim(backup);
+    attach(s, backup, delay);
+    return backup;
+  }
+  return std::nullopt;
+}
+
+FailoverReport SessionManager::supernode_leave(NodeId host) {
+  CF_CHECK_MSG(manager_.is_supernode(host), "unknown supernode");
+  FailoverReport report;
+
+  // Collect affected players first: recovery mutates served_.
+  std::vector<NodeId> affected;
+  if (auto it = served_.find(host); it != served_.end()) affected = it->second;
+  report.players_affected = affected.size();
+
+  // Release every affected session's slot, then remove the supernode so
+  // recovery cannot pick it again.
+  for (NodeId player : affected) detach(sessions_.at(player));
+  served_.erase(host);
+  demand_.erase(host);
+  manager_.remove_supernode(host);
+
+  for (NodeId player : affected) {
+    Session& s = sessions_.at(player);
+    if (config_.enable_failover) {
+      if (try_backups(s).has_value()) {
+        ++report.recovered_to_backup;
+        continue;
+      }
+    }
+    // Fresh Section III-A3 assignment.
+    const game::GameProfile& profile = game::game_by_id(s.game);
+    const Assignment a =
+        manager_.assign(s.player, profile.latency_requirement_ms);
+    if (!a.direct_to_cloud()) {
+      s.backups.assign(
+          a.backups.begin(),
+          a.backups.begin() +
+              static_cast<std::ptrdiff_t>(
+                  std::min(a.backups.size(), config_.max_backups)));
+      attach(s, a.supernode, a.delay_ms);
+      ++report.reassigned;
+    } else {
+      ++report.fell_to_cloud;
+    }
+  }
+  return report;
+}
+
+Kbps SessionManager::demand_kbps(NodeId supernode) const {
+  const auto it = demand_.find(supernode);
+  return it == demand_.end() ? 0.0 : it->second;
+}
+
+double SessionManager::utilization(NodeId supernode) const {
+  const Kbps uplink = manager_.record(supernode).upload_kbps;
+  return uplink > 0.0 ? demand_kbps(supernode) / uplink : 0.0;
+}
+
+std::size_t SessionManager::cloud_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [player, s] : sessions_)
+    if (s.on_cloud()) ++n;
+  return n;
+}
+
+RebalanceReport SessionManager::rebalance() {
+  RebalanceReport report;
+  if (!config_.enable_cooperation) return report;
+
+  // Deterministic iteration: supernodes in id order.
+  std::vector<NodeId> supernodes = manager_.supernodes();
+  std::sort(supernodes.begin(), supernodes.end());
+  for (NodeId sn : supernodes) {
+    if (utilization(sn) <= config_.shed_utilization) continue;
+    ++report.overloaded_supernodes;
+    // Shed most-recently attached players first (they have the least
+    // session history to disrupt) while over the threshold.
+    auto players = served_[sn];  // copy: attach/detach mutates the list
+    for (auto it = players.rbegin();
+         it != players.rend() && utilization(sn) > config_.shed_utilization;
+         ++it) {
+      Session& s = sessions_.at(*it);
+      detach(s);
+      if (try_backups(s, /*respect_utilization=*/true).has_value()) {
+        ++report.players_moved;
+      } else {
+        // No headroom anywhere: put the player back where it was (the slot
+        // is still free — we just released it).
+        manager_.claim(sn);
+        attach(s, sn, topology_.expected_server_one_way_ms(sn, s.player));
+        break;  // nothing else will fit either
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cloudfog::core

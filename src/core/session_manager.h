@@ -1,0 +1,128 @@
+// Dynamic session layer: player/supernode lifecycle over churn.
+//
+// Section III-A3 has each player record its backup supernodes, and requires
+// supernodes to "notify the central server of game service providers before
+// leaving the system". This module is the central server's session book:
+//
+//   * player joins   -> Section III-A3 assignment, backups recorded;
+//   * player leaves  -> its supernode slot is released;
+//   * supernode joins -> registered, immediately eligible;
+//   * supernode leaves -> every affected player fails over to its first
+//     still-qualified backup with spare capacity, falling back to a fresh
+//     assignment and finally to the cloud (the paper's recovery story);
+//   * rebalance()    -> the paper's Section-V future work, "cooperation
+//     among supernodes": supernodes whose uplink demand exceeds a
+//     utilization threshold shed their most recent players to backups
+//     with headroom.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/supernode_manager.h"
+#include "game/game.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+struct SessionManagerConfig {
+  /// Backups kept per session (the qualified-but-not-chosen candidates).
+  std::size_t max_backups = 4;
+  /// Use recorded backups when a supernode departs. Off = every affected
+  /// player runs a fresh assignment (the ablation baseline).
+  bool enable_failover = true;
+  /// Enable the cooperation extension (overload shedding).
+  bool enable_cooperation = false;
+  /// rebalance() sheds players while a supernode's demand exceeds this
+  /// fraction of its uplink.
+  double shed_utilization = 0.9;
+};
+
+/// One player's active serving arrangement.
+struct Session {
+  NodeId player = kInvalidNode;
+  game::GameId game = -1;
+  /// Serving supernode, or kInvalidNode for direct-to-cloud.
+  NodeId supernode = kInvalidNode;
+  std::vector<NodeId> backups;      // nearest-first
+  TimeMs stream_delay_ms = 0.0;     // probed delay to the serving supernode
+  Kbps bitrate_kbps = 0.0;          // demand the session puts on its server
+
+  bool on_cloud() const { return supernode == kInvalidNode; }
+};
+
+/// Outcome of a supernode departure.
+struct FailoverReport {
+  std::size_t players_affected = 0;
+  std::size_t recovered_to_backup = 0;  // moved to a recorded backup
+  std::size_t reassigned = 0;           // needed a fresh assignment
+  std::size_t fell_to_cloud = 0;        // no supernode available
+};
+
+/// Outcome of a cooperation pass.
+struct RebalanceReport {
+  std::size_t overloaded_supernodes = 0;
+  std::size_t players_moved = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager(const net::Topology& topology, SupernodeManagerConfig manager_config,
+                 SessionManagerConfig config, util::Rng rng);
+
+  // --- supernode lifecycle --------------------------------------------------
+  void supernode_join(NodeId host, int capacity, Kbps uplink_kbps);
+  /// Departure per the paper's protocol (notify-before-leave): affected
+  /// players are recovered immediately. Returns what happened to them.
+  FailoverReport supernode_leave(NodeId host);
+  bool is_supernode(NodeId host) const { return manager_.is_supernode(host); }
+  std::size_t supernode_count() const { return manager_.supernode_count(); }
+
+  // --- player lifecycle -----------------------------------------------------
+  /// Assigns a joining player (Section III-A3) and opens its session.
+  const Session& player_join(NodeId player, game::GameId game);
+  /// Closes the session, releasing any supernode slot.
+  void player_leave(NodeId player);
+  bool has_session(NodeId player) const { return sessions_.contains(player); }
+  const Session& session(NodeId player) const;
+
+  // --- cooperation extension -------------------------------------------------
+  /// Sheds load from supernodes above the utilization threshold to their
+  /// players' backups. No-op unless enable_cooperation.
+  RebalanceReport rebalance();
+
+  /// Demand currently placed on a supernode's uplink (kbps).
+  Kbps demand_kbps(NodeId supernode) const;
+  /// demand / uplink for a supernode.
+  double utilization(NodeId supernode) const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t cloud_sessions() const;
+  std::size_t supernode_sessions() const { return session_count() - cloud_sessions(); }
+
+  const SupernodeManager& manager() const { return manager_; }
+
+ private:
+  /// Moves a session onto `target` (capacity slot already taken by caller
+  /// via manager). Updates indexes and demand.
+  void attach(Session& s, NodeId target, TimeMs delay_ms);
+  /// Detaches a session from its supernode (releases the slot).
+  void detach(Session& s);
+  /// Tries the session's recorded backups; returns the one attached to.
+  /// With `respect_utilization`, backups above the shed threshold are
+  /// skipped (used by rebalance() so shedding cannot ping-pong load).
+  std::optional<NodeId> try_backups(Session& s, bool respect_utilization = false);
+
+  const net::Topology& topology_;
+  SupernodeManager manager_;
+  SessionManagerConfig config_;
+  util::Rng rng_;
+  std::unordered_map<NodeId, Session> sessions_;           // by player
+  std::unordered_map<NodeId, std::vector<NodeId>> served_; // supernode -> players
+  std::unordered_map<NodeId, Kbps> demand_;                // supernode -> kbps
+};
+
+}  // namespace cloudfog::core

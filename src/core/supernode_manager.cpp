@@ -1,0 +1,127 @@
+#include "core/supernode_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+SupernodeManager::SupernodeManager(const net::Topology& topology,
+                                   SupernodeManagerConfig config, util::Rng rng)
+    : topology_(topology), config_(config), rng_(rng) {
+  CF_CHECK_MSG(config.candidate_count >= 1, "need at least one candidate");
+}
+
+void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps) {
+  CF_CHECK_MSG(capacity >= 1, "supernode capacity must be at least 1");
+  CF_CHECK_MSG(upload_kbps > 0.0, "supernode upload capacity must be positive");
+  CF_CHECK_MSG(!records_.contains(host), "host already registered as supernode");
+  SupernodeRecord rec;
+  rec.host = host;
+  rec.capacity = capacity;
+  rec.upload_kbps = upload_kbps;
+  records_.emplace(host, rec);
+  roster_.push_back(host);
+}
+
+void SupernodeManager::remove_supernode(NodeId host) {
+  const auto it = records_.find(host);
+  CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
+  records_.erase(it);
+  roster_.erase(std::remove(roster_.begin(), roster_.end(), host), roster_.end());
+}
+
+bool SupernodeManager::is_supernode(NodeId host) const {
+  return records_.contains(host);
+}
+
+const SupernodeRecord& SupernodeManager::record(NodeId host) const {
+  const auto it = records_.find(host);
+  CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
+  return it->second;
+}
+
+std::vector<NodeId> SupernodeManager::supernodes() const { return roster_; }
+
+Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
+  CF_CHECK_MSG(l_max_ms > 0.0, "latency threshold must be positive");
+  Assignment result;
+  if (records_.empty()) return result;
+
+  // Step 1 — cloud side: the closest candidates by coordinate distance
+  // (node coordinates derived from IP addresses in the paper).
+  std::vector<std::pair<double, NodeId>> by_distance;
+  by_distance.reserve(roster_.size());
+  const net::GeoPoint player_pos = topology_.host(player).position;
+  for (NodeId sn : roster_) {
+    by_distance.emplace_back(
+        net::haversine_km(player_pos, topology_.host(sn).position), sn);
+  }
+  const std::size_t k = std::min(config_.candidate_count, by_distance.size());
+  std::partial_sort(by_distance.begin(),
+                    by_distance.begin() + static_cast<std::ptrdiff_t>(k),
+                    by_distance.end());
+
+  // Step 2 — player side: probe transmission delay, filter by L_max.
+  struct Probe {
+    TimeMs delay;
+    NodeId sn;
+  };
+  std::vector<Probe> qualified;
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId sn = by_distance[i].second;
+    TimeMs delay = topology_.expected_server_one_way_ms(sn, player);
+    if (config_.probe_jitter_sigma > 0.0) {
+      delay *= rng_.lognormal(0.0, config_.probe_jitter_sigma);
+    }
+    if (delay <= l_max_ms) qualified.push_back({delay, sn});
+  }
+  std::sort(qualified.begin(), qualified.end(),
+            [](const Probe& a, const Probe& b) {
+              return a.delay != b.delay ? a.delay < b.delay : a.sn < b.sn;
+            });
+
+  // Step 3 — choose the fastest qualified supernode with spare capacity;
+  // the rest become backups.
+  for (const Probe& p : qualified) {
+    SupernodeRecord& rec = records_.at(p.sn);
+    if (result.direct_to_cloud() && rec.available() > 0) {
+      ++rec.assigned;
+      result.supernode = p.sn;
+      result.delay_ms = p.delay;
+    } else {
+      result.backups.push_back(p.sn);
+    }
+  }
+  // Step 4 — empty result means direct-to-cloud.
+  return result;
+}
+
+void SupernodeManager::claim(NodeId supernode) {
+  auto it = records_.find(supernode);
+  CF_CHECK_MSG(it != records_.end(), "claiming an unknown supernode");
+  CF_CHECK_MSG(it->second.available() > 0, "claim without spare capacity");
+  ++it->second.assigned;
+}
+
+void SupernodeManager::release(NodeId supernode) {
+  if (supernode == kInvalidNode) return;
+  auto it = records_.find(supernode);
+  CF_CHECK_MSG(it != records_.end(), "releasing an unknown supernode");
+  CF_CHECK_MSG(it->second.assigned > 0, "release without assignment");
+  --it->second.assigned;
+}
+
+std::int64_t SupernodeManager::total_capacity() const {
+  std::int64_t total = 0;
+  for (const auto& [id, rec] : records_) total += rec.capacity;
+  return total;
+}
+
+std::int64_t SupernodeManager::total_assigned() const {
+  std::int64_t total = 0;
+  for (const auto& [id, rec] : records_) total += rec.assigned;
+  return total;
+}
+
+}  // namespace cloudfog::core

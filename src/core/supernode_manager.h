@@ -1,0 +1,101 @@
+// Supernode directory and player-to-supernode assignment — paper
+// Section III-A3.
+//
+// The cloud keeps a table of supernodes (address/coordinates/available
+// capacity). When a player joins:
+//   1. the cloud returns its physically closest supernode candidates
+//      (by coordinate distance);
+//   2. the player probes the transmission delay to each candidate and drops
+//      those whose delay exceeds its threshold L_max (derived from its
+//      game's response latency requirement);
+//   3. the player picks the qualified supernode with the shortest delay and
+//      available capacity, recording the rest as backups;
+//   4. if no candidate qualifies, the player connects directly to the cloud.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+/// Cloud-side record of one supernode.
+struct SupernodeRecord {
+  NodeId host = kInvalidNode;
+  int capacity = 0;   // C_j: max normal nodes supported concurrently
+  int assigned = 0;   // currently supported normal nodes
+  Kbps upload_kbps = 0.0;  // c_j, for the incentive model / senders
+
+  int available() const { return capacity - assigned; }
+};
+
+/// Outcome of an assignment request.
+struct Assignment {
+  /// The chosen supernode, or kInvalidNode when the player connects
+  /// directly to the cloud.
+  NodeId supernode = kInvalidNode;
+  /// Probed transmission delay (one-way ms) to the chosen supernode.
+  TimeMs delay_ms = 0.0;
+  /// Qualified-but-not-chosen supernodes, nearest first.
+  std::vector<NodeId> backups;
+
+  bool direct_to_cloud() const { return supernode == kInvalidNode; }
+};
+
+struct SupernodeManagerConfig {
+  /// How many physically-close candidates the cloud returns for probing.
+  std::size_t candidate_count = 8;
+  /// Measurement noise of a delay probe (lognormal sigma; 0 = exact).
+  double probe_jitter_sigma = 0.05;
+};
+
+/// The cloud's supernode table plus the assignment algorithm.
+class SupernodeManager {
+ public:
+  SupernodeManager(const net::Topology& topology, SupernodeManagerConfig config,
+                   util::Rng rng);
+
+  /// Registers a supernode (idempotent-checked: a host may register once).
+  void add_supernode(NodeId host, int capacity, Kbps upload_kbps);
+
+  /// Deregisters a supernode (paper: supernodes notify the central server
+  /// before leaving). Its players must be reassigned by the caller.
+  void remove_supernode(NodeId host);
+
+  bool is_supernode(NodeId host) const;
+  std::size_t supernode_count() const { return records_.size(); }
+  const SupernodeRecord& record(NodeId host) const;
+  std::vector<NodeId> supernodes() const;
+
+  /// Runs the Section III-A3 algorithm for `player` whose game tolerates at
+  /// most `l_max_ms` one-way streaming delay. On success the chosen
+  /// supernode's assigned count is incremented.
+  Assignment assign(NodeId player, TimeMs l_max_ms);
+
+  /// Claims one capacity slot on a specific supernode — used by the
+  /// session layer's backup failover, where candidate discovery has
+  /// already happened. Requires spare capacity.
+  void claim(NodeId supernode);
+
+  /// Releases the player's slot on `supernode` (no-op for the cloud).
+  void release(NodeId supernode);
+
+  /// Total configured capacity across supernodes.
+  std::int64_t total_capacity() const;
+  /// Total currently assigned players.
+  std::int64_t total_assigned() const;
+
+ private:
+  const net::Topology& topology_;
+  SupernodeManagerConfig config_;
+  util::Rng rng_;
+  std::unordered_map<NodeId, SupernodeRecord> records_;
+  std::vector<NodeId> roster_;  // insertion-ordered ids for determinism
+};
+
+}  // namespace cloudfog::core

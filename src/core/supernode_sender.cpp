@@ -1,0 +1,108 @@
+#include "core/supernode_sender.h"
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+SupernodeSender::SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps,
+                                 Discipline discipline,
+                                 DeadlineSchedulerConfig scheduler_config,
+                                 PropagationFn propagation, DeliveryFn on_delivery,
+                                 util::Rng rng)
+    : sim_(sim),
+      uplink_kbps_(uplink_kbps),
+      discipline_(discipline),
+      scheduler_(uplink_kbps, scheduler_config),
+      propagation_(std::move(propagation)),
+      on_delivery_(std::move(on_delivery)),
+      rng_(rng) {
+  CF_CHECK_MSG(uplink_kbps > 0.0, "uplink rate must be positive");
+  CF_CHECK_MSG(static_cast<bool>(propagation_), "propagation sampler required");
+  CF_CHECK_MSG(static_cast<bool>(on_delivery_), "delivery observer required");
+}
+
+void SupernodeSender::submit(const stream::VideoSegment& segment) {
+  packets_submitted_ +=
+      static_cast<std::uint64_t>(stream::packet_count(segment.size_kbit));
+  if (discipline_ == Discipline::kDeadline) {
+    scheduler_.enqueue(segment, sim_.now());
+  } else {
+    for (const stream::Packet& p : stream::packetize(segment)) {
+      fifo_.push_back(
+          FifoPacket{p, segment.player, segment.game, segment.action_time_ms});
+    }
+  }
+  pump();
+}
+
+std::uint64_t SupernodeSender::packets_dropped() const {
+  return discipline_ == Discipline::kDeadline ? scheduler_.total_dropped_packets()
+                                              : 0;
+}
+
+void SupernodeSender::pump() {
+  if (transmitting_) return;
+  FifoPacket item;
+  if (discipline_ == Discipline::kDeadline) {
+    auto next = scheduler_.pop_packet(sim_.now());
+    if (!next) return;
+    item.packet = next->packet;
+    item.player = next->player;
+    item.game = next->game;
+    item.action_ms = next->segment_action_ms;
+  } else {
+    if (fifo_.empty()) return;
+    item = fifo_.front();
+    fifo_.pop_front();
+  }
+  transmitting_ = true;
+  const TimeMs tx = transmission_ms(item.packet.size_kbit, uplink_kbps_);
+  sim_.schedule_after(tx, [this, item] { on_transmit_done(item); });
+}
+
+void SupernodeSender::on_transmit_done(const FifoPacket& item) {
+  transmitting_ = false;
+  ++packets_sent_;
+  // Network loss: the packet left the uplink but never reaches the player.
+  if (loss_ && rng_.bernoulli(loss_(item.player))) {
+    ++packets_lost_;
+    PacketDelivery d;
+    d.player = item.player;
+    d.game = item.game;
+    d.segment_id = item.packet.segment_id;
+    d.packet_index = item.packet.index;
+    d.size_kbit = item.packet.size_kbit;
+    d.action_ms = item.action_ms;
+    d.deadline_ms = item.packet.deadline_ms;
+    d.sent_ms = sim_.now();
+    d.lost = true;
+    on_delivery_(d);
+    pump();
+    return;
+  }
+  TimeMs prop = propagation_(item.player, rng_);
+  if (rate_cap_) {
+    const Kbps cap = rate_cap_(item.player);
+    if (cap > 0.0 && cap < uplink_kbps_) {
+      // WAN bottleneck transit: the packet trickles through the slow hop.
+      prop += transmission_ms(item.packet.size_kbit, cap) -
+              transmission_ms(item.packet.size_kbit, uplink_kbps_);
+    }
+  }
+  PacketDelivery d;
+  d.player = item.player;
+  d.game = item.game;
+  d.segment_id = item.packet.segment_id;
+  d.packet_index = item.packet.index;
+  d.size_kbit = item.packet.size_kbit;
+  d.action_ms = item.action_ms;
+  d.deadline_ms = item.packet.deadline_ms;
+  d.sent_ms = sim_.now();
+  d.arrival_ms = sim_.now() + prop;
+  // Feed the Eq (13) propagation history (as if acknowledged).
+  scheduler_.record_propagation(item.player, prop);
+  on_delivery_(d);
+  pump();
+}
+
+}  // namespace cloudfog::core

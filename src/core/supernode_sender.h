@@ -1,0 +1,121 @@
+// Packet-level supernode sender: serialises packets onto the supernode's
+// uplink under a pluggable discipline and delivers them to players after a
+// sampled propagation delay.
+//
+//   * Discipline::kFifo     — segments transmit in arrival order, no drops
+//                             (the CloudFog/B baseline sender).
+//   * Discipline::kDeadline — the Section III-C deadline-driven scheduler:
+//                             expected-arrival ordering plus Eq (12)–(14)
+//                             tolerance-weighted packet dropping.
+//
+// The sender measures each delivered packet's propagation delay back into
+// the scheduler (the paper's "records the propagation delay of m recently
+// sent packets for each player", Eq 13).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/deadline_scheduler.h"
+#include "sim/simulator.h"
+#include "stream/video.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+/// Report of one packet leaving the supernode and reaching the player.
+struct PacketDelivery {
+  NodeId player = kInvalidNode;
+  game::GameId game = -1;
+  std::uint64_t segment_id = 0;
+  int packet_index = 0;
+  Kbit size_kbit = 0.0;
+  TimeMs action_ms = 0.0;    // t_m of the segment's triggering action
+  TimeMs deadline_ms = 0.0;  // t_a
+  TimeMs sent_ms = 0.0;      // last bit left the uplink
+  TimeMs arrival_ms = 0.0;   // reached the player (meaningless when lost)
+  bool lost = false;         // dropped in the network, never arrived
+  bool on_time() const { return !lost && arrival_ms <= deadline_ms; }
+};
+
+class SupernodeSender {
+ public:
+  enum class Discipline { kFifo, kDeadline };
+
+  /// Samples the propagation delay of one packet to `player`.
+  using PropagationFn = std::function<TimeMs(NodeId player, util::Rng& rng)>;
+  /// Optional per-player WAN bottleneck rate (kbps); <= 0 means none. A
+  /// packet to a capped player takes size/rate extra transit time after
+  /// leaving the uplink — the bottleneck stretches delivery, it does not
+  /// block the shared sender queue.
+  using RateCapFn = std::function<Kbps(NodeId player)>;
+  /// Optional per-player network loss probability in [0, 1).
+  using LossFn = std::function<double(NodeId player)>;
+  /// Observer invoked for every delivered packet.
+  using DeliveryFn = std::function<void(const PacketDelivery&)>;
+
+  SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps, Discipline discipline,
+                  DeadlineSchedulerConfig scheduler_config,
+                  PropagationFn propagation, DeliveryFn on_delivery,
+                  util::Rng rng);
+
+  /// Accepts a rendered segment at simulator time. Under kDeadline the
+  /// scheduler may drop packets of this or earlier segments per Eq (14).
+  void submit(const stream::VideoSegment& segment);
+
+  /// Installs a per-player WAN bottleneck. Call before the first submit.
+  void set_rate_cap(RateCapFn cap) { rate_cap_ = std::move(cap); }
+
+  /// Installs a per-player packet-loss model. Lost packets are reported
+  /// through the delivery observer with lost = true.
+  void set_loss_model(LossFn loss) { loss_ = std::move(loss); }
+
+  Discipline discipline() const { return discipline_; }
+  Kbps uplink_kbps() const { return uplink_kbps_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_submitted() const { return packets_submitted_; }
+  /// Packets dropped by the deadline scheduler (0 under FIFO).
+  std::uint64_t packets_dropped() const;
+  /// Packets lost in the network (set_loss_model).
+  std::uint64_t packets_lost() const { return packets_lost_; }
+
+  /// Exposes the scheduler (kDeadline only) for inspection in tests.
+  const DeadlineScheduler& scheduler() const { return scheduler_; }
+
+  /// Forwards a drop observer to the scheduler (kDeadline only; no drops
+  /// ever occur under FIFO).
+  void set_drop_observer(DeadlineScheduler::DropObserver observer) {
+    scheduler_.set_drop_observer(std::move(observer));
+  }
+
+ private:
+  struct FifoPacket {
+    stream::Packet packet;
+    NodeId player;
+    game::GameId game;
+    TimeMs action_ms;
+  };
+
+  /// Starts transmitting the next packet if the uplink is idle.
+  void pump();
+  void on_transmit_done(const FifoPacket& item);
+
+  sim::Simulator& sim_;
+  Kbps uplink_kbps_;
+  Discipline discipline_;
+  DeadlineScheduler scheduler_;   // used only under kDeadline
+  std::deque<FifoPacket> fifo_;   // used only under kFifo
+  PropagationFn propagation_;
+  RateCapFn rate_cap_;
+  LossFn loss_;
+  DeliveryFn on_delivery_;
+  util::Rng rng_;
+  bool transmitting_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_submitted_ = 0;
+  std::uint64_t packets_lost_ = 0;
+};
+
+}  // namespace cloudfog::core

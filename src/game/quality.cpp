@@ -1,0 +1,45 @@
+#include "game/quality.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::game {
+
+const std::array<QualityLevel, kNumQualityLevels>& quality_table() {
+  static const std::array<QualityLevel, kNumQualityLevels> kTable = {{
+      {1, 288, 216, 300.0, 30.0, 0.6},
+      {2, 384, 216, 500.0, 50.0, 0.7},
+      {3, 640, 480, 800.0, 70.0, 0.8},
+      {4, 720, 486, 1200.0, 90.0, 0.9},
+      {5, 1280, 720, 1800.0, 110.0, 1.0},
+  }};
+  return kTable;
+}
+
+const QualityLevel& quality_for_level(int level) {
+  CF_CHECK_MSG(level >= kMinQualityLevel && level <= kMaxQualityLevel,
+               "quality level out of range");
+  return quality_table()[static_cast<std::size_t>(level - 1)];
+}
+
+int max_level_for_latency(TimeMs latency_ms) {
+  int best = kMinQualityLevel;
+  for (const auto& q : quality_table()) {
+    if (q.latency_requirement_ms <= latency_ms) best = std::max(best, q.level);
+  }
+  return best;
+}
+
+double adjust_up_beta() {
+  double beta = 0.0;
+  const auto& table = quality_table();
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    const double step =
+        (table[i + 1].bitrate_kbps - table[i].bitrate_kbps) / table[i].bitrate_kbps;
+    beta = std::max(beta, step);
+  }
+  return beta;
+}
+
+}  // namespace cloudfog::game

@@ -1,0 +1,47 @@
+// Video quality levels — the paper's Figure 2, verbatim.
+//
+// | level | resolution | bitrate  | latency requirement | latency tolerance |
+// |   5   | 1280x720   | 1800kbps | 110 ms              | 1.0               |
+// |   4   |  720x486   | 1200kbps |  90 ms              | 0.9               |
+// |   3   |  640x480   |  800kbps |  70 ms              | 0.8               |
+// |   2   |  384x216   |  500kbps |  50 ms              | 0.7               |
+// |   1   |  288x216   |  300kbps |  30 ms              | 0.6               |
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace cloudfog::game {
+
+/// One row of the paper's Figure 2.
+struct QualityLevel {
+  int level = 0;             // 1 (lowest) .. 5 (highest)
+  int width = 0;
+  int height = 0;
+  Kbps bitrate_kbps = 0.0;
+  TimeMs latency_requirement_ms = 0.0;
+  double latency_tolerance = 0.0;  // the paper's "latency tolerance degree"
+};
+
+inline constexpr int kMinQualityLevel = 1;
+inline constexpr int kMaxQualityLevel = 5;
+inline constexpr int kNumQualityLevels = 5;
+
+/// The full Figure-2 table, index 0 holding level 1.
+const std::array<QualityLevel, kNumQualityLevels>& quality_table();
+
+/// The row for a level in [1, 5].
+const QualityLevel& quality_for_level(int level);
+
+/// The highest level whose latency requirement is within `latency_ms`
+/// (paper: a 90 ms game should be encoded at level 4). Returns level 1 if
+/// even the lowest level's requirement exceeds `latency_ms`.
+int max_level_for_latency(TimeMs latency_ms);
+
+/// The paper's adjust-up factor beta (Equation 10): the maximum relative
+/// bitrate step between adjacent levels.
+double adjust_up_beta();
+
+}  // namespace cloudfog::game

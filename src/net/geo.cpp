@@ -1,0 +1,128 @@
+#include "net/geo.h"
+
+#include <cmath>
+
+namespace cloudfog::net {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+const std::vector<Metro>& us_metros() {
+  // Top continental-US metro areas; weights are approximate metro
+  // populations (millions) used only as relative sampling weights.
+  static const std::vector<Metro> kMetros = {
+      {"New York, NY", {40.7128, -74.0060}, 19.8},
+      {"Los Angeles, CA", {34.0522, -118.2437}, 13.2},
+      {"Chicago, IL", {41.8781, -87.6298}, 9.5},
+      {"Dallas, TX", {32.7767, -96.7970}, 7.6},
+      {"Houston, TX", {29.7604, -95.3698}, 7.1},
+      {"Washington, DC", {38.9072, -77.0369}, 6.3},
+      {"Philadelphia, PA", {39.9526, -75.1652}, 6.2},
+      {"Miami, FL", {25.7617, -80.1918}, 6.1},
+      {"Atlanta, GA", {33.7490, -84.3880}, 6.0},
+      {"Boston, MA", {42.3601, -71.0589}, 4.9},
+      {"Phoenix, AZ", {33.4484, -112.0740}, 4.8},
+      {"San Francisco, CA", {37.7749, -122.4194}, 4.7},
+      {"Riverside, CA", {33.9806, -117.3755}, 4.6},
+      {"Detroit, MI", {42.3314, -83.0458}, 4.3},
+      {"Seattle, WA", {47.6062, -122.3321}, 4.0},
+      {"Minneapolis, MN", {44.9778, -93.2650}, 3.7},
+      {"San Diego, CA", {32.7157, -117.1611}, 3.3},
+      {"Tampa, FL", {27.9506, -82.4572}, 3.2},
+      {"Denver, CO", {39.7392, -104.9903}, 3.0},
+      {"St. Louis, MO", {38.6270, -90.1994}, 2.8},
+      {"Baltimore, MD", {39.2904, -76.6122}, 2.8},
+      {"Charlotte, NC", {35.2271, -80.8431}, 2.7},
+      {"Orlando, FL", {28.5383, -81.3792}, 2.6},
+      {"San Antonio, TX", {29.4241, -98.4936}, 2.6},
+      {"Portland, OR", {45.5051, -122.6750}, 2.5},
+      {"Sacramento, CA", {38.5816, -121.4944}, 2.4},
+      {"Pittsburgh, PA", {40.4406, -79.9959}, 2.3},
+      {"Las Vegas, NV", {36.1699, -115.1398}, 2.3},
+      {"Austin, TX", {30.2672, -97.7431}, 2.3},
+      {"Cincinnati, OH", {39.1031, -84.5120}, 2.2},
+      {"Kansas City, MO", {39.0997, -94.5786}, 2.2},
+      {"Columbus, OH", {39.9612, -82.9988}, 2.1},
+      {"Indianapolis, IN", {39.7684, -86.1581}, 2.1},
+      {"Cleveland, OH", {41.4993, -81.6944}, 2.0},
+      {"Nashville, TN", {36.1627, -86.7816}, 2.0},
+      {"San Jose, CA", {37.3382, -121.8863}, 1.9},
+      {"Virginia Beach, VA", {36.8529, -75.9780}, 1.8},
+      {"Providence, RI", {41.8240, -71.4128}, 1.7},
+      {"Milwaukee, WI", {43.0389, -87.9065}, 1.6},
+      {"Jacksonville, FL", {30.3322, -81.6557}, 1.6},
+      {"Oklahoma City, OK", {35.4676, -97.5164}, 1.4},
+      {"Raleigh, NC", {35.7796, -78.6382}, 1.4},
+      {"Memphis, TN", {35.1495, -90.0490}, 1.3},
+      {"Richmond, VA", {37.5407, -77.4360}, 1.3},
+      {"New Orleans, LA", {29.9511, -90.0715}, 1.3},
+      {"Louisville, KY", {38.2527, -85.7585}, 1.3},
+      {"Salt Lake City, UT", {40.7608, -111.8910}, 1.2},
+      {"Hartford, CT", {41.7658, -72.6734}, 1.2},
+      {"Buffalo, NY", {42.8864, -78.8784}, 1.1},
+      {"Birmingham, AL", {33.5186, -86.8104}, 1.1},
+      {"Rochester, NY", {43.1566, -77.6088}, 1.1},
+      {"Grand Rapids, MI", {42.9634, -85.6681}, 1.1},
+      {"Tucson, AZ", {32.2226, -110.9747}, 1.0},
+      {"Tulsa, OK", {36.1540, -95.9928}, 1.0},
+      {"Fresno, CA", {36.7378, -119.7871}, 1.0},
+      {"Omaha, NE", {41.2565, -95.9345}, 0.9},
+      {"Albuquerque, NM", {35.0844, -106.6504}, 0.9},
+      {"Albany, NY", {42.6526, -73.7562}, 0.9},
+      {"Boise, ID", {43.6150, -116.2023}, 0.8},
+      {"Des Moines, IA", {41.5868, -93.6250}, 0.7},
+  };
+  return kMetros;
+}
+
+const std::vector<Metro>& us_datacenter_sites() {
+  // Deployment-priority-ordered hub sites; the weight field is unused for
+  // datacenters (they are taken in order).
+  static const std::vector<Metro> kSites = {
+      {"Ashburn, VA", {39.0438, -77.4874}, 0},
+      {"The Dalles, OR", {45.5946, -121.1787}, 0},
+      {"Dallas, TX", {32.8, -96.9}, 0},
+      {"Council Bluffs, IA", {41.2619, -95.8608}, 0},
+      {"Atlanta, GA", {33.75, -84.39}, 0},
+      {"San Jose, CA", {37.24, -121.78}, 0},
+      {"Chicago, IL", {41.85, -88.0}, 0},
+      {"Phoenix, AZ", {33.45, -112.07}, 0},
+      {"Columbus, OH", {39.96, -83.0}, 0},
+      {"Salt Lake City, UT", {40.77, -111.89}, 0},
+      {"Miami, FL", {25.78, -80.19}, 0},
+      {"Seattle, WA", {47.45, -122.3}, 0},
+      {"Denver, CO", {39.74, -104.98}, 0},
+      {"Newark, NJ", {40.73, -74.17}, 0},
+      {"Los Angeles, CA", {34.05, -118.24}, 0},
+      {"Kansas City, MO", {39.1, -94.58}, 0},
+      {"Minneapolis, MN", {44.98, -93.26}, 0},
+      {"Houston, TX", {29.76, -95.37}, 0},
+      {"Boston, MA", {42.36, -71.06}, 0},
+      {"Charlotte, NC", {35.23, -80.84}, 0},
+      {"Las Vegas, NV", {36.17, -115.14}, 0},
+      {"St. Louis, MO", {38.63, -90.2}, 0},
+      {"Nashville, TN", {36.16, -86.78}, 0},
+      {"Portland, OR", {45.51, -122.68}, 0},
+      {"Albany, NY", {42.65, -73.76}, 0},
+  };
+  return kSites;
+}
+
+GeoPoint princeton_coords() { return {40.3573, -74.6672}; }
+
+GeoPoint ucla_coords() { return {34.0689, -118.4452}; }
+
+}  // namespace cloudfog::net

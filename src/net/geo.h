@@ -1,0 +1,46 @@
+// Geographic primitives: WGS-84 points and great-circle distance.
+//
+// The paper's experiments place 10,000 simulated players (PeerSim) and 750
+// testbed hosts (PlanetLab) across the continental US; both our profiles
+// sample host locations from real US metro coordinates, so distances — and
+// hence propagation latencies — have realistic magnitudes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cloudfog::net {
+
+/// A point on the globe, degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// A US metro area used for population-weighted host placement.
+struct Metro {
+  std::string name;
+  GeoPoint center;
+  double population_millions;  // sampling weight
+};
+
+/// Built-in table of major continental-US metros (population-weighted).
+const std::vector<Metro>& us_metros();
+
+/// Real-world cloud datacenter hub sites, in deployment-priority order.
+/// Unlike metros, commercial cloud regions sit in datacenter corridors
+/// (Ashburn, The Dalles, Council Bluffs, ...), not downtown population
+/// centers — which is why nearest-datacenter latencies are nontrivial for
+/// most of the population (the paper's Choy-et-al. motivation).
+const std::vector<Metro>& us_datacenter_sites();
+
+/// Coordinates of the two PlanetLab datacenter hosts named in the paper.
+GeoPoint princeton_coords();  // 128.112.139.43, Princeton University
+GeoPoint ucla_coords();       // 131.179.150.72, UCLA
+
+}  // namespace cloudfog::net

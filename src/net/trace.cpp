@@ -1,0 +1,81 @@
+#include "net/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudfog::net {
+
+std::size_t LatencyTrace::index(NodeId a, NodeId b) const {
+  CF_CHECK_MSG(a < n_ && b < n_, "trace index out of range");
+  return static_cast<std::size_t>(a) * n_ + b;
+}
+
+TimeMs LatencyTrace::one_way_ms(NodeId a, NodeId b) const {
+  return data_[index(a, b)];
+}
+
+void LatencyTrace::set_one_way_ms(NodeId a, NodeId b, TimeMs value) {
+  CF_CHECK_MSG(value >= 0.0, "latency must be non-negative");
+  data_[index(a, b)] = value;
+  data_[index(b, a)] = value;
+}
+
+LatencyTrace LatencyTrace::measure(const Topology& topology, util::Rng& rng) {
+  LatencyTrace trace(topology.size());
+  for (NodeId a = 0; a < topology.size(); ++a) {
+    for (NodeId b = a; b < static_cast<NodeId>(topology.size()); ++b) {
+      if (a == b) {
+        trace.set_one_way_ms(a, b, 0.0);
+      } else {
+        trace.set_one_way_ms(a, b, topology.sample_one_way_ms(a, b, rng));
+      }
+    }
+  }
+  return trace;
+}
+
+void LatencyTrace::save(std::ostream& os) const {
+  os << "cloudfog-latency-trace v1 " << n_ << '\n';
+  for (NodeId a = 0; a < n_; ++a) {
+    for (NodeId b = a; b < n_; ++b) {
+      if (b > a) os << ' ';
+      os << one_way_ms(a, b);
+    }
+    os << '\n';
+  }
+}
+
+LatencyTrace LatencyTrace::load(std::istream& is) {
+  std::string word1, word2;
+  std::size_t n = 0;
+  is >> word1 >> word2 >> n;
+  CF_CHECK_MSG(word1 == "cloudfog-latency-trace" && word2 == "v1",
+               "unrecognised trace header");
+  CF_CHECK_MSG(n > 0, "trace must contain at least one host");
+  LatencyTrace trace(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a; b < n; ++b) {
+      TimeMs v = 0.0;
+      is >> v;
+      CF_CHECK_MSG(static_cast<bool>(is), "truncated trace file");
+      trace.set_one_way_ms(a, b, v);
+    }
+  }
+  return trace;
+}
+
+void LatencyTrace::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  CF_CHECK_MSG(os.good(), "cannot open trace file for writing: " + path);
+  save(os);
+}
+
+LatencyTrace LatencyTrace::load_file(const std::string& path) {
+  std::ifstream is(path);
+  CF_CHECK_MSG(is.good(), "cannot open trace file for reading: " + path);
+  return load(is);
+}
+
+}  // namespace cloudfog::net

@@ -1,0 +1,50 @@
+// Latency traces: dense matrices of measured pairwise one-way latencies.
+//
+// The paper drives its PeerSim experiments with a latency trace collected on
+// PlanetLab. We reproduce that workflow: a trace can be *generated* by
+// sampling the geographic latency model over a topology (playing the role of
+// the measurement campaign), saved to disk, loaded back, and used as the
+// latency source for a simulation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::net {
+
+/// Dense symmetric matrix of one-way latencies between `size()` hosts.
+class LatencyTrace {
+ public:
+  LatencyTrace() = default;
+  explicit LatencyTrace(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+
+  TimeMs one_way_ms(NodeId a, NodeId b) const;
+  void set_one_way_ms(NodeId a, NodeId b, TimeMs value);  // sets both directions
+
+  /// Measures every pair of `topology` once through the latency model with
+  /// per-measurement jitter — the analogue of one ping campaign.
+  static LatencyTrace measure(const Topology& topology, util::Rng& rng);
+
+  /// Text round-trip: header line "cloudfog-latency-trace v1 <n>", then one
+  /// row per line (upper triangle including diagonal).
+  void save(std::ostream& os) const;
+  static LatencyTrace load(std::istream& is);
+
+  void save_file(const std::string& path) const;
+  static LatencyTrace load_file(const std::string& path);
+
+ private:
+  std::size_t index(NodeId a, NodeId b) const;
+
+  std::size_t n_ = 0;
+  std::vector<TimeMs> data_;
+};
+
+}  // namespace cloudfog::net

@@ -1,0 +1,8 @@
+// Forward declaration shared by topology.h and trace.h (trace.h includes
+// topology.h for the measurement constructor; the override hook only needs
+// the name).
+#pragma once
+
+namespace cloudfog::net {
+class LatencyTrace;
+}  // namespace cloudfog::net

@@ -1,0 +1,147 @@
+#include "net/uplink.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudfog::net {
+
+FairShareUplink::FairShareUplink(sim::Simulator& sim, Kbps capacity_kbps)
+    : sim_(sim), capacity_(capacity_kbps), last_update_(sim.now()) {
+  CF_CHECK_MSG(capacity_kbps > 0.0, "uplink capacity must be positive");
+}
+
+FairShareUplink::~FairShareUplink() {
+  if (pending_event_ != sim::kInvalidEvent) sim_.cancel(pending_event_);
+}
+
+Kbps FairShareUplink::current_share() const {
+  return flows_.empty() ? capacity_
+                        : capacity_ / static_cast<double>(flows_.size());
+}
+
+void FairShareUplink::advance() {
+  const TimeMs now = sim_.now();
+  CF_DCHECK(now >= last_update_);
+  if (now == last_update_ || flows_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  const Kbps share = capacity_ / static_cast<double>(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    const Kbit progressed = share * (now - last_update_) / 1000.0;
+    // Record the exact fluid amount delivered when the deadline passed.
+    if (!flow.deadline_recorded && flow.deadline > 0.0 && flow.deadline <= now) {
+      const TimeMs effective = std::max(flow.deadline, last_update_);
+      const Kbit at_deadline = share * (effective - last_update_) / 1000.0;
+      flow.delivered_by_deadline =
+          std::min(flow.size, flow.size - flow.remaining + at_deadline);
+      flow.deadline_recorded = true;
+    }
+    flow.remaining = std::max(0.0, flow.remaining - progressed);
+  }
+  last_update_ = now;
+}
+
+void FairShareUplink::reschedule() {
+  if (pending_event_ != sim::kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = sim::kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+  Kbit min_remaining = std::numeric_limits<Kbit>::max();
+  for (const auto& [id, flow] : flows_)
+    min_remaining = std::min(min_remaining, flow.remaining);
+  const Kbps share = capacity_ / static_cast<double>(flows_.size());
+  const TimeMs eta = min_remaining / share * 1000.0;
+  pending_event_ = sim_.schedule_after(eta, [this] {
+    pending_event_ = sim::kInvalidEvent;
+    advance();
+    complete_finished();
+    reschedule();
+  });
+}
+
+void FairShareUplink::complete_finished() {
+  // Collect first, then fire: callbacks may start new flows on this uplink.
+  std::vector<std::pair<FlowId, Flow>> done;
+  constexpr Kbit kEpsilon = 1e-9;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kEpsilon) {
+      done.emplace_back(it->first, std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [id, flow] : done) {
+    FlowResult result;
+    result.start = flow.start;
+    result.end = sim_.now();
+    result.size = flow.size;
+    result.delivered = flow.size;
+    result.deadline = flow.deadline;
+    if (flow.deadline_recorded) {
+      result.delivered_by_deadline = flow.delivered_by_deadline;
+    } else {
+      // Flow finished before its deadline (or has none): everything on time.
+      result.delivered_by_deadline = flow.size;
+    }
+    total_delivered_ += flow.size;
+    if (flow.on_complete) flow.on_complete(result);
+  }
+}
+
+FairShareUplink::FlowId FairShareUplink::start_flow(Kbit size, TimeMs deadline,
+                                                    CompletionFn on_complete) {
+  CF_CHECK_MSG(size >= 0.0, "flow size must be non-negative");
+  if (size == 0.0) {
+    FlowResult result;
+    result.start = result.end = sim_.now();
+    result.deadline = deadline;
+    if (on_complete) on_complete(result);
+    return kInvalidFlow;
+  }
+  advance();
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.start = sim_.now();
+  flow.size = size;
+  flow.remaining = size;
+  flow.deadline = deadline;
+  if (deadline > 0.0 && deadline <= sim_.now()) {
+    // Deadline already missed at start: nothing can arrive on time.
+    flow.deadline_recorded = true;
+    flow.delivered_by_deadline = 0.0;
+  }
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  reschedule();
+  return id;
+}
+
+bool FairShareUplink::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance();
+  // Re-find: advance() does not mutate the map structure, but be explicit.
+  it = flows_.find(id);
+  CF_DCHECK(it != flows_.end());
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  FlowResult result;
+  result.start = flow.start;
+  result.end = sim_.now();
+  result.size = flow.size;
+  result.delivered = flow.size - flow.remaining;
+  result.deadline = flow.deadline;
+  result.delivered_by_deadline =
+      flow.deadline_recorded ? flow.delivered_by_deadline : result.delivered;
+  result.cancelled = true;
+  reschedule();
+  if (flow.on_complete) flow.on_complete(result);
+  return true;
+}
+
+}  // namespace cloudfog::net

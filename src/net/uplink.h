@@ -1,0 +1,101 @@
+// Flow-level (fluid) fair-share uplink model.
+//
+// A host's uplink of capacity C kbps is shared equally among its active
+// flows (processor sharing — the standard fluid approximation of TCP fair
+// sharing on a single bottleneck). Between mutations (flow start/finish/
+// cancel) every flow progresses at C / n, so completion times are exact and
+// the model scales to thousands of concurrent transfers.
+//
+// Each flow may carry a deadline; because progress is piecewise linear, the
+// amount delivered by the deadline is computed exactly and reported in the
+// completion callback — this is what the playback-continuity metric (paper
+// Figure 9) consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace cloudfog::net {
+
+/// Result handed to a flow's completion (or cancellation) callback.
+struct FlowResult {
+  TimeMs start = 0.0;
+  TimeMs end = 0.0;
+  Kbit size = 0.0;
+  Kbit delivered = 0.0;             // == size unless cancelled
+  TimeMs deadline = 0.0;            // copied from the request (0 = none)
+  Kbit delivered_by_deadline = 0.0; // exact fluid amount at the deadline
+  bool cancelled = false;
+
+  /// Fraction of the flow's data that arrived by its deadline.
+  double on_time_fraction() const {
+    return size > 0.0 ? delivered_by_deadline / size : 1.0;
+  }
+};
+
+/// One sender uplink with processor-sharing bandwidth allocation.
+class FairShareUplink {
+ public:
+  using FlowId = std::uint64_t;
+  using CompletionFn = std::function<void(const FlowResult&)>;
+  static constexpr FlowId kInvalidFlow = 0;
+
+  /// `capacity_kbps` > 0. The uplink registers its own events on `sim`.
+  FairShareUplink(sim::Simulator& sim, Kbps capacity_kbps);
+  ~FairShareUplink();
+
+  FairShareUplink(const FairShareUplink&) = delete;
+  FairShareUplink& operator=(const FairShareUplink&) = delete;
+
+  /// Starts a flow of `size` kbit; `deadline` of 0 means none. The callback
+  /// fires exactly once, at completion or cancellation. Zero-size flows
+  /// complete immediately (callback runs inline).
+  FlowId start_flow(Kbit size, TimeMs deadline, CompletionFn on_complete);
+
+  /// Cancels an in-flight flow; its callback fires with cancelled=true and
+  /// the data delivered so far. Returns false for unknown/finished flows.
+  bool cancel_flow(FlowId id);
+
+  Kbps capacity() const { return capacity_; }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Bandwidth each active flow currently receives (capacity if idle).
+  Kbps current_share() const;
+
+  /// Total kilobits fully delivered by completed flows.
+  Kbit total_delivered() const { return total_delivered_; }
+
+ private:
+  struct Flow {
+    TimeMs start = 0.0;
+    Kbit size = 0.0;
+    Kbit remaining = 0.0;
+    TimeMs deadline = 0.0;
+    bool deadline_recorded = false;
+    Kbit delivered_by_deadline = 0.0;
+    CompletionFn on_complete;
+  };
+
+  /// Advances all flows to now() at the share that held since last_update_.
+  void advance();
+
+  /// (Re)schedules the completion event for the earliest-finishing flow.
+  void reschedule();
+
+  /// Fires completions for flows whose remaining has reached zero.
+  void complete_finished();
+
+  sim::Simulator& sim_;
+  Kbps capacity_;
+  TimeMs last_update_ = 0.0;
+  FlowId next_id_ = 1;
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  sim::EventId pending_event_ = sim::kInvalidEvent;
+  Kbit total_delivered_ = 0.0;
+};
+
+}  // namespace cloudfog::net

@@ -1,0 +1,64 @@
+// Player population: per-player static attributes drawn from the paper's
+// distributions (Section IV):
+//   * node capacities ~ Pareto(mean 5, shape alpha = 1) — for a supernode,
+//     the maximum number of normal nodes it can support;
+//   * 10% of players are supernode-capable (simulation profile);
+//   * daily play time: 50% of players in (0,2] h, 30% in (2,5] h,
+//     20% in (5,24] h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::p2p {
+
+/// Daily play-time class (paper cites [33]).
+enum class PlayTimeClass : std::uint8_t { kShort, kMedium, kLong };
+
+/// One player's static attributes. Dynamic session state lives in the churn
+/// process / gaming systems, not here.
+struct PlayerProfile {
+  NodeId host = kInvalidNode;   // topology host id of this player
+  double capacity = 0.0;        // Pareto sample: supportable normal nodes
+  bool supernode_capable = false;
+  PlayTimeClass play_class = PlayTimeClass::kShort;
+  double daily_play_hours = 0.0;
+};
+
+/// Parameters for building a population.
+struct PopulationConfig {
+  double supernode_capable_fraction = 0.10;  // simulation profile
+  double capacity_mean = 5.0;                // Pareto mean
+  double capacity_alpha = 1.0;               // Pareto shape
+  double short_fraction = 0.5;               // (0, 2] h/day
+  double medium_fraction = 0.3;              // (2, 5] h/day
+  // remaining fraction: (5, 24] h/day
+};
+
+/// The set of players; indexable by position (not by host id).
+class Population {
+ public:
+  /// Builds profiles for `player_hosts` using `config`; draws from `rng`.
+  Population(std::vector<NodeId> player_hosts, const PopulationConfig& config,
+             util::Rng& rng);
+
+  std::size_t size() const { return players_.size(); }
+  const PlayerProfile& player(std::size_t i) const;
+  const std::vector<PlayerProfile>& players() const { return players_; }
+
+  /// Positions of all supernode-capable players.
+  std::vector<std::size_t> supernode_capable_indices() const;
+
+  /// Expected fraction of the population online at a uniformly random
+  /// instant (sum of daily play hours / 24 / population) — used to size
+  /// steady-state experiments.
+  double expected_online_fraction() const;
+
+ private:
+  std::vector<PlayerProfile> players_;
+};
+
+}  // namespace cloudfog::p2p

@@ -1,0 +1,68 @@
+#include "p2p/social_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::p2p {
+
+SocialGraph::SocialGraph(std::size_t n, const SocialGraphConfig& config,
+                         util::Rng& rng)
+    : adjacency_(n) {
+  if (n < 2) return;
+  CF_CHECK_MSG(config.min_friends >= 1, "min_friends must be at least 1");
+  CF_CHECK_MSG(config.min_friends <= config.max_friends, "friend bounds");
+
+  // Draw target degrees from the power law, then match stubs randomly.
+  std::vector<std::size_t> stubs;
+  const std::size_t max_deg = std::min(config.max_friends, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto deg = static_cast<std::size_t>(rng.power_law(
+        config.min_friends, max_deg, config.skew));
+    for (std::size_t s = 0; s < deg; ++s) stubs.push_back(i);
+  }
+  rng.shuffle(stubs);
+
+  // Pair consecutive stubs; drop self-loops and duplicates (standard
+  // configuration-model practice; the loss is a vanishing fraction).
+  auto connected = [&](std::size_t a, std::size_t b) {
+    const auto& fa = adjacency_[a];
+    return std::find(fa.begin(), fa.end(), b) != fa.end();
+  };
+  for (std::size_t s = 0; s + 1 < stubs.size(); s += 2) {
+    const std::size_t a = stubs[s], b = stubs[s + 1];
+    if (a == b || connected(a, b)) continue;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+
+  // Guarantee the minimum degree: attach isolated players to random peers.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (adjacency_[i].size() < config.min_friends) {
+      const std::size_t j = rng.index(n);
+      if (j == i || connected(i, j)) continue;
+      adjacency_[i].push_back(j);
+      adjacency_[j].push_back(i);
+    }
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+const std::vector<std::size_t>& SocialGraph::friends(std::size_t player) const {
+  CF_CHECK_MSG(player < adjacency_.size(), "player index out of range");
+  return adjacency_[player];
+}
+
+bool SocialGraph::are_friends(std::size_t a, std::size_t b) const {
+  const auto& fa = friends(a);
+  return std::binary_search(fa.begin(), fa.end(), b);
+}
+
+double SocialGraph::mean_degree() const {
+  if (adjacency_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return static_cast<double>(total) / static_cast<double>(adjacency_.size());
+}
+
+}  // namespace cloudfog::p2p

@@ -1,0 +1,41 @@
+// Social graph among players. The paper: "The number of friends for each
+// player follows power-law distribution with skew factor of 0.5" (citing a
+// Facebook measurement study). We realise target degrees with a
+// configuration-model wiring pass (random stub matching, self-loops and
+// duplicate edges rejected best-effort), which preserves the degree
+// distribution — the only property the experiments consume, via
+// friend-driven game selection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cloudfog::p2p {
+
+struct SocialGraphConfig {
+  double skew = 0.5;          // power-law exponent of the degree distribution
+  std::size_t min_friends = 1;
+  std::size_t max_friends = 50;
+};
+
+/// Undirected friendship graph over `n` players (indices 0..n-1).
+class SocialGraph {
+ public:
+  SocialGraph(std::size_t n, const SocialGraphConfig& config, util::Rng& rng);
+
+  std::size_t size() const { return adjacency_.size(); }
+  const std::vector<std::size_t>& friends(std::size_t player) const;
+  std::size_t degree(std::size_t player) const { return friends(player).size(); }
+
+  bool are_friends(std::size_t a, std::size_t b) const;
+
+  /// Mean degree over all players.
+  double mean_degree() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace cloudfog::p2p

@@ -1,0 +1,90 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace cloudfog::sim {
+
+EventId Simulator::push(TimeMs when, std::shared_ptr<Entry> entry) {
+  const EventId id = next_id_++;
+  live_[id] = entry;
+  queue_.push(HeapItem{when, next_seq_++, id, std::move(entry)});
+  return id;
+}
+
+EventId Simulator::schedule_at(TimeMs when, Callback fn) {
+  CF_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
+  auto entry = std::make_shared<Entry>();
+  entry->fn = std::move(fn);
+  return push(when, std::move(entry));
+}
+
+EventId Simulator::schedule_after(TimeMs delay, Callback fn) {
+  CF_CHECK_MSG(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_every(TimeMs first_delay, TimeMs period, Callback fn) {
+  CF_CHECK_MSG(first_delay >= 0.0, "first_delay must be non-negative");
+  CF_CHECK_MSG(period > 0.0, "period must be positive");
+  CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
+  auto entry = std::make_shared<Entry>();
+  entry->fn = std::move(fn);
+  entry->period = period;
+  return push(now_ + first_delay, std::move(entry));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  auto entry = it->second.lock();
+  live_.erase(it);
+  if (!entry || entry->cancelled) return false;
+  entry->cancelled = true;
+  return true;
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    HeapItem item = queue_.top();
+    queue_.pop();
+    if (item.entry->cancelled) continue;  // tombstone
+    CF_DCHECK(item.when >= now_);
+    now_ = item.when;
+    if (item.entry->period >= 0.0) {
+      // Re-arm the periodic event under the same handle before running it so
+      // the callback can cancel it.
+      queue_.push(HeapItem{now_ + item.entry->period, next_seq_++, item.id,
+                           item.entry});
+      ++executed_;
+      item.entry->fn();
+    } else {
+      live_.erase(item.id);
+      ++executed_;
+      item.entry->fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+void Simulator::run_until(TimeMs horizon) {
+  CF_CHECK_MSG(horizon >= now_, "horizon must not precede current time");
+  while (!queue_.empty()) {
+    // Peek through tombstones to find the next live event time.
+    while (!queue_.empty() && queue_.top().entry->cancelled) queue_.pop();
+    if (queue_.empty()) break;
+    if (queue_.top().when > horizon) break;
+    fire_next();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void Simulator::run_all() {
+  while (fire_next()) {
+  }
+}
+
+}  // namespace cloudfog::sim

@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulation engine — the substrate standing in
+// for the paper's PeerSim harness.
+//
+// Properties the experiments rely on:
+//   * Events at equal timestamps fire in scheduling order (a monotone
+//     sequence number breaks ties), so runs are deterministic.
+//   * Events can be cancelled by handle (used by churn: a node leaving
+//     cancels its pending streaming events).
+//   * Periodic events reschedule themselves until cancelled or the horizon
+//     is reached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace cloudfog::sim {
+
+/// Opaque handle identifying a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in milliseconds.
+  TimeMs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (>= now()). Returns a handle.
+  EventId schedule_at(TimeMs when, Callback fn);
+
+  /// Schedules `fn` after `delay` milliseconds (>= 0).
+  EventId schedule_after(TimeMs delay, Callback fn);
+
+  /// Schedules `fn` every `period` ms starting at now() + `first_delay`.
+  /// The callback keeps firing until the returned handle is cancelled.
+  EventId schedule_every(TimeMs first_delay, TimeMs period, Callback fn);
+
+  /// Cancels a pending event. Returns true if the event existed and was
+  /// still pending. Cancelling an already-fired or invalid handle is a
+  /// harmless no-op returning false.
+  bool cancel(EventId id);
+
+  /// Runs a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue empties or simulated time would exceed
+  /// `horizon`; the clock is left at min(horizon, last event time).
+  void run_until(TimeMs horizon);
+
+  /// Runs until the queue is empty.
+  void run_all();
+
+  /// Number of events still pending (including cancelled tombstones not yet
+  /// popped — an implementation detail acceptable for monitoring).
+  std::size_t pending() const { return live_.size(); }
+
+  /// Total events executed since construction (tombstones excluded).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Callback fn;
+    TimeMs period = -1.0;  // >= 0 means periodic
+    bool cancelled = false;
+  };
+
+  struct HeapItem {
+    TimeMs when;
+    std::uint64_t seq;
+    EventId id;
+    std::shared_ptr<Entry> entry;
+    bool operator>(const HeapItem& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  EventId push(TimeMs when, std::shared_ptr<Entry> entry);
+  bool fire_next();
+
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::weak_ptr<Entry>> live_;
+};
+
+}  // namespace cloudfog::sim

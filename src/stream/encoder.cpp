@@ -1,0 +1,58 @@
+#include "stream/encoder.h"
+
+#include "util/check.h"
+
+namespace cloudfog::stream {
+
+EncoderModel::EncoderModel(EncoderConfig config, int initial_level)
+    : config_(config), active_level_(initial_level), pending_level_(initial_level) {
+  CF_CHECK_MSG(config.gop_length >= 1, "GOP must contain at least one frame");
+  CF_CHECK_MSG(config.i_frame_weight >= 1.0,
+               "I-frames cannot be smaller than P-frames");
+  CF_CHECK_MSG(config.residual_sigma >= 0.0, "sigma must be non-negative");
+  CF_CHECK_MSG(config.fps > 0.0, "fps must be positive");
+  (void)game::quality_for_level(initial_level);  // validates the level
+}
+
+Kbit EncoderModel::mean_frame_kbit(int level) const {
+  return game::quality_for_level(level).bitrate_kbps / config_.fps;
+}
+
+int EncoderModel::frames_to_gop_boundary() const {
+  const auto pos = static_cast<int>(frame_counter_ %
+                                    static_cast<std::uint64_t>(config_.gop_length));
+  return pos == 0 ? 0 : config_.gop_length - pos;
+}
+
+int EncoderModel::request_level(int level) {
+  (void)game::quality_for_level(level);  // validates
+  pending_level_ = level;
+  return frames_to_gop_boundary();
+}
+
+EncoderModel::Frame EncoderModel::next_frame(util::Rng& rng) {
+  const bool is_i = frame_counter_ %
+                        static_cast<std::uint64_t>(config_.gop_length) ==
+                    0;
+  if (is_i) active_level_ = pending_level_;  // actuate at the GOP boundary
+
+  // Normaliser so the GOP's total matches gop_length * mean frame size:
+  // one I-frame of weight w plus (g-1) P-frames of weight 1.
+  const double g = static_cast<double>(config_.gop_length);
+  const double normaliser = (config_.i_frame_weight + (g - 1.0)) / g;
+  const double weight = is_i ? config_.i_frame_weight : 1.0;
+  double size = mean_frame_kbit(active_level_) * weight / normaliser;
+  if (config_.residual_sigma > 0.0) {
+    const double sigma = config_.residual_sigma;
+    size *= rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+
+  Frame frame;
+  frame.size_kbit = size;
+  frame.is_i_frame = is_i;
+  frame.level = active_level_;
+  frame.index = frame_counter_++;
+  return frame;
+}
+
+}  // namespace cloudfog::stream

@@ -1,0 +1,41 @@
+#include "stream/queued_sender.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::stream {
+
+Kbit SendSchedule::sent_by(TimeMs t, Kbit size) const {
+  if (t >= end) return size;  // covers zero-duration transfers at t == end
+  if (t <= start) return 0.0;
+  return size * (t - start) / (end - start);
+}
+
+QueuedSender::QueuedSender(Kbps capacity_kbps) : capacity_(capacity_kbps) {
+  CF_CHECK_MSG(capacity_kbps > 0.0, "sender capacity must be positive");
+}
+
+SendSchedule QueuedSender::enqueue(TimeMs now, Kbit size_kbit, Kbps rate_cap_kbps) {
+  CF_CHECK_MSG(now >= last_enqueue_, "enqueue times must be non-decreasing");
+  CF_CHECK_MSG(size_kbit >= 0.0, "segment size must be non-negative");
+  last_enqueue_ = now;
+  const Kbps rate = rate_cap_kbps > 0.0 ? std::min(capacity_, rate_cap_kbps)
+                                        : capacity_;
+  SendSchedule s;
+  s.enqueued = now;
+  s.start = std::max(now, free_at_);
+  s.end = s.start + transmission_ms(size_kbit, rate);
+  free_at_ = s.end;
+  ++segments_;
+  total_kbit_ += size_kbit;
+  return s;
+}
+
+TimeMs QueuedSender::busy_until(TimeMs now) const { return std::max(now, free_at_); }
+
+Kbit QueuedSender::backlog_kbit(TimeMs now) const {
+  return std::max(0.0, (free_at_ - now) / 1000.0 * capacity_);
+}
+
+}  // namespace cloudfog::stream

@@ -1,0 +1,62 @@
+// Fluid FIFO sender queue — the paper's "single queuing buffer to send out
+// video segments" ([23], Section III-C), in its baseline first-come-first-
+// served form. Used by the Cloud and EdgeCloud baselines and by CloudFog/B.
+//
+// The queue is fluid: a segment of size s enqueued at time t starts
+// transmitting when the link frees up and occupies the link for s / C.
+// Everything is O(1) arithmetic per segment, which is what lets the
+// system-wide experiments run at the paper's full 10,000-player scale.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace cloudfog::stream {
+
+/// Transmission schedule of one enqueued segment.
+struct SendSchedule {
+  TimeMs enqueued = 0.0;  // when the segment entered the buffer
+  TimeMs start = 0.0;     // first bit leaves the sender
+  TimeMs end = 0.0;       // last bit leaves the sender
+  /// Queuing delay l_q (Equation 12 component): wait before transmission.
+  TimeMs queuing_ms() const { return start - enqueued; }
+  /// Transmission time l_t (Equation 12 component).
+  TimeMs transmission_ms() const { return end - start; }
+  /// Kilobits sent by absolute time `t` for a segment of `size` kbit
+  /// (piecewise linear between start and end).
+  Kbit sent_by(TimeMs t, Kbit size) const;
+};
+
+/// FIFO fluid sender with fixed uplink capacity (kbps).
+class QueuedSender {
+ public:
+  explicit QueuedSender(Kbps capacity_kbps);
+
+  Kbps capacity() const { return capacity_; }
+
+  /// Enqueues a segment of `size_kbit` at time `now` (must not precede the
+  /// previous enqueue — callers drive it from simulator time). Returns its
+  /// transmission schedule. `rate_cap_kbps` > 0 additionally limits this
+  /// segment's serialization rate (per-flow WAN throughput cap); the link
+  /// stays occupied for the capped duration.
+  SendSchedule enqueue(TimeMs now, Kbit size_kbit, Kbps rate_cap_kbps = 0.0);
+
+  /// The time at which the link becomes idle (== now when idle).
+  TimeMs busy_until(TimeMs now) const;
+
+  /// Current backlog, in kilobits, still to be transmitted at `now`.
+  Kbit backlog_kbit(TimeMs now) const;
+
+  std::uint64_t segments_sent() const { return segments_; }
+  Kbit total_enqueued_kbit() const { return total_kbit_; }
+
+ private:
+  Kbps capacity_;
+  TimeMs free_at_ = 0.0;
+  TimeMs last_enqueue_ = 0.0;
+  std::uint64_t segments_ = 0;
+  Kbit total_kbit_ = 0.0;
+};
+
+}  // namespace cloudfog::stream

@@ -1,0 +1,85 @@
+#include "stream/receiver_buffer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::stream {
+
+namespace {
+/// EWMA smoothing weight for the download-rate estimate.
+constexpr double kRateAlpha = 0.3;
+}  // namespace
+
+ReceiverBuffer::ReceiverBuffer(Kbps playback_rate_kbps)
+    : playback_rate_(playback_rate_kbps) {
+  CF_CHECK_MSG(playback_rate_kbps > 0.0, "playback rate must be positive");
+}
+
+void ReceiverBuffer::settle(TimeMs now) {
+  if (!started_) {
+    start_time_ = last_settle_ = now;
+    started_ = true;
+    return;
+  }
+  CF_CHECK_MSG(now >= last_settle_, "time must be monotone");
+  TimeMs remaining = now - last_settle_;
+  if (remaining > 0.0) {
+    // Drain until empty, then stall for the rest of the interval.
+    const TimeMs drain_time = buffered_ / playback_rate_ * 1000.0;
+    if (drain_time >= remaining) {
+      buffered_ -= playback_rate_ * remaining / 1000.0;
+      if (stalled_) stalled_ = false;
+    } else {
+      buffered_ = 0.0;
+      const TimeMs stalled_for = remaining - drain_time;
+      if (!stalled_) {
+        ++stall_count_;
+        stalled_ = true;
+      }
+      stall_ms_ += stalled_for;
+    }
+  }
+  last_settle_ = now;
+}
+
+void ReceiverBuffer::on_arrival(TimeMs now, Kbit size_kbit) {
+  CF_CHECK_MSG(size_kbit >= 0.0, "arrival size must be non-negative");
+  settle(now);
+  if (saw_arrival_ && now > last_arrival_) {
+    const Kbps instant = size_kbit / (now - last_arrival_) * 1000.0;
+    download_rate_ = kRateAlpha * instant + (1.0 - kRateAlpha) * download_rate_;
+  } else if (!saw_arrival_) {
+    download_rate_ = playback_rate_;  // neutral prior until measured
+  }
+  saw_arrival_ = true;
+  last_arrival_ = now;
+  total_arrived_ += size_kbit;
+  buffered_ += size_kbit;
+  if (buffered_ > 0.0) stalled_ = false;
+}
+
+void ReceiverBuffer::set_playback_rate(TimeMs now, Kbps rate_kbps) {
+  CF_CHECK_MSG(rate_kbps > 0.0, "playback rate must be positive");
+  settle(now);
+  playback_rate_ = rate_kbps;
+}
+
+Kbit ReceiverBuffer::buffered_kbit(TimeMs now) {
+  settle(now);
+  return buffered_;
+}
+
+double ReceiverBuffer::buffered_segments(TimeMs now, Kbit tau_kbit) {
+  CF_CHECK_MSG(tau_kbit > 0.0, "segment size tau must be positive");
+  return buffered_kbit(now) / tau_kbit;
+}
+
+double ReceiverBuffer::continuity(TimeMs now) {
+  if (!started_ || now <= start_time_) return 1.0;
+  settle(now);
+  const TimeMs elapsed = now - start_time_;
+  return std::clamp(1.0 - stall_ms_ / elapsed, 0.0, 1.0);
+}
+
+}  // namespace cloudfog::stream

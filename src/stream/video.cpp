@@ -1,0 +1,51 @@
+#include "stream/video.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudfog::stream {
+
+int packet_count(Kbit size_kbit) {
+  CF_CHECK_MSG(size_kbit >= 0.0, "segment size must be non-negative");
+  if (size_kbit == 0.0) return 0;
+  return static_cast<int>(std::ceil(size_kbit / kPacketKbit));
+}
+
+std::vector<Packet> packetize(const VideoSegment& segment) {
+  const int n = packet_count(segment.size_kbit);
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(n));
+  Kbit remaining = segment.size_kbit;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.segment_id = segment.id;
+    p.index = i;
+    p.size_kbit = std::min(kPacketKbit, remaining);
+    p.deadline_ms = segment.deadline_ms;
+    remaining -= p.size_kbit;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+VideoSegment SegmentFactory::make(NodeId player, game::GameId game_id,
+                                  int quality_level, TimeMs duration_ms,
+                                  TimeMs action_time_ms) {
+  CF_CHECK_MSG(duration_ms > 0.0, "segment duration must be positive");
+  const game::GameProfile& profile = game::game_by_id(game_id);
+  const game::QualityLevel& q = game::quality_for_level(quality_level);
+  VideoSegment s;
+  s.id = next_id_++;
+  s.player = player;
+  s.game = game_id;
+  s.quality_level = quality_level;
+  s.duration_ms = duration_ms;
+  s.size_kbit = q.bitrate_kbps * duration_ms / 1000.0;
+  s.action_time_ms = action_time_ms;
+  s.deadline_ms = action_time_ms + profile.latency_requirement_ms;
+  s.loss_tolerance = profile.loss_tolerance;
+  return s;
+}
+
+}  // namespace cloudfog::stream

@@ -1,0 +1,71 @@
+// Video primitives: segments and packets.
+//
+// A supernode renders game video at 30 fps (the paper's OnLive setting) and
+// groups frames into segments — the unit a sender enqueues and a deadline is
+// attached to. A segment triggered by a player action at time t_m must reach
+// the player by t_a = t_m + L~_r (the game's response latency requirement).
+// Segments split into network packets (1500-byte MTU) for the packet-level
+// experiments (paper Figures 10 and 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.h"
+#include "game/quality.h"
+#include "util/types.h"
+
+namespace cloudfog::stream {
+
+/// MTU-sized packet payload: 1500 bytes = 12 kbit.
+inline constexpr Kbit kPacketKbit = 12.0;
+
+/// Default frames per second (OnLive's service rate, paper Section IV).
+inline constexpr double kDefaultFps = 30.0;
+
+/// One video segment to stream to one player.
+struct VideoSegment {
+  std::uint64_t id = 0;
+  NodeId player = kInvalidNode;
+  game::GameId game = -1;
+  int quality_level = 0;
+  TimeMs duration_ms = 0.0;   // wall-clock video time the segment covers
+  Kbit size_kbit = 0.0;       // bitrate x duration
+  TimeMs action_time_ms = 0.0;  // t_m: the triggering action / frame due time
+  TimeMs deadline_ms = 0.0;     // t_a = t_m + latency requirement
+  double loss_tolerance = 0.0;  // L~_t of the segment's game
+};
+
+/// One packet of a segment.
+struct Packet {
+  std::uint64_t segment_id = 0;
+  int index = 0;          // position within the segment
+  Kbit size_kbit = 0.0;   // last packet may be short
+  TimeMs deadline_ms = 0.0;
+  bool dropped = false;
+};
+
+/// Number of packets a segment of `size_kbit` splits into (at least 1 for a
+/// non-empty segment).
+int packet_count(Kbit size_kbit);
+
+/// Splits a segment into MTU packets.
+std::vector<Packet> packetize(const VideoSegment& segment);
+
+/// Creates segments with monotonically increasing ids.
+class SegmentFactory {
+ public:
+  /// Builds a segment for `player` playing `game_id`, encoded at
+  /// `quality_level`, covering `duration_ms` of video, triggered at
+  /// `action_time_ms`. The deadline and loss tolerance come from the game
+  /// profile; size = level bitrate x duration.
+  VideoSegment make(NodeId player, game::GameId game_id, int quality_level,
+                    TimeMs duration_ms, TimeMs action_time_ms);
+
+  std::uint64_t segments_created() const { return next_id_ - 1; }
+
+ private:
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace cloudfog::stream

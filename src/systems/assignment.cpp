@@ -1,0 +1,140 @@
+#include "systems/assignment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cloudfog::systems {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kCloud: return "Cloud";
+    case SystemKind::kEdgeCloud: return "EdgeCloud";
+    case SystemKind::kCloudFogB: return "CloudFog/B";
+    case SystemKind::kCloudFogAdapt: return "CloudFog-adapt";
+    case SystemKind::kCloudFogSchedule: return "CloudFog-schedule";
+    case SystemKind::kCloudFogA: return "CloudFog/A";
+  }
+  return "?";
+}
+
+bool uses_supernodes(SystemKind kind) {
+  return kind == SystemKind::kCloudFogB || kind == SystemKind::kCloudFogAdapt ||
+         kind == SystemKind::kCloudFogSchedule || kind == SystemKind::kCloudFogA;
+}
+
+bool uses_adaptation(SystemKind kind) {
+  return kind == SystemKind::kCloudFogAdapt || kind == SystemKind::kCloudFogA;
+}
+
+bool uses_scheduling(SystemKind kind) {
+  return kind == SystemKind::kCloudFogSchedule || kind == SystemKind::kCloudFogA;
+}
+
+std::size_t AssignmentPlan::supernode_supported() const {
+  return static_cast<std::size_t>(
+      std::count_if(players.begin(), players.end(), [](const PlayerAssignment& p) {
+        return p.type == ServerType::kSupernode;
+      }));
+}
+
+std::size_t AssignmentPlan::edge_supported() const {
+  return static_cast<std::size_t>(
+      std::count_if(players.begin(), players.end(), [](const PlayerAssignment& p) {
+        return p.type == ServerType::kEdge;
+      }));
+}
+
+std::size_t AssignmentPlan::cloud_supported() const {
+  return players.size() - supernode_supported() - edge_supported();
+}
+
+AssignmentPlan assign_players(SystemKind kind, const Scenario& scenario,
+                              const std::vector<std::size_t>& active_players,
+                              util::Rng& rng) {
+  const net::Topology& topo = scenario.topology();
+  const std::vector<NodeId> dcs = scenario.datacenters();
+  CF_CHECK_MSG(!dcs.empty(), "scenario has no datacenters");
+
+  AssignmentPlan plan;
+  plan.kind = kind;
+  plan.players.reserve(active_players.size());
+
+  // CloudFog: build the cloud-side supernode table.
+  core::SupernodeManager manager(topo, core::SupernodeManagerConfig{},
+                                 rng.fork("probe"));
+  std::unordered_map<NodeId, std::size_t> supernode_pop;  // host -> pop index
+  if (uses_supernodes(kind)) {
+    for (std::size_t sn : scenario.supernode_players()) {
+      const NodeId host = scenario.player_host(sn);
+      manager.add_supernode(host, scenario.supernode_capacity(sn),
+                            scenario.supernode_uplink_kbps(sn));
+      supernode_pop.emplace(host, sn);
+    }
+  }
+
+  // Edge capacity tracking.
+  const std::vector<NodeId> edges = scenario.edge_servers();
+  std::unordered_map<NodeId, std::size_t> edge_load;
+
+  // Players are processed in randomized order: capacity contention then has
+  // no bias toward low population indices.
+  std::vector<std::size_t> order = active_players;
+  rng.shuffle(order);
+
+  std::unordered_map<NodeId, bool> supernode_active;
+  for (std::size_t pop_index : order) {
+    const NodeId host = scenario.player_host(pop_index);
+    PlayerAssignment pa;
+    pa.pop_index = pop_index;
+    pa.home_dc = topo.nearest(host, dcs);
+
+    bool assigned = false;
+    if (uses_supernodes(kind) && manager.supernode_count() > 0) {
+      const game::GameProfile& profile =
+          game::game_by_id(scenario.player_game(pop_index));
+      const core::Assignment a =
+          manager.assign(host, profile.latency_requirement_ms);
+      if (!a.direct_to_cloud()) {
+        pa.server = a.supernode;
+        pa.type = ServerType::kSupernode;
+        pa.stream_one_way_ms = topo.expected_server_one_way_ms(a.supernode, host);
+        supernode_active[a.supernode] = true;
+        assigned = true;
+      }
+    } else if (kind == SystemKind::kEdgeCloud && !edges.empty()) {
+      const NodeId best_edge = topo.nearest(host, edges);
+      const TimeMs edge_lat = topo.expected_server_one_way_ms(best_edge, host);
+      const TimeMs dc_lat = topo.expected_one_way_ms(host, pa.home_dc);
+      if (edge_lat < dc_lat &&
+          edge_load[best_edge] < scenario.params().edge_capacity) {
+        pa.server = best_edge;
+        pa.type = ServerType::kEdge;
+        pa.stream_one_way_ms = edge_lat;
+        ++edge_load[best_edge];
+        assigned = true;
+      }
+    }
+    if (!assigned) {
+      pa.server = pa.home_dc;
+      pa.type = ServerType::kDatacenter;
+      pa.stream_one_way_ms = topo.expected_one_way_ms(host, pa.home_dc);
+    }
+    plan.players.push_back(pa);
+  }
+
+  // Stable output order (by population index) regardless of shuffle.
+  std::sort(plan.players.begin(), plan.players.end(),
+            [](const PlayerAssignment& a, const PlayerAssignment& b) {
+              return a.pop_index < b.pop_index;
+            });
+
+  for (const auto& [host, active] : supernode_active) {
+    if (active) plan.active_supernodes.push_back(supernode_pop.at(host));
+  }
+  std::sort(plan.active_supernodes.begin(), plan.active_supernodes.end());
+  return plan;
+}
+
+}  // namespace cloudfog::systems

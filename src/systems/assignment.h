@@ -1,0 +1,70 @@
+// Player-to-server assignment for each system under comparison.
+//
+//   * Cloud      — every player streams from its nearest datacenter
+//                  (the current cloud gaming model, e.g. GamingAnywhere).
+//   * EdgeCloud  — extra full-capability edge servers take over players for
+//                  whom they are closer than any datacenter, up to their
+//                  capacity; everyone else stays on the cloud.
+//   * CloudFog   — the Section III-A3 supernode assignment: players attach
+//                  to a probed, qualified, capacity-available supernode;
+//                  otherwise they connect directly to the cloud.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/supernode_manager.h"
+#include "systems/scenario.h"
+#include "util/types.h"
+
+namespace cloudfog::systems {
+
+/// Which system serves the players.
+enum class SystemKind : std::uint8_t {
+  kCloud,
+  kEdgeCloud,
+  kCloudFogB,        // fog infrastructure only
+  kCloudFogAdapt,    // B + receiver-driven rate adaptation
+  kCloudFogSchedule, // B + deadline-driven sender scheduling
+  kCloudFogA,        // B + both strategies
+};
+
+const char* to_string(SystemKind kind);
+bool uses_supernodes(SystemKind kind);
+bool uses_adaptation(SystemKind kind);
+bool uses_scheduling(SystemKind kind);
+
+/// Kind of entity streaming to a player.
+enum class ServerType : std::uint8_t { kDatacenter, kEdge, kSupernode };
+
+/// One player's serving arrangement.
+struct PlayerAssignment {
+  std::size_t pop_index = 0;           // population index of the player
+  NodeId server = kInvalidNode;        // streaming server host
+  ServerType type = ServerType::kDatacenter;
+  NodeId home_dc = kInvalidNode;       // nearest datacenter (action path)
+  TimeMs stream_one_way_ms = 0.0;      // expected server->player latency
+};
+
+/// The full assignment for a set of active players.
+struct AssignmentPlan {
+  SystemKind kind = SystemKind::kCloud;
+  std::vector<PlayerAssignment> players;
+  /// Population indices of supernodes that actually serve someone
+  /// (CloudFog kinds only) — determines the Lambda update-feed cost.
+  std::vector<std::size_t> active_supernodes;
+
+  std::size_t supernode_supported() const;
+  std::size_t edge_supported() const;
+  std::size_t cloud_supported() const;
+};
+
+/// Builds the assignment of `active_players` (population indices) under
+/// `kind`. CloudFog kinds run the Section III-A3 algorithm; `l_max` per
+/// player is its game's response latency requirement (a supernode farther
+/// than that one-way can never stream on time).
+AssignmentPlan assign_players(SystemKind kind, const Scenario& scenario,
+                              const std::vector<std::size_t>& active_players,
+                              util::Rng& rng);
+
+}  // namespace cloudfog::systems

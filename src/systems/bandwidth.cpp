@@ -1,0 +1,45 @@
+#include "systems/bandwidth.h"
+
+#include "util/check.h"
+
+namespace cloudfog::systems {
+
+BandwidthResult measure_bandwidth(SystemKind kind, const Scenario& scenario,
+                                  std::size_t num_players) {
+  CF_CHECK_MSG(num_players >= 1, "need at least one player");
+  CF_CHECK_MSG(num_players <= scenario.population().size(),
+               "more players requested than the population holds");
+
+  util::Rng rng = scenario.fork_rng("bandwidth");
+  const auto sample = rng.sample_indices(scenario.population().size(), num_players);
+  std::vector<std::size_t> active(sample.begin(), sample.end());
+
+  util::Rng assign_rng = rng.fork("assign");
+  const AssignmentPlan plan = assign_players(kind, scenario, active, assign_rng);
+
+  BandwidthResult result;
+  result.players = num_players;
+  result.cloud_supported = plan.cloud_supported();
+  result.edge_supported = plan.edge_supported();
+  result.supernode_supported = plan.supernode_supported();
+  result.active_supernodes = plan.active_supernodes.size();
+
+  Kbps cloud_kbps = 0.0;
+  Kbps all_cloud_kbps = 0.0;  // what the pure-Cloud system would upload
+  for (const PlayerAssignment& pa : plan.players) {
+    const game::GameProfile& profile =
+        game::game_by_id(scenario.player_game(pa.pop_index));
+    const Kbps rate =
+        game::quality_for_level(profile.target_quality_level).bitrate_kbps;
+    all_cloud_kbps += rate;
+    if (pa.type == ServerType::kDatacenter) cloud_kbps += rate;
+  }
+  const Kbps update_kbps = scenario.params().update_stream_kbps *
+                           static_cast<double>(plan.active_supernodes.size());
+  result.update_feed_mbps = update_kbps / 1000.0;
+  result.cloud_mbps = (cloud_kbps + update_kbps) / 1000.0;
+  result.reduction_vs_cloud_mbps = (all_cloud_kbps - cloud_kbps - update_kbps) / 1000.0;
+  return result;
+}
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,38 @@
+// Cloud bandwidth consumption — paper Figure 7 and Equation (2).
+//
+// With N active players streaming at their games' target bitrates:
+//   * Cloud      — the datacenters upload every player's full video.
+//   * EdgeCloud  — edge-served players don't hit the cloud ("the bandwidth
+//                  consumption of EdgeCloud does not include those of
+//                  additional servers", paper Section IV).
+//   * CloudFog   — supernode-served players don't hit the cloud; instead
+//                  the cloud sends each active supernode a Lambda-rate
+//                  update feed. CloudFog/A and /B consume identically
+//                  (the strategies do not change cloud traffic).
+#pragma once
+
+#include <cstdint>
+
+#include "systems/assignment.h"
+#include "systems/scenario.h"
+
+namespace cloudfog::systems {
+
+struct BandwidthResult {
+  double cloud_mbps = 0.0;        // total cloud streaming + update traffic
+  double update_feed_mbps = 0.0;  // the Lambda x m component (CloudFog only)
+  std::size_t players = 0;
+  std::size_t cloud_supported = 0;
+  std::size_t edge_supported = 0;
+  std::size_t supernode_supported = 0;
+  std::size_t active_supernodes = 0;
+  /// Realised Equation (2) reduction vs. the all-cloud system, in Mbps.
+  double reduction_vs_cloud_mbps = 0.0;
+};
+
+/// Computes cloud bandwidth for `num_players` active players (a random but
+/// seed-deterministic subset of the population) under `kind`.
+BandwidthResult measure_bandwidth(SystemKind kind, const Scenario& scenario,
+                                  std::size_t num_players);
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,183 @@
+#include "systems/cooperation_experiment.h"
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/supernode_sender.h"
+#include "metrics/qoe.h"
+#include "sim/simulator.h"
+#include "stream/video.h"
+#include "util/check.h"
+
+namespace cloudfog::systems {
+
+namespace {
+
+struct Player {
+  game::GameProfile profile;
+  TimeMs prop_mean_ms = 0.0;
+  int primary = 0;  // 0 = supernode A, 1 = supernode B
+};
+
+struct Tracker {
+  NodeId player = kInvalidNode;
+  TimeMs action_ms = 0.0;
+  int live = 0;
+  TimeMs last_arrival = 0.0;
+  bool delivered_any = false;
+  bool measured = false;
+};
+
+/// Splits a segment's packets into the even-index and odd-index halves,
+/// rebuilt as two smaller segments sharing the deadline — the striping
+/// unit a cooperating pair transmits in parallel.
+std::array<stream::VideoSegment, 2> stripe(const stream::VideoSegment& seg) {
+  const auto packets = stream::packetize(seg);
+  std::array<stream::VideoSegment, 2> halves{seg, seg};
+  halves[0].size_kbit = 0.0;
+  halves[1].size_kbit = 0.0;
+  for (const auto& p : packets) {
+    halves[static_cast<std::size_t>(p.index % 2)].size_kbit += p.size_kbit;
+  }
+  return halves;
+}
+
+}  // namespace
+
+CooperationExperimentResult run_cooperation_experiment(
+    const CooperationExperimentConfig& config) {
+  CF_CHECK_MSG(config.num_players >= 2, "need at least two players");
+  CF_CHECK_MSG(config.primary_skew >= 0.0 && config.primary_skew <= 1.0,
+               "skew must be a probability");
+
+  sim::Simulator sim;
+  util::Rng rng(config.seed);
+  util::Rng setup_rng = rng.fork("setup");
+  util::Rng jitter_rng = rng.fork("jitter");
+  stream::SegmentFactory factory;
+  metrics::QoECollector qoe;
+  std::vector<Player> players(config.num_players);
+  std::unordered_map<std::uint64_t, Tracker> trackers;
+  // Striped halves carry distinct wire ids but share one tracker (the
+  // response latency is the arrival of the LAST packet across both paths).
+  std::unordered_map<std::uint64_t, std::uint64_t> alias;
+
+  const TimeMs period = 1'000.0 / config.fps;
+  const TimeMs window_end = config.warmup_ms + config.duration_ms;
+  auto in_window = [&](TimeMs t0) {
+    return t0 >= config.warmup_ms && t0 < window_end;
+  };
+
+  const auto num_games = game::game_catalog().size();
+  double offered_a = 0.0, offered_b = 0.0;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    Player& p = players[i];
+    p.profile = game::game_by_id(static_cast<game::GameId>(i % num_games));
+    p.prop_mean_ms =
+        config.prop_mean_ms * setup_rng.lognormal(0.0, config.prop_spread_sigma);
+    p.primary = setup_rng.bernoulli(config.primary_skew) ? 0 : 1;
+    const Kbps rate =
+        game::quality_for_level(p.profile.target_quality_level).bitrate_kbps;
+    (p.primary == 0 ? offered_a : offered_b) += rate;
+  }
+
+  auto on_delivery = [&](const core::PacketDelivery& d) {
+    std::uint64_t key = d.segment_id;
+    if (const auto a = alias.find(key); a != alias.end()) key = a->second;
+    auto it = trackers.find(key);
+    if (it == trackers.end()) return;
+    Tracker& t = it->second;
+    if (t.measured && d.on_time()) qoe.player(t.player).units_on_time += 1.0;
+    if (!d.lost) {
+      t.delivered_any = true;
+      t.last_arrival = std::max(t.last_arrival, d.arrival_ms);
+    }
+    --t.live;
+    if (t.live <= 0) {
+      if (t.measured && t.delivered_any)
+        qoe.add_latency(t.player, t.last_arrival - t.action_ms);
+      trackers.erase(it);
+    }
+  };
+  auto prop_fn = [&](NodeId player, util::Rng& prop_rng) {
+    return players[player].prop_mean_ms *
+           prop_rng.lognormal(0.0, config.prop_jitter_sigma);
+  };
+
+  std::array<std::optional<core::SupernodeSender>, 2> senders;
+  for (std::size_t s = 0; s < 2; ++s) {
+    senders[s].emplace(sim, config.uplink_kbps,
+                       core::SupernodeSender::Discipline::kFifo,
+                       core::DeadlineSchedulerConfig{}, prop_fn, on_delivery,
+                       rng.fork("prop" + std::to_string(s)));
+  }
+
+  // A striped half-segment needs its own tracker-visible id; the factory
+  // keeps ids unique, so halves register as separate segments of the same
+  // (player, action) and share a combined tracker via their own entries.
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const auto player = static_cast<NodeId>(i);
+    const TimeMs phase = setup_rng.uniform(0.0, period);
+    sim.schedule_every(phase, period, [&, player] {
+      const TimeMs t0 = sim.now();
+      if (t0 >= window_end) return;
+      const TimeMs pipeline =
+          config.pipeline_ms *
+          jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
+      sim.schedule_after(pipeline, [&, player, t0] {
+        Player& p = players[player];
+        stream::VideoSegment seg = factory.make(
+            player, p.profile.id, p.profile.target_quality_level, period, t0);
+        if (config.segment_size_sigma > 0.0) {
+          const double sigma = config.segment_size_sigma;
+          seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
+        }
+        const bool measured = in_window(t0);
+        if (measured) {
+          qoe.player(player).units_total +=
+              static_cast<double>(stream::packet_count(seg.size_kbit));
+        }
+        if (config.enable_striping) {
+          auto halves = stripe(seg);
+          Tracker t;
+          t.player = player;
+          t.action_ms = t0;
+          t.live = stream::packet_count(seg.size_kbit);
+          t.measured = measured;
+          trackers.emplace(seg.id, t);
+          for (std::size_t s = 0; s < 2; ++s) {
+            if (halves[s].size_kbit <= 0.0) continue;
+            halves[s].id = seg.id * 2'000'000 + s;  // distinct wire ids
+            alias.emplace(halves[s].id, seg.id);
+            // Half s goes to (primary + s) mod 2: primary gets the even
+            // half, the partner the odd one.
+            senders[(static_cast<std::size_t>(p.primary) + s) % 2]->submit(
+                halves[s]);
+          }
+        } else {
+          Tracker t;
+          t.player = player;
+          t.action_ms = t0;
+          t.live = stream::packet_count(seg.size_kbit);
+          t.measured = measured;
+          trackers.emplace(seg.id, t);
+          senders[static_cast<std::size_t>(p.primary)]->submit(seg);
+        }
+      });
+    });
+  }
+
+  sim.run_until(window_end + config.drain_ms);
+
+  CooperationExperimentResult result;
+  result.satisfied_fraction = qoe.satisfied_fraction();
+  result.mean_continuity = qoe.mean_continuity();
+  result.mean_response_latency_ms = qoe.mean_response_latency_ms();
+  result.offered_load_a = offered_a / config.uplink_kbps;
+  result.offered_load_b = offered_b / config.uplink_kbps;
+  return result;
+}
+
+}  // namespace cloudfog::systems

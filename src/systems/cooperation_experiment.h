@@ -1,0 +1,56 @@
+// Cooperative transmission experiment — the second half of the paper's
+// Section-V future work: "cooperation among supernodes in rendering and
+// *transmitting* game videos to further reduce response latency".
+//
+// Two supernodes, A and B, serve a shared player pool with skewed primary
+// assignment (A is the hot one). Baseline: each player's segments go
+// entirely through its primary. Cooperative striping: each segment's
+// packets are split across A and B, so a hot primary sheds half of every
+// segment to its neighbour and the last-packet arrival follows the less
+// congested path. The response-latency gain under skew quantifies the
+// paper's conjecture.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cloudfog_config.h"
+#include "util/types.h"
+
+namespace cloudfog::systems {
+
+struct CooperationExperimentConfig {
+  std::size_t num_players = 24;   // across both supernodes
+  /// Per-supernode uplink sized so a heavily skewed assignment overloads
+  /// the hot node (~1.1x at skew 0.95) while the pair together has slack.
+  Kbps uplink_kbps = 16'000.0;
+  /// Fraction of players whose primary is supernode A (the hot node).
+  double primary_skew = 0.85;
+  /// Stripe each segment's packets across both supernodes.
+  bool enable_striping = false;
+
+  TimeMs warmup_ms = 4'000.0;
+  TimeMs duration_ms = 16'000.0;
+  TimeMs drain_ms = 1'000.0;
+  TimeMs pipeline_ms = 8.0;
+  double pipeline_jitter_sigma = 0.10;
+  TimeMs prop_mean_ms = 12.0;
+  double prop_spread_sigma = 0.45;
+  double prop_jitter_sigma = 0.10;
+  double fps = 30.0;
+  double segment_size_sigma = 0.30;
+  std::uint64_t seed = 7;
+};
+
+struct CooperationExperimentResult {
+  double satisfied_fraction = 0.0;
+  double mean_continuity = 0.0;
+  double mean_response_latency_ms = 0.0;
+  /// Uplink utilization actually offered to each supernode.
+  double offered_load_a = 0.0;
+  double offered_load_b = 0.0;
+};
+
+CooperationExperimentResult run_cooperation_experiment(
+    const CooperationExperimentConfig& config);
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,59 @@
+// User-coverage experiments — paper Figures 5 and 6.
+//
+// Definition (paper Section IV): "A user is covered by datacenter if the
+// response latency is no more than the latency requirement of the user's
+// game." We evaluate coverage of the *online* population (driven by the
+// churn process) against a series of network latency requirements
+// (30..110 ms), as the paper's figures do:
+//
+//   * datacenter sweep — coverage when only the first k datacenters exist
+//     (datacenters have no capacity limit);
+//   * supernode sweep  — coverage with the base datacenters plus the first
+//     m selected supernodes, where supernodes are capacity-constrained
+//     (a supernode serves at most its Pareto capacity of players) and a
+//     player is covered if either its nearest datacenter or an available
+//     supernode is within the latency requirement.
+//
+// Latency here is the expected round-trip between player and server — the
+// action-up plus video-down network path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "systems/scenario.h"
+#include "util/types.h"
+
+namespace cloudfog::systems {
+
+struct CoverageConfig {
+  std::vector<std::size_t> datacenter_counts{5, 10, 15, 20, 25};
+  std::vector<std::size_t> supernode_counts{0, 100, 200, 300, 400, 500, 600};
+  std::vector<TimeMs> latency_requirements{30, 50, 70, 90, 110};
+  /// Datacenters used in the supernode sweep (the paper's "current cloud
+  /// infrastructure": 5 in simulation, 2 on PlanetLab).
+  std::size_t base_datacenters = 5;
+  /// Online-population snapshots averaged over.
+  std::size_t samples = 3;
+  TimeMs sample_interval_ms = 30.0 * kMsPerMinute;
+  TimeMs warmup_ms = 10.0 * kMsPerMinute;
+};
+
+struct CoverageResult {
+  /// dc_sweep[i][j]: coverage with datacenter_counts[i] datacenters at
+  /// latency_requirements[j].
+  std::vector<std::vector<double>> dc_sweep;
+  /// sn_sweep[i][j]: coverage with base datacenters + supernode_counts[i]
+  /// supernodes at latency_requirements[j].
+  std::vector<std::vector<double>> sn_sweep;
+  /// Mean online players per snapshot (context for the report).
+  double mean_online = 0.0;
+};
+
+/// Runs the coverage experiment over `scenario`. The scenario must be built
+/// with at least max(datacenter_counts) datacenters and
+/// max(supernode_counts) supernodes.
+CoverageResult measure_coverage(const Scenario& scenario,
+                                const CoverageConfig& config);
+
+}  // namespace cloudfog::systems

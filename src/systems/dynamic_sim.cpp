@@ -1,0 +1,131 @@
+#include "systems/dynamic_sim.h"
+
+#include "p2p/churn.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace cloudfog::systems {
+
+DynamicSimResult run_dynamic_sim(const Scenario& scenario,
+                                 const DynamicSimOptions& options) {
+  CF_CHECK_MSG(options.duration_ms > 0.0, "duration must be positive");
+  CF_CHECK_MSG(options.supernode_mtbf_hours > 0.0, "MTBF must be positive");
+
+  sim::Simulator sim;
+  util::Rng rng = scenario.fork_rng("dynamic-sim");
+  util::Rng sn_rng = rng.fork("sn-churn" + std::to_string(options.seed_salt));
+
+  core::SessionManagerConfig sm_config;
+  sm_config.enable_failover = options.enable_failover;
+  sm_config.enable_cooperation = options.enable_cooperation;
+  sm_config.shed_utilization = options.shed_utilization;
+  core::SessionManager sessions(scenario.topology(),
+                                core::SupernodeManagerConfig{}, sm_config,
+                                rng.fork("sessions"));
+
+  DynamicSimResult result;
+
+  // --- supernode lifecycle ---------------------------------------------------
+  const double departure_rate =
+      1.0 / (options.supernode_mtbf_hours * kMsPerHour);  // per ms
+  // Recursive lifecycle per supernode: up -> leave -> downtime -> rejoin.
+  struct SupernodeInfo {
+    NodeId host;
+    int capacity;
+    Kbps uplink;
+  };
+  std::vector<SupernodeInfo> roster;
+  for (std::size_t sn : scenario.supernode_players()) {
+    roster.push_back({scenario.player_host(sn), scenario.supernode_capacity(sn),
+                      scenario.supernode_uplink_kbps(sn)});
+  }
+  // std::function allows the recursive re-arm; captured by copy per node.
+  std::function<void(std::size_t)> schedule_departure =
+      [&](std::size_t index) {
+        const TimeMs dwell = sn_rng.exponential(departure_rate);
+        sim.schedule_after(dwell, [&, index] {
+          const SupernodeInfo& info = roster[index];
+          if (!sessions.is_supernode(info.host)) return;  // already down
+          const core::FailoverReport report =
+              sessions.supernode_leave(info.host);
+          ++result.supernode_departures;
+          result.disruptions += report.players_affected;
+          result.recovered_to_backup += report.recovered_to_backup;
+          result.reassigned += report.reassigned;
+          result.fell_to_cloud += report.fell_to_cloud;
+          sim.schedule_after(options.supernode_downtime_ms, [&, index] {
+            const SupernodeInfo& back = roster[index];
+            if (sim.now() >= options.duration_ms) return;
+            sessions.supernode_join(back.host, back.capacity, back.uplink);
+            schedule_departure(index);
+          });
+        });
+      };
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    sessions.supernode_join(roster[i].host, roster[i].capacity,
+                            roster[i].uplink);
+    schedule_departure(i);
+  }
+
+  // --- player churn ----------------------------------------------------------
+  p2p::ChurnProcess churn(sim, scenario.population(), &scenario.social(),
+                          p2p::ChurnConfig{},
+                          rng.fork("player-churn" + std::to_string(options.seed_salt)));
+  churn.set_callbacks(
+      [&](std::size_t player) {
+        ++result.player_joins;
+        sessions.player_join(scenario.player_host(player),
+                             churn.game_of(player));
+      },
+      [&](std::size_t player) {
+        sessions.player_leave(scenario.player_host(player));
+      });
+
+  // --- cooperation and sampling ----------------------------------------------
+  if (options.enable_cooperation) {
+    sim.schedule_every(options.rebalance_period_ms, options.rebalance_period_ms,
+                       [&] {
+                         result.rebalance_moves +=
+                             sessions.rebalance().players_moved;
+                       });
+  }
+  util::RunningStats fog_fraction, stream_delay, hot_fraction;
+  sim.schedule_every(options.sample_period_ms, options.sample_period_ms, [&] {
+    const std::size_t total = sessions.session_count();
+    if (total > 0) {
+      fog_fraction.add(static_cast<double>(sessions.supernode_sessions()) /
+                       static_cast<double>(total));
+    }
+    // Hot-supernode fraction and mean stream delay.
+    std::size_t hot = 0, up = 0;
+    for (NodeId sn : sessions.manager().supernodes()) {
+      ++up;
+      if (sessions.utilization(sn) > options.shed_utilization) ++hot;
+    }
+    if (up > 0)
+      hot_fraction.add(static_cast<double>(hot) / static_cast<double>(up));
+  });
+  // Sample stream delays at a coarser cadence (walks all sessions).
+  sim.schedule_every(2.0 * options.sample_period_ms,
+                     2.0 * options.sample_period_ms, [&] {
+                       util::RunningStats snapshot;
+                       for (std::size_t p : churn.online_players()) {
+                         const NodeId host = scenario.player_host(p);
+                         if (!sessions.has_session(host)) continue;
+                         const core::Session& s = sessions.session(host);
+                         if (!s.on_cloud()) snapshot.add(s.stream_delay_ms);
+                       }
+                       if (snapshot.count() > 0) stream_delay.add(snapshot.mean());
+                     });
+
+  churn.start();
+  sim.run_until(options.duration_ms);
+
+  result.mean_supernode_session_fraction = fog_fraction.mean();
+  result.mean_stream_delay_ms = stream_delay.mean();
+  result.mean_hot_supernode_fraction = hot_fraction.mean();
+  return result;
+}
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,95 @@
+#include "systems/reputation_experiment.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudfog::systems {
+
+ReputationExperimentResult run_reputation_experiment(
+    const ReputationExperimentConfig& config) {
+  CF_CHECK_MSG(config.num_supernodes >= 1, "need supernodes");
+  CF_CHECK_MSG(config.players_per_supernode >= 1, "need players");
+  CF_CHECK_MSG(config.malicious_fraction >= 0.0 && config.malicious_fraction <= 1.0,
+               "malicious fraction must be a probability");
+  CF_CHECK_MSG(config.rounds >= 10, "too few rounds to measure anything");
+
+  util::Rng rng(config.seed);
+  util::Rng behavior_rng = rng.fork("behavior");
+  core::ReputationSystem reputation(config.reputation);
+
+  struct Node {
+    NodeId id;
+    bool malicious;
+    bool evicted = false;
+  };
+  std::vector<Node> roster;
+  NodeId next_id = 0;
+  const auto target_malicious = static_cast<std::size_t>(
+      config.malicious_fraction * static_cast<double>(config.num_supernodes) + 0.5);
+  for (std::size_t i = 0; i < config.num_supernodes; ++i) {
+    roster.push_back({next_id++, i < target_malicious});
+  }
+  rng.shuffle(roster);
+
+  ReputationExperimentResult result;
+  result.malicious = target_malicious;
+
+  const std::size_t window = std::max<std::size_t>(1, config.rounds / 10);
+  std::uint64_t early_bad = 0, early_total = 0, late_bad = 0, late_total = 0;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (Node& node : roster) {
+      if (node.evicted) continue;
+      for (std::size_t p = 0; p < config.players_per_supernode; ++p) {
+        const double fail_rate = node.malicious
+                                     ? config.sabotage_rate
+                                     : config.honest_failure_rate;
+        const bool ok = !behavior_rng.bernoulli(fail_rate);
+        reputation.report(node.id, ok);
+        if (round < window) {
+          ++early_total;
+          if (!ok) ++early_bad;
+        }
+        if (round >= config.rounds - window) {
+          ++late_total;
+          if (!ok) ++late_bad;
+        }
+      }
+    }
+    if (config.enable_eviction) {
+      std::size_t replacements = 0;  // appending mid-loop would invalidate
+      for (Node& node : roster) {
+        if (node.evicted || !reputation.should_evict(node.id)) continue;
+        node.evicted = true;
+        ++result.evicted_total;
+        ++replacements;
+        if (node.malicious) {
+          ++result.true_positives;
+          if (result.rounds_to_first_detection == 0)
+            result.rounds_to_first_detection = round + 1;
+        } else {
+          ++result.false_positives;
+        }
+      }
+      // Replace each evicted node with a freshly vetted honest machine:
+      // the roster size (and thus serving capacity) is maintained.
+      for (std::size_t i = 0; i < replacements; ++i) {
+        roster.push_back({next_id++, false});
+      }
+    }
+  }
+
+  result.early_bad_rate = early_total == 0
+                              ? 0.0
+                              : static_cast<double>(early_bad) /
+                                    static_cast<double>(early_total);
+  result.late_bad_rate = late_total == 0
+                             ? 0.0
+                             : static_cast<double>(late_bad) /
+                                   static_cast<double>(late_total);
+  return result;
+}
+
+}  // namespace cloudfog::systems

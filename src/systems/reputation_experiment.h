@@ -1,0 +1,62 @@
+// Malicious-supernode experiment — quantifies the Section-V future-work
+// reputation defence end to end.
+//
+// A roster of supernodes serves players round by round; a fraction of the
+// roster is malicious and sabotages (drops, corrupts or delays) part of its
+// deliveries. Players report every delivery outcome to the cloud's
+// ReputationSystem. With eviction enabled, a supernode flagged by the
+// ledger is removed and replaced by a freshly vetted honest machine.
+//
+// Reported metrics: detection precision/recall, time-to-detection, and the
+// system-wide bad-delivery rate early vs. late in the run (the QoE proxy
+// that eviction is supposed to repair).
+#pragma once
+
+#include <cstdint>
+
+#include "core/reputation.h"
+#include "util/types.h"
+
+namespace cloudfog::systems {
+
+struct ReputationExperimentConfig {
+  std::size_t num_supernodes = 40;
+  std::size_t players_per_supernode = 4;
+  double malicious_fraction = 0.2;
+  /// Probability a malicious supernode sabotages one delivery.
+  double sabotage_rate = 0.30;
+  /// Background failure rate of honest supernodes (congestion, jitter).
+  double honest_failure_rate = 0.03;
+  std::size_t rounds = 400;  // one delivery per player per round
+  bool enable_eviction = true;
+  core::ReputationConfig reputation{};
+  std::uint64_t seed = 13;
+};
+
+struct ReputationExperimentResult {
+  std::size_t malicious = 0;
+  std::size_t evicted_total = 0;
+  std::size_t true_positives = 0;   // malicious nodes evicted
+  std::size_t false_positives = 0;  // honest nodes evicted
+  /// Rounds until the first malicious node was caught (0 if none).
+  std::size_t rounds_to_first_detection = 0;
+  /// Bad-delivery fraction over the first and last 10% of rounds.
+  double early_bad_rate = 0.0;
+  double late_bad_rate = 0.0;
+
+  double precision() const {
+    return evicted_total == 0 ? 1.0
+                              : static_cast<double>(true_positives) /
+                                    static_cast<double>(evicted_total);
+  }
+  double recall() const {
+    return malicious == 0 ? 1.0
+                          : static_cast<double>(true_positives) /
+                                static_cast<double>(malicious);
+  }
+};
+
+ReputationExperimentResult run_reputation_experiment(
+    const ReputationExperimentConfig& config);
+
+}  // namespace cloudfog::systems

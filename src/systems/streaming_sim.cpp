@@ -1,0 +1,467 @@
+#include "systems/streaming_sim.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/rate_adaptation.h"
+#include "core/supernode_sender.h"
+#include "metrics/qoe.h"
+#include "sim/simulator.h"
+#include "stream/queued_sender.h"
+#include "stream/receiver_buffer.h"
+#include "stream/video.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace cloudfog::systems {
+
+namespace {
+
+/// Per-segment bookkeeping for packet-level (deadline-scheduled) delivery.
+struct SegmentTracker {
+  std::size_t pop_index = 0;
+  TimeMs action_ms = 0.0;
+  int live_packets = 0;       // not yet delivered nor dropped
+  TimeMs last_arrival = 0.0;
+  bool delivered_any = false;
+  bool measured = false;      // t0 inside the measurement window
+};
+
+struct PlayerState {
+  std::size_t pop_index = 0;
+  NodeId host = kInvalidNode;
+  game::GameProfile profile;
+  PlayerAssignment assignment;
+  int level = 0;
+  Kbps wan_cap_kbps = 0.0;   // per-flow WAN throughput cap (0 = none)
+  double loss_prob = 0.0;    // per-packet network loss on the serving path
+  Kbit arrived_at_last_tick = 0.0;
+  std::optional<core::RateAdaptationController> controller;
+  std::optional<stream::ReceiverBuffer> buffer;
+};
+
+/// The whole simulation state, wired together in run_streaming.
+class StreamingRun {
+ public:
+  StreamingRun(SystemKind kind, const Scenario& scenario,
+               const StreamingOptions& options)
+      : kind_(kind), scenario_(scenario), options_(options) {}
+
+  StreamingResult run();
+
+ private:
+  void setup_players();
+  void setup_senders();
+  void start_segment_ticks();
+  void on_action(std::size_t slot);
+  void enqueue_segment(std::size_t slot, TimeMs t0);
+  void submit_fluid(std::size_t slot, const stream::VideoSegment& seg);
+  void submit_packet(std::size_t slot, const stream::VideoSegment& seg);
+  void on_packet_delivery(const core::PacketDelivery& d);
+  void adaptation_tick(std::size_t slot);
+  bool in_window(TimeMs t0) const {
+    return t0 >= options_.warmup_ms &&
+           t0 < options_.warmup_ms + options_.duration_ms;
+  }
+
+  SystemKind kind_;
+  const Scenario& scenario_;
+  StreamingOptions options_;
+
+  sim::Simulator sim_;
+  util::Rng jitter_rng_{0};
+  stream::SegmentFactory factory_;
+  metrics::QoECollector qoe_;
+  std::vector<PlayerState> players_;
+  std::unordered_map<std::size_t, std::size_t> pop_to_slot_;
+  std::unordered_map<NodeId, std::size_t> host_to_slot_;
+
+  // Datacenters and edge servers serve flows in parallel: each player gets
+  // a private queue at rate min(fair share, WAN cap). Supernodes follow the
+  // paper's single-queuing-buffer model: one shared queue per supernode
+  // (fluid FIFO for CloudFog/B and -adapt, packet-level deadline sender for
+  // -schedule and /A).
+  std::vector<std::unique_ptr<stream::QueuedSender>> per_player_queue_;
+  std::unordered_map<NodeId, std::unique_ptr<stream::QueuedSender>> sn_fluid_;
+  std::unordered_map<NodeId, std::unique_ptr<core::SupernodeSender>> packet_;
+  std::unordered_map<std::uint64_t, SegmentTracker> trackers_;
+
+  // Measurement accumulators.
+  Kbit cloud_kbit_ = 0.0;
+  std::uint64_t segments_ = 0;
+  std::uint64_t drops_ = 0;
+  std::size_t active_supernodes_ = 0;
+  util::RunningStats level_mean_;
+};
+
+void StreamingRun::setup_players() {
+  util::Rng rng = scenario_.fork_rng("streaming");
+  jitter_rng_ = rng.fork("jitter" + std::to_string(options_.seed_salt));
+  util::Rng select_rng = rng.fork("select" + std::to_string(options_.seed_salt));
+
+  std::vector<std::size_t> active;
+  if (!options_.explicit_players.empty()) {
+    active = options_.explicit_players;
+    for (std::size_t p : active)
+      CF_CHECK_MSG(p < scenario_.population().size(), "unknown player index");
+  } else {
+    CF_CHECK_MSG(options_.num_players <= scenario_.population().size(),
+                 "more players requested than the population holds");
+    const auto sample = select_rng.sample_indices(scenario_.population().size(),
+                                                  options_.num_players);
+    active.assign(sample.begin(), sample.end());
+  }
+
+  util::Rng assign_rng = rng.fork("assign" + std::to_string(options_.seed_salt));
+  AssignmentPlan plan = assign_players(kind_, scenario_, active, assign_rng);
+  active_supernodes_ = plan.active_supernodes.size();
+
+  players_.reserve(plan.players.size());
+  for (const PlayerAssignment& pa : plan.players) {
+    PlayerState ps;
+    ps.pop_index = pa.pop_index;
+    ps.host = scenario_.player_host(pa.pop_index);
+    ps.profile = game::game_by_id(scenario_.player_game(pa.pop_index));
+    ps.assignment = pa;
+    ps.level = ps.profile.target_quality_level;
+    if (uses_adaptation(kind_)) {
+      ps.controller.emplace(ps.profile, options_.cloudfog.adaptation);
+      ps.buffer.emplace(game::quality_for_level(ps.level).bitrate_kbps);
+    }
+    pop_to_slot_[pa.pop_index] = players_.size();
+    host_to_slot_[ps.host] = players_.size();
+    players_.push_back(std::move(ps));
+  }
+}
+
+void StreamingRun::setup_senders() {
+  const ScenarioParams& params = scenario_.params();
+  // Count players per shared server for fair-share computation.
+  std::unordered_map<NodeId, std::size_t> load;
+  for (const PlayerState& ps : players_) ++load[ps.assignment.server];
+
+  per_player_queue_.resize(players_.size());
+  for (std::size_t slot = 0; slot < players_.size(); ++slot) {
+    PlayerState& ps = players_[slot];
+    ps.loss_prob = scenario_.topology().server_loss_probability(
+        ps.assignment.server, ps.host);
+    // WAN throughput cap over the serving path.
+    if (params.tcp_window_kbit > 0.0) {
+      const TimeMs rtt = std::max(
+          1.0, scenario_.topology().expected_server_rtt_ms(ps.assignment.server,
+                                                           ps.host));
+      ps.wan_cap_kbps = params.tcp_window_kbit / (rtt / 1000.0);
+    }
+    const NodeId server = ps.assignment.server;
+    switch (ps.assignment.type) {
+      case ServerType::kDatacenter:
+      case ServerType::kEdge: {
+        const Kbps uplink = ps.assignment.type == ServerType::kDatacenter
+                                ? params.dc_uplink_kbps
+                                : params.edge_uplink_kbps;
+        Kbps share = uplink / static_cast<double>(load.at(server));
+        if (ps.wan_cap_kbps > 0.0) share = std::min(share, ps.wan_cap_kbps);
+        per_player_queue_[slot] = std::make_unique<stream::QueuedSender>(share);
+        break;
+      }
+      case ServerType::kSupernode: {
+        // Identify the supernode's population index for its uplink size.
+        // assignment guarantees the server host belongs to a selected SN.
+        Kbps uplink = params.supernode_kbps_per_slot;
+        for (std::size_t sn : scenario_.supernode_players()) {
+          if (scenario_.player_host(sn) == server) {
+            uplink = scenario_.supernode_uplink_kbps(sn);
+            break;
+          }
+        }
+        if (uses_scheduling(kind_)) {
+          if (!packet_.contains(server)) {
+            auto sender = std::make_unique<core::SupernodeSender>(
+                sim_, uplink, core::SupernodeSender::Discipline::kDeadline,
+                options_.cloudfog.scheduler,
+                [this, server](NodeId player, util::Rng& rng) {
+                  return scenario_.topology().sample_server_one_way_ms(server, player,
+                                                                       rng);
+                },
+                [this](const core::PacketDelivery& d) { on_packet_delivery(d); },
+                jitter_rng_.fork("sn" + std::to_string(server)));
+            sender->set_rate_cap([this](NodeId player_host) {
+              const auto it = host_to_slot_.find(player_host);
+              return it == host_to_slot_.end() ? 0.0
+                                               : players_[it->second].wan_cap_kbps;
+            });
+            sender->set_loss_model([this](NodeId player_host) {
+              const auto it = host_to_slot_.find(player_host);
+              return it == host_to_slot_.end() ? 0.0
+                                               : players_[it->second].loss_prob;
+            });
+            sender->set_drop_observer([this](std::uint64_t segment_id, int) {
+              auto it = trackers_.find(segment_id);
+              if (it == trackers_.end()) return;
+              --it->second.live_packets;
+              if (it->second.measured) ++drops_;
+              // Dropped packets count against continuity; units were added
+              // at submit time, so nothing to add here.
+              if (it->second.live_packets <= 0) {
+                if (it->second.delivered_any && it->second.measured) {
+                  qoe_.add_latency(static_cast<NodeId>(it->second.pop_index),
+                                   it->second.last_arrival - it->second.action_ms);
+                }
+                trackers_.erase(it);
+              }
+            });
+            packet_.emplace(server, std::move(sender));
+          }
+        } else {
+          if (!sn_fluid_.contains(server))
+            sn_fluid_.emplace(server, std::make_unique<stream::QueuedSender>(uplink));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void StreamingRun::start_segment_ticks() {
+  const TimeMs period = scenario_.params().segment_period_ms();
+  for (std::size_t slot = 0; slot < players_.size(); ++slot) {
+    const TimeMs phase = jitter_rng_.uniform(0.0, period);
+    sim_.schedule_every(phase, period, [this, slot] { on_action(slot); });
+    if (uses_adaptation(kind_)) {
+      // Prime the receive buffer with one segment of video so the first
+      // estimates are meaningful, then start the estimation cadence.
+      PlayerState& ps = players_[slot];
+      const Kbit tau = game::quality_for_level(ps.level).bitrate_kbps * period / 1000.0;
+      ps.buffer->on_arrival(0.0, tau);
+      const TimeMs tick_phase = jitter_rng_.uniform(0.0, options_.adaptation_tick_ms);
+      sim_.schedule_every(tick_phase, options_.adaptation_tick_ms,
+                          [this, slot] { adaptation_tick(slot); });
+    }
+  }
+}
+
+void StreamingRun::on_action(std::size_t slot) {
+  const TimeMs t0 = sim_.now();
+  // Stop generating segments once the measurement window plus drain is over.
+  if (t0 >= options_.warmup_ms + options_.duration_ms) return;
+
+  PlayerState& ps = players_[slot];
+  const net::Topology& topo = scenario_.topology();
+  const ScenarioParams& params = scenario_.params();
+
+  // Action uplink target: the state server.
+  TimeMs pipeline = 0.0;
+  if (ps.assignment.type == ServerType::kEdge) {
+    pipeline += topo.sample_one_way_ms(ps.host, ps.assignment.server, jitter_rng_);
+  } else {
+    pipeline += topo.sample_one_way_ms(ps.host, ps.assignment.home_dc, jitter_rng_);
+  }
+  pipeline += params.compute_ms;
+  if (ps.assignment.type == ServerType::kSupernode) {
+    // Update feed: datacenter egress to the supernode's wired interface
+    // (both endpoints server-grade, no residential access delay).
+    pipeline += topo.sample_server_one_way_ms(ps.assignment.server,
+                                              ps.assignment.home_dc, jitter_rng_);
+  }
+  pipeline += params.render_ms;
+  sim_.schedule_after(pipeline, [this, slot, t0] { enqueue_segment(slot, t0); });
+}
+
+void StreamingRun::enqueue_segment(std::size_t slot, TimeMs t0) {
+  PlayerState& ps = players_[slot];
+  const TimeMs period = scenario_.params().segment_period_ms();
+  stream::VideoSegment seg =
+      factory_.make(ps.host, ps.profile.id, ps.level, period, t0);
+  // VBR: per-segment size variation (I- vs P-frame mix), mean-preserving.
+  const double sigma = scenario_.params().segment_size_sigma;
+  if (sigma > 0.0) {
+    seg.size_kbit *= jitter_rng_.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  if (in_window(t0)) {
+    ++segments_;
+    level_mean_.add(static_cast<double>(ps.level));
+    if (ps.assignment.type == ServerType::kDatacenter) {
+      cloud_kbit_ += seg.size_kbit;
+    }
+  }
+  if (ps.assignment.type == ServerType::kSupernode && uses_scheduling(kind_)) {
+    submit_packet(slot, seg);
+  } else {
+    submit_fluid(slot, seg);
+  }
+}
+
+void StreamingRun::submit_fluid(std::size_t slot, const stream::VideoSegment& seg) {
+  PlayerState& ps = players_[slot];
+  const bool shared_queue = ps.assignment.type == ServerType::kSupernode;
+  stream::QueuedSender& sender = shared_queue ? *sn_fluid_.at(ps.assignment.server)
+                                              : *per_player_queue_[slot];
+  // Per-player queues already serialize at min(share, WAN cap). The shared
+  // supernode queue serializes at the supernode uplink; a slower WAN hop to
+  // this particular player then stretches the *delivery*, not the queue —
+  // other players' segments are not blocked behind the bottleneck.
+  stream::SendSchedule sched = sender.enqueue(sim_.now(), seg.size_kbit);
+  if (shared_queue && ps.wan_cap_kbps > 0.0 &&
+      ps.wan_cap_kbps < sender.capacity()) {
+    sched.end = sched.start + transmission_ms(seg.size_kbit, ps.wan_cap_kbps);
+  }
+  const TimeMs prop = scenario_.topology().sample_server_one_way_ms(
+      ps.assignment.server, ps.host, jitter_rng_);
+  const TimeMs last_arrival = sched.end + prop;
+  if (in_window(seg.action_time_ms)) {
+    const NodeId key = static_cast<NodeId>(ps.pop_index);
+    qoe_.add_latency(key, last_arrival - seg.action_time_ms);
+    // Fluid loss model: each bit survives the path with prob (1 - p).
+    const Kbit on_time = sched.sent_by(seg.deadline_ms - prop, seg.size_kbit) *
+                         (1.0 - ps.loss_prob);
+    qoe_.add_units(key, seg.size_kbit, on_time);
+  }
+  if (ps.buffer) {
+    const Kbit size = seg.size_kbit;
+    sim_.schedule_at(last_arrival, [this, slot, size] {
+      players_[slot].buffer->on_arrival(sim_.now(), size);
+    });
+  }
+}
+
+void StreamingRun::submit_packet(std::size_t slot, const stream::VideoSegment& seg) {
+  PlayerState& ps = players_[slot];
+  core::SupernodeSender& sender = *packet_.at(ps.assignment.server);
+  SegmentTracker tracker;
+  tracker.pop_index = ps.pop_index;
+  tracker.action_ms = seg.action_time_ms;
+  tracker.live_packets = stream::packet_count(seg.size_kbit);
+  tracker.measured = in_window(seg.action_time_ms);
+  trackers_.emplace(seg.id, tracker);
+  if (tracker.measured) {
+    // Continuity denominator: every packet of the segment.
+    qoe_.player(static_cast<NodeId>(ps.pop_index)).units_total +=
+        static_cast<double>(tracker.live_packets);
+  }
+  sender.submit(seg);
+}
+
+void StreamingRun::on_packet_delivery(const core::PacketDelivery& d) {
+  auto it = trackers_.find(d.segment_id);
+  if (it == trackers_.end()) return;
+  SegmentTracker& tracker = it->second;
+  const auto key = static_cast<NodeId>(tracker.pop_index);
+  if (tracker.measured && d.on_time()) {
+    qoe_.player(key).units_on_time += 1.0;
+  }
+  if (!d.lost) {
+    tracker.delivered_any = true;
+    tracker.last_arrival = std::max(tracker.last_arrival, d.arrival_ms);
+  }
+  --tracker.live_packets;
+  const std::size_t pop_index = tracker.pop_index;
+  if (tracker.live_packets <= 0) {
+    // Only segments with at least one real delivery yield a latency sample
+    // (a fully lost/dropped segment has no arrival to measure — it already
+    // counts fully against continuity).
+    if (tracker.measured && tracker.delivered_any) {
+      qoe_.add_latency(key, tracker.last_arrival - tracker.action_ms);
+    }
+    trackers_.erase(it);
+  }
+  // Feed the receive buffer for adaptation (deliveries are in sent order;
+  // arrival jitter may reorder slightly, so the buffer event is scheduled).
+  const std::size_t slot = pop_to_slot_.at(pop_index);
+  if (players_[slot].buffer && !d.lost) {
+    const Kbit size = d.size_kbit;
+    const TimeMs when = std::max(d.arrival_ms, sim_.now());
+    sim_.schedule_at(when, [this, slot, size] {
+      players_[slot].buffer->on_arrival(sim_.now(), size);
+    });
+  }
+}
+
+void StreamingRun::adaptation_tick(std::size_t slot) {
+  PlayerState& ps = players_[slot];
+  const TimeMs period = scenario_.params().segment_period_ms();
+  const Kbps playback = game::quality_for_level(ps.level).bitrate_kbps;
+  const Kbit tau = playback * period / 1000.0;
+  // Windowed download rate d(t_k): data received since the last tick.
+  const Kbit arrived = ps.buffer->total_arrived_kbit();
+  const Kbps download = (arrived - ps.arrived_at_last_tick) /
+                        options_.adaptation_tick_ms * 1000.0;
+  ps.arrived_at_last_tick = arrived;
+  const auto decision = ps.controller->observe_rates(
+      options_.adaptation_tick_ms, download, playback, tau);
+  if (decision != core::RateAdaptationController::Decision::kHold) {
+    ps.level = ps.controller->level();
+    ps.buffer->set_playback_rate(sim_.now(),
+                                 game::quality_for_level(ps.level).bitrate_kbps);
+  }
+}
+
+StreamingResult StreamingRun::run() {
+  setup_players();
+  setup_senders();
+  start_segment_ticks();
+  sim_.run_until(options_.warmup_ms + options_.duration_ms + options_.drain_ms);
+
+  // Flush any still-live trackers: their undelivered packets stay counted
+  // in units_total (missed), and completed-latency samples are skipped.
+  trackers_.clear();
+
+  StreamingResult result;
+  result.mean_response_latency_ms = qoe_.mean_response_latency_ms();
+  util::SampleSet per_player;
+  for (const auto& [id, q] : qoe_.all()) {
+    if (q.response_latency_ms.count() > 0)
+      per_player.add(q.response_latency_ms.mean());
+  }
+  result.p95_response_latency_ms =
+      per_player.empty() ? 0.0 : per_player.percentile(95.0);
+  result.mean_continuity = qoe_.mean_continuity();
+  result.satisfied_fraction = qoe_.satisfied_fraction();
+  const Kbps update_feed = scenario_.params().update_stream_kbps *
+                           static_cast<double>(active_supernodes_);
+  result.cloud_uplink_mbps =
+      (cloud_kbit_ / (options_.duration_ms / 1000.0) + update_feed) / 1000.0;
+  result.mean_quality_level = level_mean_.mean();
+  result.segments_generated = segments_;
+  result.packets_dropped = drops_;
+  std::size_t sn_served = 0, edge_served = 0;
+  for (const PlayerState& ps : players_) {
+    if (ps.assignment.type == ServerType::kSupernode) ++sn_served;
+    if (ps.assignment.type == ServerType::kEdge) ++edge_served;
+  }
+  result.supernode_supported = sn_served;
+  result.edge_supported = edge_served;
+
+  // Per-game QoE breakdown.
+  std::array<double, 5> continuity_sum{};
+  std::array<std::size_t, 5> satisfied_count{};
+  for (const PlayerState& ps : players_) {
+    const auto g = static_cast<std::size_t>(ps.profile.id);
+    const metrics::PlayerQoE& q =
+        qoe_.player(static_cast<NodeId>(ps.pop_index));
+    ++result.players_by_game[g];
+    continuity_sum[g] += q.continuity();
+    if (q.satisfied()) ++satisfied_count[g];
+  }
+  for (std::size_t g = 0; g < 5; ++g) {
+    if (result.players_by_game[g] > 0) {
+      const auto n = static_cast<double>(result.players_by_game[g]);
+      result.continuity_by_game[g] = continuity_sum[g] / n;
+      result.satisfied_by_game[g] =
+          static_cast<double>(satisfied_count[g]) / n;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
+                              const StreamingOptions& options) {
+  CF_CHECK_MSG(options.num_players >= 1, "need at least one player");
+  CF_CHECK_MSG(options.duration_ms > 0.0, "measurement window must be positive");
+  StreamingRun run(kind, scenario, options);
+  return run.run();
+}
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,74 @@
+// End-to-end streaming simulation — drives paper Figures 8 (response
+// latency) and 9 (playback continuity).
+//
+// Pipeline per player segment (period = frames_per_segment / fps):
+//
+//   action t0 at the player
+//     -> action uplink to the state server (home DC; the edge server for
+//        EdgeCloud-served players)                    [sampled one-way]
+//     -> game-state computation                       [compute_ms]
+//     -> CloudFog only: update feed to the supernode  [sampled one-way]
+//     -> video rendering                              [render_ms]
+//     -> segment enqueued at the streaming server's sender buffer
+//     -> transmission (queuing + serialisation on the uplink)
+//     -> propagation to the player                    [sampled one-way]
+//
+// Senders:
+//   * datacenters, edge servers, and supernodes under CloudFog/B or
+//     CloudFog-adapt use the fluid FIFO QueuedSender;
+//   * supernodes under CloudFog-schedule or CloudFog/A use the packet-level
+//     SupernodeSender with the Section III-C deadline scheduler.
+//
+// CloudFog-adapt / CloudFog/A players additionally run the Section III-B
+// receiver-driven rate adaptation: a ReceiverBuffer tracks s(t) (Eq 7) and
+// a RateAdaptationController steps the encoding level from r (Eqs 8-11).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/cloudfog_config.h"
+#include "systems/assignment.h"
+#include "systems/scenario.h"
+
+namespace cloudfog::systems {
+
+struct StreamingOptions {
+  std::size_t num_players = 2'000;
+  /// When non-empty, these population indices play (num_players ignored) —
+  /// lets scenarios model localized load spikes.
+  std::vector<std::size_t> explicit_players;
+  TimeMs warmup_ms = 3'000.0;
+  TimeMs duration_ms = 15'000.0;   // measurement window after warmup
+  TimeMs drain_ms = 2'000.0;       // extra run so in-flight packets land
+  TimeMs adaptation_tick_ms = 500.0;  // estimation cadence for Eq (8)
+  core::CloudFogConfig cloudfog = core::CloudFogConfig::defaults();
+  std::uint64_t seed_salt = 0;     // distinguishes repeated runs
+};
+
+struct StreamingResult {
+  double mean_response_latency_ms = 0.0;  // mean of per-player means
+  double p95_response_latency_ms = 0.0;   // 95th pct of per-player means
+  double mean_continuity = 0.0;           // paper Fig 9 metric
+  double satisfied_fraction = 0.0;        // >= 95% packets on time
+  double cloud_uplink_mbps = 0.0;         // measured avg cloud traffic
+  double mean_quality_level = 0.0;        // avg encoding level of segments
+  std::uint64_t segments_generated = 0;
+  std::uint64_t packets_dropped = 0;      // deadline-scheduler drops
+  std::size_t supernode_supported = 0;
+  std::size_t edge_supported = 0;
+
+  /// Per-game breakdown (index = game id): player counts, mean continuity
+  /// and satisfied fraction — the paper's premise is that games differ in
+  /// tolerance, so their QoE under the same system differs too.
+  std::array<std::size_t, 5> players_by_game{};
+  std::array<double, 5> continuity_by_game{};
+  std::array<double, 5> satisfied_by_game{};
+};
+
+/// Runs one streaming simulation of `kind` over the scenario.
+StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
+                              const StreamingOptions& options);
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,251 @@
+#include "systems/supernode_experiment.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rate_adaptation.h"
+#include "core/supernode_sender.h"
+#include "metrics/qoe.h"
+#include "sim/simulator.h"
+#include "stream/queued_sender.h"
+#include "stream/receiver_buffer.h"
+#include "stream/video.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace cloudfog::systems {
+
+double SupernodeExperimentResult::offered_load() const {
+  return uplink_kbps > 0.0 ? offered_kbps / uplink_kbps : 0.0;
+}
+
+namespace {
+
+struct Player {
+  game::GameProfile profile;
+  TimeMs prop_mean_ms = 0.0;
+  int level = 0;
+  Kbit arrived_at_last_tick = 0.0;
+  std::optional<core::RateAdaptationController> controller;
+  std::optional<stream::ReceiverBuffer> buffer;
+  std::optional<stream::EncoderModel> encoder;
+};
+
+struct Tracker {
+  NodeId player = kInvalidNode;
+  TimeMs action_ms = 0.0;
+  int live = 0;
+  TimeMs last_arrival = 0.0;
+  bool delivered_any = false;
+  bool measured = false;
+};
+
+}  // namespace
+
+SupernodeExperimentResult run_supernode_experiment(
+    const SupernodeExperimentConfig& config) {
+  CF_CHECK_MSG(config.num_players >= 1, "need at least one player");
+  CF_CHECK_MSG(config.uplink_kbps > 0.0, "uplink must be positive");
+
+  sim::Simulator sim;
+  util::Rng rng(config.seed);
+  util::Rng setup_rng = rng.fork("setup");
+  util::Rng jitter_rng = rng.fork("jitter");
+  stream::SegmentFactory factory;
+  metrics::QoECollector qoe;
+  std::vector<Player> players(config.num_players);
+  std::unordered_map<std::uint64_t, Tracker> trackers;
+  util::RunningStats level_stats;
+  std::uint64_t drops = 0;
+  std::uint64_t on_time = 0;
+  std::uint64_t submitted = 0;
+
+  const TimeMs period = config.segment_period_ms();
+  const TimeMs window_end = config.warmup_ms + config.duration_ms;
+  // Optional bounded render stage ("kbit" = megapixels, "kbps" = Mpx/s).
+  std::optional<stream::QueuedSender> render_stage;
+  if (config.render_capacity_mpx_per_s > 0.0) {
+    render_stage.emplace(config.render_capacity_mpx_per_s);
+  }
+  auto in_window = [&](TimeMs t0) {
+    return t0 >= config.warmup_ms && t0 < window_end;
+  };
+
+  // Player setup: balanced game mix, lognormal per-player propagation mean.
+  const auto num_games = game::game_catalog().size();
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    Player& p = players[i];
+    p.profile = game::game_by_id(static_cast<game::GameId>(i % num_games));
+    p.prop_mean_ms =
+        config.prop_mean_ms * setup_rng.lognormal(0.0, config.prop_spread_sigma);
+    p.level = p.profile.target_quality_level;
+    if (config.use_gop_encoder) {
+      auto enc_config = config.encoder;
+      enc_config.fps = config.fps;
+      p.encoder.emplace(enc_config, p.level);
+    }
+    if (config.adaptation) {
+      p.controller.emplace(p.profile, config.cloudfog.adaptation);
+      p.buffer.emplace(game::quality_for_level(p.level).bitrate_kbps);
+      p.buffer->on_arrival(
+          0.0, game::quality_for_level(p.level).bitrate_kbps * period / 1000.0);
+    }
+  }
+
+  core::SupernodeSender sender(
+      sim, config.uplink_kbps,
+      config.scheduling ? core::SupernodeSender::Discipline::kDeadline
+                        : core::SupernodeSender::Discipline::kFifo,
+      config.cloudfog.scheduler,
+      [&](NodeId player, util::Rng& prop_rng) {
+        return players[player].prop_mean_ms *
+               prop_rng.lognormal(0.0, config.prop_jitter_sigma);
+      },
+      [&](const core::PacketDelivery& d) {
+        auto it = trackers.find(d.segment_id);
+        if (it == trackers.end()) return;
+        Tracker& t = it->second;
+        if (t.measured && d.on_time()) {
+          qoe.player(t.player).units_on_time += 1.0;
+          ++on_time;
+        }
+        if (!d.lost) {
+          t.delivered_any = true;
+          t.last_arrival = std::max(t.last_arrival, d.arrival_ms);
+        }
+        --t.live;
+        const NodeId who = t.player;
+        const bool measured = t.measured && t.delivered_any;
+        const TimeMs action = t.action_ms;
+        const TimeMs last = t.last_arrival;
+        if (t.live <= 0) {
+          if (measured) qoe.add_latency(who, last - action);
+          trackers.erase(it);
+        }
+        if (players[who].buffer && !d.lost) {
+          const Kbit size = d.size_kbit;
+          const TimeMs when = std::max(d.arrival_ms, sim.now());
+          sim.schedule_at(when, [&, who, size] {
+            players[who].buffer->on_arrival(sim.now(), size);
+          });
+        }
+      },
+      rng.fork("prop"));
+  if (config.network_loss_rate > 0.0) {
+    sender.set_loss_model(
+        [&](NodeId) { return config.network_loss_rate; });
+  }
+  sender.set_drop_observer([&](std::uint64_t segment_id, int) {
+    auto it = trackers.find(segment_id);
+    if (it == trackers.end()) return;
+    Tracker& t = it->second;
+    if (t.measured) ++drops;
+    --t.live;
+    if (t.live <= 0) {
+      if (t.delivered_any && t.measured)
+        qoe.add_latency(t.player, t.last_arrival - t.action_ms);
+      trackers.erase(it);
+    }
+  });
+
+  // Per-player action/segment cadence.
+  TimeMs last_render_enqueue = 0.0;
+  Kbps offered = 0.0;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    offered +=
+        game::quality_for_level(players[i].profile.target_quality_level).bitrate_kbps;
+    const auto player = static_cast<NodeId>(i);
+    const TimeMs phase = setup_rng.uniform(0.0, period);
+    sim.schedule_every(phase, period, [&, player] {
+      const TimeMs t0 = sim.now();
+      if (t0 >= window_end) return;
+      TimeMs pipeline =
+          config.pipeline_ms *
+          jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
+      if (render_stage.has_value()) {
+        // The frame renders after the update arrives, queueing behind the
+        // other players' frames on the shared GPU.
+        const auto& q = game::quality_for_level(players[player].level);
+        const double megapixels =
+            static_cast<double>(q.width) * static_cast<double>(q.height) / 1e6;
+        // QueuedSender requires monotone enqueue times; pipeline jitter can
+        // reorder frame-ready instants, so clamp to the last enqueue.
+        const TimeMs ready =
+            std::max(sim.now() + pipeline, last_render_enqueue);
+        const auto sched = render_stage->enqueue(ready, megapixels);
+        last_render_enqueue = sched.enqueued;
+        pipeline = sched.end - sim.now();
+      }
+      sim.schedule_after(pipeline, [&, player, t0] {
+        Player& p = players[player];
+        stream::VideoSegment seg =
+            factory.make(player, p.profile.id, p.level, period, t0);
+        if (p.encoder.has_value()) {
+          // Structured GOP sizes; the frame's actual (actuated) level wins.
+          const auto frame = p.encoder->next_frame(jitter_rng);
+          seg.size_kbit = frame.size_kbit *
+                          static_cast<double>(config.frames_per_segment);
+          seg.quality_level = frame.level;
+        } else if (config.segment_size_sigma > 0.0) {
+          const double sigma = config.segment_size_sigma;
+          seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
+        }
+        Tracker t;
+        t.player = player;
+        t.action_ms = t0;
+        t.live = stream::packet_count(seg.size_kbit);
+        t.measured = in_window(t0);
+        if (t.measured) {
+          qoe.player(player).units_total += static_cast<double>(t.live);
+          submitted += static_cast<std::uint64_t>(t.live);
+          level_stats.add(static_cast<double>(p.level));
+        }
+        trackers.emplace(seg.id, t);
+        sender.submit(seg);
+      });
+    });
+    if (config.adaptation) {
+      const TimeMs tick_phase = setup_rng.uniform(0.0, config.adaptation_tick_ms);
+      sim.schedule_every(tick_phase, config.adaptation_tick_ms, [&, player] {
+        Player& p = players[player];
+        const Kbps playback = game::quality_for_level(p.level).bitrate_kbps;
+        const Kbit tau = playback * period / 1000.0;
+        // Windowed download rate d(t_k): data received since the last tick.
+        const Kbit arrived = p.buffer->total_arrived_kbit();
+        const Kbps download = (arrived - p.arrived_at_last_tick) /
+                              config.adaptation_tick_ms * 1000.0;
+        p.arrived_at_last_tick = arrived;
+        if (p.controller->observe_rates(config.adaptation_tick_ms, download,
+                                        playback, tau) !=
+            core::RateAdaptationController::Decision::kHold) {
+          p.level = p.controller->level();
+          if (p.encoder.has_value()) {
+            // GOP semantics: the switch actuates at the next I-frame; the
+            // playback (consumption) rate follows the *encoded* level, which
+            // next_frame() reports per segment.
+            p.encoder->request_level(p.level);
+          }
+          p.buffer->set_playback_rate(
+              sim.now(), game::quality_for_level(p.level).bitrate_kbps);
+        }
+      });
+    }
+  }
+
+  sim.run_until(window_end + config.drain_ms);
+
+  SupernodeExperimentResult result;
+  result.satisfied_fraction = qoe.satisfied_fraction();
+  result.mean_continuity = qoe.mean_continuity();
+  result.mean_response_latency_ms = qoe.mean_response_latency_ms();
+  result.mean_quality_level = level_stats.mean();
+  result.packets_submitted = submitted;
+  result.packets_on_time = on_time;
+  result.packets_dropped = drops;
+  result.offered_kbps = offered;
+  result.uplink_kbps = config.uplink_kbps;
+  return result;
+}
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,95 @@
+// Single-supernode packet-level experiment — paper Figures 10 and 11.
+//
+// One supernode with a fixed uplink serves K players (the paper sweeps
+// K = 5..25). Each player runs one of the five catalog games (round-robin,
+// so the mix is balanced) and receives per-frame video segments whose
+// deadlines follow its game's response latency requirement. The experiment
+// toggles the two Section-III strategies independently:
+//
+//   adaptation = false, scheduling = false   -> CloudFog/B
+//   adaptation = true,  scheduling = false   -> CloudFog-adapt   (Fig 10)
+//   adaptation = false, scheduling = true    -> CloudFog-schedule(Fig 11)
+//   adaptation = true,  scheduling = true    -> CloudFog/A
+//
+// A player is satisfied when >= 95% of its packets arrive within its game's
+// response latency (the paper's definition).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cloudfog_config.h"
+#include "stream/encoder.h"
+#include "util/types.h"
+
+namespace cloudfog::systems {
+
+struct SupernodeExperimentConfig {
+  std::size_t num_players = 15;
+  Kbps uplink_kbps = 23'000.0;  // supernode upload capacity
+  TimeMs warmup_ms = 6'000.0;  // lets the adaptation loop converge
+  TimeMs duration_ms = 30'000.0;
+  TimeMs drain_ms = 1'000.0;
+
+  bool adaptation = false;
+  bool scheduling = false;
+
+  /// Action -> rendered-segment-at-supernode delay (player->cloud uplink +
+  /// state computation + update feed + rendering), lognormally jittered.
+  TimeMs pipeline_ms = 8.0;
+  double pipeline_jitter_sigma = 0.10;
+
+  /// Supernode -> player propagation: per-player mean spread around
+  /// prop_mean_ms (lognormal sigma prop_spread_sigma), per-packet jitter on
+  /// top (lognormal sigma prop_jitter_sigma).
+  TimeMs prop_mean_ms = 12.0;
+  double prop_spread_sigma = 0.45;
+  double prop_jitter_sigma = 0.10;
+
+  /// Per-packet network loss probability on the (local) supernode paths.
+  /// Defaults to 0: Figures 10/11 isolate the strategies from random loss.
+  double network_loss_rate = 0.0;
+
+  /// Model the supernode's GPU as a bounded serial render stage: each
+  /// frame costs resolution-proportional render time and queues behind the
+  /// other players' frames. 0 disables (rendering folded into pipeline_ms,
+  /// the paper's "rendering is relatively less hardware demanding"
+  /// assumption). Units: megapixels per second of render throughput.
+  double render_capacity_mpx_per_s = 0.0;
+
+  double fps = 30.0;
+  int frames_per_segment = 1;   // per-frame segments: packet-level fidelity
+  /// VBR size variation per segment (lognormal sigma, mean-preserving).
+  /// Ignored when use_gop_encoder is set.
+  double segment_size_sigma = 0.30;
+  /// Use the structured GOP encoder (stream::EncoderModel) instead of the
+  /// lognormal VBR model: I/P frame pattern, and adaptation level switches
+  /// actuate at GOP boundaries instead of instantly.
+  bool use_gop_encoder = false;
+  stream::EncoderConfig encoder{};
+  TimeMs adaptation_tick_ms = 200.0;
+
+  core::CloudFogConfig cloudfog = core::CloudFogConfig::defaults();
+  std::uint64_t seed = 7;
+
+  TimeMs segment_period_ms() const {
+    return static_cast<double>(frames_per_segment) / fps * 1000.0;
+  }
+};
+
+struct SupernodeExperimentResult {
+  double satisfied_fraction = 0.0;
+  double mean_continuity = 0.0;
+  double mean_response_latency_ms = 0.0;
+  double mean_quality_level = 0.0;
+  std::uint64_t packets_submitted = 0;
+  std::uint64_t packets_on_time = 0;
+  std::uint64_t packets_dropped = 0;
+  double offered_load() const;  // vs uplink, diagnostic
+  Kbps offered_kbps = 0.0;
+  Kbps uplink_kbps = 0.0;
+};
+
+SupernodeExperimentResult run_supernode_experiment(
+    const SupernodeExperimentConfig& config);
+
+}  // namespace cloudfog::systems

@@ -1,0 +1,40 @@
+// Lightweight precondition / invariant checking.
+//
+// CF_CHECK is always on (cheap conditions guarding public API misuse);
+// CF_DCHECK compiles out in release builds (hot-path invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cloudfog::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace cloudfog::detail
+
+#define CF_CHECK(expr)                                                       \
+  do {                                                                       \
+    if (!(expr)) ::cloudfog::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define CF_CHECK_MSG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cloudfog::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#ifdef NDEBUG
+#define CF_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define CF_DCHECK(expr) CF_CHECK(expr)
+#endif

@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cloudfog::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    CF_CHECK_MSG(arg.size() > 2, "malformed flag: '--'");
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare switch
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Flags::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CF_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+               "flag --" + key + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  CF_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+               "flag --" + key + " expects an integer, got '" + it->second + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  CF_CHECK_MSG(false, "flag --" + key + " expects a boolean, got '" + v + "'");
+  return fallback;  // unreachable
+}
+
+std::vector<std::string> Flags::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace cloudfog::util

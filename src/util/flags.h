@@ -1,0 +1,44 @@
+// Minimal --key=value command-line parser for the example/CLI tools.
+//
+// Accepted forms: `--key=value`, `--key value`, bare `--switch` (boolean
+// true). Anything not starting with `--` is a positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudfog::util {
+
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). Throws std::logic_error on a
+  /// malformed flag (e.g. `--`).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// String value, or `fallback` when the flag is absent.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+
+  /// Numeric values; throw std::logic_error when present but unparseable.
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+
+  /// Boolean: absent -> fallback; bare switch or "1"/"true"/"yes" -> true;
+  /// "0"/"false"/"no" -> false; anything else throws.
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys present on the command line but not in `known` — callers use
+  /// this to reject typos instead of silently ignoring them.
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;  // "" marks a bare switch
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cloudfog::util

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default in benchmarks; tests can raise the
+// level to debug a failing scenario. Not thread-safe by design — the
+// simulator core is single-threaded; experiment-level parallelism runs whole
+// simulations in separate processes.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cloudfog::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace cloudfog::util
+
+#define CF_LOG(level) ::cloudfog::util::detail::LogMessage(level)
+#define CF_LOG_DEBUG CF_LOG(::cloudfog::util::LogLevel::kDebug)
+#define CF_LOG_INFO CF_LOG(::cloudfog::util::LogLevel::kInfo)
+#define CF_LOG_WARN CF_LOG(::cloudfog::util::LogLevel::kWarn)
+#define CF_LOG_ERROR CF_LOG(::cloudfog::util::LogLevel::kError)

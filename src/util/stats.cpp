@@ -1,0 +1,182 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudfog::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  CF_CHECK_MSG(!samples_.empty(), "min of empty SampleSet");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  CF_CHECK_MSG(!samples_.empty(), "max of empty SampleSet");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  CF_CHECK_MSG(!samples_.empty(), "percentile of empty SampleSet");
+  CF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::fraction_at_most(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  CF_CHECK_MSG(hi > lo, "Histogram range must be non-empty");
+  CF_CHECK_MSG(buckets > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  CF_CHECK(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(max_width));
+    os << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+TimeBucketSeries::TimeBucketSeries(double bucket_width) : width_(bucket_width) {
+  CF_CHECK_MSG(bucket_width > 0.0, "bucket width must be positive");
+}
+
+void TimeBucketSeries::add(double time, double value) {
+  CF_CHECK_MSG(time >= 0.0, "TimeBucketSeries expects non-negative times");
+  const auto i = static_cast<std::size_t>(time / width_);
+  if (i >= sums_.size()) {
+    sums_.resize(i + 1, 0.0);
+    counts_.resize(i + 1, 0);
+  }
+  sums_[i] += value;
+  ++counts_[i];
+}
+
+double TimeBucketSeries::bucket_mean(std::size_t i) const {
+  CF_CHECK(i < sums_.size());
+  return counts_[i] == 0 ? 0.0 : sums_[i] / static_cast<double>(counts_[i]);
+}
+
+double TimeBucketSeries::bucket_sum(std::size_t i) const {
+  CF_CHECK(i < sums_.size());
+  return sums_[i];
+}
+
+std::uint64_t TimeBucketSeries::bucket_samples(std::size_t i) const {
+  CF_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+}  // namespace cloudfog::util

@@ -1,0 +1,106 @@
+// Summary statistics, histograms and time-series accumulators used by the
+// metric collectors and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudfog::util {
+
+/// Streaming mean/variance/min/max (Welford's algorithm). O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries. Suited to the experiment
+/// scale here (<= a few million samples).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Requires samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Fraction of samples <= threshold.
+  double fraction_at_most(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  /// Renders a compact one-line-per-bucket ASCII view (for examples/docs).
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Accumulates (time, value) observations into fixed time buckets and
+/// reports per-bucket means — used for bandwidth-over-time series.
+class TimeBucketSeries {
+ public:
+  explicit TimeBucketSeries(double bucket_width);
+
+  void add(double time, double value);
+  std::size_t bucket_count() const { return sums_.size(); }
+  double bucket_mean(std::size_t i) const;
+  double bucket_sum(std::size_t i) const;
+  std::uint64_t bucket_samples(std::size_t i) const;
+  double bucket_width() const { return width_; }
+
+ private:
+  double width_;
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace cloudfog::util

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudfog::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::set_header(std::vector<std::string> header) {
+  CF_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  CF_CHECK_MSG(!header.empty(), "header must have at least one column");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CF_CHECK_MSG(!header_.empty(), "set_header before add_row");
+  CF_CHECK_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  CF_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(widths[c], '-') << "  ";
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+}  // namespace cloudfog::util

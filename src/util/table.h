@@ -1,0 +1,51 @@
+// Aligned-column table printer used by the benchmark harnesses to emit the
+// same rows/series the paper's figures report, plus a CSV writer so results
+// can be plotted externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudfog::util {
+
+/// A simple row/column table with a title, built incrementally and rendered
+/// either as aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Renders the table with aligned columns.
+  std::string to_text() const;
+
+  /// Renders the table as RFC-4180-ish CSV (fields quoted when needed).
+  std::string to_csv() const;
+
+  /// Writes both representations to the stream (text form only).
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing garbage), e.g. 0.125.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace cloudfog::util

@@ -1,0 +1,49 @@
+// Fundamental scalar types and units used across the CloudFog codebase.
+//
+// Conventions:
+//   * Simulation time is a double counting milliseconds since simulation
+//     start (the natural unit of the paper: latency requirements are
+//     30..110 ms).
+//   * Bitrates are kilobits per second (kbps), matching Figure 2 of the
+//     paper (300..1800 kbps).
+//   * Data sizes are kilobits (kbit) so that size / rate = seconds; helpers
+//     below convert to/from bytes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cloudfog {
+
+/// Identifier of any simulated host (player, supernode, edge server, DC).
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulation time in milliseconds.
+using TimeMs = double;
+
+/// Bitrate in kilobits per second.
+using Kbps = double;
+
+/// Data size in kilobits.
+using Kbit = double;
+
+/// Converts a size in bytes to kilobits.
+constexpr Kbit bytes_to_kbit(double bytes) { return bytes * 8.0 / 1000.0; }
+
+/// Converts a size in kilobits to bytes.
+constexpr double kbit_to_bytes(Kbit kbit) { return kbit * 1000.0 / 8.0; }
+
+/// Transmission time, in milliseconds, of `size` kilobits at `rate` kbps.
+constexpr TimeMs transmission_ms(Kbit size, Kbps rate) {
+  return rate > 0.0 ? size / rate * 1000.0 : std::numeric_limits<TimeMs>::infinity();
+}
+
+/// Milliseconds in one second/minute/hour, for readable arithmetic.
+inline constexpr TimeMs kMsPerSecond = 1000.0;
+inline constexpr TimeMs kMsPerMinute = 60.0 * kMsPerSecond;
+inline constexpr TimeMs kMsPerHour = 60.0 * kMsPerMinute;
+
+}  // namespace cloudfog

@@ -1,0 +1,82 @@
+#include "world/interest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::world {
+
+InterestManager::InterestManager(const VirtualWorld& world, int halo)
+    : world_(world), halo_(halo) {
+  CF_CHECK_MSG(halo >= 0, "halo must be non-negative");
+}
+
+void InterestManager::track(NodeId supernode, AvatarId avatar) {
+  CF_CHECK_MSG(world_.exists(avatar), "tracking unknown avatar");
+  auto& list = tracked_[supernode];
+  CF_CHECK_MSG(std::find(list.begin(), list.end(), avatar) == list.end(),
+               "avatar already tracked by this supernode");
+  list.push_back(avatar);
+  rebuild(supernode);
+}
+
+void InterestManager::untrack(NodeId supernode, AvatarId avatar) {
+  const auto it = tracked_.find(supernode);
+  CF_CHECK_MSG(it != tracked_.end(), "unknown supernode");
+  auto& list = it->second;
+  const auto pos = std::find(list.begin(), list.end(), avatar);
+  CF_CHECK_MSG(pos != list.end(), "avatar not tracked by this supernode");
+  list.erase(pos);
+  if (list.empty()) {
+    tracked_.erase(it);
+    subscriptions_.erase(supernode);
+  } else {
+    rebuild(supernode);
+  }
+}
+
+void InterestManager::rebuild(NodeId supernode) {
+  std::vector<bool> bits(world_.region_count(), false);
+  for (AvatarId avatar : tracked_.at(supernode)) {
+    if (!world_.exists(avatar)) continue;  // despawned since last refresh
+    const RegionId center = world_.region_of(world_.avatar(avatar).position);
+    for (RegionId r : world_.neighborhood(center, halo_)) bits[r] = true;
+  }
+  subscriptions_[supernode] = std::move(bits);
+}
+
+void InterestManager::refresh() {
+  for (const auto& [supernode, avatars] : tracked_) rebuild(supernode);
+}
+
+const std::vector<bool>& InterestManager::subscription(NodeId supernode) const {
+  const auto it = subscriptions_.find(supernode);
+  CF_CHECK_MSG(it != subscriptions_.end(), "unknown supernode");
+  return it->second;
+}
+
+std::size_t InterestManager::subscribed_regions(NodeId supernode) const {
+  const auto& bits = subscription(supernode);
+  return static_cast<std::size_t>(std::count(bits.begin(), bits.end(), true));
+}
+
+std::vector<AvatarDelta> InterestManager::update_for(
+    NodeId supernode, const TickDelta& delta) const {
+  return delta.in_regions(subscription(supernode));
+}
+
+InterestManager::FeedSizes InterestManager::feed_sizes(
+    const TickDelta& delta) const {
+  FeedSizes sizes;
+  const Kbit full = delta.size_kbit();
+  for (const auto& [supernode, bits] : subscriptions_) {
+    TickDelta filtered;
+    filtered.tick = delta.tick;
+    filtered.changes = delta.in_regions(bits);
+    sizes.filtered_kbit += filtered.size_kbit();
+    sizes.broadcast_kbit += full;
+  }
+  return sizes;
+}
+
+}  // namespace cloudfog::world

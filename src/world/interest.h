@@ -1,0 +1,66 @@
+// Area-of-interest update filtering — what makes the cloud->supernode
+// update feed (the paper's Lambda) small.
+//
+// A supernode only needs the world state its players can see: each player
+// avatar subscribes the supernode to the regions around its position (a
+// Chebyshev halo). The cloud then sends each supernode only the per-tick
+// delta entries falling in its subscribed regions, instead of broadcasting
+// the full delta. This module maintains the subscriptions and measures the
+// bandwidth both ways — grounding Lambda in mechanism instead of assumption.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+#include "world/virtual_world.h"
+
+namespace cloudfog::world {
+
+class InterestManager {
+ public:
+  /// `halo`: how many rings of neighbouring regions a player sees.
+  InterestManager(const VirtualWorld& world, int halo = 1);
+
+  /// (Re)registers a player avatar served by `supernode`; its subscription
+  /// follows the avatar's current region.
+  void track(NodeId supernode, AvatarId avatar);
+  /// Removes the avatar (player left or moved to another supernode).
+  void untrack(NodeId supernode, AvatarId avatar);
+
+  /// Refreshes subscriptions from current avatar positions — call after
+  /// each tick (players move).
+  void refresh();
+
+  /// Regions the supernode is subscribed to (bitset by region id).
+  const std::vector<bool>& subscription(NodeId supernode) const;
+  std::size_t subscribed_regions(NodeId supernode) const;
+
+  /// The per-tick update for one supernode: the delta filtered to its
+  /// subscription.
+  std::vector<AvatarDelta> update_for(NodeId supernode,
+                                      const TickDelta& delta) const;
+
+  /// Update-feed sizes for one tick: filtered (sum over supernodes) vs the
+  /// broadcast alternative (full delta to every supernode).
+  struct FeedSizes {
+    Kbit filtered_kbit = 0.0;
+    Kbit broadcast_kbit = 0.0;
+    double saving() const {
+      return broadcast_kbit > 0.0 ? 1.0 - filtered_kbit / broadcast_kbit : 0.0;
+    }
+  };
+  FeedSizes feed_sizes(const TickDelta& delta) const;
+
+  std::size_t supernodes() const { return tracked_.size(); }
+
+ private:
+  void rebuild(NodeId supernode);
+
+  const VirtualWorld& world_;
+  int halo_;
+  std::unordered_map<NodeId, std::vector<AvatarId>> tracked_;
+  std::unordered_map<NodeId, std::vector<bool>> subscriptions_;
+};
+
+}  // namespace cloudfog::world

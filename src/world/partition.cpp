@@ -1,0 +1,111 @@
+#include "world/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudfog::world {
+
+double PartitionStats::imbalance() const {
+  if (load.empty()) return 1.0;
+  std::size_t total = 0, peak = 0;
+  for (std::size_t l : load) {
+    total += l;
+    peak = std::max(peak, l);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(load.size());
+  return static_cast<double>(peak) / mean;
+}
+
+std::size_t PartitionStats::max_load() const {
+  std::size_t peak = 0;
+  for (std::size_t l : load) peak = std::max(peak, l);
+  return peak;
+}
+
+PartitionStats Partition::stats(const std::vector<Position>& avatars) const {
+  PartitionStats out;
+  out.load.assign(servers(), 0);
+  for (const Position& p : avatars) {
+    const std::size_t s = server_of(p);
+    CF_CHECK_MSG(s < out.load.size(), "server index out of range");
+    ++out.load[s];
+  }
+  return out;
+}
+
+GridPartition::GridPartition(const WorldConfig& config, std::size_t columns,
+                             std::size_t rows)
+    : config_(config), columns_(columns), rows_(rows) {
+  CF_CHECK_MSG(columns >= 1 && rows >= 1, "grid must have cells");
+}
+
+std::size_t GridPartition::server_of(Position position) const {
+  const double x = std::clamp(position.x, 0.0, config_.width);
+  const double y = std::clamp(position.y, 0.0, config_.height);
+  auto cx = static_cast<std::size_t>(x / config_.width *
+                                     static_cast<double>(columns_));
+  auto cy = static_cast<std::size_t>(y / config_.height *
+                                     static_cast<double>(rows_));
+  if (cx >= columns_) cx = columns_ - 1;
+  if (cy >= rows_) cy = rows_ - 1;
+  return cy * columns_ + cx;
+}
+
+KdPartition::KdPartition(const std::vector<Position>& avatars, int depth) {
+  CF_CHECK_MSG(depth >= 0 && depth <= 20, "depth out of range");
+  CF_CHECK_MSG(!avatars.empty(), "cannot partition an empty population");
+  root_ = build(avatars, depth, /*split_on_x=*/true);
+}
+
+std::size_t KdPartition::servers() const { return leaves_; }
+
+int KdPartition::build(std::vector<Position> points, int depth, bool split_on_x) {
+  if (depth == 0) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.server = leaves_++;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+  // Median split on the alternating axis (Bezerra et al.'s balancing rule).
+  const std::size_t mid = points.size() / 2;
+  std::nth_element(points.begin(),
+                   points.begin() + static_cast<std::ptrdiff_t>(mid),
+                   points.end(), [split_on_x](const Position& a, const Position& b) {
+                     return split_on_x ? a.x < b.x : a.y < b.y;
+                   });
+  const double split =
+      split_on_x ? points[mid].x : points[mid].y;
+  std::vector<Position> left(points.begin(),
+                             points.begin() + static_cast<std::ptrdiff_t>(mid));
+  std::vector<Position> right(points.begin() + static_cast<std::ptrdiff_t>(mid),
+                              points.end());
+  // Degenerate guard: all points identical on this axis — still split the
+  // index space so the leaf count stays 2^depth.
+  if (left.empty()) {
+    left.push_back(right.front());
+  }
+  const int left_child = build(std::move(left), depth - 1, !split_on_x);
+  const int right_child = build(std::move(right), depth - 1, !split_on_x);
+  Node inner;
+  inner.split_on_x = split_on_x;
+  inner.split = split;
+  inner.left = left_child;
+  inner.right = right_child;
+  nodes_.push_back(inner);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::size_t KdPartition::server_of(Position position) const {
+  int index = root_;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.leaf) return node.server;
+    const double v = node.split_on_x ? position.x : position.y;
+    index = v < node.split ? node.left : node.right;
+  }
+}
+
+}  // namespace cloudfog::world

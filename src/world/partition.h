@@ -1,0 +1,77 @@
+// Avatar-to-server partitioning for the cloud's state computation — the
+// kd-tree load balancing of Bezerra et al. (the paper's reference [12])
+// against the naive static grid, reproduced as the cloud-side substrate's
+// scaling mechanism.
+//
+// A KdPartition recursively splits the avatar population at coordinate
+// medians (alternating axes) into 2^depth cells, one per state server, so
+// every server handles ~the same number of avatars even when players
+// cluster. A GridPartition splits the *map* uniformly instead, which
+// clusters of players defeat.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "world/virtual_world.h"
+
+namespace cloudfog::world {
+
+/// Result of assigning avatars to servers.
+struct PartitionStats {
+  std::vector<std::size_t> load;  // avatars per server
+  double imbalance() const;       // max load / mean load (1.0 = perfect)
+  std::size_t max_load() const;
+};
+
+/// Interface: maps positions to state-server indices.
+class Partition {
+ public:
+  virtual ~Partition() = default;
+  virtual std::size_t servers() const = 0;
+  virtual std::size_t server_of(Position position) const = 0;
+
+  /// Loads for a concrete avatar population.
+  PartitionStats stats(const std::vector<Position>& avatars) const;
+};
+
+/// Uniform map grid: `columns x rows` cells, one server each.
+class GridPartition final : public Partition {
+ public:
+  GridPartition(const WorldConfig& config, std::size_t columns, std::size_t rows);
+  std::size_t servers() const override { return columns_ * rows_; }
+  std::size_t server_of(Position position) const override;
+
+ private:
+  WorldConfig config_;
+  std::size_t columns_;
+  std::size_t rows_;
+};
+
+/// kd-tree over the avatar population: 2^depth leaves, median splits.
+/// Rebuild (re-run the constructor) to rebalance after the population moves.
+class KdPartition final : public Partition {
+ public:
+  /// Builds from the avatar positions; `depth` >= 0 gives 2^depth servers.
+  KdPartition(const std::vector<Position>& avatars, int depth);
+
+  std::size_t servers() const override;
+  std::size_t server_of(Position position) const override;
+
+ private:
+  struct Node {
+    bool leaf = false;
+    bool split_on_x = true;
+    double split = 0.0;
+    std::size_t server = 0;   // leaf only
+    int left = -1, right = -1;  // indices into nodes_
+  };
+
+  int build(std::vector<Position> points, int depth, bool split_on_x);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace cloudfog::world

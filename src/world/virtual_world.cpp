@@ -1,0 +1,180 @@
+#include "world/virtual_world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudfog::world {
+
+Kbit TickDelta::size_kbit() const {
+  // 16-byte header + 24 bytes per change record.
+  const double bytes = 16.0 + 24.0 * static_cast<double>(changes.size());
+  return bytes_to_kbit(bytes);
+}
+
+std::vector<AvatarDelta> TickDelta::in_regions(
+    const std::vector<bool>& subscribed) const {
+  std::vector<AvatarDelta> out;
+  for (const AvatarDelta& c : changes) {
+    if (c.region < subscribed.size() && subscribed[c.region]) out.push_back(c);
+  }
+  return out;
+}
+
+VirtualWorld::VirtualWorld(WorldConfig config) : config_(config) {
+  CF_CHECK_MSG(config.width > 0.0 && config.height > 0.0, "map must be non-empty");
+  CF_CHECK_MSG(config.region_size > 0.0, "region size must be positive");
+  CF_CHECK_MSG(config.move_speed >= 0.0, "move speed must be non-negative");
+  regions_x_ = static_cast<std::size_t>(
+      std::ceil(config.width / config.region_size));
+  regions_y_ = static_cast<std::size_t>(
+      std::ceil(config.height / config.region_size));
+  CF_CHECK_MSG(regions_x_ >= 1 && regions_y_ >= 1, "degenerate region grid");
+}
+
+Position VirtualWorld::clamp(Position p) const {
+  p.x = std::clamp(p.x, 0.0, config_.width);
+  p.y = std::clamp(p.y, 0.0, config_.height);
+  return p;
+}
+
+AvatarId VirtualWorld::spawn(util::Rng& rng) {
+  return spawn_at(Position{rng.uniform(0.0, config_.width),
+                           rng.uniform(0.0, config_.height)});
+}
+
+AvatarId VirtualWorld::spawn_at(Position position) {
+  Avatar a;
+  a.id = next_id_++;
+  a.position = clamp(position);
+  a.health = config_.respawn_health;
+  avatars_.emplace(a.id, a);
+  return a.id;
+}
+
+void VirtualWorld::despawn(AvatarId id) {
+  CF_CHECK_MSG(avatars_.erase(id) == 1, "despawning unknown avatar");
+}
+
+bool VirtualWorld::exists(AvatarId id) const { return avatars_.contains(id); }
+
+const Avatar& VirtualWorld::avatar(AvatarId id) const {
+  const auto it = avatars_.find(id);
+  CF_CHECK_MSG(it != avatars_.end(), "unknown avatar");
+  return it->second;
+}
+
+void VirtualWorld::submit(const Action& action) {
+  CF_CHECK_MSG(avatars_.contains(action.actor), "action from unknown avatar");
+  pending_.push_back(action);
+}
+
+RegionId VirtualWorld::region_of(Position position) const {
+  const Position p = clamp(position);
+  auto rx = static_cast<std::size_t>(p.x / config_.region_size);
+  auto ry = static_cast<std::size_t>(p.y / config_.region_size);
+  if (rx >= regions_x_) rx = regions_x_ - 1;
+  if (ry >= regions_y_) ry = regions_y_ - 1;
+  return static_cast<RegionId>(ry * regions_x_ + rx);
+}
+
+std::vector<RegionId> VirtualWorld::neighborhood(RegionId center, int halo) const {
+  CF_CHECK_MSG(center < region_count(), "region out of range");
+  CF_CHECK_MSG(halo >= 0, "halo must be non-negative");
+  const auto cx = static_cast<long>(center % regions_x_);
+  const auto cy = static_cast<long>(center / regions_x_);
+  std::vector<RegionId> out;
+  for (long dy = -halo; dy <= halo; ++dy) {
+    for (long dx = -halo; dx <= halo; ++dx) {
+      const long x = cx + dx;
+      const long y = cy + dy;
+      if (x < 0 || y < 0 || x >= static_cast<long>(regions_x_) ||
+          y >= static_cast<long>(regions_y_)) {
+        continue;
+      }
+      out.push_back(static_cast<RegionId>(y * static_cast<long>(regions_x_) + x));
+    }
+  }
+  return out;
+}
+
+std::optional<AvatarId> VirtualWorld::strike_target(const Avatar& from) const {
+  std::optional<AvatarId> best;
+  double best_distance = config_.strike_range;
+  for (const auto& [id, other] : avatars_) {
+    if (id == from.id || !other.alive) continue;
+    const double dx = other.position.x - from.position.x;
+    const double dy = other.position.y - from.position.y;
+    const double distance = std::sqrt(dx * dx + dy * dy);
+    if (distance < best_distance ||
+        (distance == best_distance && best.has_value() && id < *best)) {
+      best_distance = distance;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TickDelta VirtualWorld::tick(util::Rng& rng) {
+  TickDelta delta;
+  delta.tick = ++tick_count_;
+  std::unordered_map<AvatarId, bool> changed;
+
+  // Apply actions in submission order (the cloud's authoritative ordering).
+  for (const Action& action : pending_) {
+    const auto it = avatars_.find(action.actor);
+    if (it == avatars_.end()) continue;  // actor despawned mid-tick
+    Avatar& actor = it->second;
+    switch (action.type) {
+      case ActionType::kMove: {
+        const double norm = std::sqrt(action.dx * action.dx +
+                                      action.dy * action.dy);
+        if (norm <= 0.0) break;
+        actor.position = clamp(Position{
+            actor.position.x + action.dx / norm * config_.move_speed,
+            actor.position.y + action.dy / norm * config_.move_speed});
+        changed[actor.id] = true;
+        break;
+      }
+      case ActionType::kStrike: {
+        const auto target = strike_target(actor);
+        if (!target.has_value()) break;
+        Avatar& victim = avatars_.at(*target);
+        victim.health -= config_.strike_damage;
+        changed[victim.id] = true;
+        if (victim.health <= 0.0) {
+          // Respawn with full health at a random position.
+          victim.health = config_.respawn_health;
+          victim.position = clamp(Position{rng.uniform(0.0, config_.width),
+                                           rng.uniform(0.0, config_.height)});
+        }
+        break;
+      }
+      case ActionType::kEmote:
+        // Cosmetic: visible to others, so it is part of the delta.
+        changed[actor.id] = true;
+        break;
+    }
+  }
+  pending_.clear();
+
+  delta.changes.reserve(changed.size());
+  for (const auto& [id, was_changed] : changed) {
+    const auto it = avatars_.find(id);
+    if (it == avatars_.end()) continue;
+    AvatarDelta d;
+    d.id = id;
+    d.position = it->second.position;
+    d.health = it->second.health;
+    d.alive = it->second.alive;
+    d.region = region_of(it->second.position);
+    delta.changes.push_back(d);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(delta.changes.begin(), delta.changes.end(),
+            [](const AvatarDelta& a, const AvatarDelta& b) { return a.id < b.id; });
+  return delta;
+}
+
+}  // namespace cloudfog::world

@@ -1,0 +1,135 @@
+// The cloud-side virtual world — the substrate behind the paper's
+// "intensive computation of the new game state of the virtual world
+// (including the new shape and position of objects and states of avatars)".
+//
+// A deliberately compact MMOG state machine:
+//   * avatars live on a bounded 2D map divided into square regions;
+//   * players submit actions (move / strike / emote) that are buffered and
+//     applied at the next tick, the way MMOG servers batch input;
+//   * each tick produces a TickDelta — exactly the "update information" the
+//     cloud streams to supernodes, with per-region indexing so the interest
+//     manager can filter it (world/interest.h) and a serialized size so the
+//     update-feed bandwidth Lambda can be *measured* instead of assumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace cloudfog::world {
+
+using AvatarId = std::uint32_t;
+using RegionId = std::uint32_t;
+inline constexpr AvatarId kInvalidAvatar = 0xffffffffu;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Avatar {
+  AvatarId id = kInvalidAvatar;
+  Position position;
+  double health = 100.0;
+  bool alive = true;
+};
+
+enum class ActionType : std::uint8_t { kMove, kStrike, kEmote };
+
+struct Action {
+  AvatarId actor = kInvalidAvatar;
+  ActionType type = ActionType::kMove;
+  /// kMove: target direction (normalised internally). kStrike/kEmote: unused.
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+/// One avatar's state change within a tick.
+struct AvatarDelta {
+  AvatarId id = kInvalidAvatar;
+  Position position;
+  double health = 100.0;
+  bool alive = true;
+  RegionId region = 0;  // region of the *new* position
+};
+
+/// The update information of one tick.
+struct TickDelta {
+  std::uint64_t tick = 0;
+  std::vector<AvatarDelta> changes;
+
+  /// Serialized size in kilobits: a fixed header plus a compact per-change
+  /// record (id + position + health + flags ~ 24 bytes).
+  Kbit size_kbit() const;
+
+  /// Changes restricted to a region set (used by the interest manager).
+  std::vector<AvatarDelta> in_regions(const std::vector<bool>& subscribed) const;
+};
+
+struct WorldConfig {
+  double width = 4'000.0;      // world units
+  double height = 4'000.0;
+  double region_size = 250.0;  // square regions
+  double move_speed = 12.0;    // units per tick
+  double strike_range = 30.0;
+  double strike_damage = 15.0;
+  double respawn_health = 100.0;
+};
+
+/// Deterministic, single-authority world state (the cloud's job).
+class VirtualWorld {
+ public:
+  explicit VirtualWorld(WorldConfig config);
+
+  // --- population ------------------------------------------------------------
+  /// Spawns an avatar at a uniform random position.
+  AvatarId spawn(util::Rng& rng);
+  /// Spawns at an explicit position (clamped to the map).
+  AvatarId spawn_at(Position position);
+  void despawn(AvatarId id);
+  bool exists(AvatarId id) const;
+  const Avatar& avatar(AvatarId id) const;
+  std::size_t population() const { return avatars_.size(); }
+
+  // --- actions & ticks ---------------------------------------------------------
+  /// Buffers an action for the next tick. Unknown actors are rejected.
+  void submit(const Action& action);
+  std::size_t pending_actions() const { return pending_.size(); }
+
+  /// Applies all buffered actions, advances the world one tick and returns
+  /// the delta (only avatars that actually changed appear in it). Struck
+  /// avatars whose health reaches 0 respawn at a random position with full
+  /// health (standard MMOG behaviour), drawing from `rng`.
+  TickDelta tick(util::Rng& rng);
+  std::uint64_t ticks() const { return tick_count_; }
+
+  // --- regions ----------------------------------------------------------------
+  RegionId region_of(Position position) const;
+  std::size_t region_count() const { return regions_x_ * regions_y_; }
+  std::size_t regions_x() const { return regions_x_; }
+  std::size_t regions_y() const { return regions_y_; }
+  /// All regions within `halo` regions (Chebyshev) of `center` — the
+  /// interest set of a player whose avatar sits in `center`.
+  std::vector<RegionId> neighborhood(RegionId center, int halo) const;
+
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  Position clamp(Position p) const;
+  /// Nearest living avatar within strike range of `from`, excluding self.
+  std::optional<AvatarId> strike_target(const Avatar& from) const;
+
+  WorldConfig config_;
+  std::size_t regions_x_;
+  std::size_t regions_y_;
+  AvatarId next_id_ = 1;
+  std::uint64_t tick_count_ = 0;
+  std::unordered_map<AvatarId, Avatar> avatars_;
+  std::vector<Action> pending_;
+};
+
+}  // namespace cloudfog::world

@@ -1,0 +1,269 @@
+#include "core/deadline_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudfog::core {
+namespace {
+
+DeadlineSchedulerConfig config() {
+  DeadlineSchedulerConfig c;
+  c.decay_lambda_per_s = 1.0;
+  c.propagation_history = 10;
+  c.max_queue_segments = 100;
+  c.default_propagation_ms = 20.0;
+  return c;
+}
+
+stream::VideoSegment make_segment(std::uint64_t id, NodeId player,
+                                  game::GameId game, Kbit size,
+                                  TimeMs action_ms) {
+  stream::VideoSegment seg;
+  seg.id = id;
+  seg.player = player;
+  seg.game = game;
+  seg.quality_level = 3;
+  seg.duration_ms = 33.3;
+  seg.size_kbit = size;
+  seg.action_time_ms = action_ms;
+  seg.deadline_ms = action_ms + game::game_by_id(game).latency_requirement_ms;
+  seg.loss_tolerance = game::game_by_id(game).loss_tolerance;
+  return seg;
+}
+
+TEST(AllocateDrops, ProportionalToWeights) {
+  // Weights 3:1 over 8 drops -> 6 and 2.
+  const auto shares = allocate_drops({3.0, 1.0}, 8);
+  EXPECT_EQ(shares, (std::vector<int>{6, 2}));
+}
+
+TEST(AllocateDrops, ZeroTotal) {
+  EXPECT_EQ(allocate_drops({1.0, 2.0}, 0), (std::vector<int>{0, 0}));
+}
+
+TEST(AllocateDrops, ZeroWeightGetsNothing) {
+  const auto shares = allocate_drops({0.0, 1.0}, 5);
+  EXPECT_EQ(shares[0], 0);
+  EXPECT_EQ(shares[1], 5);
+}
+
+TEST(AllocateDrops, AllZeroWeightsNoDrops) {
+  EXPECT_EQ(allocate_drops({0.0, 0.0}, 5), (std::vector<int>{0, 0}));
+}
+
+TEST(AllocateDrops, Equation14WorkedValues) {
+  // Section III-C example setup: tolerances 0.6/0.2/0.5 with decay factors
+  // 0.5/0.1/0.2 give weights 0.30/0.02/0.10 and D = 6. Strict Eq (14)
+  // rounding yields 4/0/1 (the paper's quoted 3/2/1 does not satisfy its
+  // own formula; see DESIGN.md).
+  const auto shares = allocate_drops({0.6 * 0.5, 0.2 * 0.1, 0.5 * 0.2}, 6);
+  EXPECT_EQ(shares, (std::vector<int>{4, 0, 1}));
+}
+
+TEST(AllocateDrops, RejectsNegative) {
+  EXPECT_THROW(allocate_drops({-1.0}, 3), std::logic_error);
+  EXPECT_THROW(allocate_drops({1.0}, -1), std::logic_error);
+}
+
+TEST(DeadlineScheduler, PopsInExpectedArrivalOrder) {
+  DeadlineScheduler sched(100'000.0, config());
+  // Game 4 (110 ms requirement) enqueued before game 0 (30 ms): the tighter
+  // deadline must transmit first despite arriving later.
+  sched.enqueue(make_segment(1, 10, 4, 12.0, 0.0), 0.0);  // deadline 110
+  sched.enqueue(make_segment(2, 11, 0, 12.0, 0.0), 0.0);  // deadline 30
+  auto first = sched.pop_packet(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->player, 11u);
+  auto second = sched.pop_packet(0.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->player, 10u);
+}
+
+TEST(DeadlineScheduler, EqualDeadlinesOrderById) {
+  DeadlineScheduler sched(100'000.0, config());
+  sched.enqueue(make_segment(5, 10, 2, 12.0, 0.0), 0.0);
+  sched.enqueue(make_segment(3, 11, 2, 12.0, 0.0), 0.0);
+  EXPECT_EQ(sched.pop_packet(0.0)->player, 11u);  // id 3 first
+}
+
+TEST(DeadlineScheduler, PacketsWithinSegmentInOrder) {
+  DeadlineScheduler sched(100'000.0, config());
+  sched.enqueue(make_segment(1, 10, 4, 36.0, 0.0), 0.0);  // 3 packets
+  for (int i = 0; i < 3; ++i) {
+    auto p = sched.pop_packet(0.0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->packet.index, i);
+  }
+  EXPECT_FALSE(sched.pop_packet(0.0).has_value());
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(DeadlineScheduler, Equation13PropagationAverage) {
+  DeadlineScheduler sched(100'000.0, config());
+  EXPECT_DOUBLE_EQ(sched.estimated_propagation_ms(7), 20.0);  // default
+  sched.record_propagation(7, 10.0);
+  sched.record_propagation(7, 30.0);
+  EXPECT_DOUBLE_EQ(sched.estimated_propagation_ms(7), 20.0);
+  sched.record_propagation(7, 50.0);
+  EXPECT_DOUBLE_EQ(sched.estimated_propagation_ms(7), 30.0);
+}
+
+TEST(DeadlineScheduler, Equation13WindowOfMSamples) {
+  auto c = config();
+  c.propagation_history = 3;
+  DeadlineScheduler sched(100'000.0, c);
+  for (double v : {100.0, 1.0, 2.0, 3.0}) sched.record_propagation(7, v);
+  // The window keeps the last 3 samples: (1+2+3)/3.
+  EXPECT_DOUBLE_EQ(sched.estimated_propagation_ms(7), 2.0);
+}
+
+TEST(DeadlineScheduler, Equation12ArrivalEstimate) {
+  // Uplink 12 kbps -> one 12-kbit packet per second.
+  auto c = config();
+  c.default_propagation_ms = 50.0;
+  DeadlineScheduler sched(12.0, c);
+  // Two segments with relaxed deadlines so no drops occur: sizes 24, 12.
+  auto a = make_segment(1, 10, 4, 24.0, 0.0);
+  a.deadline_ms = 1e9;
+  auto b = make_segment(2, 11, 4, 12.0, 0.0);
+  b.deadline_ms = 1e9 + 1;
+  sched.enqueue(a, 0.0);
+  sched.enqueue(b, 0.0);
+  // Position 0: l_q = 0, l_t = 2000 ms, l_p = 50.
+  EXPECT_NEAR(sched.estimated_arrival_ms(0, 0.0), 2'050.0, 1e-6);
+  // Position 1: l_q = 2000, l_t = 1000, l_p = 50.
+  EXPECT_NEAR(sched.estimated_arrival_ms(1, 0.0), 3'050.0, 1e-6);
+}
+
+TEST(DeadlineScheduler, DropsWhenPredictedLate) {
+  // Uplink 120 kbps: a 12-kbit packet takes 100 ms. Deadline 110 ms with
+  // 20 ms propagation: a 3-packet segment (300 ms transmission) cannot make
+  // it; the scheduler must shed packets.
+  DeadlineScheduler sched(120.0, config());
+  auto seg = make_segment(1, 10, 4, 36.0, 0.0);
+  sched.enqueue(seg, 0.0);
+  EXPECT_GT(sched.total_dropped_packets(), 0u);
+}
+
+TEST(DeadlineScheduler, NoDropsWhenFeasible) {
+  DeadlineScheduler sched(10'000.0, config());
+  sched.enqueue(make_segment(1, 10, 4, 36.0, 0.0), 0.0);
+  EXPECT_EQ(sched.total_dropped_packets(), 0u);
+}
+
+TEST(DeadlineScheduler, DropsCappedByLossToleranceBudget) {
+  // Game 0's loss tolerance is 0.2: at most floor(0.2 * packets) may drop
+  // from its segment no matter how late it is.
+  DeadlineScheduler sched(60.0, config());
+  auto seg = make_segment(1, 10, 0, 120.0, 0.0);  // 10 packets, hopeless
+  sched.enqueue(seg, 0.0);
+  EXPECT_LE(sched.total_dropped_packets(), 2u);
+}
+
+TEST(DeadlineScheduler, ToleranceWeightedDropShares) {
+  // Two queued segments, one from a loss-tolerant game (0.6) and one from a
+  // strict game (0.2): the tolerant segment sheds more packets.
+  auto c = config();
+  c.default_propagation_ms = 5.0;
+  DeadlineScheduler sched(1'200.0, c);  // 10 ms per packet
+  std::vector<std::pair<std::uint64_t, int>> drops;
+  sched.set_drop_observer([&](std::uint64_t id, int index) {
+    drops.emplace_back(id, index);
+  });
+  auto tolerant = make_segment(1, 10, 4, 120.0, 0.0);  // 10 pkts, tol 0.6
+  tolerant.deadline_ms = 200.0;
+  auto strict = make_segment(2, 11, 0, 120.0, 0.0);    // 10 pkts, tol 0.2
+  strict.deadline_ms = 201.0;
+  sched.enqueue(tolerant, 0.0);
+  sched.enqueue(strict, 0.0);
+  int from_tolerant = 0, from_strict = 0;
+  for (const auto& [id, index] : drops) {
+    if (id == 1) ++from_tolerant;
+    if (id == 2) ++from_strict;
+  }
+  EXPECT_GT(from_tolerant, from_strict);
+  EXPECT_EQ(static_cast<std::uint64_t>(from_tolerant + from_strict),
+            sched.total_dropped_packets());
+}
+
+TEST(DeadlineScheduler, DroppedPacketsSkippedByPop) {
+  DeadlineScheduler sched(120.0, config());
+  auto seg = make_segment(1, 10, 4, 36.0, 0.0);  // 3 packets, will drop tail
+  sched.enqueue(seg, 0.0);
+  const auto dropped = sched.total_dropped_packets();
+  ASSERT_GT(dropped, 0u);
+  std::size_t popped = 0;
+  while (sched.pop_packet(0.0).has_value()) ++popped;
+  EXPECT_EQ(popped + dropped, 3u);
+}
+
+TEST(DeadlineScheduler, BufferOverflowDiscardsWholeSegment) {
+  auto c = config();
+  c.max_queue_segments = 2;
+  DeadlineScheduler sched(100'000.0, c);
+  EXPECT_TRUE(sched.enqueue(make_segment(1, 10, 4, 12.0, 0.0), 0.0));
+  EXPECT_TRUE(sched.enqueue(make_segment(2, 10, 4, 12.0, 0.0), 0.0));
+  EXPECT_FALSE(sched.enqueue(make_segment(3, 10, 4, 12.0, 0.0), 0.0));
+  EXPECT_EQ(sched.total_overflow_segments(), 1u);
+  EXPECT_EQ(sched.queued_segments(), 2u);
+}
+
+TEST(DeadlineScheduler, QueuedPacketCounts) {
+  DeadlineScheduler sched(100'000.0, config());
+  sched.enqueue(make_segment(1, 10, 4, 36.0, 0.0), 0.0);  // 3 packets
+  sched.enqueue(make_segment(2, 11, 4, 12.0, 0.0), 0.0);  // 1 packet
+  EXPECT_EQ(sched.queued_packets(), 4u);
+  EXPECT_FALSE(sched.empty());
+  (void)sched.pop_packet(0.0);
+  EXPECT_EQ(sched.queued_packets(), 3u);
+}
+
+TEST(DeadlineScheduler, DecayFavorsDroppingFresherSegments) {
+  // phi = e^(-lambda * wait): a segment queued for a long time has low phi
+  // and is protected relative to an equal-tolerance fresh one. Construction:
+  // A (old, waited 2 s) and B (fresh) precede a large fresh segment C whose
+  // deadline is blown; Eq (14) must shed more from B than from A.
+  auto c = config();
+  c.default_propagation_ms = 5.0;
+  DeadlineScheduler sched(1'200.0, c);  // 10 ms per packet
+  std::vector<std::uint64_t> dropped_ids;
+  sched.set_drop_observer(
+      [&](std::uint64_t id, int) { dropped_ids.push_back(id); });
+  auto seg_a = make_segment(1, 10, 4, 120.0, 0.0);  // 10 packets
+  seg_a.deadline_ms = 2'500.0;
+  sched.enqueue(seg_a, 0.0);
+  EXPECT_TRUE(dropped_ids.empty());
+  auto seg_b = make_segment(2, 11, 4, 120.0, 2'000.0);  // 10 packets
+  seg_b.deadline_ms = 2'600.0;
+  sched.enqueue(seg_b, 2'000.0);
+  EXPECT_TRUE(dropped_ids.empty());
+  auto seg_c = make_segment(3, 12, 4, 600.0, 2'000.0);  // 50 packets
+  seg_c.deadline_ms = 2'610.0;  // predicted arrival ~2705: late
+  sched.enqueue(seg_c, 2'000.0);
+  int from_a = 0, from_b = 0;
+  for (auto id : dropped_ids) {
+    if (id == 1) ++from_a;
+    if (id == 2) ++from_b;
+  }
+  EXPECT_GT(sched.total_dropped_packets(), 0u);
+  EXPECT_GT(from_b, from_a);
+}
+
+TEST(DeadlineScheduler, RejectsBadConfig) {
+  EXPECT_THROW(DeadlineScheduler(0.0, config()), std::logic_error);
+  auto c = config();
+  c.propagation_history = 0;
+  EXPECT_THROW(DeadlineScheduler(1'000.0, c), std::logic_error);
+  auto c2 = config();
+  c2.max_queue_segments = 0;
+  EXPECT_THROW(DeadlineScheduler(1'000.0, c2), std::logic_error);
+}
+
+TEST(DeadlineScheduler, RejectsNegativePropagation) {
+  DeadlineScheduler sched(1'000.0, config());
+  EXPECT_THROW(sched.record_propagation(1, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

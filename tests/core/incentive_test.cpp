@@ -1,0 +1,139 @@
+#include "core/incentive.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::core {
+namespace {
+
+IncentiveParams params() {
+  IncentiveParams p;
+  p.reward_per_kbps = 0.5;    // c_s
+  p.value_per_kbps = 1.0;     // c_c
+  p.update_stream_kbps = 100; // Lambda
+  p.stream_rate_kbps = 800;   // R
+  return p;
+}
+
+TEST(Equation1, SupernodeProfit) {
+  // P_s = c_s * c_j * u_j - cost_j = 0.5 * 10000 * 0.8 - 1000 = 3000.
+  EXPECT_DOUBLE_EQ(supernode_profit(params(), 10'000.0, 0.8, 1'000.0), 3'000.0);
+}
+
+TEST(Equation1, ProfitCanBeNegative) {
+  EXPECT_LT(supernode_profit(params(), 1'000.0, 0.5, 10'000.0), 0.0);
+}
+
+TEST(Equation1, RejectsUtilizationOutsideEq5Bounds) {
+  EXPECT_THROW(supernode_profit(params(), 1'000.0, 1.2, 0.0), std::logic_error);
+  EXPECT_THROW(supernode_profit(params(), 1'000.0, -0.1, 0.0), std::logic_error);
+}
+
+TEST(Equation2, BandwidthReduction) {
+  // B_r = n*R - Lambda*m = 100*800 - 100*20 = 78000 kbps.
+  EXPECT_DOUBLE_EQ(bandwidth_reduction(params(), 100.0, 20.0), 78'000.0);
+}
+
+TEST(Equation2, ManySupernodesFewPlayersCanBeNegative) {
+  EXPECT_LT(bandwidth_reduction(params(), 1.0, 100.0), 0.0);
+}
+
+TEST(Equation3, ProviderSaving) {
+  std::vector<SupernodeOffer> deployed(2);
+  deployed[0].upload_kbps = 50'000.0;
+  deployed[0].utilization = 0.8;  // contributes 40000
+  deployed[1].upload_kbps = 50'000.0;
+  deployed[1].utilization = 1.0;  // contributes 50000
+  // B_r = 100*800 - 100*2 = 79800; B_s = 90000.
+  // C_g = 1.0*79800 - 0.5*90000 = 34800.
+  EXPECT_DOUBLE_EQ(provider_saving(params(), 100.0, deployed), 34'800.0);
+}
+
+TEST(Equation3, FewerSupernodesSaveMoreAtFixedCoverage) {
+  // The paper's observation: for a given n, smaller m raises C_g.
+  std::vector<SupernodeOffer> few(1), many(4);
+  few[0].upload_kbps = 100'000.0;
+  few[0].utilization = 0.8;
+  for (auto& o : many) {
+    o.upload_kbps = 25'000.0;
+    o.utilization = 0.8;
+  }
+  EXPECT_GT(provider_saving(params(), 100.0, few),
+            provider_saving(params(), 100.0, many));
+}
+
+TEST(Equation4And5, FeasibilityChecks) {
+  std::vector<SupernodeOffer> deployed(1);
+  deployed[0].upload_kbps = 100'000.0;
+  deployed[0].utilization = 1.0;
+  // Demand: n * R = 100 * 800 = 80000 <= 100000.
+  EXPECT_TRUE(deployment_feasible(params(), 100.0, deployed));
+  // 200 players demand 160000 > 100000.
+  EXPECT_FALSE(deployment_feasible(params(), 200.0, deployed));
+  // Utilization above 1 violates Eq (5).
+  deployed[0].utilization = 1.5;
+  EXPECT_FALSE(deployment_feasible(params(), 10.0, deployed));
+}
+
+TEST(Equation6, MarginalGain) {
+  SupernodeOffer offer;
+  offer.upload_kbps = 10'000.0;
+  offer.utilization = 1.0;
+  offer.new_players_covered = 10.0;
+  // G_s = c_c*(nu*R - Lambda) - c_s*c_j*u_j
+  //     = 1.0*(10*800 - 100) - 0.5*10000 = 2900.
+  EXPECT_DOUBLE_EQ(marginal_gain(params(), offer), 2'900.0);
+}
+
+TEST(Equation6, UselessSupernodeHasNegativeGain) {
+  SupernodeOffer offer;
+  offer.upload_kbps = 10'000.0;
+  offer.utilization = 1.0;
+  offer.new_players_covered = 0.0;  // covers nobody new
+  EXPECT_LT(marginal_gain(params(), offer), 0.0);
+}
+
+TEST(GreedyDeployment, AcceptsOnlyPositiveGains) {
+  std::vector<SupernodeOffer> offers(3);
+  offers[0].upload_kbps = 10'000.0;
+  offers[0].new_players_covered = 10.0;  // gain 2900
+  offers[1].upload_kbps = 10'000.0;
+  offers[1].new_players_covered = 0.0;   // gain negative
+  offers[2].upload_kbps = 5'000.0;
+  offers[2].new_players_covered = 20.0;  // gain 1.0*(16000-100)-2500 = 13400
+  for (auto& o : offers) o.utilization = 1.0;
+  const auto accepted = greedy_deployment(params(), offers);
+  ASSERT_EQ(accepted.size(), 2u);
+  EXPECT_EQ(accepted[0], 2u);  // highest gain first
+  EXPECT_EQ(accepted[1], 0u);
+}
+
+TEST(GreedyDeployment, EmptyOffers) {
+  EXPECT_TRUE(greedy_deployment(params(), {}).empty());
+}
+
+TEST(GreedyDeployment, AllNegativeRejected) {
+  std::vector<SupernodeOffer> offers(2);
+  for (auto& o : offers) {
+    o.upload_kbps = 100'000.0;
+    o.utilization = 1.0;
+    o.new_players_covered = 1.0;
+  }
+  EXPECT_TRUE(greedy_deployment(params(), offers).empty());
+}
+
+TEST(IncentiveConsistency, ProfitableForBothSidesExists) {
+  // A healthy market point: contributor profits and provider gains.
+  const auto p = params();
+  SupernodeOffer offer;
+  offer.upload_kbps = 8'000.0;  // capacity-4 machine
+  offer.utilization = 0.9;
+  offer.new_players_covered = 8.0;
+  offer.contributor_cost = 1'000.0;
+  EXPECT_GT(supernode_profit(p, offer.upload_kbps, offer.utilization,
+                             offer.contributor_cost),
+            0.0);
+  EXPECT_GT(marginal_gain(p, offer), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -1,0 +1,165 @@
+#include "core/rate_adaptation.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::core {
+namespace {
+
+using Decision = RateAdaptationController::Decision;
+
+RateAdaptationConfig quick_config(int consecutive = 3) {
+  RateAdaptationConfig config;
+  config.theta = 0.5;
+  config.consecutive_estimates = consecutive;
+  return config;
+}
+
+TEST(RateAdaptation, StartsAtGameTargetLevel) {
+  for (const auto& g : game::game_catalog()) {
+    RateAdaptationController c(g, quick_config());
+    EXPECT_EQ(c.level(), g.target_quality_level);
+    EXPECT_EQ(c.max_level(), g.target_quality_level);
+  }
+}
+
+TEST(RateAdaptation, ThresholdsScaledByRho) {
+  // Paper: up threshold (1+beta)/rho, down threshold theta/rho.
+  const auto& g = game::game_by_id(2);  // rho = 0.8
+  RateAdaptationController c(g, quick_config());
+  EXPECT_NEAR(c.up_threshold(), (1.0 + game::adjust_up_beta()) / 0.8, 1e-12);
+  EXPECT_NEAR(c.down_threshold(), 0.5 / 0.8, 1e-12);
+}
+
+TEST(RateAdaptation, SensitiveGamesHaveStricterThresholds) {
+  // Lower rho (latency-sensitive) -> higher thresholds on r.
+  RateAdaptationController sensitive(game::game_by_id(0), quick_config());
+  RateAdaptationController tolerant(game::game_by_id(4), quick_config());
+  EXPECT_GT(sensitive.up_threshold(), tolerant.up_threshold());
+  EXPECT_GT(sensitive.down_threshold(), tolerant.down_threshold());
+}
+
+TEST(RateAdaptation, DownAfterConsecutiveLowEstimates) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(3));
+  EXPECT_EQ(c.observe(0.1), Decision::kHold);
+  EXPECT_EQ(c.observe(0.1), Decision::kHold);
+  EXPECT_EQ(c.observe(0.1), Decision::kDown);
+  EXPECT_EQ(c.level(), 4);
+}
+
+TEST(RateAdaptation, UpAfterConsecutiveHighEstimates) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(3), 3);
+  EXPECT_EQ(c.level(), 3);
+  c.observe(5.0);
+  c.observe(5.0);
+  EXPECT_EQ(c.observe(5.0), Decision::kUp);
+  EXPECT_EQ(c.level(), 4);
+}
+
+TEST(RateAdaptation, NeutralEstimateResetsCounters) {
+  // The paper's anti-fluctuation rule: all consecutive estimates must
+  // satisfy the condition.
+  RateAdaptationController c(game::game_by_id(4), quick_config(3));
+  c.observe(0.1);
+  c.observe(0.1);
+  c.observe(1.0);  // within band: reset
+  c.observe(0.1);
+  EXPECT_EQ(c.observe(0.1), Decision::kHold);
+  EXPECT_EQ(c.observe(0.1), Decision::kDown);
+}
+
+TEST(RateAdaptation, OppositeEstimateResetsCounters) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(3), 3);
+  c.observe(5.0);
+  c.observe(5.0);
+  c.observe(0.1);  // flips to down counting
+  EXPECT_EQ(c.consecutive_up(), 0);
+  EXPECT_EQ(c.consecutive_down(), 1);
+}
+
+TEST(RateAdaptation, NeverBelowLevelOne) {
+  RateAdaptationController c(game::game_by_id(0), quick_config(1));
+  EXPECT_EQ(c.level(), 1);
+  EXPECT_EQ(c.observe(0.0), Decision::kHold);
+  EXPECT_EQ(c.level(), 1);
+}
+
+TEST(RateAdaptation, NeverAboveGameTarget) {
+  // Paper: encoding never exceeds the level matching the game's latency
+  // requirement.
+  RateAdaptationController c(game::game_by_id(1), quick_config(1));  // target 2
+  EXPECT_EQ(c.observe(100.0), Decision::kHold);
+  EXPECT_EQ(c.level(), 2);
+}
+
+TEST(RateAdaptation, FullDownUpCycle) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(1));
+  for (int expected = 4; expected >= 1; --expected) {
+    EXPECT_EQ(c.observe(0.0), Decision::kDown);
+    EXPECT_EQ(c.level(), expected);
+  }
+  EXPECT_EQ(c.observe(0.0), Decision::kHold);  // floor
+  for (int expected = 2; expected <= 5; ++expected) {
+    EXPECT_EQ(c.observe(100.0), Decision::kUp);
+    EXPECT_EQ(c.level(), expected);
+  }
+  EXPECT_EQ(c.observe(100.0), Decision::kHold);  // ceiling
+}
+
+TEST(RateAdaptation, BitrateMatchesLevel) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(1));
+  EXPECT_DOUBLE_EQ(c.bitrate_kbps(), 1'800.0);
+  c.observe(0.0);
+  EXPECT_DOUBLE_EQ(c.bitrate_kbps(), 1'200.0);
+}
+
+TEST(RateAdaptation, PaperFigure3Example) {
+  // Figure 3: r > 1+beta consecutively -> 800 -> 1200 kbps;
+  // r < theta -> 800 -> 500 kbps. Use the 110 ms game (rho = 1) so the
+  // thresholds match the unscaled formulas, starting at level 3 (800 kbps).
+  RateAdaptationController c(game::game_by_id(4), quick_config(2), 3);
+  const double r_high = 1.0 + game::adjust_up_beta() + 0.01;
+  c.observe(r_high);
+  EXPECT_EQ(c.observe(r_high), Decision::kUp);
+  EXPECT_DOUBLE_EQ(c.bitrate_kbps(), 1'200.0);
+  // Back down to 800, then a congested buffer drops it to 500.
+  c.observe(0.4);
+  EXPECT_EQ(c.observe(0.4), Decision::kDown);
+  EXPECT_DOUBLE_EQ(c.bitrate_kbps(), 800.0);
+  c.observe(0.4);
+  EXPECT_EQ(c.observe(0.4), Decision::kDown);
+  EXPECT_DOUBLE_EQ(c.bitrate_kbps(), 500.0);
+}
+
+TEST(RateAdaptation, BoundaryEstimatesAreHold) {
+  RateAdaptationController c(game::game_by_id(4), quick_config(1));
+  // Exactly at the thresholds: neither condition is strict-inequality true.
+  EXPECT_EQ(c.observe(c.up_threshold()), Decision::kHold);
+  EXPECT_EQ(c.observe(c.down_threshold()), Decision::kHold);
+}
+
+TEST(RateAdaptation, RejectsBadConfig) {
+  RateAdaptationConfig bad;
+  bad.theta = 0.0;
+  EXPECT_THROW(RateAdaptationController(game::game_by_id(0), bad),
+               std::logic_error);
+  RateAdaptationConfig bad2;
+  bad2.consecutive_estimates = 0;
+  EXPECT_THROW(RateAdaptationController(game::game_by_id(0), bad2),
+               std::logic_error);
+}
+
+TEST(RateAdaptation, RejectsBadInitialLevel) {
+  EXPECT_THROW(
+      RateAdaptationController(game::game_by_id(1), quick_config(), 5),
+      std::logic_error);  // above the game's target
+  EXPECT_THROW(RateAdaptationController(game::game_by_id(1), quick_config(), 0),
+               std::logic_error);
+}
+
+TEST(RateAdaptation, RejectsNegativeEstimate) {
+  RateAdaptationController c(game::game_by_id(0), quick_config());
+  EXPECT_THROW(c.observe(-0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -1,0 +1,120 @@
+#include "core/reputation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cloudfog::core {
+namespace {
+
+TEST(Reputation, UnseenSupernodeGetsPriorMean) {
+  ReputationSystem rep;
+  // Prior: 8 good / 2 bad -> 0.8.
+  EXPECT_NEAR(rep.score(1), 0.8, 1e-12);
+  EXPECT_EQ(rep.observations(1), 0u);
+  EXPECT_FALSE(rep.should_evict(1));
+}
+
+TEST(Reputation, GoodReportsRaiseScore) {
+  ReputationSystem rep;
+  const double before = rep.score(1);
+  for (int i = 0; i < 50; ++i) rep.report(1, true);
+  EXPECT_GT(rep.score(1), before);
+  EXPECT_GT(rep.score(1), 0.95);
+}
+
+TEST(Reputation, BadReportsLowerScore) {
+  ReputationSystem rep;
+  for (int i = 0; i < 50; ++i) rep.report(1, false);
+  EXPECT_LT(rep.score(1), 0.2);
+}
+
+TEST(Reputation, EvictionRequiresConfidence) {
+  ReputationConfig config;
+  config.min_observations = 30;
+  ReputationSystem rep(config);
+  for (int i = 0; i < 29; ++i) rep.report(1, false);
+  EXPECT_FALSE(rep.should_evict(1));  // score low, but not enough reports
+  rep.report(1, false);
+  EXPECT_TRUE(rep.should_evict(1));
+}
+
+TEST(Reputation, HonestNodeWithBackgroundFailuresSurvives) {
+  util::Rng rng(1);
+  ReputationSystem rep;
+  for (int i = 0; i < 2'000; ++i) rep.report(1, !rng.bernoulli(0.03));
+  EXPECT_GT(rep.score(1), 0.9);
+  EXPECT_FALSE(rep.should_evict(1));
+}
+
+TEST(Reputation, SaboteurIsCaught) {
+  util::Rng rng(2);
+  ReputationSystem rep;
+  for (int i = 0; i < 2'000; ++i) rep.report(1, !rng.bernoulli(0.5));
+  EXPECT_TRUE(rep.should_evict(1));
+}
+
+TEST(Reputation, ForgettingLetsANodeRecover) {
+  ReputationConfig config;
+  config.forgetting = 0.98;  // short memory for the test
+  ReputationSystem rep(config);
+  for (int i = 0; i < 200; ++i) rep.report(1, false);
+  EXPECT_TRUE(rep.should_evict(1));
+  for (int i = 0; i < 400; ++i) rep.report(1, true);
+  EXPECT_FALSE(rep.should_evict(1));
+  EXPECT_GT(rep.score(1), 0.8);
+}
+
+TEST(Reputation, WithoutForgettingHistoryDominates) {
+  ReputationConfig config;
+  config.forgetting = 1.0;
+  ReputationSystem rep(config);
+  for (int i = 0; i < 500; ++i) rep.report(1, false);
+  for (int i = 0; i < 500; ++i) rep.report(1, true);
+  EXPECT_NEAR(rep.score(1), 0.5, 0.02);
+}
+
+TEST(Reputation, EvictionsListsOnlyFlaggedNodes) {
+  ReputationSystem rep;
+  for (int i = 0; i < 100; ++i) {
+    rep.report(1, false);  // saboteur
+    rep.report(2, true);   // honest
+  }
+  const auto evictions = rep.evictions();
+  ASSERT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(evictions[0], 1u);
+}
+
+TEST(Reputation, ResetForgetsEverything) {
+  ReputationSystem rep;
+  for (int i = 0; i < 100; ++i) rep.report(1, false);
+  rep.reset(1);
+  EXPECT_NEAR(rep.score(1), 0.8, 1e-12);
+  EXPECT_FALSE(rep.should_evict(1));
+  EXPECT_EQ(rep.tracked(), 0u);
+}
+
+TEST(Reputation, IndependentLedgersPerSupernode) {
+  ReputationSystem rep;
+  for (int i = 0; i < 50; ++i) {
+    rep.report(1, false);
+    rep.report(2, true);
+  }
+  EXPECT_LT(rep.score(1), 0.4);
+  EXPECT_GT(rep.score(2), 0.9);
+}
+
+TEST(Reputation, RejectsBadConfig) {
+  ReputationConfig bad;
+  bad.prior_good = 0.0;
+  EXPECT_THROW(ReputationSystem{bad}, std::logic_error);
+  ReputationConfig bad2;
+  bad2.eviction_threshold = 1.5;
+  EXPECT_THROW(ReputationSystem{bad2}, std::logic_error);
+  ReputationConfig bad3;
+  bad3.forgetting = 0.0;
+  EXPECT_THROW(ReputationSystem{bad3}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

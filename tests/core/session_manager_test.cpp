@@ -1,0 +1,243 @@
+#include "core/session_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::core {
+namespace {
+
+/// A player with three supernode hosts at increasing distance, as in the
+/// SupernodeManager tests, plus a second player for contention cases.
+struct World {
+  // Zero route bias: distances alone decide who is "nearest", so the
+  // expectations below are exact rather than a per-pair route lottery.
+  static net::LatencyParams flat_params() {
+    net::LatencyParams p = net::LatencyParams::simulation_profile(1);
+    p.pair_bias_sigma = 0.0;
+    return p;
+  }
+
+  World() : topo(net::LatencyModel(flat_params())) {
+    player = topo.add_host(net::HostRole::kPlayer, {39.95, -75.16}, 8.0);
+    player2 = topo.add_host(net::HostRole::kPlayer, {39.94, -75.15}, 9.0);
+    sn_close = topo.add_host(net::HostRole::kPlayer, {39.96, -75.17}, 10.0,
+                             "close", 3.0);
+    sn_mid = topo.add_host(net::HostRole::kPlayer, {40.71, -74.00}, 10.0,
+                           "mid", 3.0);
+    sn_far = topo.add_host(net::HostRole::kPlayer, {34.05, -118.24}, 10.0,
+                           "far", 3.0);
+  }
+
+  SessionManager make(SessionManagerConfig config = {}) {
+    SupernodeManagerConfig mc;
+    mc.probe_jitter_sigma = 0.0;
+    return SessionManager(topo, mc, config, util::Rng(5));
+  }
+
+  net::Topology topo;
+  NodeId player = 0, player2 = 0, sn_close = 0, sn_mid = 0, sn_far = 0;
+};
+
+constexpr game::GameId kLooseGame = 4;  // 110 ms requirement
+
+TEST(SessionManager, JoinAssignsNearestAndRecordsBackups) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_mid, 5, 10'000.0);
+  const Session& s = mgr.player_join(w.player, kLooseGame);
+  EXPECT_EQ(s.supernode, w.sn_close);
+  ASSERT_EQ(s.backups.size(), 1u);
+  EXPECT_EQ(s.backups[0], w.sn_mid);
+  EXPECT_EQ(mgr.session_count(), 1u);
+  EXPECT_EQ(mgr.supernode_sessions(), 1u);
+}
+
+TEST(SessionManager, JoinWithoutSupernodesGoesToCloud) {
+  World w;
+  auto mgr = w.make();
+  const Session& s = mgr.player_join(w.player, kLooseGame);
+  EXPECT_TRUE(s.on_cloud());
+  EXPECT_EQ(mgr.cloud_sessions(), 1u);
+}
+
+TEST(SessionManager, LeaveReleasesCapacity) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 1, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);
+  EXPECT_EQ(mgr.manager().record(w.sn_close).assigned, 1);
+  mgr.player_leave(w.player);
+  EXPECT_EQ(mgr.manager().record(w.sn_close).assigned, 0);
+  EXPECT_EQ(mgr.session_count(), 0u);
+  // The freed slot is reusable.
+  EXPECT_EQ(mgr.player_join(w.player2, kLooseGame).supernode, w.sn_close);
+}
+
+TEST(SessionManager, DoubleJoinRejected) {
+  World w;
+  auto mgr = w.make();
+  mgr.player_join(w.player, kLooseGame);
+  EXPECT_THROW(mgr.player_join(w.player, kLooseGame), std::logic_error);
+}
+
+TEST(SessionManager, LeaveWithoutSessionRejected) {
+  World w;
+  auto mgr = w.make();
+  EXPECT_THROW(mgr.player_leave(w.player), std::logic_error);
+}
+
+TEST(SessionManager, DemandTracksSessions) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);   // 1800 kbps target
+  mgr.player_join(w.player2, kLooseGame);  // 1800 kbps target
+  EXPECT_DOUBLE_EQ(mgr.demand_kbps(w.sn_close), 3'600.0);
+  EXPECT_DOUBLE_EQ(mgr.utilization(w.sn_close), 0.36);
+  mgr.player_leave(w.player);
+  EXPECT_DOUBLE_EQ(mgr.demand_kbps(w.sn_close), 1'800.0);
+}
+
+TEST(SessionManager, FailoverToBackup) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_mid, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);
+  const FailoverReport report = mgr.supernode_leave(w.sn_close);
+  EXPECT_EQ(report.players_affected, 1u);
+  EXPECT_EQ(report.recovered_to_backup, 1u);
+  EXPECT_EQ(report.fell_to_cloud, 0u);
+  EXPECT_EQ(mgr.session(w.player).supernode, w.sn_mid);
+  EXPECT_EQ(mgr.manager().record(w.sn_mid).assigned, 1);
+}
+
+TEST(SessionManager, FailoverSkipsFullBackups) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_mid, 1, 10'000.0);
+  // player2 fills the mid supernode... by joining when close is full.
+  mgr.supernode_join(w.sn_far, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);    // -> close
+  // Make the only backup (mid) full via a direct claim path:
+  mgr.player_join(w.player2, kLooseGame);   // -> close (capacity 5)
+  // Remove close. player and player2 both look at mid (cap 1): one gets
+  // it, the other must reassign or fall to cloud.
+  const FailoverReport report = mgr.supernode_leave(w.sn_close);
+  EXPECT_EQ(report.players_affected, 2u);
+  EXPECT_EQ(report.recovered_to_backup + report.reassigned +
+                report.fell_to_cloud,
+            2u);
+  EXPECT_LE(mgr.manager().record(w.sn_mid).assigned, 1);
+}
+
+TEST(SessionManager, FailoverDisabledReassignsFresh) {
+  World w;
+  SessionManagerConfig config;
+  config.enable_failover = false;
+  auto mgr = w.make(config);
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_mid, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);
+  const FailoverReport report = mgr.supernode_leave(w.sn_close);
+  EXPECT_EQ(report.recovered_to_backup, 0u);
+  EXPECT_EQ(report.reassigned, 1u);
+  EXPECT_EQ(mgr.session(w.player).supernode, w.sn_mid);
+}
+
+TEST(SessionManager, FailoverToCloudWhenNothingLeft) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);
+  const FailoverReport report = mgr.supernode_leave(w.sn_close);
+  EXPECT_EQ(report.fell_to_cloud, 1u);
+  EXPECT_TRUE(mgr.session(w.player).on_cloud());
+  EXPECT_EQ(mgr.supernode_count(), 0u);
+}
+
+TEST(SessionManager, FailoverRespectsLatencyRequirement) {
+  // The only backup is cross-country: a strict game cannot fail over to it.
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_far, 5, 10'000.0);
+  constexpr game::GameId kStrictGame = 0;  // 30 ms
+  const Session& s = mgr.player_join(w.player, kStrictGame);
+  ASSERT_EQ(s.supernode, w.sn_close);
+  const FailoverReport report = mgr.supernode_leave(w.sn_close);
+  EXPECT_EQ(report.recovered_to_backup, 0u);
+  EXPECT_EQ(report.fell_to_cloud, 1u);
+}
+
+TEST(SessionManager, DepartureOfIdleSupernodeAffectsNobody) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.supernode_join(w.sn_mid, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);  // -> close
+  const FailoverReport report = mgr.supernode_leave(w.sn_mid);
+  EXPECT_EQ(report.players_affected, 0u);
+  EXPECT_EQ(mgr.session(w.player).supernode, w.sn_close);
+}
+
+TEST(SessionManager, RebalanceNoopWhenDisabled) {
+  World w;
+  auto mgr = w.make();  // cooperation off by default
+  mgr.supernode_join(w.sn_close, 8, 4'000.0);  // small uplink: overloads fast
+  mgr.player_join(w.player, kLooseGame);
+  mgr.player_join(w.player2, kLooseGame);
+  EXPECT_GE(mgr.utilization(w.sn_close), 0.9);
+  const RebalanceReport report = mgr.rebalance();
+  EXPECT_EQ(report.players_moved, 0u);
+}
+
+TEST(SessionManager, RebalanceShedsToBackupWithHeadroom) {
+  World w;
+  SessionManagerConfig config;
+  config.enable_cooperation = true;
+  config.shed_utilization = 0.8;
+  auto mgr = w.make(config);
+  mgr.supernode_join(w.sn_close, 8, 4'000.0);   // will overload
+  mgr.supernode_join(w.sn_mid, 8, 20'000.0);    // plenty of headroom
+  mgr.player_join(w.player, kLooseGame);   // 1800 kbps -> close (0.45)
+  mgr.player_join(w.player2, kLooseGame);  // 3600 kbps -> close (0.90)
+  ASSERT_GT(mgr.utilization(w.sn_close), 0.8);
+  const RebalanceReport report = mgr.rebalance();
+  EXPECT_EQ(report.overloaded_supernodes, 1u);
+  EXPECT_EQ(report.players_moved, 1u);
+  EXPECT_LE(mgr.utilization(w.sn_close), 0.8);
+  EXPECT_EQ(mgr.manager().record(w.sn_mid).assigned, 1);
+}
+
+TEST(SessionManager, RebalanceKeepsPlayerWhenNoHeadroomAnywhere) {
+  World w;
+  SessionManagerConfig config;
+  config.enable_cooperation = true;
+  config.shed_utilization = 0.5;
+  auto mgr = w.make(config);
+  mgr.supernode_join(w.sn_close, 8, 4'000.0);
+  mgr.player_join(w.player, kLooseGame);  // 0.45
+  mgr.player_join(w.player2, kLooseGame); // 0.90 > threshold, no backups
+  const RebalanceReport report = mgr.rebalance();
+  EXPECT_EQ(report.players_moved, 0u);
+  // Both sessions must still be attached.
+  EXPECT_EQ(mgr.supernode_sessions(), 2u);
+  EXPECT_DOUBLE_EQ(mgr.demand_kbps(w.sn_close), 3'600.0);
+}
+
+TEST(SessionManager, SupernodeRejoinIsServableAgain) {
+  World w;
+  auto mgr = w.make();
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  mgr.player_join(w.player, kLooseGame);
+  mgr.supernode_leave(w.sn_close);
+  EXPECT_TRUE(mgr.session(w.player).on_cloud());
+  mgr.supernode_join(w.sn_close, 5, 10'000.0);
+  // A new player can land on the rejoined node.
+  EXPECT_EQ(mgr.player_join(w.player2, kLooseGame).supernode, w.sn_close);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

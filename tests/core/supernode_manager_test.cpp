@@ -1,0 +1,188 @@
+#include "core/supernode_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::core {
+namespace {
+
+/// A line of players along the US east coast plus supernodes at known
+/// distances, so nearest-qualified choices are predictable.
+struct World {
+  World() : topo(net::LatencyModel(net::LatencyParams::simulation_profile(1))) {
+    // Host 0: the player, Philadelphia-ish.
+    player = topo.add_host(net::HostRole::kPlayer, {39.95, -75.16}, 8.0);
+    // Close, mid and far supernode hosts (same metro, ~130 km, ~3000 km).
+    sn_close = topo.add_host(net::HostRole::kPlayer, {39.96, -75.17}, 10.0,
+                             "close", 3.0);
+    sn_mid = topo.add_host(net::HostRole::kPlayer, {40.71, -74.00}, 10.0,
+                           "mid", 3.0);
+    sn_far = topo.add_host(net::HostRole::kPlayer, {34.05, -118.24}, 10.0,
+                           "far", 3.0);
+  }
+
+  SupernodeManager manager(SupernodeManagerConfig config = {}) {
+    config.probe_jitter_sigma = 0.0;  // deterministic probes for tests
+    return SupernodeManager(topo, config, util::Rng(9));
+  }
+
+  net::Topology topo;
+  NodeId player = 0, sn_close = 0, sn_mid = 0, sn_far = 0;
+};
+
+TEST(SupernodeManager, RegistryBasics) {
+  World world;
+  auto mgr = world.manager();
+  EXPECT_EQ(mgr.supernode_count(), 0u);
+  mgr.add_supernode(world.sn_close, 5, 10'000.0);
+  EXPECT_TRUE(mgr.is_supernode(world.sn_close));
+  EXPECT_FALSE(mgr.is_supernode(world.sn_far));
+  EXPECT_EQ(mgr.record(world.sn_close).capacity, 5);
+  EXPECT_EQ(mgr.total_capacity(), 5);
+  mgr.remove_supernode(world.sn_close);
+  EXPECT_EQ(mgr.supernode_count(), 0u);
+}
+
+TEST(SupernodeManager, DuplicateRegistrationRejected) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 5, 10'000.0);
+  EXPECT_THROW(mgr.add_supernode(world.sn_close, 5, 10'000.0), std::logic_error);
+}
+
+TEST(SupernodeManager, RemoveUnknownRejected) {
+  World world;
+  auto mgr = world.manager();
+  EXPECT_THROW(mgr.remove_supernode(world.sn_far), std::logic_error);
+}
+
+TEST(SupernodeManager, InvalidRegistrationRejected) {
+  World world;
+  auto mgr = world.manager();
+  EXPECT_THROW(mgr.add_supernode(world.sn_close, 0, 10'000.0), std::logic_error);
+  EXPECT_THROW(mgr.add_supernode(world.sn_close, 5, 0.0), std::logic_error);
+}
+
+TEST(SupernodeManager, AssignsNearestQualified) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 5, 10'000.0);
+  mgr.add_supernode(world.sn_mid, 5, 10'000.0);
+  mgr.add_supernode(world.sn_far, 5, 10'000.0);
+  const Assignment a = mgr.assign(world.player, 200.0);
+  EXPECT_EQ(a.supernode, world.sn_close);
+  EXPECT_FALSE(a.direct_to_cloud());
+  EXPECT_GT(a.delay_ms, 0.0);
+  EXPECT_EQ(mgr.record(world.sn_close).assigned, 1);
+}
+
+TEST(SupernodeManager, BackupsAreTheOtherQualifiedCandidates) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 5, 10'000.0);
+  mgr.add_supernode(world.sn_mid, 5, 10'000.0);
+  const Assignment a = mgr.assign(world.player, 200.0);
+  ASSERT_EQ(a.backups.size(), 1u);
+  EXPECT_EQ(a.backups[0], world.sn_mid);
+}
+
+TEST(SupernodeManager, LmaxFiltersSlowCandidates) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_far, 5, 10'000.0);
+  // Cross-country one-way latency is way above a 30 ms budget.
+  const Assignment a = mgr.assign(world.player, 30.0);
+  EXPECT_TRUE(a.direct_to_cloud());
+  EXPECT_TRUE(a.backups.empty());
+}
+
+TEST(SupernodeManager, CapacityExhaustionFallsToNextCandidate) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 1, 10'000.0);
+  mgr.add_supernode(world.sn_mid, 5, 10'000.0);
+  EXPECT_EQ(mgr.assign(world.player, 200.0).supernode, world.sn_close);
+  // The close supernode is full now; next assignment takes the mid one and
+  // keeps the full one as a backup.
+  const Assignment second = mgr.assign(world.player, 200.0);
+  EXPECT_EQ(second.supernode, world.sn_mid);
+  ASSERT_EQ(second.backups.size(), 1u);
+  EXPECT_EQ(second.backups[0], world.sn_close);
+}
+
+TEST(SupernodeManager, AllFullMeansDirectToCloud) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 1, 10'000.0);
+  (void)mgr.assign(world.player, 200.0);
+  const Assignment a = mgr.assign(world.player, 200.0);
+  EXPECT_TRUE(a.direct_to_cloud());
+  EXPECT_EQ(mgr.total_assigned(), 1);
+}
+
+TEST(SupernodeManager, ReleaseFreesCapacity) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 1, 10'000.0);
+  const Assignment a = mgr.assign(world.player, 200.0);
+  mgr.release(a.supernode);
+  EXPECT_EQ(mgr.record(world.sn_close).assigned, 0);
+  EXPECT_EQ(mgr.assign(world.player, 200.0).supernode, world.sn_close);
+}
+
+TEST(SupernodeManager, ReleaseOfCloudIsNoop) {
+  World world;
+  auto mgr = world.manager();
+  mgr.release(kInvalidNode);  // player was direct-to-cloud
+}
+
+TEST(SupernodeManager, ReleaseWithoutAssignmentRejected) {
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 1, 10'000.0);
+  EXPECT_THROW(mgr.release(world.sn_close), std::logic_error);
+}
+
+TEST(SupernodeManager, CandidateCountLimitsProbes) {
+  // With candidate_count = 1 only the geographically closest supernode is
+  // probed; when it is full the player goes to the cloud even though a
+  // farther one had room.
+  World world;
+  SupernodeManagerConfig config;
+  config.candidate_count = 1;
+  auto mgr = world.manager(config);
+  mgr.add_supernode(world.sn_close, 1, 10'000.0);
+  mgr.add_supernode(world.sn_mid, 5, 10'000.0);
+  (void)mgr.assign(world.player, 200.0);
+  EXPECT_TRUE(mgr.assign(world.player, 200.0).direct_to_cloud());
+}
+
+TEST(SupernodeManager, EmptyRosterGoesDirectToCloud) {
+  World world;
+  auto mgr = world.manager();
+  EXPECT_TRUE(mgr.assign(world.player, 100.0).direct_to_cloud());
+}
+
+TEST(SupernodeManager, ServerInterfaceUsedForProbes) {
+  // The close supernode's client access is slow (10 ms) but its server
+  // interface is 3 ms; a tight budget that only the wired path satisfies
+  // must still qualify it.
+  World world;
+  auto mgr = world.manager();
+  mgr.add_supernode(world.sn_close, 5, 10'000.0);
+  const TimeMs wired =
+      world.topo.expected_server_one_way_ms(world.sn_close, world.player);
+  const TimeMs unwired =
+      world.topo.expected_one_way_ms(world.sn_close, world.player);
+  ASSERT_LT(wired, unwired);
+  const Assignment a = mgr.assign(world.player, wired + 0.01);
+  EXPECT_EQ(a.supernode, world.sn_close);
+}
+
+TEST(SupernodeManager, RejectsNonPositiveLmax) {
+  World world;
+  auto mgr = world.manager();
+  EXPECT_THROW(mgr.assign(world.player, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -1,0 +1,175 @@
+#include "core/supernode_sender.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudfog::core {
+namespace {
+
+stream::VideoSegment make_segment(std::uint64_t id, NodeId player,
+                                  game::GameId game, Kbit size,
+                                  TimeMs action_ms, TimeMs deadline_ms) {
+  stream::VideoSegment seg;
+  seg.id = id;
+  seg.player = player;
+  seg.game = game;
+  seg.quality_level = 3;
+  seg.duration_ms = 33.3;
+  seg.size_kbit = size;
+  seg.action_time_ms = action_ms;
+  seg.deadline_ms = deadline_ms;
+  seg.loss_tolerance = game::game_by_id(game).loss_tolerance;
+  return seg;
+}
+
+struct Harness {
+  explicit Harness(SupernodeSender::Discipline discipline,
+                   Kbps uplink = 1'200.0, TimeMs prop = 5.0) {
+    sender = std::make_unique<SupernodeSender>(
+        sim, uplink, discipline, DeadlineSchedulerConfig{},
+        [prop](NodeId, util::Rng&) { return prop; },
+        [this](const PacketDelivery& d) { deliveries.push_back(d); },
+        util::Rng(3));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SupernodeSender> sender;
+  std::vector<PacketDelivery> deliveries;
+};
+
+TEST(SupernodeSenderFifo, SinglePacketTiming) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  // 12 kbit at 1200 kbps = 10 ms transmission + 5 ms propagation.
+  h.sender->submit(make_segment(1, 7, 4, 12.0, 0.0, 110.0));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.deliveries[0].sent_ms, 10.0);
+  EXPECT_DOUBLE_EQ(h.deliveries[0].arrival_ms, 15.0);
+  EXPECT_TRUE(h.deliveries[0].on_time());
+  EXPECT_EQ(h.deliveries[0].player, 7u);
+}
+
+TEST(SupernodeSenderFifo, ServesInArrivalOrderIgnoringDeadlines) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  h.sender->submit(make_segment(1, 7, 4, 12.0, 0.0, 1'000.0));  // loose
+  h.sender->submit(make_segment(2, 8, 0, 12.0, 0.0, 15.0));     // tight
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_EQ(h.deliveries[0].segment_id, 1u);  // FIFO: first-come first-served
+  EXPECT_EQ(h.deliveries[1].segment_id, 2u);
+  EXPECT_FALSE(h.deliveries[1].on_time());  // the tight one missed
+}
+
+TEST(SupernodeSenderDeadline, ReordersByExpectedArrival) {
+  Harness h(SupernodeSender::Discipline::kDeadline);
+  h.sender->submit(make_segment(1, 7, 4, 12.0, 0.0, 1'000.0));
+  h.sender->submit(make_segment(2, 8, 0, 12.0, 0.0, 30.0));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  // The first packet of segment 1 is already transmitting when segment 2
+  // arrives; after it, segment 2's tighter deadline wins. With one packet
+  // each, segment 1 transmits first only because it started first.
+  EXPECT_EQ(h.deliveries[0].segment_id, 1u);
+  EXPECT_EQ(h.deliveries[1].segment_id, 2u);
+}
+
+TEST(SupernodeSenderDeadline, TightDeadlineOvertakesQueuedPackets) {
+  Harness h(SupernodeSender::Discipline::kDeadline);
+  // A 5-packet loose segment, then a 1-packet tight one. The tight packet
+  // must transmit right after the in-flight packet, not after all 5.
+  h.sender->submit(make_segment(1, 7, 4, 60.0, 0.0, 10'000.0));
+  h.sender->submit(make_segment(2, 8, 0, 12.0, 0.0, 50.0));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 6u);
+  EXPECT_EQ(h.deliveries[0].segment_id, 1u);  // was already on the wire
+  EXPECT_EQ(h.deliveries[1].segment_id, 2u);  // overtook
+  EXPECT_TRUE(h.deliveries[1].on_time());
+}
+
+TEST(SupernodeSenderDeadline, PropagationHistoryFeedsScheduler) {
+  Harness h(SupernodeSender::Discipline::kDeadline, 1'200.0, 42.0);
+  h.sender->submit(make_segment(1, 7, 4, 12.0, 0.0, 10'000.0));
+  h.sim.run_all();
+  EXPECT_DOUBLE_EQ(h.sender->scheduler().estimated_propagation_ms(7), 42.0);
+}
+
+TEST(SupernodeSenderDeadline, DropsWhenOverloaded) {
+  Harness h(SupernodeSender::Discipline::kDeadline, 120.0);  // 100 ms/packet
+  int drops = 0;
+  h.sender->set_drop_observer([&](std::uint64_t, int) { ++drops; });
+  h.sender->submit(make_segment(1, 7, 4, 36.0, 0.0, 110.0));  // infeasible
+  h.sim.run_all();
+  EXPECT_GT(drops, 0);
+  EXPECT_EQ(h.sender->packets_dropped(), static_cast<std::uint64_t>(drops));
+  // Delivered + dropped = submitted.
+  EXPECT_EQ(h.deliveries.size() + static_cast<std::size_t>(drops), 3u);
+}
+
+TEST(SupernodeSenderFifo, NeverDrops) {
+  Harness h(SupernodeSender::Discipline::kFifo, 120.0);
+  h.sender->submit(make_segment(1, 7, 4, 36.0, 0.0, 110.0));
+  h.sim.run_all();
+  EXPECT_EQ(h.sender->packets_dropped(), 0u);
+  EXPECT_EQ(h.deliveries.size(), 3u);
+}
+
+TEST(SupernodeSender, CountersTrackSubmissions) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  h.sender->submit(make_segment(1, 7, 4, 36.0, 0.0, 1'000.0));  // 3 packets
+  h.sender->submit(make_segment(2, 8, 4, 12.0, 0.0, 1'000.0));  // 1 packet
+  h.sim.run_all();
+  EXPECT_EQ(h.sender->packets_submitted(), 4u);
+  EXPECT_EQ(h.sender->packets_sent(), 4u);
+}
+
+TEST(SupernodeSender, BackToBackTransmissionsSerialise) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  h.sender->submit(make_segment(1, 7, 4, 24.0, 0.0, 1'000.0));  // 2 packets
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.deliveries[0].sent_ms, 10.0);
+  EXPECT_DOUBLE_EQ(h.deliveries[1].sent_ms, 20.0);
+}
+
+TEST(SupernodeSender, RateCapStretchesDeliveryNotQueue) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  // WAN bottleneck at 600 kbps: each 12-kbit packet gains 20 - 10 = 10 ms
+  // of transit, but the uplink still frees every 10 ms.
+  h.sender->set_rate_cap([](NodeId) { return 600.0; });
+  h.sender->submit(make_segment(1, 7, 4, 24.0, 0.0, 1'000.0));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.deliveries[0].sent_ms, 10.0);
+  EXPECT_DOUBLE_EQ(h.deliveries[0].arrival_ms, 25.0);  // 10 + 5 + 10 transit
+  EXPECT_DOUBLE_EQ(h.deliveries[1].sent_ms, 20.0);     // queue not stretched
+}
+
+TEST(SupernodeSender, IdleThenBusyAgain) {
+  Harness h(SupernodeSender::Discipline::kFifo);
+  h.sender->submit(make_segment(1, 7, 4, 12.0, 0.0, 1'000.0));
+  h.sim.run_all();
+  EXPECT_EQ(h.deliveries.size(), 1u);
+  h.sim.schedule_at(100.0, [&] {
+    h.sender->submit(make_segment(2, 7, 4, 12.0, 100.0, 1'000.0));
+  });
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.deliveries[1].sent_ms, 110.0);
+}
+
+TEST(SupernodeSender, ConstructorValidation) {
+  sim::Simulator sim;
+  EXPECT_THROW(SupernodeSender(sim, 0.0, SupernodeSender::Discipline::kFifo,
+                               DeadlineSchedulerConfig{},
+                               [](NodeId, util::Rng&) { return 1.0; },
+                               [](const PacketDelivery&) {}, util::Rng(1)),
+               std::logic_error);
+  EXPECT_THROW(SupernodeSender(sim, 100.0, SupernodeSender::Discipline::kFifo,
+                               DeadlineSchedulerConfig{}, nullptr,
+                               [](const PacketDelivery&) {}, util::Rng(1)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -1,0 +1,105 @@
+#include "game/game.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace cloudfog::game {
+namespace {
+
+TEST(GameCatalog, FiveGamesPairedWithQualityRows) {
+  const auto& catalog = game_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const GameProfile& g = catalog[static_cast<std::size_t>(i)];
+    const QualityLevel& q = quality_for_level(i + 1);
+    EXPECT_EQ(g.id, i);
+    EXPECT_DOUBLE_EQ(g.latency_requirement_ms, q.latency_requirement_ms);
+    EXPECT_DOUBLE_EQ(g.latency_tolerance, q.latency_tolerance);
+    EXPECT_EQ(g.target_quality_level, q.level);
+    EXPECT_FALSE(g.name.empty());
+    EXPECT_FALSE(g.genre.empty());
+  }
+}
+
+TEST(GameCatalog, LossToleranceIncreasesWithLatencyTolerance) {
+  // Twitchy genres tolerate loss worst; turn-based best.
+  const auto& catalog = game_catalog();
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_GT(catalog[i].loss_tolerance, catalog[i - 1].loss_tolerance);
+  }
+  for (const auto& g : catalog) {
+    EXPECT_GT(g.loss_tolerance, 0.0);
+    EXPECT_LE(g.loss_tolerance, 1.0);
+  }
+}
+
+TEST(GameById, RejectsUnknownIds) {
+  EXPECT_THROW(game_by_id(-1), std::logic_error);
+  EXPECT_THROW(game_by_id(5), std::logic_error);
+}
+
+TEST(ChooseGame, MajorityWinsWithFullConformity) {
+  util::Rng rng(1);
+  const std::vector<GameId> friends{2, 2, 2, 4, 4};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(choose_game(friends, rng, 1.0), 2);
+}
+
+TEST(ChooseGame, OfflineFriendsIgnored) {
+  util::Rng rng(1);
+  const std::vector<GameId> friends{-1, -1, 3};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(choose_game(friends, rng, 1.0), 3);
+}
+
+TEST(ChooseGame, NoFriendsPicksUniformly) {
+  util::Rng rng(2);
+  std::set<GameId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(choose_game({}, rng, 1.0));
+  EXPECT_EQ(seen.size(), game_catalog().size());
+}
+
+TEST(ChooseGame, ZeroConformityIgnoresFriends) {
+  util::Rng rng(3);
+  const std::vector<GameId> friends{0, 0, 0, 0};
+  std::set<GameId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(choose_game(friends, rng, 0.0));
+  EXPECT_EQ(seen.size(), game_catalog().size());
+}
+
+TEST(ChooseGame, PartialConformityMixes) {
+  util::Rng rng(4);
+  const std::vector<GameId> friends{1, 1, 1};
+  int majority = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i)
+    if (choose_game(friends, rng, 0.5) == 1) ++majority;
+  // 0.5 conformity + 0.5 * (1/5) uniform hit = 0.6 expected.
+  EXPECT_NEAR(static_cast<double>(majority) / n, 0.6, 0.02);
+}
+
+TEST(ChooseGame, RejectsBadConformity) {
+  util::Rng rng(5);
+  EXPECT_THROW(choose_game({}, rng, -0.1), std::logic_error);
+  EXPECT_THROW(choose_game({}, rng, 1.1), std::logic_error);
+}
+
+TEST(NextActionDelay, MeanMatchesRate) {
+  util::Rng rng(6);
+  double total = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) total += next_action_delay_ms(2.0, rng);
+  // 2 actions/s -> mean 500 ms.
+  EXPECT_NEAR(total / n, 500.0, 10.0);
+}
+
+TEST(NextActionDelay, RejectsNonPositiveRate) {
+  util::Rng rng(6);
+  EXPECT_THROW(next_action_delay_ms(0.0, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::game

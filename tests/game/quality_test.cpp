@@ -1,0 +1,89 @@
+#include "game/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace cloudfog::game {
+namespace {
+
+// The paper's Figure 2, row by row.
+struct Fig2Row {
+  int level;
+  int width;
+  int height;
+  double bitrate;
+  double latency_req;
+  double tolerance;
+};
+
+class QualityTableTest : public ::testing::TestWithParam<Fig2Row> {};
+
+TEST_P(QualityTableTest, MatchesPaperFigure2) {
+  const Fig2Row& row = GetParam();
+  const QualityLevel& q = quality_for_level(row.level);
+  EXPECT_EQ(q.level, row.level);
+  EXPECT_EQ(q.width, row.width);
+  EXPECT_EQ(q.height, row.height);
+  EXPECT_DOUBLE_EQ(q.bitrate_kbps, row.bitrate);
+  EXPECT_DOUBLE_EQ(q.latency_requirement_ms, row.latency_req);
+  EXPECT_DOUBLE_EQ(q.latency_tolerance, row.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperFigure2, QualityTableTest,
+    ::testing::Values(Fig2Row{1, 288, 216, 300.0, 30.0, 0.6},
+                      Fig2Row{2, 384, 216, 500.0, 50.0, 0.7},
+                      Fig2Row{3, 640, 480, 800.0, 70.0, 0.8},
+                      Fig2Row{4, 720, 486, 1200.0, 90.0, 0.9},
+                      Fig2Row{5, 1280, 720, 1800.0, 110.0, 1.0}));
+
+TEST(QualityTable, FiveLevelsSorted) {
+  const auto& table = quality_table();
+  ASSERT_EQ(table.size(), 5u);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i].bitrate_kbps, table[i - 1].bitrate_kbps);
+    EXPECT_GT(table[i].latency_requirement_ms,
+              table[i - 1].latency_requirement_ms);
+    EXPECT_GT(table[i].latency_tolerance, table[i - 1].latency_tolerance);
+  }
+}
+
+TEST(QualityTable, LevelOutOfRangeRejected) {
+  EXPECT_THROW(quality_for_level(0), std::logic_error);
+  EXPECT_THROW(quality_for_level(6), std::logic_error);
+}
+
+TEST(MaxLevelForLatency, PaperExample) {
+  // Paper Section III-B: a 90 ms latency requirement maps to 1200 kbps,
+  // i.e. level 4.
+  EXPECT_EQ(max_level_for_latency(90.0), 4);
+}
+
+TEST(MaxLevelForLatency, ExactBoundaries) {
+  EXPECT_EQ(max_level_for_latency(30.0), 1);
+  EXPECT_EQ(max_level_for_latency(50.0), 2);
+  EXPECT_EQ(max_level_for_latency(70.0), 3);
+  EXPECT_EQ(max_level_for_latency(110.0), 5);
+}
+
+TEST(MaxLevelForLatency, BetweenLevelsRoundsDown) {
+  EXPECT_EQ(max_level_for_latency(89.0), 3);
+  EXPECT_EQ(max_level_for_latency(109.9), 4);
+}
+
+TEST(MaxLevelForLatency, BelowLowestClampsToLevelOne) {
+  EXPECT_EQ(max_level_for_latency(10.0), 1);
+}
+
+TEST(MaxLevelForLatency, AboveHighestIsLevelFive) {
+  EXPECT_EQ(max_level_for_latency(500.0), 5);
+}
+
+TEST(AdjustUpBeta, IsLargestRelativeStep) {
+  // Steps: 500/300-1=0.667, 800/500-1=0.6, 1200/800-1=0.5, 1800/1200-1=0.5.
+  EXPECT_NEAR(adjust_up_beta(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cloudfog::game

@@ -1,0 +1,62 @@
+#include "systems/cooperation_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::systems {
+namespace {
+
+CooperationExperimentConfig quick(double skew, bool striping) {
+  CooperationExperimentConfig c;
+  c.primary_skew = skew;
+  c.enable_striping = striping;
+  c.warmup_ms = 3'000.0;
+  c.duration_ms = 8'000.0;
+  return c;
+}
+
+TEST(CooperationExperiment, BalancedLoadRunsClean) {
+  const auto r = run_cooperation_experiment(quick(0.5, false));
+  EXPECT_GT(r.satisfied_fraction, 0.8);
+  EXPECT_GT(r.mean_continuity, 0.9);
+  // Pair-average utilization sits below 1: the pair has slack even though
+  // a skewed single assignment can overload one member.
+  EXPECT_NEAR((r.offered_load_a + r.offered_load_b) / 2.0, 0.7, 0.2);
+}
+
+TEST(CooperationExperiment, SkewOverloadsThePrimary) {
+  const auto r = run_cooperation_experiment(quick(0.95, false));
+  EXPECT_GT(r.offered_load_a, 2.0 * r.offered_load_b);
+  EXPECT_LT(r.satisfied_fraction, 0.6);
+}
+
+TEST(CooperationExperiment, StripingRecoversSkewedLoad) {
+  const auto single = run_cooperation_experiment(quick(0.95, false));
+  const auto striped = run_cooperation_experiment(quick(0.95, true));
+  EXPECT_GT(striped.satisfied_fraction, single.satisfied_fraction + 0.2);
+  EXPECT_LT(striped.mean_response_latency_ms,
+            single.mean_response_latency_ms);
+}
+
+TEST(CooperationExperiment, StripingNearNeutralWhenBalanced) {
+  const auto single = run_cooperation_experiment(quick(0.5, false));
+  const auto striped = run_cooperation_experiment(quick(0.5, true));
+  EXPECT_NEAR(striped.satisfied_fraction, single.satisfied_fraction, 0.15);
+}
+
+TEST(CooperationExperiment, Deterministic) {
+  const auto r1 = run_cooperation_experiment(quick(0.8, true));
+  const auto r2 = run_cooperation_experiment(quick(0.8, true));
+  EXPECT_DOUBLE_EQ(r1.satisfied_fraction, r2.satisfied_fraction);
+  EXPECT_DOUBLE_EQ(r1.mean_response_latency_ms, r2.mean_response_latency_ms);
+}
+
+TEST(CooperationExperiment, RejectsBadConfig) {
+  auto c = quick(0.5, false);
+  c.num_players = 1;
+  EXPECT_THROW(run_cooperation_experiment(c), std::logic_error);
+  auto c2 = quick(1.5, false);
+  EXPECT_THROW(run_cooperation_experiment(c2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

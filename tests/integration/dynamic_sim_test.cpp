@@ -1,0 +1,103 @@
+// Integration tests of the dynamic session simulation (player churn +
+// supernode departures through the SessionManager).
+#include "systems/dynamic_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::systems {
+namespace {
+
+const Scenario& world() {
+  static const Scenario scenario = [] {
+    ScenarioParams p = ScenarioParams::simulation_defaults(11);
+    p.num_players = 1'500;
+    p.num_supernodes = 100;
+    return Scenario::build(p);
+  }();
+  return scenario;
+}
+
+DynamicSimOptions quick() {
+  DynamicSimOptions o;
+  o.duration_ms = 2.0 * kMsPerHour;
+  o.supernode_mtbf_hours = 2.0;  // aggressive churn so departures happen
+  o.supernode_downtime_ms = 10.0 * kMsPerMinute;
+  return o;
+}
+
+TEST(DynamicSim, RunsAndReportsActivity) {
+  const auto r = run_dynamic_sim(world(), quick());
+  EXPECT_GT(r.player_joins, 50u);
+  EXPECT_GT(r.supernode_departures, 30u);
+  EXPECT_GT(r.disruptions, 0u);
+  EXPECT_GT(r.mean_supernode_session_fraction, 0.3);
+  EXPECT_LE(r.mean_supernode_session_fraction, 1.0);
+  EXPECT_GT(r.mean_stream_delay_ms, 1.0);
+  EXPECT_LT(r.mean_stream_delay_ms, 120.0);
+}
+
+TEST(DynamicSim, AccountingIsConsistent) {
+  const auto r = run_dynamic_sim(world(), quick());
+  EXPECT_EQ(r.disruptions,
+            r.recovered_to_backup + r.reassigned + r.fell_to_cloud);
+}
+
+TEST(DynamicSim, FailoverKeepsMorePlayersOnFog) {
+  auto with = quick();
+  auto without = quick();
+  without.enable_failover = false;
+  const auto r_with = run_dynamic_sim(world(), with);
+  const auto r_without = run_dynamic_sim(world(), without);
+  EXPECT_GT(r_with.recovered_to_backup, 0u);
+  EXPECT_EQ(r_without.recovered_to_backup, 0u);
+  // Both configurations recover through some path; failover must not be
+  // worse at keeping players on the fog.
+  EXPECT_GE(r_with.recovery_rate() + 0.05, r_without.recovery_rate());
+}
+
+TEST(DynamicSim, CooperationMovesPlayersUnderPressure) {
+  auto o = quick();
+  o.enable_cooperation = true;
+  const auto r = run_dynamic_sim(world(), o);
+  // With 100 supernodes serving ~280 online players, some run hot; the
+  // rebalancer must act at least occasionally over two hours.
+  EXPECT_GT(r.rebalance_moves, 0u);
+}
+
+TEST(DynamicSim, CooperationReducesHotSupernodes) {
+  auto base = quick();
+  auto coop = quick();
+  coop.enable_cooperation = true;
+  const auto r_base = run_dynamic_sim(world(), base);
+  const auto r_coop = run_dynamic_sim(world(), coop);
+  EXPECT_LE(r_coop.mean_hot_supernode_fraction,
+            r_base.mean_hot_supernode_fraction + 0.02);
+}
+
+TEST(DynamicSim, Deterministic) {
+  const auto r1 = run_dynamic_sim(world(), quick());
+  const auto r2 = run_dynamic_sim(world(), quick());
+  EXPECT_EQ(r1.player_joins, r2.player_joins);
+  EXPECT_EQ(r1.disruptions, r2.disruptions);
+  EXPECT_DOUBLE_EQ(r1.mean_stream_delay_ms, r2.mean_stream_delay_ms);
+}
+
+TEST(DynamicSim, SeedSaltChangesOutcome) {
+  auto o2 = quick();
+  o2.seed_salt = 5;
+  const auto r1 = run_dynamic_sim(world(), quick());
+  const auto r2 = run_dynamic_sim(world(), o2);
+  EXPECT_NE(r1.supernode_departures, r2.supernode_departures);
+}
+
+TEST(DynamicSim, RejectsBadOptions) {
+  DynamicSimOptions o;
+  o.duration_ms = 0.0;
+  EXPECT_THROW(run_dynamic_sim(world(), o), std::logic_error);
+  DynamicSimOptions o2;
+  o2.supernode_mtbf_hours = 0.0;
+  EXPECT_THROW(run_dynamic_sim(world(), o2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

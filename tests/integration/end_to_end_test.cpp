@@ -1,0 +1,119 @@
+// End-to-end checks across the whole pipeline: a scenario built once drives
+// coverage, bandwidth and streaming — the way the benchmark harnesses use
+// the library — plus cross-experiment consistency properties.
+#include <gtest/gtest.h>
+
+#include "core/incentive.h"
+#include "systems/bandwidth.h"
+#include "systems/coverage.h"
+#include "systems/streaming_sim.h"
+#include "systems/supernode_experiment.h"
+
+namespace cloudfog::systems {
+namespace {
+
+const Scenario& world() {
+  static const Scenario scenario = [] {
+    ScenarioParams p = ScenarioParams::simulation_defaults(42);
+    p.num_players = 1'200;
+    p.num_datacenters = 10;
+    p.num_supernodes = 80;
+    p.dc_uplink_kbps = 150'000.0;
+    return Scenario::build(p);
+  }();
+  return scenario;
+}
+
+TEST(EndToEnd, OneScenarioDrivesAllExperiments) {
+  CoverageConfig cc;
+  cc.datacenter_counts = {5, 10};
+  cc.supernode_counts = {0, 80};
+  cc.latency_requirements = {50, 110};
+  cc.samples = 1;
+  cc.warmup_ms = kMsPerMinute;
+  const auto coverage = measure_coverage(world(), cc);
+  EXPECT_GT(coverage.dc_sweep[1][1], coverage.dc_sweep[0][0]);
+
+  const auto bandwidth = measure_bandwidth(SystemKind::kCloudFogB, world(), 800);
+  EXPECT_GT(bandwidth.reduction_vs_cloud_mbps, 0.0);
+
+  StreamingOptions so;
+  so.num_players = 500;
+  so.warmup_ms = 1'000.0;
+  so.duration_ms = 4'000.0;
+  const auto streaming = run_streaming(SystemKind::kCloudFogB, world(), so);
+  EXPECT_GT(streaming.segments_generated, 0u);
+}
+
+TEST(EndToEnd, BandwidthAndStreamingAgreeOnOffload) {
+  // The assignment used by the analytic bandwidth model and the streaming
+  // simulation must offload comparable player fractions (they use the same
+  // algorithm on the same scenario, different random subsets).
+  const auto bandwidth = measure_bandwidth(SystemKind::kCloudFogB, world(), 800);
+  StreamingOptions so;
+  so.num_players = 800;
+  so.warmup_ms = 500.0;
+  so.duration_ms = 1'000.0;
+  const auto streaming = run_streaming(SystemKind::kCloudFogB, world(), so);
+  const double bw_fraction =
+      static_cast<double>(bandwidth.supernode_supported) / 800.0;
+  const double stream_fraction =
+      static_cast<double>(streaming.supernode_supported) / 800.0;
+  EXPECT_NEAR(bw_fraction, stream_fraction, 0.10);
+}
+
+TEST(EndToEnd, IncentiveModelSupportsTheScenarioEconomics) {
+  // Deploying the scenario's supernodes must be economically coherent: the
+  // bandwidth saved (Eq 2) values more than the rewards paid, for a sane
+  // price point.
+  const auto bandwidth = measure_bandwidth(SystemKind::kCloudFogB, world(), 800);
+  core::IncentiveParams params;
+  params.stream_rate_kbps = 900.0;  // mixed-catalog mean bitrate
+  const double n = static_cast<double>(bandwidth.supernode_supported);
+  const double m = static_cast<double>(bandwidth.active_supernodes);
+  EXPECT_GT(core::bandwidth_reduction(params, n, m), 0.0);
+}
+
+TEST(EndToEnd, StrategiesComposeInSingleSupernodeHarness) {
+  // CloudFog/A (both strategies) at an overloaded supernode must do at
+  // least as well as the worse individual strategy.
+  SupernodeExperimentConfig base;
+  base.num_players = 25;
+  base.warmup_ms = 4'000.0;
+  base.duration_ms = 8'000.0;
+  auto a = base;
+  a.adaptation = true;
+  a.scheduling = true;
+  auto adapt_only = base;
+  adapt_only.adaptation = true;
+  auto sched_only = base;
+  sched_only.scheduling = true;
+  const double sat_b = run_supernode_experiment(base).satisfied_fraction;
+  const double sat_a = run_supernode_experiment(a).satisfied_fraction;
+  const double sat_adapt = run_supernode_experiment(adapt_only).satisfied_fraction;
+  const double sat_sched = run_supernode_experiment(sched_only).satisfied_fraction;
+  EXPECT_GT(sat_a, sat_b);
+  EXPECT_GE(sat_a + 0.08, std::min(sat_adapt, sat_sched));
+}
+
+TEST(EndToEnd, PlanetLabScenarioRunsAllExperiments) {
+  ScenarioParams p = ScenarioParams::planetlab_defaults(7);
+  p.num_players = 400;
+  p.num_supernodes = 60;
+  const Scenario pl = Scenario::build(p);
+
+  const auto bandwidth = measure_bandwidth(SystemKind::kCloudFogB, pl, 300);
+  EXPECT_GT(bandwidth.supernode_supported, 0u);
+
+  StreamingOptions so;
+  so.num_players = 300;
+  so.warmup_ms = 1'000.0;
+  so.duration_ms = 3'000.0;
+  const auto cloud = run_streaming(SystemKind::kCloud, pl, so);
+  const auto fog = run_streaming(SystemKind::kCloudFogB, pl, so);
+  EXPECT_GT(cloud.segments_generated, 0u);
+  EXPECT_LT(fog.cloud_uplink_mbps, cloud.cloud_uplink_mbps);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

@@ -1,0 +1,83 @@
+#include "systems/reputation_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::systems {
+namespace {
+
+ReputationExperimentConfig base() {
+  ReputationExperimentConfig c;
+  c.num_supernodes = 40;
+  c.malicious_fraction = 0.2;
+  c.rounds = 300;
+  return c;
+}
+
+TEST(ReputationExperiment, DetectsMostSaboteurs) {
+  const auto r = run_reputation_experiment(base());
+  EXPECT_EQ(r.malicious, 8u);
+  EXPECT_GE(r.recall(), 0.8);
+  EXPECT_GE(r.precision(), 0.9);
+  EXPECT_GT(r.rounds_to_first_detection, 0u);
+  EXPECT_LT(r.rounds_to_first_detection, 100u);
+}
+
+TEST(ReputationExperiment, EvictionRepairsDeliveryRate) {
+  const auto r = run_reputation_experiment(base());
+  // Early window: elevated by saboteurs (though fast evictions already bite
+  // within it). Late window: saboteurs replaced by honest machines, so the
+  // rate approaches the 3% honest background.
+  EXPECT_GT(r.early_bad_rate, 0.035);
+  EXPECT_LT(r.late_bad_rate, r.early_bad_rate);
+  EXPECT_LT(r.late_bad_rate, 0.04);
+}
+
+TEST(ReputationExperiment, WithoutEvictionBadRatePersists) {
+  auto c = base();
+  c.enable_eviction = false;
+  const auto r = run_reputation_experiment(c);
+  EXPECT_EQ(r.evicted_total, 0u);
+  EXPECT_NEAR(r.late_bad_rate, r.early_bad_rate, 0.03);
+}
+
+TEST(ReputationExperiment, NoMaliciousNodesNoEvictions) {
+  auto c = base();
+  c.malicious_fraction = 0.0;
+  const auto r = run_reputation_experiment(c);
+  EXPECT_EQ(r.malicious, 0u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+}
+
+TEST(ReputationExperiment, SubtleSaboteursTakeLonger) {
+  auto blatant = base();
+  blatant.sabotage_rate = 0.6;
+  auto subtle = base();
+  subtle.sabotage_rate = 0.2;
+  const auto r_blatant = run_reputation_experiment(blatant);
+  const auto r_subtle = run_reputation_experiment(subtle);
+  ASSERT_GT(r_blatant.rounds_to_first_detection, 0u);
+  if (r_subtle.rounds_to_first_detection > 0) {
+    EXPECT_GE(r_subtle.rounds_to_first_detection,
+              r_blatant.rounds_to_first_detection);
+  }
+}
+
+TEST(ReputationExperiment, Deterministic) {
+  const auto r1 = run_reputation_experiment(base());
+  const auto r2 = run_reputation_experiment(base());
+  EXPECT_EQ(r1.evicted_total, r2.evicted_total);
+  EXPECT_DOUBLE_EQ(r1.late_bad_rate, r2.late_bad_rate);
+}
+
+TEST(ReputationExperiment, RejectsBadConfig) {
+  auto c = base();
+  c.rounds = 5;
+  EXPECT_THROW(run_reputation_experiment(c), std::logic_error);
+  auto c2 = base();
+  c2.malicious_fraction = 1.5;
+  EXPECT_THROW(run_reputation_experiment(c2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

@@ -1,0 +1,92 @@
+#include "metrics/qoe.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::metrics {
+namespace {
+
+TEST(PlayerQoE, ContinuityDefaultsToOne) {
+  PlayerQoE q;
+  EXPECT_DOUBLE_EQ(q.continuity(), 1.0);
+  EXPECT_TRUE(q.satisfied());
+}
+
+TEST(PlayerQoE, ContinuityIsOnTimeFraction) {
+  PlayerQoE q;
+  q.units_total = 100.0;
+  q.units_on_time = 96.0;
+  EXPECT_DOUBLE_EQ(q.continuity(), 0.96);
+  EXPECT_TRUE(q.satisfied());
+  q.units_on_time = 94.0;
+  EXPECT_FALSE(q.satisfied());
+}
+
+TEST(PlayerQoE, SatisfactionThresholdExactlyAtBoundary) {
+  PlayerQoE q;
+  q.units_total = 100.0;
+  q.units_on_time = 95.0;
+  EXPECT_TRUE(q.satisfied());  // paper: ">= 95%"
+}
+
+TEST(QoECollector, LatencyAggregation) {
+  QoECollector c;
+  c.add_latency(1, 50.0);
+  c.add_latency(1, 150.0);
+  c.add_latency(2, 200.0);
+  // Mean of per-player means: (100 + 200) / 2.
+  EXPECT_DOUBLE_EQ(c.mean_response_latency_ms(), 150.0);
+  EXPECT_EQ(c.player_count(), 2u);
+}
+
+TEST(QoECollector, PlayersWithoutLatencySamplesExcludedFromMean) {
+  QoECollector c;
+  c.add_latency(1, 100.0);
+  c.add_units(2, 10.0, 10.0);  // player 2 has units but no latency sample
+  EXPECT_DOUBLE_EQ(c.mean_response_latency_ms(), 100.0);
+}
+
+TEST(QoECollector, ContinuityAndSatisfaction) {
+  QoECollector c;
+  c.add_units(1, 100.0, 100.0);  // satisfied
+  c.add_units(2, 100.0, 50.0);   // not satisfied
+  EXPECT_DOUBLE_EQ(c.mean_continuity(), 0.75);
+  EXPECT_DOUBLE_EQ(c.satisfied_fraction(), 0.5);
+}
+
+TEST(QoECollector, UnitsAccumulateAcrossCalls) {
+  QoECollector c;
+  c.add_units(1, 10.0, 10.0);
+  c.add_units(1, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(c.player(1).continuity(), 0.5);
+}
+
+TEST(QoECollector, EmptyCollectorDefaults) {
+  QoECollector c;
+  EXPECT_DOUBLE_EQ(c.mean_response_latency_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(c.mean_continuity(), 1.0);
+  EXPECT_DOUBLE_EQ(c.satisfied_fraction(), 1.0);
+}
+
+TEST(QoECollector, CustomThreshold) {
+  QoECollector c;
+  c.add_units(1, 100.0, 80.0);
+  EXPECT_DOUBLE_EQ(c.satisfied_fraction(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(c.satisfied_fraction(0.90), 0.0);
+}
+
+TEST(QoECollector, RejectsInvalidInputs) {
+  QoECollector c;
+  EXPECT_THROW(c.add_latency(1, -1.0), std::logic_error);
+  EXPECT_THROW(c.add_units(1, 10.0, 11.0), std::logic_error);
+  EXPECT_THROW(c.add_units(1, -1.0, 0.0), std::logic_error);
+}
+
+TEST(QoECollector, DirectPlayerAccessCreatesEntry) {
+  QoECollector c;
+  c.player(5).units_total += 1.0;
+  EXPECT_EQ(c.player_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.player(5).continuity(), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::metrics

@@ -1,0 +1,99 @@
+#include "net/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::net {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const GeoPoint p{40.0, -75.0};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{40.7128, -74.0060};  // NYC
+  const GeoPoint b{34.0522, -118.2437}; // LA
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, NycToLaKnownDistance) {
+  const GeoPoint nyc{40.7128, -74.0060};
+  const GeoPoint la{34.0522, -118.2437};
+  // Great-circle NYC-LA is about 3936 km.
+  EXPECT_NEAR(haversine_km(nyc, la), 3936.0, 40.0);
+}
+
+TEST(Haversine, ChicagoToDallasKnownDistance) {
+  const GeoPoint chi{41.8781, -87.6298};
+  const GeoPoint dal{32.7767, -96.7970};
+  EXPECT_NEAR(haversine_km(chi, dal), 1290.0, 30.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{41.0, -100.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 1.0);
+}
+
+TEST(MetroTable, NonEmptyWithPositiveWeights) {
+  const auto& metros = us_metros();
+  EXPECT_GE(metros.size(), 50u);
+  for (const auto& m : metros) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_GT(m.population_millions, 0.0);
+  }
+}
+
+TEST(MetroTable, CoordinatesInContinentalUs) {
+  for (const auto& m : us_metros()) {
+    EXPECT_GT(m.center.lat_deg, 24.0) << m.name;
+    EXPECT_LT(m.center.lat_deg, 50.0) << m.name;
+    EXPECT_GT(m.center.lon_deg, -125.0) << m.name;
+    EXPECT_LT(m.center.lon_deg, -66.0) << m.name;
+  }
+}
+
+TEST(MetroTable, SortedDescendingByPopulation) {
+  const auto& metros = us_metros();
+  for (std::size_t i = 1; i < metros.size(); ++i) {
+    EXPECT_GE(metros[i - 1].population_millions, metros[i].population_millions);
+  }
+}
+
+TEST(DatacenterSites, EnoughForTheCoverageSweep) {
+  // The paper's Figure 5(a) sweeps up to 25 datacenters.
+  EXPECT_GE(us_datacenter_sites().size(), 25u);
+}
+
+TEST(DatacenterSites, CoordinatesInContinentalUs) {
+  for (const auto& s : us_datacenter_sites()) {
+    EXPECT_GT(s.center.lat_deg, 24.0) << s.name;
+    EXPECT_LT(s.center.lat_deg, 50.0) << s.name;
+    EXPECT_GT(s.center.lon_deg, -125.0) << s.name;
+    EXPECT_LT(s.center.lon_deg, -66.0) << s.name;
+  }
+}
+
+TEST(DatacenterSites, FirstFiveSpanTheCountry) {
+  // The default 5-datacenter deployment must include east and west coasts.
+  const auto& sites = us_datacenter_sites();
+  double min_lon = 0.0, max_lon = -180.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    min_lon = std::min(min_lon, sites[i].center.lon_deg);
+    max_lon = std::max(max_lon, sites[i].center.lon_deg);
+  }
+  EXPECT_LT(min_lon, -115.0);  // a western site
+  EXPECT_GT(max_lon, -90.0);   // an eastern site
+}
+
+TEST(PlanetLabCoords, PrincetonAndUclaDistinct) {
+  const GeoPoint princeton = princeton_coords();
+  const GeoPoint ucla = ucla_coords();
+  EXPECT_NEAR(princeton.lat_deg, 40.36, 0.1);
+  EXPECT_NEAR(ucla.lat_deg, 34.07, 0.1);
+  // Cross-country pair, ~3,900 km apart.
+  EXPECT_NEAR(haversine_km(princeton, ucla), 3930.0, 100.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

@@ -1,0 +1,121 @@
+#include "net/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace cloudfog::net {
+namespace {
+
+Endpoint make_endpoint(NodeId id, double lat, double lon, double last_mile) {
+  return Endpoint{id, GeoPoint{lat, lon}, last_mile};
+}
+
+TEST(LatencyModel, Symmetric) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.0, -75.0, 10.0);
+  const auto b = make_endpoint(2, 34.0, -118.0, 5.0);
+  EXPECT_DOUBLE_EQ(model.expected_one_way_ms(a, b),
+                   model.expected_one_way_ms(b, a));
+}
+
+TEST(LatencyModel, LoopbackFloor) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.0, -75.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.expected_one_way_ms(a, a), 0.1);
+}
+
+TEST(LatencyModel, RttIsTwiceOneWay) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.0, -75.0, 10.0);
+  const auto b = make_endpoint(2, 34.0, -118.0, 5.0);
+  EXPECT_DOUBLE_EQ(model.expected_rtt_ms(a, b),
+                   2.0 * model.expected_one_way_ms(a, b));
+}
+
+TEST(LatencyModel, LastMileIsAdditiveNotScaled) {
+  // Two pairs with the same ids (same route bias) but different last miles
+  // must differ by exactly the last-mile difference.
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a1 = make_endpoint(1, 40.0, -75.0, 10.0);
+  const auto a2 = make_endpoint(1, 40.0, -75.0, 25.0);
+  const auto b = make_endpoint(2, 34.0, -118.0, 5.0);
+  EXPECT_NEAR(model.expected_one_way_ms(a2, b) - model.expected_one_way_ms(a1, b),
+              15.0, 1e-9);
+}
+
+TEST(LatencyModel, FurtherIsSlowerSameBias) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  // Same pair ids so the route bias cancels; move b farther away.
+  const auto a = make_endpoint(1, 40.0, -100.0, 5.0);
+  const auto near = make_endpoint(2, 41.0, -100.0, 5.0);
+  const auto far = make_endpoint(2, 48.0, -80.0, 5.0);
+  EXPECT_LT(model.expected_one_way_ms(a, near), model.expected_one_way_ms(a, far));
+}
+
+TEST(LatencyModel, PairBiasDeterministicAndSymmetric) {
+  LatencyModel model(LatencyParams::simulation_profile(99));
+  EXPECT_DOUBLE_EQ(model.pair_bias(3, 8), model.pair_bias(3, 8));
+  EXPECT_DOUBLE_EQ(model.pair_bias(3, 8), model.pair_bias(8, 3));
+}
+
+TEST(LatencyModel, PairBiasVariesAcrossPairs) {
+  LatencyModel model(LatencyParams::simulation_profile(99));
+  util::RunningStats stats;
+  for (NodeId b = 1; b <= 200; ++b) stats.add(model.pair_bias(0, b));
+  EXPECT_GT(stats.stddev(), 0.1);
+  // Lognormal(0, sigma): median 1 -> mean slightly above 1.
+  EXPECT_NEAR(stats.mean(), 1.15, 0.25);
+}
+
+TEST(LatencyModel, PairBiasDependsOnSeed) {
+  LatencyModel m1(LatencyParams::simulation_profile(1));
+  LatencyModel m2(LatencyParams::simulation_profile(2));
+  int equal = 0;
+  for (NodeId b = 1; b <= 50; ++b)
+    if (m1.pair_bias(0, b) == m2.pair_bias(0, b)) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(LatencyModel, SampleJitterNeverBelowLastMiles) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.0, -75.0, 10.0);
+  const auto b = make_endpoint(2, 34.0, -118.0, 5.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_GT(model.sample_one_way_ms(a, b, rng), 15.0);
+  }
+}
+
+TEST(LatencyModel, SampleJitterCentersOnExpected) {
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.0, -75.0, 10.0);
+  const auto b = make_endpoint(2, 34.0, -118.0, 5.0);
+  util::Rng rng(1);
+  util::RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(model.sample_one_way_ms(a, b, rng));
+  EXPECT_NEAR(stats.mean(), model.expected_one_way_ms(a, b),
+              0.05 * model.expected_one_way_ms(a, b));
+}
+
+TEST(LatencyModel, PlanetLabProfileHarsherThanSimulation) {
+  const auto sim = LatencyParams::simulation_profile();
+  const auto pl = LatencyParams::planetlab_profile();
+  EXPECT_GT(pl.route_inflation, sim.route_inflation);
+  EXPECT_GT(pl.jitter_sigma, sim.jitter_sigma);
+  EXPECT_GE(pl.pair_bias_sigma, sim.pair_bias_sigma);
+}
+
+TEST(LatencyModel, CrossCountryMagnitudeRealistic) {
+  // NYC <-> LA expected one-way should be tens of milliseconds, not
+  // microseconds or seconds.
+  LatencyModel model(LatencyParams::simulation_profile());
+  const auto a = make_endpoint(1, 40.7128, -74.0060, 10.0);
+  const auto b = make_endpoint(2, 34.0522, -118.2437, 10.0);
+  const TimeMs t = model.expected_one_way_ms(a, b);
+  EXPECT_GT(t, 40.0);
+  EXPECT_LT(t, 250.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

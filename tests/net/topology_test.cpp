@@ -1,0 +1,176 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cloudfog::net {
+namespace {
+
+Topology small_world() {
+  Topology topo(LatencyModel(LatencyParams::simulation_profile()));
+  topo.add_host(HostRole::kDatacenter, {40.0, -75.0}, 0.5, "dc-east");
+  topo.add_host(HostRole::kDatacenter, {34.0, -118.0}, 0.5, "dc-west");
+  topo.add_host(HostRole::kPlayer, {40.5, -75.2}, 12.0, "player-east", 3.0);
+  topo.add_host(HostRole::kPlayer, {34.2, -118.3}, 8.0, "player-west");
+  return topo;
+}
+
+TEST(Topology, SequentialIds) {
+  Topology topo = small_world();
+  EXPECT_EQ(topo.size(), 4u);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(topo.host(i).id, i);
+}
+
+TEST(Topology, UnknownHostRejected) {
+  Topology topo = small_world();
+  EXPECT_THROW(topo.host(99), std::logic_error);
+}
+
+TEST(Topology, RolesFilter) {
+  Topology topo = small_world();
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kDatacenter).size(), 2u);
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kPlayer).size(), 2u);
+  EXPECT_TRUE(topo.hosts_with_role(HostRole::kEdgeServer).empty());
+}
+
+TEST(Topology, ServerLastMileDefaultsToClientValue) {
+  Topology topo = small_world();
+  EXPECT_DOUBLE_EQ(topo.host(3).server_last_mile_ms, 8.0);   // defaulted
+  EXPECT_DOUBLE_EQ(topo.host(2).server_last_mile_ms, 3.0);   // explicit
+}
+
+TEST(Topology, ServerPathFasterWithWiredInterface) {
+  Topology topo = small_world();
+  // Host 2 has last_mile 12 but server interface 3: serving from it must be
+  // 9 ms faster one-way than a client-to-client path.
+  const TimeMs client_path = topo.expected_one_way_ms(2, 3);
+  const TimeMs server_path = topo.expected_server_one_way_ms(2, 3);
+  EXPECT_NEAR(client_path - server_path, 9.0, 1e-9);
+}
+
+TEST(Topology, ServerRttIsTwiceServerOneWay) {
+  Topology topo = small_world();
+  EXPECT_DOUBLE_EQ(topo.expected_server_rtt_ms(0, 2),
+                   2.0 * topo.expected_server_one_way_ms(0, 2));
+}
+
+TEST(Topology, NearestPicksClosestDatacenter) {
+  Topology topo = small_world();
+  const auto dcs = topo.hosts_with_role(HostRole::kDatacenter);
+  EXPECT_EQ(topo.nearest(2, dcs), 0u);  // east player -> east DC
+  EXPECT_EQ(topo.nearest(3, dcs), 1u);  // west player -> west DC
+}
+
+TEST(Topology, NearestRejectsEmptyCandidates) {
+  Topology topo = small_world();
+  EXPECT_THROW(topo.nearest(2, {}), std::logic_error);
+}
+
+TEST(Topology, SortedByLatencyAscending) {
+  Topology topo = small_world();
+  const auto order = topo.sorted_by_latency(2, {0, 1, 3});
+  ASSERT_EQ(order.size(), 3u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(topo.expected_one_way_ms(2, order[i - 1]),
+              topo.expected_one_way_ms(2, order[i]));
+  }
+  EXPECT_EQ(order.front(), 0u);
+}
+
+TEST(Topology, NegativeLastMileRejected) {
+  Topology topo(LatencyModel(LatencyParams::simulation_profile()));
+  EXPECT_THROW(topo.add_host(HostRole::kPlayer, {40.0, -75.0}, -1.0),
+               std::logic_error);
+}
+
+TEST(BuildTopology, CountsMatchConfig) {
+  PlacementConfig config;
+  config.num_players = 200;
+  config.num_datacenters = 5;
+  config.num_edge_servers = 7;
+  config.seed = 3;
+  Topology topo = build_topology(config, LatencyParams::simulation_profile(3));
+  EXPECT_EQ(topo.size(), 212u);
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kDatacenter).size(), 5u);
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kEdgeServer).size(), 7u);
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kPlayer).size(), 200u);
+}
+
+TEST(BuildTopology, DatacentersComeFirstAndAreLabelled) {
+  PlacementConfig config;
+  config.num_players = 10;
+  config.num_datacenters = 3;
+  Topology topo = build_topology(config, LatencyParams::simulation_profile());
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(topo.host(i).role, HostRole::kDatacenter);
+    EXPECT_EQ(topo.host(i).label.substr(0, 3), "DC:");
+  }
+}
+
+TEST(BuildTopology, DeterministicForSameSeed) {
+  PlacementConfig config;
+  config.num_players = 50;
+  config.seed = 77;
+  Topology a = build_topology(config, LatencyParams::simulation_profile(77));
+  Topology b = build_topology(config, LatencyParams::simulation_profile(77));
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.host(i).position, b.host(i).position);
+    EXPECT_EQ(a.host(i).last_mile_ms, b.host(i).last_mile_ms);
+  }
+}
+
+TEST(BuildTopology, DifferentSeedsDiffer) {
+  PlacementConfig c1, c2;
+  c1.num_players = c2.num_players = 50;
+  c1.seed = 1;
+  c2.seed = 2;
+  Topology a = build_topology(c1, LatencyParams::simulation_profile(1));
+  Topology b = build_topology(c2, LatencyParams::simulation_profile(2));
+  int same_position = 0;
+  for (NodeId i = 5; i < a.size(); ++i)
+    if (a.host(i).position == b.host(i).position) ++same_position;
+  EXPECT_LT(same_position, 5);
+}
+
+TEST(BuildTopology, PlayerWiredInterfaceNeverSlowerThanAccess) {
+  PlacementConfig config;
+  config.num_players = 300;
+  Topology topo = build_topology(config, LatencyParams::simulation_profile());
+  for (NodeId id : topo.hosts_with_role(HostRole::kPlayer)) {
+    EXPECT_LE(topo.host(id).server_last_mile_ms, topo.host(id).last_mile_ms);
+  }
+}
+
+TEST(BuildTopology, PoorConnectivityFractionCreatesHeavyTail) {
+  PlacementConfig config;
+  config.num_players = 2'000;
+  config.poor_connectivity_fraction = 0.3;
+  Topology topo = build_topology(config, LatencyParams::simulation_profile());
+  int slow = 0;
+  for (NodeId id : topo.hosts_with_role(HostRole::kPlayer)) {
+    if (topo.host(id).last_mile_ms > 30.0) ++slow;
+  }
+  // Roughly the configured fraction should have last miles above 30 ms.
+  EXPECT_GT(slow, 300);
+  EXPECT_LT(slow, 900);
+}
+
+TEST(BuildPlanetLab, TwoNamedDatacenters) {
+  Topology topo = build_planetlab_topology(100, 5);
+  const auto dcs = topo.hosts_with_role(HostRole::kDatacenter);
+  ASSERT_EQ(dcs.size(), 2u);
+  EXPECT_NE(topo.host(dcs[0]).label.find("Princeton"), std::string::npos);
+  EXPECT_NE(topo.host(dcs[1]).label.find("UCLA"), std::string::npos);
+  EXPECT_EQ(topo.hosts_with_role(HostRole::kPlayer).size(), 100u);
+}
+
+TEST(BuildPlanetLab, UniversityHostsHaveTightAccess) {
+  Topology topo = build_planetlab_topology(400, 5);
+  for (NodeId id : topo.hosts_with_role(HostRole::kPlayer)) {
+    EXPECT_LT(topo.host(id).last_mile_ms, 25.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudfog::net

@@ -1,0 +1,93 @@
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cloudfog::net {
+namespace {
+
+Topology tiny_topology() {
+  Topology topo(LatencyModel(LatencyParams::planetlab_profile(11)));
+  topo.add_host(HostRole::kDatacenter, {40.36, -74.67}, 0.5, "princeton");
+  topo.add_host(HostRole::kPlayer, {34.07, -118.45}, 1.0, "ucla");
+  topo.add_host(HostRole::kPlayer, {41.88, -87.63}, 2.0, "chicago");
+  return topo;
+}
+
+TEST(LatencyTrace, MeasureProducesSymmetricMatrix) {
+  Topology topo = tiny_topology();
+  util::Rng rng(1);
+  LatencyTrace trace = LatencyTrace::measure(topo, rng);
+  EXPECT_EQ(trace.size(), 3u);
+  for (NodeId a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(trace.one_way_ms(a, a), 0.0);
+    for (NodeId b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(trace.one_way_ms(a, b), trace.one_way_ms(b, a));
+    }
+  }
+}
+
+TEST(LatencyTrace, MeasuredValuesNearModelExpectation) {
+  Topology topo = tiny_topology();
+  util::Rng rng(1);
+  LatencyTrace trace = LatencyTrace::measure(topo, rng);
+  // One jittered measurement should be within a factor ~2 of the mean.
+  const TimeMs expected = topo.expected_one_way_ms(0, 1);
+  EXPECT_GT(trace.one_way_ms(0, 1), expected * 0.4);
+  EXPECT_LT(trace.one_way_ms(0, 1), expected * 2.5);
+}
+
+TEST(LatencyTrace, SetRejectsNegative) {
+  LatencyTrace trace(2);
+  EXPECT_THROW(trace.set_one_way_ms(0, 1, -1.0), std::logic_error);
+}
+
+TEST(LatencyTrace, IndexOutOfRangeRejected) {
+  LatencyTrace trace(2);
+  EXPECT_THROW(trace.one_way_ms(0, 2), std::logic_error);
+}
+
+TEST(LatencyTrace, StreamRoundTrip) {
+  LatencyTrace trace(3);
+  trace.set_one_way_ms(0, 1, 12.5);
+  trace.set_one_way_ms(0, 2, 30.0);
+  trace.set_one_way_ms(1, 2, 7.25);
+  std::stringstream ss;
+  trace.save(ss);
+  LatencyTrace loaded = LatencyTrace::load(ss);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.one_way_ms(1, 0), 12.5);
+  EXPECT_DOUBLE_EQ(loaded.one_way_ms(2, 0), 30.0);
+  EXPECT_DOUBLE_EQ(loaded.one_way_ms(2, 1), 7.25);
+}
+
+TEST(LatencyTrace, FileRoundTrip) {
+  Topology topo = tiny_topology();
+  util::Rng rng(4);
+  LatencyTrace trace = LatencyTrace::measure(topo, rng);
+  const std::string path = ::testing::TempDir() + "/cloudfog_trace_test.txt";
+  trace.save_file(path);
+  LatencyTrace loaded = LatencyTrace::load_file(path);
+  for (NodeId a = 0; a < 3; ++a)
+    for (NodeId b = 0; b < 3; ++b)
+      EXPECT_NEAR(loaded.one_way_ms(a, b), trace.one_way_ms(a, b), 1e-4);
+}
+
+TEST(LatencyTrace, LoadRejectsBadHeader) {
+  std::stringstream ss("not-a-trace v9 3\n");
+  EXPECT_THROW(LatencyTrace::load(ss), std::logic_error);
+}
+
+TEST(LatencyTrace, LoadRejectsTruncatedBody) {
+  std::stringstream ss("cloudfog-latency-trace v1 3\n0 1 2\n");
+  EXPECT_THROW(LatencyTrace::load(ss), std::logic_error);
+}
+
+TEST(LatencyTrace, LoadMissingFileRejected) {
+  EXPECT_THROW(LatencyTrace::load_file("/nonexistent/path/trace.txt"),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

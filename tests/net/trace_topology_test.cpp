@@ -1,0 +1,124 @@
+// Tests of the trace-backed topology override (the PeerSim-driven-by-a-
+// PlanetLab-trace workflow) and of the packet-loss model.
+#include <gtest/gtest.h>
+
+#include "net/trace.h"
+#include "util/stats.h"
+
+namespace cloudfog::net {
+namespace {
+
+Topology tiny() {
+  Topology topo(LatencyModel(LatencyParams::simulation_profile(2)));
+  topo.add_host(HostRole::kDatacenter, {40.0, -75.0}, 0.5);
+  topo.add_host(HostRole::kPlayer, {40.5, -75.2}, 10.0, "p1", 3.0);
+  topo.add_host(HostRole::kPlayer, {34.0, -118.0}, 8.0);
+  return topo;
+}
+
+TEST(TraceTopology, AttachOverridesExpectedLatency) {
+  Topology topo = tiny();
+  LatencyTrace trace(3);
+  trace.set_one_way_ms(0, 1, 42.0);
+  trace.set_one_way_ms(0, 2, 77.0);
+  trace.set_one_way_ms(1, 2, 55.0);
+  topo.attach_trace(&trace);
+  EXPECT_TRUE(topo.has_trace());
+  EXPECT_DOUBLE_EQ(topo.expected_one_way_ms(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(topo.expected_one_way_ms(2, 1), 55.0);
+  EXPECT_DOUBLE_EQ(topo.expected_rtt_ms(0, 2), 154.0);
+}
+
+TEST(TraceTopology, ServerPathUsesTraceToo) {
+  Topology topo = tiny();
+  LatencyTrace trace(3);
+  trace.set_one_way_ms(1, 2, 25.0);
+  topo.attach_trace(&trace);
+  EXPECT_DOUBLE_EQ(topo.expected_server_one_way_ms(1, 2), 25.0);
+  EXPECT_DOUBLE_EQ(topo.expected_server_rtt_ms(1, 2), 50.0);
+}
+
+TEST(TraceTopology, SampleJittersAroundTraceValue) {
+  Topology topo = tiny();
+  LatencyTrace trace(3);
+  trace.set_one_way_ms(0, 1, 40.0);
+  topo.attach_trace(&trace);
+  util::Rng rng(5);
+  util::RunningStats stats;
+  for (int i = 0; i < 5'000; ++i) stats.add(topo.sample_one_way_ms(0, 1, rng));
+  EXPECT_NEAR(stats.mean(), 40.0, 2.0);
+  EXPECT_GT(stats.stddev(), 0.5);
+}
+
+TEST(TraceTopology, HostsBeyondTraceFallBackToModel) {
+  Topology topo = tiny();
+  LatencyTrace trace(2);  // covers hosts 0 and 1 only
+  trace.set_one_way_ms(0, 1, 42.0);
+  topo.attach_trace(&trace);
+  EXPECT_DOUBLE_EQ(topo.expected_one_way_ms(0, 1), 42.0);
+  // Pair (0, 2) is outside the trace: geographic model applies.
+  EXPECT_GT(topo.expected_one_way_ms(0, 2), 15.0);
+}
+
+TEST(TraceTopology, DetachRestoresModel) {
+  Topology topo = tiny();
+  const TimeMs model_value = topo.expected_one_way_ms(0, 1);
+  LatencyTrace trace(3);
+  trace.set_one_way_ms(0, 1, 1.0);
+  topo.attach_trace(&trace);
+  EXPECT_DOUBLE_EQ(topo.expected_one_way_ms(0, 1), 1.0);
+  topo.attach_trace(nullptr);
+  EXPECT_FALSE(topo.has_trace());
+  EXPECT_DOUBLE_EQ(topo.expected_one_way_ms(0, 1), model_value);
+}
+
+TEST(LossModel, ZeroOnLoopback) {
+  Topology topo = tiny();
+  EXPECT_DOUBLE_EQ(topo.loss_probability(1, 1), 0.0);
+}
+
+TEST(LossModel, GrowsWithDistance) {
+  // Same endpoint pair ids => same bias; compare a short and a long path
+  // via raw model endpoints.
+  LatencyModel model(LatencyParams::simulation_profile(2));
+  const Endpoint a{1, {40.0, -100.0}, 5.0};
+  const Endpoint near{2, {40.5, -100.0}, 5.0};
+  const Endpoint far{2, {34.0, -118.0}, 5.0};
+  EXPECT_LT(model.loss_probability(a, near), model.loss_probability(a, far));
+}
+
+TEST(LossModel, WithinCap) {
+  LatencyModel model(LatencyParams::simulation_profile(2));
+  for (NodeId b = 2; b < 100; ++b) {
+    const Endpoint a{1, {45.0, -70.0}, 5.0};
+    const Endpoint z{b, {32.0, -120.0}, 5.0};
+    const double p = model.loss_probability(a, z);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.25);
+  }
+}
+
+TEST(LossModel, DeterministicPerPair) {
+  Topology topo = tiny();
+  EXPECT_DOUBLE_EQ(topo.loss_probability(0, 2), topo.loss_probability(0, 2));
+  EXPECT_DOUBLE_EQ(topo.loss_probability(0, 2), topo.loss_probability(2, 0));
+}
+
+TEST(LossModel, PlanetLabLossier) {
+  const auto sim = LatencyParams::simulation_profile(3);
+  const auto pl = LatencyParams::planetlab_profile(3);
+  EXPECT_GT(pl.base_loss, sim.base_loss);
+  EXPECT_GT(pl.loss_per_1000km, sim.loss_per_1000km);
+}
+
+TEST(LossModel, CrossCountryMagnitudeIsSmallButReal) {
+  LatencyModel model(LatencyParams::simulation_profile(4));
+  const Endpoint a{1, {40.7, -74.0}, 10.0};
+  const Endpoint b{2, {34.0, -118.2}, 10.0};
+  const double p = model.loss_probability(a, b);
+  EXPECT_GT(p, 0.001);
+  EXPECT_LT(p, 0.08);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

@@ -1,0 +1,183 @@
+#include "net/uplink.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace cloudfog::net {
+namespace {
+
+TEST(FairShareUplink, SingleFlowUsesFullCapacity) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);  // 1 Mbps
+  FlowResult result;
+  uplink.start_flow(500.0, 0.0, [&](const FlowResult& r) { result = r; });
+  sim.run_all();
+  // 500 kbit at 1000 kbps = 500 ms.
+  EXPECT_DOUBLE_EQ(result.end, 500.0);
+  EXPECT_DOUBLE_EQ(result.delivered, 500.0);
+  EXPECT_FALSE(result.cancelled);
+}
+
+TEST(FairShareUplink, TwoFlowsShareEqually) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  std::vector<double> ends;
+  uplink.start_flow(500.0, 0.0, [&](const FlowResult& r) { ends.push_back(r.end); });
+  uplink.start_flow(500.0, 0.0, [&](const FlowResult& r) { ends.push_back(r.end); });
+  sim.run_all();
+  // Both progress at 500 kbps -> both finish at 1000 ms.
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_DOUBLE_EQ(ends[0], 1'000.0);
+  EXPECT_DOUBLE_EQ(ends[1], 1'000.0);
+}
+
+TEST(FairShareUplink, LateArrivalSlowsExistingFlow) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult first;
+  uplink.start_flow(500.0, 0.0, [&](const FlowResult& r) { first = r; });
+  sim.schedule_at(250.0, [&] {
+    uplink.start_flow(1'000.0, 0.0, [](const FlowResult&) {});
+  });
+  sim.run_all();
+  // First flow: 250 kbit in first 250 ms, then 250 kbit at 500 kbps = 500 ms.
+  EXPECT_DOUBLE_EQ(first.end, 750.0);
+}
+
+TEST(FairShareUplink, DeadlineDeliveryExact) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult result;
+  uplink.start_flow(500.0, 200.0, [&](const FlowResult& r) { result = r; });
+  sim.run_all();
+  // At the 200 ms deadline, 200 kbit of 500 had been delivered.
+  EXPECT_DOUBLE_EQ(result.delivered_by_deadline, 200.0);
+  EXPECT_DOUBLE_EQ(result.on_time_fraction(), 0.4);
+}
+
+TEST(FairShareUplink, DeadlineAfterCompletionIsFullyOnTime) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult result;
+  uplink.start_flow(100.0, 5'000.0, [&](const FlowResult& r) { result = r; });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(result.on_time_fraction(), 1.0);
+}
+
+TEST(FairShareUplink, DeadlineAlreadyPassedAtStart) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult result;
+  sim.schedule_at(100.0, [&] {
+    uplink.start_flow(100.0, 50.0, [&](const FlowResult& r) { result = r; });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(result.delivered_by_deadline, 0.0);
+}
+
+TEST(FairShareUplink, DeadlineUnderSharedLoad) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult result;
+  uplink.start_flow(400.0, 400.0, [&](const FlowResult& r) { result = r; });
+  uplink.start_flow(400.0, 0.0, [](const FlowResult&) {});
+  sim.run_all();
+  // Share 500 kbps: by the 400 ms deadline, 200 kbit delivered.
+  EXPECT_DOUBLE_EQ(result.delivered_by_deadline, 200.0);
+  EXPECT_DOUBLE_EQ(result.end, 800.0);
+}
+
+TEST(FairShareUplink, CancelReportsPartialDelivery) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  FlowResult result;
+  const auto id =
+      uplink.start_flow(500.0, 0.0, [&](const FlowResult& r) { result = r; });
+  sim.schedule_at(100.0, [&] { EXPECT_TRUE(uplink.cancel_flow(id)); });
+  sim.run_all();
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_DOUBLE_EQ(result.delivered, 100.0);
+  EXPECT_DOUBLE_EQ(result.end, 100.0);
+}
+
+TEST(FairShareUplink, CancelUnknownFlowReturnsFalse) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  EXPECT_FALSE(uplink.cancel_flow(42));
+}
+
+TEST(FairShareUplink, ZeroSizeFlowCompletesInline) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  bool completed = false;
+  const auto id = uplink.start_flow(0.0, 0.0, [&](const FlowResult& r) {
+    completed = true;
+    EXPECT_DOUBLE_EQ(r.end, 0.0);
+  });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(id, FairShareUplink::kInvalidFlow);
+}
+
+TEST(FairShareUplink, CurrentShareTracksFlowCount) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 900.0);
+  EXPECT_DOUBLE_EQ(uplink.current_share(), 900.0);
+  uplink.start_flow(1'000.0, 0.0, [](const FlowResult&) {});
+  EXPECT_DOUBLE_EQ(uplink.current_share(), 900.0);
+  uplink.start_flow(1'000.0, 0.0, [](const FlowResult&) {});
+  uplink.start_flow(1'000.0, 0.0, [](const FlowResult&) {});
+  EXPECT_DOUBLE_EQ(uplink.current_share(), 300.0);
+  EXPECT_EQ(uplink.active_flows(), 3u);
+}
+
+TEST(FairShareUplink, TotalDeliveredAccumulates) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  uplink.start_flow(300.0, 0.0, [](const FlowResult&) {});
+  uplink.start_flow(200.0, 0.0, [](const FlowResult&) {});
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(uplink.total_delivered(), 500.0);
+}
+
+TEST(FairShareUplink, CompletionCallbackCanStartNewFlow) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  double second_end = 0.0;
+  uplink.start_flow(100.0, 0.0, [&](const FlowResult&) {
+    uplink.start_flow(100.0, 0.0,
+                      [&](const FlowResult& r) { second_end = r.end; });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(second_end, 200.0);
+}
+
+TEST(FairShareUplink, UnequalSizesFinishInSizeOrder) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  std::vector<int> order;
+  uplink.start_flow(600.0, 0.0, [&](const FlowResult&) { order.push_back(2); });
+  uplink.start_flow(200.0, 0.0, [&](const FlowResult&) { order.push_back(1); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Small flow: 200 kbit at 500 kbps = 400 ms. Large flow then has
+  // 600 - 200 = 400 kbit left at full rate -> finishes at 800 ms.
+  EXPECT_DOUBLE_EQ(sim.now(), 800.0);
+}
+
+TEST(FairShareUplink, RejectsNonPositiveCapacity) {
+  sim::Simulator sim;
+  EXPECT_THROW(FairShareUplink(sim, 0.0), std::logic_error);
+}
+
+TEST(FairShareUplink, RejectsNegativeSize) {
+  sim::Simulator sim;
+  FairShareUplink uplink(sim, 1'000.0);
+  EXPECT_THROW(uplink.start_flow(-1.0, 0.0, [](const FlowResult&) {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::net

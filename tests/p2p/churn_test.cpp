@@ -1,0 +1,142 @@
+#include "p2p/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace cloudfog::p2p {
+namespace {
+
+struct ChurnWorld {
+  explicit ChurnWorld(std::size_t n, std::uint64_t seed = 1,
+                      bool warm_start = true) {
+    std::vector<NodeId> hosts(n);
+    for (std::size_t i = 0; i < n; ++i) hosts[i] = static_cast<NodeId>(i);
+    util::Rng pop_rng(seed);
+    population = std::make_unique<Population>(hosts, PopulationConfig{}, pop_rng);
+    util::Rng graph_rng(seed + 1);
+    graph = std::make_unique<SocialGraph>(n, SocialGraphConfig{}, graph_rng);
+    ChurnConfig config;
+    config.warm_start = warm_start;
+    churn = std::make_unique<ChurnProcess>(sim, *population, graph.get(), config,
+                                           util::Rng(seed + 2));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Population> population;
+  std::unique_ptr<SocialGraph> graph;
+  std::unique_ptr<ChurnProcess> churn;
+};
+
+TEST(Churn, WarmStartNearStationaryFraction) {
+  ChurnWorld world(5'000);
+  world.churn->start();
+  const double expected = world.population->expected_online_fraction();
+  const double actual =
+      static_cast<double>(world.churn->online_count()) / 5'000.0;
+  EXPECT_NEAR(actual, expected, 0.03);
+}
+
+TEST(Churn, StaysNearStationaryOverHours) {
+  ChurnWorld world(3'000);
+  world.churn->start();
+  const double expected = world.population->expected_online_fraction();
+  for (int hour = 1; hour <= 6; ++hour) {
+    world.sim.run_until(hour * kMsPerHour);
+    const double actual =
+        static_cast<double>(world.churn->online_count()) / 3'000.0;
+    EXPECT_NEAR(actual, expected, 0.05) << "hour " << hour;
+  }
+}
+
+TEST(Churn, ColdStartBeginsEmptyAndFills) {
+  ChurnWorld world(2'000, 1, /*warm_start=*/false);
+  world.churn->start();
+  EXPECT_EQ(world.churn->online_count(), 0u);
+  // Arrivals at 5/s: after 60 s roughly 300 players joined.
+  world.sim.run_until(60.0 * kMsPerSecond);
+  EXPECT_GT(world.churn->online_count(), 200u);
+  EXPECT_LT(world.churn->online_count(), 400u);
+}
+
+TEST(Churn, JoinAndLeaveCallbacksBalance) {
+  ChurnWorld world(1'000, 2, /*warm_start=*/false);
+  std::size_t joins = 0, leaves = 0;
+  world.churn->set_callbacks([&](std::size_t) { ++joins; },
+                             [&](std::size_t) { ++leaves; });
+  world.churn->start();
+  world.sim.run_until(2.0 * kMsPerHour);
+  EXPECT_EQ(joins, world.churn->total_joins());
+  EXPECT_EQ(leaves, world.churn->total_leaves());
+  EXPECT_EQ(joins - leaves, world.churn->online_count());
+  EXPECT_GT(joins, 0u);
+  EXPECT_GT(leaves, 0u);
+}
+
+TEST(Churn, OnlinePlayersHaveGames) {
+  ChurnWorld world(1'000);
+  world.churn->start();
+  world.sim.run_until(10.0 * kMsPerMinute);
+  for (std::size_t p : world.churn->online_players()) {
+    EXPECT_TRUE(world.churn->is_online(p));
+    EXPECT_GE(world.churn->game_of(p), 0);
+    EXPECT_LT(world.churn->game_of(p),
+              static_cast<int>(game::game_catalog().size()));
+  }
+}
+
+TEST(Churn, OfflinePlayersHaveNoGame) {
+  ChurnWorld world(1'000);
+  world.churn->start();
+  for (std::size_t i = 0; i < 1'000; ++i) {
+    if (!world.churn->is_online(i)) EXPECT_EQ(world.churn->game_of(i), -1);
+  }
+}
+
+TEST(Churn, OnlinePlayersSortedAndConsistent) {
+  ChurnWorld world(500);
+  world.churn->start();
+  world.sim.run_until(kMsPerMinute);
+  const auto online = world.churn->online_players();
+  EXPECT_EQ(online.size(), world.churn->online_count());
+  for (std::size_t i = 1; i < online.size(); ++i) {
+    EXPECT_LT(online[i - 1], online[i]);
+  }
+}
+
+TEST(Churn, DeterministicForSameSeed) {
+  ChurnWorld a(500, 9), b(500, 9);
+  a.churn->start();
+  b.churn->start();
+  a.sim.run_until(kMsPerHour);
+  b.sim.run_until(kMsPerHour);
+  EXPECT_EQ(a.churn->online_players(), b.churn->online_players());
+  EXPECT_EQ(a.churn->total_joins(), b.churn->total_joins());
+}
+
+TEST(Churn, StartTwiceRejected) {
+  ChurnWorld world(100);
+  world.churn->start();
+  EXPECT_THROW(world.churn->start(), std::logic_error);
+}
+
+TEST(Churn, CallbacksAfterStartRejected) {
+  ChurnWorld world(100);
+  world.churn->start();
+  EXPECT_THROW(world.churn->set_callbacks([](std::size_t) {}, nullptr),
+               std::logic_error);
+}
+
+TEST(Churn, PlayersChurnThroughSessions) {
+  // Over a simulated day every player should complete roughly one session.
+  ChurnWorld world(800, 5, /*warm_start=*/false);
+  world.churn->start();
+  world.sim.run_until(24.0 * kMsPerHour);
+  EXPECT_GT(world.churn->total_joins(), 700u);
+  EXPECT_GT(world.churn->total_leaves(), 500u);
+}
+
+}  // namespace
+}  // namespace cloudfog::p2p

@@ -1,0 +1,112 @@
+#include "p2p/social_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cloudfog::p2p {
+namespace {
+
+TEST(SocialGraph, EveryPlayerHasMinimumDegree) {
+  util::Rng rng(1);
+  SocialGraph graph(500, SocialGraphConfig{}, rng);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_GE(graph.degree(i), 1u);
+  }
+}
+
+TEST(SocialGraph, DegreeCapRespected) {
+  util::Rng rng(2);
+  SocialGraphConfig config;
+  config.max_friends = 20;
+  SocialGraph graph(500, config, rng);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_LE(graph.degree(i), 25u);  // cap + patch-up attachments
+  }
+}
+
+TEST(SocialGraph, UndirectedAndConsistent) {
+  util::Rng rng(3);
+  SocialGraph graph(300, SocialGraphConfig{}, rng);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (std::size_t f : graph.friends(i)) {
+      EXPECT_TRUE(graph.are_friends(f, i)) << i << " <-> " << f;
+    }
+  }
+}
+
+TEST(SocialGraph, NoSelfLoops) {
+  util::Rng rng(4);
+  SocialGraph graph(300, SocialGraphConfig{}, rng);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_FALSE(graph.are_friends(i, i));
+  }
+}
+
+TEST(SocialGraph, NoDuplicateEdges) {
+  util::Rng rng(5);
+  SocialGraph graph(300, SocialGraphConfig{}, rng);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& friends = graph.friends(i);
+    std::set<std::size_t> unique(friends.begin(), friends.end());
+    EXPECT_EQ(unique.size(), friends.size());
+  }
+}
+
+TEST(SocialGraph, PowerLawSkewsDegrees) {
+  util::Rng rng(6);
+  SocialGraph graph(5'000, SocialGraphConfig{}, rng);
+  int low = 0, high = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (graph.degree(i) <= 5) ++low;
+    if (graph.degree(i) >= 40) ++high;
+  }
+  EXPECT_GT(low, high);  // skew 0.5: small degrees more common
+  EXPECT_GT(high, 0);    // but a heavy tail exists
+}
+
+TEST(SocialGraph, MeanDegreeReasonable) {
+  util::Rng rng(7);
+  SocialGraph graph(2'000, SocialGraphConfig{}, rng);
+  EXPECT_GT(graph.mean_degree(), 2.0);
+  EXPECT_LT(graph.mean_degree(), 40.0);
+}
+
+TEST(SocialGraph, TinyGraphs) {
+  util::Rng rng(8);
+  SocialGraph empty(0, SocialGraphConfig{}, rng);
+  EXPECT_EQ(empty.size(), 0u);
+  SocialGraph single(1, SocialGraphConfig{}, rng);
+  EXPECT_EQ(single.degree(0), 0u);  // nobody to befriend
+  SocialGraph pair(2, SocialGraphConfig{}, rng);
+  EXPECT_TRUE(pair.are_friends(0, 1));
+}
+
+TEST(SocialGraph, DeterministicForSameSeed) {
+  util::Rng r1(9), r2(9);
+  SocialGraph a(200, SocialGraphConfig{}, r1);
+  SocialGraph b(200, SocialGraphConfig{}, r2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.friends(i), b.friends(i));
+  }
+}
+
+TEST(SocialGraph, OutOfRangeRejected) {
+  util::Rng rng(10);
+  SocialGraph graph(10, SocialGraphConfig{}, rng);
+  EXPECT_THROW(graph.friends(10), std::logic_error);
+}
+
+TEST(SocialGraph, InvalidConfigRejected) {
+  util::Rng rng(11);
+  SocialGraphConfig config;
+  config.min_friends = 0;
+  EXPECT_THROW(SocialGraph(10, config, rng), std::logic_error);
+  SocialGraphConfig config2;
+  config2.min_friends = 10;
+  config2.max_friends = 5;
+  EXPECT_THROW(SocialGraph(10, config2, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::p2p

@@ -1,0 +1,141 @@
+// Validation against queueing theory: the discrete-event stack (Simulator +
+// packet sender) must reproduce closed-form M/D/1 and M/M/1 results. This
+// pins the substrate's correctness to something stronger than unit
+// expectations — if event ordering, timing or the serial-sender logic were
+// subtly wrong, these laws would break.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/supernode_sender.h"
+#include "sim/simulator.h"
+#include "stream/queued_sender.h"
+#include "stream/video.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cloudfog {
+namespace {
+
+struct MD1Case {
+  double utilization;  // rho
+  std::uint64_t seed;
+};
+
+class MD1Validation : public ::testing::TestWithParam<MD1Case> {};
+
+// Poisson arrivals of fixed-size single-packet segments into the FIFO
+// packet sender = an M/D/1 queue. Mean wait W_q = rho * S / (2 * (1 - rho)),
+// sojourn T = W_q + S.
+TEST_P(MD1Validation, MeanSojournMatchesClosedForm) {
+  const MD1Case& param = GetParam();
+  const Kbps uplink = 12'000.0;  // one 12-kbit packet per ms
+  const TimeMs service_ms = stream::kPacketKbit / uplink * 1000.0;  // 1 ms
+  const double lambda_per_ms = param.utilization / service_ms;
+
+  sim::Simulator sim;
+  util::Rng rng(param.seed);
+  util::Rng arrivals = rng.fork("arrivals");
+  stream::SegmentFactory factory;
+  util::RunningStats sojourn;
+  std::unordered_map<std::uint64_t, TimeMs> submitted_at;
+
+  core::SupernodeSender sender(
+      sim, uplink, core::SupernodeSender::Discipline::kFifo,
+      core::DeadlineSchedulerConfig{},
+      [](NodeId, util::Rng&) { return 0.0; },  // no propagation: pure queue
+      [&](const core::PacketDelivery& d) {
+        sojourn.add(d.sent_ms - submitted_at.at(d.segment_id));
+      },
+      rng.fork("sender"));
+
+  // Drive ~60,000 arrivals.
+  const int n = 60'000;
+  TimeMs t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += arrivals.exponential(lambda_per_ms);
+    sim.schedule_at(t, [&] {
+      // Single-packet segment (12 kbit), deadline far away: no drops.
+      auto seg = factory.make(1, 4, 1, 33.3, sim.now());
+      seg.size_kbit = stream::kPacketKbit;
+      seg.deadline_ms = sim.now() + 1e9;
+      submitted_at[seg.id] = sim.now();
+      sender.submit(seg);
+    });
+  }
+  sim.run_all();
+
+  const double rho = param.utilization;
+  const double expected_sojourn =
+      service_ms * (1.0 + rho / (2.0 * (1.0 - rho)));
+  ASSERT_EQ(sojourn.count(), static_cast<std::size_t>(n));
+  // High-rho waits have heavy variance; the sample-mean error at 60k
+  // arrivals warrants a wider band than the fluid checks below use.
+  EXPECT_NEAR(sojourn.mean(), expected_sojourn, expected_sojourn * 0.12)
+      << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, MD1Validation,
+                         ::testing::Values(MD1Case{0.3, 1}, MD1Case{0.5, 2},
+                                           MD1Case{0.7, 3}, MD1Case{0.8, 4}));
+
+// The fluid FIFO QueuedSender with Poisson single-packet arrivals is the
+// same M/D/1 system; its analytic schedule must agree with theory too.
+class FluidMD1 : public ::testing::TestWithParam<MD1Case> {};
+
+TEST_P(FluidMD1, QueuedSenderMatchesClosedForm) {
+  const MD1Case& param = GetParam();
+  const Kbps capacity = 12'000.0;
+  const TimeMs service_ms = 1.0;  // 12 kbit at 12 Mbps
+  const double lambda_per_ms = param.utilization / service_ms;
+
+  stream::QueuedSender sender(capacity);
+  util::Rng rng(param.seed + 100);
+  util::RunningStats sojourn;
+  TimeMs t = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += rng.exponential(lambda_per_ms);
+    const auto sched = sender.enqueue(t, stream::kPacketKbit);
+    sojourn.add(sched.end - sched.enqueued);
+  }
+  const double rho = param.utilization;
+  const double expected = service_ms * (1.0 + rho / (2.0 * (1.0 - rho)));
+  EXPECT_NEAR(sojourn.mean(), expected, expected * 0.05) << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, FluidMD1,
+                         ::testing::Values(MD1Case{0.3, 1}, MD1Case{0.5, 2},
+                                           MD1Case{0.7, 3}, MD1Case{0.8, 4}));
+
+// M/M/1 via exponential segment sizes on the fluid sender:
+// T = S / (1 - rho).
+class FluidMM1 : public ::testing::TestWithParam<MD1Case> {};
+
+TEST_P(FluidMM1, ExponentialServiceMatchesClosedForm) {
+  const MD1Case& param = GetParam();
+  const Kbps capacity = 12'000.0;
+  const Kbit mean_size = 12.0;    // mean service 1 ms
+  const TimeMs service_ms = 1.0;
+  const double lambda_per_ms = param.utilization / service_ms;
+
+  stream::QueuedSender sender(capacity);
+  util::Rng rng(param.seed + 200);
+  util::RunningStats sojourn;
+  TimeMs t = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += rng.exponential(lambda_per_ms);
+    const Kbit size = rng.exponential(1.0 / mean_size);
+    const auto sched = sender.enqueue(t, size);
+    sojourn.add(sched.end - sched.enqueued);
+  }
+  const double expected = service_ms / (1.0 - param.utilization);
+  EXPECT_NEAR(sojourn.mean(), expected, expected * 0.06)
+      << "rho = " << param.utilization;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, FluidMM1,
+                         ::testing::Values(MD1Case{0.3, 1}, MD1Case{0.5, 2},
+                                           MD1Case{0.7, 3}));
+
+}  // namespace
+}  // namespace cloudfog

@@ -1,0 +1,129 @@
+// Randomized lifecycle fuzz of the SessionManager: arbitrary interleavings
+// of player joins/leaves, supernode joins/departures and rebalance passes
+// must preserve the session book's invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/session_manager.h"
+
+namespace cloudfog::core {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  bool failover;
+  bool cooperation;
+};
+
+class SessionFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SessionFuzz, InvariantsHoldUnderRandomLifecycles) {
+  const FuzzCase& param = GetParam();
+  util::Rng rng(param.seed);
+
+  // A metro-ish topology: 40 player hosts and 12 supernode hosts close by.
+  net::LatencyParams lp = net::LatencyParams::simulation_profile(param.seed);
+  net::Topology topo((net::LatencyModel(lp)));
+  std::vector<NodeId> players, supernode_hosts;
+  for (int i = 0; i < 40; ++i) {
+    players.push_back(topo.add_host(
+        net::HostRole::kPlayer,
+        {39.9 + rng.uniform(-0.3, 0.3), -75.2 + rng.uniform(-0.3, 0.3)},
+        rng.uniform(2.0, 20.0)));
+  }
+  for (int i = 0; i < 12; ++i) {
+    supernode_hosts.push_back(topo.add_host(
+        net::HostRole::kPlayer,
+        {39.9 + rng.uniform(-0.3, 0.3), -75.2 + rng.uniform(-0.3, 0.3)},
+        rng.uniform(2.0, 20.0), "sn", 3.0));
+  }
+
+  SessionManagerConfig config;
+  config.enable_failover = param.failover;
+  config.enable_cooperation = param.cooperation;
+  config.shed_utilization = 0.3;
+  SessionManager mgr(topo, SupernodeManagerConfig{}, config, rng.fork("mgr"));
+
+  std::set<NodeId> joined_players;
+  std::set<NodeId> up_supernodes;
+  std::map<NodeId, int> capacities;
+
+  auto check_invariants = [&] {
+    // 1. Session accounting adds up.
+    EXPECT_EQ(mgr.session_count(), joined_players.size());
+    EXPECT_EQ(mgr.cloud_sessions() + mgr.supernode_sessions(),
+              mgr.session_count());
+    // 2. Every session's supernode is live, within capacity, and demand
+    //    matches the sum of its sessions' bitrates.
+    std::map<NodeId, int> assigned;
+    std::map<NodeId, double> demand;
+    for (NodeId p : joined_players) {
+      const Session& s = mgr.session(p);
+      if (s.on_cloud()) continue;
+      EXPECT_TRUE(up_supernodes.contains(s.supernode));
+      ++assigned[s.supernode];
+      demand[s.supernode] += s.bitrate_kbps;
+    }
+    for (const auto& [sn, count] : assigned) {
+      EXPECT_LE(count, capacities.at(sn));
+      EXPECT_EQ(mgr.manager().record(sn).assigned, count);
+      EXPECT_NEAR(mgr.demand_kbps(sn), demand[sn], 1e-6);
+    }
+    // 3. Live supernodes without sessions carry zero demand.
+    for (NodeId sn : up_supernodes) {
+      if (!assigned.contains(sn)) EXPECT_NEAR(mgr.demand_kbps(sn), 0.0, 1e-6);
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.35) {  // player join
+      const NodeId p = players[rng.index(players.size())];
+      if (!joined_players.contains(p)) {
+        mgr.player_join(p, static_cast<game::GameId>(rng.uniform_int(0, 4)));
+        joined_players.insert(p);
+      }
+    } else if (dice < 0.6) {  // player leave
+      if (!joined_players.empty()) {
+        auto it = joined_players.begin();
+        std::advance(it, static_cast<long>(rng.index(joined_players.size())));
+        mgr.player_leave(*it);
+        joined_players.erase(it);
+      }
+    } else if (dice < 0.75) {  // supernode join
+      const NodeId sn = supernode_hosts[rng.index(supernode_hosts.size())];
+      if (!up_supernodes.contains(sn)) {
+        const int capacity = static_cast<int>(rng.uniform_int(1, 6));
+        mgr.supernode_join(sn, capacity, capacity * 4'000.0);
+        up_supernodes.insert(sn);
+        capacities[sn] = capacity;
+      }
+    } else if (dice < 0.9) {  // supernode leave
+      if (!up_supernodes.empty()) {
+        auto it = up_supernodes.begin();
+        std::advance(it, static_cast<long>(rng.index(up_supernodes.size())));
+        const FailoverReport report = mgr.supernode_leave(*it);
+        EXPECT_EQ(report.players_affected, report.recovered_to_backup +
+                                               report.reassigned +
+                                               report.fell_to_cloud);
+        up_supernodes.erase(it);
+      }
+    } else {  // cooperation pass
+      (void)mgr.rebalance();
+    }
+    if (step % 25 == 0) check_invariants();
+  }
+  check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SessionFuzz,
+    ::testing::Values(FuzzCase{1, true, false}, FuzzCase{2, false, false},
+                      FuzzCase{3, true, true}, FuzzCase{4, false, true},
+                      FuzzCase{5, true, true}, FuzzCase{6, true, false},
+                      FuzzCase{7, false, false}, FuzzCase{8, true, true}));
+
+}  // namespace
+}  // namespace cloudfog::core

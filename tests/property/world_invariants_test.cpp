@@ -1,0 +1,157 @@
+// Property tests of the virtual-world substrate: conservation and bound
+// invariants under random action streams.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "world/interest.h"
+#include "world/partition.h"
+#include "world/virtual_world.h"
+
+namespace cloudfog::world {
+namespace {
+
+class WorldInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldInvariants, RandomPlayKeepsStateSane) {
+  util::Rng rng(GetParam());
+  WorldConfig config;
+  config.width = 2'000.0;
+  config.height = 1'500.0;
+  config.region_size = 200.0;
+  VirtualWorld w(config);
+
+  std::vector<AvatarId> avatars;
+  for (int i = 0; i < 60; ++i) avatars.push_back(w.spawn(rng));
+
+  for (int t = 0; t < 50; ++t) {
+    for (AvatarId a : avatars) {
+      const double dice = rng.uniform();
+      if (dice < 0.5) {
+        w.submit({a, ActionType::kMove, rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0)});
+      } else if (dice < 0.7) {
+        w.submit({a, ActionType::kStrike, 0.0, 0.0});
+      } else if (dice < 0.8) {
+        w.submit({a, ActionType::kEmote, 0.0, 0.0});
+      }
+    }
+    const TickDelta delta = w.tick(rng);
+
+    // Population is conserved (strikes respawn, never remove).
+    EXPECT_EQ(w.population(), avatars.size());
+    // Every avatar stays on the map with sane health.
+    for (AvatarId a : avatars) {
+      const Avatar& av = w.avatar(a);
+      EXPECT_GE(av.position.x, 0.0);
+      EXPECT_LE(av.position.x, config.width);
+      EXPECT_GE(av.position.y, 0.0);
+      EXPECT_LE(av.position.y, config.height);
+      EXPECT_GT(av.health, 0.0);
+      EXPECT_LE(av.health, 100.0);
+    }
+    // Delta entries reference live avatars, carry their true region, and
+    // are strictly id-sorted (no duplicates).
+    std::set<AvatarId> seen;
+    for (const AvatarDelta& d : delta.changes) {
+      EXPECT_TRUE(w.exists(d.id));
+      EXPECT_TRUE(seen.insert(d.id).second);
+      EXPECT_LT(d.region, w.region_count());
+    }
+    // Delta size formula matches the change count.
+    EXPECT_NEAR(delta.size_kbit(),
+                bytes_to_kbit(16.0 + 24.0 * static_cast<double>(
+                                                delta.changes.size())),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class InterestInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterestInvariants, FilteredUpdatesArePerSupernodeSubsets) {
+  util::Rng rng(GetParam());
+  WorldConfig config;
+  config.width = config.height = 1'000.0;
+  config.region_size = 100.0;
+  VirtualWorld w(config);
+  InterestManager interest(w, 1);
+
+  std::vector<AvatarId> avatars;
+  for (NodeId sn = 0; sn < 8; ++sn) {
+    for (int p = 0; p < 3; ++p) {
+      const AvatarId a = w.spawn(rng);
+      avatars.push_back(a);
+      interest.track(sn, a);
+    }
+  }
+
+  for (int t = 0; t < 20; ++t) {
+    for (AvatarId a : avatars) {
+      w.submit({a, ActionType::kMove, rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0)});
+    }
+    const TickDelta delta = w.tick(rng);
+    interest.refresh();
+
+    std::set<AvatarId> delta_ids;
+    for (const auto& c : delta.changes) delta_ids.insert(c.id);
+    double filtered_total = 0.0;
+    for (NodeId sn = 0; sn < 8; ++sn) {
+      const auto update = interest.update_for(sn, delta);
+      // Subset property: every filtered entry is in the full delta and in a
+      // subscribed region.
+      for (const auto& c : update) {
+        EXPECT_TRUE(delta_ids.contains(c.id));
+        EXPECT_TRUE(interest.subscription(sn)[c.region]);
+      }
+      // A supernode always sees its own players' changes (it is subscribed
+      // to their regions by construction).
+      EXPECT_LE(update.size(), delta.changes.size());
+      filtered_total += static_cast<double>(update.size());
+    }
+    // Filtering never exceeds broadcast volume.
+    const auto sizes = interest.feed_sizes(delta);
+    EXPECT_LE(sizes.filtered_kbit, sizes.broadcast_kbit + 1e-9);
+    (void)filtered_total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterestInvariants,
+                         ::testing::Values(10u, 20u, 30u));
+
+class PartitionInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionInvariants, KdCoversAndBalances) {
+  util::Rng rng(GetParam());
+  // Random mixture populations of varying clustering.
+  std::vector<Position> population;
+  const double hotspot = rng.uniform(0.2, 0.9);
+  for (int i = 0; i < 3'000; ++i) {
+    if (rng.bernoulli(hotspot)) {
+      population.push_back(
+          {rng.uniform(100.0, 300.0), rng.uniform(700.0, 900.0)});
+    } else {
+      population.push_back(
+          {rng.uniform(0.0, 1'000.0), rng.uniform(0.0, 1'000.0)});
+    }
+  }
+  for (int depth : {1, 2, 3}) {
+    KdPartition kd(population, depth);
+    const auto stats = kd.stats(population);
+    // Total load conserved across servers.
+    std::size_t total = 0;
+    for (std::size_t l : stats.load) total += l;
+    EXPECT_EQ(total, population.size());
+    // Median splits keep imbalance tight for any mixture.
+    EXPECT_LT(stats.imbalance(), 1.15) << "depth " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionInvariants,
+                         ::testing::Values(100u, 200u, 300u, 400u));
+
+}  // namespace
+}  // namespace cloudfog::world

@@ -1,0 +1,210 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cloudfog::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(10.0, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RejectsEmptyCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulator::Callback{}), std::logic_error);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelFiredEventReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, PeriodicEventRepeats) {
+  Simulator sim;
+  int count = 0;
+  EventId id = kInvalidEvent;
+  id = sim.schedule_every(5.0, 10.0, [&] {
+    if (++count == 3) sim.cancel(id);
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 25.0);  // fires at 5, 15, 25
+}
+
+TEST(Simulator, PeriodicCancelFromOutside) {
+  Simulator sim;
+  int count = 0;
+  const EventId id = sim.schedule_every(1.0, 1.0, [&] { ++count; });
+  sim.schedule_at(3.5, [&] { sim.cancel(id); });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);  // 1, 2, 3
+}
+
+TEST(Simulator, PeriodicRequiresPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_every(0.0, 0.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  sim.schedule_at(15.0, [&] { fired.push_back(15.0); });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<double>{5.0}));
+  EXPECT_EQ(sim.now(), 10.0);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(Simulator, RunUntilHorizonInclusive) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(10.0, [&] { fired = true; });
+  sim.run_until(10.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, RunUntilRejectsPastHorizon) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_THROW(sim.run_until(5.0), std::logic_error);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsScheduleEventsRecursively) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 10.0);
+  EXPECT_EQ(sim.executed(), 10u);
+}
+
+TEST(Simulator, ExecutedCountsSkipCancelled) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const EventId id = sim.schedule_at(2.0, [] {});
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, CancelledPeriodicStopsBeforeNextFire) {
+  Simulator sim;
+  int count = 0;
+  const EventId id = sim.schedule_every(1.0, 1.0, [&] { ++count; });
+  sim.run_until(2.5);
+  EXPECT_EQ(count, 2);
+  sim.cancel(id);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 999; i >= 0; --i) {
+    sim.schedule_at(static_cast<double>(i % 100), [&, i] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run_all();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed(), 1000u);
+}
+
+}  // namespace
+}  // namespace cloudfog::sim

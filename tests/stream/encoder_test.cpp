@@ -1,0 +1,124 @@
+#include "stream/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace cloudfog::stream {
+namespace {
+
+EncoderConfig config(int gop = 30, double weight = 6.0, double sigma = 0.0) {
+  EncoderConfig c;
+  c.gop_length = gop;
+  c.i_frame_weight = weight;
+  c.residual_sigma = sigma;
+  return c;
+}
+
+TEST(Encoder, GopPatternIFrameFirst) {
+  EncoderModel enc(config(10), 3);
+  util::Rng rng(1);
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      const auto frame = enc.next_frame(rng);
+      EXPECT_EQ(frame.is_i_frame, i == 0) << "gop " << g << " frame " << i;
+    }
+  }
+}
+
+TEST(Encoder, IFramesAreWeightTimesLarger) {
+  EncoderModel enc(config(10, 6.0, 0.0), 3);
+  util::Rng rng(1);
+  const auto i_frame = enc.next_frame(rng);
+  const auto p_frame = enc.next_frame(rng);
+  EXPECT_NEAR(i_frame.size_kbit / p_frame.size_kbit, 6.0, 1e-9);
+}
+
+TEST(Encoder, GopTotalMatchesBitrate) {
+  // Without residual noise, one GOP's total must equal gop_length frames at
+  // the level's mean frame size (bitrate preserved exactly).
+  EncoderModel enc(config(30, 6.0, 0.0), 4);  // 1200 kbps, 30 fps
+  util::Rng rng(1);
+  Kbit total = 0.0;
+  for (int i = 0; i < 30; ++i) total += enc.next_frame(rng).size_kbit;
+  EXPECT_NEAR(total, 1'200.0, 1e-6);  // one second of video
+}
+
+TEST(Encoder, LongRunRateWithNoise) {
+  EncoderModel enc(config(30, 6.0, 0.3), 3);  // 800 kbps
+  util::Rng rng(2);
+  Kbit total = 0.0;
+  const int frames = 30 * 200;  // 200 seconds
+  for (int i = 0; i < frames; ++i) total += enc.next_frame(rng).size_kbit;
+  EXPECT_NEAR(total / 200.0, 800.0, 25.0);
+}
+
+TEST(Encoder, LevelSwitchWaitsForGopBoundary) {
+  EncoderModel enc(config(10), 3);
+  util::Rng rng(1);
+  // Consume 4 frames into the GOP.
+  for (int i = 0; i < 4; ++i) (void)enc.next_frame(rng);
+  const int wait = enc.request_level(1);
+  EXPECT_EQ(wait, 6);
+  // The next 6 frames still encode at level 3...
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(enc.next_frame(rng).level, 3);
+  // ...and the first frame of the next GOP actuates level 1 (an I-frame).
+  const auto frame = enc.next_frame(rng);
+  EXPECT_TRUE(frame.is_i_frame);
+  EXPECT_EQ(frame.level, 1);
+  EXPECT_EQ(enc.active_level(), 1);
+}
+
+TEST(Encoder, SwitchAtBoundaryIsImmediate) {
+  EncoderModel enc(config(10), 3);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) (void)enc.next_frame(rng);  // full GOP
+  EXPECT_EQ(enc.request_level(5), 0);
+  EXPECT_EQ(enc.next_frame(rng).level, 5);
+}
+
+TEST(Encoder, PendingVsActiveLevels) {
+  EncoderModel enc(config(10), 2);
+  util::Rng rng(1);
+  (void)enc.next_frame(rng);
+  enc.request_level(4);
+  EXPECT_EQ(enc.active_level(), 2);
+  EXPECT_EQ(enc.pending_level(), 4);
+}
+
+TEST(Encoder, FrameIndicesMonotone) {
+  EncoderModel enc(config(5), 3);
+  util::Rng rng(1);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(enc.next_frame(rng).index, i);
+  }
+}
+
+TEST(Encoder, MeanFrameSizeFollowsFigure2) {
+  EncoderModel enc(config(), 1);
+  // 1800 kbps at 30 fps = 60 kbit frames.
+  EXPECT_NEAR(enc.mean_frame_kbit(5), 60.0, 1e-9);
+  EXPECT_NEAR(enc.mean_frame_kbit(1), 10.0, 1e-9);
+}
+
+TEST(Encoder, DegenerateGopOfOne) {
+  // Every frame is an I-frame; the normaliser must keep the rate exact.
+  EncoderModel enc(config(1, 6.0, 0.0), 3);
+  util::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto frame = enc.next_frame(rng);
+    EXPECT_TRUE(frame.is_i_frame);
+    EXPECT_NEAR(frame.size_kbit, 800.0 / 30.0, 1e-9);
+  }
+}
+
+TEST(Encoder, RejectsBadConfig) {
+  EXPECT_THROW(EncoderModel(config(0), 3), std::logic_error);
+  EXPECT_THROW(EncoderModel(config(10, 0.5), 3), std::logic_error);
+  EXPECT_THROW(EncoderModel(config(), 9), std::logic_error);
+  EncoderModel enc(config(), 3);
+  EXPECT_THROW(enc.request_level(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::stream

@@ -1,0 +1,108 @@
+#include "stream/queued_sender.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::stream {
+namespace {
+
+TEST(QueuedSender, IdleLinkStartsImmediately) {
+  QueuedSender sender(1'000.0);
+  const auto sched = sender.enqueue(10.0, 500.0);
+  EXPECT_DOUBLE_EQ(sched.enqueued, 10.0);
+  EXPECT_DOUBLE_EQ(sched.start, 10.0);
+  EXPECT_DOUBLE_EQ(sched.end, 510.0);  // 500 kbit at 1 Mbps
+  EXPECT_DOUBLE_EQ(sched.queuing_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(sched.transmission_ms(), 500.0);
+}
+
+TEST(QueuedSender, BusyLinkQueues) {
+  QueuedSender sender(1'000.0);
+  sender.enqueue(0.0, 1'000.0);  // busy until 1000 ms
+  const auto sched = sender.enqueue(200.0, 500.0);
+  EXPECT_DOUBLE_EQ(sched.start, 1'000.0);
+  EXPECT_DOUBLE_EQ(sched.end, 1'500.0);
+  EXPECT_DOUBLE_EQ(sched.queuing_ms(), 800.0);
+}
+
+TEST(QueuedSender, LinkFreesAfterBacklogDrains) {
+  QueuedSender sender(1'000.0);
+  sender.enqueue(0.0, 100.0);  // done at 100 ms
+  const auto sched = sender.enqueue(500.0, 100.0);
+  EXPECT_DOUBLE_EQ(sched.start, 500.0);  // gap: link was idle
+}
+
+TEST(QueuedSender, BacklogTracksOutstandingBits) {
+  QueuedSender sender(1'000.0);
+  sender.enqueue(0.0, 1'000.0);
+  EXPECT_NEAR(sender.backlog_kbit(0.0), 1'000.0, 1e-9);
+  EXPECT_NEAR(sender.backlog_kbit(400.0), 600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sender.backlog_kbit(2'000.0), 0.0);
+}
+
+TEST(QueuedSender, BusyUntil) {
+  QueuedSender sender(1'000.0);
+  EXPECT_DOUBLE_EQ(sender.busy_until(5.0), 5.0);
+  sender.enqueue(5.0, 100.0);
+  EXPECT_DOUBLE_EQ(sender.busy_until(5.0), 105.0);
+}
+
+TEST(QueuedSender, RateCapSlowsSegment) {
+  QueuedSender sender(10'000.0);
+  const auto sched = sender.enqueue(0.0, 100.0, 1'000.0);
+  // Capped at 1 Mbps despite the 10 Mbps link.
+  EXPECT_DOUBLE_EQ(sched.end, 100.0);
+}
+
+TEST(QueuedSender, RateCapAboveCapacityIgnored) {
+  QueuedSender sender(1'000.0);
+  const auto sched = sender.enqueue(0.0, 100.0, 50'000.0);
+  EXPECT_DOUBLE_EQ(sched.end, 100.0);  // link capacity binds
+}
+
+TEST(QueuedSender, ZeroSegmentTakesNoTime) {
+  QueuedSender sender(1'000.0);
+  const auto sched = sender.enqueue(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(sched.start, sched.end);
+}
+
+TEST(QueuedSender, RejectsTimeTravel) {
+  QueuedSender sender(1'000.0);
+  sender.enqueue(10.0, 1.0);
+  EXPECT_THROW(sender.enqueue(5.0, 1.0), std::logic_error);
+}
+
+TEST(QueuedSender, RejectsBadArguments) {
+  EXPECT_THROW(QueuedSender(0.0), std::logic_error);
+  QueuedSender sender(1'000.0);
+  EXPECT_THROW(sender.enqueue(0.0, -1.0), std::logic_error);
+}
+
+TEST(QueuedSender, StatsAccumulate) {
+  QueuedSender sender(1'000.0);
+  sender.enqueue(0.0, 100.0);
+  sender.enqueue(1.0, 200.0);
+  EXPECT_EQ(sender.segments_sent(), 2u);
+  EXPECT_DOUBLE_EQ(sender.total_enqueued_kbit(), 300.0);
+}
+
+TEST(SendSchedule, SentByInterpolatesLinearly) {
+  SendSchedule sched;
+  sched.enqueued = 0.0;
+  sched.start = 100.0;
+  sched.end = 200.0;
+  EXPECT_DOUBLE_EQ(sched.sent_by(50.0, 80.0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.sent_by(100.0, 80.0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.sent_by(150.0, 80.0), 40.0);
+  EXPECT_DOUBLE_EQ(sched.sent_by(200.0, 80.0), 80.0);
+  EXPECT_DOUBLE_EQ(sched.sent_by(999.0, 80.0), 80.0);
+}
+
+TEST(SendSchedule, InstantTransferFullySentAtEnd) {
+  SendSchedule sched;
+  sched.start = sched.end = 100.0;
+  EXPECT_DOUBLE_EQ(sched.sent_by(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(sched.sent_by(99.0, 10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::stream

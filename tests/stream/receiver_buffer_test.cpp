@@ -1,0 +1,111 @@
+#include "stream/receiver_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::stream {
+namespace {
+
+TEST(ReceiverBuffer, DrainsAtPlaybackRate) {
+  ReceiverBuffer buf(1'000.0);  // 1 Mbps playback
+  buf.on_arrival(0.0, 500.0);
+  // After 300 ms: 500 - 300 = 200 kbit left.
+  EXPECT_NEAR(buf.buffered_kbit(300.0), 200.0, 1e-9);
+}
+
+TEST(ReceiverBuffer, EmptiesAndStalls) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 100.0);
+  // Buffer drains in 100 ms; 400 ms elapse -> 300 ms stalled.
+  EXPECT_DOUBLE_EQ(buf.buffered_kbit(500.0), 0.0);
+  EXPECT_NEAR(buf.stall_ms(), 400.0, 1e-9);
+  EXPECT_EQ(buf.stall_count(), 1u);
+}
+
+TEST(ReceiverBuffer, RefillEndsStall) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 100.0);
+  buf.on_arrival(300.0, 100.0);  // stalled 100..300
+  EXPECT_NEAR(buf.stall_ms(), 200.0, 1e-9);
+  EXPECT_NEAR(buf.buffered_kbit(350.0), 50.0, 1e-9);
+  // New stall episode after it empties again.
+  buf.on_arrival(600.0, 100.0);
+  EXPECT_EQ(buf.stall_count(), 2u);
+}
+
+TEST(ReceiverBuffer, ContinuityFractionOfUnstalledTime) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 100.0);
+  // At 400 ms: stalled 300 of 400 ms -> continuity 0.25.
+  EXPECT_NEAR(buf.continuity(400.0), 0.25, 1e-9);
+}
+
+TEST(ReceiverBuffer, ContinuityIsOneWithoutStalls) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 1'000.0);
+  EXPECT_DOUBLE_EQ(buf.continuity(500.0), 1.0);
+}
+
+TEST(ReceiverBuffer, ContinuityBeforeStartIsOne) {
+  ReceiverBuffer buf(1'000.0);
+  EXPECT_DOUBLE_EQ(buf.continuity(100.0), 1.0);
+}
+
+TEST(ReceiverBuffer, ContinuityIncludesLiveStall) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 100.0);
+  (void)buf.buffered_kbit(200.0);  // settles: stalled since 100 ms
+  // Querying continuity later without settling must count the live stall.
+  EXPECT_NEAR(buf.continuity(400.0), 0.25, 1e-9);
+}
+
+TEST(ReceiverBuffer, BufferedSegmentsUsesTau) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 150.0);
+  EXPECT_NEAR(buf.buffered_segments(0.0, 50.0), 3.0, 1e-9);
+  EXPECT_THROW(buf.buffered_segments(0.0, 0.0), std::logic_error);
+}
+
+TEST(ReceiverBuffer, PlaybackRateChangeAffectsDrain) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 400.0);
+  buf.set_playback_rate(200.0, 500.0);  // drained 200, rate halves
+  // At 600 ms: 200 kbit left at t=200, minus 0.5 kbit/ms * 400 ms = 0.
+  EXPECT_NEAR(buf.buffered_kbit(500.0), 50.0, 1e-9);
+}
+
+TEST(ReceiverBuffer, DownloadRateEwmaTracksArrivals) {
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(0.0, 100.0);
+  // Steady 100 kbit every 100 ms = 1000 kbps.
+  for (int i = 1; i <= 20; ++i)
+    buf.on_arrival(i * 100.0, 100.0);
+  EXPECT_NEAR(buf.download_rate(), 1'000.0, 100.0);
+}
+
+TEST(ReceiverBuffer, RejectsBadArguments) {
+  EXPECT_THROW(ReceiverBuffer(0.0), std::logic_error);
+  ReceiverBuffer buf(1'000.0);
+  buf.on_arrival(10.0, 1.0);
+  EXPECT_THROW(buf.on_arrival(5.0, 1.0), std::logic_error);   // time reversal
+  EXPECT_THROW(buf.on_arrival(20.0, -1.0), std::logic_error); // negative size
+  EXPECT_THROW(buf.set_playback_rate(20.0, 0.0), std::logic_error);
+}
+
+TEST(ReceiverBuffer, AdaptationScenarioDownThenUp) {
+  // Emulates the paper's Figure 3 flow at the buffer level: arrivals slower
+  // than playback shrink r; faster arrivals grow it.
+  ReceiverBuffer buf(800.0);  // level 3 playback
+  const Kbit tau = 80.0;      // one 100 ms segment at level 3
+  buf.on_arrival(0.0, 2.0 * tau);
+  // Congestion: only half a segment arrives per period.
+  for (int i = 1; i <= 5; ++i) buf.on_arrival(i * 100.0, 0.5 * tau);
+  const double r_congested = buf.buffered_segments(500.0, tau);
+  EXPECT_LT(r_congested, 1.0);
+  // Recovery: two segments per period.
+  for (int i = 6; i <= 12; ++i) buf.on_arrival(i * 100.0, 2.0 * tau);
+  const double r_recovered = buf.buffered_segments(1'200.0, tau);
+  EXPECT_GT(r_recovered, r_congested + 1.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::stream

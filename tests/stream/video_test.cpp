@@ -1,0 +1,101 @@
+#include "stream/video.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::stream {
+namespace {
+
+TEST(PacketCount, Boundaries) {
+  EXPECT_EQ(packet_count(0.0), 0);
+  EXPECT_EQ(packet_count(0.001), 1);
+  EXPECT_EQ(packet_count(kPacketKbit), 1);
+  EXPECT_EQ(packet_count(kPacketKbit + 0.001), 2);
+  EXPECT_EQ(packet_count(10.0 * kPacketKbit), 10);
+}
+
+TEST(PacketCount, RejectsNegative) {
+  EXPECT_THROW(packet_count(-1.0), std::logic_error);
+}
+
+TEST(Packetize, SizesSumToSegment) {
+  VideoSegment seg;
+  seg.id = 42;
+  seg.size_kbit = 30.0;  // 2 full packets + one 6 kbit packet
+  seg.deadline_ms = 120.0;
+  const auto packets = packetize(seg);
+  ASSERT_EQ(packets.size(), 3u);
+  Kbit total = 0.0;
+  for (const auto& p : packets) {
+    total += p.size_kbit;
+    EXPECT_EQ(p.segment_id, 42u);
+    EXPECT_DOUBLE_EQ(p.deadline_ms, 120.0);
+    EXPECT_FALSE(p.dropped);
+  }
+  EXPECT_DOUBLE_EQ(total, 30.0);
+  EXPECT_DOUBLE_EQ(packets[0].size_kbit, kPacketKbit);
+  EXPECT_DOUBLE_EQ(packets[2].size_kbit, 6.0);
+}
+
+TEST(Packetize, IndicesSequential) {
+  VideoSegment seg;
+  seg.size_kbit = 5.0 * kPacketKbit;
+  const auto packets = packetize(seg);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].index, static_cast<int>(i));
+  }
+}
+
+TEST(Packetize, EmptySegment) {
+  VideoSegment seg;
+  seg.size_kbit = 0.0;
+  EXPECT_TRUE(packetize(seg).empty());
+}
+
+TEST(SegmentFactory, IdsMonotonic) {
+  SegmentFactory factory;
+  const auto a = factory.make(1, 0, 3, 100.0, 0.0);
+  const auto b = factory.make(1, 0, 3, 100.0, 100.0);
+  EXPECT_LT(a.id, b.id);
+  EXPECT_EQ(factory.segments_created(), 2u);
+}
+
+TEST(SegmentFactory, SizeFollowsBitrateAndDuration) {
+  SegmentFactory factory;
+  // Level 3 = 800 kbps; 100 ms of video = 80 kbit.
+  const auto seg = factory.make(1, 0, 3, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(seg.size_kbit, 80.0);
+  EXPECT_EQ(seg.quality_level, 3);
+  EXPECT_DOUBLE_EQ(seg.duration_ms, 100.0);
+}
+
+TEST(SegmentFactory, DeadlineUsesGameRequirement) {
+  SegmentFactory factory;
+  // Game 0 (level-1 row): 30 ms requirement.
+  const auto seg = factory.make(7, 0, 1, 33.3, 1'000.0);
+  EXPECT_DOUBLE_EQ(seg.action_time_ms, 1'000.0);
+  EXPECT_DOUBLE_EQ(seg.deadline_ms, 1'030.0);
+  EXPECT_EQ(seg.player, 7u);
+  // Game 4 (level-5 row): 110 ms requirement.
+  const auto seg2 = factory.make(7, 4, 5, 33.3, 1'000.0);
+  EXPECT_DOUBLE_EQ(seg2.deadline_ms, 1'110.0);
+}
+
+TEST(SegmentFactory, LossToleranceFromGame) {
+  SegmentFactory factory;
+  const auto seg = factory.make(1, 2, 3, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(seg.loss_tolerance, game::game_by_id(2).loss_tolerance);
+}
+
+TEST(SegmentFactory, RejectsNonPositiveDuration) {
+  SegmentFactory factory;
+  EXPECT_THROW(factory.make(1, 0, 3, 0.0, 0.0), std::logic_error);
+}
+
+TEST(SegmentFactory, RejectsUnknownGameOrLevel) {
+  SegmentFactory factory;
+  EXPECT_THROW(factory.make(1, 9, 3, 100.0, 0.0), std::logic_error);
+  EXPECT_THROW(factory.make(1, 0, 7, 100.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::stream

@@ -1,0 +1,188 @@
+#include "systems/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace cloudfog::systems {
+namespace {
+
+Scenario small_scenario(std::uint64_t seed = 1) {
+  ScenarioParams p = ScenarioParams::simulation_defaults(seed);
+  p.num_players = 600;
+  p.num_datacenters = 5;
+  p.num_edge_servers = 6;
+  p.num_supernodes = 40;
+  return Scenario::build(p);
+}
+
+std::vector<std::size_t> all_players(const Scenario& s) {
+  std::vector<std::size_t> out(s.population().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+TEST(SystemKind, Names) {
+  EXPECT_STREQ(to_string(SystemKind::kCloud), "Cloud");
+  EXPECT_STREQ(to_string(SystemKind::kEdgeCloud), "EdgeCloud");
+  EXPECT_STREQ(to_string(SystemKind::kCloudFogB), "CloudFog/B");
+  EXPECT_STREQ(to_string(SystemKind::kCloudFogA), "CloudFog/A");
+}
+
+TEST(SystemKind, StrategyFlags) {
+  EXPECT_FALSE(uses_supernodes(SystemKind::kCloud));
+  EXPECT_FALSE(uses_supernodes(SystemKind::kEdgeCloud));
+  EXPECT_TRUE(uses_supernodes(SystemKind::kCloudFogB));
+  EXPECT_TRUE(uses_adaptation(SystemKind::kCloudFogAdapt));
+  EXPECT_FALSE(uses_adaptation(SystemKind::kCloudFogSchedule));
+  EXPECT_TRUE(uses_scheduling(SystemKind::kCloudFogSchedule));
+  EXPECT_TRUE(uses_adaptation(SystemKind::kCloudFogA));
+  EXPECT_TRUE(uses_scheduling(SystemKind::kCloudFogA));
+}
+
+TEST(Assignment, CloudPutsEveryoneOnNearestDatacenter) {
+  Scenario s = small_scenario();
+  util::Rng rng(1);
+  const auto plan = assign_players(SystemKind::kCloud, s, all_players(s), rng);
+  EXPECT_EQ(plan.players.size(), 600u);
+  EXPECT_EQ(plan.cloud_supported(), 600u);
+  EXPECT_TRUE(plan.active_supernodes.empty());
+  const auto& topo = s.topology();
+  const auto dcs = s.datacenters();
+  for (const auto& pa : plan.players) {
+    EXPECT_EQ(pa.type, ServerType::kDatacenter);
+    EXPECT_EQ(pa.server, pa.home_dc);
+    EXPECT_EQ(pa.home_dc, topo.nearest(s.player_host(pa.pop_index), dcs));
+  }
+}
+
+TEST(Assignment, OutputSortedByPopulationIndex) {
+  Scenario s = small_scenario();
+  util::Rng rng(2);
+  const auto plan = assign_players(SystemKind::kCloud, s, all_players(s), rng);
+  for (std::size_t i = 1; i < plan.players.size(); ++i) {
+    EXPECT_LT(plan.players[i - 1].pop_index, plan.players[i].pop_index);
+  }
+}
+
+TEST(Assignment, EdgeCloudRespectsCapacity) {
+  Scenario s = small_scenario();
+  util::Rng rng(3);
+  const auto plan =
+      assign_players(SystemKind::kEdgeCloud, s, all_players(s), rng);
+  std::map<NodeId, std::size_t> edge_load;
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kEdge) ++edge_load[pa.server];
+  }
+  for (const auto& [server, load] : edge_load) {
+    EXPECT_LE(load, s.params().edge_capacity);
+  }
+  EXPECT_GT(plan.edge_supported(), 0u);
+  EXPECT_EQ(plan.edge_supported() + plan.cloud_supported(), 600u);
+}
+
+TEST(Assignment, EdgeServedPlayersAreCloserToTheirEdge) {
+  Scenario s = small_scenario();
+  util::Rng rng(4);
+  const auto plan =
+      assign_players(SystemKind::kEdgeCloud, s, all_players(s), rng);
+  const auto& topo = s.topology();
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kEdge) {
+      const NodeId host = s.player_host(pa.pop_index);
+      EXPECT_LT(topo.expected_server_one_way_ms(pa.server, host),
+                topo.expected_one_way_ms(host, pa.home_dc));
+    }
+  }
+}
+
+TEST(Assignment, CloudFogRespectsSupernodeCapacity) {
+  Scenario s = small_scenario();
+  util::Rng rng(5);
+  const auto plan =
+      assign_players(SystemKind::kCloudFogB, s, all_players(s), rng);
+  std::map<NodeId, int> sn_load;
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kSupernode) ++sn_load[pa.server];
+  }
+  EXPECT_GT(plan.supernode_supported(), 0u);
+  for (const auto& [server, load] : sn_load) {
+    // Find the supernode's population index to check its capacity.
+    int capacity = -1;
+    for (std::size_t sn : s.supernode_players()) {
+      if (s.player_host(sn) == server) capacity = s.supernode_capacity(sn);
+    }
+    ASSERT_GE(capacity, 1) << "server not in supernode list";
+    EXPECT_LE(load, capacity);
+  }
+}
+
+TEST(Assignment, ActiveSupernodesExactlyThoseServing) {
+  Scenario s = small_scenario();
+  util::Rng rng(6);
+  const auto plan =
+      assign_players(SystemKind::kCloudFogB, s, all_players(s), rng);
+  std::set<NodeId> serving_hosts;
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kSupernode) serving_hosts.insert(pa.server);
+  }
+  EXPECT_EQ(plan.active_supernodes.size(), serving_hosts.size());
+  for (std::size_t sn : plan.active_supernodes) {
+    EXPECT_TRUE(serving_hosts.contains(s.player_host(sn)));
+  }
+}
+
+TEST(Assignment, CloudFogStreamLatencyWithinGameRequirement) {
+  // The Section III-A3 L_max filter: a supernode-served player's streaming
+  // path must be within its game's latency requirement (modulo the small
+  // probe jitter).
+  Scenario s = small_scenario();
+  util::Rng rng(7);
+  const auto plan =
+      assign_players(SystemKind::kCloudFogB, s, all_players(s), rng);
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kSupernode) {
+      const auto& profile = game::game_by_id(s.player_game(pa.pop_index));
+      EXPECT_LE(pa.stream_one_way_ms, profile.latency_requirement_ms * 1.3);
+    }
+  }
+}
+
+TEST(Assignment, CloudFogUnassignedFallBackToCloud) {
+  Scenario s = small_scenario();
+  util::Rng rng(8);
+  const auto plan =
+      assign_players(SystemKind::kCloudFogB, s, all_players(s), rng);
+  for (const auto& pa : plan.players) {
+    if (pa.type == ServerType::kDatacenter) {
+      EXPECT_EQ(pa.server, pa.home_dc);
+    }
+  }
+  EXPECT_EQ(plan.supernode_supported() + plan.cloud_supported(), 600u);
+}
+
+TEST(Assignment, SubsetOfPlayers) {
+  Scenario s = small_scenario();
+  util::Rng rng(9);
+  const std::vector<std::size_t> subset{3, 5, 8, 13, 21};
+  const auto plan = assign_players(SystemKind::kCloud, s, subset, rng);
+  EXPECT_EQ(plan.players.size(), 5u);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(plan.players[i].pop_index, subset[i]);
+  }
+}
+
+TEST(Assignment, CloudFogServesMoreThanEdgeCloud) {
+  // The paper's premise: many supernodes offload far more players than a
+  // handful of edge servers.
+  Scenario s = small_scenario();
+  util::Rng rng1(10), rng2(10);
+  const auto fog = assign_players(SystemKind::kCloudFogB, s, all_players(s), rng1);
+  const auto edge =
+      assign_players(SystemKind::kEdgeCloud, s, all_players(s), rng2);
+  EXPECT_GT(fog.supernode_supported(), edge.edge_supported());
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

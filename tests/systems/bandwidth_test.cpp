@@ -1,0 +1,102 @@
+#include "systems/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::systems {
+namespace {
+
+Scenario scenario() {
+  // Paper proportions scaled to a 1,500-player world: 45 edge servers and
+  // 600 supernodes per 10,000 players become 7 and 90.
+  ScenarioParams p = ScenarioParams::simulation_defaults(1);
+  p.num_players = 1'500;
+  p.num_edge_servers = 7;
+  p.num_supernodes = 90;
+  return Scenario::build(p);
+}
+
+TEST(Bandwidth, PaperFigure7Ordering) {
+  // Cloud > EdgeCloud > CloudFog/B at every population size.
+  Scenario s = scenario();
+  for (std::size_t n : {400u, 800u, 1'500u}) {
+    const auto cloud = measure_bandwidth(SystemKind::kCloud, s, n);
+    const auto edge = measure_bandwidth(SystemKind::kEdgeCloud, s, n);
+    const auto fog = measure_bandwidth(SystemKind::kCloudFogB, s, n);
+    EXPECT_GT(cloud.cloud_mbps, edge.cloud_mbps) << "n=" << n;
+    EXPECT_GT(edge.cloud_mbps, fog.cloud_mbps) << "n=" << n;
+  }
+}
+
+TEST(Bandwidth, CloudGrowsLinearlyWithPlayers) {
+  Scenario s = scenario();
+  const auto small = measure_bandwidth(SystemKind::kCloud, s, 500);
+  const auto large = measure_bandwidth(SystemKind::kCloud, s, 1'000);
+  EXPECT_NEAR(large.cloud_mbps / small.cloud_mbps, 2.0, 0.2);
+}
+
+TEST(Bandwidth, CloudFogGrowsSlowerThanCloud) {
+  // The paper: CloudFog's increase rate with N is the smallest.
+  Scenario s = scenario();
+  const auto fog_small = measure_bandwidth(SystemKind::kCloudFogB, s, 500);
+  const auto fog_large = measure_bandwidth(SystemKind::kCloudFogB, s, 1'000);
+  const auto cloud_small = measure_bandwidth(SystemKind::kCloud, s, 500);
+  const auto cloud_large = measure_bandwidth(SystemKind::kCloud, s, 1'000);
+  EXPECT_LT(fog_large.cloud_mbps - fog_small.cloud_mbps,
+            cloud_large.cloud_mbps - cloud_small.cloud_mbps);
+}
+
+TEST(Bandwidth, CloudHasNoOffload) {
+  Scenario s = scenario();
+  const auto r = measure_bandwidth(SystemKind::kCloud, s, 600);
+  EXPECT_EQ(r.cloud_supported, 600u);
+  EXPECT_EQ(r.edge_supported, 0u);
+  EXPECT_EQ(r.supernode_supported, 0u);
+  EXPECT_DOUBLE_EQ(r.update_feed_mbps, 0.0);
+  EXPECT_NEAR(r.reduction_vs_cloud_mbps, 0.0, 1e-9);
+}
+
+TEST(Bandwidth, CloudFogAccountsUpdateFeeds) {
+  Scenario s = scenario();
+  const auto r = measure_bandwidth(SystemKind::kCloudFogB, s, 600);
+  EXPECT_GT(r.supernode_supported, 0u);
+  EXPECT_GT(r.active_supernodes, 0u);
+  // Lambda * m, converted to Mbps.
+  EXPECT_NEAR(r.update_feed_mbps,
+              s.params().update_stream_kbps * r.active_supernodes / 1'000.0,
+              1e-9);
+}
+
+TEST(Bandwidth, Equation2ReductionConsistency) {
+  // reduction = all-cloud total - cloudfog total (both in Mbps).
+  Scenario s = scenario();
+  const auto cloud = measure_bandwidth(SystemKind::kCloud, s, 800);
+  const auto fog = measure_bandwidth(SystemKind::kCloudFogB, s, 800);
+  EXPECT_NEAR(fog.reduction_vs_cloud_mbps, cloud.cloud_mbps - fog.cloud_mbps,
+              1e-6);
+  EXPECT_GT(fog.reduction_vs_cloud_mbps, 0.0);
+}
+
+TEST(Bandwidth, CloudFogVariantsConsumeIdentically) {
+  // Paper: "CloudFog/A does not influence the bandwidth consumption".
+  Scenario s = scenario();
+  const auto b = measure_bandwidth(SystemKind::kCloudFogB, s, 700);
+  const auto a = measure_bandwidth(SystemKind::kCloudFogA, s, 700);
+  EXPECT_DOUBLE_EQ(a.cloud_mbps, b.cloud_mbps);
+}
+
+TEST(Bandwidth, DeterministicPerScenario) {
+  Scenario s = scenario();
+  const auto r1 = measure_bandwidth(SystemKind::kCloudFogB, s, 800);
+  const auto r2 = measure_bandwidth(SystemKind::kCloudFogB, s, 800);
+  EXPECT_DOUBLE_EQ(r1.cloud_mbps, r2.cloud_mbps);
+  EXPECT_EQ(r1.supernode_supported, r2.supernode_supported);
+}
+
+TEST(Bandwidth, RejectsBadPlayerCounts) {
+  Scenario s = scenario();
+  EXPECT_THROW(measure_bandwidth(SystemKind::kCloud, s, 0), std::logic_error);
+  EXPECT_THROW(measure_bandwidth(SystemKind::kCloud, s, 5'000), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

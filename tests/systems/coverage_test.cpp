@@ -1,0 +1,113 @@
+#include "systems/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::systems {
+namespace {
+
+/// A scenario sized so the coverage experiment runs in well under a second.
+Scenario coverage_scenario() {
+  ScenarioParams p = ScenarioParams::simulation_defaults(1);
+  p.num_players = 1'200;
+  p.num_datacenters = 15;
+  p.num_supernodes = 100;
+  return Scenario::build(p);
+}
+
+CoverageConfig quick_config() {
+  CoverageConfig c;
+  c.datacenter_counts = {5, 10, 15};
+  c.supernode_counts = {0, 50, 100};
+  c.latency_requirements = {30, 70, 110};
+  c.base_datacenters = 5;
+  c.samples = 2;
+  c.warmup_ms = kMsPerMinute;
+  c.sample_interval_ms = 5 * kMsPerMinute;
+  return c;
+}
+
+TEST(Coverage, ValuesAreFractions) {
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  for (const auto& row : result.dc_sweep)
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  for (const auto& row : result.sn_sweep)
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  EXPECT_GT(result.mean_online, 0.0);
+}
+
+TEST(Coverage, MonotoneInLatencyRequirement) {
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  for (const auto& row : result.dc_sweep) {
+    for (std::size_t j = 1; j < row.size(); ++j) EXPECT_GE(row[j], row[j - 1]);
+  }
+  for (const auto& row : result.sn_sweep) {
+    for (std::size_t j = 1; j < row.size(); ++j) EXPECT_GE(row[j], row[j - 1]);
+  }
+}
+
+TEST(Coverage, MonotoneInDatacenterCount) {
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 1; i < result.dc_sweep.size(); ++i) {
+      EXPECT_GE(result.dc_sweep[i][j], result.dc_sweep[i - 1][j]);
+    }
+  }
+}
+
+TEST(Coverage, SupernodesNeverHurt) {
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  // Row 0 is the zero-supernode baseline (base datacenters only).
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 1; i < result.sn_sweep.size(); ++i) {
+      EXPECT_GE(result.sn_sweep[i][j], result.sn_sweep[0][j]);
+    }
+  }
+}
+
+TEST(Coverage, ZeroSupernodesMatchBaseDatacenterRow) {
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  // sn_sweep[0] uses base_datacenters = 5, which is dc_sweep row 0.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(result.sn_sweep[0][j], result.dc_sweep[0][j], 1e-9);
+  }
+}
+
+TEST(Coverage, SupernodesIncreaseCoverageMeaningfully) {
+  // The paper's headline: supernodes are an effective alternative to
+  // datacenters. 100 supernodes on 1,200 players must lift strict-latency
+  // coverage visibly.
+  const auto result = measure_coverage(coverage_scenario(), quick_config());
+  EXPECT_GT(result.sn_sweep[2][0], result.sn_sweep[0][0] + 0.02);
+}
+
+TEST(Coverage, RejectsUndersizedScenario) {
+  ScenarioParams p = ScenarioParams::simulation_defaults(1);
+  p.num_players = 300;
+  p.num_datacenters = 3;  // fewer than the sweep needs
+  p.num_supernodes = 10;
+  Scenario s = Scenario::build(p);
+  EXPECT_THROW(measure_coverage(s, quick_config()), std::logic_error);
+}
+
+TEST(Coverage, RejectsEmptyAxes) {
+  auto c = quick_config();
+  c.latency_requirements.clear();
+  EXPECT_THROW(measure_coverage(coverage_scenario(), c), std::logic_error);
+}
+
+TEST(Coverage, DeterministicForSameScenario) {
+  Scenario s = coverage_scenario();
+  const auto r1 = measure_coverage(s, quick_config());
+  const auto r2 = measure_coverage(s, quick_config());
+  EXPECT_EQ(r1.dc_sweep, r2.dc_sweep);
+  EXPECT_EQ(r1.sn_sweep, r2.sn_sweep);
+}
+
+}  // namespace
+}  // namespace cloudfog::systems

@@ -1,0 +1,93 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  const Flags f = parse({"--profile=sim", "--players=2000"});
+  EXPECT_TRUE(f.has("profile"));
+  EXPECT_EQ(f.get("profile"), "sim");
+  EXPECT_EQ(f.get_int("players", 0), 2'000);
+}
+
+TEST(Flags, KeySpaceValue) {
+  const Flags f = parse({"--seed", "42"});
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  const Flags f = parse({"--fast"});
+  EXPECT_TRUE(f.get_bool("fast", false));
+}
+
+TEST(Flags, AbsentKeysUseFallbacks) {
+  const Flags f = parse({});
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_EQ(f.get("x", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(f.get_bool("x", true));
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = parse({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = parse({"input.txt", "--v=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, SwitchFollowedByFlagIsBare) {
+  const Flags f = parse({"--fast", "--seed=1"});
+  EXPECT_TRUE(f.get_bool("fast", false));
+  EXPECT_EQ(f.get_int("seed", 0), 1);
+}
+
+TEST(Flags, UnknownDetection) {
+  const Flags f = parse({"--good=1", "--typo=2"});
+  const auto unknown = f.unknown({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, MalformedInputsRejected) {
+  EXPECT_THROW(parse({"--"}), std::logic_error);
+  EXPECT_THROW(parse({"--n=abc"}).get_int("n", 0), std::logic_error);
+  EXPECT_THROW(parse({"--r=1.2.3"}).get_double("r", 0.0), std::logic_error);
+  EXPECT_THROW(parse({"--b=maybe"}).get_bool("b", false), std::logic_error);
+}
+
+TEST(Flags, LastDuplicateWins) {
+  const Flags f = parse({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+TEST(Flags, EmptyValueViaEquals) {
+  const Flags f = parse({"--k="});
+  EXPECT_TRUE(f.has("k"));
+  EXPECT_EQ(f.get("k", "fallback"), "");
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, FilteredMessageDoesNotCrash) {
+  set_log_level(LogLevel::kOff);
+  CF_LOG_ERROR << "suppressed " << 42;
+  CF_LOG_DEBUG << "also suppressed";
+}
+
+TEST_F(LogTest, EmittedMessageGoesToStderr) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  CF_LOG_INFO << "hello " << 7;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 7"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+}
+
+TEST_F(LogTest, BelowThresholdSuppressed) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  CF_LOG_INFO << "should not appear";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,195 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudfog::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, combined;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    combined.add(x);
+  }
+  for (double x : {10.0, 20.0}) {
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(SampleSet, SingleElement) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_EQ(s.percentile(0.0), 7.0);
+  EXPECT_EQ(s.percentile(50.0), 7.0);
+  EXPECT_EQ(s.percentile(100.0), 7.0);
+}
+
+TEST(SampleSet, RejectsEmptyQueries) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50.0), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, RejectsOutOfRangePercentile) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), std::logic_error);
+  EXPECT_THROW(s.percentile(101.0), std::logic_error);
+}
+
+TEST(SampleSet, FractionAtMost) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(2.5), 0.4);
+}
+
+TEST(SampleSet, AddAfterQueryKeepsSorted) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_EQ(s.min(), 0.5);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(-5.0);  // clamps to bucket 0
+  h.add(99.0);  // clamps to bucket 4
+  h.add(10.0);  // hi edge clamps to bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RejectsEmptyRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find("2"), std::string::npos);
+  EXPECT_NE(render.find("#"), std::string::npos);
+}
+
+TEST(TimeBucketSeries, MeansPerBucket) {
+  TimeBucketSeries ts(10.0);
+  ts.add(1.0, 4.0);
+  ts.add(9.0, 6.0);
+  ts.add(15.0, 10.0);
+  ASSERT_EQ(ts.bucket_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket_mean(0), 5.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(0), 10.0);
+  EXPECT_EQ(ts.bucket_samples(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket_mean(1), 10.0);
+}
+
+TEST(TimeBucketSeries, EmptyBucketMeanIsZero) {
+  TimeBucketSeries ts(1.0);
+  ts.add(5.5, 3.0);
+  EXPECT_EQ(ts.bucket_count(), 6u);
+  EXPECT_DOUBLE_EQ(ts.bucket_mean(0), 0.0);
+  EXPECT_EQ(ts.bucket_samples(0), 0u);
+}
+
+TEST(TimeBucketSeries, RejectsBadInputs) {
+  EXPECT_THROW(TimeBucketSeries(0.0), std::logic_error);
+  TimeBucketSeries ts(1.0);
+  EXPECT_THROW(ts.add(-1.0, 1.0), std::logic_error);
+  EXPECT_THROW(ts.bucket_mean(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudfog::util {
+namespace {
+
+TEST(Table, HeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.row(1)[1], "4");
+  EXPECT_EQ(t.title(), "demo");
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, AddRowBeforeHeaderRejected) {
+  Table t("demo");
+  EXPECT_THROW(t.add_row({"x"}), std::logic_error);
+}
+
+TEST(Table, SetHeaderAfterRowsRejected) {
+  Table t("demo");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"b"}), std::logic_error);
+}
+
+TEST(Table, RowValuesFormatting) {
+  Table t("demo");
+  t.set_header({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.row(0)[0], "1.23");
+  EXPECT_EQ(t.row(0)[1], "2.00");
+}
+
+TEST(Table, TextRenderAligned) {
+  Table t("demo");
+  t.set_header({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("long-name-here"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, StreamOperatorMatchesToText) {
+  Table t("demo");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_text());
+}
+
+TEST(Table, CsvPlainFields) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("demo");
+  t.set_header({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowIndexOutOfRange) {
+  Table t("demo");
+  t.set_header({"a"});
+  EXPECT_THROW(t.row(0), std::logic_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace cloudfog::util

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace cloudfog {
+namespace {
+
+TEST(Types, ByteKbitConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(bytes_to_kbit(1'500.0), 12.0);  // one MTU packet
+  EXPECT_DOUBLE_EQ(kbit_to_bytes(12.0), 1'500.0);
+  for (double bytes : {1.0, 125.0, 64'000.0}) {
+    EXPECT_NEAR(kbit_to_bytes(bytes_to_kbit(bytes)), bytes, 1e-9);
+  }
+}
+
+TEST(Types, TransmissionTime) {
+  // 1000 kbit at 1000 kbps = 1 second = 1000 ms.
+  EXPECT_DOUBLE_EQ(transmission_ms(1'000.0, 1'000.0), 1'000.0);
+  EXPECT_DOUBLE_EQ(transmission_ms(0.0, 1'000.0), 0.0);
+  EXPECT_TRUE(std::isinf(transmission_ms(1.0, 0.0)));
+}
+
+TEST(Types, TimeConstants) {
+  EXPECT_DOUBLE_EQ(kMsPerSecond, 1'000.0);
+  EXPECT_DOUBLE_EQ(kMsPerMinute, 60'000.0);
+  EXPECT_DOUBLE_EQ(kMsPerHour, 3'600'000.0);
+}
+
+TEST(Types, InvalidNodeIsDistinct) {
+  EXPECT_NE(kInvalidNode, NodeId{0});
+  EXPECT_EQ(kInvalidNode, std::numeric_limits<NodeId>::max());
+}
+
+TEST(Check, PassingConditionIsSilent) {
+  CF_CHECK(1 + 1 == 2);
+  CF_CHECK_MSG(true, "never shown");
+}
+
+TEST(Check, FailureThrowsLogicErrorWithContext) {
+  try {
+    CF_CHECK_MSG(false, "the message");
+    FAIL() << "CF_CHECK_MSG(false) must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("types_check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(Check, PlainCheckThrowsWithoutMessage) {
+  EXPECT_THROW(CF_CHECK(2 < 1), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  CF_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace cloudfog

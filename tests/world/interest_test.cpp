@@ -1,0 +1,128 @@
+#include "world/interest.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::world {
+namespace {
+
+WorldConfig config() {
+  WorldConfig c;
+  c.width = 1'000.0;
+  c.height = 1'000.0;
+  c.region_size = 100.0;  // 10x10 regions
+  return c;
+}
+
+TEST(Interest, SubscriptionCoversAvatarNeighborhood) {
+  VirtualWorld w(config());
+  InterestManager interest(w, /*halo=*/1);
+  const AvatarId a = w.spawn_at({450.0, 450.0});  // interior region
+  interest.track(7, a);
+  EXPECT_EQ(interest.subscribed_regions(7), 9u);
+  EXPECT_TRUE(interest.subscription(7)[w.region_of({450.0, 450.0})]);
+}
+
+TEST(Interest, HaloZeroIsSingleRegion) {
+  VirtualWorld w(config());
+  InterestManager interest(w, 0);
+  const AvatarId a = w.spawn_at({50.0, 50.0});
+  interest.track(7, a);
+  EXPECT_EQ(interest.subscribed_regions(7), 1u);
+}
+
+TEST(Interest, MultipleAvatarsUnionSubscriptions) {
+  VirtualWorld w(config());
+  InterestManager interest(w, 1);
+  interest.track(7, w.spawn_at({150.0, 150.0}));
+  interest.track(7, w.spawn_at({850.0, 850.0}));
+  EXPECT_EQ(interest.subscribed_regions(7), 18u);  // two disjoint 3x3 blocks
+}
+
+TEST(Interest, OverlappingAvatarsDoNotDoubleCount) {
+  VirtualWorld w(config());
+  InterestManager interest(w, 1);
+  interest.track(7, w.spawn_at({450.0, 450.0}));
+  interest.track(7, w.spawn_at({460.0, 455.0}));  // same region
+  EXPECT_EQ(interest.subscribed_regions(7), 9u);
+}
+
+TEST(Interest, UntrackShrinksSubscription) {
+  VirtualWorld w(config());
+  InterestManager interest(w, 1);
+  const AvatarId a = w.spawn_at({150.0, 150.0});
+  const AvatarId b = w.spawn_at({850.0, 850.0});
+  interest.track(7, a);
+  interest.track(7, b);
+  interest.untrack(7, b);
+  EXPECT_EQ(interest.subscribed_regions(7), 9u);
+  interest.untrack(7, a);
+  EXPECT_EQ(interest.supernodes(), 0u);
+  EXPECT_THROW(interest.subscription(7), std::logic_error);
+}
+
+TEST(Interest, RefreshFollowsMovingAvatar) {
+  VirtualWorld w(config());
+  util::Rng rng(1);
+  InterestManager interest(w, 0);
+  const AvatarId a = w.spawn_at({50.0, 50.0});
+  interest.track(7, a);
+  const RegionId before = w.region_of({50.0, 50.0});
+  // March the avatar to the east across several regions.
+  for (int i = 0; i < 30; ++i) {
+    w.submit({a, ActionType::kMove, 1.0, 0.0});
+    (void)w.tick(rng);
+  }
+  interest.refresh();
+  const RegionId after = w.region_of(w.avatar(a).position);
+  EXPECT_NE(before, after);
+  EXPECT_TRUE(interest.subscription(7)[after]);
+  EXPECT_FALSE(interest.subscription(7)[before]);
+}
+
+TEST(Interest, UpdateForFiltersDelta) {
+  VirtualWorld w(config());
+  util::Rng rng(2);
+  InterestManager interest(w, 0);
+  const AvatarId mine = w.spawn_at({450.0, 450.0});
+  const AvatarId distant = w.spawn_at({50.0, 950.0});
+  interest.track(7, mine);
+  w.submit({mine, ActionType::kEmote, 0.0, 0.0});
+  w.submit({distant, ActionType::kEmote, 0.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  ASSERT_EQ(delta.changes.size(), 2u);
+  const auto filtered = interest.update_for(7, delta);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].id, mine);
+}
+
+TEST(Interest, FeedSizesShowFilteringSaving) {
+  VirtualWorld w(config());
+  util::Rng rng(3);
+  InterestManager interest(w, 1);
+  // 5 supernodes, each watching one corner-ish avatar; 100 other avatars
+  // spread over the map emote every tick.
+  for (NodeId sn = 0; sn < 5; ++sn) {
+    interest.track(sn, w.spawn(rng));
+  }
+  std::vector<AvatarId> crowd;
+  for (int i = 0; i < 100; ++i) crowd.push_back(w.spawn(rng));
+  for (AvatarId id : crowd) w.submit({id, ActionType::kEmote, 0.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  const auto sizes = interest.feed_sizes(delta);
+  EXPECT_GT(sizes.broadcast_kbit, 0.0);
+  EXPECT_LT(sizes.filtered_kbit, sizes.broadcast_kbit);
+  EXPECT_GT(sizes.saving(), 0.5);  // AoI filtering is the point
+}
+
+TEST(Interest, TrackValidation) {
+  VirtualWorld w(config());
+  InterestManager interest(w, 1);
+  EXPECT_THROW(interest.track(7, 999), std::logic_error);
+  const AvatarId a = w.spawn_at({100.0, 100.0});
+  interest.track(7, a);
+  EXPECT_THROW(interest.track(7, a), std::logic_error);
+  EXPECT_THROW(interest.untrack(8, a), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::world

@@ -1,0 +1,136 @@
+#include "world/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cloudfog::world {
+namespace {
+
+WorldConfig config() {
+  WorldConfig c;
+  c.width = 1'000.0;
+  c.height = 1'000.0;
+  return c;
+}
+
+/// A heavily clustered population: 80% in one hotspot corner, the rest
+/// uniform — the distribution that defeats static grids.
+std::vector<Position> clustered_population(std::size_t n, util::Rng& rng) {
+  std::vector<Position> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.8)) {
+      out.push_back({rng.uniform(0.0, 150.0), rng.uniform(0.0, 150.0)});
+    } else {
+      out.push_back({rng.uniform(0.0, 1'000.0), rng.uniform(0.0, 1'000.0)});
+    }
+  }
+  return out;
+}
+
+TEST(GridPartition, MapsCornersToDistinctServers) {
+  GridPartition grid(config(), 2, 2);
+  EXPECT_EQ(grid.servers(), 4u);
+  EXPECT_EQ(grid.server_of({10.0, 10.0}), 0u);
+  EXPECT_EQ(grid.server_of({990.0, 10.0}), 1u);
+  EXPECT_EQ(grid.server_of({10.0, 990.0}), 2u);
+  EXPECT_EQ(grid.server_of({990.0, 990.0}), 3u);
+}
+
+TEST(GridPartition, OutOfMapPositionsClamp) {
+  GridPartition grid(config(), 2, 2);
+  EXPECT_EQ(grid.server_of({-10.0, -10.0}), 0u);
+  EXPECT_EQ(grid.server_of({5'000.0, 5'000.0}), 3u);
+}
+
+TEST(GridPartition, UniformPopulationBalances) {
+  util::Rng rng(1);
+  std::vector<Position> avatars;
+  for (int i = 0; i < 4'000; ++i) {
+    avatars.push_back({rng.uniform(0.0, 1'000.0), rng.uniform(0.0, 1'000.0)});
+  }
+  GridPartition grid(config(), 2, 2);
+  EXPECT_LT(grid.stats(avatars).imbalance(), 1.1);
+}
+
+TEST(GridPartition, ClusteredPopulationImbalanced) {
+  util::Rng rng(2);
+  const auto avatars = clustered_population(4'000, rng);
+  GridPartition grid(config(), 2, 2);
+  // ~85% of the population lands in the hotspot cell: imbalance ~3.4x.
+  EXPECT_GT(grid.stats(avatars).imbalance(), 2.5);
+}
+
+TEST(KdPartition, LeafCountIsPowerOfTwo) {
+  util::Rng rng(3);
+  const auto avatars = clustered_population(1'000, rng);
+  for (int depth : {0, 1, 2, 3, 4}) {
+    KdPartition kd(avatars, depth);
+    EXPECT_EQ(kd.servers(), static_cast<std::size_t>(1) << depth);
+  }
+}
+
+TEST(KdPartition, BalancesClusteredPopulation) {
+  // The Bezerra et al. result the paper cites: median splits keep per-server
+  // load near-uniform even under heavy clustering.
+  util::Rng rng(4);
+  const auto avatars = clustered_population(4'000, rng);
+  KdPartition kd(avatars, 2);  // 4 servers, same as the grid test
+  const auto stats = kd.stats(avatars);
+  EXPECT_LT(stats.imbalance(), 1.1);
+}
+
+TEST(KdPartition, BeatsGridOnClusteredLoad) {
+  util::Rng rng(5);
+  const auto avatars = clustered_population(4'000, rng);
+  GridPartition grid(config(), 2, 2);
+  KdPartition kd(avatars, 2);
+  EXPECT_LT(kd.stats(avatars).imbalance(), grid.stats(avatars).imbalance() / 2.0);
+}
+
+TEST(KdPartition, EveryPositionMapsToAServer) {
+  util::Rng rng(6);
+  const auto avatars = clustered_population(500, rng);
+  KdPartition kd(avatars, 3);
+  for (int i = 0; i < 1'000; ++i) {
+    const Position p{rng.uniform(-100.0, 1'100.0), rng.uniform(-100.0, 1'100.0)};
+    EXPECT_LT(kd.server_of(p), kd.servers());
+  }
+}
+
+TEST(KdPartition, RebuildAdaptsToMigration) {
+  // Population migrates to the opposite corner; a rebuilt tree rebalances.
+  util::Rng rng(7);
+  std::vector<Position> before, after;
+  for (int i = 0; i < 2'000; ++i) {
+    before.push_back({rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
+    after.push_back({rng.uniform(800.0, 1'000.0), rng.uniform(800.0, 1'000.0)});
+  }
+  KdPartition stale(before, 2);
+  EXPECT_GT(stale.stats(after).imbalance(), 2.0);  // everything in one leaf
+  KdPartition rebuilt(after, 2);
+  EXPECT_LT(rebuilt.stats(after).imbalance(), 1.1);
+}
+
+TEST(KdPartition, SingleAvatarDegenerate) {
+  KdPartition kd({{10.0, 10.0}}, 2);
+  EXPECT_EQ(kd.servers(), 4u);
+  EXPECT_LT(kd.server_of({10.0, 10.0}), 4u);
+}
+
+TEST(KdPartition, RejectsBadInputs) {
+  EXPECT_THROW(KdPartition({}, 2), std::logic_error);
+  EXPECT_THROW(KdPartition({{1.0, 1.0}}, -1), std::logic_error);
+}
+
+TEST(PartitionStats, ImbalanceMath) {
+  PartitionStats stats;
+  stats.load = {10, 10, 10, 30};
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 2.0);  // max 30 / mean 15
+  EXPECT_EQ(stats.max_load(), 30u);
+  PartitionStats empty;
+  EXPECT_DOUBLE_EQ(empty.imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::world

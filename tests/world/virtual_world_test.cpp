@@ -1,0 +1,216 @@
+#include "world/virtual_world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cloudfog::world {
+namespace {
+
+WorldConfig small_config() {
+  WorldConfig c;
+  c.width = 1'000.0;
+  c.height = 500.0;
+  c.region_size = 100.0;
+  return c;
+}
+
+TEST(VirtualWorld, RegionGridDimensions) {
+  VirtualWorld w(small_config());
+  EXPECT_EQ(w.regions_x(), 10u);
+  EXPECT_EQ(w.regions_y(), 5u);
+  EXPECT_EQ(w.region_count(), 50u);
+}
+
+TEST(VirtualWorld, SpawnAndDespawn) {
+  VirtualWorld w(small_config());
+  util::Rng rng(1);
+  const AvatarId a = w.spawn(rng);
+  const AvatarId b = w.spawn(rng);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(w.population(), 2u);
+  EXPECT_TRUE(w.exists(a));
+  w.despawn(a);
+  EXPECT_FALSE(w.exists(a));
+  EXPECT_EQ(w.population(), 1u);
+  EXPECT_THROW(w.despawn(a), std::logic_error);
+}
+
+TEST(VirtualWorld, SpawnAtClampsToMap) {
+  VirtualWorld w(small_config());
+  const AvatarId a = w.spawn_at({-50.0, 9'999.0});
+  EXPECT_DOUBLE_EQ(w.avatar(a).position.x, 0.0);
+  EXPECT_DOUBLE_EQ(w.avatar(a).position.y, 500.0);
+}
+
+TEST(VirtualWorld, RegionOfCorners) {
+  VirtualWorld w(small_config());
+  EXPECT_EQ(w.region_of({0.0, 0.0}), 0u);
+  EXPECT_EQ(w.region_of({999.0, 0.0}), 9u);
+  EXPECT_EQ(w.region_of({0.0, 499.0}), 40u);
+  EXPECT_EQ(w.region_of({999.0, 499.0}), 49u);
+  // Exact upper edges clamp into the last cell.
+  EXPECT_EQ(w.region_of({1'000.0, 500.0}), 49u);
+}
+
+TEST(VirtualWorld, NeighborhoodInterior) {
+  VirtualWorld w(small_config());
+  const RegionId center = w.region_of({450.0, 250.0});  // (4, 2) -> 24
+  const auto hood = w.neighborhood(center, 1);
+  EXPECT_EQ(hood.size(), 9u);
+  std::set<RegionId> unique(hood.begin(), hood.end());
+  EXPECT_TRUE(unique.contains(center));
+}
+
+TEST(VirtualWorld, NeighborhoodCornerTruncated) {
+  VirtualWorld w(small_config());
+  EXPECT_EQ(w.neighborhood(0, 1).size(), 4u);   // corner: 2x2
+  EXPECT_EQ(w.neighborhood(0, 0).size(), 1u);   // just itself
+}
+
+TEST(VirtualWorld, MoveActionAdvancesBySpeed) {
+  VirtualWorld w(small_config());
+  util::Rng rng(2);
+  const AvatarId a = w.spawn_at({100.0, 100.0});
+  w.submit({a, ActionType::kMove, 1.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  ASSERT_EQ(delta.changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.avatar(a).position.x, 112.0);  // speed 12 along +x
+  EXPECT_DOUBLE_EQ(w.avatar(a).position.y, 100.0);
+}
+
+TEST(VirtualWorld, MoveDirectionIsNormalised) {
+  VirtualWorld w(small_config());
+  util::Rng rng(2);
+  const AvatarId a = w.spawn_at({100.0, 100.0});
+  w.submit({a, ActionType::kMove, 30.0, 40.0});  // 3-4-5 direction
+  (void)w.tick(rng);
+  EXPECT_NEAR(w.avatar(a).position.x, 100.0 + 12.0 * 0.6, 1e-9);
+  EXPECT_NEAR(w.avatar(a).position.y, 100.0 + 12.0 * 0.8, 1e-9);
+}
+
+TEST(VirtualWorld, MoveClampedAtMapEdge) {
+  VirtualWorld w(small_config());
+  util::Rng rng(2);
+  const AvatarId a = w.spawn_at({995.0, 100.0});
+  w.submit({a, ActionType::kMove, 1.0, 0.0});
+  (void)w.tick(rng);
+  EXPECT_DOUBLE_EQ(w.avatar(a).position.x, 1'000.0);
+}
+
+TEST(VirtualWorld, StrikeDamagesNearestInRange) {
+  VirtualWorld w(small_config());
+  util::Rng rng(3);
+  const AvatarId attacker = w.spawn_at({100.0, 100.0});
+  const AvatarId near = w.spawn_at({110.0, 100.0});
+  const AvatarId far = w.spawn_at({125.0, 100.0});
+  w.submit({attacker, ActionType::kStrike, 0.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  EXPECT_DOUBLE_EQ(w.avatar(near).health, 85.0);
+  EXPECT_DOUBLE_EQ(w.avatar(far).health, 100.0);
+  ASSERT_EQ(delta.changes.size(), 1u);
+  EXPECT_EQ(delta.changes[0].id, near);
+}
+
+TEST(VirtualWorld, StrikeOutOfRangeDoesNothing) {
+  VirtualWorld w(small_config());
+  util::Rng rng(3);
+  const AvatarId attacker = w.spawn_at({100.0, 100.0});
+  (void)w.spawn_at({200.0, 100.0});  // beyond the 30-unit range
+  w.submit({attacker, ActionType::kStrike, 0.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  EXPECT_TRUE(delta.changes.empty());
+}
+
+TEST(VirtualWorld, LethalStrikeRespawnsVictim) {
+  auto config = small_config();
+  config.strike_damage = 150.0;  // one-shot
+  VirtualWorld w(config);
+  util::Rng rng(4);
+  const AvatarId attacker = w.spawn_at({100.0, 100.0});
+  const AvatarId victim = w.spawn_at({105.0, 100.0});
+  w.submit({attacker, ActionType::kStrike, 0.0, 0.0});
+  (void)w.tick(rng);
+  EXPECT_DOUBLE_EQ(w.avatar(victim).health, 100.0);  // respawned
+  // Extremely unlikely to respawn exactly in place.
+  EXPECT_TRUE(w.avatar(victim).position.x != 105.0 ||
+              w.avatar(victim).position.y != 100.0);
+}
+
+TEST(VirtualWorld, DeltaOnlyContainsChangedAvatars) {
+  VirtualWorld w(small_config());
+  util::Rng rng(5);
+  const AvatarId mover = w.spawn_at({100.0, 100.0});
+  (void)w.spawn_at({800.0, 400.0});  // idle bystander
+  w.submit({mover, ActionType::kMove, 0.0, 1.0});
+  const TickDelta delta = w.tick(rng);
+  ASSERT_EQ(delta.changes.size(), 1u);
+  EXPECT_EQ(delta.changes[0].id, mover);
+  EXPECT_EQ(delta.changes[0].region, w.region_of(w.avatar(mover).position));
+}
+
+TEST(VirtualWorld, DeltaSortedAndSized) {
+  VirtualWorld w(small_config());
+  util::Rng rng(6);
+  std::vector<AvatarId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(w.spawn(rng));
+  for (AvatarId id : ids) w.submit({id, ActionType::kEmote, 0.0, 0.0});
+  const TickDelta delta = w.tick(rng);
+  ASSERT_EQ(delta.changes.size(), 10u);
+  for (std::size_t i = 1; i < delta.changes.size(); ++i) {
+    EXPECT_LT(delta.changes[i - 1].id, delta.changes[i].id);
+  }
+  // 16 bytes header + 10 * 24 bytes = 256 bytes = 2.048 kbit.
+  EXPECT_NEAR(delta.size_kbit(), 2.048, 1e-9);
+}
+
+TEST(VirtualWorld, ActionsFromDespawnedActorsIgnored) {
+  VirtualWorld w(small_config());
+  util::Rng rng(7);
+  const AvatarId a = w.spawn(rng);
+  w.submit({a, ActionType::kMove, 1.0, 0.0});
+  w.despawn(a);
+  const TickDelta delta = w.tick(rng);  // must not crash
+  EXPECT_TRUE(delta.changes.empty());
+}
+
+TEST(VirtualWorld, SubmitForUnknownActorRejected) {
+  VirtualWorld w(small_config());
+  EXPECT_THROW(w.submit({42, ActionType::kMove, 1.0, 0.0}), std::logic_error);
+}
+
+TEST(VirtualWorld, TickCounterAdvances) {
+  VirtualWorld w(small_config());
+  util::Rng rng(8);
+  EXPECT_EQ(w.tick(rng).tick, 1u);
+  EXPECT_EQ(w.tick(rng).tick, 2u);
+  EXPECT_EQ(w.ticks(), 2u);
+}
+
+TEST(VirtualWorld, DeterministicUnderSameSeed) {
+  auto run = [] {
+    VirtualWorld w(small_config());
+    util::Rng rng(99);
+    std::vector<AvatarId> ids;
+    for (int i = 0; i < 20; ++i) ids.push_back(w.spawn(rng));
+    std::vector<Position> finals;
+    for (int t = 0; t < 10; ++t) {
+      for (AvatarId id : ids)
+        w.submit({id, ActionType::kMove, rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0)});
+      (void)w.tick(rng);
+    }
+    for (AvatarId id : ids) finals.push_back(w.avatar(id).position);
+    return finals;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace cloudfog::world
