@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gop"
+  "../bench/bench_ablation_gop.pdb"
+  "CMakeFiles/bench_ablation_gop.dir/bench_ablation_gop.cpp.o"
+  "CMakeFiles/bench_ablation_gop.dir/bench_ablation_gop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

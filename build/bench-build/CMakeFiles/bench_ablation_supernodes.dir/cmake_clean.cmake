@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_supernodes"
+  "../bench/bench_ablation_supernodes.pdb"
+  "CMakeFiles/bench_ablation_supernodes.dir/bench_ablation_supernodes.cpp.o"
+  "CMakeFiles/bench_ablation_supernodes.dir/bench_ablation_supernodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_supernodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cooperation"
+  "../bench/bench_cooperation.pdb"
+  "CMakeFiles/bench_cooperation.dir/bench_cooperation.cpp.o"
+  "CMakeFiles/bench_cooperation.dir/bench_cooperation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_coverage_planetlab"
+  "../bench/bench_fig6_coverage_planetlab.pdb"
+  "CMakeFiles/bench_fig6_coverage_planetlab.dir/bench_fig6_coverage_planetlab.cpp.o"
+  "CMakeFiles/bench_fig6_coverage_planetlab.dir/bench_fig6_coverage_planetlab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_coverage_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

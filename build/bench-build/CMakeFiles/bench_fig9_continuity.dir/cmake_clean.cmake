@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_continuity"
+  "../bench/bench_fig9_continuity.pdb"
+  "CMakeFiles/bench_fig9_continuity.dir/bench_fig9_continuity.cpp.o"
+  "CMakeFiles/bench_fig9_continuity.dir/bench_fig9_continuity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incentives"
+  "../bench/bench_incentives.pdb"
+  "CMakeFiles/bench_incentives.dir/bench_incentives.cpp.o"
+  "CMakeFiles/bench_incentives.dir/bench_incentives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

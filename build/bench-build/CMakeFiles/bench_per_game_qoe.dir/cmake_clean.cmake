@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_per_game_qoe"
+  "../bench/bench_per_game_qoe.pdb"
+  "CMakeFiles/bench_per_game_qoe.dir/bench_per_game_qoe.cpp.o"
+  "CMakeFiles/bench_per_game_qoe.dir/bench_per_game_qoe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_per_game_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

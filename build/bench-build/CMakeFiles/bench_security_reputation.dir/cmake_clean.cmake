@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_security_reputation"
+  "../bench/bench_security_reputation.pdb"
+  "CMakeFiles/bench_security_reputation.dir/bench_security_reputation.cpp.o"
+  "CMakeFiles/bench_security_reputation.dir/bench_security_reputation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

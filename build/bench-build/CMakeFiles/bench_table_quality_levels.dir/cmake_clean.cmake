@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_quality_levels"
+  "../bench/bench_table_quality_levels.pdb"
+  "CMakeFiles/bench_table_quality_levels.dir/bench_table_quality_levels.cpp.o"
+  "CMakeFiles/bench_table_quality_levels.dir/bench_table_quality_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_quality_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_world_updates"
+  "../bench/bench_world_updates.pdb"
+  "CMakeFiles/bench_world_updates.dir/bench_world_updates.cpp.o"
+  "CMakeFiles/bench_world_updates.dir/bench_world_updates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_world_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloudfog_runner"
+  "../examples/cloudfog_runner.pdb"
+  "CMakeFiles/cloudfog_runner.dir/cloudfog_runner.cpp.o"
+  "CMakeFiles/cloudfog_runner.dir/cloudfog_runner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/full_stack_tour"
+  "../examples/full_stack_tour.pdb"
+  "CMakeFiles/full_stack_tour.dir/full_stack_tour.cpp.o"
+  "CMakeFiles/full_stack_tour.dir/full_stack_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/latency_trace_tool.cpp" "examples-build/CMakeFiles/latency_trace_tool.dir/latency_trace_tool.cpp.o" "gcc" "examples-build/CMakeFiles/latency_trace_tool.dir/latency_trace_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/cloudfog_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cloudfog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/cloudfog_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cloudfog_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cloudfog_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/cloudfog_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/latency_trace_tool"
+  "../examples/latency_trace_tool.pdb"
+  "CMakeFiles/latency_trace_tool.dir/latency_trace_tool.cpp.o"
+  "CMakeFiles/latency_trace_tool.dir/latency_trace_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/provisioning_planner"
+  "../examples/provisioning_planner.pdb"
+  "CMakeFiles/provisioning_planner.dir/provisioning_planner.cpp.o"
+  "CMakeFiles/provisioning_planner.dir/provisioning_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

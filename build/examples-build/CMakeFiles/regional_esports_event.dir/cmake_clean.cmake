@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/regional_esports_event"
+  "../examples/regional_esports_event.pdb"
+  "CMakeFiles/regional_esports_event.dir/regional_esports_event.cpp.o"
+  "CMakeFiles/regional_esports_event.dir/regional_esports_event.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_esports_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deadline_scheduler.cpp" "src/core/CMakeFiles/cloudfog_core.dir/deadline_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/deadline_scheduler.cpp.o.d"
+  "/root/repo/src/core/incentive.cpp" "src/core/CMakeFiles/cloudfog_core.dir/incentive.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/incentive.cpp.o.d"
+  "/root/repo/src/core/rate_adaptation.cpp" "src/core/CMakeFiles/cloudfog_core.dir/rate_adaptation.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/rate_adaptation.cpp.o.d"
+  "/root/repo/src/core/reputation.cpp" "src/core/CMakeFiles/cloudfog_core.dir/reputation.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/reputation.cpp.o.d"
+  "/root/repo/src/core/session_manager.cpp" "src/core/CMakeFiles/cloudfog_core.dir/session_manager.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/session_manager.cpp.o.d"
+  "/root/repo/src/core/supernode_manager.cpp" "src/core/CMakeFiles/cloudfog_core.dir/supernode_manager.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/supernode_manager.cpp.o.d"
+  "/root/repo/src/core/supernode_sender.cpp" "src/core/CMakeFiles/cloudfog_core.dir/supernode_sender.cpp.o" "gcc" "src/core/CMakeFiles/cloudfog_core.dir/supernode_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cloudfog_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_core.dir/deadline_scheduler.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/deadline_scheduler.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/incentive.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/incentive.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/rate_adaptation.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/rate_adaptation.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/reputation.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/reputation.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/session_manager.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/session_manager.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/supernode_manager.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/supernode_manager.cpp.o.d"
+  "CMakeFiles/cloudfog_core.dir/supernode_sender.cpp.o"
+  "CMakeFiles/cloudfog_core.dir/supernode_sender.cpp.o.d"
+  "libcloudfog_core.a"
+  "libcloudfog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_game.dir/game.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/game.cpp.o.d"
+  "CMakeFiles/cloudfog_game.dir/quality.cpp.o"
+  "CMakeFiles/cloudfog_game.dir/quality.cpp.o.d"
+  "libcloudfog_game.a"
+  "libcloudfog_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

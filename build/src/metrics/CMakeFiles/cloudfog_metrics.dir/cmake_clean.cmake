@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_metrics.dir/qoe.cpp.o"
+  "CMakeFiles/cloudfog_metrics.dir/qoe.cpp.o.d"
+  "libcloudfog_metrics.a"
+  "libcloudfog_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/geo.cpp" "src/net/CMakeFiles/cloudfog_net.dir/geo.cpp.o" "gcc" "src/net/CMakeFiles/cloudfog_net.dir/geo.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/cloudfog_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/cloudfog_net.dir/latency_model.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/cloudfog_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/cloudfog_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/cloudfog_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/cloudfog_net.dir/trace.cpp.o.d"
+  "/root/repo/src/net/uplink.cpp" "src/net/CMakeFiles/cloudfog_net.dir/uplink.cpp.o" "gcc" "src/net/CMakeFiles/cloudfog_net.dir/uplink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

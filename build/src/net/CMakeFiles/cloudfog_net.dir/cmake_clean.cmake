@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_net.dir/geo.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/geo.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/latency_model.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/topology.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/topology.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/trace.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/trace.cpp.o.d"
+  "CMakeFiles/cloudfog_net.dir/uplink.cpp.o"
+  "CMakeFiles/cloudfog_net.dir/uplink.cpp.o.d"
+  "libcloudfog_net.a"
+  "libcloudfog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/churn.cpp" "src/p2p/CMakeFiles/cloudfog_p2p.dir/churn.cpp.o" "gcc" "src/p2p/CMakeFiles/cloudfog_p2p.dir/churn.cpp.o.d"
+  "/root/repo/src/p2p/population.cpp" "src/p2p/CMakeFiles/cloudfog_p2p.dir/population.cpp.o" "gcc" "src/p2p/CMakeFiles/cloudfog_p2p.dir/population.cpp.o.d"
+  "/root/repo/src/p2p/social_graph.cpp" "src/p2p/CMakeFiles/cloudfog_p2p.dir/social_graph.cpp.o" "gcc" "src/p2p/CMakeFiles/cloudfog_p2p.dir/social_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_p2p.dir/churn.cpp.o"
+  "CMakeFiles/cloudfog_p2p.dir/churn.cpp.o.d"
+  "CMakeFiles/cloudfog_p2p.dir/population.cpp.o"
+  "CMakeFiles/cloudfog_p2p.dir/population.cpp.o.d"
+  "CMakeFiles/cloudfog_p2p.dir/social_graph.cpp.o"
+  "CMakeFiles/cloudfog_p2p.dir/social_graph.cpp.o.d"
+  "libcloudfog_p2p.a"
+  "libcloudfog_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudfog_p2p.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cloudfog_sim.dir/simulator.cpp.o.d"
+  "libcloudfog_sim.a"
+  "libcloudfog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/encoder.cpp" "src/stream/CMakeFiles/cloudfog_stream.dir/encoder.cpp.o" "gcc" "src/stream/CMakeFiles/cloudfog_stream.dir/encoder.cpp.o.d"
+  "/root/repo/src/stream/queued_sender.cpp" "src/stream/CMakeFiles/cloudfog_stream.dir/queued_sender.cpp.o" "gcc" "src/stream/CMakeFiles/cloudfog_stream.dir/queued_sender.cpp.o.d"
+  "/root/repo/src/stream/receiver_buffer.cpp" "src/stream/CMakeFiles/cloudfog_stream.dir/receiver_buffer.cpp.o" "gcc" "src/stream/CMakeFiles/cloudfog_stream.dir/receiver_buffer.cpp.o.d"
+  "/root/repo/src/stream/video.cpp" "src/stream/CMakeFiles/cloudfog_stream.dir/video.cpp.o" "gcc" "src/stream/CMakeFiles/cloudfog_stream.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

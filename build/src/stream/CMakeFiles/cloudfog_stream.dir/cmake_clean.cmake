@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_stream.dir/encoder.cpp.o"
+  "CMakeFiles/cloudfog_stream.dir/encoder.cpp.o.d"
+  "CMakeFiles/cloudfog_stream.dir/queued_sender.cpp.o"
+  "CMakeFiles/cloudfog_stream.dir/queued_sender.cpp.o.d"
+  "CMakeFiles/cloudfog_stream.dir/receiver_buffer.cpp.o"
+  "CMakeFiles/cloudfog_stream.dir/receiver_buffer.cpp.o.d"
+  "CMakeFiles/cloudfog_stream.dir/video.cpp.o"
+  "CMakeFiles/cloudfog_stream.dir/video.cpp.o.d"
+  "libcloudfog_stream.a"
+  "libcloudfog_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

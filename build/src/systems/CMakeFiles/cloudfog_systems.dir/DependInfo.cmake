@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/assignment.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/assignment.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/assignment.cpp.o.d"
+  "/root/repo/src/systems/bandwidth.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/bandwidth.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/systems/cooperation_experiment.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/cooperation_experiment.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/cooperation_experiment.cpp.o.d"
+  "/root/repo/src/systems/coverage.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/coverage.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/coverage.cpp.o.d"
+  "/root/repo/src/systems/dynamic_sim.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/dynamic_sim.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/dynamic_sim.cpp.o.d"
+  "/root/repo/src/systems/reputation_experiment.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/reputation_experiment.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/reputation_experiment.cpp.o.d"
+  "/root/repo/src/systems/scenario.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/scenario.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/scenario.cpp.o.d"
+  "/root/repo/src/systems/streaming_sim.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/streaming_sim.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/streaming_sim.cpp.o.d"
+  "/root/repo/src/systems/supernode_experiment.cpp" "src/systems/CMakeFiles/cloudfog_systems.dir/supernode_experiment.cpp.o" "gcc" "src/systems/CMakeFiles/cloudfog_systems.dir/supernode_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudfog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudfog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cloudfog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cloudfog_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/cloudfog_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cloudfog_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cloudfog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cloudfog_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

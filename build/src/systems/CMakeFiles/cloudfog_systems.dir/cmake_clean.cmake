@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_systems.dir/assignment.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/assignment.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/bandwidth.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/cooperation_experiment.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/cooperation_experiment.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/coverage.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/coverage.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/dynamic_sim.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/dynamic_sim.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/reputation_experiment.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/reputation_experiment.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/scenario.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/scenario.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/streaming_sim.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/streaming_sim.cpp.o.d"
+  "CMakeFiles/cloudfog_systems.dir/supernode_experiment.cpp.o"
+  "CMakeFiles/cloudfog_systems.dir/supernode_experiment.cpp.o.d"
+  "libcloudfog_systems.a"
+  "libcloudfog_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudfog_util.dir/flags.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/flags.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/log.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/log.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/rng.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/stats.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cloudfog_util.dir/table.cpp.o"
+  "CMakeFiles/cloudfog_util.dir/table.cpp.o.d"
+  "libcloudfog_util.a"
+  "libcloudfog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudfog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

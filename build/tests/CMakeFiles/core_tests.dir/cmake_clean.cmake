@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/deadline_scheduler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/deadline_scheduler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/incentive_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/incentive_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rate_adaptation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rate_adaptation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reputation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reputation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/session_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/session_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/supernode_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/supernode_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/supernode_sender_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/supernode_sender_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_tests.dir/game/game_test.cpp.o"
+  "CMakeFiles/game_tests.dir/game/game_test.cpp.o.d"
+  "CMakeFiles/game_tests.dir/game/quality_test.cpp.o"
+  "CMakeFiles/game_tests.dir/game/quality_test.cpp.o.d"
+  "game_tests"
+  "game_tests.pdb"
+  "game_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

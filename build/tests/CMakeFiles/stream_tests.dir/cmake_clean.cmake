@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_tests.dir/stream/encoder_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/encoder_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/queued_sender_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/queued_sender_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/receiver_buffer_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/receiver_buffer_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/video_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/video_test.cpp.o.d"
+  "stream_tests"
+  "stream_tests.pdb"
+  "stream_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

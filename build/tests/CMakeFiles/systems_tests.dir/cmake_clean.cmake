@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_tests.dir/systems/assignment_test.cpp.o"
+  "CMakeFiles/systems_tests.dir/systems/assignment_test.cpp.o.d"
+  "CMakeFiles/systems_tests.dir/systems/bandwidth_test.cpp.o"
+  "CMakeFiles/systems_tests.dir/systems/bandwidth_test.cpp.o.d"
+  "CMakeFiles/systems_tests.dir/systems/coverage_test.cpp.o"
+  "CMakeFiles/systems_tests.dir/systems/coverage_test.cpp.o.d"
+  "CMakeFiles/systems_tests.dir/systems/scenario_test.cpp.o"
+  "CMakeFiles/systems_tests.dir/systems/scenario_test.cpp.o.d"
+  "systems_tests"
+  "systems_tests.pdb"
+  "systems_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

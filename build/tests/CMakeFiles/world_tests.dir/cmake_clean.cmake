@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_tests.dir/world/interest_test.cpp.o"
+  "CMakeFiles/world_tests.dir/world/interest_test.cpp.o.d"
+  "CMakeFiles/world_tests.dir/world/partition_test.cpp.o"
+  "CMakeFiles/world_tests.dir/world/partition_test.cpp.o.d"
+  "CMakeFiles/world_tests.dir/world/virtual_world_test.cpp.o"
+  "CMakeFiles/world_tests.dir/world/virtual_world_test.cpp.o.d"
+  "world_tests"
+  "world_tests.pdb"
+  "world_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
