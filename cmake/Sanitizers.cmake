@@ -1,0 +1,50 @@
+# Sanitizer wiring for the CloudFog build.
+#
+# Usage: set CLOUDFOG_SANITIZE to a semicolon-separated list of sanitizers
+# (e.g. -DCLOUDFOG_SANITIZE="address;undefined" or "thread"); the flags are
+# applied globally so every target — libraries, tests, benches, examples —
+# is instrumented consistently. Mixing `thread` with `address`/`leak` is
+# rejected up front: the runtimes are mutually exclusive and the link error
+# you would get otherwise is cryptic.
+#
+# The canonical entry points are the `asan-ubsan` and `tsan` presets in
+# CMakePresets.json; this module is what they delegate to.
+
+set(CLOUDFOG_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (address;undefined;thread;leak)")
+
+if(NOT CLOUDFOG_SANITIZE)
+  return()
+endif()
+
+set(_cf_known_sanitizers address undefined thread leak)
+set(_cf_san_flags "")
+foreach(_san IN LISTS CLOUDFOG_SANITIZE)
+  if(NOT _san IN_LIST _cf_known_sanitizers)
+    message(FATAL_ERROR
+      "CLOUDFOG_SANITIZE: unknown sanitizer '${_san}' "
+      "(known: ${_cf_known_sanitizers})")
+  endif()
+  list(APPEND _cf_san_flags "-fsanitize=${_san}")
+endforeach()
+
+if("thread" IN_LIST CLOUDFOG_SANITIZE AND
+   ("address" IN_LIST CLOUDFOG_SANITIZE OR "leak" IN_LIST CLOUDFOG_SANITIZE))
+  message(FATAL_ERROR
+    "CLOUDFOG_SANITIZE: 'thread' cannot be combined with 'address'/'leak' — "
+    "their runtimes are mutually exclusive")
+endif()
+
+# Keep stack traces readable and make UBSan findings fatal so they fail the
+# build's ctest run instead of scrolling past as warnings.
+list(APPEND _cf_san_flags -fno-omit-frame-pointer)
+if("undefined" IN_LIST CLOUDFOG_SANITIZE)
+  list(APPEND _cf_san_flags -fno-sanitize-recover=undefined)
+endif()
+
+message(STATUS "CloudFog sanitizers enabled: ${CLOUDFOG_SANITIZE}")
+add_compile_options(${_cf_san_flags})
+add_link_options(${_cf_san_flags})
+
+unset(_cf_known_sanitizers)
+unset(_cf_san_flags)

@@ -3,7 +3,7 @@
 // Runs one streaming experiment with everything configurable from the
 // command line and emits an aligned table plus optional CSV, e.g.:
 //
-//   cloudfog_sim --profile=sim --players=3000 --duration-s=8 \
+//   cloudfog_sim --profile=sim --players=3000 --duration-s=8
 //                --systems=cloud,edge,fog-b,fog-a --seed=1 --csv=out.csv
 //
 // Flags (defaults in brackets):

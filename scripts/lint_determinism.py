@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Determinism lint for the CloudFog discrete-event simulator.
+
+Every figure in the paper reproduction is a function of (config, seed) and
+nothing else; this lint statically rejects the constructs that break that
+contract. It runs as a ctest test and in CI, and exits non-zero when any
+source file under the given roots matches a rule without an inline waiver.
+
+Rule table
+==========
+  wall-clock       std::time / time(...) / std::chrono::system_clock /
+                   steady_clock::now / high_resolution_clock — simulation
+                   time must come from sim::Simulator::now(), never the host.
+  libc-rand        rand() / srand() / random() — unseeded global state, and
+                   implementation-defined sequences across libcs.
+  random-device    std::random_device — nondeterministic by design; seed
+                   util::Rng from the experiment config instead.
+  unseeded-engine  std::mt19937/minstd_rand/default_random_engine constructed
+                   without an explicit seed expression — the default seed is
+                   fixed but engine choice belongs in util::Rng, where streams
+                   are label-forked so adding a consumer can't shift others.
+  unordered-iter   range-for over a std::unordered_map/unordered_set member —
+                   bucket order is libstdc++-version- and ASLR-dependent, so
+                   anything it feeds (event scheduling, aggregates, output)
+                   can differ run to run. Iterate a sorted or insertion-order
+                   mirror (see SupernodeManager::roster_) instead.
+  float-accum      std::accumulate over floating-point without an explicitly
+                   ordered container comment — FP addition is non-associative,
+                   so reduction order must be pinned. Flagged only when the
+                   call site names an unordered container.
+
+Escape hatch
+============
+A finding is waived by appending `// lint:allow(<rule>)` to the offending
+line (or the line above it), e.g.:
+
+    auto wall = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
+
+Waivers are for measurement harnesses (bench wall-time reporting) and code
+that provably does not influence simulation state. Each waiver should carry
+a justification comment nearby.
+
+Usage:  scripts/lint_determinism.py [ROOT ...]   (default: src/)
+        exit 0 = clean, 1 = findings, 2 = usage/IO error
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
+
+# rule name -> (regex, human message)
+RULES: dict[str, tuple[re.Pattern[str], str]] = {
+    "wall-clock": (
+        re.compile(
+            r"std::time\s*\(|[^:\w]time\s*\(\s*(?:NULL|nullptr|0|&)"
+            r"|system_clock|steady_clock\s*::\s*now|high_resolution_clock"
+        ),
+        "host wall-clock read; use sim::Simulator::now() for simulation time",
+    ),
+    "libc-rand": (
+        re.compile(r"(?<![\w:])s?rand\s*\(|(?<![\w:])random\s*\(\s*\)"),
+        "libc PRNG has global, implementation-defined state; use util::Rng",
+    ),
+    "random-device": (
+        re.compile(r"std::random_device"),
+        "std::random_device is nondeterministic; seed util::Rng from config",
+    ),
+    "unseeded-engine": (
+        re.compile(
+            r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)"
+            r"\s+\w+\s*(?:;|\{\s*\})"
+        ),
+        "unseeded std engine; derive a util::Rng stream via fork(label)",
+    ),
+    "unordered-iter": (
+        re.compile(
+            r"for\s*\(\s*(?:const\s+)?auto\s*&?&?\s*(?:\[[^\]]*\]|\w+)\s*:\s*"
+            r"\w*(?:unordered_|umap_|uset_)\w*"
+        ),
+        "iteration order of unordered containers is not reproducible; "
+        "iterate a sorted/insertion-order mirror",
+    ),
+    "float-accum": (
+        re.compile(
+            r"std::accumulate\s*\([^;]*unordered_[^;]*(?:0\.0?f?|\w+\.0)"
+        ),
+        "floating-point reduction over an unordered range; order must be "
+        "pinned before summing",
+    ),
+}
+
+ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def waived_rules(line: str) -> set[str]:
+    m = ALLOW.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string literals and // comments so patterns in
+    documentation text don't trip the lint. Keeps the line length roughly
+    stable; block comments spanning lines are handled by the caller."""
+    out: list[str] = []
+    i, n = 0, len(line)
+    in_str: str | None = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_str = c
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    findings: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+    in_block_comment = False
+    prev_waivers: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        # Track /* ... */ block comments (line-granular: a line that opens a
+        # block comment is scanned only up to the opener).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                prev_waivers = set()
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and "*/" not in line[start:]:
+            in_block_comment = True
+            line = line[:start]
+
+        waivers = waived_rules(raw) | prev_waivers
+        prev_waivers = waived_rules(raw) if raw.strip().startswith("//") else set()
+
+        code = strip_comments_and_strings(line)
+        if not code.strip():
+            continue
+        for rule, (pattern, message) in RULES.items():
+            if rule in waivers:
+                continue
+            if pattern.search(code):
+                findings.append(
+                    f"{path}:{lineno}: [{rule}] {message}\n"
+                    f"    {raw.strip()}"
+                )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [Path("src")]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(
+                p
+                for p in sorted(root.rglob("*"))
+                if p.suffix in SOURCE_SUFFIXES and p.is_file()
+            )
+        else:
+            print(f"error: no such file or directory: {root}", file=sys.stderr)
+            return 2
+
+    if not files:
+        print("error: no C++ sources found under given roots", file=sys.stderr)
+        return 2
+
+    all_findings: list[str] = []
+    for f in files:
+        all_findings.extend(lint_file(f))
+
+    if all_findings:
+        print(f"lint_determinism: {len(all_findings)} finding(s)\n")
+        print("\n".join(all_findings))
+        print(
+            "\nWaive a deliberate use with '// lint:allow(<rule>)' on the "
+            "offending line and justify it in a nearby comment."
+        )
+        return 1
+
+    print(f"lint_determinism: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

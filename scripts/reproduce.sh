@@ -3,27 +3,47 @@
 # bench, and all examples, teeing outputs next to the repo root.
 #
 # Usage:
-#   scripts/reproduce.sh            # paper scale (~3 min of benches)
-#   CLOUDFOG_BENCH_FAST=1 scripts/reproduce.sh   # smoke scale
+#   scripts/reproduce.sh                          # paper scale (~3 min of benches)
+#   CLOUDFOG_BENCH_FAST=1 scripts/reproduce.sh    # smoke scale
+#   BUILD_DIR=build-release scripts/reproduce.sh  # custom build tree
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+BUILD_DIR="${BUILD_DIR:-build}"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+die() {
+  echo "reproduce.sh: error: $*" >&2
+  exit 1
+}
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+# The bench/example globs silently match nothing when the build layout
+# changes; fail loudly instead of "reproducing" an empty result set.
+shopt -s nullglob
+benches=("$BUILD_DIR"/bench/*)
+examples=("$BUILD_DIR"/examples/*)
+shopt -u nullglob
+[[ ${#benches[@]} -gt 0 ]] || die "no bench binaries under $BUILD_DIR/bench/"
+[[ ${#examples[@]} -gt 0 ]] || die "no example binaries under $BUILD_DIR/examples/"
 
 {
-  for b in build/bench/*; do
-    "$b"
+  for b in "${benches[@]}"; do
+    [[ -x "$b" ]] || die "bench binary missing or not executable: $b"
+    "$b" || die "bench failed: $b"
   done
 } 2>&1 | tee bench_output.txt
 
 echo
 echo "== examples (smoke) =="
-for e in build/examples/*; do
+for e in "${examples[@]}"; do
+  [[ -x "$e" ]] || die "example binary missing or not executable: $e"
   echo "--- $e ---"
-  "$e" > /dev/null && echo ok
+  "$e" > /dev/null || die "example failed: $e"
+  echo ok
 done
 
 echo

@@ -47,10 +47,10 @@ int QueuedSegment::droppable() const {
 DeadlineScheduler::DeadlineScheduler(Kbps uplink_kbps,
                                      DeadlineSchedulerConfig config)
     : uplink_kbps_(uplink_kbps), config_(config) {
-  CF_CHECK_MSG(uplink_kbps > 0.0, "uplink rate must be positive");
-  CF_CHECK_MSG(config.decay_lambda_per_s >= 0.0, "decay lambda must be >= 0");
-  CF_CHECK_MSG(config.propagation_history >= 1, "need at least one sample");
-  CF_CHECK_MSG(config.max_queue_segments >= 1, "queue must hold a segment");
+  CF_CHECK_GT(uplink_kbps, 0.0);
+  CF_CHECK_GE(config.decay_lambda_per_s, 0.0);
+  CF_CHECK_GE(config.propagation_history, std::size_t{1});
+  CF_CHECK_GE(config.max_queue_segments, std::size_t{1});
 }
 
 bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now) {
@@ -71,7 +71,18 @@ bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now)
           return a.segment.deadline_ms < b.segment.deadline_ms;
         return a.segment.id < b.segment.id;
       });
+  const std::size_t at = static_cast<std::size_t>(pos - queue_.begin());
   queue_.insert(pos, std::move(qs));
+  // Trust boundary: the whole Eq (12)-(14) pass assumes ascending expected
+  // arrival order; checking the inserted element's neighbours is O(1) and
+  // transitively guards the full queue.
+  CF_INVARIANT(at == 0 || queue_[at - 1].segment.deadline_ms <=
+                              queue_[at].segment.deadline_ms,
+               "sender queue must stay deadline-ordered (left neighbour)");
+  CF_INVARIANT(at + 1 == queue_.size() ||
+                   queue_[at].segment.deadline_ms <=
+                       queue_[at + 1].segment.deadline_ms,
+               "sender queue must stay deadline-ordered (right neighbour)");
   estimate_and_drop(now);
   return true;
 }
@@ -94,7 +105,7 @@ TimeMs DeadlineScheduler::estimated_propagation_ms(NodeId player) const {
 
 TimeMs DeadlineScheduler::estimated_arrival_ms(std::size_t position,
                                                TimeMs now) const {
-  CF_CHECK_MSG(position < queue_.size(), "queue position out of range");
+  CF_CHECK_LT(position, queue_.size());
   // l_q: bytes of all preceding segments; l_t: this segment's remaining
   // bytes; l_r + l_s have already elapsed (we work from `now`).
   Kbit preceding = 0.0;
@@ -124,6 +135,12 @@ int DeadlineScheduler::drop_from_segment(std::size_t k, int want) {
   }
   qs.dropped += done;
   total_dropped_ += static_cast<std::uint64_t>(done);
+  // Trust boundary: Eq (14) must never overdraw a segment's loss-tolerance
+  // budget — that is the paper's "still meeting their packet loss rate
+  // requirements" guarantee.
+  CF_INVARIANT(qs.dropped <= static_cast<int>(qs.packets.size()),
+               "cannot drop more packets than the segment holds");
+  CF_INVARIANT(qs.droppable() >= 0, "loss-tolerance budget overdrawn");
   return done;
 }
 
@@ -147,6 +164,9 @@ void DeadlineScheduler::estimate_and_drop(TimeMs now) {
     if (estimated_arrival > expected_arrival) {
       const int needed = static_cast<int>(
           std::ceil((estimated_arrival - expected_arrival) / sigma));
+      // Slack D_i is strictly positive inside this branch, so the ceil must
+      // request at least one drop; zero would mean negative slack slipped in.
+      CF_INVARIANT(needed >= 1, "late segment must need at least one drop");
       // Eq (14) weights over segments 0..i.
       std::vector<double> weights(i + 1, 0.0);
       for (std::size_t k = 0; k <= i; ++k) {

@@ -32,10 +32,10 @@ double RateAdaptationController::down_threshold() const {
 
 RateAdaptationController::Decision RateAdaptationController::observe_rates(
     TimeMs dt_ms, Kbps download_kbps, Kbps playback_kbps, Kbit tau_kbit) {
-  CF_CHECK_MSG(dt_ms > 0.0, "estimation interval must be positive");
-  CF_CHECK_MSG(download_kbps >= 0.0 && playback_kbps > 0.0,
-               "rates must be sane");
-  CF_CHECK_MSG(tau_kbit > 0.0, "segment size tau must be positive");
+  CF_CHECK_GT(dt_ms, 0.0);
+  CF_CHECK_GE(download_kbps, 0.0);
+  CF_CHECK_GT(playback_kbps, 0.0);
+  CF_CHECK_GT(tau_kbit, 0.0);
   if (!estimator_initialised_) {
     s_estimate_ = tau_kbit;  // start with one buffered segment
     estimator_initialised_ = true;
@@ -47,7 +47,18 @@ RateAdaptationController::Decision RateAdaptationController::observe_rates(
 
 RateAdaptationController::Decision RateAdaptationController::observe(
     double buffered_segments) {
-  CF_CHECK_MSG(buffered_segments >= 0.0, "r must be non-negative");
+  CF_CHECK_GE(buffered_segments, 0.0);  // r (Eq 8) is a buffer count
+  const Decision decision = observe_impl(buffered_segments);
+  // Trust boundary: whatever path the Eqs (9)/(11) state machine took, the
+  // resulting rate must stay inside the encoder's quality ladder and never
+  // exceed the game's target level (Section III-B).
+  CF_INVARIANT(level_ >= game::kMinQualityLevel && level_ <= max_level_,
+               "encoding level outside the game's quality-ladder bounds");
+  return decision;
+}
+
+RateAdaptationController::Decision RateAdaptationController::observe_impl(
+    double buffered_segments) {
   if (buffered_segments > up_threshold()) {
     ++up_count_;
     down_count_ = 0;

@@ -73,6 +73,10 @@ class RateAdaptationController {
   int consecutive_down() const { return down_count_; }
 
  private:
+  /// The Eqs (9)/(11) state machine; observe() wraps it with the
+  /// quality-ladder bounds invariant.
+  Decision observe_impl(double buffered_segments);
+
   game::GameProfile profile_;
   RateAdaptationConfig config_;
   int level_;

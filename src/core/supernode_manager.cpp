@@ -22,6 +22,8 @@ void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps
   rec.upload_kbps = upload_kbps;
   records_.emplace(host, rec);
   roster_.push_back(host);
+  CF_INVARIANT(records_.size() == roster_.size(),
+               "supernode directory and deterministic roster must stay in sync");
 }
 
 void SupernodeManager::remove_supernode(NodeId host) {
@@ -29,6 +31,8 @@ void SupernodeManager::remove_supernode(NodeId host) {
   CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
   records_.erase(it);
   roster_.erase(std::remove(roster_.begin(), roster_.end(), host), roster_.end());
+  CF_INVARIANT(records_.size() == roster_.size(),
+               "supernode directory and deterministic roster must stay in sync");
 }
 
 bool SupernodeManager::is_supernode(NodeId host) const {
@@ -87,6 +91,10 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
     SupernodeRecord& rec = records_.at(p.sn);
     if (result.direct_to_cloud() && rec.available() > 0) {
       ++rec.assigned;
+      // Trust boundary: assignment must conserve capacity — a supernode can
+      // never support more players than its configured C_j.
+      CF_INVARIANT(rec.assigned <= rec.capacity,
+                   "supernode assigned count must not exceed capacity");
       result.supernode = p.sn;
       result.delay_ms = p.delay;
     } else {
@@ -102,6 +110,8 @@ void SupernodeManager::claim(NodeId supernode) {
   CF_CHECK_MSG(it != records_.end(), "claiming an unknown supernode");
   CF_CHECK_MSG(it->second.available() > 0, "claim without spare capacity");
   ++it->second.assigned;
+  CF_INVARIANT(it->second.assigned <= it->second.capacity,
+               "supernode assigned count must not exceed capacity");
 }
 
 void SupernodeManager::release(NodeId supernode) {
@@ -110,6 +120,8 @@ void SupernodeManager::release(NodeId supernode) {
   CF_CHECK_MSG(it != records_.end(), "releasing an unknown supernode");
   CF_CHECK_MSG(it->second.assigned > 0, "release without assignment");
   --it->second.assigned;
+  CF_INVARIANT(it->second.assigned >= 0,
+               "supernode assigned count must stay non-negative");
 }
 
 std::int64_t SupernodeManager::total_capacity() const {

@@ -12,7 +12,7 @@ EventId Simulator::push(TimeMs when, std::shared_ptr<Entry> entry) {
 }
 
 EventId Simulator::schedule_at(TimeMs when, Callback fn) {
-  CF_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  CF_CHECK_GE(when, now_);  // cannot schedule an event in the past
   CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
   auto entry = std::make_shared<Entry>();
   entry->fn = std::move(fn);
@@ -20,13 +20,13 @@ EventId Simulator::schedule_at(TimeMs when, Callback fn) {
 }
 
 EventId Simulator::schedule_after(TimeMs delay, Callback fn) {
-  CF_CHECK_MSG(delay >= 0.0, "delay must be non-negative");
+  CF_CHECK_GE(delay, 0.0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 EventId Simulator::schedule_every(TimeMs first_delay, TimeMs period, Callback fn) {
-  CF_CHECK_MSG(first_delay >= 0.0, "first_delay must be non-negative");
-  CF_CHECK_MSG(period > 0.0, "period must be positive");
+  CF_CHECK_GE(first_delay, 0.0);
+  CF_CHECK_GT(period, 0.0);
   CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
   auto entry = std::make_shared<Entry>();
   entry->fn = std::move(fn);
@@ -49,7 +49,10 @@ bool Simulator::fire_next() {
     HeapItem item = queue_.top();
     queue_.pop();
     if (item.entry->cancelled) continue;  // tombstone
-    CF_DCHECK(item.when >= now_);
+    // Trust boundary: the heap must hand events out in non-decreasing time
+    // order, and a cancelled event must never reach its callback.
+    CF_INVARIANT(item.when >= now_, "event timestamps must be monotone");
+    CF_INVARIANT(!item.entry->cancelled, "cancelled event must not fire");
     now_ = item.when;
     if (item.entry->period >= 0.0) {
       // Re-arm the periodic event under the same handle before running it so
@@ -71,7 +74,7 @@ bool Simulator::fire_next() {
 bool Simulator::step() { return fire_next(); }
 
 void Simulator::run_until(TimeMs horizon) {
-  CF_CHECK_MSG(horizon >= now_, "horizon must not precede current time");
+  CF_CHECK_GE(horizon, now_);  // horizon must not precede current time
   while (!queue_.empty()) {
     // Peek through tombstones to find the next live event time.
     while (!queue_.empty() && queue_.top().entry->cancelled) queue_.pop();

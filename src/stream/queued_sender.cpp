@@ -17,8 +17,8 @@ QueuedSender::QueuedSender(Kbps capacity_kbps) : capacity_(capacity_kbps) {
 }
 
 SendSchedule QueuedSender::enqueue(TimeMs now, Kbit size_kbit, Kbps rate_cap_kbps) {
-  CF_CHECK_MSG(now >= last_enqueue_, "enqueue times must be non-decreasing");
-  CF_CHECK_MSG(size_kbit >= 0.0, "segment size must be non-negative");
+  CF_CHECK_GE(now, last_enqueue_);  // enqueue times must be non-decreasing
+  CF_CHECK_GE(size_kbit, 0.0);
   last_enqueue_ = now;
   const Kbps rate = rate_cap_kbps > 0.0 ? std::min(capacity_, rate_cap_kbps)
                                         : capacity_;
@@ -26,6 +26,12 @@ SendSchedule QueuedSender::enqueue(TimeMs now, Kbit size_kbit, Kbps rate_cap_kbp
   s.enqueued = now;
   s.start = std::max(now, free_at_);
   s.end = s.start + transmission_ms(size_kbit, rate);
+  // Trust boundary: the fluid link must serialise segments back-to-back in
+  // enqueue order — a schedule that starts before its enqueue or ends before
+  // it starts would let Eq (12)'s l_q / l_t components go negative.
+  CF_INVARIANT(s.start >= s.enqueued && s.end >= s.start,
+               "send schedule must be causally ordered");
+  CF_INVARIANT(s.end >= free_at_, "link busy interval must grow monotonically");
   free_at_ = s.end;
   ++segments_;
   total_kbit_ += size_kbit;

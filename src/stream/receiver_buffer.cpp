@@ -41,10 +41,19 @@ void ReceiverBuffer::settle(TimeMs now) {
     }
   }
   last_settle_ = now;
+  // Trust boundaries of the Eq (7) fluid model: occupancy can touch zero
+  // (modulo FP rounding in the drain arithmetic, which we forgive up to a
+  // nano-kbit and snap back) but never go truly negative, and the stall
+  // clock can never run ahead of wall time.
+  CF_INVARIANT(buffered_ >= -1e-9, "buffer occupancy must not go negative");
+  buffered_ = std::max(buffered_, 0.0);
+  CF_INVARIANT(stall_ms_ >= 0.0 &&
+                   stall_ms_ <= (now - start_time_) * (1.0 + 1e-9) + 1e-3,
+               "stall time cannot exceed elapsed time");
 }
 
 void ReceiverBuffer::on_arrival(TimeMs now, Kbit size_kbit) {
-  CF_CHECK_MSG(size_kbit >= 0.0, "arrival size must be non-negative");
+  CF_CHECK_GE(size_kbit, 0.0);
   settle(now);
   if (saw_arrival_ && now > last_arrival_) {
     const Kbps instant = size_kbit / (now - last_arrival_) * 1000.0;

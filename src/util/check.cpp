@@ -1,0 +1,35 @@
+#include "util/check.h"
+
+#include <atomic>
+
+namespace cloudfog::util {
+
+namespace {
+InvariantAuditHook g_hook = nullptr;
+std::atomic<std::uint64_t> g_violations{0};
+}  // namespace
+
+InvariantAuditHook set_invariant_audit_hook(InvariantAuditHook hook) {
+  InvariantAuditHook previous = g_hook;
+  g_hook = hook;
+  return previous;
+}
+
+std::uint64_t invariant_violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void invariant_failed(const char* expr, const char* what, const char* file,
+                      int line) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << expr << " at " << file << ':' << line;
+  if (g_hook != nullptr) g_hook(what, os.str());
+  ::cloudfog::detail::check_failed(expr, file, line, what);
+}
+
+}  // namespace detail
+
+}  // namespace cloudfog::util

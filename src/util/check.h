@@ -2,8 +2,20 @@
 //
 // CF_CHECK is always on (cheap conditions guarding public API misuse);
 // CF_DCHECK compiles out in release builds (hot-path invariants).
+//
+// Comparison forms — CF_CHECK_GE/GT/LE/LT/EQ/NE (and CF_DCHECK_* siblings) —
+// print both operand values on failure, so a violated invariant reports
+// "deadline ordering: 41.2 vs 40.9" instead of a bare expression string.
+//
+// CF_INVARIANT(expr, what) is the audit-hook form deployed at trust
+// boundaries (event ordering, buffer occupancy, capacity conservation).
+// It behaves like CF_CHECK_MSG but additionally notifies an optional
+// process-wide InvariantAuditHook before throwing, letting harnesses and
+// fuzzers count / log violations with full context even when the exception
+// is swallowed upstream.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,7 +30,39 @@ namespace cloudfog::detail {
   throw std::logic_error(os.str());
 }
 
+/// Streams a value for failure messages; anything streamable works, and the
+/// comparison macros only instantiate this on failure paths.
+template <typename A, typename B>
+[[noreturn]] void check_op_failed(const char* expr, const char* op, const A& a,
+                                  const B& b, const char* file, int line) {
+  std::ostringstream os;
+  os << expr << " (" << a << ' ' << op << ' ' << b << ')';
+  check_failed(os.str().c_str(), file, line, {});
+}
+
 }  // namespace cloudfog::detail
+
+namespace cloudfog::util {
+
+/// Observer invoked (if installed) whenever a CF_INVARIANT fails, before the
+/// std::logic_error is thrown. `what` is the invariant's description,
+/// `detail` the rendered "expr at file:line" context.
+using InvariantAuditHook = void (*)(const char* what, const std::string& detail);
+
+/// Installs a process-wide audit hook; returns the previous one (nullptr if
+/// none). Pass nullptr to uninstall. Not thread-safe: install during setup.
+InvariantAuditHook set_invariant_audit_hook(InvariantAuditHook hook);
+
+/// Number of invariant violations observed process-wide (monotone; audits
+/// and tests read this to assert "no silent violations happened").
+std::uint64_t invariant_violations();
+
+namespace detail {
+[[noreturn]] void invariant_failed(const char* expr, const char* what,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace cloudfog::util
 
 #define CF_CHECK(expr)                                                       \
   do {                                                                       \
@@ -31,10 +75,51 @@ namespace cloudfog::detail {
       ::cloudfog::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
   } while (false)
 
+// Comparison checks. Operands are evaluated exactly once.
+#define CF_CHECK_OP_(a, op, b)                                                 \
+  do {                                                                         \
+    const auto& cf_a_ = (a);                                                   \
+    const auto& cf_b_ = (b);                                                   \
+    if (!(cf_a_ op cf_b_))                                                     \
+      ::cloudfog::detail::check_op_failed(#a " " #op " " #b, #op, cf_a_,       \
+                                          cf_b_, __FILE__, __LINE__);          \
+  } while (false)
+
+#define CF_CHECK_EQ(a, b) CF_CHECK_OP_(a, ==, b)
+#define CF_CHECK_NE(a, b) CF_CHECK_OP_(a, !=, b)
+#define CF_CHECK_GE(a, b) CF_CHECK_OP_(a, >=, b)
+#define CF_CHECK_GT(a, b) CF_CHECK_OP_(a, >, b)
+#define CF_CHECK_LE(a, b) CF_CHECK_OP_(a, <=, b)
+#define CF_CHECK_LT(a, b) CF_CHECK_OP_(a, <, b)
+
+// Trust-boundary invariant: like CF_CHECK_MSG but routed through the audit
+// hook so violations are observable even when callers catch the exception.
+#define CF_INVARIANT(expr, what)                                             \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::cloudfog::util::detail::invariant_failed(#expr, (what), __FILE__,    \
+                                                 __LINE__);                  \
+  } while (false)
+
 #ifdef NDEBUG
 #define CF_DCHECK(expr) \
   do {                  \
   } while (false)
+#define CF_DCHECK_OP_DISABLED_(a, b) \
+  do {                               \
+  } while (false)
+#define CF_DCHECK_EQ(a, b) CF_DCHECK_OP_DISABLED_(a, b)
+#define CF_DCHECK_NE(a, b) CF_DCHECK_OP_DISABLED_(a, b)
+#define CF_DCHECK_GE(a, b) CF_DCHECK_OP_DISABLED_(a, b)
+#define CF_DCHECK_GT(a, b) CF_DCHECK_OP_DISABLED_(a, b)
+#define CF_DCHECK_LE(a, b) CF_DCHECK_OP_DISABLED_(a, b)
+#define CF_DCHECK_LT(a, b) CF_DCHECK_OP_DISABLED_(a, b)
 #else
 #define CF_DCHECK(expr) CF_CHECK(expr)
+#define CF_DCHECK_EQ(a, b) CF_CHECK_EQ(a, b)
+#define CF_DCHECK_NE(a, b) CF_CHECK_NE(a, b)
+#define CF_DCHECK_GE(a, b) CF_CHECK_GE(a, b)
+#define CF_DCHECK_GT(a, b) CF_CHECK_GT(a, b)
+#define CF_DCHECK_LE(a, b) CF_CHECK_LE(a, b)
+#define CF_DCHECK_LT(a, b) CF_CHECK_LT(a, b)
 #endif

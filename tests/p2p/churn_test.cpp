@@ -91,7 +91,9 @@ TEST(Churn, OfflinePlayersHaveNoGame) {
   ChurnWorld world(1'000);
   world.churn->start();
   for (std::size_t i = 0; i < 1'000; ++i) {
-    if (!world.churn->is_online(i)) EXPECT_EQ(world.churn->game_of(i), -1);
+    if (!world.churn->is_online(i)) {
+      EXPECT_EQ(world.churn->game_of(i), -1);
+    }
   }
 }
 

@@ -73,7 +73,9 @@ TEST_P(SessionFuzz, InvariantsHoldUnderRandomLifecycles) {
     }
     // 3. Live supernodes without sessions carry zero demand.
     for (NodeId sn : up_supernodes) {
-      if (!assigned.contains(sn)) EXPECT_NEAR(mgr.demand_kbps(sn), 0.0, 1e-6);
+      if (!assigned.contains(sn)) {
+        EXPECT_NEAR(mgr.demand_kbps(sn), 0.0, 1e-6);
+      }
     }
   };
 

@@ -62,7 +62,8 @@ TEST(Bandwidth, CloudFogAccountsUpdateFeeds) {
   EXPECT_GT(r.active_supernodes, 0u);
   // Lambda * m, converted to Mbps.
   EXPECT_NEAR(r.update_feed_mbps,
-              s.params().update_stream_kbps * r.active_supernodes / 1'000.0,
+              s.params().update_stream_kbps *
+                  static_cast<double>(r.active_supernodes) / 1'000.0,
               1e-9);
 }
 

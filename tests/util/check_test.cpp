@@ -1,0 +1,127 @@
+#include "util/check.h"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cloudfog {
+namespace {
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::logic_error";
+  return {};
+}
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(CF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CF_CHECK_MSG(true, "unused"));
+}
+
+TEST(CheckTest, FailureThrowsLogicErrorWithExprFileLine) {
+  const std::string what = message_of([] { CF_CHECK(2 < 1); });
+  EXPECT_NE(what.find("CHECK failed"), std::string::npos);
+  EXPECT_NE(what.find("2 < 1"), std::string::npos);
+  EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  EXPECT_NE(what.find(':'), std::string::npos);  // file:line separator
+}
+
+TEST(CheckTest, MsgFormIncludesTheMessage) {
+  const std::string what =
+      message_of([] { CF_CHECK_MSG(false, "buffer drained twice"); });
+  EXPECT_NE(what.find("buffer drained twice"), std::string::npos);
+}
+
+TEST(CheckTest, ComparisonMacrosPrintBothOperandValues) {
+  const int lhs = 41;
+  const int rhs = 42;
+  const std::string what = message_of([&] { CF_CHECK_GE(lhs, rhs); });
+  EXPECT_NE(what.find("lhs >= rhs"), std::string::npos);
+  EXPECT_NE(what.find("41"), std::string::npos);
+  EXPECT_NE(what.find("42"), std::string::npos);
+
+  const double when = 12.5;
+  const double now = 99.25;
+  const std::string fp = message_of([&] { CF_CHECK_GT(when, now); });
+  EXPECT_NE(fp.find("12.5"), std::string::npos);
+  EXPECT_NE(fp.find("99.25"), std::string::npos);
+}
+
+TEST(CheckTest, ComparisonMacrosCoverAllOperators) {
+  EXPECT_NO_THROW(CF_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(CF_CHECK_NE(3, 4));
+  EXPECT_NO_THROW(CF_CHECK_GE(4, 4));
+  EXPECT_NO_THROW(CF_CHECK_GT(5, 4));
+  EXPECT_NO_THROW(CF_CHECK_LE(4, 4));
+  EXPECT_NO_THROW(CF_CHECK_LT(4, 5));
+  EXPECT_THROW(CF_CHECK_EQ(3, 4), std::logic_error);
+  EXPECT_THROW(CF_CHECK_NE(3, 3), std::logic_error);
+  EXPECT_THROW(CF_CHECK_GE(3, 4), std::logic_error);
+  EXPECT_THROW(CF_CHECK_GT(4, 4), std::logic_error);
+  EXPECT_THROW(CF_CHECK_LE(4, 3), std::logic_error);
+  EXPECT_THROW(CF_CHECK_LT(4, 4), std::logic_error);
+}
+
+TEST(CheckTest, ComparisonMacrosEvaluateOperandsOnce) {
+  int left = 0;
+  int right = 10;
+  CF_CHECK_LT(++left, right);
+  EXPECT_EQ(left, 1);
+}
+
+TEST(CheckTest, DcheckCompilesOutUnderNdebug) {
+  int evaluations = 0;
+  CF_DCHECK(++evaluations > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0) << "CF_DCHECK must not evaluate in release";
+  EXPECT_NO_THROW(CF_DCHECK(false));
+  EXPECT_NO_THROW(CF_DCHECK_EQ(1, 2));
+#else
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(CF_DCHECK(false), std::logic_error);
+  EXPECT_THROW(CF_DCHECK_EQ(1, 2), std::logic_error);
+#endif
+}
+
+TEST(CheckTest, InvariantThrowsAndCountsViolations) {
+  const std::uint64_t before = util::invariant_violations();
+  EXPECT_NO_THROW(CF_INVARIANT(true, "never fires"));
+  EXPECT_EQ(util::invariant_violations(), before);
+
+  const std::string what =
+      message_of([] { CF_INVARIANT(1 > 2, "ordering violated"); });
+  EXPECT_NE(what.find("ordering violated"), std::string::npos);
+  EXPECT_NE(what.find("1 > 2"), std::string::npos);
+  EXPECT_EQ(util::invariant_violations(), before + 1);
+}
+
+TEST(CheckTest, InvariantAuditHookObservesFailures) {
+  static std::string seen_what;
+  static std::string seen_detail;
+  seen_what.clear();
+  seen_detail.clear();
+  const auto previous = util::set_invariant_audit_hook(
+      [](const char* what, const std::string& detail) {
+        seen_what = what;
+        seen_detail = detail;
+      });
+
+  EXPECT_THROW(CF_INVARIANT(false, "capacity conservation"), std::logic_error);
+  EXPECT_EQ(seen_what, "capacity conservation");
+  EXPECT_NE(seen_detail.find("check_test.cpp"), std::string::npos);
+
+  util::set_invariant_audit_hook(previous);
+  // With the hook removed, failures still throw but no longer notify.
+  seen_what.clear();
+  EXPECT_THROW(CF_INVARIANT(false, "after uninstall"), std::logic_error);
+  EXPECT_TRUE(seen_what.empty());
+}
+
+}  // namespace
+}  // namespace cloudfog

@@ -228,7 +228,7 @@ TEST(Rng, ZipfRankOneMostFrequent) {
   Rng rng(19);
   std::vector<int> counts(11, 0);
   for (int i = 0; i < 50'000; ++i) ++counts[rng.zipf(10, 1.0)];
-  for (int k = 2; k <= 10; ++k) EXPECT_GT(counts[1], counts[k]);
+  for (std::size_t k = 2; k <= 10; ++k) EXPECT_GT(counts[1], counts[k]);
 }
 
 TEST(Rng, ZipfSingleton) {
