@@ -28,45 +28,47 @@ SupernodeExperimentConfig base_config(std::size_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("Ablation: GOP encoding",
-                      "structured I/P frames vs flat VBR at 20 players");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_gop", [&]() -> int {
+    bench::print_header("Ablation: GOP encoding",
+                        "structured I/P frames vs flat VBR at 20 players");
 
-  util::Table table(
-      "GOP length sweep at util ~0.78 (CloudFog/B and CloudFog-adapt)");
-  table.set_header({"encoder", "B satisfied", "B continuity",
-                    "adapt satisfied", "adapt mean level"});
-  struct Setup {
-    const char* name;
-    bool gop;
-    int gop_length;
-  };
-  const Setup setups[] = {
-      {"flat VBR (sigma 0.3)", false, 0},
-      {"GOP 15 (0.5 s)", true, 15},
-      {"GOP 30 (1 s)", true, 30},
-      {"GOP 60 (2 s)", true, 60},
-  };
-  for (const Setup& setup : setups) {
-    util::RunningStats b_sat, b_cont, a_sat, a_level;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      auto config = base_config(seed);
-      config.use_gop_encoder = setup.gop;
-      if (setup.gop) config.encoder.gop_length = setup.gop_length;
-      auto adapt = config;
-      adapt.adaptation = true;
-      const auto rb = run_supernode_experiment(config);
-      const auto ra = run_supernode_experiment(adapt);
-      b_sat.add(rb.satisfied_fraction);
-      b_cont.add(rb.mean_continuity);
-      a_sat.add(ra.satisfied_fraction);
-      a_level.add(ra.mean_quality_level);
+    util::Table table(
+        "GOP length sweep at util ~0.78 (CloudFog/B and CloudFog-adapt)");
+    table.set_header({"encoder", "B satisfied", "B continuity",
+                      "adapt satisfied", "adapt mean level"});
+    struct Setup {
+      const char* name;
+      bool gop;
+      int gop_length;
+    };
+    const Setup setups[] = {
+        {"flat VBR (sigma 0.3)", false, 0},
+        {"GOP 15 (0.5 s)", true, 15},
+        {"GOP 30 (1 s)", true, 30},
+        {"GOP 60 (2 s)", true, 60},
+    };
+    for (const Setup& setup : setups) {
+      util::RunningStats b_sat, b_cont, a_sat, a_level;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        auto config = base_config(seed);
+        config.use_gop_encoder = setup.gop;
+        if (setup.gop) config.encoder.gop_length = setup.gop_length;
+        auto adapt = config;
+        adapt.adaptation = true;
+        const auto rb = run_supernode_experiment(config);
+        const auto ra = run_supernode_experiment(adapt);
+        b_sat.add(rb.satisfied_fraction);
+        b_cont.add(rb.mean_continuity);
+        a_sat.add(ra.satisfied_fraction);
+        a_level.add(ra.mean_quality_level);
+      }
+      table.add_row({setup.name, util::format_double(b_sat.mean(), 3),
+                     util::format_double(b_cont.mean(), 3),
+                     util::format_double(a_sat.mean(), 3),
+                     util::format_double(a_level.mean(), 2)});
     }
-    table.add_row({setup.name, util::format_double(b_sat.mean(), 3),
-                   util::format_double(b_cont.mean(), 3),
-                   util::format_double(a_sat.mean(), 3),
-                   util::format_double(a_level.mean(), 2)});
-  }
-  bench::print_table(table);
-  return 0;
+    bench::print_table(table);
+    return 0;
+  });
 }

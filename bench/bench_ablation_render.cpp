@@ -14,38 +14,40 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Ablation: render stage",
-                      "bounded GPU throughput at 20 players/supernode");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_render", [&]() -> int {
+    bench::print_header("Ablation: render stage",
+                        "bounded GPU throughput at 20 players/supernode");
 
-  // Demand at target levels: 20 players x 30 fps x ~0.43 Mpx mean frame
-  // ~ 260 Mpx/s; sweep through and past that knee.
-  util::Table table("render capacity sweep (B and adapt variants)");
-  table.set_header({"GPU (Mpx/s)", "B satisfied", "B latency (ms)",
-                    "adapt satisfied", "adapt mean level"});
-  for (double capacity : {0.0, 1'000.0, 400.0, 250.0, 200.0}) {
-    util::RunningStats b_sat, b_lat, a_sat, a_level;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      SupernodeExperimentConfig config;
-      config.num_players = 20;
-      config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
-      config.seed = 7 + seed * 10;
-      config.render_capacity_mpx_per_s = capacity;
-      auto adapt = config;
-      adapt.adaptation = true;
-      const auto rb = run_supernode_experiment(config);
-      const auto ra = run_supernode_experiment(adapt);
-      b_sat.add(rb.satisfied_fraction);
-      b_lat.add(rb.mean_response_latency_ms);
-      a_sat.add(ra.satisfied_fraction);
-      a_level.add(ra.mean_quality_level);
+    // Demand at target levels: 20 players x 30 fps x ~0.43 Mpx mean frame
+    // ~ 260 Mpx/s; sweep through and past that knee.
+    util::Table table("render capacity sweep (B and adapt variants)");
+    table.set_header({"GPU (Mpx/s)", "B satisfied", "B latency (ms)",
+                      "adapt satisfied", "adapt mean level"});
+    for (double capacity : {0.0, 1'000.0, 400.0, 250.0, 200.0}) {
+      util::RunningStats b_sat, b_lat, a_sat, a_level;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        SupernodeExperimentConfig config;
+        config.num_players = 20;
+        config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
+        config.seed = 7 + seed * 10;
+        config.render_capacity_mpx_per_s = capacity;
+        auto adapt = config;
+        adapt.adaptation = true;
+        const auto rb = run_supernode_experiment(config);
+        const auto ra = run_supernode_experiment(adapt);
+        b_sat.add(rb.satisfied_fraction);
+        b_lat.add(rb.mean_response_latency_ms);
+        a_sat.add(ra.satisfied_fraction);
+        a_level.add(ra.mean_quality_level);
+      }
+      table.add_row({capacity == 0.0 ? "unbounded" : util::format_double(capacity, 0),
+                     util::format_double(b_sat.mean(), 3),
+                     util::format_double(b_lat.mean(), 1),
+                     util::format_double(a_sat.mean(), 3),
+                     util::format_double(a_level.mean(), 2)});
     }
-    table.add_row({capacity == 0.0 ? "unbounded" : util::format_double(capacity, 0),
-                   util::format_double(b_sat.mean(), 3),
-                   util::format_double(b_lat.mean(), 1),
-                   util::format_double(a_sat.mean(), 3),
-                   util::format_double(a_level.mean(), 2)});
-  }
-  bench::print_table(table);
-  return 0;
+    bench::print_table(table);
+    return 0;
+  });
 }

@@ -24,48 +24,50 @@ SupernodeExperimentConfig overloaded(std::size_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("Ablation: scheduler",
-                      "decay lambda and propagation history of Eqs (13)-(14)");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_scheduler", [&]() -> int {
+    bench::print_header("Ablation: scheduler",
+                        "decay lambda and propagation history of Eqs (13)-(14)");
 
-  util::Table lambda_table("decay lambda sweep (CloudFog-schedule, overload)");
-  lambda_table.set_header({"lambda (1/s)", "satisfied", "continuity",
-                           "dropped pkts"});
-  for (double lambda : {0.0, 0.5, 1.0, 2.0, 5.0}) {
-    util::RunningStats sat, cont;
-    std::uint64_t dropped = 0;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      auto config = overloaded(seed);
-      config.cloudfog.scheduler.decay_lambda_per_s = lambda;
-      const auto r = run_supernode_experiment(config);
-      sat.add(r.satisfied_fraction);
-      cont.add(r.mean_continuity);
-      dropped += r.packets_dropped;
+    util::Table lambda_table("decay lambda sweep (CloudFog-schedule, overload)");
+    lambda_table.set_header({"lambda (1/s)", "satisfied", "continuity",
+                             "dropped pkts"});
+    for (double lambda : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+      util::RunningStats sat, cont;
+      std::uint64_t dropped = 0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        auto config = overloaded(seed);
+        config.cloudfog.scheduler.decay_lambda_per_s = lambda;
+        const auto r = run_supernode_experiment(config);
+        sat.add(r.satisfied_fraction);
+        cont.add(r.mean_continuity);
+        dropped += r.packets_dropped;
+      }
+      lambda_table.add_row({util::format_double(lambda, 1),
+                            util::format_double(sat.mean(), 3),
+                            util::format_double(cont.mean(), 3),
+                            std::to_string(dropped / bench::seed_count())});
     }
-    lambda_table.add_row({util::format_double(lambda, 1),
-                          util::format_double(sat.mean(), 3),
-                          util::format_double(cont.mean(), 3),
-                          std::to_string(dropped / bench::seed_count())});
-  }
-  bench::print_table(lambda_table);
+    bench::print_table(lambda_table);
 
-  util::Table m_table("propagation history m sweep (Eq 13)");
-  m_table.set_header({"m (samples)", "satisfied", "continuity", "dropped pkts"});
-  for (std::size_t m : {1u, 3u, 10u, 30u}) {
-    util::RunningStats sat, cont;
-    std::uint64_t dropped = 0;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      auto config = overloaded(seed);
-      config.cloudfog.scheduler.propagation_history = m;
-      const auto r = run_supernode_experiment(config);
-      sat.add(r.satisfied_fraction);
-      cont.add(r.mean_continuity);
-      dropped += r.packets_dropped;
+    util::Table m_table("propagation history m sweep (Eq 13)");
+    m_table.set_header({"m (samples)", "satisfied", "continuity", "dropped pkts"});
+    for (std::size_t m : {1u, 3u, 10u, 30u}) {
+      util::RunningStats sat, cont;
+      std::uint64_t dropped = 0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        auto config = overloaded(seed);
+        config.cloudfog.scheduler.propagation_history = m;
+        const auto r = run_supernode_experiment(config);
+        sat.add(r.satisfied_fraction);
+        cont.add(r.mean_continuity);
+        dropped += r.packets_dropped;
+      }
+      m_table.add_row({std::to_string(m), util::format_double(sat.mean(), 3),
+                       util::format_double(cont.mean(), 3),
+                       std::to_string(dropped / bench::seed_count())});
     }
-    m_table.add_row({std::to_string(m), util::format_double(sat.mean(), 3),
-                     util::format_double(cont.mean(), 3),
-                     std::to_string(dropped / bench::seed_count())});
-  }
-  bench::print_table(m_table);
-  return 0;
+    bench::print_table(m_table);
+    return 0;
+  });
 }

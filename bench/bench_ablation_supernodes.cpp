@@ -8,35 +8,37 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Ablation: supernode count",
-                      "CloudFog/A QoE vs deployed supernodes at fixed load");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_supernodes", [&]() -> int {
+    bench::print_header("Ablation: supernode count",
+                        "CloudFog/A QoE vs deployed supernodes at fixed load");
 
-  util::Table table("QoE vs #supernodes (simulation profile)");
-  table.set_header({"#supernodes", "fog-served", "mean latency (ms)",
-                    "continuity", "satisfied", "cloud Mbps"});
-  const std::size_t players = bench::scaled(3'000, 800);
-  for (std::size_t count : bench::fast_mode()
-                               ? std::vector<std::size_t>{0, 40, 80, 150}
-                               : std::vector<std::size_t>{0, 100, 200, 400, 600}) {
-    ScenarioParams params = bench::sim_profile(1);
-    params.num_supernodes = count;
-    const Scenario scenario = Scenario::build(params);
-    StreamingOptions options;
-    options.num_players = players;
-    options.warmup_ms = 2'000.0;
-    options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
-    // Zero supernodes degenerates CloudFog to the Cloud system.
-    const SystemKind kind =
-        count == 0 ? SystemKind::kCloud : SystemKind::kCloudFogA;
-    const StreamingResult r = run_streaming(kind, scenario, options);
-    table.add_row({std::to_string(count),
-                   std::to_string(r.supernode_supported),
-                   util::format_double(r.mean_response_latency_ms, 1),
-                   util::format_double(r.mean_continuity, 3),
-                   util::format_double(r.satisfied_fraction, 3),
-                   util::format_double(r.cloud_uplink_mbps, 1)});
-  }
-  bench::print_table(table);
-  return 0;
+    util::Table table("QoE vs #supernodes (simulation profile)");
+    table.set_header({"#supernodes", "fog-served", "mean latency (ms)",
+                      "continuity", "satisfied", "cloud Mbps"});
+    const std::size_t players = bench::scaled(3'000, 800);
+    for (std::size_t count : bench::fast_mode()
+                                 ? std::vector<std::size_t>{0, 40, 80, 150}
+                                 : std::vector<std::size_t>{0, 100, 200, 400, 600}) {
+      ScenarioParams params = bench::sim_profile(1);
+      params.num_supernodes = count;
+      const Scenario scenario = Scenario::build(params);
+      StreamingOptions options;
+      options.num_players = players;
+      options.warmup_ms = 2'000.0;
+      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+      // Zero supernodes degenerates CloudFog to the Cloud system.
+      const SystemKind kind =
+          count == 0 ? SystemKind::kCloud : SystemKind::kCloudFogA;
+      const StreamingResult r = run_streaming(kind, scenario, options);
+      table.add_row({std::to_string(count),
+                     std::to_string(r.supernode_supported),
+                     util::format_double(r.mean_response_latency_ms, 1),
+                     util::format_double(r.mean_continuity, 3),
+                     util::format_double(r.satisfied_fraction, 3),
+                     util::format_double(r.cloud_uplink_mbps, 1)});
+    }
+    bench::print_table(table);
+    return 0;
+  });
 }

@@ -10,31 +10,33 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Ablation: theta",
-                      "adjust-down threshold of Eq (11) at 25 players/supernode");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_theta", [&]() -> int {
+    bench::print_header("Ablation: theta",
+                        "adjust-down threshold of Eq (11) at 25 players/supernode");
 
-  util::Table table("theta sweep (CloudFog-adapt, overloaded supernode)");
-  table.set_header({"theta", "satisfied", "continuity", "mean level"});
-  for (double theta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    util::RunningStats sat, cont, level;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      SupernodeExperimentConfig config;
-      config.num_players = 25;
-      config.adaptation = true;
-      config.seed = 7 + seed * 10;
-      config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
-      config.cloudfog.adaptation.theta = theta;
-      const auto r = run_supernode_experiment(config);
-      sat.add(r.satisfied_fraction);
-      cont.add(r.mean_continuity);
-      level.add(r.mean_quality_level);
+    util::Table table("theta sweep (CloudFog-adapt, overloaded supernode)");
+    table.set_header({"theta", "satisfied", "continuity", "mean level"});
+    for (double theta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      util::RunningStats sat, cont, level;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        SupernodeExperimentConfig config;
+        config.num_players = 25;
+        config.adaptation = true;
+        config.seed = 7 + seed * 10;
+        config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
+        config.cloudfog.adaptation.theta = theta;
+        const auto r = run_supernode_experiment(config);
+        sat.add(r.satisfied_fraction);
+        cont.add(r.mean_continuity);
+        level.add(r.mean_quality_level);
+      }
+      table.add_row({util::format_double(theta, 1),
+                     util::format_double(sat.mean(), 3),
+                     util::format_double(cont.mean(), 3),
+                     util::format_double(level.mean(), 2)});
     }
-    table.add_row({util::format_double(theta, 1),
-                   util::format_double(sat.mean(), 3),
-                   util::format_double(cont.mean(), 3),
-                   util::format_double(level.mean(), 2)});
-  }
-  bench::print_table(table);
-  return 0;
+    bench::print_table(table);
+    return 0;
+  });
 }

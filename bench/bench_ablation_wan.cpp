@@ -10,36 +10,38 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Ablation: WAN window",
-                      "per-flow throughput cap vs the Cloud-vs-Fog gap");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_wan", [&]() -> int {
+    bench::print_header("Ablation: WAN window",
+                        "per-flow throughput cap vs the Cloud-vs-Fog gap");
 
-  util::Table table("Cloud vs CloudFog/A latency under different WAN windows");
-  table.set_header({"window (kbit)", "Cloud latency (ms)", "Fog latency (ms)",
-                    "gap", "Cloud continuity", "Fog continuity"});
-  const std::size_t players = bench::scaled(3'000, 800);
-  for (double window : {0.0, 1'024.0, 512.0, 256.0, 128.0}) {
-    ScenarioParams params = bench::sim_profile(1);
-    params.tcp_window_kbit = window;
-    const Scenario scenario = Scenario::build(params);
-    StreamingOptions options;
-    options.num_players = players;
-    options.warmup_ms = 2'000.0;
-    options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
-    const StreamingResult cloud =
-        run_streaming(SystemKind::kCloud, scenario, options);
-    const StreamingResult fog =
-        run_streaming(SystemKind::kCloudFogA, scenario, options);
-    table.add_row(
-        {window == 0.0 ? "unlimited" : util::format_double(window, 0),
-         util::format_double(cloud.mean_response_latency_ms, 1),
-         util::format_double(fog.mean_response_latency_ms, 1),
-         util::format_double(cloud.mean_response_latency_ms -
-                                 fog.mean_response_latency_ms,
-                             1),
-         util::format_double(cloud.mean_continuity, 3),
-         util::format_double(fog.mean_continuity, 3)});
-  }
-  bench::print_table(table);
-  return 0;
+    util::Table table("Cloud vs CloudFog/A latency under different WAN windows");
+    table.set_header({"window (kbit)", "Cloud latency (ms)", "Fog latency (ms)",
+                      "gap", "Cloud continuity", "Fog continuity"});
+    const std::size_t players = bench::scaled(3'000, 800);
+    for (double window : {0.0, 1'024.0, 512.0, 256.0, 128.0}) {
+      ScenarioParams params = bench::sim_profile(1);
+      params.tcp_window_kbit = window;
+      const Scenario scenario = Scenario::build(params);
+      StreamingOptions options;
+      options.num_players = players;
+      options.warmup_ms = 2'000.0;
+      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+      const StreamingResult cloud =
+          run_streaming(SystemKind::kCloud, scenario, options);
+      const StreamingResult fog =
+          run_streaming(SystemKind::kCloudFogA, scenario, options);
+      table.add_row(
+          {window == 0.0 ? "unlimited" : util::format_double(window, 0),
+           util::format_double(cloud.mean_response_latency_ms, 1),
+           util::format_double(fog.mean_response_latency_ms, 1),
+           util::format_double(cloud.mean_response_latency_ms -
+                                   fog.mean_response_latency_ms,
+                               1),
+           util::format_double(cloud.mean_continuity, 3),
+           util::format_double(fog.mean_continuity, 3)});
+    }
+    bench::print_table(table);
+    return 0;
+  });
 }

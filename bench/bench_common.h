@@ -9,13 +9,23 @@
 // Environment:
 //   CLOUDFOG_BENCH_FAST=1   shrink populations/windows ~4x (smoke runs)
 //   CLOUDFOG_BENCH_SEEDS=n  number of seeds averaged (default 3)
+//
+// Command line (all default to off; see obs/bench_harness.h):
+//   --bench-json[=PATH]   machine-readable BENCH_<name>.json artifact
+//   --metrics-out=PATH    metrics dump (.json/.csv/.jsonl)
+//   --trace-out=PATH      Chrome trace_event JSON (open in Perfetto)
+//   --bench-warmup=N --bench-repeats=N   timing discipline
 #pragma once
 
 #include <cstdlib>
+#include <exception>
+#include <functional>
 #include <iostream>
 #include <string>
 
+#include "obs/bench_harness.h"
 #include "systems/scenario.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace cloudfog::bench {
@@ -74,6 +84,36 @@ inline void print_header(const std::string& figure, const std::string& what) {
             << "# profile sizes " << (fast_mode() ? "(FAST mode)" : "(paper scale)")
             << ", seeds averaged: " << seed_count() << '\n'
             << "################################################################\n\n";
+}
+
+/// Standard entry point for the figure benches: parses the obs harness
+/// flags (rejecting anything unknown), then runs `body` under
+/// obs::BenchHarness — once and uninstrumented unless an output flag asks
+/// for artifacts. `name` keys the default BENCH_<name>.json filename.
+inline int run_bench(int argc, const char* const* argv, const std::string& name,
+                     const std::function<int()>& body) {
+  try {
+    const util::Flags flags(argc, argv);
+    std::vector<std::string> known = obs::bench_flag_keys();
+    known.push_back("help");
+    if (flags.has("help")) {
+      std::cout << "bench_" << name << " — see the file header comment.\n"
+                << obs::bench_flags_help();
+      return 0;
+    }
+    const auto unknown = flags.unknown(known);
+    if (!unknown.empty()) {
+      std::cerr << "unknown flag(s):";
+      for (const auto& k : unknown) std::cerr << " --" << k;
+      std::cerr << "\n";
+      return 2;
+    }
+    obs::BenchHarness harness(name, obs::bench_options_from_flags(flags, name));
+    return harness.run(body);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_" << name << ": " << e.what() << "\n";
+    return 2;
+  }
 }
 
 }  // namespace cloudfog::bench

@@ -8,43 +8,45 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Cooperation extension",
-                      "striped transmission across two supernodes");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "cooperation", [&]() -> int {
+    bench::print_header("Cooperation extension",
+                        "striped transmission across two supernodes");
 
-  util::Table table("QoE vs primary skew (24 players, two 16 Mbps supernodes)");
-  table.set_header({"skew (load A/B)", "single: satisfied", "single: latency",
-                    "striped: satisfied", "striped: latency"});
-  for (double skew : {0.5, 0.7, 0.85, 0.95}) {
-    util::RunningStats single_sat, single_lat, striped_sat, striped_lat;
-    double load_a = 0.0, load_b = 0.0;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      CooperationExperimentConfig config;
-      config.primary_skew = skew;
-      config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
-      config.seed = 7 + seed * 10;
-      auto striped = config;
-      striped.enable_striping = true;
-      const auto r1 = run_cooperation_experiment(config);
-      const auto r2 = run_cooperation_experiment(striped);
-      single_sat.add(r1.satisfied_fraction);
-      single_lat.add(r1.mean_response_latency_ms);
-      striped_sat.add(r2.satisfied_fraction);
-      striped_lat.add(r2.mean_response_latency_ms);
-      load_a = r1.offered_load_a;
-      load_b = r1.offered_load_b;
+    util::Table table("QoE vs primary skew (24 players, two 16 Mbps supernodes)");
+    table.set_header({"skew (load A/B)", "single: satisfied", "single: latency",
+                      "striped: satisfied", "striped: latency"});
+    for (double skew : {0.5, 0.7, 0.85, 0.95}) {
+      util::RunningStats single_sat, single_lat, striped_sat, striped_lat;
+      double load_a = 0.0, load_b = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        CooperationExperimentConfig config;
+        config.primary_skew = skew;
+        config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
+        config.seed = 7 + seed * 10;
+        auto striped = config;
+        striped.enable_striping = true;
+        const auto r1 = run_cooperation_experiment(config);
+        const auto r2 = run_cooperation_experiment(striped);
+        single_sat.add(r1.satisfied_fraction);
+        single_lat.add(r1.mean_response_latency_ms);
+        striped_sat.add(r2.satisfied_fraction);
+        striped_lat.add(r2.mean_response_latency_ms);
+        load_a = r1.offered_load_a;
+        load_b = r1.offered_load_b;
+      }
+      table.add_row({util::format_double(skew, 2) + " (" +
+                         util::format_double(load_a, 2) + "/" +
+                         util::format_double(load_b, 2) + ")",
+                     util::format_double(single_sat.mean(), 3),
+                     util::format_double(single_lat.mean(), 1),
+                     util::format_double(striped_sat.mean(), 3),
+                     util::format_double(striped_lat.mean(), 1)});
     }
-    table.add_row({util::format_double(skew, 2) + " (" +
-                       util::format_double(load_a, 2) + "/" +
-                       util::format_double(load_b, 2) + ")",
-                   util::format_double(single_sat.mean(), 3),
-                   util::format_double(single_lat.mean(), 1),
-                   util::format_double(striped_sat.mean(), 3),
-                   util::format_double(striped_lat.mean(), 1)});
-  }
-  bench::print_table(table);
-  std::cout << "At a balanced assignment striping is neutral; under skew it"
-               "\nrecovers the hot supernode's players — the transmission"
-               "\ncooperation the paper leaves as future work.\n";
-  return 0;
+    bench::print_table(table);
+    std::cout << "At a balanced assignment striping is neutral; under skew it"
+                 "\nrecovers the hot supernode's players — the transmission"
+                 "\ncooperation the paper leaves as future work.\n";
+    return 0;
+  });
 }

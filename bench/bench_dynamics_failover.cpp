@@ -13,47 +13,49 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Dynamics extension",
-                      "failover and cooperation under supernode churn");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "dynamics_failover", [&]() -> int {
+    bench::print_header("Dynamics extension",
+                        "failover and cooperation under supernode churn");
 
-  ScenarioParams params = bench::sim_profile(1);
-  params.num_players = bench::scaled(6'000, 1'500);
-  params.num_supernodes = bench::scaled(400, 100);
-  const Scenario scenario = Scenario::build(params);
+    ScenarioParams params = bench::sim_profile(1);
+    params.num_players = bench::scaled(6'000, 1'500);
+    params.num_supernodes = bench::scaled(400, 100);
+    const Scenario scenario = Scenario::build(params);
 
-  struct Config {
-    const char* name;
-    bool failover;
-    bool cooperation;
-  };
-  const Config configs[] = {
-      {"no failover (fresh reassignment)", false, false},
-      {"backup failover", true, false},
-      {"backup failover + cooperation", true, true},
-  };
+    struct Config {
+      const char* name;
+      bool failover;
+      bool cooperation;
+    };
+    const Config configs[] = {
+        {"no failover (fresh reassignment)", false, false},
+        {"backup failover", true, false},
+        {"backup failover + cooperation", true, true},
+    };
 
-  util::Table table("4 h of churn, supernode MTBF 4 h, 20 min downtime");
-  table.set_header({"configuration", "disruptions", "to backup", "reassigned",
-                    "to cloud", "recovery rate", "fog session share",
-                    "moves", "hot-SN share"});
-  for (const Config& c : configs) {
-    DynamicSimOptions options;
-    options.duration_ms = (bench::fast_mode() ? 2.0 : 4.0) * kMsPerHour;
-    options.supernode_mtbf_hours = 4.0;
-    options.supernode_downtime_ms = 20.0 * kMsPerMinute;
-    options.enable_failover = c.failover;
-    options.enable_cooperation = c.cooperation;
-    const DynamicSimResult r = run_dynamic_sim(scenario, options);
-    table.add_row({c.name, std::to_string(r.disruptions),
-                   std::to_string(r.recovered_to_backup),
-                   std::to_string(r.reassigned),
-                   std::to_string(r.fell_to_cloud),
-                   util::format_double(r.recovery_rate(), 3),
-                   util::format_double(r.mean_supernode_session_fraction, 3),
-                   std::to_string(r.rebalance_moves),
-                   util::format_double(r.mean_hot_supernode_fraction, 3)});
-  }
-  bench::print_table(table);
-  return 0;
+    util::Table table("4 h of churn, supernode MTBF 4 h, 20 min downtime");
+    table.set_header({"configuration", "disruptions", "to backup", "reassigned",
+                      "to cloud", "recovery rate", "fog session share",
+                      "moves", "hot-SN share"});
+    for (const Config& c : configs) {
+      DynamicSimOptions options;
+      options.duration_ms = (bench::fast_mode() ? 2.0 : 4.0) * kMsPerHour;
+      options.supernode_mtbf_hours = 4.0;
+      options.supernode_downtime_ms = 20.0 * kMsPerMinute;
+      options.enable_failover = c.failover;
+      options.enable_cooperation = c.cooperation;
+      const DynamicSimResult r = run_dynamic_sim(scenario, options);
+      table.add_row({c.name, std::to_string(r.disruptions),
+                     std::to_string(r.recovered_to_backup),
+                     std::to_string(r.reassigned),
+                     std::to_string(r.fell_to_cloud),
+                     util::format_double(r.recovery_rate(), 3),
+                     util::format_double(r.mean_supernode_session_fraction, 3),
+                     std::to_string(r.rebalance_moves),
+                     util::format_double(r.mean_hot_supernode_fraction, 3)});
+    }
+    bench::print_table(table);
+    return 0;
+  });
 }

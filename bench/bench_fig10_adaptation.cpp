@@ -10,35 +10,37 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Figure 10",
-                      "effectiveness of receiver-driven rate adaptation");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig10_adaptation", [&]() -> int {
+    bench::print_header("Figure 10",
+                        "effectiveness of receiver-driven rate adaptation");
 
-  util::Table table("Fig 10: satisfied players vs supernode load");
-  table.set_header({"players/supernode", "CloudFog/B", "CloudFog-adapt",
-                    "adapt mean level", "offered load"});
-  for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
-    util::RunningStats base_sat, adapt_sat, adapt_level;
-    double load = 0.0;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      SupernodeExperimentConfig config;
-      config.num_players = k;
-      config.seed = 7 + seed * 10;
-      config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
-      auto adapt_config = config;
-      adapt_config.adaptation = true;
-      const auto base = run_supernode_experiment(config);
-      const auto adapt = run_supernode_experiment(adapt_config);
-      base_sat.add(base.satisfied_fraction);
-      adapt_sat.add(adapt.satisfied_fraction);
-      adapt_level.add(adapt.mean_quality_level);
-      load = base.offered_load();
+    util::Table table("Fig 10: satisfied players vs supernode load");
+    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-adapt",
+                      "adapt mean level", "offered load"});
+    for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
+      util::RunningStats base_sat, adapt_sat, adapt_level;
+      double load = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        SupernodeExperimentConfig config;
+        config.num_players = k;
+        config.seed = 7 + seed * 10;
+        config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
+        auto adapt_config = config;
+        adapt_config.adaptation = true;
+        const auto base = run_supernode_experiment(config);
+        const auto adapt = run_supernode_experiment(adapt_config);
+        base_sat.add(base.satisfied_fraction);
+        adapt_sat.add(adapt.satisfied_fraction);
+        adapt_level.add(adapt.mean_quality_level);
+        load = base.offered_load();
+      }
+      table.add_row({std::to_string(k), util::format_double(base_sat.mean(), 3),
+                     util::format_double(adapt_sat.mean(), 3),
+                     util::format_double(adapt_level.mean(), 2),
+                     util::format_double(load, 2)});
     }
-    table.add_row({std::to_string(k), util::format_double(base_sat.mean(), 3),
-                   util::format_double(adapt_sat.mean(), 3),
-                   util::format_double(adapt_level.mean(), 2),
-                   util::format_double(load, 2)});
-  }
-  bench::print_table(table);
-  return 0;
+    bench::print_table(table);
+    return 0;
+  });
 }

@@ -10,36 +10,38 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Figure 11",
-                      "effectiveness of deadline-driven buffer scheduling");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig11_scheduling", [&]() -> int {
+    bench::print_header("Figure 11",
+                        "effectiveness of deadline-driven buffer scheduling");
 
-  util::Table table("Fig 11: satisfied players vs supernode load");
-  table.set_header({"players/supernode", "CloudFog/B", "CloudFog-schedule",
-                    "sched dropped pkts", "offered load"});
-  for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
-    util::RunningStats base_sat, sched_sat;
-    std::uint64_t dropped = 0;
-    double load = 0.0;
-    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      SupernodeExperimentConfig config;
-      config.num_players = k;
-      config.seed = 7 + seed * 10;
-      config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
-      auto sched_config = config;
-      sched_config.scheduling = true;
-      const auto base = run_supernode_experiment(config);
-      const auto sched = run_supernode_experiment(sched_config);
-      base_sat.add(base.satisfied_fraction);
-      sched_sat.add(sched.satisfied_fraction);
-      dropped += sched.packets_dropped;
-      load = base.offered_load();
+    util::Table table("Fig 11: satisfied players vs supernode load");
+    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-schedule",
+                      "sched dropped pkts", "offered load"});
+    for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
+      util::RunningStats base_sat, sched_sat;
+      std::uint64_t dropped = 0;
+      double load = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        SupernodeExperimentConfig config;
+        config.num_players = k;
+        config.seed = 7 + seed * 10;
+        config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
+        auto sched_config = config;
+        sched_config.scheduling = true;
+        const auto base = run_supernode_experiment(config);
+        const auto sched = run_supernode_experiment(sched_config);
+        base_sat.add(base.satisfied_fraction);
+        sched_sat.add(sched.satisfied_fraction);
+        dropped += sched.packets_dropped;
+        load = base.offered_load();
+      }
+      table.add_row({std::to_string(k), util::format_double(base_sat.mean(), 3),
+                     util::format_double(sched_sat.mean(), 3),
+                     std::to_string(dropped / bench::seed_count()),
+                     util::format_double(load, 2)});
     }
-    table.add_row({std::to_string(k), util::format_double(base_sat.mean(), 3),
-                   util::format_double(sched_sat.mean(), 3),
-                   std::to_string(dropped / bench::seed_count()),
-                   util::format_double(load, 2)});
-  }
-  bench::print_table(table);
-  return 0;
+    bench::print_table(table);
+    return 0;
+  });
 }

@@ -8,44 +8,46 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Figure 5", "user coverage, simulation profile");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig5_coverage", [&]() -> int {
+    bench::print_header("Figure 5", "user coverage, simulation profile");
 
-  ScenarioParams params = bench::sim_profile(1);
-  params.num_datacenters = 25;  // the sweep maximum
-  params.num_supernodes = bench::fast_mode() ? 150 : 600;
-  const Scenario scenario = Scenario::build(params);
+    ScenarioParams params = bench::sim_profile(1);
+    params.num_datacenters = 25;  // the sweep maximum
+    params.num_supernodes = bench::fast_mode() ? 150 : 600;
+    const Scenario scenario = Scenario::build(params);
 
-  CoverageConfig config;
-  config.datacenter_counts = {5, 10, 15, 20, 25};
-  config.supernode_counts = bench::fast_mode()
-                                ? std::vector<std::size_t>{0, 50, 100, 150}
-                                : std::vector<std::size_t>{0, 100, 200, 300,
-                                                           400, 500, 600};
-  config.latency_requirements = {30, 50, 70, 90, 110};
-  config.base_datacenters = 5;
-  config.samples = 3;
-  const CoverageResult result = measure_coverage(scenario, config);
+    CoverageConfig config;
+    config.datacenter_counts = {5, 10, 15, 20, 25};
+    config.supernode_counts = bench::fast_mode()
+                                  ? std::vector<std::size_t>{0, 50, 100, 150}
+                                  : std::vector<std::size_t>{0, 100, 200, 300,
+                                                             400, 500, 600};
+    config.latency_requirements = {30, 50, 70, 90, 110};
+    config.base_datacenters = 5;
+    config.samples = 3;
+    const CoverageResult result = measure_coverage(scenario, config);
 
-  util::Table a("Fig 5(a): coverage vs #datacenters (rows) per latency requirement (cols)");
-  a.set_header({"#datacenters", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});
-  for (std::size_t i = 0; i < config.datacenter_counts.size(); ++i) {
-    std::vector<std::string> row{std::to_string(config.datacenter_counts[i])};
-    for (double v : result.dc_sweep[i]) row.push_back(util::format_double(v, 3));
-    a.add_row(row);
-  }
-  bench::print_table(a);
+    util::Table a("Fig 5(a): coverage vs #datacenters (rows) per latency requirement (cols)");
+    a.set_header({"#datacenters", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});
+    for (std::size_t i = 0; i < config.datacenter_counts.size(); ++i) {
+      std::vector<std::string> row{std::to_string(config.datacenter_counts[i])};
+      for (double v : result.dc_sweep[i]) row.push_back(util::format_double(v, 3));
+      a.add_row(row);
+    }
+    bench::print_table(a);
 
-  util::Table b("Fig 5(b): coverage vs #supernodes (rows, base 5 DCs) per latency requirement (cols)");
-  b.set_header({"#supernodes", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});
-  for (std::size_t i = 0; i < config.supernode_counts.size(); ++i) {
-    std::vector<std::string> row{std::to_string(config.supernode_counts[i])};
-    for (double v : result.sn_sweep[i]) row.push_back(util::format_double(v, 3));
-    b.add_row(row);
-  }
-  bench::print_table(b);
+    util::Table b("Fig 5(b): coverage vs #supernodes (rows, base 5 DCs) per latency requirement (cols)");
+    b.set_header({"#supernodes", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});
+    for (std::size_t i = 0; i < config.supernode_counts.size(); ++i) {
+      std::vector<std::string> row{std::to_string(config.supernode_counts[i])};
+      for (double v : result.sn_sweep[i]) row.push_back(util::format_double(v, 3));
+      b.add_row(row);
+    }
+    bench::print_table(b);
 
-  std::cout << "mean online players per snapshot: "
-            << util::format_double(result.mean_online, 0) << "\n";
-  return 0;
+    std::cout << "mean online players per snapshot: "
+              << util::format_double(result.mean_online, 0) << "\n";
+    return 0;
+  });
 }

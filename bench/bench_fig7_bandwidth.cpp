@@ -30,25 +30,27 @@ void run_profile(const char* title, const Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  bench::print_header("Figure 7", "server bandwidth consumption vs #players");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig7_bandwidth", [&]() -> int {
+    bench::print_header("Figure 7", "server bandwidth consumption vs #players");
 
-  {
-    ScenarioParams p = bench::sim_profile(1);
-    const Scenario scenario = Scenario::build(p);
-    const std::vector<std::size_t> counts =
-        bench::fast_mode()
-            ? std::vector<std::size_t>{500, 1'000, 1'500, 2'500}
-            : std::vector<std::size_t>{2'000, 4'000, 6'000, 8'000, 10'000};
-    run_profile("Fig 7(a): simulation profile", scenario, counts);
-  }
-  {
-    ScenarioParams p = bench::planetlab_profile(1);
-    const Scenario scenario = Scenario::build(p);
-    const std::vector<std::size_t> counts =
-        bench::fast_mode() ? std::vector<std::size_t>{100, 200, 400}
-                           : std::vector<std::size_t>{150, 300, 450, 600, 750};
-    run_profile("Fig 7(b): PlanetLab profile", scenario, counts);
-  }
-  return 0;
+    {
+      ScenarioParams p = bench::sim_profile(1);
+      const Scenario scenario = Scenario::build(p);
+      const std::vector<std::size_t> counts =
+          bench::fast_mode()
+              ? std::vector<std::size_t>{500, 1'000, 1'500, 2'500}
+              : std::vector<std::size_t>{2'000, 4'000, 6'000, 8'000, 10'000};
+      run_profile("Fig 7(a): simulation profile", scenario, counts);
+    }
+    {
+      ScenarioParams p = bench::planetlab_profile(1);
+      const Scenario scenario = Scenario::build(p);
+      const std::vector<std::size_t> counts =
+          bench::fast_mode() ? std::vector<std::size_t>{100, 200, 400}
+                             : std::vector<std::size_t>{150, 300, 450, 600, 750};
+      run_profile("Fig 7(b): PlanetLab profile", scenario, counts);
+    }
+    return 0;
+  });
 }

@@ -47,17 +47,19 @@ void run_profile(const char* title, const Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  bench::print_header("Figure 8", "average response latency per player");
-  {
-    const Scenario scenario = Scenario::build(bench::sim_profile(1));
-    run_profile("Fig 8(a): simulation profile",
-                scenario, bench::scaled(3'000, 800));
-  }
-  {
-    const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
-    run_profile("Fig 8(b): PlanetLab profile", scenario,
-                bench::scaled(320, 160));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig8_latency", [&]() -> int {
+    bench::print_header("Figure 8", "average response latency per player");
+    {
+      const Scenario scenario = Scenario::build(bench::sim_profile(1));
+      run_profile("Fig 8(a): simulation profile",
+                  scenario, bench::scaled(3'000, 800));
+    }
+    {
+      const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
+      run_profile("Fig 8(b): PlanetLab profile", scenario,
+                  bench::scaled(320, 160));
+    }
+    return 0;
+  });
 }

@@ -36,22 +36,24 @@ void run_profile(const char* title, const Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  bench::print_header("Figure 9", "playback continuity vs #players");
-  {
-    const Scenario scenario = Scenario::build(bench::sim_profile(1));
-    const auto counts =
-        bench::fast_mode()
-            ? std::vector<std::size_t>{500, 1'000, 2'000}
-            : std::vector<std::size_t>{1'000, 2'000, 4'000, 6'000, 8'000};
-    run_profile("Fig 9(a): simulation profile", scenario, counts);
-  }
-  {
-    const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
-    const auto counts = bench::fast_mode()
-                            ? std::vector<std::size_t>{100, 250, 400}
-                            : std::vector<std::size_t>{200, 400, 600, 750};
-    run_profile("Fig 9(b): PlanetLab profile", scenario, counts);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "fig9_continuity", [&]() -> int {
+    bench::print_header("Figure 9", "playback continuity vs #players");
+    {
+      const Scenario scenario = Scenario::build(bench::sim_profile(1));
+      const auto counts =
+          bench::fast_mode()
+              ? std::vector<std::size_t>{500, 1'000, 2'000}
+              : std::vector<std::size_t>{1'000, 2'000, 4'000, 6'000, 8'000};
+      run_profile("Fig 9(a): simulation profile", scenario, counts);
+    }
+    {
+      const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
+      const auto counts = bench::fast_mode()
+                              ? std::vector<std::size_t>{100, 250, 400}
+                              : std::vector<std::size_t>{200, 400, 600, 750};
+      run_profile("Fig 9(b): PlanetLab profile", scenario, counts);
+    }
+    return 0;
+  });
 }

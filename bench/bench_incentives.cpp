@@ -12,76 +12,78 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Incentive model (Eqs 1-6)",
-                      "supernode economics on the simulation scenario");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "incentives", [&]() -> int {
+    bench::print_header("Incentive model (Eqs 1-6)",
+                        "supernode economics on the simulation scenario");
 
-  core::IncentiveParams pricing;
-  pricing.reward_per_kbps = 0.5;
-  pricing.value_per_kbps = 1.0;
-  pricing.stream_rate_kbps = 900.0;  // catalog-mean bitrate
+    core::IncentiveParams pricing;
+    pricing.reward_per_kbps = 0.5;
+    pricing.value_per_kbps = 1.0;
+    pricing.stream_rate_kbps = 900.0;  // catalog-mean bitrate
 
-  // --- Equation 1: contributor profit vs machine class ----------------------
-  util::Table profit("Eq 1: contributor profit per supernode class");
-  profit.set_header({"upload (kbps)", "utilization", "running cost",
-                     "profit P_s", "contributes?"});
-  for (double upload : {6'000.0, 12'000.0, 30'000.0}) {
-    for (double util_rate : {0.3, 0.7, 1.0}) {
-      const double cost = upload * 0.08;  // electricity ~ proportional
-      const double p = core::supernode_profit(pricing, upload, util_rate, cost);
-      profit.add_row({util::format_double(upload, 0),
-                      util::format_double(util_rate, 1),
-                      util::format_double(cost, 0), util::format_double(p, 0),
-                      p > 0.0 ? "yes" : "no"});
+    // --- Equation 1: contributor profit vs machine class ----------------------
+    util::Table profit("Eq 1: contributor profit per supernode class");
+    profit.set_header({"upload (kbps)", "utilization", "running cost",
+                       "profit P_s", "contributes?"});
+    for (double upload : {6'000.0, 12'000.0, 30'000.0}) {
+      for (double util_rate : {0.3, 0.7, 1.0}) {
+        const double cost = upload * 0.08;  // electricity ~ proportional
+        const double p = core::supernode_profit(pricing, upload, util_rate, cost);
+        profit.add_row({util::format_double(upload, 0),
+                        util::format_double(util_rate, 1),
+                        util::format_double(cost, 0), util::format_double(p, 0),
+                        p > 0.0 ? "yes" : "no"});
+      }
     }
-  }
-  bench::print_table(profit);
+    bench::print_table(profit);
 
-  // --- Equations 2-3 on a real assignment -----------------------------------
-  ScenarioParams params = bench::sim_profile(1);
-  const Scenario scenario = Scenario::build(params);
-  util::Table saving("Eqs 2-3: provider bandwidth reduction and saving vs #players");
-  saving.set_header({"#players", "sn-served n", "active SNs m",
-                     "B_r (Mbps, Eq 2)", "C_g (value units, Eq 3)"});
-  const auto counts = bench::fast_mode()
-                          ? std::vector<std::size_t>{500, 1'500, 2'500}
-                          : std::vector<std::size_t>{2'000, 6'000, 10'000};
-  for (std::size_t n : counts) {
-    const auto bw = measure_bandwidth(SystemKind::kCloudFogB, scenario, n);
-    const double supported = static_cast<double>(bw.supernode_supported);
-    const double active = static_cast<double>(bw.active_supernodes);
-    const double b_r = core::bandwidth_reduction(pricing, supported, active);
-    // C_g with B_s approximated by the supported players' demand (Eq 4 at
-    // equality — the provider pays for utilised bandwidth only).
-    const double b_s = supported * pricing.stream_rate_kbps;
-    const double c_g = pricing.value_per_kbps * b_r - pricing.reward_per_kbps * b_s;
-    saving.add_row({std::to_string(n), util::format_double(supported, 0),
-                    util::format_double(active, 0),
-                    util::format_double(b_r / 1'000.0, 1),
-                    util::format_double(c_g / 1'000.0, 1)});
-  }
-  bench::print_table(saving);
+    // --- Equations 2-3 on a real assignment -----------------------------------
+    ScenarioParams params = bench::sim_profile(1);
+    const Scenario scenario = Scenario::build(params);
+    util::Table saving("Eqs 2-3: provider bandwidth reduction and saving vs #players");
+    saving.set_header({"#players", "sn-served n", "active SNs m",
+                       "B_r (Mbps, Eq 2)", "C_g (value units, Eq 3)"});
+    const auto counts = bench::fast_mode()
+                            ? std::vector<std::size_t>{500, 1'500, 2'500}
+                            : std::vector<std::size_t>{2'000, 6'000, 10'000};
+    for (std::size_t n : counts) {
+      const auto bw = measure_bandwidth(SystemKind::kCloudFogB, scenario, n);
+      const double supported = static_cast<double>(bw.supernode_supported);
+      const double active = static_cast<double>(bw.active_supernodes);
+      const double b_r = core::bandwidth_reduction(pricing, supported, active);
+      // C_g with B_s approximated by the supported players' demand (Eq 4 at
+      // equality — the provider pays for utilised bandwidth only).
+      const double b_s = supported * pricing.stream_rate_kbps;
+      const double c_g = pricing.value_per_kbps * b_r - pricing.reward_per_kbps * b_s;
+      saving.add_row({std::to_string(n), util::format_double(supported, 0),
+                      util::format_double(active, 0),
+                      util::format_double(b_r / 1'000.0, 1),
+                      util::format_double(c_g / 1'000.0, 1)});
+    }
+    bench::print_table(saving);
 
-  // --- Equation 6: greedy deployment over a heterogeneous offer pool --------
-  util::Rng rng(11);
-  std::vector<core::SupernodeOffer> offers(bench::scaled(200, 60));
-  for (std::size_t i = 0; i < offers.size(); ++i) {
-    offers[i].host = static_cast<NodeId>(i);
-    offers[i].upload_kbps = 3'000.0 + rng.pareto_with_mean(9'000.0, 1.5);
-    offers[i].utilization = rng.uniform(0.4, 1.0);
-    offers[i].contributor_cost = offers[i].upload_kbps * rng.uniform(0.02, 0.15);
-    offers[i].new_players_covered = rng.pareto_with_mean(6.0, 1.2);
-  }
-  const auto accepted = core::greedy_deployment(pricing, offers);
-  double total_gain = 0.0;
-  for (std::size_t i : accepted) total_gain += core::marginal_gain(pricing, offers[i]);
-  util::Table greedy("Eq 6: greedy marginal-gain deployment");
-  greedy.set_header({"offers", "accepted", "acceptance rate", "total gain (k units)"});
-  greedy.add_row({std::to_string(offers.size()), std::to_string(accepted.size()),
-                  util::format_double(static_cast<double>(accepted.size()) /
-                                          static_cast<double>(offers.size()),
-                                      2),
-                  util::format_double(total_gain / 1'000.0, 1)});
-  bench::print_table(greedy);
-  return 0;
+    // --- Equation 6: greedy deployment over a heterogeneous offer pool --------
+    util::Rng rng(11);
+    std::vector<core::SupernodeOffer> offers(bench::scaled(200, 60));
+    for (std::size_t i = 0; i < offers.size(); ++i) {
+      offers[i].host = static_cast<NodeId>(i);
+      offers[i].upload_kbps = 3'000.0 + rng.pareto_with_mean(9'000.0, 1.5);
+      offers[i].utilization = rng.uniform(0.4, 1.0);
+      offers[i].contributor_cost = offers[i].upload_kbps * rng.uniform(0.02, 0.15);
+      offers[i].new_players_covered = rng.pareto_with_mean(6.0, 1.2);
+    }
+    const auto accepted = core::greedy_deployment(pricing, offers);
+    double total_gain = 0.0;
+    for (std::size_t i : accepted) total_gain += core::marginal_gain(pricing, offers[i]);
+    util::Table greedy("Eq 6: greedy marginal-gain deployment");
+    greedy.set_header({"offers", "accepted", "acceptance rate", "total gain (k units)"});
+    greedy.add_row({std::to_string(offers.size()), std::to_string(accepted.size()),
+                    util::format_double(static_cast<double>(accepted.size()) /
+                                            static_cast<double>(offers.size()),
+                                        2),
+                    util::format_double(total_gain / 1'000.0, 1)});
+    bench::print_table(greedy);
+    return 0;
+  });
 }

@@ -2,7 +2,19 @@
 // throughput, latency-model evaluation, the fluid senders and the deadline
 // scheduler. These bound how large a scenario the simulator can sustain on
 // one core.
+//
+// Besides google-benchmark's own flags, the obs harness flags are accepted
+// (--bench-json / --metrics-out / --trace-out / --bench-warmup /
+// --bench-repeats; see obs/bench_harness.h) and are stripped from argv
+// before benchmark::Initialize sees them.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/bench_harness.h"
+#include "util/flags.h"
 
 #include "core/deadline_scheduler.h"
 #include "net/latency_model.h"
@@ -194,4 +206,43 @@ BENCHMARK(BM_InterestRefresh);
 }  // namespace
 }  // namespace cloudfog
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Partition argv: the obs harness flags go to util::Flags, everything
+  // else (--benchmark_filter, ...) stays for google-benchmark.
+  std::vector<char*> bench_argv{argv[0]};
+  std::vector<char*> obs_argv{argv[0]};
+  const auto is_harness_flag = [](const char* arg) {
+    for (const std::string& key : cloudfog::obs::bench_flag_keys()) {
+      const std::string flag = "--" + key;
+      if (arg == flag || std::string(arg).rfind(flag + "=", 0) == 0) return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (is_harness_flag(argv[i])) {
+      obs_argv.push_back(argv[i]);
+      // `--key value` form: the value token travels with the flag.
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc &&
+          argv[i + 1][0] != '-') {
+        obs_argv.push_back(argv[++i]);
+      }
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  const cloudfog::util::Flags flags(static_cast<int>(obs_argv.size()),
+                                    obs_argv.data());
+  cloudfog::obs::BenchHarness harness(
+      "microbench",
+      cloudfog::obs::bench_options_from_flags(flags, "microbench"));
+  return harness.run([&bench_argv]() -> int {
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  });
+}

@@ -12,33 +12,35 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Per-game QoE",
-                      "who suffers first when the system strains");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "per_game_qoe", [&]() -> int {
+    bench::print_header("Per-game QoE",
+                        "who suffers first when the system strains");
 
-  const Scenario scenario = Scenario::build(bench::sim_profile(1));
-  StreamingOptions options;
-  options.num_players = bench::scaled(3'000, 800);
-  options.warmup_ms = 2'000.0;
-  options.duration_ms = bench::fast_mode() ? 3'000.0 : 8'000.0;
+    const Scenario scenario = Scenario::build(bench::sim_profile(1));
+    StreamingOptions options;
+    options.num_players = bench::scaled(3'000, 800);
+    options.warmup_ms = 2'000.0;
+    options.duration_ms = bench::fast_mode() ? 3'000.0 : 8'000.0;
 
-  for (SystemKind kind : {SystemKind::kCloud, SystemKind::kCloudFogA}) {
-    const StreamingResult r = run_streaming(kind, scenario, options);
-    util::Table table(std::string("per-game QoE under ") + to_string(kind));
-    table.set_header({"game", "latency req (ms)", "players", "continuity",
-                      "satisfied"});
-    for (std::size_t g = 0; g < 5; ++g) {
-      const auto& profile = game::game_by_id(static_cast<game::GameId>(g));
-      table.add_row({profile.name,
-                     util::format_double(profile.latency_requirement_ms, 0),
-                     std::to_string(r.players_by_game[g]),
-                     util::format_double(r.continuity_by_game[g], 3),
-                     util::format_double(r.satisfied_by_game[g], 3)});
+    for (SystemKind kind : {SystemKind::kCloud, SystemKind::kCloudFogA}) {
+      const StreamingResult r = run_streaming(kind, scenario, options);
+      util::Table table(std::string("per-game QoE under ") + to_string(kind));
+      table.set_header({"game", "latency req (ms)", "players", "continuity",
+                        "satisfied"});
+      for (std::size_t g = 0; g < 5; ++g) {
+        const auto& profile = game::game_by_id(static_cast<game::GameId>(g));
+        table.add_row({profile.name,
+                       util::format_double(profile.latency_requirement_ms, 0),
+                       std::to_string(r.players_by_game[g]),
+                       util::format_double(r.continuity_by_game[g], 3),
+                       util::format_double(r.satisfied_by_game[g], 3)});
+      }
+      bench::print_table(table);
     }
-    bench::print_table(table);
-  }
-  std::cout << "Reading: continuity rises with the latency requirement in"
-               "\nboth systems; CloudFog lifts every row, most visibly the"
-               "\nmid-range games whose budgets a short last hop can save.\n";
-  return 0;
+    std::cout << "Reading: continuity rises with the latency requirement in"
+                 "\nboth systems; CloudFog lifts every row, most visibly the"
+                 "\nmid-range games whose budgets a short last hop can save.\n";
+    return 0;
+  });
 }

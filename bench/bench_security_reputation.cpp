@@ -8,64 +8,66 @@
 using namespace cloudfog;
 using namespace cloudfog::systems;
 
-int main() {
-  bench::print_header("Security extension",
-                      "reputation-based malicious supernode eviction");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "security_reputation", [&]() -> int {
+    bench::print_header("Security extension",
+                        "reputation-based malicious supernode eviction");
 
-  {
-    util::Table table("Sweep: malicious roster fraction (sabotage rate 0.3)");
-    table.set_header({"malicious fraction", "recall", "precision",
-                      "rounds to 1st detection", "bad rate early",
-                      "bad rate late"});
-    for (double fraction : {0.05, 0.10, 0.20, 0.30}) {
-      ReputationExperimentConfig config;
-      config.num_supernodes = bench::scaled(100, 40);
-      config.malicious_fraction = fraction;
-      config.rounds = bench::scaled(500, 250);
-      const auto r = run_reputation_experiment(config);
-      table.add_row({util::format_double(fraction, 2),
-                     util::format_double(r.recall(), 2),
-                     util::format_double(r.precision(), 2),
-                     std::to_string(r.rounds_to_first_detection),
-                     util::format_double(r.early_bad_rate, 3),
-                     util::format_double(r.late_bad_rate, 3)});
+    {
+      util::Table table("Sweep: malicious roster fraction (sabotage rate 0.3)");
+      table.set_header({"malicious fraction", "recall", "precision",
+                        "rounds to 1st detection", "bad rate early",
+                        "bad rate late"});
+      for (double fraction : {0.05, 0.10, 0.20, 0.30}) {
+        ReputationExperimentConfig config;
+        config.num_supernodes = bench::scaled(100, 40);
+        config.malicious_fraction = fraction;
+        config.rounds = bench::scaled(500, 250);
+        const auto r = run_reputation_experiment(config);
+        table.add_row({util::format_double(fraction, 2),
+                       util::format_double(r.recall(), 2),
+                       util::format_double(r.precision(), 2),
+                       std::to_string(r.rounds_to_first_detection),
+                       util::format_double(r.early_bad_rate, 3),
+                       util::format_double(r.late_bad_rate, 3)});
+      }
+      bench::print_table(table);
     }
-    bench::print_table(table);
-  }
 
-  {
-    util::Table table("Sweep: sabotage intensity (20% malicious)");
-    table.set_header({"sabotage rate", "recall", "precision",
-                      "rounds to 1st detection", "bad rate late"});
-    for (double rate : {0.10, 0.20, 0.30, 0.50}) {
-      ReputationExperimentConfig config;
-      config.num_supernodes = bench::scaled(100, 40);
-      config.sabotage_rate = rate;
-      config.rounds = bench::scaled(600, 300);
-      const auto r = run_reputation_experiment(config);
-      table.add_row({util::format_double(rate, 2),
-                     util::format_double(r.recall(), 2),
-                     util::format_double(r.precision(), 2),
-                     std::to_string(r.rounds_to_first_detection),
-                     util::format_double(r.late_bad_rate, 3)});
+    {
+      util::Table table("Sweep: sabotage intensity (20% malicious)");
+      table.set_header({"sabotage rate", "recall", "precision",
+                        "rounds to 1st detection", "bad rate late"});
+      for (double rate : {0.10, 0.20, 0.30, 0.50}) {
+        ReputationExperimentConfig config;
+        config.num_supernodes = bench::scaled(100, 40);
+        config.sabotage_rate = rate;
+        config.rounds = bench::scaled(600, 300);
+        const auto r = run_reputation_experiment(config);
+        table.add_row({util::format_double(rate, 2),
+                       util::format_double(r.recall(), 2),
+                       util::format_double(r.precision(), 2),
+                       std::to_string(r.rounds_to_first_detection),
+                       util::format_double(r.late_bad_rate, 3)});
+      }
+      bench::print_table(table);
     }
-    bench::print_table(table);
-  }
 
-  {
-    util::Table table("Defence on vs off (20% malicious, rate 0.3)");
-    table.set_header({"eviction", "bad rate early", "bad rate late"});
-    for (bool eviction : {false, true}) {
-      ReputationExperimentConfig config;
-      config.num_supernodes = bench::scaled(100, 40);
-      config.enable_eviction = eviction;
-      config.rounds = bench::scaled(500, 250);
-      const auto r = run_reputation_experiment(config);
-      table.add_row({eviction ? "on" : "off",
-                     util::format_double(r.early_bad_rate, 3),
-                     util::format_double(r.late_bad_rate, 3)});
+    {
+      util::Table table("Defence on vs off (20% malicious, rate 0.3)");
+      table.set_header({"eviction", "bad rate early", "bad rate late"});
+      for (bool eviction : {false, true}) {
+        ReputationExperimentConfig config;
+        config.num_supernodes = bench::scaled(100, 40);
+        config.enable_eviction = eviction;
+        config.rounds = bench::scaled(500, 250);
+        const auto r = run_reputation_experiment(config);
+        table.add_row({eviction ? "on" : "off",
+                       util::format_double(r.early_bad_rate, 3),
+                       util::format_double(r.late_bad_rate, 3)});
+      }
+      bench::print_table(table);
     }
-    bench::print_table(table);
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -7,35 +7,37 @@
 
 using namespace cloudfog;
 
-int main() {
-  bench::print_header("Figure 2 (table)", "video parameters per quality level");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "table_quality_levels", [&]() -> int {
+    bench::print_header("Figure 2 (table)", "video parameters per quality level");
 
-  util::Table table("Video parameters for different quality levels (Fig. 2)");
-  table.set_header({"quality level", "resolution", "bitrate (kbps)",
-                    "latency requirement (ms)", "latency tolerance degree"});
-  for (auto it = game::quality_table().rbegin();
-       it != game::quality_table().rend(); ++it) {
-    table.add_row({std::to_string(it->level),
-                   std::to_string(it->width) + "x" + std::to_string(it->height),
-                   util::format_double(it->bitrate_kbps, 0),
-                   util::format_double(it->latency_requirement_ms, 0),
-                   util::format_double(it->latency_tolerance, 1)});
-  }
-  bench::print_table(table);
+    util::Table table("Video parameters for different quality levels (Fig. 2)");
+    table.set_header({"quality level", "resolution", "bitrate (kbps)",
+                      "latency requirement (ms)", "latency tolerance degree"});
+    for (auto it = game::quality_table().rbegin();
+         it != game::quality_table().rend(); ++it) {
+      table.add_row({std::to_string(it->level),
+                     std::to_string(it->width) + "x" + std::to_string(it->height),
+                     util::format_double(it->bitrate_kbps, 0),
+                     util::format_double(it->latency_requirement_ms, 0),
+                     util::format_double(it->latency_tolerance, 1)});
+    }
+    bench::print_table(table);
 
-  util::Table games("Game catalog derived from Fig. 2 (one game per row)");
-  games.set_header({"game", "genre", "latency req (ms)", "rho",
-                    "loss tolerance", "target level"});
-  for (const auto& g : game::game_catalog()) {
-    games.add_row({g.name, g.genre,
-                   util::format_double(g.latency_requirement_ms, 0),
-                   util::format_double(g.latency_tolerance, 1),
-                   util::format_double(g.loss_tolerance, 1),
-                   std::to_string(g.target_quality_level)});
-  }
-  bench::print_table(games);
+    util::Table games("Game catalog derived from Fig. 2 (one game per row)");
+    games.set_header({"game", "genre", "latency req (ms)", "rho",
+                      "loss tolerance", "target level"});
+    for (const auto& g : game::game_catalog()) {
+      games.add_row({g.name, g.genre,
+                     util::format_double(g.latency_requirement_ms, 0),
+                     util::format_double(g.latency_tolerance, 1),
+                     util::format_double(g.loss_tolerance, 1),
+                     std::to_string(g.target_quality_level)});
+    }
+    bench::print_table(games);
 
-  std::cout << "adjust-up factor beta (Eq 10): "
-            << util::format_double(game::adjust_up_beta(), 4) << "\n";
-  return 0;
+    std::cout << "adjust-up factor beta (Eq 10): "
+              << util::format_double(game::adjust_up_beta(), 4) << "\n";
+    return 0;
+  });
 }

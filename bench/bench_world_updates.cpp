@@ -19,110 +19,112 @@
 using namespace cloudfog;
 using namespace cloudfog::world;
 
-int main() {
-  bench::print_header("World substrate",
-                      "update-feed bandwidth (Lambda) and state partitioning");
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "world_updates", [&]() -> int {
+    bench::print_header("World substrate",
+                        "update-feed bandwidth (Lambda) and state partitioning");
 
-  const std::size_t supernodes = bench::scaled(300, 80);
-  const std::size_t players_per_sn = 5;
-  const std::size_t ticks = bench::scaled(90, 30);
-  const double tick_rate_hz = 30.0;
+    const std::size_t supernodes = bench::scaled(300, 80);
+    const std::size_t players_per_sn = 5;
+    const std::size_t ticks = bench::scaled(90, 30);
+    const double tick_rate_hz = 30.0;
 
-  // --- Lambda measurement ----------------------------------------------------
-  util::Table lambda_table(
-      "Cloud->supernode update feed per supernode (kbps at 30 ticks/s)");
-  lambda_table.set_header({"interest halo", "filtered (=Lambda)", "broadcast",
-                           "saving", "regions/supernode"});
-  for (int halo : {0, 1, 2}) {
+    // --- Lambda measurement ----------------------------------------------------
+    util::Table lambda_table(
+        "Cloud->supernode update feed per supernode (kbps at 30 ticks/s)");
+    lambda_table.set_header({"interest halo", "filtered (=Lambda)", "broadcast",
+                             "saving", "regions/supernode"});
+    for (int halo : {0, 1, 2}) {
+      WorldConfig config;
+      config.width = config.height = 4'000.0;
+      config.region_size = 250.0;  // 16x16 regions
+      VirtualWorld w(config);
+      util::Rng rng(7);
+      InterestManager interest(w, halo);
+
+      std::vector<AvatarId> avatars;
+      for (NodeId sn = 0; sn < supernodes; ++sn) {
+        for (std::size_t p = 0; p < players_per_sn; ++p) {
+          const AvatarId a = w.spawn(rng);
+          avatars.push_back(a);
+          interest.track(sn, a);
+        }
+      }
+
+      util::RunningStats filtered_kbit, broadcast_kbit, regions;
+      for (std::size_t t = 0; t < ticks; ++t) {
+        for (AvatarId a : avatars) {
+          const double act = rng.uniform();
+          if (act < 0.55) {
+            w.submit({a, ActionType::kMove, rng.uniform(-1.0, 1.0),
+                      rng.uniform(-1.0, 1.0)});
+          } else if (act < 0.62) {
+            w.submit({a, ActionType::kStrike, 0.0, 0.0});
+          } else if (act < 0.70) {
+            w.submit({a, ActionType::kEmote, 0.0, 0.0});
+          }  // else idle this tick
+        }
+        const TickDelta delta = w.tick(rng);
+        interest.refresh();
+        const auto sizes = interest.feed_sizes(delta);
+        filtered_kbit.add(sizes.filtered_kbit /
+                          static_cast<double>(supernodes));
+        broadcast_kbit.add(sizes.broadcast_kbit /
+                           static_cast<double>(supernodes));
+      }
+      for (NodeId sn = 0; sn < supernodes; ++sn) {
+        regions.add(static_cast<double>(interest.subscribed_regions(sn)));
+      }
+      const double filtered_kbps = filtered_kbit.mean() * tick_rate_hz;
+      const double broadcast_kbps = broadcast_kbit.mean() * tick_rate_hz;
+      lambda_table.add_row(
+          {std::to_string(halo), util::format_double(filtered_kbps, 1),
+           util::format_double(broadcast_kbps, 1),
+           util::format_double(1.0 - filtered_kbps / broadcast_kbps, 3),
+           util::format_double(regions.mean(), 1)});
+    }
+    bench::print_table(lambda_table);
+    std::cout << "Filtering collapses the multi-Mbps broadcast to the 0.1-1 Mbps"
+                 "\nrange; the tight-interest (halo 0) figure is what the"
+                 "\nLambda = 100 kbps default used across the experiments models.\n\n";
+
+    // --- state-server partitioning ---------------------------------------------
+    util::Table part_table(
+        "State-server load imbalance (max/mean), clustered avatars");
+    part_table.set_header({"servers", "static grid", "kd-tree (paper ref [12])"});
+    util::Rng rng(13);
+    std::vector<Position> population;
+    const std::size_t n = bench::scaled(20'000, 5'000);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Three hotspots of decreasing size plus a uniform background.
+      const double u = rng.uniform();
+      if (u < 0.45) {
+        population.push_back({rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)});
+      } else if (u < 0.7) {
+        population.push_back(
+            {rng.uniform(3'000.0, 3'400.0), rng.uniform(500.0, 900.0)});
+      } else if (u < 0.85) {
+        population.push_back(
+            {rng.uniform(1'800.0, 2'000.0), rng.uniform(3'500.0, 3'700.0)});
+      } else {
+        population.push_back(
+            {rng.uniform(0.0, 4'000.0), rng.uniform(0.0, 4'000.0)});
+      }
+    }
     WorldConfig config;
     config.width = config.height = 4'000.0;
-    config.region_size = 250.0;  // 16x16 regions
-    VirtualWorld w(config);
-    util::Rng rng(7);
-    InterestManager interest(w, halo);
-
-    std::vector<AvatarId> avatars;
-    for (NodeId sn = 0; sn < supernodes; ++sn) {
-      for (std::size_t p = 0; p < players_per_sn; ++p) {
-        const AvatarId a = w.spawn(rng);
-        avatars.push_back(a);
-        interest.track(sn, a);
-      }
+    const struct {
+      std::size_t cols, rows;
+      int depth;
+    } setups[] = {{2, 2, 2}, {4, 2, 3}, {4, 4, 4}};
+    for (const auto& setup : setups) {
+      GridPartition grid(config, setup.cols, setup.rows);
+      KdPartition kd(population, setup.depth);
+      part_table.add_row({std::to_string(grid.servers()),
+                          util::format_double(grid.stats(population).imbalance(), 2),
+                          util::format_double(kd.stats(population).imbalance(), 2)});
     }
-
-    util::RunningStats filtered_kbit, broadcast_kbit, regions;
-    for (std::size_t t = 0; t < ticks; ++t) {
-      for (AvatarId a : avatars) {
-        const double act = rng.uniform();
-        if (act < 0.55) {
-          w.submit({a, ActionType::kMove, rng.uniform(-1.0, 1.0),
-                    rng.uniform(-1.0, 1.0)});
-        } else if (act < 0.62) {
-          w.submit({a, ActionType::kStrike, 0.0, 0.0});
-        } else if (act < 0.70) {
-          w.submit({a, ActionType::kEmote, 0.0, 0.0});
-        }  // else idle this tick
-      }
-      const TickDelta delta = w.tick(rng);
-      interest.refresh();
-      const auto sizes = interest.feed_sizes(delta);
-      filtered_kbit.add(sizes.filtered_kbit /
-                        static_cast<double>(supernodes));
-      broadcast_kbit.add(sizes.broadcast_kbit /
-                         static_cast<double>(supernodes));
-    }
-    for (NodeId sn = 0; sn < supernodes; ++sn) {
-      regions.add(static_cast<double>(interest.subscribed_regions(sn)));
-    }
-    const double filtered_kbps = filtered_kbit.mean() * tick_rate_hz;
-    const double broadcast_kbps = broadcast_kbit.mean() * tick_rate_hz;
-    lambda_table.add_row(
-        {std::to_string(halo), util::format_double(filtered_kbps, 1),
-         util::format_double(broadcast_kbps, 1),
-         util::format_double(1.0 - filtered_kbps / broadcast_kbps, 3),
-         util::format_double(regions.mean(), 1)});
-  }
-  bench::print_table(lambda_table);
-  std::cout << "Filtering collapses the multi-Mbps broadcast to the 0.1-1 Mbps"
-               "\nrange; the tight-interest (halo 0) figure is what the"
-               "\nLambda = 100 kbps default used across the experiments models.\n\n";
-
-  // --- state-server partitioning ---------------------------------------------
-  util::Table part_table(
-      "State-server load imbalance (max/mean), clustered avatars");
-  part_table.set_header({"servers", "static grid", "kd-tree (paper ref [12])"});
-  util::Rng rng(13);
-  std::vector<Position> population;
-  const std::size_t n = bench::scaled(20'000, 5'000);
-  for (std::size_t i = 0; i < n; ++i) {
-    // Three hotspots of decreasing size plus a uniform background.
-    const double u = rng.uniform();
-    if (u < 0.45) {
-      population.push_back({rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)});
-    } else if (u < 0.7) {
-      population.push_back(
-          {rng.uniform(3'000.0, 3'400.0), rng.uniform(500.0, 900.0)});
-    } else if (u < 0.85) {
-      population.push_back(
-          {rng.uniform(1'800.0, 2'000.0), rng.uniform(3'500.0, 3'700.0)});
-    } else {
-      population.push_back(
-          {rng.uniform(0.0, 4'000.0), rng.uniform(0.0, 4'000.0)});
-    }
-  }
-  WorldConfig config;
-  config.width = config.height = 4'000.0;
-  const struct {
-    std::size_t cols, rows;
-    int depth;
-  } setups[] = {{2, 2, 2}, {4, 2, 3}, {4, 4, 4}};
-  for (const auto& setup : setups) {
-    GridPartition grid(config, setup.cols, setup.rows);
-    KdPartition kd(population, setup.depth);
-    part_table.add_row({std::to_string(grid.servers()),
-                        util::format_double(grid.stats(population).imbalance(), 2),
-                        util::format_double(kd.stats(population).imbalance(), 2)});
-  }
-  bench::print_table(part_table);
-  return 0;
+    bench::print_table(part_table);
+    return 0;
+  });
 }

@@ -19,10 +19,17 @@
 //   --warmup-s=X               warmup                              [3]
 //   --seed=N                   master seed                         [1]
 //   --csv=PATH                 also write results as CSV
+//
+// Observability (all off by default; see obs/bench_harness.h):
+//   --metrics-out=PATH         metrics dump (.json/.csv/.jsonl)
+//   --trace-out=PATH           Chrome trace_event JSON (open in Perfetto)
+//   --bench-json[=PATH]        BENCH_cloudfog_runner.json timing artifact
+//   --bench-warmup=N --bench-repeats=N
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "obs/bench_harness.h"
 #include "systems/streaming_sim.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -57,10 +64,11 @@ bool parse_system(const std::string& name, SystemKind* out) {
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
-  const std::vector<std::string> known{
+  std::vector<std::string> known{
       "profile", "systems",       "players",  "population", "supernodes",
       "datacenters", "dc-uplink-mbps", "duration-s", "warmup-s", "seed",
       "csv", "help"};
+  for (const std::string& key : obs::bench_flag_keys()) known.push_back(key);
   if (flags.has("help")) {
     std::cout << "see the header comment of examples/cloudfog_runner.cpp\n";
     return 0;
@@ -109,6 +117,9 @@ int main(int argc, char** argv) {
   options.duration_ms = flags.get_double("duration-s", 10.0) * 1'000.0;
   options.warmup_ms = flags.get_double("warmup-s", 3.0) * 1'000.0;
 
+  obs::BenchHarness harness(
+      "cloudfog_runner", obs::bench_options_from_flags(flags, "cloudfog_runner"));
+  return harness.run([&]() -> int {
   std::cout << "building " << profile << " scenario: "
             << params.num_players << " players, " << params.num_datacenters
             << " DCs, " << params.num_supernodes << " supernodes (seed "
@@ -144,4 +155,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << path << "\n";
   }
   return 0;
+  });
 }

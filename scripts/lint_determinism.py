@@ -28,6 +28,13 @@ Rule table
                    ordered container comment — FP addition is non-associative,
                    so reduction order must be pinned. Flagged only when the
                    call site names an unordered container.
+  obs-clock        (waiver, not a rule) wall-clock findings in files under an
+                   obs/ directory are auto-waived: src/obs is the repo's
+                   designated wall-clock boundary (scoped timers, bench wall
+                   time), and its instruments are pure sinks that never feed
+                   simulation state (see DESIGN.md §7). Everywhere else the
+                   wall-clock rule stays in force, so timing code cannot leak
+                   out of the obs subsystem without tripping the lint.
 
 Escape hatch
 ============
@@ -95,6 +102,21 @@ RULES: dict[str, tuple[re.Pattern[str], str]] = {
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
+# Path-scoped waivers ("obs-clock"): rules that do not apply inside the
+# observability subsystem, the repo's one sanctioned wall-clock boundary.
+# Matching is by directory name so the waiver follows the subsystem if the
+# tree is ever re-rooted, and never applies to a look-alike file elsewhere.
+PATH_WAIVERS: dict[str, frozenset[str]] = {
+    "obs": frozenset({"wall-clock"}),
+}
+
+
+def path_waived_rules(path: Path) -> frozenset[str]:
+    waived: set[str] = set()
+    for part in path.parts[:-1]:
+        waived |= PATH_WAIVERS.get(part, frozenset())
+    return frozenset(waived)
+
 
 def waived_rules(line: str) -> set[str]:
     m = ALLOW.search(line)
@@ -140,6 +162,7 @@ def lint_file(path: Path) -> list[str]:
         sys.exit(2)
 
     in_block_comment = False
+    file_waivers = path_waived_rules(path)
     prev_waivers: set[str] = set()
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw
@@ -157,7 +180,7 @@ def lint_file(path: Path) -> list[str]:
             in_block_comment = True
             line = line[:start]
 
-        waivers = waived_rules(raw) | prev_waivers
+        waivers = waived_rules(raw) | prev_waivers | file_waivers
         prev_waivers = waived_rules(raw) if raw.strip().startswith("//") else set()
 
         code = strip_comments_and_strings(line)

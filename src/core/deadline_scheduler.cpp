@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::core {
@@ -56,8 +57,11 @@ DeadlineScheduler::DeadlineScheduler(Kbps uplink_kbps,
 bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now) {
   if (queue_.size() >= config_.max_queue_segments) {
     ++overflow_segments_;
+    CF_OBS_COUNT("core.scheduler.segments_overflowed", 1);
     return false;
   }
+  CF_OBS_COUNT("core.scheduler.segments_enqueued", 1);
+  CF_OBS_GAUGE_SET("core.scheduler.queue_segments", queue_.size() + 1);
   QueuedSegment qs;
   qs.segment = segment;
   qs.enqueued_ms = now;
@@ -135,6 +139,7 @@ int DeadlineScheduler::drop_from_segment(std::size_t k, int want) {
   }
   qs.dropped += done;
   total_dropped_ += static_cast<std::uint64_t>(done);
+  CF_OBS_COUNT("core.scheduler.packets_dropped", done);
   // Trust boundary: Eq (14) must never overdraw a segment's loss-tolerance
   // budget — that is the paper's "still meeting their packet loss rate
   // requirements" guarantee.
@@ -162,6 +167,10 @@ void DeadlineScheduler::estimate_and_drop(TimeMs now) {
     const TimeMs expected_arrival = queue_[i].segment.deadline_ms;
 
     if (estimated_arrival > expected_arrival) {
+      // A predicted deadline miss (Eq 12): the drop pass below sheds load.
+      CF_OBS_COUNT("core.scheduler.deadline_misses", 1);
+      CF_OBS_HIST("core.scheduler.predicted_late_ms",
+                  estimated_arrival - expected_arrival);
       const int needed = static_cast<int>(
           std::ceil((estimated_arrival - expected_arrival) / sigma));
       // Slack D_i is strictly positive inside this branch, so the ceil must

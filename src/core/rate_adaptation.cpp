@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::core {
@@ -66,6 +67,7 @@ RateAdaptationController::Decision RateAdaptationController::observe_impl(
       up_count_ = 0;
       if (level_ < max_level_) {
         ++level_;
+        CF_OBS_COUNT("core.adaptation.switches_up", 1);
         return Decision::kUp;
       }
     }
@@ -76,6 +78,7 @@ RateAdaptationController::Decision RateAdaptationController::observe_impl(
       down_count_ = 0;
       if (level_ > game::kMinQualityLevel) {
         --level_;
+        CF_OBS_COUNT("core.adaptation.switches_down", 1);
         return Decision::kDown;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::core {
@@ -102,6 +103,13 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
     }
   }
   // Step 4 — empty result means direct-to-cloud.
+  if (result.direct_to_cloud()) {
+    CF_OBS_COUNT("core.supernode.direct_to_cloud", 1);
+  } else {
+    CF_OBS_COUNT("core.supernode.assignments", 1);
+    CF_OBS_GAUGE_SET("core.supernode.assigned_total", total_assigned());
+    CF_OBS_HIST("core.supernode.assignment_delay_ms", result.delay_ms);
+  }
   return result;
 }
 

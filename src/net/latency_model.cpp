@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace cloudfog::net {
 
 LatencyParams LatencyParams::simulation_profile(std::uint64_t seed) {
@@ -79,10 +81,13 @@ double LatencyModel::loss_probability(const Endpoint& a,
 
 TimeMs LatencyModel::sample_one_way_ms(const Endpoint& a, const Endpoint& b,
                                        util::Rng& rng) const {
+  CF_OBS_COUNT("net.latency.samples", 1);
   if (a.id == b.id) return 0.1;
   const double route = route_ms(a, b) * pair_bias(a.id, b.id) *
                        rng.lognormal(0.0, params_.jitter_sigma);
-  return route + a.last_mile_ms + b.last_mile_ms;
+  const TimeMs sample = route + a.last_mile_ms + b.last_mile_ms;
+  CF_OBS_HIST("net.latency.one_way_ms", sample);
+  return sample;
 }
 
 }  // namespace cloudfog::net

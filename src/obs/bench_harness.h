@@ -1,0 +1,75 @@
+// Bench-harness: wraps a benchmark binary's body in warmup + repeated
+// timed runs and emits machine-readable artifacts.
+//
+//   --bench-json[=PATH]   BENCH_<name>.json (default name when bare):
+//                         wall-time per repeat, events/sec, peak simulator
+//                         queue depth, counter snapshot and per-subsystem
+//                         timer breakdown. Schema documented below.
+//   --metrics-out=PATH    full metrics dump (extension picks json/csv/jsonl,
+//                         see obs/exporters.h)
+//   --trace-out=PATH      Chrome trace_event JSON (chrome://tracing,
+//                         https://ui.perfetto.dev)
+//   --bench-warmup=N      unmeasured runs of the body first        [0]
+//   --bench-repeats=N     measured runs (artifacts snapshot the last) [1]
+//
+// All outputs default to off; without any, the body runs exactly once with
+// collection disabled — the binary behaves as it did before the harness
+// existed.
+//
+// BENCH_<name>.json schema (schema_version 1):
+//   { "schema_version": 1, "bench": "<name>",
+//     "warmup": <int>, "repeats": <int>,
+//     "wall_ms": {"runs": [<num>...], "mean": <num>, "min": <num>,
+//                 "max": <num>},
+//     "events": {"executed": <uint>, "per_sec": <num>},
+//     "peak_queue_depth": <num>,
+//     "counters": {"<name>": <uint>, ...},
+//     "timers_ms": {"<name>": {"count": <uint>, "total": <num>,
+//                              "mean": <num>, "p95": <num>}, ...} }
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cloudfog::util {
+class Flags;
+}  // namespace cloudfog::util
+
+namespace cloudfog::obs {
+
+struct BenchOptions {
+  std::string metrics_out;  // empty = off
+  std::string trace_out;    // empty = off
+  std::string bench_json;   // empty = off
+  int warmup = 0;
+  int repeats = 1;
+};
+
+/// The harness flag keys, for callers assembling a known-flags list.
+const std::vector<std::string>& bench_flag_keys();
+
+/// Extracts the harness options from parsed flags. A bare `--bench-json`
+/// resolves to "BENCH_<bench_name>.json". Throws std::logic_error on
+/// unparseable numeric values (matching util::Flags behaviour).
+BenchOptions bench_options_from_flags(const util::Flags& flags,
+                                      const std::string& bench_name);
+
+/// One-line usage text for the harness flags (benches append it to --help).
+std::string bench_flags_help();
+
+class BenchHarness {
+ public:
+  BenchHarness(std::string name, BenchOptions options);
+
+  /// Runs `body` warmup+repeats times (once, uninstrumented, when no output
+  /// was requested). Returns the body's first non-zero exit code, 1 on
+  /// artifact-write failure, else 0.
+  int run(const std::function<int()>& body);
+
+ private:
+  std::string name_;
+  BenchOptions options_;
+};
+
+}  // namespace cloudfog::obs

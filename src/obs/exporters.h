@@ -1,0 +1,40 @@
+// Serialisation of a MetricsRegistry snapshot.
+//
+//   * metrics_to_json — one self-describing JSON document (counters,
+//     gauges with peak, histograms with count/mean/min/max/quantiles and
+//     the non-empty bucket list). Schema below.
+//   * metrics_to_csv  — flat rows `kind,name,field,value` for spreadsheet
+//     ingestion.
+//   * metrics_to_jsonl — one JSON object per metric per line, suited to
+//     appending snapshots over time into a single stream.
+//
+// JSON schema (schema_version 1):
+//   { "schema_version": 1,
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": {"value": <num>, "max": <num>}, ... },
+//     "histograms": { "<name>": {"count": <uint>, "sum": <num>,
+//                                "mean": <num>, "min": <num>, "max": <num>,
+//                                "p50": <num>, "p95": <num>, "p99": <num>,
+//                                "buckets": [[<upper_edge>, <count>], ...]},
+//                     ... } }
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cloudfog::obs {
+
+std::string metrics_to_json(const MetricsRegistry& registry);
+std::string metrics_to_csv(const MetricsRegistry& registry);
+std::string metrics_to_jsonl(const MetricsRegistry& registry);
+
+/// Writes `content` to `path` atomically enough for our purposes (truncate
+/// + write + close). Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+/// Dispatches on extension: ".csv" -> CSV, ".jsonl" -> JSONL, anything
+/// else -> the JSON document. Returns false on I/O failure.
+bool write_metrics(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace cloudfog::obs

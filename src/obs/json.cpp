@@ -1,0 +1,251 @@
+#include "obs/json.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudfog::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc()) return "null";
+  return std::string(buf.data(), ptr);
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      result.error_pos = pos_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing characters after JSON document";
+      result.error_pos = pos_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = Value::Kind::kString; return parse_string(out.string);
+      case 't':
+      case 'f': return parse_literal(out);
+      case 'n': return parse_literal(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(Value& out) {
+    const auto rest = text_.substr(pos_);
+    if (rest.starts_with("true")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (rest.starts_with("false")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (rest.starts_with("null")) {
+      out.kind = Value::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a JSON value");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // Tests only need BMP round-tripping; encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!consume('[')) return fail("expected '['");
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      Value element;
+      skip_ws();
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Value member;
+      if (!parse_value(member)) return false;
+      out.object.emplace(std::move(key), std::move(member));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace cloudfog::obs::json

@@ -1,0 +1,62 @@
+// Minimal JSON support for the observability exporters.
+//
+// Writing: escape() and num() format strings/doubles the way every obs
+// exporter needs (doubles print round-trippable and locale-independent,
+// NaN/inf degrade to null — JSON has no representation for them).
+//
+// Reading: a small recursive-descent parser used by the schema tests to
+// prove that emitted Chrome traces and BENCH_*.json artifacts are
+// well-formed without taking a third-party dependency. It is not a general
+// JSON library: good errors and strictness over speed, document sizes are
+// test-scale.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudfog::obs::json {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(std::string_view s);
+
+/// Formats a double as a JSON number token (shortest round-trip form);
+/// NaN/inf become "null".
+std::string num(double v);
+
+/// Parsed JSON value (object keys keep lexicographic order via std::map —
+/// deterministic, which is all the tests need).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;       // human message when !ok
+  std::size_t error_pos = 0;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+ParseResult parse(std::string_view text);
+
+}  // namespace cloudfog::obs::json

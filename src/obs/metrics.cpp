@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cloudfog::obs {
+
+namespace {
+
+/// Atomic max over a double — CAS loop, relaxed (metrics are sinks; no
+/// ordering with simulation state is needed).
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+void Gauge::set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  atomic_max(max_, v);
+}
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(Options options) : options_(options) {
+  CF_CHECK_GE(options_.sub_buckets, 1u);
+  CF_CHECK_GE(options_.max_exponent, 1u);
+  // One linear range for [0, 1), then max_exponent geometric ranges of
+  // sub_buckets slots each, plus a final overflow bucket.
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(options_.max_exponent + 1) * options_.sub_buckets + 1);
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN clamp to the first bucket
+  const auto sub = static_cast<double>(options_.sub_buckets);
+  if (v < 1.0) {
+    // Linear range [0, 1): sub_buckets equal slots.
+    return static_cast<std::size_t>(v * sub);
+  }
+  const int exponent = std::min(static_cast<int>(std::floor(std::log2(v))),
+                                static_cast<int>(options_.max_exponent) - 1);
+  // Position within [2^e, 2^(e+1)): which of the sub_buckets linear slots.
+  const double base = std::ldexp(1.0, exponent);
+  auto slot = static_cast<std::size_t>((v - base) / base * sub);
+  slot = std::min<std::size_t>(slot, options_.sub_buckets - 1);
+  const std::size_t index =
+      (static_cast<std::size_t>(exponent) + 1) * options_.sub_buckets + slot;
+  return std::min(index, buckets_.size() - 1);
+}
+
+double Histogram::bucket_upper_edge(std::size_t index) const {
+  const auto sub = static_cast<double>(options_.sub_buckets);
+  if (index < options_.sub_buckets) {
+    return (static_cast<double>(index) + 1.0) / sub;  // linear [0, 1) range
+  }
+  if (index >= buckets_.size() - 1) {
+    return std::ldexp(1.0, static_cast<int>(options_.max_exponent));
+  }
+  const std::size_t range = index / options_.sub_buckets - 1;
+  const std::size_t slot = index % options_.sub_buckets;
+  const double base = std::ldexp(1.0, static_cast<int>(range));
+  return base + base * (static_cast<double>(slot) + 1.0) / sub;
+}
+
+void Histogram::record(double v) {
+  // Clamp before *all* aggregates, not just the bucket index, so min/sum
+  // and the bucketed quantiles agree on what was recorded.
+  if (!(v > 0.0)) v = 0.0;  // also maps NaN to 0
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper_edge(i);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0) out.emplace_back(bucket_upper_edge(i), c);
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    auto inserted = entries_.emplace(std::string(name), std::make_unique<Entry>());
+    it = inserted.first;
+    it->second->name = it->first;
+    order_.push_back(it->second.get());
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name);
+  CF_CHECK_MSG(!e.gauge && !e.histogram,
+               "metric name already registered with a different kind");
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name);
+  CF_CHECK_MSG(!e.counter && !e.histogram,
+               "metric name already registered with a different kind");
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      Histogram::Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name);
+  CF_CHECK_MSG(!e.counter && !e.gauge,
+               "metric name already registered with a different kind");
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(options);
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second->counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second->gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second->histogram.get();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry* e : order_) {
+    if (e->counter) e->counter->reset();
+    if (e->gauge) e->gauge->reset();
+    if (e->histogram) e->histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_.size();
+}
+
+MetricsRegistry* registry() { return g_registry.load(std::memory_order_acquire); }
+
+MetricsRegistry* set_registry(MetricsRegistry* r) {
+  return g_registry.exchange(r, std::memory_order_acq_rel);
+}
+
+}  // namespace cloudfog::obs

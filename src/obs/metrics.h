@@ -1,0 +1,212 @@
+// Observability metrics — named counters, gauges and quantile histograms.
+//
+// Design rules (the "no observer effect" contract, DESIGN.md §7):
+//   * Metrics are pure sinks: nothing in the simulation may ever read one
+//     back to make a decision, so QoE results and determinism digests are
+//     bit-identical with instrumentation enabled or disabled.
+//   * Collection is off by default. Instrumented code uses the CF_OBS_*
+//     macros below, which compile to a single relaxed load + branch when no
+//     registry is installed (and to nothing at all when the library is
+//     built with CLOUDFOG_OBS_DISABLED).
+//   * Individual instruments are thread-safe (relaxed atomics; the registry
+//     map is guarded by a mutex) because timers/registries are the first
+//     code in this repo that may plausibly be shared across threads.
+//   * Registry iteration is insertion-ordered so exports are deterministic.
+//
+// Wall-clock time never appears here — see obs/timer.h, the only file in
+// the repo allowed to read the host clock (lint rule `obs-clock`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudfog::obs {
+
+/// Monotone event count (events dispatched, packets dropped, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, assigned capacity). Tracks the maximum
+/// value ever set so "peak queue depth" falls out for free.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  /// Highest value ever set since construction/reset (0 if never set).
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// HDR-style log-bucketed histogram: values are assigned to buckets of
+/// geometrically increasing width (each power of two is split into
+/// `sub_buckets` linear slots), giving a bounded relative quantile error of
+/// ~1/sub_buckets across many orders of magnitude in O(1) per record and a
+/// few KB of memory. Negative values clamp to 0.
+class Histogram {
+ public:
+  struct Options {
+    /// Linear slots per power-of-two range; 32 bounds relative quantile
+    /// error at ~3%.
+    std::uint32_t sub_buckets = 32;
+    /// Values at or above 2^max_exponent clamp into the last range.
+    std::uint32_t max_exponent = 40;
+  };
+
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(Options options);
+
+  void record(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  /// Quantile estimate, q in [0, 1]: the upper edge of the bucket holding
+  /// the q-th sample (relative error bounded by the bucket width). 0 when
+  /// empty.
+  double quantile(double q) const;
+
+  void reset();
+
+  /// (bucket upper edge, count) pairs for non-empty buckets, ascending —
+  /// the export format.
+  std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
+
+ private:
+  std::size_t bucket_index(double v) const;
+  double bucket_upper_edge(std::size_t index) const;
+
+  Options options_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Sentinels so the atomic min/max CAS loops need no "first sample" case;
+  // the accessors report 0 while count() == 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name → instrument table. Lookups create on first use; returned references
+/// stay valid for the registry's lifetime (instruments are heap-pinned).
+/// Iteration order is insertion order, so exports are deterministic.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, Histogram::Options options = {});
+
+  /// Lookup without creation; nullptr when absent or of a different kind.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zeroes every instrument but keeps the name table (handles stay valid).
+  void reset();
+
+  std::size_t size() const;
+
+  /// Insertion-ordered visitation — exactly one of the three pointers is
+  /// non-null per call.
+  template <typename Fn>  // Fn(name, const Counter*, const Gauge*, const Histogram*)
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : order_) {
+      fn(e->name, e->counter.get(), e->gauge.get(), e->histogram.get());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_;
+  std::vector<Entry*> order_;  // insertion order for deterministic export
+};
+
+/// The process-wide registry the CF_OBS_* macros feed. Null (collection
+/// disabled) by default.
+MetricsRegistry* registry();
+/// Installs `r` as the active registry (nullptr disables collection).
+/// Returns the previously installed registry.
+MetricsRegistry* set_registry(MetricsRegistry* r);
+
+/// RAII install/uninstall — the idiom harnesses use around a measured run.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry& r) : previous_(set_registry(&r)) {}
+  ~ScopedRegistry() { set_registry(previous_); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace cloudfog::obs
+
+// Instrumentation macros. A disabled build compiles them away entirely;
+// otherwise they cost one load + branch when no registry is installed.
+#ifdef CLOUDFOG_OBS_DISABLED
+#define CF_OBS_COUNT(name, n) \
+  do {                        \
+  } while (0)
+#define CF_OBS_GAUGE_SET(name, v) \
+  do {                            \
+  } while (0)
+#define CF_OBS_HIST(name, v) \
+  do {                       \
+  } while (0)
+#else
+#define CF_OBS_COUNT(name, n)                                     \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      cf_obs_r->counter(name).add(                                \
+          static_cast<std::uint64_t>(n));                         \
+    }                                                             \
+  } while (0)
+#define CF_OBS_GAUGE_SET(name, v)                                 \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      cf_obs_r->gauge(name).set(static_cast<double>(v));          \
+    }                                                             \
+  } while (0)
+#define CF_OBS_HIST(name, v)                                      \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      cf_obs_r->histogram(name).record(static_cast<double>(v));   \
+    }                                                             \
+  } while (0)
+#endif

@@ -1,0 +1,43 @@
+// Periodic simulation-time sampler.
+//
+// install_sim_sampler() schedules a periodic event on a Simulator that, on
+// every tick, snapshots queue depth and executed-event throughput into the
+// active metrics registry and emits sim-track counter samples to the active
+// tracer. The hook is a pure observer: its callback never mutates
+// simulation state, draws no randomness and reads no wall clock, so
+// installing it (or not) leaves every QoE metric bit-identical —
+// interleaved sampler events shift event ids and sequence numbers, but
+// nothing in the simulation depends on their values, only on the relative
+// order of *other* events, which a strictly monotone sequence preserves.
+// The obs-on-vs-off determinism test enforces this.
+//
+// Header-only on purpose: obs must not link against cloudfog_sim (sim
+// links obs for the CF_OBS_* macros; a .cpp here would make the
+// dependency circular).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace cloudfog::obs {
+
+/// Starts a periodic sampler on `sim` with the given period (simulation
+/// milliseconds). Returns the event handle so callers can cancel it.
+inline sim::EventId install_sim_sampler(sim::Simulator& sim, TimeMs period_ms) {
+  return sim.schedule_every(period_ms, period_ms, [&sim] {
+    const double depth = static_cast<double>(sim.pending());
+    const double executed = static_cast<double>(sim.executed());
+    if (MetricsRegistry* r = registry()) {
+      // Same gauge the simulator's own instrumentation sets, so its max()
+      // tracks the true peak even between sampler ticks.
+      r->gauge("sim.queue.depth").set(depth);
+    }
+    if (tracer() != nullptr) {
+      trace_sim_counter("sim.queue.depth", sim.now(), depth);
+      trace_sim_counter("sim.events.executed", sim.now(), executed);
+    }
+  });
+}
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,46 @@
+// The repo's single wall-clock boundary.
+//
+// Everything outside src/obs is forbidden to read the host clock
+// (scripts/lint_determinism.py, rule `wall-clock`; src/obs is exempted by
+// the `obs-clock` rule). Wall time is strictly for *measurement* — scoped
+// timers feeding histograms and trace spans — and must never flow back
+// into simulation state; simulation time comes from sim::Simulator::now().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cloudfog::obs {
+
+/// Monotonic wall-clock microseconds since an arbitrary process-local
+/// epoch. The only host-clock read in the repo.
+std::uint64_t wall_now_us();
+
+/// RAII wall-clock timer: records the scope's duration (in milliseconds)
+/// into the named histogram of the active registry, and mirrors it as a
+/// trace span when a TraceRecorder is installed (see obs/trace.h). Costs a
+/// branch when collection is disabled — no clock read happens.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace cloudfog::obs
+
+// Times the enclosing scope under `name` (a "timers.<subsystem>.<what>"
+// histogram plus a trace span). No-op without an installed registry/tracer.
+#define CF_TIMED_SCOPE_CAT2(a, b) a##b
+#define CF_TIMED_SCOPE_CAT(a, b) CF_TIMED_SCOPE_CAT2(a, b)
+#define CF_TIMED_SCOPE(name) \
+  ::cloudfog::obs::ScopedTimer CF_TIMED_SCOPE_CAT(cf_timed_scope_, __LINE__)(name)

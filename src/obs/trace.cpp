@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace cloudfog::obs {
+
+namespace {
+std::atomic<TraceRecorder*> g_tracer{nullptr};
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  CF_CHECK_GE(capacity, 1u);
+}
+
+bool TraceRecorder::admit() {
+  // Caller holds mutex_.
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::span(std::string_view name, std::string_view category,
+                         double start_us, double duration_us,
+                         std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!admit()) return;
+  events_.push_back(Event{std::string(name), std::string(category),
+                          Phase::kComplete, start_us, duration_us, 0.0, track});
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view category,
+                            double ts_us, std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!admit()) return;
+  events_.push_back(Event{std::string(name), std::string(category),
+                          Phase::kInstant, ts_us, 0.0, 0.0, track});
+}
+
+void TraceRecorder::counter(std::string_view name, double ts_us, double value,
+                            std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!admit()) return;
+  events_.push_back(Event{std::string(name), "counter", Phase::kCounter, ts_us,
+                          0.0, value, track});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(events_.size() * 96 + 512);
+  out += "{\"traceEvents\":[";
+  // Name the two tracks so the viewer labels sim vs wall time.
+  out +=
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"sim time (us = sim ms x1000)\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"wall time\"}}";
+  for (const Event& e : events_) {
+    out += ",{\"name\":\"";
+    out += json::escape(e.name);
+    out += "\",\"cat\":\"";
+    out += json::escape(e.category.empty() ? "cloudfog" : e.category);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(e.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    out += json::num(e.ts_us);
+    if (e.phase == Phase::kComplete) {
+      out += ",\"dur\":";
+      out += json::num(e.dur_us);
+    }
+    if (e.phase == Phase::kInstant) {
+      out += ",\"s\":\"t\"";
+    }
+    if (e.phase == Phase::kCounter) {
+      out += ",\"args\":{\"value\":";
+      out += json::num(e.value);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"cloudfog/obs\","
+         "\"droppedEvents\":";
+  out += std::to_string(dropped_);
+  out += "}}";
+  return out;
+}
+
+TraceRecorder* tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+TraceRecorder* set_tracer(TraceRecorder* t) {
+  return g_tracer.exchange(t, std::memory_order_acq_rel);
+}
+
+}  // namespace cloudfog::obs

@@ -1,0 +1,106 @@
+// Event tracer with Chrome trace_event JSON export.
+//
+// Records spans (complete "X" events), instants ("i") and counter samples
+// ("C") into an in-memory buffer; to_chrome_json() serialises the buffer in
+// the Trace Event Format that chrome://tracing and https://ui.perfetto.dev
+// load directly.
+//
+// Two time domains share one trace, separated by track (tid):
+//   * tid 0 ("sim")  — timestamps are simulation milliseconds (recorded as
+//     microseconds, the format's unit), fed by callers passing
+//     sim::Simulator::now()-derived stamps;
+//   * tid 1 ("wall") — wall-clock spans from obs::ScopedTimer, relative to
+//     the recorder's construction.
+//
+// Like the metrics registry, the tracer is a pure sink behind a globally
+// installed pointer that defaults to null; see DESIGN.md §7.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudfog::obs {
+
+/// Track ids (Chrome trace "tid") separating the two time domains.
+inline constexpr std::uint32_t kSimTrack = 0;
+inline constexpr std::uint32_t kWallTrack = 1;
+
+class TraceRecorder {
+ public:
+  /// `capacity` bounds the number of retained events; once full, further
+  /// events are counted but dropped (the export notes the drop count).
+  explicit TraceRecorder(std::size_t capacity = 1 << 20);
+
+  /// Complete span: [start_us, start_us + duration_us) on `track`.
+  void span(std::string_view name, std::string_view category,
+            double start_us, double duration_us, std::uint32_t track);
+
+  /// Instant event at `ts_us`.
+  void instant(std::string_view name, std::string_view category, double ts_us,
+               std::uint32_t track);
+
+  /// Counter sample: renders as a stacked value track in the viewer.
+  void counter(std::string_view name, double ts_us, double value,
+               std::uint32_t track);
+
+  std::size_t event_count() const;
+  std::uint64_t dropped_count() const;
+
+  /// Serialises to Chrome trace JSON: {"traceEvents": [...], ...}.
+  std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  enum class Phase : char { kComplete = 'X', kInstant = 'i', kCounter = 'C' };
+
+  struct Event {
+    std::string name;
+    std::string category;
+    Phase phase;
+    double ts_us;
+    double dur_us;   // kComplete only
+    double value;    // kCounter only
+    std::uint32_t track;
+  };
+
+  bool admit();
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The process-wide tracer (null = tracing disabled), mirroring the
+/// metrics registry install pattern.
+TraceRecorder* tracer();
+TraceRecorder* set_tracer(TraceRecorder* t);
+
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(TraceRecorder& t) : previous_(set_tracer(&t)) {}
+  ~ScopedTracer() { set_tracer(previous_); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+/// Records an instant on the sim track when tracing is on. `sim_ms` is
+/// simulation time in milliseconds.
+inline void trace_sim_instant(std::string_view name, std::string_view category,
+                              double sim_ms) {
+  if (TraceRecorder* t = tracer()) t->instant(name, category, sim_ms * 1000.0, kSimTrack);
+}
+
+/// Records a counter sample on the sim track when tracing is on.
+inline void trace_sim_counter(std::string_view name, double sim_ms, double value) {
+  if (TraceRecorder* t = tracer()) t->counter(name, sim_ms * 1000.0, value, kSimTrack);
+}
+
+}  // namespace cloudfog::obs

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::sim {
@@ -8,6 +9,8 @@ EventId Simulator::push(TimeMs when, std::shared_ptr<Entry> entry) {
   const EventId id = next_id_++;
   live_[id] = entry;
   queue_.push(HeapItem{when, next_seq_++, id, std::move(entry)});
+  CF_OBS_COUNT("sim.events.scheduled", 1);
+  CF_OBS_GAUGE_SET("sim.queue.depth", live_.size());
   return id;
 }
 
@@ -41,6 +44,7 @@ bool Simulator::cancel(EventId id) {
   live_.erase(it);
   if (!entry || entry->cancelled) return false;
   entry->cancelled = true;
+  CF_OBS_COUNT("sim.events.cancelled", 1);
   return true;
 }
 
@@ -54,6 +58,7 @@ bool Simulator::fire_next() {
     CF_INVARIANT(item.when >= now_, "event timestamps must be monotone");
     CF_INVARIANT(!item.entry->cancelled, "cancelled event must not fire");
     now_ = item.when;
+    CF_OBS_COUNT("sim.events.executed", 1);
     if (item.entry->period >= 0.0) {
       // Re-arm the periodic event under the same handle before running it so
       // the callback can cancel it.
@@ -63,6 +68,7 @@ bool Simulator::fire_next() {
       item.entry->fn();
     } else {
       live_.erase(item.id);
+      CF_OBS_GAUGE_SET("sim.queue.depth", live_.size());
       ++executed_;
       item.entry->fn();
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::stream {
@@ -36,6 +37,7 @@ void ReceiverBuffer::settle(TimeMs now) {
       if (!stalled_) {
         ++stall_count_;
         stalled_ = true;
+        CF_OBS_COUNT("stream.buffer.stalls", 1);
       }
       stall_ms_ += stalled_for;
     }
@@ -65,6 +67,7 @@ void ReceiverBuffer::on_arrival(TimeMs now, Kbit size_kbit) {
   last_arrival_ = now;
   total_arrived_ += size_kbit;
   buffered_ += size_kbit;
+  CF_OBS_HIST("stream.buffer.occupancy_kbit", buffered_);
   if (buffered_ > 0.0) stalled_ = false;
 }
 

@@ -7,6 +7,10 @@
 #include "core/rate_adaptation.h"
 #include "core/supernode_sender.h"
 #include "metrics/qoe.h"
+#include "obs/metrics.h"
+#include "obs/sim_hook.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "stream/queued_sender.h"
 #include "stream/receiver_buffer.h"
@@ -397,10 +401,27 @@ void StreamingRun::adaptation_tick(std::size_t slot) {
 }
 
 StreamingResult StreamingRun::run() {
-  setup_players();
-  setup_senders();
-  start_segment_ticks();
-  sim_.run_until(options_.warmup_ms + options_.duration_ms + options_.drain_ms);
+  CF_TIMED_SCOPE("timers.systems.run_streaming");
+  {
+    CF_TIMED_SCOPE("timers.systems.setup");
+    setup_players();
+    setup_senders();
+    start_segment_ticks();
+  }
+  // Periodic queue-depth/throughput sampling for the trace and metrics —
+  // a pure observer (see obs/sim_hook.h), so it may be installed only when
+  // collection is on without perturbing the QoE digest.
+  if (obs::registry() != nullptr || obs::tracer() != nullptr) {
+    obs::trace_sim_instant("streaming.start", "systems", sim_.now());
+    obs::install_sim_sampler(sim_, options_.adaptation_tick_ms);
+  }
+  {
+    CF_TIMED_SCOPE("timers.systems.event_loop");
+    sim_.run_until(options_.warmup_ms + options_.duration_ms + options_.drain_ms);
+  }
+  obs::trace_sim_instant("streaming.end", "systems", sim_.now());
+  CF_OBS_COUNT("systems.streaming.runs", 1);
+  CF_OBS_COUNT("systems.streaming.segments_generated", segments_);
 
   // Flush any still-live trackers: their undelivered packets stay counted
   // in units_total (missed), and completed-latency samples are skipped.

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "systems/streaming_sim.h"
 
 namespace cloudfog::systems {
@@ -90,6 +92,32 @@ TEST_P(DeterminismTest, SeedSaltPerturbsTheRun) {
   const auto base = run_streaming(GetParam(), small_scenario(), quick_options());
   const auto other = run_streaming(GetParam(), small_scenario(), salted);
   EXPECT_NE(qoe_digest(base), qoe_digest(other));
+}
+
+TEST_P(DeterminismTest, ObservabilityHasNoObserverEffect) {
+  // The obs subsystem's core contract (DESIGN.md §7): metrics, tracing and
+  // the periodic sim-time sampler are pure sinks, so running with full
+  // collection installed must produce a bit-identical QoE digest to running
+  // with collection off. This is what lets benches collect artifacts
+  // without invalidating the figures they reproduce.
+  const auto plain =
+      run_streaming(GetParam(), small_scenario(), quick_options());
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  StreamingResult observed = [&] {
+    obs::ScopedRegistry install_registry(registry);
+    obs::ScopedTracer install_tracer(recorder);
+    return run_streaming(GetParam(), small_scenario(), quick_options());
+  }();
+
+  EXPECT_EQ(qoe_digest(plain), qoe_digest(observed))
+      << "installing the metrics registry / tracer perturbed the simulation";
+  // And collection actually happened — this wasn't a vacuous comparison.
+  const obs::Counter* executed = registry.find_counter("sim.events.executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_GT(executed->value(), 0u);
+  EXPECT_GT(recorder.event_count(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,181 @@
+// Tests for the bench harness: flag extraction, the uninstrumented
+// fast path, and a schema/validity check of the BENCH_*.json artifact
+// produced by a real (small) simulator run.
+#include "obs/bench_harness.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+
+namespace cloudfog::obs {
+namespace {
+
+json::Value parse_file_or_die(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  json::ParseResult result = json::parse(os.str());
+  EXPECT_TRUE(result.ok) << result.error << " at " << result.error_pos;
+  return result.value;
+}
+
+util::Flags make_flags(const std::vector<const char*>& args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return util::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchOptionsTest, DefaultsAreAllOff) {
+  const util::Flags flags = make_flags({});
+  const BenchOptions o = bench_options_from_flags(flags, "x");
+  EXPECT_TRUE(o.metrics_out.empty());
+  EXPECT_TRUE(o.trace_out.empty());
+  EXPECT_TRUE(o.bench_json.empty());
+  EXPECT_EQ(o.warmup, 0);
+  EXPECT_EQ(o.repeats, 1);
+}
+
+TEST(BenchOptionsTest, BareBenchJsonGetsDefaultName) {
+  const util::Flags flags = make_flags({"--bench-json"});
+  const BenchOptions o = bench_options_from_flags(flags, "fig5_coverage");
+  EXPECT_EQ(o.bench_json, "BENCH_fig5_coverage.json");
+}
+
+TEST(BenchOptionsTest, ExplicitValuesParse) {
+  const util::Flags flags =
+      make_flags({"--bench-json=out.json", "--metrics-out=m.csv",
+                  "--trace-out=t.json", "--bench-warmup=2",
+                  "--bench-repeats=3"});
+  const BenchOptions o = bench_options_from_flags(flags, "x");
+  EXPECT_EQ(o.bench_json, "out.json");
+  EXPECT_EQ(o.metrics_out, "m.csv");
+  EXPECT_EQ(o.trace_out, "t.json");
+  EXPECT_EQ(o.warmup, 2);
+  EXPECT_EQ(o.repeats, 3);
+}
+
+TEST(BenchHarnessTest, NoOutputsRunsBodyOnceUninstrumented) {
+  BenchHarness harness("t", BenchOptions{});
+  int calls = 0;
+  const int rc = harness.run([&]() -> int {
+    ++calls;
+    // The fast path must not install collection globals.
+    EXPECT_EQ(registry(), nullptr);
+    EXPECT_EQ(tracer(), nullptr);
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BenchHarnessTest, PropagatesBodyExitCode) {
+  BenchHarness harness("t", BenchOptions{});
+  EXPECT_EQ(harness.run([]() -> int { return 7; }), 7);
+}
+
+TEST(BenchHarnessTest, WarmupAndRepeatsRunBodyExpectedTimes) {
+  BenchOptions o;
+  o.bench_json = ::testing::TempDir() + "/BENCH_counts.json";
+  o.warmup = 2;
+  o.repeats = 3;
+  BenchHarness harness("counts", o);
+  int calls = 0;
+  const int rc = harness.run([&]() -> int {
+    ++calls;
+    EXPECT_NE(registry(), nullptr);
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(BenchHarnessTest, BenchJsonMatchesSchemaForSimulatorBody) {
+  const std::string dir = ::testing::TempDir();
+  BenchOptions o;
+  o.bench_json = dir + "/BENCH_sim.json";
+  o.trace_out = dir + "/trace_sim.json";
+  o.metrics_out = dir + "/metrics_sim.json";
+  o.repeats = 2;
+  BenchHarness harness("sim", o);
+
+  const int rc = harness.run([]() -> int {
+    CF_TIMED_SCOPE("timers.test.body");
+    sim::Simulator sim;
+    for (int i = 0; i < 500; ++i) {
+      sim.schedule_at(static_cast<double>(i % 37), [] {});
+    }
+    sim.run_all();
+    return 0;
+  });
+  ASSERT_EQ(rc, 0);
+
+  const json::Value doc = parse_file_or_die(o.bench_json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema_version")->number, 1.0);
+  EXPECT_EQ(doc.find("bench")->string, "sim");
+  EXPECT_EQ(doc.find("warmup")->number, 0.0);
+  EXPECT_EQ(doc.find("repeats")->number, 2.0);
+
+  const json::Value* wall = doc.find("wall_ms");
+  ASSERT_NE(wall, nullptr);
+  const json::Value* runs = wall->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  EXPECT_EQ(runs->array.size(), 2u);
+  EXPECT_GE(wall->find("mean")->number, 0.0);
+  EXPECT_LE(wall->find("min")->number, wall->find("max")->number);
+
+  // The instrumented simulator feeds the headline numbers: the artifact
+  // snapshots the final repeat, which executed exactly 500 events.
+  const json::Value* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->find("executed")->number, 500.0);
+  EXPECT_GE(events->find("per_sec")->number, 0.0);
+  EXPECT_GT(doc.find("peak_queue_depth")->number, 0.0);
+
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("sim.events.executed"), nullptr);
+  EXPECT_EQ(counters->find("sim.events.scheduled")->number, 500.0);
+
+  const json::Value* timers = doc.find("timers_ms");
+  ASSERT_NE(timers, nullptr);
+  const json::Value* body_timer = timers->find("timers.test.body");
+  ASSERT_NE(body_timer, nullptr);
+  EXPECT_EQ(body_timer->find("count")->number, 1.0);  // final repeat only
+  ASSERT_NE(body_timer->find("total"), nullptr);
+  ASSERT_NE(body_timer->find("mean"), nullptr);
+  ASSERT_NE(body_timer->find("p95"), nullptr);
+
+  // The sibling artifacts must be valid JSON too.
+  const json::Value metrics = parse_file_or_die(o.metrics_out);
+  EXPECT_EQ(metrics.find("schema_version")->number, 1.0);
+  const json::Value trace = parse_file_or_die(o.trace_out);
+  ASSERT_NE(trace.find("traceEvents"), nullptr);
+  EXPECT_TRUE(trace.find("traceEvents")->is_array());
+
+  // Collection is torn down once run() returns.
+  EXPECT_EQ(registry(), nullptr);
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(BenchHarnessTest, ArtifactWriteFailureReturnsOne) {
+  BenchOptions o;
+  o.bench_json = "/nonexistent-dir-xyz/BENCH_t.json";
+  BenchHarness harness("t", o);
+  EXPECT_EQ(harness.run([]() -> int { return 0; }), 1);
+}
+
+}  // namespace
+}  // namespace cloudfog::obs

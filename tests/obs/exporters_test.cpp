@@ -1,0 +1,170 @@
+// Schema/validity tests for the metrics exporters: the JSON document is
+// parsed back and checked field-by-field, CSV/JSONL shapes are verified,
+// and write_metrics' extension dispatch is exercised through temp files.
+#include "obs/exporters.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace cloudfog::obs {
+namespace {
+
+json::Value parse_or_die(const std::string& text) {
+  json::ParseResult result = json::parse(text);
+  EXPECT_TRUE(result.ok) << result.error << " at " << result.error_pos;
+  return result.value;
+}
+
+MetricsRegistry& sample_registry() {
+  static MetricsRegistry* r = [] {
+    auto* reg = new MetricsRegistry();
+    reg->counter("sim.events.executed").add(1'000);
+    reg->gauge("sim.queue.depth").set(3.0);
+    reg->gauge("sim.queue.depth").set(12.0);
+    reg->gauge("sim.queue.depth").set(5.0);
+    Histogram& h = reg->histogram("net.latency.one_way_ms");
+    for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+    return reg;
+  }();
+  return *r;
+}
+
+TEST(ExportersTest, JsonDocumentMatchesSchema) {
+  const json::Value doc = parse_or_die(metrics_to_json(sample_registry()));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("schema_version"), nullptr);
+  EXPECT_EQ(doc.find("schema_version")->number, 1.0);
+
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  const json::Value* executed = counters->find("sim.events.executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(executed->number, 1'000.0);
+
+  const json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* depth = gauges->find("sim.queue.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->find("value")->number, 5.0);
+  EXPECT_EQ(depth->find("max")->number, 12.0);
+
+  const json::Value* histograms = doc.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* lat = histograms->find("net.latency.one_way_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->number, 100.0);
+  EXPECT_EQ(lat->find("min")->number, 1.0);
+  EXPECT_EQ(lat->find("max")->number, 100.0);
+  EXPECT_DOUBLE_EQ(lat->find("sum")->number, 5'050.0);
+  EXPECT_DOUBLE_EQ(lat->find("mean")->number, 50.5);
+  // Quantile estimates may overshoot by a bucket width but never undershoot.
+  EXPECT_GE(lat->find("p50")->number, 50.0);
+  EXPECT_LE(lat->find("p50")->number, 55.0);
+  EXPECT_GE(lat->find("p95")->number, 95.0);
+  EXPECT_LE(lat->find("p99")->number, 106.0);
+
+  const json::Value* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  double total = 0.0, prev_edge = -1.0;
+  for (const json::Value& pair : buckets->array) {
+    ASSERT_TRUE(pair.is_array());
+    ASSERT_EQ(pair.array.size(), 2u);
+    EXPECT_GT(pair.array[0].number, prev_edge);  // edges ascend
+    prev_edge = pair.array[0].number;
+    total += pair.array[1].number;
+  }
+  EXPECT_EQ(total, 100.0);
+}
+
+TEST(ExportersTest, EscapesAwkwardMetricNames) {
+  MetricsRegistry r;
+  r.counter("weird \"name\"\\with\nstuff").add(1);
+  const json::Value doc = parse_or_die(metrics_to_json(r));
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("weird \"name\"\\with\nstuff"), nullptr);
+}
+
+TEST(ExportersTest, CsvHasHeaderAndExpectedRows) {
+  const std::string csv = metrics_to_csv(sample_registry());
+  std::istringstream is(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "kind,name,field,value");
+
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  // 1 counter row + 2 gauge rows + 7 histogram rows.
+  EXPECT_EQ(lines.size(), 10u);
+  EXPECT_EQ(lines[0], "counter,sim.events.executed,value,1000");
+  EXPECT_EQ(lines[1], "gauge,sim.queue.depth,value,5");
+  EXPECT_EQ(lines[2], "gauge,sim.queue.depth,max,12");
+  EXPECT_EQ(lines[3], "histogram,net.latency.one_way_ms,count,100");
+}
+
+TEST(ExportersTest, JsonlEveryLineParses) {
+  const std::string jsonl = metrics_to_jsonl(sample_registry());
+  std::istringstream is(jsonl);
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line)) {
+    const json::Value v = parse_or_die(line);
+    ASSERT_TRUE(v.is_object());
+    ASSERT_NE(v.find("kind"), nullptr);
+    ASSERT_NE(v.find("name"), nullptr);
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(ExportersTest, WriteMetricsDispatchesOnExtension) {
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/metrics_out.json";
+  const std::string csv_path = dir + "/metrics_out.csv";
+  const std::string jsonl_path = dir + "/metrics_out.jsonl";
+
+  ASSERT_TRUE(write_metrics(sample_registry(), json_path));
+  ASSERT_TRUE(write_metrics(sample_registry(), csv_path));
+  ASSERT_TRUE(write_metrics(sample_registry(), jsonl_path));
+
+  EXPECT_EQ(slurp(json_path), metrics_to_json(sample_registry()));
+  EXPECT_EQ(slurp(csv_path), metrics_to_csv(sample_registry()));
+  EXPECT_EQ(slurp(jsonl_path), metrics_to_jsonl(sample_registry()));
+}
+
+TEST(ExportersTest, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-xyz/out.json", "{}"));
+}
+
+TEST(JsonTest, NumHandlesSpecialValues) {
+  EXPECT_EQ(json::num(0.0), "0");
+  EXPECT_EQ(json::num(2.5), "2.5");
+  EXPECT_EQ(json::num(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::num(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(json::parse("{").ok);
+  EXPECT_FALSE(json::parse("{} trailing").ok);
+  EXPECT_FALSE(json::parse("{\"a\":}").ok);
+  EXPECT_TRUE(json::parse("  {\"a\": [1, 2.5, \"x\", true, null]}  ").ok);
+}
+
+}  // namespace
+}  // namespace cloudfog::obs

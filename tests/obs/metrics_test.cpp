@@ -1,0 +1,269 @@
+// Unit tests for the obs metrics primitives: counter/gauge semantics,
+// registry lookup and reset behaviour, histogram quantiles against a
+// sorted-sample oracle, and a multi-threaded hammer (the test the tsan CI
+// preset exists for).
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cloudfog::obs {
+namespace {
+
+TEST(CounterTest, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, TracksCurrentValueAndPeak) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.max(), 0.0);
+  g.set(3.0);
+  g.set(9.0);
+  g.set(2.0);
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.max(), 9.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.max(), 0.0);
+}
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+  // The whole sample sits in the first linear bucket.
+  EXPECT_LE(h.quantile(1.0), 1.0 / 32.0 + 1e-12);
+}
+
+// The quantile estimate returns the upper edge of the bucket holding the
+// q-th sample, so it must sit within one bucket width above the exact
+// (sorted-sample) quantile: exact <= estimate <= exact * (1 + 1/sub_buckets)
+// for values >= 1, plus an absolute slack of one linear slot below 1.
+void check_against_oracle(const std::vector<double>& samples) {
+  Histogram h;
+  for (double v : samples) h.record(v);
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double q : {0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    // Same nearest-rank convention the histogram uses: smallest index with
+    // cumulative count >= q * n.
+    const auto n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank > 0) --rank;
+    const double exact = sorted[rank];
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, exact - 1e-9) << "q=" << q;
+    // Relative error bound: one sub-bucket of the containing power-of-two
+    // range (factor 2/32), plus absolute slack for the linear [0,1) range.
+    EXPECT_LE(estimate, exact * (1.0 + 2.0 / 32.0) + 1.0 / 32.0 + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracleUniform) {
+  util::Rng rng(1234);
+  std::vector<double> samples;
+  for (int i = 0; i < 10'000; ++i) samples.push_back(rng.uniform(0.0, 500.0));
+  check_against_oracle(samples);
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracleHeavyTailed) {
+  util::Rng rng(99);
+  std::vector<double> samples;
+  // Spans several orders of magnitude — exercises many exponent ranges.
+  for (int i = 0; i < 10'000; ++i) {
+    samples.push_back(rng.pareto_with_mean(20.0, 2.0));
+  }
+  check_against_oracle(samples);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(HistogramTest, BucketCountsSumToRecordCount) {
+  Histogram h;
+  util::Rng rng(7);
+  for (int i = 0; i < 5'000; ++i) h.record(rng.uniform(0.0, 1e6));
+  std::uint64_t total = 0;
+  for (const auto& [edge, count] : h.nonzero_buckets()) total += count;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistryTest, CreatesOnFirstUseAndFindsByKind) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.size(), 0u);
+  Counter& c = r.counter("events");
+  c.add(3);
+  Gauge& g = r.gauge("depth");
+  g.set(5.0);
+  r.histogram("latency").record(12.0);
+  EXPECT_EQ(r.size(), 3u);
+
+  // Same name returns the same instrument, not a new one.
+  EXPECT_EQ(&r.counter("events"), &c);
+  EXPECT_EQ(r.counter("events").value(), 3u);
+
+  ASSERT_NE(r.find_counter("events"), nullptr);
+  EXPECT_EQ(r.find_counter("events")->value(), 3u);
+  ASSERT_NE(r.find_gauge("depth"), nullptr);
+  ASSERT_NE(r.find_histogram("latency"), nullptr);
+
+  // Lookups never create, and a name of one kind is invisible to the others.
+  EXPECT_EQ(r.find_counter("missing"), nullptr);
+  EXPECT_EQ(r.find_gauge("events"), nullptr);
+  EXPECT_EQ(r.find_histogram("events"), nullptr);
+  EXPECT_EQ(r.find_counter("depth"), nullptr);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry r;
+  Counter& c = r.counter("n");
+  Gauge& g = r.gauge("g");
+  Histogram& h = r.histogram("h");
+  c.add(10);
+  g.set(4.0);
+  h.record(1.5);
+
+  r.reset();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // The old references still feed the same registry entries.
+  c.add(2);
+  EXPECT_EQ(r.find_counter("n")->value(), 2u);
+}
+
+TEST(MetricsRegistryTest, ForEachVisitsInInsertionOrder) {
+  MetricsRegistry r;
+  r.counter("zebra");
+  r.gauge("alpha");
+  r.histogram("mid");
+  std::vector<std::string> names;
+  r.for_each([&](const std::string& name, const Counter*, const Gauge*,
+                 const Histogram*) { names.push_back(name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"zebra", "alpha", "mid"}));
+}
+
+TEST(GlobalRegistryTest, MacrosAreNoOpsWithoutInstalledRegistry) {
+  ASSERT_EQ(registry(), nullptr);
+  // Must not crash, and must not create any global state.
+  CF_OBS_COUNT("ghost.counter", 1);
+  CF_OBS_GAUGE_SET("ghost.gauge", 2.0);
+  CF_OBS_HIST("ghost.hist", 3.0);
+  EXPECT_EQ(registry(), nullptr);
+}
+
+TEST(GlobalRegistryTest, ScopedRegistryInstallsAndRestores) {
+  ASSERT_EQ(registry(), nullptr);
+  MetricsRegistry r;
+  {
+    ScopedRegistry scoped(r);
+    EXPECT_EQ(registry(), &r);
+    CF_OBS_COUNT("scoped.counter", 5);
+    CF_OBS_GAUGE_SET("scoped.gauge", 7.5);
+    CF_OBS_HIST("scoped.hist", 0.25);
+  }
+  EXPECT_EQ(registry(), nullptr);
+  EXPECT_EQ(r.find_counter("scoped.counter")->value(), 5u);
+  EXPECT_EQ(r.find_gauge("scoped.gauge")->value(), 7.5);
+  EXPECT_EQ(r.find_histogram("scoped.hist")->count(), 1u);
+}
+
+TEST(GlobalRegistryTest, ScopedRegistriesNest) {
+  MetricsRegistry outer, inner;
+  ScopedRegistry s1(outer);
+  {
+    ScopedRegistry s2(inner);
+    CF_OBS_COUNT("n", 1);
+  }
+  CF_OBS_COUNT("n", 1);
+  EXPECT_EQ(inner.find_counter("n")->value(), 1u);
+  EXPECT_EQ(outer.find_counter("n")->value(), 1u);
+}
+
+// Concurrent adds on shared instruments plus create-on-first-use races on
+// the registry map. Run under -fsanitize=thread (the `tsan` preset) this
+// proves the locking/atomics story; under any build it proves no update is
+// lost.
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry r;
+  ScopedRegistry scoped(r);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        CF_OBS_COUNT("hammer.shared", 1);
+        CF_OBS_HIST("hammer.hist", static_cast<double>(i % 100));
+        CF_OBS_GAUGE_SET("hammer.gauge", static_cast<double>(t));
+        // Per-thread name: exercises concurrent map insertion too.
+        CF_OBS_COUNT(("hammer.t" + std::to_string(t)).c_str(), 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(r.find_counter("hammer.shared")->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(r.find_histogram("hammer.hist")->count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(r.find_counter("hammer.t" + std::to_string(t))->value(),
+              static_cast<std::uint64_t>(kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace cloudfog::obs
