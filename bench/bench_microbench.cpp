@@ -17,6 +17,7 @@
 #include "util/flags.h"
 
 #include "core/deadline_scheduler.h"
+#include "core/supernode_manager.h"
 #include "net/latency_model.h"
 #include "net/topology.h"
 #include "net/uplink.h"
@@ -29,6 +30,20 @@
 
 namespace cloudfog {
 namespace {
+
+/// Console reporter that additionally publishes every case's adjusted real
+/// time (ns/op) into the obs registry, so `--bench-json` artifacts carry a
+/// per-benchmark "benchmarks" section scripts/bench_compare.py can diff.
+class ObsRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::record_bench_result(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
 
 void BM_SimulatorScheduleAndRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -55,6 +70,40 @@ void BM_SimulatorPeriodicEvents(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorPeriodicEvents);
+
+void BM_SimulatorSteadyState(benchmark::State& state) {
+  // One schedule + one fire per iteration on a long-lived simulator: the
+  // engine's steady-state hot path (slab warm, no growth).
+  sim::Simulator sim;
+  for (int i = 0; i < 64; ++i) sim.schedule_at(0.0, [] {});
+  sim.run_all();
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    sim.schedule_after(1.0, [&ticks] { ++ticks; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorSteadyState);
+
+void BM_SimulatorCancelChurn(benchmark::State& state) {
+  // Schedule a batch, cancel half of it, run the survivors — exercises
+  // handle lookup, tombstoning and the eager heap purge.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1'000);
+    for (int i = 0; i < 1'000; ++i) {
+      ids.push_back(sim.schedule_at(static_cast<double>(i % 89), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_SimulatorCancelChurn);
 
 void BM_RngUniform(benchmark::State& state) {
   util::Rng rng(1);
@@ -83,6 +132,71 @@ void BM_LatencyExpectedOneWay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LatencyExpectedOneWay);
+
+void BM_LatencyPairBias(benchmark::State& state) {
+  const net::LatencyModel model(net::LatencyParams::simulation_profile(1));
+  double total = 0.0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    // 64 distinct unordered pairs, revisited round-robin — the per-session
+    // reuse pattern the streaming pipeline exhibits.
+    total += model.pair_bias(i & 7u, 8u + ((i >> 3) & 7u));
+    ++i;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyPairBias);
+
+void BM_LatencySampleOneWay(benchmark::State& state) {
+  const net::LatencyModel model(net::LatencyParams::simulation_profile(1));
+  util::Rng rng(3);
+  std::vector<net::Endpoint> eps;
+  for (NodeId id = 0; id < 16; ++id) {
+    eps.push_back(net::Endpoint{id,
+                                {30.0 + rng.uniform(0.0, 18.0),
+                                 -120.0 + rng.uniform(0.0, 45.0)},
+                                rng.uniform(1.0, 20.0)});
+  }
+  double total = 0.0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    total += model.sample_one_way_ms(eps[i & 15u], eps[(i >> 4) & 15u], rng);
+    ++i;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencySampleOneWay);
+
+void BM_SupernodeAssign(benchmark::State& state) {
+  // Section III-A3 assignment against a roster of S supernodes; each
+  // iteration assigns one player and releases the slot so the roster state
+  // is identical every iteration.
+  const auto S = static_cast<std::size_t>(state.range(0));
+  net::PlacementConfig config;
+  config.num_players = 2'048 + S;
+  config.num_datacenters = 2;
+  const net::Topology topo =
+      net::build_topology(config, net::LatencyParams::simulation_profile(1));
+  const auto players = topo.hosts_with_role(net::HostRole::kPlayer);
+  core::SupernodeManager mgr(topo, core::SupernodeManagerConfig{},
+                             util::Rng(7));
+  for (std::size_t i = 0; i < S; ++i) {
+    mgr.add_supernode(players[i], 64, 10'000.0);
+  }
+  std::size_t i = 0;
+  const std::size_t callers = players.size() - S;
+  for (auto _ : state) {
+    const NodeId p = players[S + (i % callers)];
+    core::Assignment a = mgr.assign(p, 150.0);
+    if (!a.direct_to_cloud()) mgr.release(a.supernode);
+    benchmark::DoNotOptimize(a.delay_ms);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SupernodeAssign)->Arg(64)->Arg(512);
 
 void BM_TopologyNearestOf25(benchmark::State& state) {
   net::PlacementConfig config;
@@ -241,7 +355,8 @@ int main(int argc, char** argv) {
     benchmark::Initialize(&bench_argc, bench_argv.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
       return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    cloudfog::ObsRecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     return 0;
   });

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts (obs/bench_harness.h schema).
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.15]
+                   [--report-only] [--require-speedup CASE=FACTOR ...]
+
+Diffs the per-case "benchmarks" section (ns/op; lower is better) of two
+artifacts produced with `--bench-json`. For every key present in both files
+it prints baseline, current, and the current/baseline ratio. The body
+wall_ms mean is shown for context but never gates: it tracks
+--benchmark_min_time and repeat counts, not code speed.
+
+Exit status:
+  0  no regression beyond --max-regression (default 15%), and every
+     --require-speedup constraint met
+  1  a shared case regressed by more than the threshold, or a required
+     speedup was not achieved (suppressed by --report-only, which always
+     exits 0 so CI can publish numbers from heterogeneous runners)
+  2  bad invocation / unreadable input
+
+A case present in only one file is reported as "(new)" / "(gone)" and never
+fails the comparison — benchmark sets are allowed to grow.
+
+Examples:
+  # regression gate against the committed pre-optimization baseline
+  python3 scripts/bench_compare.py BENCH_baseline.json BENCH_microbench.json
+
+  # hot-path acceptance: event engine and assign at S=512 both >=3x
+  python3 scripts/bench_compare.py BENCH_baseline.json BENCH_microbench.json \
+      --require-speedup 'BM_SimulatorSteadyState=3' \
+      --require-speedup 'BM_SupernodeAssign/512=3'
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def series(doc):
+    """Flattens the comparable numbers of one artifact: per-case ns/op plus
+    the body wall-time mean."""
+    out = {}
+    for name, value in (doc.get("benchmarks") or {}).items():
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+    wall = doc.get("wall_ms") or {}
+    if isinstance(wall.get("mean"), (int, float)) and wall["mean"] > 0:
+        out["wall_ms.mean"] = float(wall["mean"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="fail when current > baseline * (1 + this) "
+                             "[default 0.15]")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        metavar="CASE=FACTOR",
+                        help="fail unless baseline/current >= FACTOR for CASE "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    base_doc, cur_doc = load(args.baseline), load(args.current)
+    base, cur = series(base_doc), series(cur_doc)
+
+    required = {}
+    for spec in args.require_speedup:
+        case, sep, factor = spec.partition("=")
+        if not sep:
+            print(f"bench_compare: bad --require-speedup '{spec}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        required[case] = float(factor)
+
+    name_w = max([len(k) for k in set(base) | set(cur)] + [4])
+    print(f"{'case':<{name_w}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None:
+            print(f"{name:<{name_w}}  {'(new)':>12}  {c:>12.2f}  {'':>7}")
+            continue
+        if c is None:
+            print(f"{name:<{name_w}}  {b:>12.2f}  {'(gone)':>12}  {'':>7}")
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        verdict = ""
+        if name in required:
+            speedup = b / c if c > 0 else float("inf")
+            if speedup >= required[name]:
+                verdict = f"ok ({speedup:.1f}x >= {required[name]:g}x)"
+            else:
+                verdict = f"FAIL ({speedup:.2f}x < {required[name]:g}x)"
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x below required "
+                    f"{required[name]:g}x")
+        elif name == "wall_ms.mean":
+            # Whole-body wall time scales with --benchmark_min_time and
+            # repeat counts, not with code speed: informational only.
+            verdict = "(informational)"
+        elif ratio > 1.0 + args.max_regression:
+            verdict = f"REGRESSED (> +{args.max_regression:.0%})"
+            failures.append(
+                f"{name}: {b:.2f} -> {c:.2f} "
+                f"(+{(ratio - 1.0) * 100.0:.1f}%)")
+        elif ratio < 1.0:
+            verdict = f"{b / c:.2f}x faster"
+        print(f"{name:<{name_w}}  {b:>12.2f}  {c:>12.2f}  {ratio:>7.3f}  "
+              f"{verdict}")
+
+    missing = [case for case in required if case not in base or case not in cur]
+    for case in missing:
+        failures.append(f"{case}: required case missing from an artifact")
+
+    if failures:
+        print("\nbench_compare: FAILURES" +
+              (" (report-only: ignored)" if args.report_only else ""))
+        for f in failures:
+            print(f"  {f}")
+        if not args.report_only:
+            sys.exit(1)
+    else:
+        print("\nbench_compare: OK")
+
+
+if __name__ == "__main__":
+    main()

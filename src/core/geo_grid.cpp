@@ -1,0 +1,129 @@
+#include "core/geo_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudfog::core {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+GeoGrid::GeoGrid(double cell_deg) : cell_deg_(cell_deg) {
+  CF_CHECK_MSG(cell_deg > 0.0, "grid cell size must be positive");
+}
+
+std::int32_t GeoGrid::cell_coord(double deg) const {
+  return static_cast<std::int32_t>(std::floor(deg / cell_deg_));
+}
+
+GeoGrid::CellKey GeoGrid::cell_key(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<CellKey>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+void GeoGrid::insert(NodeId id, const net::GeoPoint& position) {
+  CF_CHECK_MSG(!member_cell_.contains(id), "id already in the grid");
+  const std::int32_t cx = cell_coord(position.lon_deg);
+  const std::int32_t cy = cell_coord(position.lat_deg);
+  const CellKey key = cell_key(cx, cy);
+  const double c = net::cos_lat(position);
+  cells_[key].push_back(Member{id, position, c});
+  member_cell_.emplace(id, key);
+  ++size_;
+  if (!ever_inserted_) {
+    ever_inserted_ = true;
+    min_cx_ = max_cx_ = cx;
+    min_cy_ = max_cy_ = cy;
+  } else {
+    min_cx_ = std::min(min_cx_, cx);
+    max_cx_ = std::max(max_cx_, cx);
+    min_cy_ = std::min(min_cy_, cy);
+    max_cy_ = std::max(max_cy_, cy);
+  }
+  min_cos_lat_ = std::min(min_cos_lat_, c);
+}
+
+void GeoGrid::remove(NodeId id) {
+  const auto it = member_cell_.find(id);
+  CF_CHECK_MSG(it != member_cell_.end(), "id not in the grid");
+  const auto cell_it = cells_.find(it->second);
+  CF_INVARIANT(cell_it != cells_.end(),
+               "member directory points at an existing cell");
+  auto& members = cell_it->second;
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [id](const Member& m) { return m.id == id; }),
+                members.end());
+  if (members.empty()) cells_.erase(cell_it);
+  member_cell_.erase(it);
+  --size_;
+}
+
+void GeoGrid::scan_cell(std::int32_t cx, std::int32_t cy,
+                        const net::GeoPoint& from, double from_cos_lat,
+                        std::size_t k,
+                        std::vector<std::pair<double, NodeId>>& out) const {
+  const auto it = cells_.find(cell_key(cx, cy));
+  if (it == cells_.end()) return;
+  for (const Member& m : it->second) {
+    const std::pair<double, NodeId> cand{
+        net::haversine_km(from, from_cos_lat, m.position, m.cos_lat), m.id};
+    if (out.size() == k) {
+      if (!(cand < out.back())) continue;
+      out.pop_back();
+    }
+    out.insert(std::upper_bound(out.begin(), out.end(), cand), cand);
+  }
+}
+
+void GeoGrid::nearest_k(const net::GeoPoint& from, std::size_t k,
+                        std::vector<std::pair<double, NodeId>>& out) const {
+  out.clear();
+  if (k == 0 || size_ == 0) return;
+  const double from_cos = net::cos_lat(from);
+  const std::int32_t cx = cell_coord(from.lon_deg);
+  const std::int32_t cy = cell_coord(from.lat_deg);
+  // Walking out to the ever-inserted envelope visits every occupied cell,
+  // so even with pruning disabled the scan is exhaustive.
+  const std::int32_t rmax =
+      std::max({cx - min_cx_, max_cx_ - cx, cy - min_cy_, max_cy_ - cy,
+                std::int32_t{0}});
+  const double lon_shrink = std::sqrt(std::max(0.0, from_cos * min_cos_lat_));
+  for (std::int32_t r = 0; r <= rmax; ++r) {
+    if (out.size() == k && r >= 1) {
+      // Every member in ring >= r differs from `from` by at least (r-1)
+      // cells in latitude or longitude. For a latitude gap of theta,
+      // haversine >= 2R*asin(sin(theta/2)); for a longitude gap it is
+      // >= 2R*asin(sqrt(cos_from * cos_member) * sin(theta/2)), which is
+      // the smaller of the two, so it bounds both cases. Valid only while
+      // theta < pi (sin(theta/2) stops being monotone beyond that — raw
+      // longitude gaps can wrap); past that we keep scanning unpruned.
+      // The 0.999 absorbs rounding so the bound stays strictly below any
+      // distance it prunes; ties against the k-th best keep scanning
+      // because a same-distance member with a smaller id still wins.
+      const double theta = (r - 1) * cell_deg_ * net::kDegToRad;
+      if (theta < kPi) {
+        const double s = std::min(1.0, lon_shrink * std::sin(0.5 * theta));
+        const double bound_km =
+            2.0 * net::kEarthRadiusKm * std::asin(s) * 0.999;
+        if (bound_km > out.back().first) break;
+      }
+    }
+    if (r == 0) {
+      scan_cell(cx, cy, from, from_cos, k, out);
+      continue;
+    }
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      scan_cell(cx + dx, cy - r, from, from_cos, k, out);
+      scan_cell(cx + dx, cy + r, from, from_cos, k, out);
+    }
+    for (std::int32_t dy = -r + 1; dy <= r - 1; ++dy) {
+      scan_cell(cx - r, cy + dy, from, from_cos, k, out);
+      scan_cell(cx + r, cy + dy, from, from_cos, k, out);
+    }
+  }
+}
+
+}  // namespace cloudfog::core

@@ -1,0 +1,75 @@
+// Geographic grid index for deterministic nearest-k queries over a mutable
+// node set — the spatial index behind SupernodeManager::assign.
+//
+// Members are bucketed into lat/lon cells of `cell_deg` degrees. A query
+// walks cells in expanding Chebyshev rings around the query point and keeps
+// a sorted bound of the k best (distance_km, id) pairs seen so far. The walk
+// stops once every unvisited ring is provably farther than the current k-th
+// best, using a conservative haversine lower bound for "any point at least
+// (r-1) cells away". Distances are the exact same haversine_km doubles a
+// brute-force scan would compute (via the precomputed-cos overload, which is
+// bit-identical), and ties are broken by ascending id — so the result is
+// element-for-element identical to sorting all members by (distance, id)
+// and truncating to k. See DESIGN.md §8 for the determinism argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/geo.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+class GeoGrid {
+ public:
+  /// `cell_deg` trades ring-walk granularity against bucket occupancy;
+  /// 2° cells (~220 km at the equator) suit continental-US rosters.
+  explicit GeoGrid(double cell_deg = 2.0);
+
+  /// Adds a member. Ids must be unique; positions are captured by value and
+  /// treated as immutable until the member is removed.
+  void insert(NodeId id, const net::GeoPoint& position);
+
+  /// Removes a previously inserted member.
+  void remove(NodeId id);
+
+  std::size_t size() const { return size_; }
+
+  /// Fills `out` (cleared first) with the min(k, size) nearest members in
+  /// ascending (haversine_km(from, member), id) order — identical to a full
+  /// brute-force sort.
+  void nearest_k(const net::GeoPoint& from, std::size_t k,
+                 std::vector<std::pair<double, NodeId>>& out) const;
+
+ private:
+  struct Member {
+    NodeId id = kInvalidNode;
+    net::GeoPoint position;
+    double cos_lat = 1.0;
+  };
+  using CellKey = std::uint64_t;
+
+  std::int32_t cell_coord(double deg) const;
+  static CellKey cell_key(std::int32_t cx, std::int32_t cy);
+  void scan_cell(std::int32_t cx, std::int32_t cy, const net::GeoPoint& from,
+                 double from_cos_lat, std::size_t k,
+                 std::vector<std::pair<double, NodeId>>& out) const;
+
+  double cell_deg_;
+  std::unordered_map<CellKey, std::vector<Member>> cells_;
+  std::unordered_map<NodeId, CellKey> member_cell_;
+  std::size_t size_ = 0;
+
+  // Monotone envelope over every member EVER inserted (never shrunk on
+  // remove): the ring walk and the longitude term of the distance bound stay
+  // conservative without tracking exact extrema under churn.
+  bool ever_inserted_ = false;
+  double min_cos_lat_ = 1.0;
+  std::int32_t min_cx_ = 0, max_cx_ = 0, min_cy_ = 0, max_cy_ = 0;
+};
+
+}  // namespace cloudfog::core

@@ -23,6 +23,7 @@ void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps
   rec.upload_kbps = upload_kbps;
   records_.emplace(host, rec);
   roster_.push_back(host);
+  grid_.insert(host, topology_.host(host).position);
   CF_INVARIANT(records_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
 }
@@ -30,7 +31,11 @@ void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps
 void SupernodeManager::remove_supernode(NodeId host) {
   const auto it = records_.find(host);
   CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
+  CF_CHECK_MSG(it->second.assigned == 0,
+               "removing a supernode with players still assigned — release "
+               "or reassign them first");
   records_.erase(it);
+  grid_.remove(host);
   roster_.erase(std::remove(roster_.begin(), roster_.end(), host), roster_.end());
   CF_INVARIANT(records_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
@@ -46,7 +51,9 @@ const SupernodeRecord& SupernodeManager::record(NodeId host) const {
   return it->second;
 }
 
-std::vector<NodeId> SupernodeManager::supernodes() const { return roster_; }
+const std::vector<NodeId>& SupernodeManager::supernodes() const {
+  return roster_;
+}
 
 Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
   CF_CHECK_MSG(l_max_ms > 0.0, "latency threshold must be positive");
@@ -54,41 +61,43 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
   if (records_.empty()) return result;
 
   // Step 1 — cloud side: the closest candidates by coordinate distance
-  // (node coordinates derived from IP addresses in the paper).
-  std::vector<std::pair<double, NodeId>> by_distance;
-  by_distance.reserve(roster_.size());
+  // (node coordinates derived from IP addresses in the paper). The grid
+  // index and the exhaustive scan produce element-for-element identical
+  // candidate lists (same haversine doubles, ties by ascending id).
   const net::GeoPoint player_pos = topology_.host(player).position;
-  for (NodeId sn : roster_) {
-    by_distance.emplace_back(
-        net::haversine_km(player_pos, topology_.host(sn).position), sn);
+  const std::size_t k = std::min(config_.candidate_count, roster_.size());
+  if (config_.use_spatial_index) {
+    grid_.nearest_k(player_pos, k, candidates_);
+  } else {
+    candidates_.clear();
+    candidates_.reserve(roster_.size());
+    for (NodeId sn : roster_) {
+      candidates_.emplace_back(
+          net::haversine_km(player_pos, topology_.host(sn).position), sn);
+    }
+    std::partial_sort(candidates_.begin(),
+                      candidates_.begin() + static_cast<std::ptrdiff_t>(k),
+                      candidates_.end());
+    candidates_.resize(k);
   }
-  const std::size_t k = std::min(config_.candidate_count, by_distance.size());
-  std::partial_sort(by_distance.begin(),
-                    by_distance.begin() + static_cast<std::ptrdiff_t>(k),
-                    by_distance.end());
 
   // Step 2 — player side: probe transmission delay, filter by L_max.
-  struct Probe {
-    TimeMs delay;
-    NodeId sn;
-  };
-  std::vector<Probe> qualified;
-  for (std::size_t i = 0; i < k; ++i) {
-    const NodeId sn = by_distance[i].second;
+  qualified_.clear();
+  for (const auto& [dist_km, sn] : candidates_) {
     TimeMs delay = topology_.expected_server_one_way_ms(sn, player);
     if (config_.probe_jitter_sigma > 0.0) {
       delay *= rng_.lognormal(0.0, config_.probe_jitter_sigma);
     }
-    if (delay <= l_max_ms) qualified.push_back({delay, sn});
+    if (delay <= l_max_ms) qualified_.push_back({delay, sn});
   }
-  std::sort(qualified.begin(), qualified.end(),
+  std::sort(qualified_.begin(), qualified_.end(),
             [](const Probe& a, const Probe& b) {
               return a.delay != b.delay ? a.delay < b.delay : a.sn < b.sn;
             });
 
   // Step 3 — choose the fastest qualified supernode with spare capacity;
   // the rest become backups.
-  for (const Probe& p : qualified) {
+  for (const Probe& p : qualified_) {
     SupernodeRecord& rec = records_.at(p.sn);
     if (result.direct_to_cloud() && rec.available() > 0) {
       ++rec.assigned;

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/geo_grid.h"
 #include "net/topology.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -52,6 +54,11 @@ struct SupernodeManagerConfig {
   std::size_t candidate_count = 8;
   /// Measurement noise of a delay probe (lognormal sigma; 0 = exact).
   double probe_jitter_sigma = 0.05;
+  /// Find candidates via the geographic grid index (expanding-ring search)
+  /// instead of scanning the whole roster. Both paths return exactly the
+  /// same candidates in the same order; the flag exists so tests can cross
+  /// check them and benchmarks can measure the difference.
+  bool use_spatial_index = true;
 };
 
 /// The cloud's supernode table plus the assignment algorithm.
@@ -61,16 +68,22 @@ class SupernodeManager {
                    util::Rng rng);
 
   /// Registers a supernode (idempotent-checked: a host may register once).
+  /// `host` must be a host of the topology — its coordinates feed the
+  /// spatial index.
   void add_supernode(NodeId host, int capacity, Kbps upload_kbps);
 
   /// Deregisters a supernode (paper: supernodes notify the central server
-  /// before leaving). Its players must be reassigned by the caller.
+  /// before leaving). The caller must have reassigned (released) its
+  /// players first — removing a supernode with assigned > 0 would strand
+  /// session-layer slots, so it is checked.
   void remove_supernode(NodeId host);
 
   bool is_supernode(NodeId host) const;
   std::size_t supernode_count() const { return records_.size(); }
   const SupernodeRecord& record(NodeId host) const;
-  std::vector<NodeId> supernodes() const;
+  /// Registered supernodes in insertion order. The reference stays valid
+  /// until the next add/remove; copy before mutating or reordering.
+  const std::vector<NodeId>& supernodes() const;
 
   /// Runs the Section III-A3 algorithm for `player` whose game tolerates at
   /// most `l_max_ms` one-way streaming delay. On success the chosen
@@ -91,11 +104,21 @@ class SupernodeManager {
   std::int64_t total_assigned() const;
 
  private:
+  struct Probe {
+    TimeMs delay;
+    NodeId sn;
+  };
+
   const net::Topology& topology_;
   SupernodeManagerConfig config_;
   util::Rng rng_;
   std::unordered_map<NodeId, SupernodeRecord> records_;
   std::vector<NodeId> roster_;  // insertion-ordered ids for determinism
+  GeoGrid grid_;                // roster by position, for assign()
+  // Scratch reused across assign() calls to keep the hot path free of
+  // steady-state allocations.
+  std::vector<std::pair<double, NodeId>> candidates_;
+  std::vector<Probe> qualified_;
 };
 
 }  // namespace cloudfog::core

@@ -4,19 +4,19 @@
 
 namespace cloudfog::net {
 
-namespace {
-constexpr double kEarthRadiusKm = 6371.0;
-constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
-}  // namespace
+double cos_lat(const GeoPoint& p) { return std::cos(p.lat_deg * kDegToRad); }
 
 double haversine_km(const GeoPoint& a, const GeoPoint& b) {
-  const double lat1 = a.lat_deg * kDegToRad;
-  const double lat2 = b.lat_deg * kDegToRad;
+  return haversine_km(a, cos_lat(a), b, cos_lat(b));
+}
+
+double haversine_km(const GeoPoint& a, double cos_lat_a, const GeoPoint& b,
+                    double cos_lat_b) {
   const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
   const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
   const double s = std::sin(dlat / 2.0);
   const double t = std::sin(dlon / 2.0);
-  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  const double h = s * s + cos_lat_a * cos_lat_b * t * t;
   return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
 }
 

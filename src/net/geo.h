@@ -11,6 +11,12 @@
 
 namespace cloudfog::net {
 
+/// Mean Earth radius and degree→radian factor used by haversine_km —
+/// exported so spatial indexes can derive distance bounds consistent with
+/// the distances the model computes.
+inline constexpr double kEarthRadiusKm = 6371.0;
+inline constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+
 /// A point on the globe, degrees.
 struct GeoPoint {
   double lat_deg = 0.0;
@@ -21,6 +27,20 @@ struct GeoPoint {
 
 /// Great-circle distance in kilometres (haversine, mean Earth radius).
 double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// cos(latitude) of `p` — the only per-point term of haversine_km worth
+/// precomputing (the delta terms depend on both points). Hosts compute it
+/// once at topology build time; the value is bit-identical to what
+/// haversine_km(a, b) derives internally, so feeding it back through the
+/// overload below changes nothing but speed.
+double cos_lat(const GeoPoint& p);
+
+/// haversine_km with both cos(latitude) terms precomputed (see cos_lat).
+/// Bit-identical to the two-argument overload by construction: the delta
+/// terms are still computed from the degree differences, because
+/// (b - a) * kDegToRad and b * kDegToRad - a * kDegToRad round differently.
+double haversine_km(const GeoPoint& a, double cos_lat_a, const GeoPoint& b,
+                    double cos_lat_b);
 
 /// A US metro area used for population-weighted host placement.
 struct Metro {

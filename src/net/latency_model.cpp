@@ -37,7 +37,24 @@ LatencyParams LatencyParams::planetlab_profile(std::uint64_t seed) {
   return p;
 }
 
-double LatencyModel::pair_bias(NodeId a, NodeId b) const {
+namespace {
+
+/// The endpoint's precomputed cos(latitude), or the on-the-fly value for
+/// hand-built endpoints carrying the sentinel (bit-identical either way —
+/// cos_lat() is the exact expression haversine_km uses internally).
+double endpoint_cos_lat(const Endpoint& e) {
+  return e.cos_lat <= 1.0 ? e.cos_lat : cos_lat(e.position);
+}
+
+/// Deterministic cache-line index for an unordered id pair.
+std::size_t pair_slot(std::uint64_t lo, std::uint64_t hi, std::size_t mask) {
+  std::uint64_t state = (lo << 32) ^ hi;
+  return static_cast<std::size_t>(util::splitmix64(state)) & mask;
+}
+
+}  // namespace
+
+double LatencyModel::pair_bias_uncached(NodeId a, NodeId b) const {
   // Deterministic lognormal(0, sigma) derived from (seed, unordered pair).
   const auto lo = static_cast<std::uint64_t>(std::min(a, b));
   const auto hi = static_cast<std::uint64_t>(std::max(a, b));
@@ -53,11 +70,52 @@ double LatencyModel::pair_bias(NodeId a, NodeId b) const {
   return std::exp(params_.pair_bias_sigma * z);
 }
 
-TimeMs LatencyModel::route_ms(const Endpoint& a, const Endpoint& b) const {
-  const double d_km = haversine_km(a.position, b.position);
+double LatencyModel::pair_bias(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  PairEntry& e = cache_[pair_slot(lo, hi, kPairCacheSize - 1)];
+  if (e.lo != lo || e.hi != hi) {
+    e.lo = lo;
+    e.hi = hi;
+    e.bias = pair_bias_uncached(lo, hi);
+    e.d_km = -1.0;  // distance half belongs to the evicted pair
+  }
+  return e.bias;
+}
+
+const LatencyModel::PairEntry& LatencyModel::pair_entry(
+    const Endpoint& a, const Endpoint& b) const {
+  // Normalize to (lo, hi) id order. haversine_km is bit-identically
+  // symmetric (the delta terms are squared, the cos product commutes), so
+  // the stored distance serves queries in either argument order.
+  const bool a_is_lo = a.id <= b.id;
+  const Endpoint& lo_ep = a_is_lo ? a : b;
+  const Endpoint& hi_ep = a_is_lo ? b : a;
+  PairEntry& e = cache_[pair_slot(lo_ep.id, hi_ep.id, kPairCacheSize - 1)];
+  if (e.lo != lo_ep.id || e.hi != hi_ep.id) {
+    e.lo = lo_ep.id;
+    e.hi = hi_ep.id;
+    e.bias = pair_bias_uncached(lo_ep.id, hi_ep.id);
+    e.d_km = -1.0;
+  }
+  if (e.d_km < 0.0 || !(e.lo_pos == lo_ep.position) ||
+      !(e.hi_pos == hi_ep.position)) {
+    e.lo_pos = lo_ep.position;
+    e.hi_pos = hi_ep.position;
+    e.d_km = haversine_km(lo_ep.position, endpoint_cos_lat(lo_ep),
+                          hi_ep.position, endpoint_cos_lat(hi_ep));
+  }
+  return e;
+}
+
+TimeMs LatencyModel::route_from_km(double d_km) const {
   const double fiber = d_km * params_.fiber_ms_per_km * params_.route_inflation;
   const double hops = params_.hops_base + params_.hops_per_1000km * d_km / 1000.0;
   return fiber + hops * params_.per_hop_ms;
+}
+
+TimeMs LatencyModel::route_ms(const Endpoint& a, const Endpoint& b) const {
+  return route_from_km(pair_entry(a, b).d_km);
 }
 
 TimeMs LatencyModel::expected_one_way_ms(const Endpoint& a,
@@ -66,27 +124,29 @@ TimeMs LatencyModel::expected_one_way_ms(const Endpoint& a,
   // The per-pair route bias applies to the backbone path only — a host's
   // access (last-mile) delay is a property of the host, not the route, and
   // must not be scaled away by picking a lucky peer.
-  return route_ms(a, b) * pair_bias(a.id, b.id) + a.last_mile_ms + b.last_mile_ms;
+  const PairEntry& e = pair_entry(a, b);
+  return route_from_km(e.d_km) * e.bias + a.last_mile_ms + b.last_mile_ms;
 }
 
 double LatencyModel::loss_probability(const Endpoint& a,
                                       const Endpoint& b) const {
   if (a.id == b.id) return 0.0;
-  const double d_km = haversine_km(a.position, b.position);
+  const PairEntry& e = pair_entry(a, b);
   const double rate = (params_.base_loss +
-                       params_.loss_per_1000km * d_km / 1000.0) *
-                      pair_bias(a.id, b.id);
+                       params_.loss_per_1000km * e.d_km / 1000.0) *
+                      e.bias;
   return std::min(params_.loss_cap, std::max(0.0, rate));
 }
 
 TimeMs LatencyModel::sample_one_way_ms(const Endpoint& a, const Endpoint& b,
                                        util::Rng& rng) const {
-  CF_OBS_COUNT("net.latency.samples", 1);
+  CF_OBS_COUNT_HOT("net.latency.samples", 1);
   if (a.id == b.id) return 0.1;
-  const double route = route_ms(a, b) * pair_bias(a.id, b.id) *
+  const PairEntry& e = pair_entry(a, b);
+  const double route = route_from_km(e.d_km) * e.bias *
                        rng.lognormal(0.0, params_.jitter_sigma);
   const TimeMs sample = route + a.last_mile_ms + b.last_mile_ms;
-  CF_OBS_HIST("net.latency.one_way_ms", sample);
+  CF_OBS_HIST_HOT("net.latency.one_way_ms", sample);
   return sample;
 }
 

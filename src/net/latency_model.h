@@ -17,7 +17,9 @@
 // jitter (matching real measured PlanetLab path behaviour).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "net/geo.h"
 #include "util/rng.h"
@@ -54,12 +56,22 @@ struct Endpoint {
   NodeId id = kInvalidNode;
   GeoPoint position;
   TimeMs last_mile_ms = 0.0;  // access-network delay of this host
+  /// Precomputed cos(latitude) (see net::cos_lat). Valid values lie in
+  /// [-1, 1]; the default sentinel 2.0 makes the model derive it on the
+  /// fly, so endpoints built by hand (tests) keep working unchanged.
+  double cos_lat = 2.0;
 };
 
-/// Stateless latency calculator over endpoint pairs.
+/// Latency calculator over endpoint pairs. Logically const: every quantity
+/// is a pure deterministic function of (params, endpoints). Internally it
+/// memoizes the per-pair route bias and great-circle distance in a small
+/// direct-mapped cache — hits return the exact double a fresh computation
+/// would, so memoization is invisible to results (DESIGN.md §8). The cache
+/// makes the model non-thread-safe; the simulation is single-threaded.
 class LatencyModel {
  public:
-  explicit LatencyModel(LatencyParams params) : params_(params) {}
+  explicit LatencyModel(LatencyParams params)
+      : params_(params), cache_(kPairCacheSize) {}
 
   const LatencyParams& params() const { return params_; }
 
@@ -77,8 +89,12 @@ class LatencyModel {
   }
 
   /// The deterministic multiplicative route bias for a pair (exposed for
-  /// tests and trace generation).
+  /// tests and trace generation). Memoized; == pair_bias_uncached always.
   double pair_bias(NodeId a, NodeId b) const;
+
+  /// pair_bias computed from scratch, bypassing the memo — the reference
+  /// the memo is tested against.
+  double pair_bias_uncached(NodeId a, NodeId b) const;
 
   /// The unbiased backbone component (fiber + routers) of a pair's path.
   TimeMs route_ms(const Endpoint& a, const Endpoint& b) const;
@@ -88,7 +104,27 @@ class LatencyModel {
   double loss_probability(const Endpoint& a, const Endpoint& b) const;
 
  private:
+  /// One direct-mapped memo line. Keyed on the unordered id pair; the bias
+  /// is valid whenever the keys match (it depends only on seed + ids), the
+  /// distance additionally requires the stored positions to match — node
+  /// ids can be rebound to new coordinates across topologies sharing a
+  /// model (tests do), so a hit must prove it cached *these* coordinates.
+  struct PairEntry {
+    NodeId lo = kInvalidNode;
+    NodeId hi = kInvalidNode;
+    GeoPoint lo_pos, hi_pos;
+    double bias = 0.0;
+    double d_km = -1.0;  // < 0: distance half not populated
+  };
+  static constexpr std::size_t kPairCacheSize = 4096;  // power of two
+
+  /// Returns the memo line for the pair, populated/refreshed as needed.
+  const PairEntry& pair_entry(const Endpoint& a, const Endpoint& b) const;
+  /// Backbone latency for a known great-circle distance.
+  TimeMs route_from_km(double d_km) const;
+
   LatencyParams params_;
+  mutable std::vector<PairEntry> cache_;
 };
 
 }  // namespace cloudfog::net

@@ -28,6 +28,7 @@ NodeId Topology::add_host(HostRole role, GeoPoint position, TimeMs last_mile_ms,
   h.last_mile_ms = last_mile_ms;
   h.server_last_mile_ms =
       server_last_mile_ms < 0.0 ? last_mile_ms : server_last_mile_ms;
+  h.cos_lat = cos_lat(position);
   h.label = std::move(label);
   hosts_.push_back(std::move(h));
   return hosts_.back().id;
@@ -47,12 +48,12 @@ std::vector<NodeId> Topology::hosts_with_role(HostRole role) const {
 
 Endpoint Topology::endpoint(NodeId id) const {
   const Host& h = host(id);
-  return Endpoint{h.id, h.position, h.last_mile_ms};
+  return Endpoint{h.id, h.position, h.last_mile_ms, h.cos_lat};
 }
 
 Endpoint Topology::server_endpoint(NodeId id) const {
   const Host& h = host(id);
-  return Endpoint{h.id, h.position, h.server_last_mile_ms};
+  return Endpoint{h.id, h.position, h.server_last_mile_ms, h.cos_lat};
 }
 
 TimeMs Topology::expected_server_one_way_ms(NodeId server, NodeId client) const {

@@ -33,6 +33,10 @@ struct Host {
   /// well-provisioned uplinks, so a contributed machine serves over its
   /// wired access, not the Wi-Fi path its owner games over.
   TimeMs server_last_mile_ms = 0.0;
+  /// cos(latitude), precomputed once at add_host time and forwarded into
+  /// every Endpoint so the latency model's haversine skips its two cos
+  /// calls (bit-identical — see net::cos_lat).
+  double cos_lat = 1.0;
   std::string label;  // metro name or datacenter name, for reports
 };
 

@@ -13,6 +13,8 @@
 
 namespace cloudfog::obs {
 
+const std::string kBenchResultPrefix = "bench.result.";
+
 const std::vector<std::string>& bench_flag_keys() {
   static const std::vector<std::string> keys{
       "metrics-out", "trace-out", "bench-json", "bench-warmup",
@@ -82,12 +84,19 @@ std::string bench_json_document(const std::string& name,
   out += ",\"peak_queue_depth\":" +
          json::num(depth != nullptr ? depth->max() : 0.0);
 
-  std::string counters, timers;
+  std::string counters, timers, results;
   registry.for_each([&](const std::string& metric, const Counter* c,
-                        const Gauge*, const Histogram* h) {
+                        const Gauge* g, const Histogram* h) {
     if (c != nullptr) {
       if (!counters.empty()) counters += ",";
       counters += "\"" + json::escape(metric) + "\":" + std::to_string(c->value());
+    } else if (g != nullptr && metric.rfind(kBenchResultPrefix, 0) == 0) {
+      // Per-benchmark results published by the body (google-benchmark
+      // reporters, custom timing loops) via record_bench_result().
+      if (!results.empty()) results += ",";
+      results += "\"" +
+                 json::escape(metric.substr(kBenchResultPrefix.size())) +
+                 "\":" + json::num(g->value());
     } else if (h != nullptr && metric.rfind("timers.", 0) == 0) {
       if (!timers.empty()) timers += ",";
       timers += "\"" + json::escape(metric) + "\":{\"count\":" +
@@ -96,11 +105,16 @@ std::string bench_json_document(const std::string& name,
                 ",\"p95\":" + json::num(h->quantile(0.95)) + "}";
     }
   });
-  out += ",\"counters\":{" + counters + "},\"timers_ms\":{" + timers + "}}";
+  out += ",\"counters\":{" + counters + "},\"timers_ms\":{" + timers +
+         "},\"benchmarks\":{" + results + "}}";
   return out;
 }
 
 }  // namespace
+
+void record_bench_result(const std::string& name, double ns_per_op) {
+  CF_OBS_GAUGE_SET((kBenchResultPrefix + name), ns_per_op);
+}
 
 BenchHarness::BenchHarness(std::string name, BenchOptions options)
     : name_(std::move(name)), options_(std::move(options)) {

@@ -25,7 +25,14 @@
 //     "peak_queue_depth": <num>,
 //     "counters": {"<name>": <uint>, ...},
 //     "timers_ms": {"<name>": {"count": <uint>, "total": <num>,
-//                              "mean": <num>, "p95": <num>}, ...} }
+//                              "mean": <num>, "p95": <num>}, ...},
+//     "benchmarks": {"<case>": <ns_per_op>, ...} }
+//
+// The "benchmarks" object carries per-case results published by the bench
+// body through record_bench_result() — e.g. bench_microbench forwards every
+// google-benchmark case's adjusted real time (ns/op). It is empty for bench
+// bodies that publish nothing. scripts/bench_compare.py diffs two of these
+// documents case-by-case.
 #pragma once
 
 #include <functional>
@@ -57,6 +64,14 @@ BenchOptions bench_options_from_flags(const util::Flags& flags,
 
 /// One-line usage text for the harness flags (benches append it to --help).
 std::string bench_flags_help();
+
+/// Gauge-name prefix under which per-case results travel through the
+/// metrics registry into the BENCH json "benchmarks" section.
+extern const std::string kBenchResultPrefix;
+
+/// Publishes one per-case result (ns/op) into the active registry; a no-op
+/// when collection is off, like every CF_OBS_* path.
+void record_bench_result(const std::string& name, double ns_per_op);
 
 class BenchHarness {
  public:

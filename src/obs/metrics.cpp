@@ -32,9 +32,12 @@ void atomic_add(std::atomic<double>& target, double v) {
   }
 }
 
-std::atomic<MetricsRegistry*> g_registry{nullptr};
-
 }  // namespace
+
+namespace internal {
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+std::atomic<std::uint64_t> g_epoch{1};
+}  // namespace internal
 
 void Gauge::set(double v) {
   value_.store(v, std::memory_order_relaxed);
@@ -96,6 +99,23 @@ void Histogram::record(double v) {
   atomic_add(sum_, v);
   atomic_min(min_, v);
   atomic_max(max_, v);
+}
+
+void Histogram::record_single_writer(double v) {
+  if (!(v > 0.0)) v = 0.0;  // same clamp as record()
+  auto& bucket = buckets_[bucket_index(v)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  count_.store(count_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  sum_.store(sum_.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+  if (v < min_.load(std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+  }
+  if (v > max_.load(std::memory_order_relaxed)) {
+    max_.store(v, std::memory_order_relaxed);
+  }
 }
 
 double Histogram::min() const {
@@ -214,10 +234,11 @@ std::size_t MetricsRegistry::size() const {
   return order_.size();
 }
 
-MetricsRegistry* registry() { return g_registry.load(std::memory_order_acquire); }
-
 MetricsRegistry* set_registry(MetricsRegistry* r) {
-  return g_registry.exchange(r, std::memory_order_acq_rel);
+  // Epoch first: a callsite cache that observes the new registry is then
+  // guaranteed to also observe a moved epoch and re-resolve.
+  internal::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  return internal::g_registry.exchange(r, std::memory_order_acq_rel);
 }
 
 }  // namespace cloudfog::obs

@@ -33,6 +33,15 @@ namespace cloudfog::obs {
 class Counter {
  public:
   void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Single-writer add: plain load+store instead of a locked RMW — several
+  /// times cheaper on the hot path, race-free (both halves are atomic ops)
+  /// but loses increments if a *second* thread writes concurrently. Only
+  /// the Cached* callsite wrappers use it; they are restricted to
+  /// single-threaded callsites already.
+  void add_single_writer(std::uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -45,6 +54,15 @@ class Counter {
 class Gauge {
  public:
   void set(double v);
+  /// Single-writer set: skips the CAS max-loop (plain load+compare+store).
+  /// Exact when this gauge has one writing thread — the Cached* wrappers'
+  /// contract. See Counter::add_single_writer.
+  void set_single_writer(double v) {
+    value_.store(v, std::memory_order_relaxed);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   /// Highest value ever set since construction/reset (0 if never set).
   double max() const { return max_.load(std::memory_order_relaxed); }
@@ -74,6 +92,10 @@ class Histogram {
   explicit Histogram(Options options);
 
   void record(double v);
+  /// Single-writer record: plain load+store aggregates instead of five
+  /// atomic RMW/CAS operations. Exact when this histogram has one writing
+  /// thread — the Cached* wrappers' contract. See Counter::add_single_writer.
+  void record_single_writer(double v);
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const;  // 0 when empty
@@ -153,9 +175,27 @@ class MetricsRegistry {
   std::vector<Entry*> order_;  // insertion order for deterministic export
 };
 
+namespace internal {
+/// Storage behind registry(); only set_registry() may write it.
+extern std::atomic<MetricsRegistry*> g_registry;
+/// Bumped by every set_registry() call (starts at 1, never reused), so
+/// callsite caches can tell "same registry still installed" apart from
+/// "different registry at the same address" (registries are routinely
+/// stack-allocated and a successor can reuse the predecessor's storage).
+extern std::atomic<std::uint64_t> g_epoch;
+}  // namespace internal
+
 /// The process-wide registry the CF_OBS_* macros feed. Null (collection
-/// disabled) by default.
-MetricsRegistry* registry();
+/// disabled) by default. Inline so the macros' off-path is a single load +
+/// branch at every instrumentation site rather than a function call.
+inline MetricsRegistry* registry() {
+  return internal::g_registry.load(std::memory_order_acquire);
+}
+
+/// Install-count of the process-wide registry; see internal::g_epoch.
+inline std::uint64_t registry_epoch() {
+  return internal::g_epoch.load(std::memory_order_acquire);
+}
 /// Installs `r` as the active registry (nullptr disables collection).
 /// Returns the previously installed registry.
 MetricsRegistry* set_registry(MetricsRegistry* r);
@@ -172,6 +212,82 @@ class ScopedRegistry {
   MetricsRegistry* previous_;
 };
 
+// ---------------------------------------------------------------------------
+// Per-callsite instrument caches for hot paths.
+//
+// `MetricsRegistry::counter("name")` takes the registry mutex and walks a
+// string map — tens of nanoseconds, which dwarfs the instrument update
+// itself on paths that fire millions of times per second (the simulator's
+// schedule/fire cycle). A Cached* object remembers the resolved instrument
+// pointer together with the registry epoch it was resolved under and only
+// re-resolves when the epoch moves (i.e. after any set_registry()). The
+// epoch check makes the cache immune to a new registry reusing a destroyed
+// one's address.
+//
+// The caller reads `registry()` / `registry_epoch()` once and passes them
+// to every cache at the site, so a multi-instrument site pays the two
+// atomic loads once. Caches are constexpr-constructible and trivially
+// destructible, so a block-scope `static` cache has no init guard.
+//
+// Caveat: the cache members are deliberately plain (non-atomic), and the
+// updates go through the instruments' *_single_writer fast paths (plain
+// load+store instead of locked RMW). A given Cached* object must only be
+// used from one thread at a time — which holds for their intended home,
+// the single-threaded simulation hot paths. Use the plain CF_OBS_* macros
+// at callsites that may be shared across threads.
+// ---------------------------------------------------------------------------
+
+class CachedCounter {
+ public:
+  explicit constexpr CachedCounter(const char* name) : name_(name) {}
+  void add(MetricsRegistry* r, std::uint64_t epoch, std::uint64_t n = 1) {
+    if (epoch != epoch_) {
+      counter_ = &r->counter(name_);
+      epoch_ = epoch;
+    }
+    counter_->add_single_writer(n);
+  }
+
+ private:
+  const char* name_;
+  Counter* counter_ = nullptr;
+  std::uint64_t epoch_ = 0;  // g_epoch starts at 1, so 0 = never resolved
+};
+
+class CachedGauge {
+ public:
+  explicit constexpr CachedGauge(const char* name) : name_(name) {}
+  void set(MetricsRegistry* r, std::uint64_t epoch, double v) {
+    if (epoch != epoch_) {
+      gauge_ = &r->gauge(name_);
+      epoch_ = epoch;
+    }
+    gauge_->set_single_writer(v);
+  }
+
+ private:
+  const char* name_;
+  Gauge* gauge_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+class CachedHistogram {
+ public:
+  explicit constexpr CachedHistogram(const char* name) : name_(name) {}
+  void record(MetricsRegistry* r, std::uint64_t epoch, double v) {
+    if (epoch != epoch_) {
+      histogram_ = &r->histogram(name_);
+      epoch_ = epoch;
+    }
+    histogram_->record_single_writer(v);
+  }
+
+ private:
+  const char* name_;
+  Histogram* histogram_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
 }  // namespace cloudfog::obs
 
 // Instrumentation macros. A disabled build compiles them away entirely;
@@ -185,6 +301,15 @@ class ScopedRegistry {
   } while (0)
 #define CF_OBS_HIST(name, v) \
   do {                       \
+  } while (0)
+#define CF_OBS_BLOCK(body) \
+  do {                     \
+  } while (0)
+#define CF_OBS_COUNT_HOT(name, n) \
+  do {                            \
+  } while (0)
+#define CF_OBS_HIST_HOT(name, v) \
+  do {                           \
   } while (0)
 #else
 #define CF_OBS_COUNT(name, n)                                     \
@@ -207,6 +332,38 @@ class ScopedRegistry {
     if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
             ::cloudfog::obs::registry()) {                        \
       cf_obs_r->histogram(name).record(static_cast<double>(v));   \
+    }                                                             \
+  } while (0)
+// For hot paths that update several instruments at once: one registry
+// load + branch for the whole block. `body` sees the non-null registry as
+// `cf_obs_r` (e.g. `cf_obs_r->counter("x").add(1);`).
+#define CF_OBS_BLOCK(body)                                        \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      body                                                        \
+    }                                                             \
+  } while (0)
+// Cached-instrument variants for single-threaded hot paths (see the
+// CachedCounter block comment; same semantics as CF_OBS_COUNT/CF_OBS_HIST,
+// minus the per-call name lookup).
+#define CF_OBS_COUNT_HOT(name, n)                                 \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      static ::cloudfog::obs::CachedCounter cf_obs_cc{name};      \
+      cf_obs_cc.add(cf_obs_r, ::cloudfog::obs::registry_epoch(),  \
+                    static_cast<std::uint64_t>(n));               \
+    }                                                             \
+  } while (0)
+#define CF_OBS_HIST_HOT(name, v)                                  \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      static ::cloudfog::obs::CachedHistogram cf_obs_ch{name};    \
+      cf_obs_ch.record(cf_obs_r,                                  \
+                       ::cloudfog::obs::registry_epoch(),         \
+                       static_cast<double>(v));                   \
     }                                                             \
   } while (0)
 #endif

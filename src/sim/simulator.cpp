@@ -1,25 +1,18 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cloudfog::sim {
 
-EventId Simulator::push(TimeMs when, std::shared_ptr<Entry> entry) {
-  const EventId id = next_id_++;
-  live_[id] = entry;
-  queue_.push(HeapItem{when, next_seq_++, id, std::move(entry)});
-  CF_OBS_COUNT("sim.events.scheduled", 1);
-  CF_OBS_GAUGE_SET("sim.queue.depth", live_.size());
-  return id;
-}
-
 EventId Simulator::schedule_at(TimeMs when, Callback fn) {
   CF_CHECK_GE(when, now_);  // cannot schedule an event in the past
   CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
-  auto entry = std::make_shared<Entry>();
-  entry->fn = std::move(fn);
-  return push(when, std::move(entry));
+  return push(when, std::move(fn), -1.0);
 }
 
 EventId Simulator::schedule_after(TimeMs delay, Callback fn) {
@@ -27,50 +20,226 @@ EventId Simulator::schedule_after(TimeMs delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_every(TimeMs first_delay, TimeMs period, Callback fn) {
+EventId Simulator::schedule_every(TimeMs first_delay, TimeMs period,
+                                  Callback fn) {
   CF_CHECK_GE(first_delay, 0.0);
   CF_CHECK_GT(period, 0.0);
   CF_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
-  auto entry = std::make_shared<Entry>();
-  entry->fn = std::move(fn);
-  entry->period = period;
-  return push(now_ + first_delay, std::move(entry));
+  return push(now_ + first_delay, std::move(fn), period);
+}
+
+EventId Simulator::push(TimeMs when, Callback fn, TimeMs period) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    CF_CHECK_MSG(slots_.size() < std::numeric_limits<std::uint32_t>::max(),
+                 "event slab exhausted (2^32 concurrent events)");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn.swap(fn);  // s.fn is empty (cleared on release); swap skips a temp
+  s.period = period;
+  s.cancelled = false;
+  s.in_use = true;
+  heap_push(HeapNode{when, next_seq_++, slot, s.generation});
+  ++live_count_;
+  // Hot path: resolve both instruments once per registry epoch instead of
+  // paying two name lookups per scheduled event (see CachedCounter docs).
+  // The simulator is single-threaded, which is what the caches require.
+  if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
+    static obs::CachedCounter scheduled{"sim.events.scheduled"};
+    static obs::CachedGauge depth{"sim.queue.depth"};
+    const std::uint64_t epoch = obs::registry_epoch();
+    scheduled.add(cf_obs_r, epoch, 1);
+    depth.set(cf_obs_r, epoch, static_cast<double>(live_count_));
+  }
+  return pack(slot, s.generation);
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  auto entry = it->second.lock();
-  live_.erase(it);
-  if (!entry || entry->cancelled) return false;
-  entry->cancelled = true;
-  CF_OBS_COUNT("sim.events.cancelled", 1);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (generation == 0 || slot >= slots_.size()) {
+    return false;  // kInvalidEvent or never a handle this simulator issued
+  }
+  Slot& s = slots_[slot];
+  if (!s.in_use || s.generation != generation || s.cancelled) {
+    return false;  // already fired, already cancelled, or slot recycled
+  }
+  s.cancelled = true;
+  CF_INVARIANT(live_count_ > 0, "cancel of a live event implies pending > 0");
+  --live_count_;
+  ++dead_in_heap_;
+  CF_OBS_COUNT_HOT("sim.events.cancelled", 1);
+  // Eager compaction: once tombstones outnumber live nodes, one O(n) sweep
+  // reclaims their slots instead of letting every pop wade through them.
+  if (dead_in_heap_ * 2 > heap_.size()) {
+    purge_tombstones();
+  }
   return true;
 }
 
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // drop captured state promptly
+  s.in_use = false;
+  if (++s.generation == 0) {
+    s.generation = 1;  // keep pack() != kInvalidEvent after a wrap
+  }
+  free_slots_.push_back(slot);
+}
+
+void Simulator::heap_push(const HeapNode& n) {
+  std::size_t i = heap_.size();
+  heap_.push_back(n);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!node_less(n, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = n;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const HeapNode node = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (node_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!node_less(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+Simulator::HeapNode Simulator::heap_pop() {
+  const HeapNode top = heap_[0];
+  const std::size_t n = heap_.size() - 1;  // size after the pop
+  if (n == 0) {
+    heap_.pop_back();
+    return top;
+  }
+  // Bottom-up deletion: walk the root hole down the min-child path to a
+  // leaf (4 comparisons per level, none against the displaced element),
+  // then bubble the former last element up from that leaf — it was a leaf
+  // itself, so it almost always stays within a level of the bottom.
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = hole * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (node_less(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  const HeapNode last = heap_[n];
+  std::size_t i = hole;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!node_less(last, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = last;
+  heap_.pop_back();
+  return top;
+}
+
+void Simulator::drop_dead_top() {
+  const HeapNode n = heap_pop();
+  const Slot& s = slots_[n.slot];
+  if (s.in_use && s.generation == n.generation) {
+    release_slot(n.slot);  // tombstoned by cancel(); reclaim the slot now
+  }
+  CF_INVARIANT(dead_in_heap_ > 0, "dead node popped but none accounted");
+  --dead_in_heap_;
+}
+
+void Simulator::purge_tombstones() {
+  std::size_t kept = 0;
+  std::uint64_t purged = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const HeapNode n = heap_[i];
+    const Slot& s = slots_[n.slot];
+    if (s.in_use && s.generation == n.generation) {
+      if (!s.cancelled) {
+        heap_[kept++] = n;
+        continue;
+      }
+      release_slot(n.slot);
+    }
+    ++purged;
+  }
+  heap_.resize(kept);
+  // Re-establish the heap property bottom-up. Pop order depends only on the
+  // (when, seq) total order, so compaction cannot perturb determinism.
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+  dead_in_heap_ = 0;
+  CF_OBS_COUNT("sim.events.purged", purged);
+}
+
 bool Simulator::fire_next() {
-  while (!queue_.empty()) {
-    HeapItem item = queue_.top();
-    queue_.pop();
-    if (item.entry->cancelled) continue;  // tombstone
+  while (!heap_.empty()) {
+    const HeapNode n = heap_pop();
+    Slot& s = slots_[n.slot];
+    if (!s.in_use || s.generation != n.generation) {
+      // Slot reclaimed while its node waited; just skip.
+      CF_INVARIANT(dead_in_heap_ > 0, "dead node popped but none accounted");
+      --dead_in_heap_;
+      continue;
+    }
+    if (s.cancelled) {
+      release_slot(n.slot);
+      CF_INVARIANT(dead_in_heap_ > 0, "dead node popped but none accounted");
+      --dead_in_heap_;
+      continue;
+    }
     // Trust boundary: the heap must hand events out in non-decreasing time
     // order, and a cancelled event must never reach its callback.
-    CF_INVARIANT(item.when >= now_, "event timestamps must be monotone");
-    CF_INVARIANT(!item.entry->cancelled, "cancelled event must not fire");
-    now_ = item.when;
-    CF_OBS_COUNT("sim.events.executed", 1);
-    if (item.entry->period >= 0.0) {
+    CF_INVARIANT(n.when >= now_, "event timestamps must be monotone");
+    CF_INVARIANT(!s.cancelled, "cancelled event must not fire");
+    now_ = n.when;
+    if (s.period >= 0.0) {
+      CF_OBS_COUNT_HOT("sim.events.executed", 1);
       // Re-arm the periodic event under the same handle before running it so
-      // the callback can cancel it.
-      queue_.push(HeapItem{now_ + item.entry->period, next_seq_++, item.id,
-                           item.entry});
+      // the callback can cancel it. The slab (a deque) pins `s` even if the
+      // callback schedules enough new events to grow it.
+      heap_push(HeapNode{now_ + s.period, next_seq_++, n.slot, n.generation});
       ++executed_;
-      item.entry->fn();
+      s.fn();
     } else {
-      live_.erase(item.id);
-      CF_OBS_GAUGE_SET("sim.queue.depth", live_.size());
+      // Hide the slot before running: pending() excludes the executing
+      // event and cancel() on its own handle returns false, matching the
+      // erase-then-invoke order of the original map-based engine. The
+      // callback runs in place (the deque pins it even if the callback
+      // grows the slab); the slot is reclaimed once it returns.
+      s.in_use = false;
+      --live_count_;
+      // Only the counter here: the queue-depth gauge is updated on every
+      // push, and since the depth peak is always reached right after a
+      // push, skipping the fire-side set leaves the gauge's max() — the
+      // only aggregate consumers read — unchanged.
+      CF_OBS_COUNT_HOT("sim.events.executed", 1);
       ++executed_;
-      item.entry->fn();
+      s.fn();
+      release_slot(n.slot);
     }
     return true;
   }
@@ -81,11 +250,12 @@ bool Simulator::step() { return fire_next(); }
 
 void Simulator::run_until(TimeMs horizon) {
   CF_CHECK_GE(horizon, now_);  // horizon must not precede current time
-  while (!queue_.empty()) {
+  for (;;) {
     // Peek through tombstones to find the next live event time.
-    while (!queue_.empty() && queue_.top().entry->cancelled) queue_.pop();
-    if (queue_.empty()) break;
-    if (queue_.top().when > horizon) break;
+    while (!heap_.empty() && !node_live(heap_[0])) {
+      drop_dead_top();
+    }
+    if (heap_.empty() || heap_[0].when > horizon) break;
     fire_next();
   }
   now_ = std::max(now_, horizon);

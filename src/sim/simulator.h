@@ -8,20 +8,31 @@
 //     cancels its pending streaming events).
 //   * Periodic events reschedule themselves until cancelled or the horizon
 //     is reached.
+//
+// Engine layout (DESIGN.md §8): event records live in a slab (a stable
+// deque indexed by 32-bit slot number) recycled through a free list, so the
+// steady-state schedule/fire cycle performs zero heap allocations. Handles
+// are generation-tagged — EventId packs (generation << 32 | slot) — so a
+// stale handle for a recycled slot is rejected in O(1) without any lookup
+// table. The pending set is an intrusive 4-ary min-heap of 24-byte nodes
+// keyed on (when, seq); cancellation tombstones a slot and the heap is
+// purged eagerly once tombstones outnumber live nodes.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/types.h"
 
 namespace cloudfog::sim {
 
-/// Opaque handle identifying a scheduled event.
+/// Opaque handle identifying a scheduled event. Packs a slab slot index in
+/// the low 32 bits and that slot's generation (>= 1) in the high 32 bits;
+/// a slot's generation bumps every time it is recycled, so handles to dead
+/// events stay invalid. (A single slot would need 2^32 recycles to see a
+/// generation repeat — beyond any plausible run.)
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -62,40 +73,65 @@ class Simulator {
   /// Runs until the queue is empty.
   void run_all();
 
-  /// Number of events still pending (including cancelled tombstones not yet
-  /// popped — an implementation detail acceptable for monitoring).
-  std::size_t pending() const { return live_.size(); }
+  /// Number of live pending events (cancelled tombstones excluded; a
+  /// periodic event counts once).
+  std::size_t pending() const { return live_count_; }
 
   /// Total events executed since construction (tombstones excluded).
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
+  /// One slab record. `generation` survives recycling (it is what makes
+  /// stale handles detectable) — everything else is re-initialised when the
+  /// slot is acquired.
+  struct Slot {
     Callback fn;
     TimeMs period = -1.0;  // >= 0 means periodic
+    std::uint32_t generation = 1;
     bool cancelled = false;
+    bool in_use = false;
   };
 
-  struct HeapItem {
+  /// 24-byte heap node; the callback stays in the slab.
+  struct HeapNode {
     TimeMs when;
     std::uint64_t seq;
-    EventId id;
-    std::shared_ptr<Entry> entry;
-    bool operator>(const HeapItem& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
-  EventId push(TimeMs when, std::shared_ptr<Entry> entry);
+  static EventId pack(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+  static bool node_less(const HeapNode& a, const HeapNode& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  bool node_live(const HeapNode& n) const {
+    const Slot& s = slots_[n.slot];
+    return s.in_use && s.generation == n.generation && !s.cancelled;
+  }
+
+  EventId push(TimeMs when, Callback fn, TimeMs period);
+  void release_slot(std::uint32_t slot);
+  void heap_push(const HeapNode& n);
+  HeapNode heap_pop();
+  void sift_down(std::size_t i);
+  /// Pops the dead heap top, freeing its slot if still tombstoned.
+  void drop_dead_top();
+  /// Filters every dead node out of the heap and restores the heap
+  /// property; counted via the "sim.events.purged" counter.
+  void purge_tombstones();
   bool fire_next();
 
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> queue_;
-  std::unordered_map<EventId, std::weak_ptr<Entry>> live_;
+  std::size_t live_count_ = 0;
+  std::size_t dead_in_heap_ = 0;
+  std::deque<Slot> slots_;  // deque: callbacks stay pinned while they run
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapNode> heap_;  // 4-ary min-heap on (when, seq)
 };
 
 }  // namespace cloudfog::sim

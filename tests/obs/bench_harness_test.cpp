@@ -116,6 +116,7 @@ TEST(BenchHarnessTest, BenchJsonMatchesSchemaForSimulatorBody) {
       sim.schedule_at(static_cast<double>(i % 37), [] {});
     }
     sim.run_all();
+    record_bench_result("BM_Fake/512", 123.5);
     return 0;
   });
   ASSERT_EQ(rc, 0);
@@ -157,6 +158,14 @@ TEST(BenchHarnessTest, BenchJsonMatchesSchemaForSimulatorBody) {
   ASSERT_NE(body_timer->find("total"), nullptr);
   ASSERT_NE(body_timer->find("mean"), nullptr);
   ASSERT_NE(body_timer->find("p95"), nullptr);
+
+  // Per-case results published via record_bench_result() land in the
+  // "benchmarks" section with the gauge prefix stripped; the carrier gauge
+  // itself must not leak into downstream consumers' counter section.
+  const json::Value* benchmarks = doc.find("benchmarks");
+  ASSERT_NE(benchmarks, nullptr);
+  ASSERT_NE(benchmarks->find("BM_Fake/512"), nullptr);
+  EXPECT_EQ(benchmarks->find("BM_Fake/512")->number, 123.5);
 
   // The sibling artifacts must be valid JSON too.
   const json::Value metrics = parse_file_or_die(o.metrics_out);
