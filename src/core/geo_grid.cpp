@@ -91,20 +91,37 @@ void GeoGrid::nearest_k(const net::GeoPoint& from, std::size_t k,
       std::max({cx - min_cx_, max_cx_ - cx, cy - min_cy_, max_cy_ - cy,
                 std::int32_t{0}});
   const double lon_shrink = std::sqrt(std::max(0.0, from_cos * min_cos_lat_));
+  // Longitude gaps wrap at the antimeridian: a member whose *raw* longitude
+  // differs by nearly a full turn is geographically close, so a prune bound
+  // built from the raw cell gap alone would over-prune. Cap the pruning
+  // angle by the smallest wrapped gap any member can have given the
+  // roster's raw longitude extent (+1 cell because the query and a member
+  // can sit anywhere inside their cells). Rosters spanning < 180 degrees of
+  // raw longitude leave the cap >= pi, so it never binds and the
+  // continental fast path is unchanged; rosters straddling the
+  // antimeridian trade pruning for a (still correct) exhaustive envelope
+  // walk.
+  const std::int32_t max_gap_cells = std::max(cx - min_cx_, max_cx_ - cx) + 1;
+  const double wrap_cap_rad =
+      2.0 * kPi -
+      static_cast<double>(max_gap_cells) * cell_deg_ * net::kDegToRad;
   for (std::int32_t r = 0; r <= rmax; ++r) {
     if (out.size() == k && r >= 1) {
       // Every member in ring >= r differs from `from` by at least (r-1)
       // cells in latitude or longitude. For a latitude gap of theta,
       // haversine >= 2R*asin(sin(theta/2)); for a longitude gap it is
       // >= 2R*asin(sqrt(cos_from * cos_member) * sin(theta/2)), which is
-      // the smaller of the two, so it bounds both cases. Valid only while
-      // theta < pi (sin(theta/2) stops being monotone beyond that — raw
-      // longitude gaps can wrap); past that we keep scanning unpruned.
+      // the smaller of the two, so it bounds both cases. A raw longitude
+      // gap of g cells means a wrapped (true) gap of at least
+      // min(g*cell, wrap_cap), hence the min below. Valid only while
+      // theta < pi (sin(theta/2) stops being monotone beyond that); past
+      // that we keep scanning unpruned.
       // The 0.999 absorbs rounding so the bound stays strictly below any
       // distance it prunes; ties against the k-th best keep scanning
       // because a same-distance member with a smaller id still wins.
-      const double theta = (r - 1) * cell_deg_ * net::kDegToRad;
-      if (theta < kPi) {
+      const double theta_raw = (r - 1) * cell_deg_ * net::kDegToRad;
+      const double theta = std::min(theta_raw, wrap_cap_rad);
+      if (theta > 0.0 && theta_raw < kPi) {
         const double s = std::min(1.0, lon_shrink * std::sin(0.5 * theta));
         const double bound_km =
             2.0 * net::kEarthRadiusKm * std::asin(s) * 0.999;

@@ -6,7 +6,10 @@
 // a sorted bound of the k best (distance_km, id) pairs seen so far. The walk
 // stops once every unvisited ring is provably farther than the current k-th
 // best, using a conservative haversine lower bound for "any point at least
-// (r-1) cells away". Distances are the exact same haversine_km doubles a
+// (r-1) cells away"; the bound is capped by the smallest *wrapped*
+// longitude gap the roster's raw extent permits, so queries over rosters
+// straddling the antimeridian stay exact (they fall back to an unpruned
+// envelope walk). Distances are the exact same haversine_km doubles a
 // brute-force scan would compute (via the precomputed-cos overload, which is
 // bit-identical), and ties are broken by ascending id — so the result is
 // element-for-element identical to sorting all members by (distance, id)

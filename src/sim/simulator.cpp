@@ -74,10 +74,23 @@ bool Simulator::cancel(EventId id) {
   --live_count_;
   ++dead_in_heap_;
   CF_OBS_COUNT_HOT("sim.events.cancelled", 1);
+  if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
+    static obs::CachedGauge depth{"sim.queue.depth"};
+    depth.set(cf_obs_r, obs::registry_epoch(),
+              static_cast<double>(live_count_));
+  }
   // Eager compaction: once tombstones outnumber live nodes, one O(n) sweep
   // reclaims their slots instead of letting every pop wade through them.
+  // Deferred while a callback is on the stack — a self-cancelling periodic
+  // callback would otherwise have its own slot released (destroying the
+  // std::function mid-invocation) and recycled by a same-callback
+  // schedule_*; fire_next services the purge once the callback returns.
   if (dead_in_heap_ * 2 > heap_.size()) {
-    purge_tombstones();
+    if (callback_depth_ > 0) {
+      purge_pending_ = true;
+    } else {
+      purge_tombstones();
+    }
   }
   return true;
 }
@@ -196,6 +209,9 @@ void Simulator::purge_tombstones() {
 }
 
 bool Simulator::fire_next() {
+  CF_CHECK_MSG(callback_depth_ == 0,
+               "step()/run_until()/run_all() must not be re-entered from an "
+               "event callback");
   while (!heap_.empty()) {
     const HeapNode n = heap_pop();
     Slot& s = slots_[n.slot];
@@ -223,23 +239,33 @@ bool Simulator::fire_next() {
       // callback schedules enough new events to grow it.
       heap_push(HeapNode{now_ + s.period, next_seq_++, n.slot, n.generation});
       ++executed_;
+      CallbackScope scope(*this, kNoSlot);
       s.fn();
     } else {
       // Hide the slot before running: pending() excludes the executing
       // event and cancel() on its own handle returns false, matching the
       // erase-then-invoke order of the original map-based engine. The
       // callback runs in place (the deque pins it even if the callback
-      // grows the slab); the slot is reclaimed once it returns.
+      // grows the slab); the scope reclaims the slot once it returns —
+      // including via an exception, so a throwing callback cannot leak it.
       s.in_use = false;
       --live_count_;
-      // Only the counter here: the queue-depth gauge is updated on every
-      // push, and since the depth peak is always reached right after a
-      // push, skipping the fire-side set leaves the gauge's max() — the
-      // only aggregate consumers read — unchanged.
+      if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
+        static obs::CachedGauge depth{"sim.queue.depth"};
+        depth.set(cf_obs_r, obs::registry_epoch(),
+                  static_cast<double>(live_count_));
+      }
       CF_OBS_COUNT_HOT("sim.events.executed", 1);
       ++executed_;
+      CallbackScope scope(*this, n.slot);
       s.fn();
-      release_slot(n.slot);
+    }
+    // Service a purge that a mid-callback cancel deferred. Re-checked
+    // against the threshold: the callback may have scheduled enough new
+    // events that compaction is no longer worth it.
+    if (purge_pending_) {
+      purge_pending_ = false;
+      if (dead_in_heap_ * 2 > heap_.size()) purge_tombstones();
     }
     return true;
   }
@@ -250,6 +276,11 @@ bool Simulator::step() { return fire_next(); }
 
 void Simulator::run_until(TimeMs horizon) {
   CF_CHECK_GE(horizon, now_);  // horizon must not precede current time
+  // Checked here as well as in fire_next: drop_dead_top() below releases
+  // slots, which must never happen while a callback is executing.
+  CF_CHECK_MSG(callback_depth_ == 0,
+               "step()/run_until()/run_all() must not be re-entered from an "
+               "event callback");
   for (;;) {
     // Peek through tombstones to find the next live event time.
     while (!heap_.empty() && !node_live(heap_[0])) {

@@ -16,7 +16,12 @@
 // stale handle for a recycled slot is rejected in O(1) without any lookup
 // table. The pending set is an intrusive 4-ary min-heap of 24-byte nodes
 // keyed on (when, seq); cancellation tombstones a slot and the heap is
-// purged eagerly once tombstones outnumber live nodes.
+// purged eagerly once tombstones outnumber live nodes. While a callback is
+// executing the purge is deferred to fire_next's tail: compacting
+// mid-callback would release the executing slot (destroying the running
+// std::function and letting a same-callback schedule_* recycle its
+// storage). Callbacks may throw — the slot is still reclaimed — but must
+// not re-enter step()/run_until()/run_all() (checked).
 #pragma once
 
 #include <cstdint>
@@ -112,6 +117,32 @@ class Simulator {
     return s.in_use && s.generation == n.generation && !s.cancelled;
   }
 
+  /// Sentinel slot index; push() caps the slab below 2^32 slots, so no real
+  /// slot ever carries this value.
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// RAII around a running callback. Tracks callback depth so cancel()
+  /// defers tombstone purges while any callback executes (a purge would
+  /// release_slot() the executing slot, destroying the std::function that
+  /// is mid-invocation), and — when given a slot — releases it even if the
+  /// callback throws, so one-shot slots cannot leak on unwind.
+  struct CallbackScope {
+    CallbackScope(Simulator& sim, std::uint32_t slot_to_release)
+        : sim_(sim), slot_(slot_to_release) {
+      ++sim_.callback_depth_;
+    }
+    ~CallbackScope() {
+      --sim_.callback_depth_;
+      if (slot_ != kNoSlot) sim_.release_slot(slot_);
+    }
+    CallbackScope(const CallbackScope&) = delete;
+    CallbackScope& operator=(const CallbackScope&) = delete;
+
+   private:
+    Simulator& sim_;
+    std::uint32_t slot_;
+  };
+
   EventId push(TimeMs when, Callback fn, TimeMs period);
   void release_slot(std::uint32_t slot);
   void heap_push(const HeapNode& n);
@@ -129,6 +160,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
   std::size_t dead_in_heap_ = 0;
+  std::uint32_t callback_depth_ = 0;  // > 0 while a callback is on the stack
+  bool purge_pending_ = false;        // a mid-callback cancel deferred a purge
   std::deque<Slot> slots_;  // deque: callbacks stay pinned while they run
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapNode> heap_;  // 4-ary min-heap on (when, seq)

@@ -118,6 +118,51 @@ TEST(GeoGridTest, FarAwayQueryStillFindsEverything) {
                                                d1 < d2 ? 2u : 1u}));
 }
 
+TEST(GeoGridTest, AntimeridianNeighborIsNotPrunedAway) {
+  // Query at lon -179: the member at +179 is ~222 km away but 179 raw cells
+  // distant, while two decoys fill k within a dozen rings. A prune bound
+  // built from raw longitude gaps alone breaks the walk around ring 11 and
+  // never reaches the wrapped neighbor.
+  GeoGrid grid;
+  grid.insert(1, {0.0, 179.0});
+  grid.insert(2, {0.0, -170.0});
+  grid.insert(3, {0.0, -160.0});
+  const std::vector<std::pair<NodeId, net::GeoPoint>> members = {
+      {1, {0.0, 179.0}}, {2, {0.0, -170.0}}, {3, {0.0, -160.0}}};
+  const net::GeoPoint from{0.0, -179.0};
+  std::vector<std::pair<double, NodeId>> got;
+  grid.nearest_k(from, 2, got);
+  EXPECT_EQ(got, brute_nearest_k(members, from, 2));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, 1u);  // the wrapped neighbor is the closest
+}
+
+TEST(GeoGridTest, NearestKAcrossAntimeridianMatchesBruteForce) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    util::Rng rng(seed);
+    GeoGrid grid;
+    std::vector<std::pair<NodeId, net::GeoPoint>> members;
+    for (NodeId id = 0; id < 150; ++id) {
+      double lon = 165.0 + rng.uniform(0.0, 30.0);  // straddles +/-180
+      if (lon >= 180.0) lon -= 360.0;
+      const net::GeoPoint pos{rng.uniform(-55.0, 55.0), lon};
+      grid.insert(id, pos);
+      members.emplace_back(id, pos);
+    }
+    for (std::size_t k : {1u, 3u, 8u, 32u}) {
+      for (int q = 0; q < 8; ++q) {
+        double lon = 165.0 + rng.uniform(0.0, 30.0);
+        if (lon >= 180.0) lon -= 360.0;
+        const net::GeoPoint from{rng.uniform(-55.0, 55.0), lon};
+        std::vector<std::pair<double, NodeId>> got;
+        grid.nearest_k(from, k, got);
+        EXPECT_EQ(got, brute_nearest_k(members, from, k))
+            << "seed=" << seed << " k=" << k << " q=" << q;
+      }
+    }
+  }
+}
+
 // The manager-level guarantee: assignments with the spatial index are
 // indistinguishable from the exhaustive scan — same chosen supernode, same
 // delay doubles, same backups, same RNG consumption — across seeds and

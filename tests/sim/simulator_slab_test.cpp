@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <new>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -211,6 +212,128 @@ TEST(SimulatorSlabTest, SteadyStateCancelChurnWithoutAllocating) {
   }
   EXPECT_EQ(g_alloc_count - before, 0u)
       << "cancel/purge churn performed heap allocations";
+}
+
+TEST(SimulatorSlabTest, PeriodicSelfCancelCanScheduleFromItsOwnCallback) {
+  Simulator sim;
+  int periodic_fires = 0;
+  std::vector<int> follow_ups;
+  EventId id = kInvalidEvent;
+  id = sim.schedule_every(1.0, 1.0, [&] {
+    if (++periodic_fires < 3) return;
+    // Cancel our own handle — the re-armed tombstone is the only heap node,
+    // so this trips the purge threshold mid-callback — then keep using
+    // captured state and schedule through the engine. An unsafe purge would
+    // have destroyed this closure and handed its slot to the schedules.
+    EXPECT_TRUE(sim.cancel(id));
+    sim.schedule_after(1.0, [&] { follow_ups.push_back(periodic_fires); });
+    sim.schedule_after(2.0,
+                       [&] { follow_ups.push_back(periodic_fires + 1); });
+    EXPECT_EQ(periodic_fires, 3);  // captures must still be intact
+  });
+  sim.run_all();
+  EXPECT_EQ(periodic_fires, 3);
+  EXPECT_EQ(follow_ups, (std::vector<int>{3, 4}));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(SimulatorSlabTest, SelfCancelledPeriodicSlotReclaimedViaDeferredPurge) {
+  obs::MetricsRegistry r;
+  obs::ScopedRegistry scoped(r);
+  Simulator sim;
+  EventId id = kInvalidEvent;
+  int fires = 0;
+  id = sim.schedule_every(1.0, 1.0, [&] {
+    ++fires;
+    sim.cancel(id);
+  });
+  sim.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+  // The deferred purge ran once the callback returned (its tombstone was
+  // the whole heap) and reclaimed the slot: the next schedule recycles it
+  // under a bumped generation.
+  const obs::Counter* purged = r.find_counter("sim.events.purged");
+  ASSERT_NE(purged, nullptr);
+  EXPECT_EQ(purged->value(), 1u);
+  const EventId next = sim.schedule_after(1.0, [] {});
+  EXPECT_EQ(next & 0xffffffffu, id & 0xffffffffu);
+  EXPECT_EQ(next >> 32, (id >> 32) + 1);
+  sim.run_all();
+}
+
+TEST(SimulatorSlabTest, MassCancelFromInsideCallbackStaysConsistent) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(10.0 + i, [&] { ++fired; }));
+  }
+  // One early event cancels 80 of the 100 from inside its callback — far
+  // past the purge threshold, so the compaction must be deferred until the
+  // callback returns.
+  sim.schedule_at(1.0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      if (i % 5 != 0) {
+        EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+      }
+    }
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(sim.executed(), 21u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorSlabTest, ThrowingCallbackStillReleasesItsSlot) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(
+      1.0, [] { throw std::runtime_error("callback failure"); });
+  EXPECT_THROW(sim.step(), std::runtime_error);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_FALSE(sim.cancel(id));
+  // The slot made it back to the free list on unwind: the next schedule
+  // recycles it under a bumped generation instead of growing the slab.
+  const EventId next = sim.schedule_after(1.0, [] {});
+  EXPECT_EQ(next & 0xffffffffu, id & 0xffffffffu);
+  EXPECT_EQ(next >> 32, (id >> 32) + 1);
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(SimulatorSlabTest, ReenteringTheEngineFromACallbackIsRejected) {
+  Simulator sim;
+  sim.schedule_after(1.0, [&] { sim.step(); });
+  EXPECT_THROW(sim.step(), std::logic_error);
+  sim.schedule_after(1.0, [&] { sim.run_until(5.0); });
+  EXPECT_THROW(sim.step(), std::logic_error);
+  // The engine stays usable: the offending slots were reclaimed on unwind.
+  EXPECT_EQ(sim.pending(), 0u);
+  int fired = 0;
+  sim.schedule_after(1.0, [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorSlabTest, QueueDepthGaugeTracksFiresAndCancels) {
+  obs::MetricsRegistry r;
+  obs::ScopedRegistry scoped(r);
+  Simulator sim;
+  const EventId a = sim.schedule_after(1.0, [] {});
+  sim.schedule_after(2.0, [] {});
+  sim.schedule_after(3.0, [] {});
+  const obs::Gauge* depth = r.find_gauge("sim.queue.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value(), 3.0);
+  sim.cancel(a);
+  EXPECT_EQ(depth->value(), 2.0);
+  sim.step();
+  EXPECT_EQ(depth->value(), 1.0);
+  sim.run_all();
+  EXPECT_EQ(depth->value(), 0.0);
+  EXPECT_EQ(depth->max(), 3.0);
 }
 
 TEST(SimulatorSlabTest, PeriodicReuseKeepsHandleValidUntilCancel) {
