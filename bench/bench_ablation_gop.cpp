@@ -7,6 +7,10 @@
 //   * actuation delay — the rate adaptation's level switches only take
 //     effect at the next GOP boundary, so a long GOP blunts Eq (9)/(11)'s
 //     responsiveness.
+//
+// The (setup × seed × {B, adapt}) grid is fanned across --jobs workers;
+// results come back in submission order, so the table is bit-identical at
+// any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -33,31 +37,48 @@ int main(int argc, char** argv) {
     bench::print_header("Ablation: GOP encoding",
                         "structured I/P frames vs flat VBR at 20 players");
 
-    util::Table table(
-        "GOP length sweep at util ~0.78 (CloudFog/B and CloudFog-adapt)");
-    table.set_header({"encoder", "B satisfied", "B continuity",
-                      "adapt satisfied", "adapt mean level"});
     struct Setup {
       const char* name;
       bool gop;
       int gop_length;
     };
-    const Setup setups[] = {
+    const std::vector<Setup> setups{
         {"flat VBR (sigma 0.3)", false, 0},
         {"GOP 15 (0.5 s)", true, 15},
         {"GOP 30 (1 s)", true, 30},
         {"GOP 60 (2 s)", true, 60},
     };
+    std::vector<SupernodeExperimentConfig> configs;
+    configs.reserve(setups.size() * bench::seed_count() * 2);
     for (const Setup& setup : setups) {
-      util::RunningStats b_sat, b_cont, a_sat, a_level;
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         auto config = base_config(seed);
         config.use_gop_encoder = setup.gop;
         if (setup.gop) config.encoder.gop_length = setup.gop_length;
         auto adapt = config;
         adapt.adaptation = true;
-        const auto rb = run_supernode_experiment(config);
-        const auto ra = run_supernode_experiment(adapt);
+        configs.push_back(config);
+        configs.push_back(adapt);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<SupernodeExperimentResult> results =
+        run_supernode_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_gop",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table(
+        "GOP length sweep at util ~0.78 (CloudFog/B and CloudFog-adapt)");
+    table.set_header({"encoder", "B satisfied", "B continuity",
+                      "adapt satisfied", "adapt mean level"});
+    std::size_t next = 0;
+    for (const Setup& setup : setups) {
+      util::RunningStats b_sat, b_cont, a_sat, a_level;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const SupernodeExperimentResult& rb = results[next++];
+        const SupernodeExperimentResult& ra = results[next++];
         b_sat.add(rb.satisfied_fraction);
         b_cont.add(rb.mean_continuity);
         a_sat.add(ra.satisfied_fraction);

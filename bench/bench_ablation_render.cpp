@@ -7,6 +7,10 @@
 // is flat until render throughput drops below the population's pixel rate,
 // then collapses — and the rate adaptation recovers some of it by encoding
 // smaller frames.
+//
+// The (capacity × seed × {B, adapt}) grid is fanned across --jobs workers;
+// results come back in submission order, so the table is bit-identical at
+// any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -21,11 +25,10 @@ int main(int argc, char** argv) {
 
     // Demand at target levels: 20 players x 30 fps x ~0.43 Mpx mean frame
     // ~ 260 Mpx/s; sweep through and past that knee.
-    util::Table table("render capacity sweep (B and adapt variants)");
-    table.set_header({"GPU (Mpx/s)", "B satisfied", "B latency (ms)",
-                      "adapt satisfied", "adapt mean level"});
-    for (double capacity : {0.0, 1'000.0, 400.0, 250.0, 200.0}) {
-      util::RunningStats b_sat, b_lat, a_sat, a_level;
+    const std::vector<double> capacities{0.0, 1'000.0, 400.0, 250.0, 200.0};
+    std::vector<SupernodeExperimentConfig> configs;
+    configs.reserve(capacities.size() * bench::seed_count() * 2);
+    for (double capacity : capacities) {
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         SupernodeExperimentConfig config;
         config.num_players = 20;
@@ -34,8 +37,27 @@ int main(int argc, char** argv) {
         config.render_capacity_mpx_per_s = capacity;
         auto adapt = config;
         adapt.adaptation = true;
-        const auto rb = run_supernode_experiment(config);
-        const auto ra = run_supernode_experiment(adapt);
+        configs.push_back(config);
+        configs.push_back(adapt);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<SupernodeExperimentResult> results =
+        run_supernode_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_render",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table("render capacity sweep (B and adapt variants)");
+    table.set_header({"GPU (Mpx/s)", "B satisfied", "B latency (ms)",
+                      "adapt satisfied", "adapt mean level"});
+    std::size_t next = 0;
+    for (double capacity : capacities) {
+      util::RunningStats b_sat, b_lat, a_sat, a_level;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const SupernodeExperimentResult& rb = results[next++];
+        const SupernodeExperimentResult& ra = results[next++];
         b_sat.add(rb.satisfied_fraction);
         b_lat.add(rb.mean_response_latency_ms);
         a_sat.add(ra.satisfied_fraction);

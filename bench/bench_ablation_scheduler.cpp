@@ -3,6 +3,9 @@
 //   * propagation history length m of Eq (13) (paper default h_2 = 10)
 // Swept at a clearly overloaded operating point where the drop policy is
 // exercised on every enqueue.
+//
+// Both sweeps are fanned across --jobs workers in one batch; results come
+// back in submission order, so the tables are bit-identical at any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -29,16 +32,41 @@ int main(int argc, char** argv) {
     bench::print_header("Ablation: scheduler",
                         "decay lambda and propagation history of Eqs (13)-(14)");
 
-    util::Table lambda_table("decay lambda sweep (CloudFog-schedule, overload)");
-    lambda_table.set_header({"lambda (1/s)", "satisfied", "continuity",
-                             "dropped pkts"});
-    for (double lambda : {0.0, 0.5, 1.0, 2.0, 5.0}) {
-      util::RunningStats sat, cont;
-      std::uint64_t dropped = 0;
+    const std::vector<double> lambdas{0.0, 0.5, 1.0, 2.0, 5.0};
+    const std::vector<std::size_t> histories{1, 3, 10, 30};
+    std::vector<SupernodeExperimentConfig> configs;
+    configs.reserve((lambdas.size() + histories.size()) * bench::seed_count());
+    for (double lambda : lambdas) {
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         auto config = overloaded(seed);
         config.cloudfog.scheduler.decay_lambda_per_s = lambda;
-        const auto r = run_supernode_experiment(config);
+        configs.push_back(config);
+      }
+    }
+    for (std::size_t m : histories) {
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        auto config = overloaded(seed);
+        config.cloudfog.scheduler.propagation_history = m;
+        configs.push_back(config);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<SupernodeExperimentResult> results =
+        run_supernode_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_scheduler",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    std::size_t next = 0;
+    util::Table lambda_table("decay lambda sweep (CloudFog-schedule, overload)");
+    lambda_table.set_header({"lambda (1/s)", "satisfied", "continuity",
+                             "dropped pkts"});
+    for (double lambda : lambdas) {
+      util::RunningStats sat, cont;
+      std::uint64_t dropped = 0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const SupernodeExperimentResult& r = results[next++];
         sat.add(r.satisfied_fraction);
         cont.add(r.mean_continuity);
         dropped += r.packets_dropped;
@@ -52,13 +80,11 @@ int main(int argc, char** argv) {
 
     util::Table m_table("propagation history m sweep (Eq 13)");
     m_table.set_header({"m (samples)", "satisfied", "continuity", "dropped pkts"});
-    for (std::size_t m : {1u, 3u, 10u, 30u}) {
+    for (std::size_t m : histories) {
       util::RunningStats sat, cont;
       std::uint64_t dropped = 0;
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-        auto config = overloaded(seed);
-        config.cloudfog.scheduler.propagation_history = m;
-        const auto r = run_supernode_experiment(config);
+        const SupernodeExperimentResult& r = results[next++];
         sat.add(r.satisfied_fraction);
         cont.add(r.mean_continuity);
         dropped += r.packets_dropped;

@@ -2,6 +2,10 @@
 // streaming-level companion to the paper's Figure 5(b) coverage sweep. At a
 // fixed player load, more supernodes means more players stream from nearby
 // fog machines instead of the strained cloud.
+//
+// One run per supernode count, fanned across --jobs workers (each run
+// builds its own Scenario); results come back in submission order, so the
+// table is bit-identical at any width.
 #include "bench_common.h"
 #include "systems/streaming_sim.h"
 
@@ -13,25 +17,37 @@ int main(int argc, char** argv) {
     bench::print_header("Ablation: supernode count",
                         "CloudFog/A QoE vs deployed supernodes at fixed load");
 
+    const std::vector<std::size_t> counts =
+        bench::fast_mode() ? std::vector<std::size_t>{0, 40, 80, 150}
+                           : std::vector<std::size_t>{0, 100, 200, 400, 600};
+    const std::size_t players = bench::scaled(3'000, 800);
+    std::vector<StreamingRunSpec> specs;
+    specs.reserve(counts.size());
+    for (std::size_t count : counts) {
+      StreamingRunSpec spec;
+      // Zero supernodes degenerates CloudFog to the Cloud system.
+      spec.kind = count == 0 ? SystemKind::kCloud : SystemKind::kCloudFogA;
+      spec.scenario = bench::sim_profile(1);
+      spec.scenario.num_supernodes = count;
+      spec.options.num_players = players;
+      spec.options.warmup_ms = 2'000.0;
+      spec.options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+      specs.push_back(spec);
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<StreamingResult> results =
+        run_streaming_batch(specs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_supernodes",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
     util::Table table("QoE vs #supernodes (simulation profile)");
     table.set_header({"#supernodes", "fog-served", "mean latency (ms)",
                       "continuity", "satisfied", "cloud Mbps"});
-    const std::size_t players = bench::scaled(3'000, 800);
-    for (std::size_t count : bench::fast_mode()
-                                 ? std::vector<std::size_t>{0, 40, 80, 150}
-                                 : std::vector<std::size_t>{0, 100, 200, 400, 600}) {
-      ScenarioParams params = bench::sim_profile(1);
-      params.num_supernodes = count;
-      const Scenario scenario = Scenario::build(params);
-      StreamingOptions options;
-      options.num_players = players;
-      options.warmup_ms = 2'000.0;
-      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
-      // Zero supernodes degenerates CloudFog to the Cloud system.
-      const SystemKind kind =
-          count == 0 ? SystemKind::kCloud : SystemKind::kCloudFogA;
-      const StreamingResult r = run_streaming(kind, scenario, options);
-      table.add_row({std::to_string(count),
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const StreamingResult& r = results[i];
+      table.add_row({std::to_string(counts[i]),
                      std::to_string(r.supernode_supported),
                      util::format_double(r.mean_response_latency_ms, 1),
                      util::format_double(r.mean_continuity, 3),

@@ -3,6 +3,9 @@
 // single-supernode operating point. Expectations: tiny theta reacts too
 // late (satisfaction suffers), large theta over-downgrades (quality level
 // suffers); the paper's 0.5 balances both.
+//
+// The (theta × seed) grid is fanned across --jobs workers; results come
+// back in submission order, so the table is bit-identical at any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -15,23 +18,29 @@ int main(int argc, char** argv) {
     bench::print_header("Ablation: theta",
                         "adjust-down threshold of Eq (11) at 25 players/supernode");
 
+    const std::vector<double> thetas{0.1, 0.3, 0.5, 0.7, 0.9};
+    const auto grid = bench::run_sweep(
+        "ablation_theta", thetas, bench::seed_count(),
+        [](double theta, std::size_t seed) {
+          SupernodeExperimentConfig config;
+          config.num_players = 25;
+          config.adaptation = true;
+          config.seed = 7 + seed * 10;
+          config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
+          config.cloudfog.adaptation.theta = theta;
+          return run_supernode_experiment(config);
+        });
+
     util::Table table("theta sweep (CloudFog-adapt, overloaded supernode)");
     table.set_header({"theta", "satisfied", "continuity", "mean level"});
-    for (double theta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (std::size_t ti = 0; ti < thetas.size(); ++ti) {
       util::RunningStats sat, cont, level;
-      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-        SupernodeExperimentConfig config;
-        config.num_players = 25;
-        config.adaptation = true;
-        config.seed = 7 + seed * 10;
-        config.duration_ms = bench::fast_mode() ? 8'000.0 : 16'000.0;
-        config.cloudfog.adaptation.theta = theta;
-        const auto r = run_supernode_experiment(config);
+      for (const SupernodeExperimentResult& r : grid[ti]) {
         sat.add(r.satisfied_fraction);
         cont.add(r.mean_continuity);
         level.add(r.mean_quality_level);
       }
-      table.add_row({util::format_double(theta, 1),
+      table.add_row({util::format_double(thetas[ti], 1),
                      util::format_double(sat.mean(), 3),
                      util::format_double(cont.mean(), 3),
                      util::format_double(level.mean(), 2)});

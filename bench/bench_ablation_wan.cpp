@@ -4,6 +4,10 @@
 // in our substrate. Large windows (no per-flow limit) flatten the
 // distance penalty; small windows make the cloud's distance problem brutal
 // — and CloudFog's advantage grows accordingly.
+//
+// The (window × {Cloud, Fog}) grid is fanned across --jobs workers (each
+// run builds its own Scenario); results come back in submission order, so
+// the table is bit-identical at any width.
 #include "bench_common.h"
 #include "systems/streaming_sim.h"
 
@@ -15,22 +19,37 @@ int main(int argc, char** argv) {
     bench::print_header("Ablation: WAN window",
                         "per-flow throughput cap vs the Cloud-vs-Fog gap");
 
+    const std::vector<double> windows{0.0, 1'024.0, 512.0, 256.0, 128.0};
+    const std::size_t players = bench::scaled(3'000, 800);
+    std::vector<StreamingRunSpec> specs;
+    specs.reserve(windows.size() * 2);
+    for (double window : windows) {
+      for (SystemKind kind : {SystemKind::kCloud, SystemKind::kCloudFogA}) {
+        StreamingRunSpec spec;
+        spec.kind = kind;
+        spec.scenario = bench::sim_profile(1);
+        spec.scenario.tcp_window_kbit = window;
+        spec.options.num_players = players;
+        spec.options.warmup_ms = 2'000.0;
+        spec.options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+        specs.push_back(spec);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<StreamingResult> results =
+        run_streaming_batch(specs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_wan",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
     util::Table table("Cloud vs CloudFog/A latency under different WAN windows");
     table.set_header({"window (kbit)", "Cloud latency (ms)", "Fog latency (ms)",
                       "gap", "Cloud continuity", "Fog continuity"});
-    const std::size_t players = bench::scaled(3'000, 800);
-    for (double window : {0.0, 1'024.0, 512.0, 256.0, 128.0}) {
-      ScenarioParams params = bench::sim_profile(1);
-      params.tcp_window_kbit = window;
-      const Scenario scenario = Scenario::build(params);
-      StreamingOptions options;
-      options.num_players = players;
-      options.warmup_ms = 2'000.0;
-      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
-      const StreamingResult cloud =
-          run_streaming(SystemKind::kCloud, scenario, options);
-      const StreamingResult fog =
-          run_streaming(SystemKind::kCloudFogA, scenario, options);
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+      const double window = windows[wi];
+      const StreamingResult& cloud = results[wi * 2];
+      const StreamingResult& fog = results[wi * 2 + 1];
       table.add_row(
           {window == 0.0 ? "unlimited" : util::format_double(window, 0),
            util::format_double(cloud.mean_response_latency_ms, 1),

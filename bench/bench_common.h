@@ -9,12 +9,18 @@
 // Environment:
 //   CLOUDFOG_BENCH_FAST=1   shrink populations/windows ~4x (smoke runs)
 //   CLOUDFOG_BENCH_SEEDS=n  number of seeds averaged (default 3)
+//   CLOUDFOG_BENCH_JOBS=n   worker-pool width for sweeps (default: cores)
 //
 // Command line (all default to off; see obs/bench_harness.h):
+//   --jobs=N              sweep worker-pool width; 1 = sequential code path
 //   --bench-json[=PATH]   machine-readable BENCH_<name>.json artifact
 //   --metrics-out=PATH    metrics dump (.json/.csv/.jsonl)
 //   --trace-out=PATH      Chrome trace_event JSON (open in Perfetto)
 //   --bench-warmup=N --bench-repeats=N   timing discipline
+//
+// Output is bit-identical at any --jobs value: sweeps fan (config, seed)
+// runs across exec::RunExecutor, which hands results back in submission
+// order (see exec/run_executor.h and DESIGN.md §9).
 #pragma once
 
 #include <cstdlib>
@@ -23,8 +29,12 @@
 #include <iostream>
 #include <string>
 
+#include "exec/run_executor.h"
+#include "exec/sweep.h"
 #include "obs/bench_harness.h"
+#include "obs/timer.h"
 #include "systems/scenario.h"
+#include "util/env.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -36,11 +46,30 @@ inline bool fast_mode() {
 }
 
 inline std::size_t seed_count() {
-  if (const char* env = std::getenv("CLOUDFOG_BENCH_SEEDS")) {
-    const long n = std::atol(env);
-    if (n >= 1 && n <= 50) return static_cast<std::size_t>(n);
-  }
-  return 3;
+  static const long n = util::env_long_or("CLOUDFOG_BENCH_SEEDS", 1, 50, 3);
+  return static_cast<std::size_t>(n);
+}
+
+namespace detail {
+/// --jobs override; 0 = not set (fall through to CLOUDFOG_BENCH_JOBS /
+/// hardware_concurrency via exec::default_jobs()).
+inline std::size_t& jobs_override() {
+  static std::size_t value = 0;
+  return value;
+}
+}  // namespace detail
+
+/// Resolved sweep worker-pool width for this process.
+inline std::size_t jobs() {
+  const std::size_t override_value = detail::jobs_override();
+  return override_value != 0 ? override_value : exec::default_jobs();
+}
+
+/// The process-wide sweep executor, sized by jobs(). First use pins the
+/// width, so run_bench resolves --jobs before the body runs.
+inline exec::RunExecutor& executor() {
+  static exec::RunExecutor instance(jobs());
+  return instance;
 }
 
 /// Scales a size down in fast mode.
@@ -78,6 +107,21 @@ inline void print_table(const util::Table& table) {
   std::cout << table.to_text() << '\n';
 }
 
+/// Fans `fn(config, seed_index)` over the grid via the process executor and
+/// returns results indexed [config][seed] (submission order — aggregating
+/// in index order reproduces the sequential accumulation). Wall-clock for
+/// the whole sweep lands in the BENCH json "sweeps" section under `label`
+/// when artifacts are being collected.
+template <typename Config, typename Fn>
+auto run_sweep(const std::string& label, const std::vector<Config>& configs,
+               std::size_t seeds, Fn&& fn) {
+  const std::uint64_t start_us = obs::wall_now_us();
+  auto grid = exec::run_sweep(executor(), configs, seeds, std::forward<Fn>(fn));
+  obs::record_sweep_wall_ms(
+      label, static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+  return grid;
+}
+
 inline void print_header(const std::string& figure, const std::string& what) {
   std::cout << "################################################################\n"
             << "# " << figure << " — " << what << '\n'
@@ -96,8 +140,12 @@ inline int run_bench(int argc, const char* const* argv, const std::string& name,
     const util::Flags flags(argc, argv);
     std::vector<std::string> known = obs::bench_flag_keys();
     known.push_back("help");
+    known.push_back("jobs");
     if (flags.has("help")) {
       std::cout << "bench_" << name << " — see the file header comment.\n"
+                << "  --jobs=N  sweep worker-pool width (default: "
+                   "CLOUDFOG_BENCH_JOBS or hardware cores; output is "
+                   "bit-identical at any width)\n"
                 << obs::bench_flags_help();
       return 0;
     }
@@ -108,6 +156,12 @@ inline int run_bench(int argc, const char* const* argv, const std::string& name,
       std::cerr << "\n";
       return 2;
     }
+    const std::int64_t jobs_flag = flags.get_int("jobs", 0);
+    if (flags.has("jobs") && (jobs_flag < 1 || jobs_flag > 512)) {
+      std::cerr << "--jobs must be in [1, 512]\n";
+      return 2;
+    }
+    detail::jobs_override() = static_cast<std::size_t>(jobs_flag);
     obs::BenchHarness harness(name, obs::bench_options_from_flags(flags, name));
     return harness.run(body);
   } catch (const std::exception& e) {

@@ -1,6 +1,10 @@
 // Extension experiment: cooperative transmission between supernodes (the
 // paper's Section-V future work). Sweeps the primary-assignment skew: the
 // hotter supernode A becomes, the more striping across A and B helps.
+//
+// The (skew × seed × {single, striped}) grid is fanned across --jobs
+// workers; results come back in submission order, so the table is
+// bit-identical at any width.
 #include "bench_common.h"
 #include "systems/cooperation_experiment.h"
 #include "util/stats.h"
@@ -13,12 +17,10 @@ int main(int argc, char** argv) {
     bench::print_header("Cooperation extension",
                         "striped transmission across two supernodes");
 
-    util::Table table("QoE vs primary skew (24 players, two 16 Mbps supernodes)");
-    table.set_header({"skew (load A/B)", "single: satisfied", "single: latency",
-                      "striped: satisfied", "striped: latency"});
-    for (double skew : {0.5, 0.7, 0.85, 0.95}) {
-      util::RunningStats single_sat, single_lat, striped_sat, striped_lat;
-      double load_a = 0.0, load_b = 0.0;
+    const std::vector<double> skews{0.5, 0.7, 0.85, 0.95};
+    std::vector<CooperationExperimentConfig> configs;
+    configs.reserve(skews.size() * bench::seed_count() * 2);
+    for (double skew : skews) {
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         CooperationExperimentConfig config;
         config.primary_skew = skew;
@@ -26,8 +28,28 @@ int main(int argc, char** argv) {
         config.seed = 7 + seed * 10;
         auto striped = config;
         striped.enable_striping = true;
-        const auto r1 = run_cooperation_experiment(config);
-        const auto r2 = run_cooperation_experiment(striped);
+        configs.push_back(config);
+        configs.push_back(striped);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<CooperationExperimentResult> results =
+        run_cooperation_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "cooperation",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table("QoE vs primary skew (24 players, two 16 Mbps supernodes)");
+    table.set_header({"skew (load A/B)", "single: satisfied", "single: latency",
+                      "striped: satisfied", "striped: latency"});
+    std::size_t next = 0;
+    for (double skew : skews) {
+      util::RunningStats single_sat, single_lat, striped_sat, striped_lat;
+      double load_a = 0.0, load_b = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const CooperationExperimentResult& r1 = results[next++];
+        const CooperationExperimentResult& r2 = results[next++];
         single_sat.add(r1.satisfied_fraction);
         single_lat.add(r1.mean_response_latency_ms);
         striped_sat.add(r2.satisfied_fraction);

@@ -7,6 +7,10 @@
 //   * failover OFF:   every disruption triggers a fresh assignment;
 //   * failover ON:    recorded backups absorb most disruptions;
 //   * + cooperation:  overloaded supernodes shed players to neighbours.
+//
+// The three configurations are fanned across --jobs workers (each run
+// builds its own Scenario); results come back in submission order, so the
+// table is bit-identical at any width.
 #include "bench_common.h"
 #include "systems/dynamic_sim.h"
 
@@ -21,7 +25,6 @@ int main(int argc, char** argv) {
     ScenarioParams params = bench::sim_profile(1);
     params.num_players = bench::scaled(6'000, 1'500);
     params.num_supernodes = bench::scaled(400, 100);
-    const Scenario scenario = Scenario::build(params);
 
     struct Config {
       const char* name;
@@ -34,19 +37,33 @@ int main(int argc, char** argv) {
         {"backup failover + cooperation", true, true},
     };
 
+    std::vector<DynamicRunSpec> specs;
+    specs.reserve(std::size(configs));
+    for (const Config& c : configs) {
+      DynamicRunSpec spec;
+      spec.scenario = params;
+      spec.options.duration_ms = (bench::fast_mode() ? 2.0 : 4.0) * kMsPerHour;
+      spec.options.supernode_mtbf_hours = 4.0;
+      spec.options.supernode_downtime_ms = 20.0 * kMsPerMinute;
+      spec.options.enable_failover = c.failover;
+      spec.options.enable_cooperation = c.cooperation;
+      specs.push_back(spec);
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<DynamicSimResult> results =
+        run_dynamic_sims(specs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "dynamics_failover",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
     util::Table table("4 h of churn, supernode MTBF 4 h, 20 min downtime");
     table.set_header({"configuration", "disruptions", "to backup", "reassigned",
                       "to cloud", "recovery rate", "fog session share",
                       "moves", "hot-SN share"});
-    for (const Config& c : configs) {
-      DynamicSimOptions options;
-      options.duration_ms = (bench::fast_mode() ? 2.0 : 4.0) * kMsPerHour;
-      options.supernode_mtbf_hours = 4.0;
-      options.supernode_downtime_ms = 20.0 * kMsPerMinute;
-      options.enable_failover = c.failover;
-      options.enable_cooperation = c.cooperation;
-      const DynamicSimResult r = run_dynamic_sim(scenario, options);
-      table.add_row({c.name, std::to_string(r.disruptions),
+    for (std::size_t i = 0; i < std::size(configs); ++i) {
+      const DynamicSimResult& r = results[i];
+      table.add_row({configs[i].name, std::to_string(r.disruptions),
                      std::to_string(r.recovered_to_backup),
                      std::to_string(r.reassigned),
                      std::to_string(r.fell_to_cloud),

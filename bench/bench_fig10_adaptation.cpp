@@ -3,6 +3,10 @@
 // players a single supernode supports. Expected shape: CloudFog/B drops
 // quickly as the supernode saturates; CloudFog-adapt declines moderately
 // (the paper reports up to a 27% increase at 25 supported players).
+//
+// The (load × seed × {base, adapt}) grid is fanned across --jobs workers;
+// results come back in submission order, so the table is bit-identical at
+// any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -15,12 +19,10 @@ int main(int argc, char** argv) {
     bench::print_header("Figure 10",
                         "effectiveness of receiver-driven rate adaptation");
 
-    util::Table table("Fig 10: satisfied players vs supernode load");
-    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-adapt",
-                      "adapt mean level", "offered load"});
-    for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
-      util::RunningStats base_sat, adapt_sat, adapt_level;
-      double load = 0.0;
+    const std::vector<std::size_t> loads{5, 10, 15, 20, 25};
+    std::vector<SupernodeExperimentConfig> configs;
+    configs.reserve(loads.size() * bench::seed_count() * 2);
+    for (std::size_t k : loads) {
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         SupernodeExperimentConfig config;
         config.num_players = k;
@@ -28,8 +30,28 @@ int main(int argc, char** argv) {
         config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
         auto adapt_config = config;
         adapt_config.adaptation = true;
-        const auto base = run_supernode_experiment(config);
-        const auto adapt = run_supernode_experiment(adapt_config);
+        configs.push_back(config);
+        configs.push_back(adapt_config);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<SupernodeExperimentResult> results =
+        run_supernode_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "fig10_adaptation",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table("Fig 10: satisfied players vs supernode load");
+    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-adapt",
+                      "adapt mean level", "offered load"});
+    std::size_t next = 0;
+    for (std::size_t k : loads) {
+      util::RunningStats base_sat, adapt_sat, adapt_level;
+      double load = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const SupernodeExperimentResult& base = results[next++];
+        const SupernodeExperimentResult& adapt = results[next++];
         base_sat.add(base.satisfied_fraction);
         adapt_sat.add(adapt.satisfied_fraction);
         adapt_level.add(adapt.mean_quality_level);

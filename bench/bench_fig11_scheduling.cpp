@@ -3,6 +3,10 @@
 // players a single supernode supports. Expected shape: scheduling keeps
 // satisfaction high under load by prioritising tight deadlines and dropping
 // packets within each game's loss tolerance.
+//
+// The (load × seed × {base, schedule}) grid is fanned across --jobs
+// workers; results come back in submission order, so the table is
+// bit-identical at any width.
 #include "bench_common.h"
 #include "systems/supernode_experiment.h"
 #include "util/stats.h"
@@ -15,13 +19,10 @@ int main(int argc, char** argv) {
     bench::print_header("Figure 11",
                         "effectiveness of deadline-driven buffer scheduling");
 
-    util::Table table("Fig 11: satisfied players vs supernode load");
-    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-schedule",
-                      "sched dropped pkts", "offered load"});
-    for (std::size_t k : {5u, 10u, 15u, 20u, 25u}) {
-      util::RunningStats base_sat, sched_sat;
-      std::uint64_t dropped = 0;
-      double load = 0.0;
+    const std::vector<std::size_t> loads{5, 10, 15, 20, 25};
+    std::vector<SupernodeExperimentConfig> configs;
+    configs.reserve(loads.size() * bench::seed_count() * 2);
+    for (std::size_t k : loads) {
       for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
         SupernodeExperimentConfig config;
         config.num_players = k;
@@ -29,8 +30,29 @@ int main(int argc, char** argv) {
         config.duration_ms = bench::fast_mode() ? 8'000.0 : 20'000.0;
         auto sched_config = config;
         sched_config.scheduling = true;
-        const auto base = run_supernode_experiment(config);
-        const auto sched = run_supernode_experiment(sched_config);
+        configs.push_back(config);
+        configs.push_back(sched_config);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<SupernodeExperimentResult> results =
+        run_supernode_experiments(configs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "fig11_scheduling",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table("Fig 11: satisfied players vs supernode load");
+    table.set_header({"players/supernode", "CloudFog/B", "CloudFog-schedule",
+                      "sched dropped pkts", "offered load"});
+    std::size_t next = 0;
+    for (std::size_t k : loads) {
+      util::RunningStats base_sat, sched_sat;
+      std::uint64_t dropped = 0;
+      double load = 0.0;
+      for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+        const SupernodeExperimentResult& base = results[next++];
+        const SupernodeExperimentResult& sched = results[next++];
         base_sat.add(base.satisfied_fraction);
         sched_sat.add(sched.satisfied_fraction);
         dropped += sched.packets_dropped;

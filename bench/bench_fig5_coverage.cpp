@@ -2,6 +2,9 @@
 //   (a) user coverage vs. number of datacenters, per network latency
 //       requirement 30..110 ms;
 //   (b) user coverage vs. number of supernodes (base: 5 datacenters).
+//
+// Averaged over CLOUDFOG_BENCH_SEEDS scenario seeds, fanned across
+// --jobs workers (bit-identical at any width).
 #include "bench_common.h"
 #include "systems/coverage.h"
 
@@ -12,10 +15,13 @@ int main(int argc, char** argv) {
   return cloudfog::bench::run_bench(argc, argv, "fig5_coverage", [&]() -> int {
     bench::print_header("Figure 5", "user coverage, simulation profile");
 
-    ScenarioParams params = bench::sim_profile(1);
-    params.num_datacenters = 25;  // the sweep maximum
-    params.num_supernodes = bench::fast_mode() ? 150 : 600;
-    const Scenario scenario = Scenario::build(params);
+    std::vector<ScenarioParams> seeds;
+    for (std::size_t s = 0; s < bench::seed_count(); ++s) {
+      ScenarioParams params = bench::sim_profile(1 + s);
+      params.num_datacenters = 25;  // the sweep maximum
+      params.num_supernodes = bench::fast_mode() ? 150 : 600;
+      seeds.push_back(params);
+    }
 
     CoverageConfig config;
     config.datacenter_counts = {5, 10, 15, 20, 25};
@@ -26,7 +32,15 @@ int main(int argc, char** argv) {
     config.latency_requirements = {30, 50, 70, 90, 110};
     config.base_datacenters = 5;
     config.samples = 3;
-    const CoverageResult result = measure_coverage(scenario, config);
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const CoverageSweepOutcome outcome =
+        measure_coverage_averaged(seeds, config, bench::executor());
+    obs::record_sweep_wall_ms(
+        "fig5_coverage",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+    const CoverageResult& result = outcome.mean;
+    config = outcome.effective;
 
     util::Table a("Fig 5(a): coverage vs #datacenters (rows) per latency requirement (cols)");
     a.set_header({"#datacenters", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});

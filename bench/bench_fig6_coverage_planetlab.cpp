@@ -2,6 +2,11 @@
 //   (a) user coverage vs. number of datacenters (Princeton/UCLA plus
 //       promoted hub sites);
 //   (b) user coverage vs. number of supernodes (base: 2 datacenters).
+//
+// Averaged over CLOUDFOG_BENCH_SEEDS scenario seeds, fanned across
+// --jobs workers (bit-identical at any width). The "fig6_coverage"
+// sweep wall-clock in BENCH json is the speedup gate's series
+// (scripts/bench_compare.py --require-speedup).
 #include "bench_common.h"
 #include "systems/coverage.h"
 
@@ -12,24 +17,34 @@ int main(int argc, char** argv) {
   return cloudfog::bench::run_bench(argc, argv, "fig6_coverage_planetlab", [&]() -> int {
     bench::print_header("Figure 6", "user coverage, PlanetLab profile");
 
-    ScenarioParams params = bench::planetlab_profile(1);
-    params.num_datacenters = 8;  // sweep maximum
-    params.num_supernodes = bench::fast_mode() ? 100 : 300;
-    const Scenario scenario = Scenario::build(params);
+    std::vector<ScenarioParams> seeds;
+    for (std::size_t s = 0; s < bench::seed_count(); ++s) {
+      ScenarioParams params = bench::planetlab_profile(1 + s);
+      params.num_datacenters = 8;  // sweep maximum
+      params.num_supernodes = bench::fast_mode() ? 100 : 300;
+      seeds.push_back(params);
+    }
 
     CoverageConfig config;
     config.datacenter_counts = {2, 4, 6, 8};
     config.supernode_counts = bench::fast_mode()
                                   ? std::vector<std::size_t>{0, 50, 100}
                                   : std::vector<std::size_t>{0, 50, 100, 200, 300};
-    // The capable pool is sampled (~300 of 750 hosts); clamp the sweep to
-    // what this seed actually produced.
-    while (config.supernode_counts.back() > scenario.supernode_players().size())
-      config.supernode_counts.back() = scenario.supernode_players().size();
+    // The capable pool is sampled (~300 of 750 hosts);
+    // measure_coverage_averaged clamps the sweep to the smallest pool any
+    // seed actually produced.
     config.latency_requirements = {30, 50, 70, 90, 110};
     config.base_datacenters = 2;
     config.samples = 3;
-    const CoverageResult result = measure_coverage(scenario, config);
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const CoverageSweepOutcome outcome =
+        measure_coverage_averaged(seeds, config, bench::executor());
+    obs::record_sweep_wall_ms(
+        "fig6_coverage",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+    const CoverageResult& result = outcome.mean;
+    config = outcome.effective;
 
     util::Table a("Fig 6(a): coverage vs #datacenters (rows) per latency requirement (cols)");
     a.set_header({"#datacenters", "30 ms", "50 ms", "70 ms", "90 ms", "110 ms"});

@@ -2,6 +2,9 @@
 // four systems (Cloud, EdgeCloud, CloudFog/B, CloudFog/A) at the loaded
 // default operating point. Expected shape:
 //   Cloud > EdgeCloud > CloudFog/B > CloudFog/A.
+//
+// The (system × seed) grid is fanned across --jobs workers; results come
+// back in submission order, so the table is bit-identical at any width.
 #include "bench_common.h"
 #include "systems/streaming_sim.h"
 #include "util/stats.h"
@@ -11,32 +14,48 @@ using namespace cloudfog::systems;
 
 namespace {
 
-void run_profile(const char* title, const Scenario& scenario,
-                 std::size_t players) {
+void run_profile(const char* title, const char* sweep_label,
+                 const ScenarioParams& params, std::size_t players) {
   const std::array<SystemKind, 4> kinds{SystemKind::kCloud,
                                         SystemKind::kEdgeCloud,
                                         SystemKind::kCloudFogB,
                                         SystemKind::kCloudFogA};
+  std::vector<StreamingRunSpec> specs;
+  specs.reserve(kinds.size() * bench::seed_count());
+  for (SystemKind kind : kinds) {
+    for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
+      StreamingRunSpec spec;
+      spec.kind = kind;
+      spec.scenario = params;
+      spec.options.num_players = players;
+      spec.options.warmup_ms = 3'000.0;
+      spec.options.duration_ms = bench::fast_mode() ? 4'000.0 : 8'000.0;
+      spec.options.seed_salt = seed;
+      specs.push_back(spec);
+    }
+  }
+
+  const std::uint64_t start_us = obs::wall_now_us();
+  const std::vector<StreamingResult> results =
+      run_streaming_batch(specs, bench::executor());
+  obs::record_sweep_wall_ms(
+      sweep_label, static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
   util::Table table(title);
   table.set_header({"system", "mean response latency (ms)", "p95 (ms)",
                     "continuity", "cloud Mbps", "sn-served"});
-  for (SystemKind kind : kinds) {
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
     util::RunningStats latency, p95, continuity, cloud_mbps;
     std::size_t sn_served = 0;
     for (std::size_t seed = 0; seed < bench::seed_count(); ++seed) {
-      StreamingOptions options;
-      options.num_players = players;
-      options.warmup_ms = 3'000.0;
-      options.duration_ms = bench::fast_mode() ? 4'000.0 : 8'000.0;
-      options.seed_salt = seed;
-      const StreamingResult r = run_streaming(kind, scenario, options);
+      const StreamingResult& r = results[ki * bench::seed_count() + seed];
       latency.add(r.mean_response_latency_ms);
       p95.add(r.p95_response_latency_ms);
       continuity.add(r.mean_continuity);
       cloud_mbps.add(r.cloud_uplink_mbps);
       sn_served = r.supernode_supported;
     }
-    table.add_row({to_string(kind), util::format_double(latency.mean(), 1),
+    table.add_row({to_string(kinds[ki]), util::format_double(latency.mean(), 1),
                    util::format_double(p95.mean(), 1),
                    util::format_double(continuity.mean(), 3),
                    util::format_double(cloud_mbps.mean(), 1),
@@ -50,16 +69,10 @@ void run_profile(const char* title, const Scenario& scenario,
 int main(int argc, char** argv) {
   return cloudfog::bench::run_bench(argc, argv, "fig8_latency", [&]() -> int {
     bench::print_header("Figure 8", "average response latency per player");
-    {
-      const Scenario scenario = Scenario::build(bench::sim_profile(1));
-      run_profile("Fig 8(a): simulation profile",
-                  scenario, bench::scaled(3'000, 800));
-    }
-    {
-      const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
-      run_profile("Fig 8(b): PlanetLab profile", scenario,
-                  bench::scaled(320, 160));
-    }
+    run_profile("Fig 8(a): simulation profile", "fig8_sim",
+                bench::sim_profile(1), bench::scaled(3'000, 800));
+    run_profile("Fig 8(b): PlanetLab profile", "fig8_planetlab",
+                bench::planetlab_profile(1), bench::scaled(320, 160));
     return 0;
   });
 }

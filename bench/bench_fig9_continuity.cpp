@@ -3,6 +3,10 @@
 // player count for every system, with CloudFog above EdgeCloud above Cloud
 // in the loaded regime (the cloud's fixed bandwidth provisioning is the
 // bottleneck CloudFog's supernodes bypass).
+//
+// The (#players × system) grid is fanned across --jobs workers; results
+// come back in submission order, so the table is bit-identical at any
+// width.
 #include "bench_common.h"
 #include "systems/streaming_sim.h"
 
@@ -11,22 +15,39 @@ using namespace cloudfog::systems;
 
 namespace {
 
-void run_profile(const char* title, const Scenario& scenario,
+void run_profile(const char* title, const char* sweep_label,
+                 const ScenarioParams& params,
                  const std::vector<std::size_t>& counts) {
   const std::array<SystemKind, 4> kinds{SystemKind::kCloud,
                                         SystemKind::kEdgeCloud,
                                         SystemKind::kCloudFogB,
                                         SystemKind::kCloudFogA};
+  std::vector<StreamingRunSpec> specs;
+  specs.reserve(counts.size() * kinds.size());
+  for (std::size_t n : counts) {
+    for (SystemKind kind : kinds) {
+      StreamingRunSpec spec;
+      spec.kind = kind;
+      spec.scenario = params;
+      spec.options.num_players = n;
+      spec.options.warmup_ms = 2'000.0;
+      spec.options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+      specs.push_back(spec);
+    }
+  }
+
+  const std::uint64_t start_us = obs::wall_now_us();
+  const std::vector<StreamingResult> results =
+      run_streaming_batch(specs, bench::executor());
+  obs::record_sweep_wall_ms(
+      sweep_label, static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
   util::Table table(title);
   table.set_header({"#players", "Cloud", "EdgeCloud", "CloudFog/B", "CloudFog/A"});
-  for (std::size_t n : counts) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (SystemKind kind : kinds) {
-      StreamingOptions options;
-      options.num_players = n;
-      options.warmup_ms = 2'000.0;
-      options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
-      const StreamingResult r = run_streaming(kind, scenario, options);
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    std::vector<std::string> row{std::to_string(counts[ci])};
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      const StreamingResult& r = results[ci * kinds.size() + ki];
       row.push_back(util::format_double(r.mean_continuity, 3));
     }
     table.add_row(row);
@@ -39,21 +60,17 @@ void run_profile(const char* title, const Scenario& scenario,
 int main(int argc, char** argv) {
   return cloudfog::bench::run_bench(argc, argv, "fig9_continuity", [&]() -> int {
     bench::print_header("Figure 9", "playback continuity vs #players");
-    {
-      const Scenario scenario = Scenario::build(bench::sim_profile(1));
-      const auto counts =
-          bench::fast_mode()
-              ? std::vector<std::size_t>{500, 1'000, 2'000}
-              : std::vector<std::size_t>{1'000, 2'000, 4'000, 6'000, 8'000};
-      run_profile("Fig 9(a): simulation profile", scenario, counts);
-    }
-    {
-      const Scenario scenario = Scenario::build(bench::planetlab_profile(1));
-      const auto counts = bench::fast_mode()
-                              ? std::vector<std::size_t>{100, 250, 400}
-                              : std::vector<std::size_t>{200, 400, 600, 750};
-      run_profile("Fig 9(b): PlanetLab profile", scenario, counts);
-    }
+    run_profile("Fig 9(a): simulation profile", "fig9_sim",
+                bench::sim_profile(1),
+                bench::fast_mode()
+                    ? std::vector<std::size_t>{500, 1'000, 2'000}
+                    : std::vector<std::size_t>{1'000, 2'000, 4'000, 6'000,
+                                               8'000});
+    run_profile("Fig 9(b): PlanetLab profile", "fig9_planetlab",
+                bench::planetlab_profile(1),
+                bench::fast_mode() ? std::vector<std::size_t>{100, 250, 400}
+                                   : std::vector<std::size_t>{200, 400, 600,
+                                                              750});
     return 0;
   });
 }

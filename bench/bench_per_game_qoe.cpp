@@ -5,6 +5,9 @@
 // under the same loaded system, strict games (30 ms shooters) are the first
 // to lose satisfaction, tolerant games (110 ms turn-based) the last — and
 // CloudFog's short streaming paths matter most for the strict end.
+//
+// The two system runs are fanned across --jobs workers; results come back
+// in submission order, so the tables are bit-identical at any width.
 #include "bench_common.h"
 #include "game/game.h"
 #include "systems/streaming_sim.h"
@@ -17,15 +20,27 @@ int main(int argc, char** argv) {
     bench::print_header("Per-game QoE",
                         "who suffers first when the system strains");
 
-    const Scenario scenario = Scenario::build(bench::sim_profile(1));
-    StreamingOptions options;
-    options.num_players = bench::scaled(3'000, 800);
-    options.warmup_ms = 2'000.0;
-    options.duration_ms = bench::fast_mode() ? 3'000.0 : 8'000.0;
+    const std::array<SystemKind, 2> kinds{SystemKind::kCloud,
+                                          SystemKind::kCloudFogA};
+    std::vector<StreamingRunSpec> specs;
+    specs.reserve(kinds.size());
+    for (SystemKind kind : kinds) {
+      StreamingRunSpec spec;
+      spec.kind = kind;
+      spec.scenario = bench::sim_profile(1);
+      spec.options.num_players = bench::scaled(3'000, 800);
+      spec.options.warmup_ms = 2'000.0;
+      spec.options.duration_ms = bench::fast_mode() ? 3'000.0 : 8'000.0;
+      specs.push_back(spec);
+    }
 
-    for (SystemKind kind : {SystemKind::kCloud, SystemKind::kCloudFogA}) {
-      const StreamingResult r = run_streaming(kind, scenario, options);
-      util::Table table(std::string("per-game QoE under ") + to_string(kind));
+    const std::vector<StreamingResult> results =
+        run_streaming_batch(specs, bench::executor());
+
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      const StreamingResult& r = results[ki];
+      util::Table table(std::string("per-game QoE under ") +
+                        to_string(kinds[ki]));
       table.set_header({"game", "latency req (ms)", "players", "continuity",
                         "satisfied"});
       for (std::size_t g = 0; g < 5; ++g) {

@@ -2,6 +2,10 @@
 // (the paper's Section-V future work). Sweeps the malicious fraction and
 // the sabotage intensity, reporting detection quality and the repaired
 // delivery rate.
+//
+// All three sweeps are fanned across --jobs workers in one batch; results
+// come back in submission order, so the tables are bit-identical at any
+// width.
 #include "bench_common.h"
 #include "systems/reputation_experiment.h"
 
@@ -13,17 +17,53 @@ int main(int argc, char** argv) {
     bench::print_header("Security extension",
                         "reputation-based malicious supernode eviction");
 
+    const std::vector<double> fractions{0.05, 0.10, 0.20, 0.30};
+    const std::vector<double> rates{0.10, 0.20, 0.30, 0.50};
+    const std::vector<bool> evictions{false, true};
+
+    std::vector<std::pair<std::string,
+                          std::function<ReputationExperimentResult()>>>
+        tasks;
+    for (double fraction : fractions) {
+      ReputationExperimentConfig config;
+      config.num_supernodes = bench::scaled(100, 40);
+      config.malicious_fraction = fraction;
+      config.rounds = bench::scaled(500, 250);
+      tasks.emplace_back("fraction=" + std::to_string(fraction),
+                         [config] { return run_reputation_experiment(config); });
+    }
+    for (double rate : rates) {
+      ReputationExperimentConfig config;
+      config.num_supernodes = bench::scaled(100, 40);
+      config.sabotage_rate = rate;
+      config.rounds = bench::scaled(600, 300);
+      tasks.emplace_back("rate=" + std::to_string(rate),
+                         [config] { return run_reputation_experiment(config); });
+    }
+    for (bool eviction : evictions) {
+      ReputationExperimentConfig config;
+      config.num_supernodes = bench::scaled(100, 40);
+      config.enable_eviction = eviction;
+      config.rounds = bench::scaled(500, 250);
+      tasks.emplace_back(std::string("eviction=") + (eviction ? "on" : "off"),
+                         [config] { return run_reputation_experiment(config); });
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<ReputationExperimentResult> results =
+        bench::executor().map(std::move(tasks));
+    obs::record_sweep_wall_ms(
+        "security_reputation",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    std::size_t next = 0;
     {
       util::Table table("Sweep: malicious roster fraction (sabotage rate 0.3)");
       table.set_header({"malicious fraction", "recall", "precision",
                         "rounds to 1st detection", "bad rate early",
                         "bad rate late"});
-      for (double fraction : {0.05, 0.10, 0.20, 0.30}) {
-        ReputationExperimentConfig config;
-        config.num_supernodes = bench::scaled(100, 40);
-        config.malicious_fraction = fraction;
-        config.rounds = bench::scaled(500, 250);
-        const auto r = run_reputation_experiment(config);
+      for (double fraction : fractions) {
+        const auto& r = results[next++];
         table.add_row({util::format_double(fraction, 2),
                        util::format_double(r.recall(), 2),
                        util::format_double(r.precision(), 2),
@@ -38,12 +78,8 @@ int main(int argc, char** argv) {
       util::Table table("Sweep: sabotage intensity (20% malicious)");
       table.set_header({"sabotage rate", "recall", "precision",
                         "rounds to 1st detection", "bad rate late"});
-      for (double rate : {0.10, 0.20, 0.30, 0.50}) {
-        ReputationExperimentConfig config;
-        config.num_supernodes = bench::scaled(100, 40);
-        config.sabotage_rate = rate;
-        config.rounds = bench::scaled(600, 300);
-        const auto r = run_reputation_experiment(config);
+      for (double rate : rates) {
+        const auto& r = results[next++];
         table.add_row({util::format_double(rate, 2),
                        util::format_double(r.recall(), 2),
                        util::format_double(r.precision(), 2),
@@ -56,12 +92,8 @@ int main(int argc, char** argv) {
     {
       util::Table table("Defence on vs off (20% malicious, rate 0.3)");
       table.set_header({"eviction", "bad rate early", "bad rate late"});
-      for (bool eviction : {false, true}) {
-        ReputationExperimentConfig config;
-        config.num_supernodes = bench::scaled(100, 40);
-        config.enable_eviction = eviction;
-        config.rounds = bench::scaled(500, 250);
-        const auto r = run_reputation_experiment(config);
+      for (bool eviction : evictions) {
+        const auto& r = results[next++];
         table.add_row({eviction ? "on" : "off",
                        util::format_double(r.early_bad_rate, 3),
                        util::format_double(r.late_bad_rate, 3)});

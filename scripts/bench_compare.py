@@ -4,12 +4,20 @@
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.15]
                    [--report-only] [--require-speedup CASE=FACTOR ...]
+                   [--speedup-min-cores N]
 
 Diffs the per-case "benchmarks" section (ns/op; lower is better) of two
 artifacts produced with `--bench-json`. For every key present in both files
 it prints baseline, current, and the current/baseline ratio. The body
 wall_ms mean is shown for context but never gates: it tracks
 --benchmark_min_time and repeat counts, not code speed.
+
+The "sweeps" section (whole-sweep wall-clock ms recorded by
+bench::run_sweep and the figure binaries; lower is better) flattens to
+`sweep/<label>` series. Sweep timings are machine-dependent, so they are
+informational unless named in a --require-speedup constraint — the
+intended use compares a --jobs=1 artifact against a --jobs=N artifact
+from the *same* machine (the parallel-executor acceptance gate).
 
 Exit status:
   0  no regression beyond --max-regression (default 15%), and every
@@ -22,6 +30,10 @@ Exit status:
 A case present in only one file is reported as "(new)" / "(gone)" and never
 fails the comparison — benchmark sets are allowed to grow.
 
+--speedup-min-cores N drops every --require-speedup constraint (with a
+notice) when the machine has fewer than N CPUs: a parallel-speedup gate is
+meaningless on a box without the cores to show it.
+
 Examples:
   # regression gate against the committed pre-optimization baseline
   python3 scripts/bench_compare.py BENCH_baseline.json BENCH_microbench.json
@@ -30,10 +42,16 @@ Examples:
   python3 scripts/bench_compare.py BENCH_baseline.json BENCH_microbench.json \
       --require-speedup 'BM_SimulatorSteadyState=3' \
       --require-speedup 'BM_SupernodeAssign/512=3'
+
+  # parallel-executor acceptance: fig6 fast-mode sweep >=3x at --jobs=8,
+  # enforced only on runners with >= 8 cores
+  python3 scripts/bench_compare.py BENCH_fig6_jobs1.json BENCH_fig6_jobs8.json \
+      --require-speedup 'sweep/fig6_coverage=3' --speedup-min-cores 8
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -47,12 +65,15 @@ def load(path):
 
 
 def series(doc):
-    """Flattens the comparable numbers of one artifact: per-case ns/op plus
-    the body wall-time mean."""
+    """Flattens the comparable numbers of one artifact: per-case ns/op,
+    per-sweep wall-clock ms, plus the body wall-time mean."""
     out = {}
     for name, value in (doc.get("benchmarks") or {}).items():
         if isinstance(value, (int, float)):
             out[name] = float(value)
+    for name, value in (doc.get("sweeps") or {}).items():
+        if isinstance(value, (int, float)):
+            out[f"sweep/{name}"] = float(value)
     wall = doc.get("wall_ms") or {}
     if isinstance(wall.get("mean"), (int, float)) and wall["mean"] > 0:
         out["wall_ms.mean"] = float(wall["mean"])
@@ -72,6 +93,10 @@ def main():
                         metavar="CASE=FACTOR",
                         help="fail unless baseline/current >= FACTOR for CASE "
                              "(repeatable)")
+    parser.add_argument("--speedup-min-cores", type=int, default=0,
+                        metavar="N",
+                        help="skip every --require-speedup constraint when "
+                             "this machine has fewer than N CPUs")
     args = parser.parse_args()
 
     base_doc, cur_doc = load(args.baseline), load(args.current)
@@ -85,6 +110,12 @@ def main():
                   file=sys.stderr)
             sys.exit(2)
         required[case] = float(factor)
+
+    cores = os.cpu_count() or 1
+    if required and args.speedup_min_cores > cores:
+        print(f"bench_compare: {cores} CPUs < --speedup-min-cores "
+              f"{args.speedup_min_cores}; speedup constraints skipped")
+        required = {}
 
     name_w = max([len(k) for k in set(base) | set(cur)] + [4])
     print(f"{'case':<{name_w}}  {'baseline':>12}  {'current':>12}  "
@@ -109,9 +140,10 @@ def main():
                 failures.append(
                     f"{name}: speedup {speedup:.2f}x below required "
                     f"{required[name]:g}x")
-        elif name == "wall_ms.mean":
+        elif name == "wall_ms.mean" or name.startswith("sweep/"):
             # Whole-body wall time scales with --benchmark_min_time and
-            # repeat counts, not with code speed: informational only.
+            # repeat counts; sweep wall-clock scales with the runner and
+            # --jobs. Informational unless explicitly required above.
             verdict = "(informational)"
         elif ratio > 1.0 + args.max_regression:
             verdict = f"REGRESSED (> +{args.max_regression:.0%})"

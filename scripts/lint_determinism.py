@@ -28,6 +28,13 @@ Rule table
                    ordered container comment — FP addition is non-associative,
                    so reduction order must be pinned. Flagged only when the
                    call site names an unordered container.
+  raw-thread       std::thread / std::jthread / std::async outside src/exec/ —
+                   ad-hoc threading breaks the bit-identical-results contract
+                   (completion-order aggregation, racy instrument caches).
+                   Parallelism goes through exec::RunExecutor, which pins
+                   result consumption to submission order and scopes metric
+                   registries per run. (std::thread::id is allowed: naming the
+                   current thread is not creating one.)
   obs-clock        (waiver, not a rule) wall-clock findings in files under an
                    obs/ directory are auto-waived: src/obs is the repo's
                    designated wall-clock boundary (scoped timers, bench wall
@@ -98,16 +105,24 @@ RULES: dict[str, tuple[re.Pattern[str], str]] = {
         "floating-point reduction over an unordered range; order must be "
         "pinned before summing",
     ),
+    "raw-thread": (
+        re.compile(r"std::(?:jthread|async)\b|std::thread\b(?!\s*::\s*id)"),
+        "raw threading outside src/exec breaks bit-identical results; fan "
+        "work through exec::RunExecutor",
+    ),
 }
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 # Path-scoped waivers ("obs-clock"): rules that do not apply inside the
 # observability subsystem, the repo's one sanctioned wall-clock boundary.
+# Likewise src/exec is the one sanctioned thread boundary: RunExecutor owns
+# every worker thread in the repo (see exec/run_executor.h).
 # Matching is by directory name so the waiver follows the subsystem if the
 # tree is ever re-rooted, and never applies to a look-alike file elsewhere.
 PATH_WAIVERS: dict[str, frozenset[str]] = {
     "obs": frozenset({"wall-clock"}),
+    "exec": frozenset({"raw-thread"}),
 }
 
 

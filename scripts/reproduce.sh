@@ -6,10 +6,18 @@
 #   scripts/reproduce.sh                          # paper scale (~3 min of benches)
 #   CLOUDFOG_BENCH_FAST=1 scripts/reproduce.sh    # smoke scale
 #   BUILD_DIR=build-release scripts/reproduce.sh  # custom build tree
+#   CLOUDFOG_BENCH_JOBS=8 scripts/reproduce.sh    # parallel sweeps, 8 workers
+#
+# CLOUDFOG_BENCH_JOBS fans each bench's seed×config sweep across that many
+# worker threads (default: all cores). Output is bit-identical at any value
+# — see DESIGN.md §9 — so use every core you have.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+# Default the sweep width to the machine; honour an explicit setting.
+export CLOUDFOG_BENCH_JOBS="${CLOUDFOG_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+echo "reproduce.sh: sweeps run with CLOUDFOG_BENCH_JOBS=$CLOUDFOG_BENCH_JOBS"
 
 die() {
   echo "reproduce.sh: error: $*" >&2

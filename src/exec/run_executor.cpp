@@ -1,0 +1,128 @@
+#include "exec/run_executor.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>  // lint:allow(raw-thread) — src/exec is the repo's thread boundary
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace cloudfog::exec {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const long fallback = hw == 0 ? 1 : static_cast<long>(hw);
+  // Cached so a bad CLOUDFOG_BENCH_JOBS warns once, not once per sweep.
+  static const long jobs =
+      util::env_long_or("CLOUDFOG_BENCH_JOBS", 1, 512, fallback);
+  return static_cast<std::size_t>(jobs);
+}
+
+namespace {
+
+std::string cause_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+RunError::RunError(std::size_t index, std::string label,
+                   const std::string& cause)
+    : std::runtime_error("run " + std::to_string(index) +
+                         (label.empty() ? std::string()
+                                        : " (" + label + ")") +
+                         " failed: " + cause),
+      index_(index),
+      label_(std::move(label)) {}
+
+RunExecutor::RunExecutor(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  CF_CHECK_GE(jobs_, 1u);
+}
+
+void RunExecutor::execute(std::vector<Run> runs) {
+  const std::size_t n = runs.size();
+  if (n == 0) return;
+
+  const std::size_t workers = std::min(jobs_, n);
+  if (workers <= 1) {
+    // The exact sequential code path: same thread, same registry, raw
+    // exception propagation.
+    for (Run& run : runs) run.fn();
+    return;
+  }
+
+  // Per-run registries only when the submitter is collecting; otherwise
+  // collection stays off everywhere (workers start with no thread-local
+  // registry installed).
+  obs::MetricsRegistry* caller_registry = obs::registry();
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> run_registries;
+  if (caller_registry != nullptr) {
+    run_registries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      run_registries.push_back(std::make_unique<obs::MetricsRegistry>());
+    }
+  }
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> cursor{0};
+
+  const auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        std::optional<obs::ScopedRegistry> install;
+        if (caller_registry != nullptr) install.emplace(*run_registries[i]);
+        runs[i].fn();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;  // lint:allow(raw-thread)
+  pool.reserve(workers);
+  try {
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);  // lint:allow(raw-thread)
+    }
+  } catch (...) {
+    // Thread creation failed mid-spawn (resource exhaustion): the already
+    // started workers will drain every run; join them before rethrowing.
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
+
+  // The barrier has passed: find the first failed submission index, then
+  // fold per-run snapshots into the caller's registry in submission order —
+  // stopping after the failed run, which is all a sequential execution
+  // would have recorded.
+  std::size_t first_error = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i] != nullptr) {
+      first_error = i;
+      break;
+    }
+  }
+  if (caller_registry != nullptr) {
+    const std::size_t merge_end = std::min(n, first_error + 1);
+    for (std::size_t i = 0; i < merge_end; ++i) {
+      caller_registry->merge_from(*run_registries[i]);
+    }
+  }
+  if (first_error < n) {
+    throw RunError(first_error, std::move(runs[first_error].label),
+                   cause_of(errors[first_error]));
+  }
+}
+
+}  // namespace cloudfog::exec

@@ -14,6 +14,7 @@
 namespace cloudfog::obs {
 
 const std::string kBenchResultPrefix = "bench.result.";
+const std::string kSweepResultPrefix = "bench.sweep.";
 
 const std::vector<std::string>& bench_flag_keys() {
   static const std::vector<std::string> keys{
@@ -84,7 +85,7 @@ std::string bench_json_document(const std::string& name,
   out += ",\"peak_queue_depth\":" +
          json::num(depth != nullptr ? depth->max() : 0.0);
 
-  std::string counters, timers, results;
+  std::string counters, timers, results, sweeps;
   registry.for_each([&](const std::string& metric, const Counter* c,
                         const Gauge* g, const Histogram* h) {
     if (c != nullptr) {
@@ -97,6 +98,12 @@ std::string bench_json_document(const std::string& name,
       results += "\"" +
                  json::escape(metric.substr(kBenchResultPrefix.size())) +
                  "\":" + json::num(g->value());
+    } else if (g != nullptr && metric.rfind(kSweepResultPrefix, 0) == 0) {
+      // Per-sweep wall time published via record_sweep_wall_ms().
+      if (!sweeps.empty()) sweeps += ",";
+      sweeps += "\"" +
+                json::escape(metric.substr(kSweepResultPrefix.size())) +
+                "\":" + json::num(g->value());
     } else if (h != nullptr && metric.rfind("timers.", 0) == 0) {
       if (!timers.empty()) timers += ",";
       timers += "\"" + json::escape(metric) + "\":{\"count\":" +
@@ -106,7 +113,7 @@ std::string bench_json_document(const std::string& name,
     }
   });
   out += ",\"counters\":{" + counters + "},\"timers_ms\":{" + timers +
-         "},\"benchmarks\":{" + results + "}}";
+         "},\"benchmarks\":{" + results + "},\"sweeps\":{" + sweeps + "}}";
   return out;
 }
 
@@ -114,6 +121,10 @@ std::string bench_json_document(const std::string& name,
 
 void record_bench_result(const std::string& name, double ns_per_op) {
   CF_OBS_GAUGE_SET((kBenchResultPrefix + name), ns_per_op);
+}
+
+void record_sweep_wall_ms(const std::string& label, double wall_ms) {
+  CF_OBS_GAUGE_SET((kSweepResultPrefix + label), wall_ms);
 }
 
 BenchHarness::BenchHarness(std::string name, BenchOptions options)

@@ -26,7 +26,13 @@
 //     "counters": {"<name>": <uint>, ...},
 //     "timers_ms": {"<name>": {"count": <uint>, "total": <num>,
 //                              "mean": <num>, "p95": <num>}, ...},
-//     "benchmarks": {"<case>": <ns_per_op>, ...} }
+//     "benchmarks": {"<case>": <ns_per_op>, ...},
+//     "sweeps": {"<label>": <wall_ms>, ...} }
+//
+// The "sweeps" object carries end-to-end wall-clock per executed sweep
+// (bench::run_sweep / driver batch helpers), published via
+// record_sweep_wall_ms(). scripts/bench_compare.py flattens these as
+// "sweep/<label>" — the series the --jobs speedup gate compares.
 //
 // The "benchmarks" object carries per-case results published by the bench
 // body through record_bench_result() — e.g. bench_microbench forwards every
@@ -72,6 +78,13 @@ extern const std::string kBenchResultPrefix;
 /// Publishes one per-case result (ns/op) into the active registry; a no-op
 /// when collection is off, like every CF_OBS_* path.
 void record_bench_result(const std::string& name, double ns_per_op);
+
+/// Gauge-name prefix for sweep wall-clock results ("sweeps" json section).
+extern const std::string kSweepResultPrefix;
+
+/// Publishes one sweep's end-to-end wall time (ms) under `label`; a no-op
+/// when collection is off.
+void record_sweep_wall_ms(const std::string& label, double wall_ms);
 
 class BenchHarness {
  public:

@@ -35,18 +35,29 @@ void atomic_add(std::atomic<double>& target, double v) {
 }  // namespace
 
 namespace internal {
-std::atomic<MetricsRegistry*> g_registry{nullptr};
-std::atomic<std::uint64_t> g_epoch{1};
+constinit thread_local MetricsRegistry* t_registry = nullptr;
+constinit thread_local std::uint64_t t_epoch = 1;
 }  // namespace internal
 
 void Gauge::set(double v) {
   value_.store(v, std::memory_order_relaxed);
   atomic_max(max_, v);
+  if (!ever_set_.load(std::memory_order_relaxed)) {
+    ever_set_.store(true, std::memory_order_relaxed);
+  }
 }
 
 void Gauge::reset() {
   value_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  ever_set_.store(false, std::memory_order_relaxed);
+}
+
+void Gauge::merge_from(const Gauge& other) {
+  if (!other.ever_set()) return;
+  value_.store(other.value(), std::memory_order_relaxed);
+  atomic_max(max_, other.max());
+  ever_set_.store(true, std::memory_order_relaxed);
 }
 
 Histogram::Histogram(Options options) : options_(options) {
@@ -154,6 +165,21 @@ void Histogram::reset() {
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  CF_CHECK_MSG(options_.sub_buckets == other.options_.sub_buckets &&
+                   options_.max_exponent == other.options_.max_exponent,
+               "histogram merge requires identical bucket layouts");
+  if (other.count() == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+}
+
 std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets() const {
   std::vector<std::pair<double, std::uint64_t>> out;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -234,11 +260,32 @@ std::size_t MetricsRegistry::size() const {
   return order_.size();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Instruments are resolved through the public accessors (create on first
+  // use, kind checked). `other`'s for_each holds its own mutex; the
+  // accessors lock ours — distinct objects, so no lock-order cycle (and
+  // merging a registry into itself is a caller error anyway).
+  CF_CHECK_MSG(this != &other, "registry cannot merge into itself");
+  other.for_each([this](const std::string& name, const Counter* c,
+                        const Gauge* g, const Histogram* h) {
+    if (c != nullptr) {
+      counter(name).merge_from(*c);
+    } else if (g != nullptr) {
+      gauge(name).merge_from(*g);
+    } else if (h != nullptr) {
+      histogram(name, h->options()).merge_from(*h);
+    }
+  });
+}
+
 MetricsRegistry* set_registry(MetricsRegistry* r) {
   // Epoch first: a callsite cache that observes the new registry is then
-  // guaranteed to also observe a moved epoch and re-resolve.
-  internal::g_epoch.fetch_add(1, std::memory_order_acq_rel);
-  return internal::g_registry.exchange(r, std::memory_order_acq_rel);
+  // guaranteed to also observe a moved epoch and re-resolve. Both slots
+  // are thread-local, so this swaps the calling thread's install only.
+  ++internal::t_epoch;
+  MetricsRegistry* previous = internal::t_registry;
+  internal::t_registry = r;
+  return previous;
 }
 
 }  // namespace cloudfog::obs

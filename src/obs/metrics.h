@@ -12,6 +12,13 @@
 //     map is guarded by a mutex) because timers/registries are the first
 //     code in this repo that may plausibly be shared across threads.
 //   * Registry iteration is insertion-ordered so exports are deterministic.
+//   * The *install* is thread-scoped (DESIGN.md §9): registry()/set_registry
+//     operate on a thread-local slot, so a worker thread sees no registry
+//     until something running on that thread installs one. This is what
+//     lets exec::RunExecutor give each parallel run its own registry —
+//     runs never contend on instruments, and per-run snapshots are merged
+//     into the submitting thread's registry in submission order after the
+//     pool joins, keeping every export bit-identical to a sequential run.
 //
 // Wall-clock time never appears here — see obs/timer.h, the only file in
 // the repo allowed to read the host clock (lint rule `obs-clock`).
@@ -45,6 +52,9 @@ class Counter {
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
+  /// Folds another counter in (value addition) — the per-run snapshot merge.
+  void merge_from(const Counter& other) { add(other.value()); }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -62,15 +72,27 @@ class Gauge {
     if (v > max_.load(std::memory_order_relaxed)) {
       max_.store(v, std::memory_order_relaxed);
     }
+    if (!ever_set_.load(std::memory_order_relaxed)) {
+      ever_set_.store(true, std::memory_order_relaxed);
+    }
   }
   double value() const { return value_.load(std::memory_order_relaxed); }
   /// Highest value ever set since construction/reset (0 if never set).
   double max() const { return max_.load(std::memory_order_relaxed); }
+  /// Whether set() has ever been called (distinguishes "level is 0" from
+  /// "never sampled" — merge_from skips gauges that were never set).
+  bool ever_set() const { return ever_set_.load(std::memory_order_relaxed); }
   void reset();
+
+  /// Folds another gauge in: its last value wins (merge callers proceed in
+  /// submission order, mirroring a sequential run's last-set-wins), and the
+  /// peak is the max of both. No-op when `other` was never set.
+  void merge_from(const Gauge& other);
 
  private:
   std::atomic<double> value_{0.0};
   std::atomic<double> max_{0.0};
+  std::atomic<bool> ever_set_{false};
 };
 
 /// HDR-style log-bucketed histogram: values are assigned to buckets of
@@ -108,6 +130,15 @@ class Histogram {
   double quantile(double q) const;
 
   void reset();
+
+  const Options& options() const { return options_; }
+
+  /// Folds another histogram in: bucket-wise count addition plus the
+  /// count/sum/min/max aggregates. Requires identical Options (bucket
+  /// layouts must line up). The FP sum accumulates `other.sum()` as one
+  /// term, so merging per-run histograms in submission order is
+  /// deterministic for a fixed run partition.
+  void merge_from(const Histogram& other);
 
   /// (bucket upper edge, count) pairs for non-empty buckets, ascending —
   /// the export format.
@@ -148,6 +179,15 @@ class MetricsRegistry {
   /// Zeroes every instrument but keeps the name table (handles stay valid).
   void reset();
 
+  /// Folds `other` into this registry: instruments are created here on
+  /// demand (in `other`'s insertion order) and merged kind-wise — counters
+  /// add, gauges last-set-wins + peak max, histograms merge bucket-wise.
+  /// This is how exec::RunExecutor folds per-run snapshots back into the
+  /// caller's registry; callers invoke it run-by-run in submission order,
+  /// which pins every aggregate (including FP sums) deterministically.
+  /// Throws (CF_CHECK) if a name is registered here with a different kind.
+  void merge_from(const MetricsRegistry& other);
+
   std::size_t size() const;
 
   /// Insertion-ordered visitation — exactly one of the three pointers is
@@ -176,31 +216,40 @@ class MetricsRegistry {
 };
 
 namespace internal {
-/// Storage behind registry(); only set_registry() may write it.
-extern std::atomic<MetricsRegistry*> g_registry;
-/// Bumped by every set_registry() call (starts at 1, never reused), so
-/// callsite caches can tell "same registry still installed" apart from
-/// "different registry at the same address" (registries are routinely
-/// stack-allocated and a successor can reuse the predecessor's storage).
-extern std::atomic<std::uint64_t> g_epoch;
+/// Storage behind registry(); only set_registry() may write it. One slot
+/// per thread: installing a registry affects the calling thread only, so
+/// parallel runs (exec::RunExecutor workers) each install their own
+/// registry without synchronising, and a registry shared between threads
+/// must be installed on each of them explicitly.
+/// `constinit` guarantees constant initialization, so every TU accesses
+/// the TLS slot directly instead of through the thread-local init wrapper
+/// (which would otherwise sit on the hottest instrumentation path, and
+/// which GCC's UBSan mis-flags as a null load from worker threads).
+extern constinit thread_local MetricsRegistry* t_registry;
+/// Bumped by every set_registry() call on this thread (starts at 1, never
+/// reused), so callsite caches can tell "same registry still installed"
+/// apart from "different registry at the same address" (registries are
+/// routinely stack-allocated and a successor can reuse the predecessor's
+/// storage). Thread-local like the slot it guards — epochs never cross
+/// threads, matching the thread-local Cached* callsite caches.
+extern constinit thread_local std::uint64_t t_epoch;
 }  // namespace internal
 
-/// The process-wide registry the CF_OBS_* macros feed. Null (collection
-/// disabled) by default. Inline so the macros' off-path is a single load +
-/// branch at every instrumentation site rather than a function call.
-inline MetricsRegistry* registry() {
-  return internal::g_registry.load(std::memory_order_acquire);
-}
+/// The calling thread's active registry — what the CF_OBS_* macros feed.
+/// Null (collection disabled) by default and on any thread that has not
+/// installed one. Inline so the macros' off-path is a single thread-local
+/// load + branch at every instrumentation site rather than a function call.
+inline MetricsRegistry* registry() { return internal::t_registry; }
 
-/// Install-count of the process-wide registry; see internal::g_epoch.
-inline std::uint64_t registry_epoch() {
-  return internal::g_epoch.load(std::memory_order_acquire);
-}
-/// Installs `r` as the active registry (nullptr disables collection).
-/// Returns the previously installed registry.
+/// Install-count of this thread's registry; see internal::t_epoch.
+inline std::uint64_t registry_epoch() { return internal::t_epoch; }
+
+/// Installs `r` as the calling thread's active registry (nullptr disables
+/// collection on this thread). Returns the previously installed registry.
 MetricsRegistry* set_registry(MetricsRegistry* r);
 
-/// RAII install/uninstall — the idiom harnesses use around a measured run.
+/// RAII install/uninstall — the idiom harnesses use around a measured run
+/// and RunExecutor workers use around each run. Scopes the calling thread.
 class ScopedRegistry {
  public:
   explicit ScopedRegistry(MetricsRegistry& r) : previous_(set_registry(&r)) {}
@@ -232,9 +281,12 @@ class ScopedRegistry {
 // Caveat: the cache members are deliberately plain (non-atomic), and the
 // updates go through the instruments' *_single_writer fast paths (plain
 // load+store instead of locked RMW). A given Cached* object must only be
-// used from one thread at a time — which holds for their intended home,
-// the single-threaded simulation hot paths. Use the plain CF_OBS_* macros
-// at callsites that may be shared across threads.
+// used from one thread at a time. Block-scope caches are therefore
+// declared `thread_local` (the CF_OBS_*_HOT macros do this): each worker
+// thread gets its own cache resolving against its own thread-local
+// registry, so concurrent parallel runs never share a cache or an
+// instrument fast path. The *_single_writer contract holds because a
+// per-run registry has exactly one writing thread for the run's duration.
 // ---------------------------------------------------------------------------
 
 class CachedCounter {
@@ -351,7 +403,7 @@ class CachedHistogram {
   do {                                                            \
     if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
             ::cloudfog::obs::registry()) {                        \
-      static ::cloudfog::obs::CachedCounter cf_obs_cc{name};      \
+      thread_local ::cloudfog::obs::CachedCounter cf_obs_cc{name}; \
       cf_obs_cc.add(cf_obs_r, ::cloudfog::obs::registry_epoch(),  \
                     static_cast<std::uint64_t>(n));               \
     }                                                             \
@@ -360,7 +412,7 @@ class CachedHistogram {
   do {                                                            \
     if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
             ::cloudfog::obs::registry()) {                        \
-      static ::cloudfog::obs::CachedHistogram cf_obs_ch{name};    \
+      thread_local ::cloudfog::obs::CachedHistogram cf_obs_ch{name}; \
       cf_obs_ch.record(cf_obs_r,                                  \
                        ::cloudfog::obs::registry_epoch(),         \
                        static_cast<double>(v));                   \

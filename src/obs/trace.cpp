@@ -8,7 +8,11 @@
 namespace cloudfog::obs {
 
 namespace {
-std::atomic<TraceRecorder*> g_tracer{nullptr};
+// Thread-scoped like the metrics registry install (DESIGN.md §9): a worker
+// thread traces only if something running on it installs a recorder. The
+// recorder itself stays mutex-guarded, so one recorder explicitly installed
+// on several threads still works.
+thread_local TraceRecorder* t_tracer = nullptr;
 }  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
@@ -108,10 +112,12 @@ std::string TraceRecorder::to_chrome_json() const {
   return out;
 }
 
-TraceRecorder* tracer() { return g_tracer.load(std::memory_order_acquire); }
+TraceRecorder* tracer() { return t_tracer; }
 
 TraceRecorder* set_tracer(TraceRecorder* t) {
-  return g_tracer.exchange(t, std::memory_order_acq_rel);
+  TraceRecorder* previous = t_tracer;
+  t_tracer = t;
+  return previous;
 }
 
 }  // namespace cloudfog::obs

@@ -75,8 +75,8 @@ class TraceRecorder {
   std::uint64_t dropped_ = 0;
 };
 
-/// The process-wide tracer (null = tracing disabled), mirroring the
-/// metrics registry install pattern.
+/// The calling thread's tracer (null = tracing disabled on this thread),
+/// mirroring the metrics registry's thread-scoped install pattern.
 TraceRecorder* tracer();
 TraceRecorder* set_tracer(TraceRecorder* t);
 

@@ -50,8 +50,8 @@ EventId Simulator::push(TimeMs when, Callback fn, TimeMs period) {
   // paying two name lookups per scheduled event (see CachedCounter docs).
   // The simulator is single-threaded, which is what the caches require.
   if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
-    static obs::CachedCounter scheduled{"sim.events.scheduled"};
-    static obs::CachedGauge depth{"sim.queue.depth"};
+    thread_local obs::CachedCounter scheduled{"sim.events.scheduled"};
+    thread_local obs::CachedGauge depth{"sim.queue.depth"};
     const std::uint64_t epoch = obs::registry_epoch();
     scheduled.add(cf_obs_r, epoch, 1);
     depth.set(cf_obs_r, epoch, static_cast<double>(live_count_));
@@ -75,7 +75,7 @@ bool Simulator::cancel(EventId id) {
   ++dead_in_heap_;
   CF_OBS_COUNT_HOT("sim.events.cancelled", 1);
   if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
-    static obs::CachedGauge depth{"sim.queue.depth"};
+    thread_local obs::CachedGauge depth{"sim.queue.depth"};
     depth.set(cf_obs_r, obs::registry_epoch(),
               static_cast<double>(live_count_));
   }
@@ -251,7 +251,7 @@ bool Simulator::fire_next() {
       s.in_use = false;
       --live_count_;
       if (obs::MetricsRegistry* cf_obs_r = obs::registry()) {
-        static obs::CachedGauge depth{"sim.queue.depth"};
+        thread_local obs::CachedGauge depth{"sim.queue.depth"};
         depth.set(cf_obs_r, obs::registry_epoch(),
                   static_cast<double>(live_count_));
       }

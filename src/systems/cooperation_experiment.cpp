@@ -1,8 +1,11 @@
 #include "systems/cooperation_experiment.h"
 
 #include <array>
+#include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/supernode_sender.h"
@@ -178,6 +181,25 @@ CooperationExperimentResult run_cooperation_experiment(
   result.offered_load_a = offered_a / config.uplink_kbps;
   result.offered_load_b = offered_b / config.uplink_kbps;
   return result;
+}
+
+std::vector<CooperationExperimentResult> run_cooperation_experiments(
+    const std::vector<CooperationExperimentConfig>& configs,
+    exec::RunExecutor& executor) {
+  std::vector<
+      std::pair<std::string, std::function<CooperationExperimentResult()>>>
+      tasks;
+  tasks.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const CooperationExperimentConfig& config = configs[i];
+    tasks.emplace_back(
+        "run=" + std::to_string(i) +
+            " skew=" + std::to_string(config.primary_skew) +
+            " striping=" + (config.enable_striping ? "on" : "off") +
+            " seed=" + std::to_string(config.seed),
+        [&config] { return run_cooperation_experiment(config); });
+  }
+  return executor.map(std::move(tasks));
 }
 
 }  // namespace cloudfog::systems

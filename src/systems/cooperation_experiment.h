@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/cloudfog_config.h"
+#include "exec/run_executor.h"
 #include "util/types.h"
 
 namespace cloudfog::systems {
@@ -52,5 +53,12 @@ struct CooperationExperimentResult {
 
 CooperationExperimentResult run_cooperation_experiment(
     const CooperationExperimentConfig& config);
+
+/// Fans independent experiment configs across `executor`; results are
+/// ordered by submission index, so aggregation is bit-identical at any
+/// --jobs value.
+std::vector<CooperationExperimentResult> run_cooperation_experiments(
+    const std::vector<CooperationExperimentConfig>& configs,
+    exec::RunExecutor& executor);
 
 }  // namespace cloudfog::systems

@@ -1,6 +1,10 @@
 #include "systems/coverage.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "p2p/churn.h"
 #include "sim/simulator.h"
@@ -148,6 +152,74 @@ CoverageResult measure_coverage(const Scenario& scenario,
   }
   result.mean_online = online_total / static_cast<double>(config.samples);
   return result;
+}
+
+CoverageSweepOutcome measure_coverage_averaged(
+    const std::vector<ScenarioParams>& seed_params, CoverageConfig config,
+    exec::RunExecutor& executor) {
+  CF_CHECK_MSG(!seed_params.empty(), "need at least one seed");
+
+  // Phase 1 — build one scenario per seed (each inside its own run: the
+  // latency-model memo caches are per-instance and single-threaded).
+  using ScenarioPtr = std::shared_ptr<const Scenario>;
+  std::vector<std::pair<std::string, std::function<ScenarioPtr()>>> builds;
+  builds.reserve(seed_params.size());
+  for (const ScenarioParams& p : seed_params) {
+    builds.emplace_back("scenario seed=" + std::to_string(p.seed), [p] {
+      return std::make_shared<const Scenario>(Scenario::build(p));
+    });
+  }
+  const std::vector<ScenarioPtr> scenarios = executor.map(std::move(builds));
+
+  // Clamp the sweep to the smallest capable pool any seed produced, so the
+  // axis (and the printed rows) is identical across seeds.
+  if (!config.supernode_counts.empty()) {
+    std::size_t pool = scenarios.front()->supernode_players().size();
+    for (const ScenarioPtr& s : scenarios) {
+      pool = std::min(pool, s->supernode_players().size());
+    }
+    if (config.supernode_counts.back() > pool) {
+      config.supernode_counts.back() = pool;
+    }
+  }
+
+  // Phase 2 — per-seed coverage; each scenario is consumed by exactly one
+  // run, so nothing mutable is shared across workers.
+  std::vector<std::pair<std::string, std::function<CoverageResult()>>> tasks;
+  tasks.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    tasks.emplace_back(
+        "coverage seed=" + std::to_string(seed_params[i].seed),
+        [scenario = scenarios[i], &config] {
+          return measure_coverage(*scenario, config);
+        });
+  }
+  const std::vector<CoverageResult> per_seed = executor.map(std::move(tasks));
+
+  // Element-wise mean, accumulated in seed (submission) order.
+  const double denom = static_cast<double>(per_seed.size());
+  CoverageSweepOutcome out;
+  out.effective = config;
+  out.mean.dc_sweep.assign(
+      config.datacenter_counts.size(),
+      std::vector<double>(config.latency_requirements.size(), 0.0));
+  out.mean.sn_sweep.assign(
+      config.supernode_counts.size(),
+      std::vector<double>(config.latency_requirements.size(), 0.0));
+  for (const CoverageResult& r : per_seed) {
+    for (std::size_t i = 0; i < out.mean.dc_sweep.size(); ++i) {
+      for (std::size_t j = 0; j < out.mean.dc_sweep[i].size(); ++j) {
+        out.mean.dc_sweep[i][j] += r.dc_sweep[i][j] / denom;
+      }
+    }
+    for (std::size_t i = 0; i < out.mean.sn_sweep.size(); ++i) {
+      for (std::size_t j = 0; j < out.mean.sn_sweep[i].size(); ++j) {
+        out.mean.sn_sweep[i][j] += r.sn_sweep[i][j] / denom;
+      }
+    }
+    out.mean.mean_online += r.mean_online / denom;
+  }
+  return out;
 }
 
 }  // namespace cloudfog::systems

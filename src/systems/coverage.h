@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/run_executor.h"
 #include "systems/scenario.h"
 #include "util/types.h"
 
@@ -55,5 +56,25 @@ struct CoverageResult {
 /// max(supernode_counts) supernodes.
 CoverageResult measure_coverage(const Scenario& scenario,
                                 const CoverageConfig& config);
+
+/// Seed-averaged parallel coverage (Figs 5/6 with CLOUDFOG_BENCH_SEEDS).
+struct CoverageSweepOutcome {
+  /// Element-wise mean over the per-seed CoverageResults, accumulated in
+  /// seed order — identical at any executor width.
+  CoverageResult mean;
+  /// The config actually swept: supernode_counts.back() is clamped to the
+  /// smallest capable pool any seed's scenario produced (the PlanetLab
+  /// profile samples its pool), so every seed sweeps the same axis.
+  CoverageConfig effective;
+};
+
+/// Builds one scenario per entry of `seed_params` and measures its
+/// coverage, fanning both phases across `executor`; per-seed results are
+/// averaged in seed order. Runs are self-contained (each scenario is built
+/// and consumed by exactly one run at a time), so the outcome is
+/// bit-identical at any --jobs value.
+CoverageSweepOutcome measure_coverage_averaged(
+    const std::vector<ScenarioParams>& seed_params, CoverageConfig config,
+    exec::RunExecutor& executor);
 
 }  // namespace cloudfog::systems

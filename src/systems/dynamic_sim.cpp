@@ -1,5 +1,10 @@
 #include "systems/dynamic_sim.h"
 
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "p2p/churn.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -126,6 +131,24 @@ DynamicSimResult run_dynamic_sim(const Scenario& scenario,
   result.mean_stream_delay_ms = stream_delay.mean();
   result.mean_hot_supernode_fraction = hot_fraction.mean();
   return result;
+}
+
+std::vector<DynamicSimResult> run_dynamic_sims(
+    const std::vector<DynamicRunSpec>& runs, exec::RunExecutor& executor) {
+  std::vector<std::pair<std::string, std::function<DynamicSimResult()>>> tasks;
+  tasks.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const DynamicRunSpec& spec = runs[i];
+    tasks.emplace_back(
+        "run=" + std::to_string(i) +
+            " seed=" + std::to_string(spec.scenario.seed) +
+            " salt=" + std::to_string(spec.options.seed_salt),
+        [&spec] {
+          const Scenario scenario = Scenario::build(spec.scenario);
+          return run_dynamic_sim(scenario, spec.options);
+        });
+  }
+  return executor.map(std::move(tasks));
 }
 
 }  // namespace cloudfog::systems

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/session_manager.h"
+#include "exec/run_executor.h"
 #include "systems/scenario.h"
 
 namespace cloudfog::systems {
@@ -62,5 +63,20 @@ struct DynamicSimResult {
 /// Runs the dynamic simulation over `scenario`'s population and supernodes.
 DynamicSimResult run_dynamic_sim(const Scenario& scenario,
                                  const DynamicSimOptions& options);
+
+/// One self-contained dynamic run for the parallel batch entry point: the
+/// scenario is specified by parameters, not by reference, so every run
+/// builds (and exclusively owns) its own Scenario — the scenario's
+/// latency-model memo caches are not safe to share across workers.
+struct DynamicRunSpec {
+  ScenarioParams scenario;
+  DynamicSimOptions options;
+};
+
+/// Fans independent dynamic simulations across `executor`; results are
+/// ordered by submission index, so aggregation is bit-identical at any
+/// --jobs value.
+std::vector<DynamicSimResult> run_dynamic_sims(
+    const std::vector<DynamicRunSpec>& runs, exec::RunExecutor& executor);
 
 }  // namespace cloudfog::systems

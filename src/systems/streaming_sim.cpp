@@ -485,4 +485,22 @@ StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
   return run.run();
 }
 
+std::vector<StreamingResult> run_streaming_batch(
+    const std::vector<StreamingRunSpec>& runs, exec::RunExecutor& executor) {
+  std::vector<std::pair<std::string, std::function<StreamingResult()>>> tasks;
+  tasks.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const StreamingRunSpec& spec = runs[i];
+    tasks.emplace_back(
+        "run=" + std::to_string(i) + " kind=" + std::string(to_string(spec.kind)) +
+            " seed=" + std::to_string(spec.scenario.seed) +
+            " salt=" + std::to_string(spec.options.seed_salt),
+        [&spec] {
+          const Scenario scenario = Scenario::build(spec.scenario);
+          return run_streaming(spec.kind, scenario, spec.options);
+        });
+  }
+  return executor.map(std::move(tasks));
+}
+
 }  // namespace cloudfog::systems

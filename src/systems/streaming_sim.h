@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/cloudfog_config.h"
+#include "exec/run_executor.h"
 #include "systems/assignment.h"
 #include "systems/scenario.h"
 
@@ -70,5 +71,22 @@ struct StreamingResult {
 /// Runs one streaming simulation of `kind` over the scenario.
 StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
                               const StreamingOptions& options);
+
+/// One self-contained streaming run for the parallel batch entry point:
+/// the scenario is specified by parameters, not by reference, so every run
+/// builds (and exclusively owns) its own Scenario — required because the
+/// scenario's latency-model memo caches are not safe to share across
+/// concurrently executing runs.
+struct StreamingRunSpec {
+  SystemKind kind = SystemKind::kCloud;
+  ScenarioParams scenario;
+  StreamingOptions options;
+};
+
+/// Fans independent streaming runs across `executor`; results are ordered
+/// by submission index (never completion order), so aggregation is
+/// bit-identical at any --jobs value.
+std::vector<StreamingResult> run_streaming_batch(
+    const std::vector<StreamingRunSpec>& runs, exec::RunExecutor& executor);
 
 }  // namespace cloudfog::systems

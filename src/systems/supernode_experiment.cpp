@@ -1,7 +1,10 @@
 #include "systems/supernode_experiment.h"
 
+#include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/rate_adaptation.h"
@@ -246,6 +249,23 @@ SupernodeExperimentResult run_supernode_experiment(
   result.offered_kbps = offered;
   result.uplink_kbps = config.uplink_kbps;
   return result;
+}
+
+std::vector<SupernodeExperimentResult> run_supernode_experiments(
+    const std::vector<SupernodeExperimentConfig>& configs,
+    exec::RunExecutor& executor) {
+  std::vector<
+      std::pair<std::string, std::function<SupernodeExperimentResult()>>>
+      tasks;
+  tasks.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const SupernodeExperimentConfig& config = configs[i];
+    tasks.emplace_back("run=" + std::to_string(i) +
+                           " players=" + std::to_string(config.num_players) +
+                           " seed=" + std::to_string(config.seed),
+                       [&config] { return run_supernode_experiment(config); });
+  }
+  return executor.map(std::move(tasks));
 }
 
 }  // namespace cloudfog::systems

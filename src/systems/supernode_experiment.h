@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "core/cloudfog_config.h"
+#include "exec/run_executor.h"
 #include "stream/encoder.h"
 #include "util/types.h"
 
@@ -91,5 +92,13 @@ struct SupernodeExperimentResult {
 
 SupernodeExperimentResult run_supernode_experiment(
     const SupernodeExperimentConfig& config);
+
+/// Fans independent experiment configs across `executor`; results are
+/// ordered by submission index, so aggregation is bit-identical at any
+/// --jobs value. Each run is self-contained (the experiment builds all of
+/// its state from `config`).
+std::vector<SupernodeExperimentResult> run_supernode_experiments(
+    const std::vector<SupernodeExperimentConfig>& configs,
+    exec::RunExecutor& executor);
 
 }  // namespace cloudfog::systems

@@ -1,6 +1,24 @@
 #include "util/check.h"
 
 #include <atomic>
+#include <thread>
+
+namespace cloudfog::detail {
+
+namespace {
+// Captured during static initialisation, which runs on the main thread.
+const std::thread::id g_main_thread = std::this_thread::get_id();
+}  // namespace
+
+std::string off_main_thread_suffix() {
+  const std::thread::id self = std::this_thread::get_id();
+  if (self == g_main_thread) return {};
+  std::ostringstream os;
+  os << " [thread " << self << ']';
+  return os.str();
+}
+
+}  // namespace cloudfog::detail
 
 namespace cloudfog::util {
 

@@ -22,10 +22,16 @@
 
 namespace cloudfog::detail {
 
+/// " [thread <id>]" when called off the main thread, "" on it. Worker-pool
+/// runs (exec::RunExecutor) trip invariants on their own threads; the
+/// suffix makes a failure attributable to its run in interleaved stderr.
+std::string off_main_thread_suffix();
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& message) {
   std::ostringstream os;
-  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line
+     << off_main_thread_suffix();
   if (!message.empty()) os << " — " << message;
   throw std::logic_error(os.str());
 }

@@ -1,0 +1,27 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+
+namespace cloudfog::util {
+
+long env_long_or(const char* name, long min, long max, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  const bool numeric = end != value && end != nullptr && *end == '\0' &&
+                       errno != ERANGE;
+  if (!numeric || parsed < min || parsed > max) {
+    std::cerr << name << "=\"" << value << "\" is not an integer in ["
+              << min << ", " << max << "]; using default " << fallback
+              << "\n";
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace cloudfog::util

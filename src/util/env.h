@@ -1,0 +1,20 @@
+// Validated environment-variable parsing.
+//
+// The bench/experiment knobs (CLOUDFOG_BENCH_SEEDS, CLOUDFOG_BENCH_JOBS)
+// are read from the environment; std::atol-style parsing silently maps
+// garbage ("abc") and out-of-range values to the fallback, which makes a
+// typo indistinguishable from the default. env_long_or parses with full
+// strtol end-pointer validation and emits exactly one stderr warning per
+// rejected variable, then returns the fallback.
+#pragma once
+
+namespace cloudfog::util {
+
+/// Reads `name` from the environment and parses it as a base-10 long.
+/// Returns `fallback` when the variable is unset. When the value is not a
+/// number (trailing garbage, empty, overflow) or falls outside
+/// [min, max], prints one warning to stderr naming the variable and the
+/// accepted range, and returns `fallback`.
+long env_long_or(const char* name, long min, long max, long fallback);
+
+}  // namespace cloudfog::util

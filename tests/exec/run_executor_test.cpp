@@ -1,0 +1,310 @@
+// Unit tests for the parallel experiment executor (exec/run_executor.h):
+// submission-order results under adversarial completion order, exception
+// capture with run identity, the jobs=1 inline code path, per-run registry
+// merging against the sequential oracle, and a concurrent hammer for the
+// tsan CI preset.
+#include "exec/run_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep.h"
+#include "obs/metrics.h"
+
+namespace cloudfog::exec {
+namespace {
+
+using Task = std::pair<std::string, std::function<int()>>;
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(RunExecutorTest, ResultsFollowSubmissionOrderNotCompletionOrder) {
+  RunExecutor executor(4);
+  // Earlier submissions sleep longer, so completion order is roughly the
+  // reverse of submission order — the result vector must not care.
+  std::vector<Task> tasks;
+  constexpr int kRuns = 8;
+  for (int i = 0; i < kRuns; ++i) {
+    tasks.emplace_back("run " + std::to_string(i), [i] {
+      sleep_ms((kRuns - i) * 5);
+      return i * 10;
+    });
+  }
+  const std::vector<int> results = executor.map(std::move(tasks));
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kRuns));
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 10);
+  }
+}
+
+TEST(RunExecutorTest, EmptyBatchIsANoOp) {
+  RunExecutor executor(4);
+  EXPECT_NO_THROW(executor.execute({}));
+  EXPECT_TRUE(executor.map<int>({}).empty());
+}
+
+TEST(RunExecutorTest, WorkerExceptionCarriesRunIdentity) {
+  RunExecutor executor(4);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.emplace_back(sweep_label(static_cast<std::size_t>(i), 7),
+                       [i]() -> int {
+      if (i == 2) throw std::runtime_error("scenario exploded");
+      return i;
+    });
+  }
+  try {
+    executor.map(std::move(tasks));
+    FAIL() << "expected RunError";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.run_index(), 2u);
+    EXPECT_EQ(e.run_label(), "config=2 seed=7");
+    EXPECT_NE(std::string(e.what()).find("scenario exploded"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("config=2 seed=7"),
+              std::string::npos);
+  }
+}
+
+TEST(RunExecutorTest, FirstFailedSubmissionIndexWins) {
+  RunExecutor executor(4);
+  // The later failure (index 5) completes long before the earlier one
+  // (index 1); the reported run must still be the earliest submission, as
+  // a sequential execution would have thrown there first.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.emplace_back("run " + std::to_string(i), [i]() -> int {
+      if (i == 1) {
+        sleep_ms(50);
+        throw std::runtime_error("slow early failure");
+      }
+      if (i == 5) throw std::runtime_error("fast late failure");
+      return i;
+    });
+  }
+  try {
+    executor.map(std::move(tasks));
+    FAIL() << "expected RunError";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.run_index(), 1u);
+    EXPECT_NE(std::string(e.what()).find("slow early failure"),
+              std::string::npos);
+  }
+}
+
+TEST(RunExecutorTest, JobsOneRunsInlineOnTheCallingThread) {
+  RunExecutor executor(1);
+  EXPECT_EQ(executor.jobs(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::pair<std::string, std::function<std::thread::id()>>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.emplace_back("run", [] { return std::this_thread::get_id(); });
+  }
+  for (const std::thread::id id : executor.map(std::move(tasks))) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(RunExecutorTest, JobsOnePropagatesExceptionsUnwrapped) {
+  RunExecutor executor(1);
+  std::vector<Task> tasks;
+  tasks.emplace_back("boom", []() -> int { throw std::domain_error("raw"); });
+  // The sequential path must not wrap: callers keep the exact old behaviour.
+  EXPECT_THROW(executor.map(std::move(tasks)), std::domain_error);
+}
+
+TEST(RunExecutorTest, SingleRunBatchStaysInlineEvenAtHighWidth) {
+  RunExecutor executor(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::pair<std::string, std::function<std::thread::id()>>> tasks;
+  tasks.emplace_back("only", [] { return std::this_thread::get_id(); });
+  EXPECT_EQ(executor.map(std::move(tasks)).front(), caller);
+}
+
+TEST(RunExecutorTest, ZeroJobsResolvesToDefault) {
+  RunExecutor executor(0);
+  EXPECT_EQ(executor.jobs(), default_jobs());
+  EXPECT_GE(executor.jobs(), 1u);
+}
+
+TEST(RunExecutorTest, WorkersSeeNoRegistryWhenCallerHasNone) {
+  ASSERT_EQ(obs::registry(), nullptr);
+  RunExecutor executor(4);
+  std::vector<std::pair<std::string, std::function<bool()>>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back("run", [] { return obs::registry() == nullptr; });
+  }
+  for (const bool uninstalled : executor.map(std::move(tasks))) {
+    EXPECT_TRUE(uninstalled);
+  }
+}
+
+/// One synthetic instrumented run: integer-valued records so FP sums are
+/// exact and comparable bit-for-bit across executor widths.
+void instrumented_run(int i) {
+  obs::MetricsRegistry* r = obs::registry();
+  ASSERT_NE(r, nullptr);
+  r->counter("runs.total").add(1);
+  r->counter("runs.weighted").add(static_cast<std::uint64_t>(i));
+  r->gauge("runs.last_index").set(static_cast<double>(i));
+  for (int k = 0; k <= i; ++k) {
+    r->histogram("runs.samples").record(static_cast<double>(k));
+  }
+}
+
+void run_instrumented_batch(std::size_t jobs, obs::MetricsRegistry& out) {
+  obs::ScopedRegistry install(out);
+  RunExecutor executor(jobs);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 12; ++i) {
+    tasks.emplace_back("run " + std::to_string(i), [i] {
+      instrumented_run(i);
+      return i;
+    });
+  }
+  const std::vector<int> results = executor.map(std::move(tasks));
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RunExecutorTest, MergedMetricsMatchTheSequentialOracle) {
+  obs::MetricsRegistry sequential;
+  run_instrumented_batch(1, sequential);
+  obs::MetricsRegistry parallel;
+  run_instrumented_batch(4, parallel);
+
+  const auto* seq_total = sequential.find_counter("runs.total");
+  const auto* par_total = parallel.find_counter("runs.total");
+  ASSERT_NE(seq_total, nullptr);
+  ASSERT_NE(par_total, nullptr);
+  EXPECT_EQ(seq_total->value(), par_total->value());
+  EXPECT_EQ(sequential.find_counter("runs.weighted")->value(),
+            parallel.find_counter("runs.weighted")->value());
+
+  // Gauge: last-set-wins follows submission order, and the peak survives.
+  EXPECT_EQ(sequential.find_gauge("runs.last_index")->value(),
+            parallel.find_gauge("runs.last_index")->value());
+  EXPECT_EQ(sequential.find_gauge("runs.last_index")->max(),
+            parallel.find_gauge("runs.last_index")->max());
+
+  const auto* seq_hist = sequential.find_histogram("runs.samples");
+  const auto* par_hist = parallel.find_histogram("runs.samples");
+  ASSERT_NE(seq_hist, nullptr);
+  ASSERT_NE(par_hist, nullptr);
+  EXPECT_EQ(seq_hist->count(), par_hist->count());
+  EXPECT_EQ(seq_hist->sum(), par_hist->sum());
+  EXPECT_EQ(seq_hist->min(), par_hist->min());
+  EXPECT_EQ(seq_hist->max(), par_hist->max());
+  EXPECT_EQ(seq_hist->nonzero_buckets(), par_hist->nonzero_buckets());
+}
+
+TEST(RunExecutorTest, GaugeMergeFollowsSubmissionOrderUnderAdversarialSleeps) {
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry install(registry);
+  RunExecutor executor(4);
+  std::vector<Task> tasks;
+  constexpr int kRuns = 8;
+  for (int i = 0; i < kRuns; ++i) {
+    tasks.emplace_back("run " + std::to_string(i), [i] {
+      sleep_ms((kRuns - i) * 5);  // later submissions finish first
+      obs::registry()->gauge("order.gauge").set(static_cast<double>(i));
+      return i;
+    });
+  }
+  executor.map(std::move(tasks));
+  // Sequentially, the last submission's set wins — regardless of the
+  // completion order the sleeps forced.
+  EXPECT_EQ(registry.find_gauge("order.gauge")->value(),
+            static_cast<double>(kRuns - 1));
+  EXPECT_EQ(registry.find_gauge("order.gauge")->max(),
+            static_cast<double>(kRuns - 1));
+}
+
+TEST(RunExecutorTest, MetricsOfRunsAfterAFailureAreNotMerged) {
+  obs::MetricsRegistry registry;
+  std::atomic<int> executed{0};
+  try {
+    obs::ScopedRegistry install(registry);
+    RunExecutor executor(2);
+    std::vector<Task> tasks;
+    for (int i = 0; i < 6; ++i) {
+      tasks.emplace_back("run " + std::to_string(i), [i, &executed]() -> int {
+        executed.fetch_add(1);
+        obs::registry()->counter("merged.runs").add(1);
+        if (i == 1) throw std::runtime_error("fail at 1");
+        return i;
+      });
+    }
+    executor.map(std::move(tasks));
+    FAIL() << "expected RunError";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.run_index(), 1u);
+  }
+  // Exactly the sequential prefix lands in the caller's registry: runs 0
+  // and 1 (the failed run's partial effects), even though other runs
+  // executed on the pool before the barrier.
+  ASSERT_NE(registry.find_counter("merged.runs"), nullptr);
+  EXPECT_EQ(registry.find_counter("merged.runs")->value(), 2u);
+  EXPECT_GE(executed.load(), 2);
+}
+
+// The tsan-preset hammer: many concurrent runs, each recording into its own
+// per-run registry through the hot-path macros (thread_local caches), with
+// the merge folding everything back. Run under -fsanitize=thread this
+// proves per-run scoping keeps instrument state race-free.
+TEST(RunExecutorTest, ConcurrentPerRunRegistriesAreRaceFree) {
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry install(registry);
+  RunExecutor executor(8);
+  std::vector<Task> tasks;
+  constexpr int kRuns = 64;
+  for (int i = 0; i < kRuns; ++i) {
+    tasks.emplace_back("hammer " + std::to_string(i), [i] {
+      for (int k = 0; k < 500; ++k) {
+        CF_OBS_COUNT_HOT("hammer.count", 1);
+        CF_OBS_HIST_HOT("hammer.hist", static_cast<double>(k % 16));
+      }
+      obs::registry()->gauge("hammer.last").set(static_cast<double>(i));
+      return i;
+    });
+  }
+  const std::vector<int> results = executor.map(std::move(tasks));
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(registry.find_counter("hammer.count")->value(),
+            static_cast<std::uint64_t>(kRuns) * 500u);
+  EXPECT_EQ(registry.find_histogram("hammer.hist")->count(),
+            static_cast<std::uint64_t>(kRuns) * 500u);
+  EXPECT_EQ(registry.find_gauge("hammer.last")->value(),
+            static_cast<double>(kRuns - 1));
+}
+
+TEST(RunSweepTest, GridIsConfigMajorSeedMinor) {
+  RunExecutor executor(4);
+  const std::vector<int> configs{10, 20, 30};
+  const auto grid =
+      run_sweep(executor, configs, 2, [](int config, std::size_t seed) {
+        return config * 100 + static_cast<int>(seed);
+      });
+  ASSERT_EQ(grid.size(), 3u);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    ASSERT_EQ(grid[c].size(), 2u);
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_EQ(grid[c][s], configs[c] * 100 + static_cast<int>(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudfog::exec

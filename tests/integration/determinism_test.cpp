@@ -5,10 +5,13 @@
 // uninitialised reads, FP reassociation behind a flag change) must fail
 // loudly here before it silently skews a figure.
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exec/run_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "systems/streaming_sim.h"
@@ -118,6 +121,50 @@ TEST_P(DeterminismTest, ObservabilityHasNoObserverEffect) {
   ASSERT_NE(executed, nullptr);
   EXPECT_GT(executed->value(), 0u);
   EXPECT_GT(recorder.event_count(), 0u);
+}
+
+TEST(ParallelDeterminismTest, JobsOneAndJobsEightProduceIdenticalDigests) {
+  // The executor's headline guarantee, checked on a real fig5-style fast
+  // sweep: fanning the (system × seed) grid across 8 workers must return
+  // bit-identical QoE digests to the sequential path, run for run. The
+  // parallel leg also runs with a registry installed so the per-run
+  // registry scoping + post-barrier merge path is exercised, not skipped.
+  std::vector<StreamingRunSpec> specs;
+  for (SystemKind kind : {SystemKind::kCloud, SystemKind::kEdgeCloud,
+                          SystemKind::kCloudFogB, SystemKind::kCloudFogA}) {
+    for (unsigned seed : {7u, 11u}) {
+      StreamingRunSpec spec;
+      spec.kind = kind;
+      ScenarioParams p = ScenarioParams::simulation_defaults(seed);
+      p.num_players = 400;
+      p.num_supernodes = 40;
+      p.dc_uplink_kbps = 1'250'000.0 * 400.0 / 10'000.0;
+      spec.scenario = p;
+      spec.options = quick_options();
+      specs.push_back(spec);
+    }
+  }
+
+  exec::RunExecutor sequential(1);
+  const std::vector<StreamingResult> seq =
+      run_streaming_batch(specs, sequential);
+
+  obs::MetricsRegistry registry;
+  const std::vector<StreamingResult> par = [&] {
+    obs::ScopedRegistry install(registry);
+    exec::RunExecutor parallel(8);
+    return run_streaming_batch(specs, parallel);
+  }();
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(qoe_digest(seq[i]), qoe_digest(par[i]))
+        << "run " << i << " diverged between --jobs=1 and --jobs=8";
+  }
+  // The merge actually delivered the workers' metrics to the caller.
+  const obs::Counter* executed = registry.find_counter("sim.events.executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_GT(executed->value(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

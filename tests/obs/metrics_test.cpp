@@ -243,7 +243,11 @@ TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
   constexpr int kPerThread = 20'000;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([t] {
+    threads.emplace_back([t, &r] {
+      // The install is thread-scoped, so each hammer thread installs the
+      // shared registry itself — the instruments then race on r's atomics,
+      // which is the contract this test (and the tsan preset) checks.
+      ScopedRegistry install(r);
       for (int i = 0; i < kPerThread; ++i) {
         CF_OBS_COUNT("hammer.shared", 1);
         CF_OBS_HIST("hammer.hist", static_cast<double>(i % 100));

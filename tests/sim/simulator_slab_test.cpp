@@ -26,6 +26,14 @@ namespace {
 std::uint64_t g_alloc_count = 0;  // sim is single-threaded; plain is fine
 }  // namespace
 
+// GCC's -Wmismatched-new-delete pairs these frees against the *library's*
+// operator new instead of the malloc-backed replacements below and flags
+// them under some instrumentation flag sets (seen with -fsanitize=thread).
+// Replacing the global operators this way is the standard interposition
+// mechanism ([new.delete.single]) and the malloc/free pairing is correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
   ++g_alloc_count;
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -38,6 +46,8 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace cloudfog::sim {
 namespace {

@@ -3,6 +3,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -99,6 +100,30 @@ TEST(CheckTest, InvariantThrowsAndCountsViolations) {
   EXPECT_NE(what.find("ordering violated"), std::string::npos);
   EXPECT_NE(what.find("1 > 2"), std::string::npos);
   EXPECT_EQ(util::invariant_violations(), before + 1);
+}
+
+TEST(CheckTest, FailureOnMainThreadOmitsThreadId) {
+  // gtest runs tests on the process's main thread, the same thread that
+  // ran static initialisation — so no "[thread ...]" suffix here.
+  const std::string what = message_of([] { CF_CHECK(1 > 2); });
+  EXPECT_EQ(what.find("[thread "), std::string::npos);
+}
+
+TEST(CheckTest, FailureOffMainThreadNamesTheThread) {
+  // A parallel sweep surfaces CF_CHECK failures from worker threads; the
+  // thread id in the message is what ties a failure report to the worker
+  // (and distinguishes it from a main-thread failure with the same text).
+  std::string what;
+  std::thread worker([&what] {
+    try {
+      CF_CHECK_MSG(false, "worker-side failure");
+    } catch (const std::logic_error& e) {
+      what = e.what();
+    }
+  });
+  worker.join();
+  EXPECT_NE(what.find("worker-side failure"), std::string::npos);
+  EXPECT_NE(what.find("[thread "), std::string::npos);
 }
 
 TEST(CheckTest, InvariantAuditHookObservesFailures) {

@@ -1,0 +1,65 @@
+// Unit tests for validated environment parsing (util/env.h): the bench
+// knobs CLOUDFOG_BENCH_SEEDS / CLOUDFOG_BENCH_JOBS must reject garbage
+// loudly instead of silently behaving like the default.
+#include "util/env.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cloudfog::util {
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { ::unsetenv(name); }
+  ~EnvGuard() { ::unsetenv(name_.c_str()); }
+  void set(const char* value) { ::setenv(name_.c_str(), value, 1); }
+
+ private:
+  std::string name_;
+};
+
+TEST(EnvLongOrTest, UnsetReturnsFallback) {
+  EnvGuard env("CLOUDFOG_TEST_ENV_LONG");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+}
+
+TEST(EnvLongOrTest, ValidValueParses) {
+  EnvGuard env("CLOUDFOG_TEST_ENV_LONG");
+  env.set("17");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 17);
+  env.set("1");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 1);
+  env.set("50");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 50);
+}
+
+TEST(EnvLongOrTest, TrailingGarbageRejected) {
+  EnvGuard env("CLOUDFOG_TEST_ENV_LONG");
+  env.set("7x");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  env.set("abc");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  env.set("");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  env.set(" 7");  // strtol skips leading whitespace — still a valid number
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 7);
+}
+
+TEST(EnvLongOrTest, OutOfRangeRejected) {
+  EnvGuard env("CLOUDFOG_TEST_ENV_LONG");
+  env.set("0");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  env.set("51");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  env.set("-4");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+  // Value overflowing long: strtol reports ERANGE.
+  env.set("999999999999999999999999999");
+  EXPECT_EQ(env_long_or("CLOUDFOG_TEST_ENV_LONG", 1, 50, 3), 3);
+}
+
+}  // namespace
+}  // namespace cloudfog::util
