@@ -1,0 +1,27 @@
+"""cflint — token-aware static analysis for the CloudFog reproduction.
+
+Every figure this repo produces is contractually a pure function of
+(config, seed). cflint is the analysis layer that keeps it that way as the
+codebase grows threads, sockets, and caches: a C++-aware lexer (comments,
+string literals, char literals, and raw strings are stripped before any
+rule runs, killing the regex-on-raw-text false-positive class), a rule
+engine with per-rule fixtures under tests/cflint/fixtures/, machine-readable
+SARIF 2.1.0 output for GitHub code scanning, and a committed baseline for
+grandfathered findings (kept empty — fix findings, don't baseline them).
+
+Rule families (see scripts/cflint/rules/):
+  determinism  — wall-clock, libc-rand, random-device, unseeded-engine,
+                 unordered-iter, float-accum, raw-thread (ported from the
+                 retired scripts/lint_determinism.py, now token-aware).
+  layering     — include-graph DAG between subsystems plus file-level
+                 include-cycle detection.
+  trust        — trust-boundary coverage: public mutating methods of the
+                 CF_CHECK-guarded classes must validate their inputs.
+  waivers      — stale-waiver and waiver-justification hygiene for the
+                 `// lint:allow(<rule>)` escape hatch.
+
+Run it:  python3 scripts/cflint [ROOT ...]        (default: src bench tests
+examples, resolved against the repo root).  See DESIGN.md §10.
+"""
+
+__version__ = "1.0.0"

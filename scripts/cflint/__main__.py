@@ -1,0 +1,20 @@
+"""Entry point so both invocation styles work:
+
+    python3 scripts/cflint [args]     # run the package directory
+    python3 -m cflint [args]          # with scripts/ on PYTHONPATH
+
+When the directory itself is executed, Python puts scripts/cflint on
+sys.path and runs this file without package context, so absolute imports of
+`cflint.*` would fail; re-rooting sys.path at scripts/ fixes both worlds.
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from cflint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

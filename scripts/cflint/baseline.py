@@ -1,0 +1,74 @@
+"""Committed baseline for grandfathered findings.
+
+A baseline entry fingerprints a finding by (rule, path, normalised line
+text) — deliberately *not* by line number, so unrelated edits shifting a
+file do not churn the baseline, while any edit to the offending line
+itself un-baselines the finding and forces a fresh look.
+
+Policy: the committed baseline (scripts/cflint/baseline.json) is empty and
+should stay that way — fix findings or waive them with a justification.
+`--write-baseline` exists for the migration story when a *new rule* lands
+against a tree with pre-existing findings too numerous to fix in the same
+PR; the baseline is then a debt ledger burned down in follow-ups, and CI
+fails on any finding not in it (so the debt can only shrink).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from cflint.model import Finding, Project
+
+FORMAT_VERSION = 1
+
+
+def fingerprint(f: Finding, project: Project) -> str:
+    sf = project.by_rel.get(f.rel)
+    line_text = sf.raw_line(f.line).strip() if sf else ""
+    blob = f"{f.rule}\0{f.rel}\0{line_text}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def load(path: Path) -> Dict[str, dict]:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    return {e["fingerprint"]: e for e in data.get("findings", [])}
+
+
+def save(path: Path, findings: Sequence[Finding], project: Project) -> None:
+    entries = [
+        {
+            "fingerprint": fingerprint(f, project),
+            "rule": f.rule,
+            "path": f.rel,
+            "line": f.line,  # informational; matching is by fingerprint
+            "message": f.message,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    path.write_text(
+        json.dumps(
+            {"version": FORMAT_VERSION, "findings": entries}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def split(
+    findings: Sequence[Finding], baseline: Dict[str, dict], project: Project
+) -> Tuple[List[Finding], List[Finding]]:
+    """(new, baselined)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if fingerprint(f, project) in baseline else new).append(f)
+    return new, old

@@ -1,0 +1,170 @@
+"""cflint command-line interface.
+
+    python3 scripts/cflint [ROOT ...] [--sarif out.sarif] [options]
+
+Roots default to src bench tests examples, resolved against the repo root
+(the parent of scripts/). Exit codes keep the retired lint's contract:
+0 = clean, 1 = findings, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from cflint import __version__, baseline as baseline_mod, sarif
+from cflint.engine import META_RULE_DESCRIPTIONS, Report, analyze
+from cflint.rules import ALL_RULES
+
+DEFAULT_ROOTS = ("src", "bench", "tests", "examples")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cflint",
+        description=(
+            "Token-aware static analysis for the CloudFog reproduction: "
+            "determinism, include layering, trust-boundary coverage, "
+            "waiver hygiene. See DESIGN.md §10."
+        ),
+    )
+    p.add_argument(
+        "roots",
+        nargs="*",
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    p.add_argument(
+        "--repo-root",
+        type=Path,
+        default=None,
+        help="repository root (default: autodetected from this script)",
+    )
+    p.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a SARIF 2.1.0 report (GitHub code scanning) to PATH",
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: scripts/cflint/baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to grandfather all current findings "
+            "(migration aid for landing a new rule; the committed "
+            "baseline is kept empty — see DESIGN.md §10)"
+        ),
+    )
+    p.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also scan tests/cflint/fixtures (self-test use only)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    p.add_argument(
+        "--version", action="version", version=f"cflint {__version__}"
+    )
+    return p
+
+
+def _print_rules() -> None:
+    width = max(len(r.id) for r in ALL_RULES)
+    width = max(width, *(len(k) for k in META_RULE_DESCRIPTIONS))
+    for r in ALL_RULES:
+        print(f"  {r.id:<{width}}  {r.description}")
+    for rid, desc in META_RULE_DESCRIPTIONS.items():
+        print(f"  {rid:<{width}}  {desc}")
+
+
+def _summarise(report: Report) -> None:
+    n_files = len(report.project.files)
+    if report.findings:
+        print(f"cflint: {len(report.findings)} finding(s)\n")
+        for f in report.findings:
+            print(f.render())
+        print(
+            "\nFix the finding, or waive a deliberate use with "
+            "'// lint:allow(<rule>)' plus a justification comment "
+            "(waivers that suppress nothing, or say nothing, are "
+            "themselves findings — DESIGN.md §10)."
+        )
+    extras: List[str] = []
+    if report.waived:
+        extras.append(f"{len(report.waived)} waived")
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    status = "clean" if report.clean else "NOT clean"
+    print(f"cflint: {n_files} file(s) scanned, {status}{suffix}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    root = (args.repo_root or repo_root()).resolve()
+    roots = [Path(r) for r in (args.roots or DEFAULT_ROOTS)]
+    baseline_path = args.baseline or root / "scripts" / "cflint" / "baseline.json"
+
+    try:
+        report = analyze(
+            root,
+            roots,
+            baseline_path=None if args.no_baseline else baseline_path,
+            exclude_fixtures=not args.include_fixtures,
+        )
+    except ValueError as exc:  # malformed baseline
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        baseline_mod.save(baseline_path, report.findings, report.project)
+        print(
+            f"cflint: wrote {len(report.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if args.sarif is not None:
+        args.sarif.write_text(
+            sarif.render(
+                # Code scanning sees new + baselined (baselined results
+                # carry their fingerprint, so alerts dedupe); the exit
+                # code gates only on new findings.
+                list(report.findings) + list(report.baselined),
+                ALL_RULES,
+                META_RULE_DESCRIPTIONS,
+                report.project,
+            ),
+            encoding="utf-8",
+        )
+
+    _summarise(report)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Analysis driver: load -> rules -> waivers -> baseline -> report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from cflint import baseline as baseline_mod
+from cflint.model import Finding, Project, load_project
+from cflint.rules import ALL_RULES, RULE_IDS
+from cflint.waivers import Waiver, apply_waivers
+
+META_RULE_DESCRIPTIONS: Dict[str, str] = {
+    "stale-waiver": (
+        "A lint:allow waiver that suppresses no live finding, or names an "
+        "unknown rule. Delete it: a waiver matching nothing today will "
+        "silently excuse a real finding tomorrow."
+    ),
+    "waiver-justification": (
+        "Every lint:allow waiver must carry a justification comment (on "
+        "the waiver line or within the two lines above) saying why the "
+        "rule does not apply."
+    ),
+}
+
+
+@dataclass
+class Report:
+    project: Project
+    findings: List[Finding]  # actionable: new findings + hygiene findings
+    baselined: List[Finding]
+    waived: List[Finding]
+    waivers: List[Waiver]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def analyze(
+    root: Path,
+    roots: Sequence[Path],
+    baseline_path: Optional[Path] = None,
+    exclude_fixtures: bool = True,
+) -> Report:
+    project = load_project(root, roots, exclude_fixtures=exclude_fixtures)
+
+    raw: List[Finding] = []
+    for rule in ALL_RULES:
+        for sf in project.files:
+            raw.extend(rule.check_file(sf, project))
+        raw.extend(rule.check_project(project))
+
+    kept, waived, waivers = apply_waivers(project, raw, RULE_IDS)
+
+    baselined: List[Finding] = []
+    if baseline_path is not None:
+        entries = baseline_mod.load(baseline_path)
+        kept, baselined = baseline_mod.split(kept, entries, project)
+
+    kept.sort(key=Finding.sort_key)
+    return Report(
+        project=project,
+        findings=kept,
+        baselined=baselined,
+        waived=waived,
+        waivers=waivers,
+    )

@@ -1,0 +1,241 @@
+"""C++-aware scrubbing lexer.
+
+The single job of this module is to separate *code* from *text* before any
+rule pattern runs. `scrub()` walks a translation unit once with a small
+state machine and returns:
+
+  * `code`   — the source with every comment, string literal, char literal,
+               and raw string replaced by spaces. Newlines and column
+               positions are preserved exactly, so findings computed on the
+               scrubbed text carry line/column numbers valid for the
+               original file.
+  * `comments` — every comment as (line, col, text) with the `//` / `/* */`
+               markers removed; the waiver pass parses `lint:allow(...)`
+               out of these, so a waiver inside a string literal is *not*
+               a waiver.
+
+Handled syntax: `//` and `/* */` comments, `"..."` strings with escapes,
+`'...'` char literals with escapes, encoding prefixes (u8, u, U, L), raw
+strings `R"delim(...)delim"` including prefixed forms, and C++14 digit
+separators (`1'000'000` must not open a char literal). Preprocessor
+continuation lines need no special casing: the state machine is
+line-agnostic except for terminating `//` comments at newline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+# Longest raw-string delimiter the standard allows is 16 chars.
+_MAX_RAW_DELIM = 16
+
+_ENCODING_PREFIXES = ("u8", "u", "U", "L")
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One comment with its content (markers stripped, inner text verbatim)."""
+
+    line: int  # 1-based line of the comment's first character
+    col: int  # 1-based column of the comment's first character
+    text: str
+
+
+@dataclass(frozen=True)
+class ScrubResult:
+    code: str
+    comments: Tuple[Comment, ...]
+
+
+def _is_ident(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def _raw_string_prefix_at(text: str, i: int) -> int:
+    """Length of the raw-string opener at i (e.g. 2 for `R"`, 4 for `u8R"`),
+    or 0 if text[i:] does not open a raw string literal."""
+    for pre in ("", *_ENCODING_PREFIXES):
+        j = i + len(pre)
+        if (
+            text.startswith(pre, i)
+            and text.startswith('R"', j)
+            # An identifier char before the prefix means we are inside a
+            # longer identifier (e.g. `FOR"` or `myR"` is not a raw string).
+            and not (i > 0 and _is_ident(text[i - 1]))
+        ):
+            return len(pre) + 2
+    return 0
+
+
+def _is_digit_separator(text: str, i: int) -> bool:
+    """True when the `'` at i is a C++14 digit separator, not a char
+    literal opener: it sits between two digit-ish characters inside a
+    numeric literal (1'000'000, 0xFF'FFu)."""
+    if i == 0 or i + 1 >= len(text):
+        return False
+    prev, nxt = text[i - 1], text[i + 1]
+    digitish = "0123456789abcdefABCDEF"
+    return prev in digitish and nxt in digitish and _numeric_context(text, i)
+
+
+def _numeric_context(text: str, i: int) -> bool:
+    """Walk left over [0-9a-fA-F'.] — a digit separator's run must begin
+    with a decimal digit (identifiers like `abc'x'` must not qualify)."""
+    j = i - 1
+    while j >= 0 and (text[j] in "0123456789abcdefABCDEFxX.'"):
+        j -= 1
+    return j + 1 < len(text) and text[j + 1].isdigit()
+
+
+def scrub(text: str) -> ScrubResult:
+    """Blank comments/strings/chars out of `text`; collect comments."""
+    n = len(text)
+    out = list(text)
+    comments: List[Comment] = []
+
+    line = 1
+    col = 1
+    i = 0
+
+    def blank(j: int) -> None:
+        if out[j] != "\n":
+            out[j] = " "
+
+    while i < n:
+        c = text[i]
+
+        # ---- line comment ------------------------------------------------
+        if c == "/" and text.startswith("//", i):
+            start = i
+            start_line, start_col = line, col
+            while i < n and text[i] != "\n":
+                blank(i)
+                i += 1
+                col += 1
+            comments.append(
+                Comment(start_line, start_col, text[start + 2 : i].strip())
+            )
+            continue
+
+        # ---- block comment -----------------------------------------------
+        if c == "/" and text.startswith("/*", i):
+            start = i
+            start_line, start_col = line, col
+            i += 2
+            col += 2
+            while i < n and not text.startswith("*/", i):
+                if text[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            end = i
+            if i < n:  # consume the closer
+                i += 2
+                col += 2
+            for j in range(start, min(i, n)):
+                blank(j)
+            inner = text[start + 2 : end]
+            # Normalise leading ` * ` gutters so justification text and
+            # waivers read the same from both comment styles.
+            cleaned = "\n".join(
+                ln.strip().lstrip("*").strip() for ln in inner.splitlines()
+            ).strip()
+            comments.append(Comment(start_line, start_col, cleaned))
+            continue
+
+        # ---- raw string literal ------------------------------------------
+        opener = _raw_string_prefix_at(text, i)
+        if opener:
+            start = i
+            i += opener
+            col += opener
+            delim_start = i
+            while (
+                i < n
+                and text[i] != "("
+                and i - delim_start <= _MAX_RAW_DELIM
+            ):
+                i += 1
+                col += 1
+            delim = text[delim_start:i]
+            closer = ")" + delim + '"'
+            end = text.find(closer, i)
+            end = n if end < 0 else end + len(closer)
+            while i < end:
+                if text[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            for j in range(start, end):
+                blank(j)
+            continue
+
+        # ---- ordinary string literal (incl. encoding prefixes) ----------
+        if c == '"' or (
+            c in "uUL"
+            and not (i > 0 and _is_ident(text[i - 1]))
+            and any(
+                text.startswith(pre + '"', i) for pre in _ENCODING_PREFIXES
+            )
+        ):
+            start = i
+            while i < n and text[i] != '"':  # skip prefix
+                i += 1
+                col += 1
+            i += 1  # opening quote
+            col += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    i += 2
+                    col += 2
+                    continue
+                if text[i] == "\n":  # unterminated (ill-formed); bail out
+                    break
+                i += 1
+                col += 1
+            if i < n and text[i] == '"':
+                i += 1
+                col += 1
+            for j in range(start, i):
+                blank(j)
+            continue
+
+        # ---- char literal / digit separator ------------------------------
+        if c == "'":
+            if _is_digit_separator(text, i):
+                i += 1
+                col += 1
+                continue
+            start = i
+            i += 1
+            col += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\" and i + 1 < n:
+                    i += 2
+                    col += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+                col += 1
+            if i < n and text[i] == "'":
+                i += 1
+                col += 1
+            for j in range(start, i):
+                blank(j)
+            continue
+
+        # ---- everything else ---------------------------------------------
+        if c == "\n":
+            line += 1
+            col = 1
+        else:
+            col += 1
+        i += 1
+
+    return ScrubResult(code="".join(out), comments=tuple(comments))

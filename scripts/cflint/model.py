@@ -1,0 +1,168 @@
+"""Core data model: source files, the project, findings, and the rule API."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from cflint.lexer import Comment, scrub
+
+SOURCE_SUFFIXES = frozenset({".cc", ".cpp", ".cxx", ".h", ".hpp"})
+
+# Trees never scanned as production code. tests/cflint/fixtures holds the
+# deliberately-failing rule exemplars — scanning them as part of the repo
+# would make the corpus itself a finding factory.
+EXCLUDED_PARTS: Tuple[Tuple[str, ...], ...] = (
+    ("tests", "cflint", "fixtures"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a 1-based (line, col) in `rel`."""
+
+    rule: str
+    rel: str  # repo-root-relative POSIX path
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def render(self) -> str:
+        loc = f"{self.rel}:{self.line}:{self.col}"
+        body = f"{loc}: [{self.rule}] {self.message}"
+        if self.snippet:
+            body += f"\n    {self.snippet.strip()}"
+        return body
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.rel, self.line, self.col, self.rule)
+
+
+class SourceFile:
+    """One C++ file: raw text, scrubbed code, and its comments."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        result = scrub(text)
+        self.code = result.code
+        self.comments: Tuple[Comment, ...] = result.comments
+        self.raw_lines: List[str] = text.splitlines()
+        self.code_lines: List[str] = result.code.splitlines()
+
+    def raw_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.raw_lines):
+            return self.raw_lines[lineno - 1]
+        return ""
+
+    @property
+    def subsystem(self) -> str:
+        """Layering unit: `src/<sub>/...` maps to `<sub>`; anything else
+        maps to its top directory (`bench`, `tests`, `examples`)."""
+        parts = Path(self.rel).parts
+        if len(parts) >= 2 and parts[0] == "src":
+            return parts[1]
+        return parts[0] if parts else ""
+
+
+class Project:
+    """Everything the rules see: the file set plus the repo root, so
+    project-scoped rules (include graph) can resolve includes."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = root
+        self.files: List[SourceFile] = list(files)
+        self.by_rel: Dict[str, SourceFile] = {f.rel: f for f in self.files}
+
+    def resolve_include(
+        self, includer: SourceFile, target: str
+    ) -> Optional[SourceFile]:
+        """Resolve a quoted include the way the build does: against src/
+        (every target adds it as an include dir), then against the
+        includer's own directory, then against the repo root."""
+        candidates = (
+            Path("src") / target,
+            Path(includer.rel).parent / target,
+            Path(target),
+        )
+        for cand in candidates:
+            rel = cand.as_posix()
+            # Normalise a/../b without touching the filesystem.
+            parts: List[str] = []
+            for part in rel.split("/"):
+                if part == "..":
+                    if parts:
+                        parts.pop()
+                elif part not in (".", ""):
+                    parts.append(part)
+            hit = self.by_rel.get("/".join(parts))
+            if hit is not None:
+                return hit
+        return None
+
+
+class Rule:
+    """Base class. File rules override check_file; project rules override
+    check_project. `id` is the name used in findings, waivers, fixtures,
+    and SARIF; `description` is the one-line rule-table entry."""
+
+    id: str = ""
+    description: str = ""
+
+    def check_file(
+        self, sf: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def _excluded(rel_parts: Tuple[str, ...]) -> bool:
+    return any(
+        rel_parts[: len(prefix)] == prefix for prefix in EXCLUDED_PARTS
+    )
+
+
+def load_project(
+    root: Path, roots: Sequence[Path], exclude_fixtures: bool = True
+) -> Project:
+    """Load every C++ source under `roots` (files or directories, resolved
+    against `root`) into a Project. Exits with code 2 on IO errors, the
+    same contract the retired lint had."""
+    files: List[SourceFile] = []
+    seen: set = set()
+    for r in roots:
+        abs_r = r if r.is_absolute() else root / r
+        if abs_r.is_file():
+            paths: Iterable[Path] = [abs_r]
+        elif abs_r.is_dir():
+            paths = sorted(
+                p
+                for p in abs_r.rglob("*")
+                if p.is_file() and p.suffix in SOURCE_SUFFIXES
+            )
+        else:
+            print(f"error: no such file or directory: {r}", file=sys.stderr)
+            raise SystemExit(2)
+        for p in paths:
+            try:
+                rel = p.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = p.as_posix()
+            if rel in seen:
+                continue
+            if exclude_fixtures and _excluded(tuple(Path(rel).parts)):
+                continue
+            seen.add(rel)
+            try:
+                text = p.read_text(encoding="utf-8", errors="replace")
+            except OSError as exc:
+                print(f"error: cannot read {p}: {exc}", file=sys.stderr)
+                raise SystemExit(2)
+            files.append(SourceFile(p, rel, text))
+    return Project(root, files)

@@ -1,0 +1,34 @@
+"""Rule registry. Adding a rule = write it in one of the modules here,
+append it to ALL_RULES, give it fixtures under tests/cflint/fixtures/<id>/
+(at least one fail_*.cpp and one pass_*.cpp — the self-test enforces the
+corpus), and add a row to the DESIGN.md §10 rule table."""
+
+from __future__ import annotations
+
+from typing import List
+
+from cflint.model import Rule
+from cflint.rules.determinism import DETERMINISM_RULES
+from cflint.rules.layering import IncludeCycleRule, IncludeLayeringRule
+from cflint.rules.trust import TrustBoundaryRule
+
+ALL_RULES: List[Rule] = [
+    *DETERMINISM_RULES,
+    IncludeLayeringRule(),
+    IncludeCycleRule(),
+    TrustBoundaryRule(),
+]
+
+# Waiver-hygiene rules live in cflint.waivers, not here: they run as a
+# post-pass over the waiver table, after every other rule has had the
+# chance to be suppressed, and are themselves not waivable.
+META_RULE_IDS = ("stale-waiver", "waiver-justification")
+
+RULE_IDS = tuple(r.id for r in ALL_RULES) + META_RULE_IDS
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for r in ALL_RULES:
+        if r.id == rule_id:
+            return r
+    raise KeyError(rule_id)

@@ -1,0 +1,136 @@
+"""Determinism rules, ported from the retired scripts/lint_determinism.py.
+
+Patterns here run over *scrubbed* code (see cflint.lexer): comments, string
+literals, char literals, and raw strings are already blanked, so a rule
+keyword inside documentation text or a log message can never fire. That
+retires the whole false-positive class the regex script had to hedge
+around with line-granular comment tracking.
+
+Path scoping replaces the old PATH_WAIVERS table: src/obs is the repo's one
+sanctioned wall-clock boundary (scoped timers, bench wall time — pure
+sinks that never feed simulation state, DESIGN.md §7), and src/exec is the
+one sanctioned thread boundary (RunExecutor owns every worker thread,
+DESIGN.md §9). Scoping is by directory component so the waiver follows a
+subsystem re-root and never applies to a look-alike file elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import FrozenSet, Iterable, Pattern
+
+from cflint.model import Finding, Project, Rule, SourceFile
+
+
+class RegexRule(Rule):
+    """A determinism rule: one compiled pattern matched per scrubbed line,
+    with optional per-directory exemptions."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        pattern: Pattern[str],
+        message: str,
+        description: str,
+        exempt_dirs: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.id = rule_id
+        self.pattern = pattern
+        self.message = message
+        self.description = description
+        self.exempt_dirs = exempt_dirs
+
+    def _exempt(self, sf: SourceFile) -> bool:
+        return bool(
+            self.exempt_dirs.intersection(Path(sf.rel).parts[:-1])
+        )
+
+    def check_file(
+        self, sf: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        if self._exempt(sf):
+            return
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            m = self.pattern.search(code)
+            if m:
+                yield Finding(
+                    rule=self.id,
+                    rel=sf.rel,
+                    line=lineno,
+                    col=m.start() + 1,
+                    message=self.message,
+                    snippet=sf.raw_line(lineno),
+                )
+
+
+DETERMINISM_RULES = [
+    RegexRule(
+        "wall-clock",
+        re.compile(
+            r"std::time\s*\(|[^:\w]time\s*\(\s*(?:NULL|nullptr|0|&)"
+            r"|system_clock|steady_clock\s*::\s*now|high_resolution_clock"
+        ),
+        "host wall-clock read; use sim::Simulator::now() for simulation time",
+        "Host clock reads (std::time, system_clock, steady_clock::now, "
+        "high_resolution_clock) outside src/obs, the designated wall-clock "
+        "boundary.",
+        exempt_dirs=frozenset({"obs"}),
+    ),
+    RegexRule(
+        "libc-rand",
+        re.compile(r"(?<![\w:])s?rand\s*\(|(?<![\w:])random\s*\(\s*\)"),
+        "libc PRNG has global, implementation-defined state; use util::Rng",
+        "libc rand()/srand()/random(): unseeded global state with "
+        "implementation-defined sequences across libcs.",
+    ),
+    RegexRule(
+        "random-device",
+        re.compile(r"std::random_device"),
+        "std::random_device is nondeterministic; seed util::Rng from config",
+        "std::random_device is nondeterministic by design; seed util::Rng "
+        "from the experiment config instead.",
+    ),
+    RegexRule(
+        "unseeded-engine",
+        re.compile(
+            r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)"
+            r"\s+\w+\s*(?:;|\{\s*\})"
+        ),
+        "unseeded std engine; derive a util::Rng stream via fork(label)",
+        "std engine constructed without an explicit seed expression; engine "
+        "choice belongs in util::Rng, where streams are label-forked.",
+    ),
+    RegexRule(
+        "unordered-iter",
+        re.compile(
+            r"for\s*\(\s*(?:const\s+)?auto\s*&?&?\s*(?:\[[^\]]*\]|\w+)\s*:\s*"
+            r"\w*(?:unordered_|umap_|uset_)\w*"
+        ),
+        "iteration order of unordered containers is not reproducible; "
+        "iterate a sorted/insertion-order mirror",
+        "Range-for over a std::unordered_map/set: bucket order is "
+        "libstdc++-version- and ASLR-dependent.",
+    ),
+    RegexRule(
+        "float-accum",
+        re.compile(
+            r"std::accumulate\s*\([^;]*unordered_[^;]*(?:0\.0?f?|\w+\.0)"
+        ),
+        "floating-point reduction over an unordered range; order must be "
+        "pinned before summing",
+        "std::accumulate of floating-point over an unordered container: FP "
+        "addition is non-associative, so reduction order must be pinned.",
+    ),
+    RegexRule(
+        "raw-thread",
+        re.compile(r"std::(?:jthread|async)\b|std::thread\b(?!\s*::\s*id)"),
+        "raw threading outside src/exec breaks bit-identical results; fan "
+        "work through exec::RunExecutor",
+        "std::thread/jthread/async outside src/exec, the designated thread "
+        "boundary (exec::RunExecutor pins result order to submission "
+        "order). std::thread::id is allowed: naming the current thread is "
+        "not creating one.",
+        exempt_dirs=frozenset({"exec"}),
+    ),
+]

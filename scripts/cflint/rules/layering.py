@@ -1,0 +1,210 @@
+"""Include-graph rules: subsystem layering DAG + file-level cycle detection.
+
+The repo's subsystems form a strict layering (low rank = foundational):
+
+    rank 0   util                    (leaf: depends on nothing)
+    rank 10  obs                     (instrumentation sink; everything may
+                                      include it, it includes only util —
+                                      the one waivered exception is
+                                      obs/sim_hook.h -> sim, the
+                                      header-only sampler bridge)
+    rank 20  sim, exec               (event engine; worker-pool boundary)
+    rank 30  net, metrics, game, world
+    rank 40  stream, p2p
+    rank 50  core                    (assignment/scheduling/adaptation —
+                                      composes net+stream+sim)
+    rank 60  systems                 (experiment drivers over everything)
+    rank 70  bench, tests, examples  (harnesses; may include anything)
+
+An `#include` edge is legal iff it stays inside one subsystem or points
+strictly *down* in rank. Equal-rank edges between different subsystems are
+violations too: peers must not couple (if they need to, one of them moves
+down a layer — make that decision explicitly in this table, not silently
+in an include line). Since ranks are a total preorder, any subsystem-level
+cycle necessarily contains an upward edge, so `include-layering` subsumes
+subsystem cycles; `include-cycle` additionally catches *file-level* include
+cycles, which can exist entirely inside one subsystem.
+
+The table lives here (not in a config file) deliberately: changing the
+architecture should be a reviewed code change next to the rule that
+enforces it. DESIGN.md §10 carries the same DAG as a diagram.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from cflint.model import Finding, Project, Rule, SourceFile
+
+LAYERS: Dict[str, int] = {
+    "util": 0,
+    "obs": 10,
+    "sim": 20,
+    "exec": 20,
+    "net": 30,
+    "metrics": 30,
+    "game": 30,
+    "world": 30,
+    "stream": 40,
+    "p2p": 40,
+    "core": 50,
+    "systems": 60,
+    "bench": 70,
+    "tests": 70,
+    "examples": 70,
+}
+
+_DIRECTIVE = re.compile(r"^\s*#\s*include\s")
+_TARGET = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def _quoted_includes(sf: SourceFile) -> Iterable[Tuple[int, int, str]]:
+    """Yield (line, col, target) for each quoted include. The *directive*
+    is recognised on scrubbed code (so an `#include` spelled inside a
+    comment or string literal is not an edge), while the target path is
+    read back from the raw line — the lexer blanks it as a string literal.
+    """
+    for lineno, code in enumerate(sf.code_lines, start=1):
+        if not _DIRECTIVE.match(code):
+            continue
+        m = _TARGET.search(sf.raw_line(lineno))
+        if m:
+            yield lineno, m.start(1) + 1, m.group(1)
+
+
+class IncludeLayeringRule(Rule):
+    id = "include-layering"
+    description = (
+        "Quoted includes must stay inside their subsystem or point "
+        "strictly down the layering DAG (util < obs < sim/exec < "
+        "net/metrics/game/world < stream/p2p < core < systems < "
+        "bench/tests/examples); equal-rank cross-subsystem edges and "
+        "unranked subsystems are violations."
+    )
+
+    def check_file(
+        self, sf: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        src_sub = sf.subsystem
+        src_rank = LAYERS.get(src_sub)
+        for lineno, col, target in _quoted_includes(sf):
+            tgt = project.resolve_include(sf, target)
+            if tgt is None:
+                continue  # system/vendored header outside the scanned tree
+            tgt_sub = tgt.subsystem
+            if tgt_sub == src_sub:
+                continue
+            tgt_rank = LAYERS.get(tgt_sub)
+            if src_rank is None or tgt_rank is None:
+                unknown = src_sub if src_rank is None else tgt_sub
+                yield Finding(
+                    rule=self.id,
+                    rel=sf.rel,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"subsystem '{unknown}' has no layer rank; add it "
+                        "to LAYERS in scripts/cflint/rules/layering.py and "
+                        "to the DESIGN.md §10 diagram"
+                    ),
+                    snippet=sf.raw_line(lineno),
+                )
+            elif tgt_rank > src_rank:
+                yield Finding(
+                    rule=self.id,
+                    rel=sf.rel,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"upward include: {src_sub} (rank {src_rank}) must "
+                        f"not include {tgt_sub} (rank {tgt_rank}); invert "
+                        "the dependency or move the shared piece down"
+                    ),
+                    snippet=sf.raw_line(lineno),
+                )
+            elif tgt_rank == src_rank:
+                yield Finding(
+                    rule=self.id,
+                    rel=sf.rel,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"peer include: {src_sub} and {tgt_sub} share rank "
+                        f"{src_rank}; peers must not couple — move one "
+                        "down a layer (a reviewed LAYERS change) instead"
+                    ),
+                    snippet=sf.raw_line(lineno),
+                )
+
+
+class IncludeCycleRule(Rule):
+    id = "include-cycle"
+    description = (
+        "File-level include cycles (A includes B includes ... includes A), "
+        "including cycles entirely inside one subsystem."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph: Dict[str, List[Tuple[str, int]]] = {}
+        for sf in project.files:
+            edges: List[Tuple[str, int]] = []
+            for lineno, _col, target in _quoted_includes(sf):
+                tgt = project.resolve_include(sf, target)
+                if tgt is not None:
+                    edges.append((tgt.rel, lineno))
+            graph[sf.rel] = edges
+
+        # Iterative DFS with colouring; report each cycle once, anchored at
+        # the include line that closes it.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[str, int] = {rel: WHITE for rel in graph}
+        reported: Set[Tuple[str, ...]] = set()
+        findings: List[Finding] = []
+
+        def visit(start: str) -> None:
+            stack: List[Tuple[str, Iterator[Tuple[str, int]]]] = []
+            path: List[str] = []
+            stack.append((start, iter(graph[start])))
+            colour[start] = GREY
+            path.append(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt, lineno in it:
+                    if colour.get(nxt, BLACK) == GREY:
+                        cycle = path[path.index(nxt) :] + [nxt]
+                        key = tuple(sorted(set(cycle)))
+                        if key not in reported:
+                            reported.add(key)
+                            findings.append(
+                                Finding(
+                                    rule=self.id,
+                                    rel=node,
+                                    line=lineno,
+                                    col=1,
+                                    message=(
+                                        "include cycle: "
+                                        + " -> ".join(cycle)
+                                    ),
+                                    snippet=project.by_rel[node].raw_line(
+                                        lineno
+                                    ),
+                                )
+                            )
+                    elif colour.get(nxt) == WHITE:
+                        colour[nxt] = GREY
+                        path.append(nxt)
+                        stack.append((nxt, iter(graph[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    colour[node] = BLACK
+
+        for rel in sorted(graph):
+            if colour[rel] == WHITE:
+                visit(rel)
+        return findings
+

@@ -1,0 +1,315 @@
+"""Trust-boundary coverage audit.
+
+The CF_CHECK discipline (DESIGN.md §6) guards the classes where a bad
+argument corrupts simulation state instead of failing loudly: the event
+engine, the deadline scheduler, rate adaptation, the receiver buffer, the
+supernode sender, and the supernode manager. This rule makes the
+discipline structural: every *public mutating method* (public, non-const,
+non-static member function) of a guarded class must contain at least one
+`CF_CHECK*` or `CF_INVARIANT` in its body — a new entry point that skips
+validation fails the lint the moment it is written, not when a fuzzer
+finds it.
+
+Guarded classes are declared in GUARDED_CLASSES below (adding a class to
+the audit is a one-line change). The rule parses the scrubbed header:
+class span -> access regions -> member declarations, then finds each
+method's body (inline, or out-of-line `Class::method` in any scanned
+file). Deliberately exempt: constructors/destructors (covered by member
+checks they call), operators (deleted or trivial here), const methods, and
+declarations with no body in the scanned tree. A mutator that validates by
+delegation gets a `// lint:allow(trust-boundary)` waiver naming the
+delegate — see the waiver policy in DESIGN.md §10.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from cflint.model import Finding, Project, Rule, SourceFile
+
+# class name -> header that declares it. The rule fails loudly if the
+# header or the class disappears, so a rename cannot silently drop a class
+# out of the audit.
+GUARDED_CLASSES: Dict[str, str] = {
+    "Simulator": "src/sim/simulator.h",
+    "DeadlineScheduler": "src/core/deadline_scheduler.h",
+    "RateAdaptationController": "src/core/rate_adaptation.h",
+    "ReceiverBuffer": "src/stream/receiver_buffer.h",
+    "SupernodeSender": "src/core/supernode_sender.h",
+    "SupernodeManager": "src/core/supernode_manager.h",
+}
+
+# CF_CHECK, CF_CHECK_MSG, CF_CHECK_GE/GT/LE/LT/EQ/NE, CF_INVARIANT.
+# CF_DCHECK does NOT count: it compiles out in release builds, and a trust
+# boundary that vanishes under -DNDEBUG is not a trust boundary.
+CHECK_MACRO = re.compile(r"\bCF_(?:CHECK|INVARIANT)\w*\s*\(")
+
+_IDENT = re.compile(r"[A-Za-z_]\w*")
+
+
+def match_brace(code: str, open_idx: int) -> int:
+    """Index just past the `}` matching the `{` at open_idx (code is
+    scrubbed, so braces in strings/comments cannot confuse the count).
+    Returns len(code) if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _line_of(code: str, idx: int) -> int:
+    return code.count("\n", 0, idx) + 1
+
+
+def _find_class_span(
+    code: str, cls: str
+) -> Optional[Tuple[int, int, str]]:
+    """(body_start, body_end, keyword) for `class|struct <cls> ... { ... }`.
+    body_start points at the `{`."""
+    m = re.search(rf"\b(class|struct)\s+{re.escape(cls)}\b", code)
+    if not m:
+        return None
+    # Skip the base clause: first `{` after the name (scrubbed code, so a
+    # brace inside a default argument string cannot appear; a brace inside
+    # a base-clause template argument would break this, but the guarded
+    # classes have no base classes).
+    open_idx = code.find("{", m.end())
+    if open_idx < 0:
+        return None
+    # Guard against `class Foo;` forward declarations: no `;` may appear
+    # between the name and the `{`.
+    if ";" in code[m.end() : open_idx]:
+        nxt = _find_class_span(code[m.end() :], cls)
+        if nxt is None:
+            return None
+        s, e, kw = nxt
+        return s + m.end(), e + m.end(), kw
+    return open_idx, match_brace(code, open_idx), m.group(1)
+
+
+class _Member:
+    def __init__(self, text: str, start_idx: int, body: Optional[str]):
+        self.text = text  # declaration text (body excluded)
+        self.start_idx = start_idx  # index into file code of first char
+        self.body = body  # inline body text incl. braces, or None
+
+
+def _iter_members(
+    code: str, body_start: int, body_end: int, keyword: str
+) -> Iterable[Tuple[str, _Member]]:
+    """Yield (access, member) for each top-level member of the class body.
+    Nested types are skipped wholesale: their members are not the outer
+    class's API."""
+    access = "public" if keyword == "struct" else "private"
+    i = body_start + 1
+    member_start: Optional[int] = None
+    decl_parts: List[str] = []
+    while i < body_end - 1:
+        c = code[i]
+        if member_start is None and not c.isspace():
+            member_start = i
+        # Access specifier?
+        m = re.match(r"(public|private|protected)\s*:", code[i:])
+        if m and member_start == i:
+            access = m.group(1)
+            i += m.end()
+            member_start = None
+            decl_parts = []
+            continue
+        if c == ";":
+            if member_start is not None:
+                decl_parts.append(code[member_start : i + 1])
+                yield access, _Member(
+                    "".join(decl_parts), member_start, None
+                )
+            member_start = None
+            decl_parts = []
+            i += 1
+            continue
+        if c == "(":
+            # Keep parameter lists atomic so a `;`-free scan can't split on
+            # commas/defaults; find the matching `)`.
+            depth = 0
+            j = i
+            while j < body_end:
+                if code[j] == "(":
+                    depth += 1
+                elif code[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            i = j + 1
+            continue
+        if c == "{":
+            end = match_brace(code, i)
+            start = member_start if member_start is not None else i
+            decl = code[start:i]
+            body = code[i:end]
+            # `} ;` after a nested type / brace-init member
+            k = end
+            while k < body_end and code[k].isspace():
+                k += 1
+            if k < body_end and code[k] == ";":
+                end = k + 1
+            yield access, _Member(decl, start, body)
+            member_start = None
+            decl_parts = []
+            i = end
+            continue
+        i += 1
+
+
+_SKIP_LEADING = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static\b|enum\b|class\b|struct\b"
+    r"|template\b)"
+)
+
+
+def _method_name(decl: str) -> Optional[str]:
+    """Identifier directly before the first top-level `(` of `decl`, or
+    None when decl is not a function declaration."""
+    depth = 0
+    for i, c in enumerate(decl):
+        if c in "<[":
+            depth += 1
+        elif c in ">]":
+            depth = max(0, depth - 1)
+        elif c == "(" and depth == 0:
+            m = _IDENT.search(decl[:i].rstrip()[::-1])
+            if m is None or m.start() != 0:
+                return None
+            return m.group(0)[::-1]
+    return None
+
+
+def _is_const_or_unbodied(decl: str) -> bool:
+    """Trailing qualifiers after the parameter list: const methods and
+    `= delete` / `= default` / pure-virtual declarations are exempt."""
+    close = decl.rfind(")")
+    tail = decl[close + 1 :] if close >= 0 else ""
+    if re.search(r"\bconst\b", tail):
+        return True
+    if re.search(r"=\s*(?:delete|default|0)\s*;?\s*$", tail):
+        return True
+    return False
+
+
+def _find_out_of_line_body(
+    project: Project, cls: str, name: str
+) -> List[Tuple[SourceFile, int, str]]:
+    """All `Cls::name(...) { ... }` definitions in the scanned tree."""
+    pat = re.compile(rf"\b{re.escape(cls)}\s*::\s*{re.escape(name)}\s*\(")
+    hits: List[Tuple[SourceFile, int, str]] = []
+    for sf in project.files:
+        for m in pat.finditer(sf.code):
+            # Find the body `{` after the parameter list and any trailing
+            # qualifiers / trailing return type; a `;` first means this is
+            # a redeclaration, not a definition.
+            depth = 0
+            i = m.end() - 1
+            while i < len(sf.code):
+                c = sf.code[i]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+            while i < len(sf.code) and sf.code[i] not in "{;":
+                i += 1
+            if i < len(sf.code) and sf.code[i] == "{":
+                end = match_brace(sf.code, i)
+                hits.append((sf, _line_of(sf.code, m.start()), sf.code[i:end]))
+    return hits
+
+
+class TrustBoundaryRule(Rule):
+    id = "trust-boundary"
+    description = (
+        "Public mutating methods (public, non-const, non-static) of the "
+        "CF_CHECK-guarded classes must contain at least one CF_CHECK*/"
+        "CF_INVARIANT; ctors/dtors/operators/const/bodiless declarations "
+        "are exempt, delegation cases carry a justified waiver."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls, header in sorted(GUARDED_CLASSES.items()):
+            sf = project.by_rel.get(header)
+            if sf is None:
+                # The header is simply outside the scanned roots (e.g. a
+                # fixture run): nothing to audit. A *renamed* header shows
+                # up as the class-not-found finding on a full-tree run.
+                continue
+            span = _find_class_span(sf.code, cls)
+            if span is None:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        rel=sf.rel,
+                        line=1,
+                        col=1,
+                        message=(
+                            f"guarded class '{cls}' not found in {header}; "
+                            "update GUARDED_CLASSES in "
+                            "scripts/cflint/rules/trust.py after a rename"
+                        ),
+                    )
+                )
+                continue
+            body_start, body_end, keyword = span
+            for access, member in _iter_members(
+                sf.code, body_start, body_end, keyword
+            ):
+                if access != "public":
+                    continue
+                decl = member.text
+                if _SKIP_LEADING.search(decl):
+                    continue
+                name = _method_name(decl)
+                if name is None or name == cls or name == "operator":
+                    continue
+                if "~" + cls in decl.replace(" ", "") or "operator" in decl:
+                    continue
+                if _is_const_or_unbodied(decl):
+                    continue
+                bodies: List[Tuple[str, str]] = []  # (where, body)
+                if member.body is not None:
+                    bodies.append((f"{sf.rel} (inline)", member.body))
+                else:
+                    for dsf, dline, dbody in _find_out_of_line_body(
+                        project, cls, name
+                    ):
+                        bodies.append((f"{dsf.rel}:{dline}", dbody))
+                if not bodies:
+                    continue  # declaration only; nothing to audit
+                unchecked = [w for w, b in bodies if not CHECK_MACRO.search(b)]
+                if unchecked:
+                    line = _line_of(sf.code, member.start_idx)
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            rel=sf.rel,
+                            line=line,
+                            col=1,
+                            message=(
+                                f"public mutating method {cls}::{name} has "
+                                "no CF_CHECK/CF_INVARIANT in its body "
+                                f"({', '.join(unchecked)}); validate inputs "
+                                "at the trust boundary or waive with a "
+                                "justification naming the delegate"
+                            ),
+                            snippet=sf.raw_line(line),
+                        )
+                    )
+        return findings

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 emitter for GitHub code scanning.
+
+Emits the subset code scanning consumes: one run, tool.driver with the
+full rule table (so rules with zero findings still appear in the UI),
+results with physical locations, and partialFingerprints keyed to the
+baseline fingerprint so alert identity survives line drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from cflint import __version__
+from cflint.baseline import fingerprint
+from cflint.model import Finding, Project, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+INFO_URI = "https://github.com/cloudfog/cloudfog"  # DESIGN.md §10
+
+
+def _rule_descriptor(rule_id: str, description: str) -> dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": description.split(". ")[0]},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+        "help": {
+            "text": (
+                f"{description}\n\nWaive a deliberate use with "
+                f"'// lint:allow({rule_id})' plus a justification comment; "
+                "see DESIGN.md §10 for the waiver policy."
+            )
+        },
+    }
+
+
+def render(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    meta_rules: Dict[str, str],
+    project: Project,
+) -> str:
+    rule_descriptors: List[dict] = [
+        _rule_descriptor(r.id, r.description) for r in rules
+    ]
+    for rid, desc in meta_rules.items():
+        rule_descriptors.append(_rule_descriptor(rid, desc))
+    index = {d["id"]: i for i, d in enumerate(rule_descriptors)}
+
+    results = []
+    for f in sorted(findings, key=Finding.sort_key):
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.rel,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "cflint/v1": fingerprint(f, project)
+            },
+        }
+        if f.snippet.strip():
+            result["locations"][0]["physicalLocation"]["region"][
+                "snippet"
+            ] = {"text": f.snippet.strip()}
+        results.append(result)
+
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "cflint",
+                        "version": __version__,
+                        "informationUri": INFO_URI,
+                        "rules": rule_descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "uri": project.root.resolve().as_uri() + "/"
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"

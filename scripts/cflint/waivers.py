@@ -1,0 +1,161 @@
+"""The `// lint:allow(<rule>)` escape hatch, and its hygiene rules.
+
+A waiver is parsed out of *comments only* (the lexer hands them over
+separately), so `lint:allow` inside a string literal is documentation, not
+a waiver. A trailing waiver comment suppresses matching findings on its
+own line; a standalone waiver comment suppresses them on the line after
+the comment ends. That is the retired lint's contract, kept so existing
+waivers keep working.
+
+Two hygiene rules keep the hatch honest, and neither is itself waivable:
+
+  stale-waiver          — a waiver that suppresses no live finding (the
+                          code it excused changed, or the rule name is
+                          misspelled/unknown). Stale waivers are deleted,
+                          not kept "just in case": a waiver that matches
+                          nothing today will silently excuse a real
+                          finding introduced tomorrow.
+  waiver-justification  — every waiver must say *why* (≥ 12 chars of
+                          comment text beyond the allow() marker, on the
+                          waiver line or in a comment within the two lines
+                          above). "Because the lint fired" is not a reason.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from cflint.model import Finding, Project, SourceFile
+
+ALLOW = re.compile(r"lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+MIN_JUSTIFICATION_CHARS = 12
+
+
+@dataclass
+class Waiver:
+    rel: str
+    comment_line: int  # first line of the waiver comment
+    target_line: int  # line whose findings it suppresses
+    rules: Tuple[str, ...]
+    justification: str
+    used: Set[str] = field(default_factory=set)
+
+
+def _comment_end_line(line: int, text: str) -> int:
+    return line + text.count("\n")
+
+
+def collect_waivers(sf: SourceFile) -> List[Waiver]:
+    waivers: List[Waiver] = []
+    for idx, comment in enumerate(sf.comments):
+        m = ALLOW.search(comment.text)
+        if not m:
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(","))
+        prefix = sf.raw_line(comment.line)[: comment.col - 1]
+        standalone = not prefix.strip()
+        end_line = _comment_end_line(comment.line, comment.text)
+        target = end_line + 1 if standalone else comment.line
+        # Justification: this comment minus the allow() markers, plus any
+        # comment ending within the two lines above this one.
+        own = ALLOW.sub("", comment.text).strip(" -—*/\t\n")
+        nearby: List[str] = [own]
+        for other in sf.comments:
+            if other is comment:
+                continue
+            oend = _comment_end_line(other.line, other.text)
+            if 0 <= comment.line - oend <= 2:
+                nearby.append(ALLOW.sub("", other.text).strip(" -—*/\t\n"))
+        justification = " ".join(t for t in nearby if t)
+        waivers.append(
+            Waiver(
+                rel=sf.rel,
+                comment_line=comment.line,
+                target_line=target,
+                rules=rules,
+                justification=justification,
+            )
+        )
+    return waivers
+
+
+def apply_waivers(
+    project: Project,
+    findings: Sequence[Finding],
+    known_rule_ids: Sequence[str],
+) -> Tuple[List[Finding], List[Finding], List[Waiver]]:
+    """Split findings into (kept, waived) and append hygiene findings for
+    stale or unjustified waivers. Returns (kept + hygiene, waived, waivers).
+    """
+    table: Dict[Tuple[str, int], List[Waiver]] = {}
+    all_waivers: List[Waiver] = []
+    for sf in project.files:
+        for w in collect_waivers(sf):
+            all_waivers.append(w)
+            table.setdefault((w.rel, w.target_line), []).append(w)
+
+    kept: List[Finding] = []
+    waived: List[Finding] = []
+    for f in findings:
+        hit = None
+        for w in table.get((f.rel, f.line), ()):
+            if f.rule in w.rules:
+                hit = w
+                break
+        if hit is not None:
+            hit.used.add(f.rule)
+            waived.append(f)
+        else:
+            kept.append(f)
+
+    known = set(known_rule_ids)
+    for w in all_waivers:
+        for rule in w.rules:
+            if rule not in known:
+                kept.append(
+                    Finding(
+                        rule="stale-waiver",
+                        rel=w.rel,
+                        line=w.comment_line,
+                        col=1,
+                        message=(
+                            f"waiver names unknown rule '{rule}' (known: "
+                            f"{', '.join(sorted(known))})"
+                        ),
+                        snippet="",
+                    )
+                )
+            elif rule not in w.used:
+                kept.append(
+                    Finding(
+                        rule="stale-waiver",
+                        rel=w.rel,
+                        line=w.comment_line,
+                        col=1,
+                        message=(
+                            f"waiver for '{rule}' suppresses no live "
+                            "finding; delete it (line "
+                            f"{w.target_line} no longer trips the rule)"
+                        ),
+                        snippet="",
+                    )
+                )
+        if len(w.justification) < MIN_JUSTIFICATION_CHARS:
+            kept.append(
+                Finding(
+                    rule="waiver-justification",
+                    rel=w.rel,
+                    line=w.comment_line,
+                    col=1,
+                    message=(
+                        "waiver has no justification; say why the rule "
+                        "does not apply here, in this comment or one "
+                        "within the two lines above"
+                    ),
+                    snippet="",
+                )
+            )
+    return kept, waived, all_waivers

@@ -203,7 +203,8 @@ void DeadlineScheduler::estimate_and_drop(TimeMs now) {
 }
 
 std::optional<DeadlineScheduler::NextPacket> DeadlineScheduler::pop_packet(
-    TimeMs /*now*/) {
+    TimeMs now) {
+  CF_CHECK_GE(now, 0.0);  // a negative clock is always a caller bug
   while (!queue_.empty()) {
     QueuedSegment& head = queue_.front();
     // Skip dropped packets.

@@ -84,7 +84,9 @@ class DeadlineScheduler {
   /// Observer invoked for every packet the Eq (14) policy drops — lets
   /// harnesses keep exact per-segment accounting.
   using DropObserver = std::function<void(std::uint64_t segment_id, int packet_index)>;
-  void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }
+  /// Optional pure sink with no legal-value constraint: null clears it,
+  /// and every invocation site null-guards (see drop_from_segment).
+  void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }  // lint:allow(trust-boundary)
 
   /// Records a measured propagation delay for a player (Eq 13 history).
   void record_propagation(NodeId player, TimeMs prop_ms);

@@ -22,6 +22,7 @@ SupernodeSender::SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps,
 }
 
 void SupernodeSender::submit(const stream::VideoSegment& segment) {
+  CF_CHECK_MSG(segment.size_kbit > 0.0, "segment size must be positive");
   packets_submitted_ +=
       static_cast<std::uint64_t>(stream::packet_count(segment.size_kbit));
   if (discipline_ == Discipline::kDeadline) {

@@ -66,11 +66,13 @@ class SupernodeSender {
   void submit(const stream::VideoSegment& segment);
 
   /// Installs a per-player WAN bottleneck. Call before the first submit.
-  void set_rate_cap(RateCapFn cap) { rate_cap_ = std::move(cap); }
+  /// Optional: null means "no cap", and pump() null-guards before sampling.
+  void set_rate_cap(RateCapFn cap) { rate_cap_ = std::move(cap); }  // lint:allow(trust-boundary)
 
   /// Installs a per-player packet-loss model. Lost packets are reported
   /// through the delivery observer with lost = true.
-  void set_loss_model(LossFn loss) { loss_ = std::move(loss); }
+  /// Optional: null means "lossless", and pump() null-guards before sampling.
+  void set_loss_model(LossFn loss) { loss_ = std::move(loss); }  // lint:allow(trust-boundary)
 
   Discipline discipline() const { return discipline_; }
   Kbps uplink_kbps() const { return uplink_kbps_; }
@@ -85,8 +87,9 @@ class SupernodeSender {
   const DeadlineScheduler& scheduler() const { return scheduler_; }
 
   /// Forwards a drop observer to the scheduler (kDeadline only; no drops
-  /// ever occur under FIFO).
-  void set_drop_observer(DeadlineScheduler::DropObserver observer) {
+  /// ever occur under FIFO). Pure delegation to the scheduler's optional
+  /// observer sink, which is itself waived: null clears, sites null-guard.
+  void set_drop_observer(DeadlineScheduler::DropObserver observer) {  // lint:allow(trust-boundary)
     scheduler_.set_drop_observer(std::move(observer));
   }
 

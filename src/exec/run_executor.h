@@ -29,7 +29,7 @@
 // print from aggregation, after execute() returns.
 //
 // This file is the only place in the repo allowed to create threads
-// (scripts/lint_determinism.py, rule `raw-thread`).
+// (scripts/cflint, rule `raw-thread`; src/exec is the exempt boundary).
 #pragma once
 
 #include <cstddef>

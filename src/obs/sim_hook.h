@@ -18,7 +18,10 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/simulator.h"
+// The one sanctioned obs->sim edge: this header-only sampler bridges the
+// two layers without linking (see the header comment above); only code
+// above both layers (systems, bench) ever instantiates it.
+#include "sim/simulator.h"  // lint:allow(include-layering)
 
 namespace cloudfog::obs {
 

@@ -1,8 +1,8 @@
 // The repo's single wall-clock boundary.
 //
 // Everything outside src/obs is forbidden to read the host clock
-// (scripts/lint_determinism.py, rule `wall-clock`; src/obs is exempted by
-// the `obs-clock` rule). Wall time is strictly for *measurement* — scoped
+// (scripts/cflint, rule `wall-clock`; src/obs is the exempt measurement
+// boundary). Wall time is strictly for *measurement* — scoped
 // timers feeding histograms and trace spans — and must never flow back
 // into simulation state; simulation time comes from sim::Simulator::now().
 #pragma once

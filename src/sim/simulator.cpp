@@ -272,7 +272,14 @@ bool Simulator::fire_next() {
   return false;
 }
 
-bool Simulator::step() { return fire_next(); }
+bool Simulator::step() {
+  // Same re-entry guard as run_until(): a callback must not pump the loop
+  // (fire_next re-checks, but the public boundary validates explicitly).
+  CF_CHECK_MSG(callback_depth_ == 0,
+               "step()/run_until()/run_all() must not be re-entered from an "
+               "event callback");
+  return fire_next();
+}
 
 void Simulator::run_until(TimeMs horizon) {
   CF_CHECK_GE(horizon, now_);  // horizon must not precede current time
@@ -293,6 +300,9 @@ void Simulator::run_until(TimeMs horizon) {
 }
 
 void Simulator::run_all() {
+  CF_CHECK_MSG(callback_depth_ == 0,
+               "step()/run_until()/run_all() must not be re-entered from an "
+               "event callback");
   while (fire_next()) {
   }
 }

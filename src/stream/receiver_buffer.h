@@ -30,7 +30,9 @@ class ReceiverBuffer {
   Kbps playback_rate() const { return playback_rate_; }
 
   /// Buffered amount s(t) at time `now` (Equation 7), in kilobits.
-  Kbit buffered_kbit(TimeMs now);
+  /// Validation delegated to settle(): monotone-clock CF_CHECK plus the
+  /// occupancy/stall-clock CF_INVARIANTs run on every call.
+  Kbit buffered_kbit(TimeMs now);  // lint:allow(trust-boundary)
 
   /// Buffered-segment count r = s(t)/tau for segment size `tau_kbit`
   /// (Equation 8). Requires tau > 0.
@@ -51,7 +53,8 @@ class ReceiverBuffer {
 
   /// Playback continuity in [0, 1]: fraction of elapsed time not stalled.
   /// Defined as 1 before any time elapses. Settles the buffer to `now`.
-  double continuity(TimeMs now);
+  /// Validation delegated to settle(), as for buffered_kbit above.
+  double continuity(TimeMs now);  // lint:allow(trust-boundary)
 
  private:
   /// Advances the drain (and stall accounting) to `now`.

@@ -1,0 +1,8 @@
+// Fixture: floating-point accumulate over an unordered range — FP addition
+// is non-associative, so the reduction order must be pinned first.
+#include <numeric>
+#include <unordered_set>
+
+double total(const std::unordered_set<double>& unordered_vals) {
+  return std::accumulate(unordered_vals.begin(), unordered_vals.end(), 0.0);
+}

@@ -1,0 +1,8 @@
+// Fixture: accumulating a vector is order-pinned and fine; the phrase
+// "std::accumulate over unordered_set with 0.0" in text must not fire.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& ordered_vals) {
+  return std::accumulate(ordered_vals.begin(), ordered_vals.end(), 0.0);
+}

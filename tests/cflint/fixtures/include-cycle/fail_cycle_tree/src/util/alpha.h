@@ -1,0 +1,7 @@
+// Fixture: a file-level include cycle entirely inside one subsystem — the
+// layering DAG cannot see it, include-cycle must.
+#pragma once
+
+#include "util/beta.h"
+
+inline int alpha() { return 1; }

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "util/alpha.h"
+
+inline int beta() { return 2; }

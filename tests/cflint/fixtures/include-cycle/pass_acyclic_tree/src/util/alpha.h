@@ -1,0 +1,6 @@
+// Fixture: a one-way include chain is acyclic and clean.
+#pragma once
+
+#include "util/beta.h"
+
+inline int alpha() { return beta() + 1; }

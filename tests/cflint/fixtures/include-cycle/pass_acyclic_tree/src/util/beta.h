@@ -1,0 +1,3 @@
+#pragma once
+
+inline int beta() { return 2; }

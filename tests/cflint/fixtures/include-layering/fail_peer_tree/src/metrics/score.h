@@ -1,0 +1,3 @@
+#pragma once
+
+inline double score_unit() { return 1.0; }

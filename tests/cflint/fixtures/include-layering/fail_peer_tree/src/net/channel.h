@@ -1,0 +1,7 @@
+// Fixture: net and metrics share rank 30 — peers must not couple, even
+// though neither is "above" the other.
+#pragma once
+
+#include "metrics/score.h"
+
+inline double channel_score() { return score_unit(); }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline const char* core_engine_name() { return "engine"; }

@@ -1,0 +1,7 @@
+// Fixture: the acceptance-criteria upward edge — util (rank 0) reaching up
+// into core (rank 50). The layering rule must flag this include.
+#pragma once
+
+#include "core/engine.h"
+
+inline const char* describe() { return core_engine_name(); }

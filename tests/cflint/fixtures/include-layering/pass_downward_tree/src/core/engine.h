@@ -1,0 +1,12 @@
+// Fixture: core (rank 50) including util (rank 0) points strictly down the
+// DAG — legal. The string "#include \"systems/driver.h\"" and the comment
+// #include "bench/bench_common.h" must not create edges.
+#pragma once
+
+#include "util/strings.h"
+
+inline const char* engine_banner() { return describe(); }
+
+inline const char* fake_edge_in_string() {
+  return "#include \"systems/driver.h\"";
+}

@@ -1,0 +1,3 @@
+#pragma once
+
+inline const char* describe() { return "cloudfog"; }

@@ -1,0 +1,7 @@
+// Fixture: libc rand()/srand() have global, implementation-defined state.
+#include <cstdlib>
+
+int roll_die() {
+  srand(42);
+  return rand() % 6;
+}

@@ -1,0 +1,9 @@
+// Fixture: identifiers merely containing "rand" and documentation mentions
+// must not fire.
+int util_rand(int seed);   // prefixed identifier, not ::rand
+int randomize_count = 0;   // "random" without a call
+
+int roll_die(int seed) {
+  // rand() is banned; srand(42) too — these words live in a comment.
+  return util_rand(seed) % 6;
+}

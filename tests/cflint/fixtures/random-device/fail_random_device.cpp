@@ -1,0 +1,7 @@
+// Fixture: std::random_device is nondeterministic by design.
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}

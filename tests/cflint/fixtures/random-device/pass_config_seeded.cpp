@@ -1,0 +1,5 @@
+// Fixture: seeding from config is the sanctioned path; the rule name in
+// this comment (std::random_device) must not fire.
+#include <random>
+
+std::mt19937 engine_from_config(unsigned seed) { return std::mt19937(seed); }

@@ -1,0 +1,8 @@
+// Fixture: ad-hoc threading outside src/exec breaks the bit-identical
+// results contract.
+#include <thread>
+
+void fan_out(void (*work)()) {
+  std::thread t(work);
+  t.join();
+}

@@ -1,0 +1,8 @@
+// Fixture: src/exec is the sanctioned thread boundary — RunExecutor owns
+// every worker thread in the repo, so std::thread is exempt here by path.
+#include <thread>
+#include <vector>
+
+void spawn_pool(std::vector<std::thread>& pool, void (*work)()) {
+  pool.emplace_back(work);
+}

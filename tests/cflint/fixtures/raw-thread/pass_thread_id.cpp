@@ -1,0 +1,7 @@
+// Fixture: std::thread::id is allowed — naming the current thread is not
+// creating one — and "std::thread worker;" in a comment must not fire.
+#include <thread>
+
+bool on_thread(std::thread::id expected) {
+  return std::this_thread::get_id() == expected;
+}

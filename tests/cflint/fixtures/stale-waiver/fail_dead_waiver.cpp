@@ -1,0 +1,8 @@
+// Fixture: the waiver below excused a rand() call that was later removed;
+// the waiver outlived the finding and must now fail as stale.
+#include <cstdlib>
+
+int roll_die(int seed) {
+  // The PRNG moved to util::Rng long ago, so nothing here trips libc-rand.
+  return seed % 6;  // lint:allow(libc-rand) — historical waiver, now dead
+}

@@ -1,0 +1,5 @@
+// Fixture: a waiver naming a rule that does not exist (typo'd rule ids
+// would otherwise silently waive nothing forever).
+int answer() {
+  return 42;  // lint:allow(wall-clocks) — typo: the rule is wall-clock
+}

@@ -1,0 +1,9 @@
+// Fixture: a live, justified waiver — it suppresses a real finding on its
+// own line, so the stale-waiver rule stays quiet.
+#include <cstdlib>
+
+int roll_die() {
+  // This fixture deliberately exercises libc rand() to prove live waivers
+  // keep working; nothing downstream consumes the value.
+  return rand() % 6;  // lint:allow(libc-rand) — deliberate libc use under test
+}

@@ -1,0 +1,10 @@
+#include "sim/simulator.h"
+
+namespace cloudfog::sim {
+
+void Simulator::poke(int strength) {
+  // No validation at all: a negative strength corrupts state silently.
+  armed_ += strength;
+}
+
+}  // namespace cloudfog::sim

@@ -1,0 +1,21 @@
+// Fixture: a guarded class grows a public mutating method whose body never
+// validates anything — the new-entry-point case the audit exists for.
+#pragma once
+
+namespace cloudfog::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// New entry point with no CF_CHECK anywhere in its body: must fire.
+  void poke(int strength);
+
+  /// Const methods are exempt: they cannot mutate the trust boundary.
+  int armed() const { return armed_; }
+
+ private:
+  int armed_ = 0;
+};
+
+}  // namespace cloudfog::sim

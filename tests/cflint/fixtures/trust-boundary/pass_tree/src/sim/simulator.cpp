@@ -1,0 +1,10 @@
+#include "sim/simulator.h"
+
+namespace cloudfog::sim {
+
+void Simulator::poke(int strength) {
+  CF_CHECK_GE(strength, 0);
+  armed_ += strength;
+}
+
+}  // namespace cloudfog::sim

@@ -1,0 +1,26 @@
+// Fixture: the same shape as fail_tree, but every public mutating method
+// validates its inputs — clean.
+#pragma once
+
+namespace cloudfog::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Out-of-line body carries a CF_CHECK: clean.
+  void poke(int strength);
+
+  /// Inline body carries a CF_INVARIANT: clean.
+  void disarm() {
+    armed_ = 0;
+    CF_INVARIANT(armed_ == 0, "disarm must zero the armed count");
+  }
+
+  int armed() const { return armed_; }
+
+ private:
+  int armed_ = 0;
+};
+
+}  // namespace cloudfog::sim

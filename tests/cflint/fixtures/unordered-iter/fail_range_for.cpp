@@ -1,0 +1,15 @@
+// Fixture: range-for over an unordered container member — bucket order is
+// libstdc++-version- and ASLR-dependent.
+#include <string>
+#include <unordered_map>
+
+struct Roster {
+  std::unordered_map<int, double> unordered_scores_;
+  double sum() const {
+    double total = 0.0;
+    for (const auto& kv : unordered_scores_) {
+      total += kv.second;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,17 @@
+// Fixture: iterating an insertion-order mirror is the sanctioned pattern
+// (see SupernodeManager::roster_); mentioning unordered_map here in a
+// comment — for (auto& kv : unordered_scores_) — must not fire.
+#include <unordered_map>
+#include <vector>
+
+struct Roster {
+  std::unordered_map<int, double> unordered_scores_;
+  std::vector<int> insertion_order_;
+  double sum() const {
+    double total = 0.0;
+    for (int id : insertion_order_) {
+      total += unordered_scores_.at(id);
+    }
+    return total;
+  }
+};

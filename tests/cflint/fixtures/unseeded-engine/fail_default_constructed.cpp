@@ -1,0 +1,7 @@
+// Fixture: a default-constructed std engine hides the seeding decision.
+#include <random>
+
+double sample() {
+  std::mt19937 gen;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen);
+}

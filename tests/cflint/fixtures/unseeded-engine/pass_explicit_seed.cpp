@@ -1,0 +1,8 @@
+// Fixture: an explicit seed expression is fine (engine choice still
+// belongs in util::Rng, but that is a review matter, not this rule's).
+#include <random>
+
+double sample(unsigned seed) {
+  std::mt19937 gen(seed);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen);
+}

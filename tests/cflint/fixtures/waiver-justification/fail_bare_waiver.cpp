@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+int roll_die() {
+  return rand() % 6;  // lint:allow(libc-rand)
+}

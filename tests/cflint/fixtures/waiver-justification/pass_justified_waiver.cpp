@@ -1,0 +1,14 @@
+// Fixture: both justification placements — trailing text on the waiver
+// line, and a standalone waiver whose reason sits in the comment above.
+#include <cstdlib>
+
+int roll_trailing() {
+  return rand() % 6;  // lint:allow(libc-rand) — deliberate libc use under test
+}
+
+int roll_standalone() {
+  // Deliberate libc use: this fixture proves the standalone-comment form
+  // waives the line below it.
+  // lint:allow(libc-rand)
+  return rand() % 6;
+}

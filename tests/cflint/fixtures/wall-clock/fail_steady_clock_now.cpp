@@ -1,0 +1,8 @@
+// Fixture: reading the host monotonic clock in simulation code must fire
+// the wall-clock rule.
+#include <chrono>
+
+double sample_latency_ms() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}

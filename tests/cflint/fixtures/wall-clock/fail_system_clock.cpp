@@ -1,0 +1,7 @@
+// Fixture: std::chrono::system_clock anywhere in a type or expression is a
+// wall-clock read waiting to happen.
+#include <chrono>
+
+using Stamp = std::chrono::system_clock::time_point;
+
+Stamp stamp_now();

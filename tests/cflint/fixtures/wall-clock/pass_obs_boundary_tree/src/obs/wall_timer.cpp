@@ -1,0 +1,9 @@
+// Fixture: src/obs is the sanctioned wall-clock boundary — the same code
+// that fails anywhere else is exempt here by path, with no waiver needed.
+#include <chrono>
+
+double wall_now_ms() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,29 @@
+// Fixture (false-positive regression): every determinism-rule keyword below
+// appears only in comments, string literals, char-adjacent text, or raw
+// strings. The retired regex lint needed per-line comment heuristics to not
+// fire here; the token-aware lexer must produce zero findings.
+//
+// In documentation: std::chrono::steady_clock::now(), system_clock,
+// high_resolution_clock, std::time(nullptr), rand(), srand(), random(),
+// std::random_device, std::mt19937 gen; — all banned, all inert here.
+
+/* Block comments too: std::thread worker; std::async(std::launch::async);
+   for (const auto& kv : unordered_members_) {}   */
+
+#include <string>
+
+const char* kHelpText =
+    "never call rand() or std::time(nullptr); steady_clock::now() reads "
+    "the host clock and std::random_device is nondeterministic";
+
+const std::string kRawDoc = R"doc(
+  std::thread t([] {});            // raw string, not code
+  std::mt19937 engine;             // still not code
+  auto x = std::accumulate(unordered_vals.begin(), unordered_vals.end(), 0.0);
+)doc";
+
+// Digit separators must not open a char literal and swallow real code:
+const long kPlayers = 1'000'000;
+const unsigned kMask = 0xFF'FFu;
+
+double simulated_now_ms(double sim_clock_ms) { return sim_clock_ms; }

@@ -1,0 +1,44 @@
+"""Shared plumbing for the cflint self-tests: sys.path bootstrap (cflint
+lives under scripts/, which is not a normal site dir) and tiny helpers for
+building in-memory projects and running the engine over fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent.parent
+FIXTURES = TESTS_DIR / "fixtures"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from cflint.engine import Report, analyze  # noqa: E402
+from cflint.model import Project, SourceFile  # noqa: E402
+
+
+def make_project(files: Dict[str, str], root: Path = REPO_ROOT) -> Project:
+    """Project from {rel_path: source_text} without touching disk."""
+    sources = [
+        SourceFile(root / rel, rel, text) for rel, text in files.items()
+    ]
+    return Project(root, sources)
+
+
+def analyze_fixture(entry: Path) -> Report:
+    """Run the full engine over one fixture entry (no baseline).
+
+    A file entry is scanned alone (root = its directory). A directory
+    entry is a mini source tree (root = the entry, scan everything in it).
+    """
+    if entry.is_dir():
+        roots = sorted(p.relative_to(entry) for p in entry.iterdir())
+        return analyze(entry, roots, exclude_fixtures=False)
+    return analyze(
+        entry.parent, [Path(entry.name)], exclude_fixtures=False
+    )
+
+
+def finding_rules(report: Report) -> List[str]:
+    return sorted({f.rule for f in report.findings})

@@ -1,0 +1,112 @@
+"""Fixture-corpus driver: every rule must have at least one failing and
+one passing exemplar, every fail_* fixture must produce exactly its rule,
+and every pass_* fixture must be completely clean. This is the test that
+makes "add a rule" mean "add fixtures too"."""
+
+import unittest
+from pathlib import Path
+
+import support
+from support import FIXTURES, analyze_fixture, finding_rules
+
+from cflint.rules import RULE_IDS
+
+
+def fixture_entries(rule_id: str, prefix: str):
+    rule_dir = FIXTURES / rule_id
+    if not rule_dir.is_dir():
+        return []
+    return sorted(p for p in rule_dir.iterdir() if p.name.startswith(prefix))
+
+
+class CorpusCompleteness(unittest.TestCase):
+    def test_every_rule_has_fail_and_pass_fixtures(self):
+        for rule_id in RULE_IDS:
+            with self.subTest(rule=rule_id):
+                self.assertTrue(
+                    fixture_entries(rule_id, "fail"),
+                    f"rule '{rule_id}' has no fail_* fixture under "
+                    f"tests/cflint/fixtures/{rule_id}/",
+                )
+                self.assertTrue(
+                    fixture_entries(rule_id, "pass"),
+                    f"rule '{rule_id}' has no pass_* fixture under "
+                    f"tests/cflint/fixtures/{rule_id}/",
+                )
+
+    def test_no_orphan_fixture_directories(self):
+        known = set(RULE_IDS)
+        for d in FIXTURES.iterdir():
+            with self.subTest(dir=d.name):
+                self.assertIn(
+                    d.name,
+                    known,
+                    f"fixture dir '{d.name}' matches no registered rule",
+                )
+
+
+class FailFixturesFire(unittest.TestCase):
+    def test_fail_fixtures_produce_exactly_their_rule(self):
+        for rule_id in RULE_IDS:
+            for entry in fixture_entries(rule_id, "fail"):
+                with self.subTest(rule=rule_id, fixture=entry.name):
+                    report = analyze_fixture(entry)
+                    rules = finding_rules(report)
+                    self.assertIn(
+                        rule_id,
+                        rules,
+                        f"{entry} produced no '{rule_id}' finding "
+                        f"(got: {rules or 'nothing'})",
+                    )
+                    self.assertEqual(
+                        rules,
+                        [rule_id],
+                        f"{entry} cross-fired other rules: {rules}",
+                    )
+
+
+class PassFixturesClean(unittest.TestCase):
+    def test_pass_fixtures_are_completely_clean(self):
+        for rule_id in RULE_IDS:
+            for entry in fixture_entries(rule_id, "pass"):
+                with self.subTest(rule=rule_id, fixture=entry.name):
+                    report = analyze_fixture(entry)
+                    self.assertEqual(
+                        report.findings,
+                        [],
+                        f"{entry} should be clean, got: "
+                        + "; ".join(f.render() for f in report.findings),
+                    )
+
+
+class AcceptanceScenarios(unittest.TestCase):
+    def test_deliberate_upward_include_is_detected(self):
+        entry = FIXTURES / "include-layering" / "fail_upward_tree"
+        report = analyze_fixture(entry)
+        [finding] = [
+            f for f in report.findings if f.rule == "include-layering"
+        ]
+        self.assertIn("upward include", finding.message)
+        self.assertIn("util", finding.message)
+        self.assertIn("core", finding.message)
+        self.assertEqual(finding.rel, "src/util/strings.h")
+
+    def test_cycle_names_the_full_path(self):
+        entry = FIXTURES / "include-cycle" / "fail_cycle_tree"
+        report = analyze_fixture(entry)
+        [finding] = [f for f in report.findings if f.rule == "include-cycle"]
+        self.assertIn("src/util/alpha.h", finding.message)
+        self.assertIn("src/util/beta.h", finding.message)
+
+    def test_trust_finding_names_class_and_method(self):
+        entry = FIXTURES / "trust-boundary" / "fail_tree"
+        report = analyze_fixture(entry)
+        [finding] = [
+            f for f in report.findings if f.rule == "trust-boundary"
+        ]
+        self.assertIn("Simulator::poke", finding.message)
+        self.assertEqual(finding.rel, "src/sim/simulator.h")
+
+
+if __name__ == "__main__":
+    unittest.main()

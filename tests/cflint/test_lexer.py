@@ -1,0 +1,102 @@
+"""Lexer unit tests: the scrubber must blank exactly the non-code text
+while preserving line structure and column positions."""
+
+import unittest
+
+import support  # noqa: F401  (sys.path bootstrap)
+
+from cflint.lexer import scrub
+
+
+class ScrubBasics(unittest.TestCase):
+    def test_line_comment_blanked_and_captured(self):
+        r = scrub("int x = 1;  // rand() lives here\nint y = 2;\n")
+        self.assertIn("int x = 1;", r.code)
+        self.assertNotIn("rand", r.code)
+        self.assertEqual(len(r.comments), 1)
+        self.assertEqual(r.comments[0].line, 1)
+        self.assertEqual(r.comments[0].text, "rand() lives here")
+
+    def test_block_comment_spanning_lines(self):
+        src = "a();\n/* std::thread t;\n   more text */ b();\n"
+        r = scrub(src)
+        self.assertNotIn("thread", r.code)
+        self.assertIn("a();", r.code)
+        self.assertIn("b();", r.code)
+        # Line structure intact.
+        self.assertEqual(r.code.count("\n"), src.count("\n"))
+        self.assertEqual(r.comments[0].line, 2)
+        self.assertIn("std::thread t;", r.comments[0].text)
+
+    def test_string_literal_blanked(self):
+        r = scrub('call("steady_clock::now()");\n')
+        self.assertNotIn("steady_clock", r.code)
+        self.assertIn("call(", r.code)
+
+    def test_escaped_quote_inside_string(self):
+        r = scrub('f("a\\"b rand() c");\ng();\n')
+        self.assertNotIn("rand", r.code)
+        self.assertIn("g();", r.code)
+
+    def test_char_literal_blanked(self):
+        r = scrub("char c = 'x'; int n = f();\n")
+        self.assertNotIn("'x'", r.code)
+        self.assertIn("int n = f();", r.code)
+
+    def test_escaped_char_literal(self):
+        r = scrub("char c = '\\''; g();\n")
+        self.assertIn("g();", r.code)
+
+    def test_digit_separator_is_not_a_char_literal(self):
+        src = "long n = 1'000'000; rand();\n"
+        r = scrub(src)
+        # The separator must not open a literal that swallows `rand()`.
+        self.assertIn("rand();", r.code)
+        self.assertIn("1 000 000", r.code.replace("'", " "))
+
+    def test_hex_digit_separator(self):
+        r = scrub("unsigned m = 0xFF'FFu; rand();\n")
+        self.assertIn("rand();", r.code)
+
+    def test_raw_string_blanked(self):
+        src = 'auto s = R"(std::thread t; " quote)"; f();\n'
+        r = scrub(src)
+        self.assertNotIn("thread", r.code)
+        self.assertIn("f();", r.code)
+
+    def test_raw_string_with_delimiter(self):
+        src = 'auto s = R"doc(rand() )" still inside )doc"; g();\n'
+        r = scrub(src)
+        self.assertNotIn("rand", r.code)
+        self.assertNotIn("still inside", r.code)
+        self.assertIn("g();", r.code)
+
+    def test_prefixed_raw_string(self):
+        r = scrub('auto s = u8R"(rand())"; h();\n')
+        self.assertNotIn("rand", r.code)
+        self.assertIn("h();", r.code)
+
+    def test_identifier_ending_in_R_is_not_raw_string(self):
+        r = scrub('auto s = myR"x";\n')
+        # `myR` is an identifier followed by an ordinary string "x".
+        self.assertIn("myR", r.code)
+        self.assertNotIn('"x"', r.code)
+
+    def test_columns_preserved(self):
+        src = 'f("pad"); rand();\n'
+        r = scrub(src)
+        self.assertEqual(len(r.code), len(src))
+        self.assertEqual(r.code.index("rand"), src.index("rand"))
+
+    def test_comment_inside_string_is_not_a_comment(self):
+        r = scrub('auto url = "http://example.com"; x();\n')
+        self.assertEqual(len(r.comments), 0)
+        self.assertIn("x();", r.code)
+
+    def test_block_comment_gutter_stripped(self):
+        r = scrub("/*\n * line one\n * line two\n */\n")
+        self.assertEqual(r.comments[0].text, "line one\nline two")
+
+
+if __name__ == "__main__":
+    unittest.main()

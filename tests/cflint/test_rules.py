@@ -1,0 +1,304 @@
+"""Rule-engine unit tests on in-memory projects: waiver semantics, the
+layering table, trust-boundary parsing edge cases, and baseline
+fingerprint behaviour."""
+
+import unittest
+from pathlib import Path
+
+import support
+from support import make_project
+
+from cflint import baseline as baseline_mod
+from cflint.model import Finding
+from cflint.rules import ALL_RULES, RULE_IDS, rule_by_id
+from cflint.rules.layering import LAYERS
+from cflint.rules.trust import GUARDED_CLASSES
+from cflint.waivers import apply_waivers, collect_waivers
+
+
+def run_rule(rule_id, files):
+    project = make_project(files)
+    rule = rule_by_id(rule_id)
+    findings = []
+    for sf in project.files:
+        findings.extend(rule.check_file(sf, project))
+    findings.extend(rule.check_project(project))
+    return project, findings
+
+
+class WaiverSemantics(unittest.TestCase):
+    def test_trailing_waiver_suppresses_own_line(self):
+        project, findings = run_rule(
+            "libc-rand",
+            {
+                "src/util/x.cpp": (
+                    "int a() {\n"
+                    "  return rand();  // lint:allow(libc-rand) — "
+                    "deliberate for the test\n"
+                    "}\n"
+                )
+            },
+        )
+        kept, waived, _ = apply_waivers(project, findings, RULE_IDS)
+        self.assertEqual(kept, [])
+        self.assertEqual(len(waived), 1)
+
+    def test_standalone_waiver_suppresses_next_line(self):
+        project, findings = run_rule(
+            "libc-rand",
+            {
+                "src/util/x.cpp": (
+                    "int a() {\n"
+                    "  // deliberate libc use, exercised by this test\n"
+                    "  // lint:allow(libc-rand)\n"
+                    "  return rand();\n"
+                    "}\n"
+                )
+            },
+        )
+        kept, waived, _ = apply_waivers(project, findings, RULE_IDS)
+        self.assertEqual([f.rule for f in kept], [])
+        self.assertEqual(len(waived), 1)
+
+    def test_waiver_does_not_leak_to_other_rules(self):
+        project, findings = run_rule(
+            "libc-rand",
+            {
+                "src/util/x.cpp": (
+                    "int a() {\n"
+                    "  return rand();  // lint:allow(wall-clock) — "
+                    "wrong rule named\n"
+                    "}\n"
+                )
+            },
+        )
+        kept, waived, _ = apply_waivers(project, findings, RULE_IDS)
+        # The libc-rand finding survives, and the wall-clock waiver is
+        # reported stale.
+        self.assertEqual(
+            sorted(f.rule for f in kept), ["libc-rand", "stale-waiver"]
+        )
+        self.assertEqual(waived, [])
+
+    def test_waiver_inside_string_literal_is_inert(self):
+        project = make_project(
+            {
+                "src/util/x.cpp": (
+                    'const char* s = "lint:allow(libc-rand)";\n'
+                )
+            }
+        )
+        self.assertEqual(collect_waivers(project.files[0]), [])
+
+    def test_multi_rule_waiver(self):
+        project, findings = run_rule(
+            "libc-rand",
+            {
+                "src/util/x.cpp": (
+                    "int a() {\n"
+                    "  return rand();  // lint:allow(libc-rand, "
+                    "wall-clock) — both rules excused, one is stale\n"
+                    "}\n"
+                )
+            },
+        )
+        kept, waived, _ = apply_waivers(project, findings, RULE_IDS)
+        self.assertEqual(len(waived), 1)
+        self.assertEqual([f.rule for f in kept], ["stale-waiver"])
+
+
+class LayeringTable(unittest.TestCase):
+    def test_every_real_subsystem_is_ranked(self):
+        real = {
+            p.name
+            for p in (support.REPO_ROOT / "src").iterdir()
+            if p.is_dir()
+        } | {"bench", "tests", "examples"}
+        self.assertEqual(real - set(LAYERS), set())
+
+    def test_util_is_the_bottom_and_harnesses_the_top(self):
+        self.assertEqual(LAYERS["util"], min(LAYERS.values()))
+        top = max(LAYERS.values())
+        for harness in ("bench", "tests", "examples"):
+            self.assertEqual(LAYERS[harness], top)
+
+    def test_downward_edge_clean_upward_edge_fires(self):
+        files = {
+            "src/core/a.h": '#include "util/b.h"\n',
+            "src/util/b.h": "#pragma once\n",
+        }
+        _, findings = run_rule("include-layering", files)
+        self.assertEqual(findings, [])
+
+        files = {
+            "src/util/b.h": '#include "core/a.h"\n',
+            "src/core/a.h": "#pragma once\n",
+        }
+        _, findings = run_rule("include-layering", files)
+        self.assertEqual([f.rule for f in findings], ["include-layering"])
+
+    def test_unresolved_include_is_ignored(self):
+        _, findings = run_rule(
+            "include-layering",
+            {"src/util/b.h": '#include "third_party/header.h"\n'},
+        )
+        self.assertEqual(findings, [])
+
+    def test_self_subsystem_include_is_clean(self):
+        _, findings = run_rule(
+            "include-layering",
+            {
+                "src/core/a.h": '#include "core/b.h"\n',
+                "src/core/b.h": "#pragma once\n",
+            },
+        )
+        self.assertEqual(findings, [])
+
+
+class TrustParsing(unittest.TestCase):
+    HEADER = "src/sim/simulator.h"
+
+    def test_guarded_class_config_points_at_real_headers(self):
+        for cls, header in GUARDED_CLASSES.items():
+            path = support.REPO_ROOT / header
+            self.assertTrue(path.is_file(), f"{cls}: {header} missing")
+            self.assertIn(f"class {cls}", path.read_text())
+
+    def test_private_mutators_are_exempt(self):
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  int peek() const { return v_; }\n"
+                " private:\n"
+                "  void mutate() { v_ = 1; }\n"
+                "  int v_ = 0;\n"
+                "};\n"
+            )
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(findings, [])
+
+    def test_deleted_and_defaulted_are_exempt(self):
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  Simulator() = default;\n"
+                "  Simulator(const Simulator&) = delete;\n"
+                "  Simulator& operator=(const Simulator&) = delete;\n"
+                "};\n"
+            )
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(findings, [])
+
+    def test_inline_unchecked_mutator_fires(self):
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  void poke(int v) { v_ = v; }\n"
+                " private:\n"
+                "  int v_ = 0;\n"
+                "};\n"
+            )
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("Simulator::poke", findings[0].message)
+        self.assertEqual(findings[0].line, 3)
+
+    def test_checked_out_of_line_body_is_clean(self):
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  void poke(int v);\n"
+                "};\n"
+            ),
+            "src/sim/simulator.cpp": (
+                '#include "sim/simulator.h"\n'
+                "void Simulator::poke(int v) {\n"
+                "  CF_CHECK_GE(v, 0);\n"
+                "}\n"
+            ),
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(findings, [])
+
+    def test_cf_dcheck_does_not_count(self):
+        # CF_DCHECK compiles out under NDEBUG; the boundary must hold in
+        # release builds too.
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  void poke(int v) { CF_DCHECK(v >= 0); v_ = v; }\n"
+                " private:\n"
+                "  int v_ = 0;\n"
+                "};\n"
+            )
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(len(findings), 1)
+
+    def test_renamed_class_fails_loudly(self):
+        files = {self.HEADER: "class Simulator2 {\n public:\n};\n"}
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("not found", findings[0].message)
+
+    def test_nested_struct_members_are_not_audited(self):
+        files = {
+            self.HEADER: (
+                "class Simulator {\n"
+                " public:\n"
+                "  struct Slot {\n"
+                "    void reset() { used = false; }\n"
+                "    bool used = false;\n"
+                "  };\n"
+                "};\n"
+            )
+        }
+        _, findings = run_rule("trust-boundary", files)
+        self.assertEqual(findings, [])
+
+
+class BaselineFingerprints(unittest.TestCase):
+    def test_fingerprint_survives_line_drift(self):
+        before = make_project(
+            {"src/util/x.cpp": "int a;\nint bad_line;\n"}
+        )
+        after = make_project(
+            {"src/util/x.cpp": "// new comment shifting lines\nint a;\nint bad_line;\n"}
+        )
+        f_before = Finding("libc-rand", "src/util/x.cpp", 2, 1, "m")
+        f_after = Finding("libc-rand", "src/util/x.cpp", 3, 1, "m")
+        self.assertEqual(
+            baseline_mod.fingerprint(f_before, before),
+            baseline_mod.fingerprint(f_after, after),
+        )
+
+    def test_fingerprint_changes_when_line_is_edited(self):
+        p1 = make_project({"src/util/x.cpp": "int bad_line;\n"})
+        p2 = make_project({"src/util/x.cpp": "int bad_line_edited;\n"})
+        f = Finding("libc-rand", "src/util/x.cpp", 1, 1, "m")
+        self.assertNotEqual(
+            baseline_mod.fingerprint(f, p1), baseline_mod.fingerprint(f, p2)
+        )
+
+
+class Registry(unittest.TestCase):
+    def test_rule_ids_unique_and_kebab_case(self):
+        self.assertEqual(len(set(RULE_IDS)), len(RULE_IDS))
+        for rid in RULE_IDS:
+            self.assertRegex(rid, r"^[a-z][a-z-]*[a-z]$")
+
+    def test_every_rule_has_a_description(self):
+        for rule in ALL_RULES:
+            self.assertTrue(rule.description, f"{rule.id} lacks description")
+
+
+if __name__ == "__main__":
+    unittest.main()

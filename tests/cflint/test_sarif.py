@@ -1,0 +1,224 @@
+"""End-to-end tests: SARIF structural validation (hand-rolled — no
+jsonschema in the container), CLI exit codes via subprocess, SARIF file
+writing, and the baseline grandfathering round-trip."""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+import support
+from support import FIXTURES, REPO_ROOT, analyze_fixture
+
+from cflint import baseline as baseline_mod, sarif
+from cflint.engine import META_RULE_DESCRIPTIONS
+from cflint.rules import ALL_RULES, RULE_IDS
+
+CLI = REPO_ROOT / "scripts" / "cflint"
+FAIL_FIXTURE = FIXTURES / "libc-rand" / "fail_rand_call.cpp"
+PASS_FIXTURE = FIXTURES / "libc-rand" / "pass_lookalikes.cpp"
+
+
+def render_fail_fixture():
+    report = analyze_fixture(FAIL_FIXTURE)
+    text = sarif.render(
+        report.findings, ALL_RULES, META_RULE_DESCRIPTIONS, report.project
+    )
+    return report, json.loads(text)
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(CLI), *map(str, argv)],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+class SarifStructure(unittest.TestCase):
+    """Assert the SARIF 2.1.0 fields GitHub code scanning requires."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.report, cls.doc = render_fail_fixture()
+
+    def test_top_level_envelope(self):
+        self.assertEqual(self.doc["version"], "2.1.0")
+        self.assertIn("sarif-schema-2.1.0", self.doc["$schema"])
+        self.assertEqual(len(self.doc["runs"]), 1)
+
+    def test_driver_carries_the_full_rule_table(self):
+        driver = self.doc["runs"][0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "cflint")
+        self.assertTrue(driver["version"])
+        ids = [r["id"] for r in driver["rules"]]
+        self.assertEqual(sorted(ids), sorted(RULE_IDS))
+        for rule in driver["rules"]:
+            self.assertTrue(rule["shortDescription"]["text"])
+            self.assertTrue(rule["fullDescription"]["text"])
+            self.assertEqual(
+                rule["defaultConfiguration"]["level"], "error"
+            )
+
+    def test_results_reference_rules_by_index(self):
+        run = self.doc["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        self.assertTrue(run["results"])
+        for result in run["results"]:
+            self.assertEqual(ids[result["ruleIndex"]], result["ruleId"])
+            self.assertTrue(result["message"]["text"])
+
+    def test_physical_locations_are_one_based(self):
+        for result in self.doc["runs"][0]["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            self.assertEqual(
+                loc["artifactLocation"]["uriBaseId"], "SRCROOT"
+            )
+            self.assertNotIn("\\", loc["artifactLocation"]["uri"])
+            self.assertGreaterEqual(loc["region"]["startLine"], 1)
+            self.assertGreaterEqual(loc["region"]["startColumn"], 1)
+
+    def test_partial_fingerprints_match_the_baseline_scheme(self):
+        for result in self.doc["runs"][0]["results"]:
+            fp = result["partialFingerprints"]["cflint/v1"]
+            self.assertRegex(fp, r"^[0-9a-f]{24}$")
+
+    def test_srcroot_base_is_a_directory_uri(self):
+        bases = self.doc["runs"][0]["originalUriBaseIds"]
+        self.assertTrue(bases["SRCROOT"]["uri"].startswith("file://"))
+        self.assertTrue(bases["SRCROOT"]["uri"].endswith("/"))
+
+    def test_empty_findings_still_emit_valid_run(self):
+        report = analyze_fixture(PASS_FIXTURE)
+        doc = json.loads(
+            sarif.render(
+                [], ALL_RULES, META_RULE_DESCRIPTIONS, report.project
+            )
+        )
+        self.assertEqual(doc["runs"][0]["results"], [])
+        self.assertTrue(doc["runs"][0]["tool"]["driver"]["rules"])
+
+
+class CliContract(unittest.TestCase):
+    def test_fail_fixture_exits_1_and_names_the_rule(self):
+        proc = run_cli(
+            FAIL_FIXTURE.relative_to(REPO_ROOT), "--include-fixtures"
+        )
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("libc-rand", proc.stdout)
+
+    def test_pass_fixture_exits_0(self):
+        proc = run_cli(
+            PASS_FIXTURE.relative_to(REPO_ROOT), "--include-fixtures"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+    def test_fixture_corpus_is_excluded_by_default(self):
+        # Without --include-fixtures the deliberately-failing corpus under
+        # tests/cflint/fixtures must not poison a scan of tests/.
+        proc = run_cli("tests")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_sarif_flag_writes_a_parseable_report(self):
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "out.sarif"
+            proc = run_cli(
+                FAIL_FIXTURE.relative_to(REPO_ROOT),
+                "--include-fixtures",
+                "--sarif",
+                out,
+            )
+            self.assertEqual(proc.returncode, 1)
+            doc = json.loads(out.read_text())
+            self.assertEqual(doc["version"], "2.1.0")
+            self.assertTrue(doc["runs"][0]["results"])
+
+    def test_list_rules_covers_every_rule(self):
+        proc = run_cli("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rid in RULE_IDS:
+            self.assertIn(rid, proc.stdout)
+
+    def test_module_invocation_works(self):
+        # `python3 -m cflint` from scripts/ must behave identically to
+        # `python3 scripts/cflint`.
+        proc = subprocess.run(
+            [sys.executable, "-m", "cflint", "--version"],
+            cwd=REPO_ROOT / "scripts",
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("cflint", proc.stdout)
+
+
+class BaselineRoundTrip(unittest.TestCase):
+    def test_committed_baseline_is_empty(self):
+        data = json.loads(
+            (REPO_ROOT / "scripts" / "cflint" / "baseline.json").read_text()
+        )
+        self.assertEqual(data["findings"], [])
+
+    def test_write_baseline_grandfathers_and_edit_unbaselines(self):
+        with tempfile.TemporaryDirectory() as td:
+            bl = Path(td) / "baseline.json"
+            rel = FAIL_FIXTURE.relative_to(REPO_ROOT)
+
+            proc = run_cli(
+                rel, "--include-fixtures", "--baseline", bl,
+                "--write-baseline",
+            )
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+            # Grandfathered: same scan is now clean.
+            proc = run_cli(rel, "--include-fixtures", "--baseline", bl)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            self.assertIn("baselined", proc.stdout)
+
+            # --no-baseline still reports it.
+            proc = run_cli(
+                rel, "--include-fixtures", "--baseline", bl, "--no-baseline"
+            )
+            self.assertEqual(proc.returncode, 1)
+
+            # An edited finding line no longer matches its fingerprint.
+            entries = json.loads(bl.read_text())["findings"]
+            self.assertTrue(entries)
+            for e in entries:
+                e["fingerprint"] = "0" * 24
+            bl.write_text(
+                json.dumps({"version": 1, "findings": entries})
+            )
+            proc = run_cli(rel, "--include-fixtures", "--baseline", bl)
+            self.assertEqual(proc.returncode, 1)
+
+    def test_malformed_baseline_exits_2(self):
+        with tempfile.TemporaryDirectory() as td:
+            bl = Path(td) / "baseline.json"
+            bl.write_text('{"version": 99, "findings": []}')
+            proc = run_cli(
+                FAIL_FIXTURE.relative_to(REPO_ROOT),
+                "--include-fixtures",
+                "--baseline",
+                bl,
+            )
+            self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_save_load_round_trip(self):
+        report = analyze_fixture(FAIL_FIXTURE)
+        with tempfile.TemporaryDirectory() as td:
+            bl = Path(td) / "baseline.json"
+            baseline_mod.save(bl, report.findings, report.project)
+            loaded = baseline_mod.load(bl)
+            for f in report.findings:
+                self.assertIn(
+                    baseline_mod.fingerprint(f, report.project), loaded
+                )
+
+
+if __name__ == "__main__":
+    unittest.main()

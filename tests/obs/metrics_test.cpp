@@ -241,7 +241,9 @@ TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
   ScopedRegistry scoped(r);
   constexpr int kThreads = 4;
   constexpr int kPerThread = 20'000;
-  std::vector<std::thread> threads;
+  // Raw threads on purpose: the registry's thread-safety IS the property
+  // under test, and no simulation state exists in this process.
+  std::vector<std::thread> threads;  // lint:allow(raw-thread)
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([t, &r] {
       // The install is thread-scoped, so each hammer thread installs the

@@ -114,7 +114,9 @@ TEST(CheckTest, FailureOffMainThreadNamesTheThread) {
   // thread id in the message is what ties a failure report to the worker
   // (and distinguishes it from a main-thread failure with the same text).
   std::string what;
-  std::thread worker([&what] {
+  // Raw thread on purpose: off-main-thread attribution is the property
+  // under test, and exec::RunExecutor would swallow the exception first.
+  std::thread worker([&what] {  // lint:allow(raw-thread)
     try {
       CF_CHECK_MSG(false, "worker-side failure");
     } catch (const std::logic_error& e) {
