@@ -1,0 +1,100 @@
+// Ablation: cloud egress vs QoE under the supernode segment cache —
+// DESIGN.md §11, EXPERIMENTS.md "Segment-cache ablation".
+//
+// Sweeps cache capacity (kbit per supernode capacity slot) crossed with the
+// transcode CPU-cost model (cheap vs costly encodes). Capacity 0 keeps the
+// subsystem engaged but admits nothing — every segment variant is fetched
+// over the cloud's uplink, the fetch-everything baseline the reductions are
+// measured against. As capacity grows, hits and down-ladder transcodes
+// replace fetches; the "egress cut" column is the headline number (the
+// acceptance bar is >= 30% at the largest capacity with QoE within 1% of
+// the baseline).
+//
+// One run per (capacity, transcode-cost) cell, fanned across --jobs workers
+// (each run owns its Scenario and its EdgeCacheService); results come back
+// in submission order, so the table is bit-identical at any width.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "systems/streaming_sim.h"
+
+using namespace cloudfog;
+using namespace cloudfog::systems;
+
+namespace {
+
+struct TranscodeCost {
+  const char* name;
+  TimeMs base_ms;
+  double ms_per_kbit;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "ablation_cache", [&]() -> int {
+    bench::print_header("Ablation: segment cache capacity x transcode cost",
+                        "CloudFog/A cloud egress vs QoE with the supernode "
+                        "segment cache");
+
+    const std::vector<double> capacities =
+        bench::fast_mode() ? std::vector<double>{0.0, 250.0, 4'000.0}
+                           : std::vector<double>{0.0, 250.0, 1'000.0, 4'000.0};
+    const std::vector<TranscodeCost> costs = {
+        {"cheap", 2.0, 0.01},    // fast encoder: transcodes beat fetches
+        {"costly", 12.0, 0.08},  // slow encoder: fetches often win back
+    };
+    const std::size_t players = bench::scaled(3'000, 800);
+
+    std::vector<StreamingRunSpec> specs;
+    specs.reserve(capacities.size() * costs.size());
+    for (const TranscodeCost& cost : costs) {
+      for (double capacity : capacities) {
+        StreamingRunSpec spec;
+        spec.kind = SystemKind::kCloudFogA;
+        spec.scenario = bench::sim_profile(1);
+        spec.scenario.use_segment_cache = true;
+        spec.scenario.cache_kbit_per_slot = capacity;
+        spec.scenario.cache_transcode_base_ms = cost.base_ms;
+        spec.scenario.cache_transcode_ms_per_kbit = cost.ms_per_kbit;
+        spec.options.num_players = players;
+        spec.options.warmup_ms = 2'000.0;
+        spec.options.duration_ms = bench::fast_mode() ? 3'000.0 : 6'000.0;
+        specs.push_back(spec);
+      }
+    }
+
+    const std::uint64_t start_us = obs::wall_now_us();
+    const std::vector<StreamingResult> results =
+        run_streaming_batch(specs, bench::executor());
+    obs::record_sweep_wall_ms(
+        "ablation_cache",
+        static_cast<double>(obs::wall_now_us() - start_us) / 1000.0);
+
+    util::Table table("Cloud egress vs QoE (capacity x transcode cost)");
+    table.set_header({"transcode", "kbit/slot", "hits", "transcodes",
+                      "cloud Mbit", "egress cut", "mean latency (ms)",
+                      "continuity"});
+    for (std::size_t c = 0; c < costs.size(); ++c) {
+      // Baseline for this cost row: capacity 0 = fetch everything.
+      const StreamingResult& zero = results[c * capacities.size()];
+      for (std::size_t k = 0; k < capacities.size(); ++k) {
+        const StreamingResult& r = results[c * capacities.size() + k];
+        const double cut =
+            zero.cache.bytes_cloud_kbit > 0.0
+                ? 1.0 - r.cache.bytes_cloud_kbit / zero.cache.bytes_cloud_kbit
+                : 0.0;
+        table.add_row({costs[c].name, util::format_double(capacities[k], 0),
+                       std::to_string(r.cache.hits),
+                       std::to_string(r.cache.transcodes),
+                       util::format_double(r.cache.bytes_cloud_kbit / 1000.0, 0),
+                       util::format_double(cut * 100.0, 1) + "%",
+                       util::format_double(r.mean_response_latency_ms, 1),
+                       util::format_double(r.mean_continuity, 3)});
+      }
+    }
+    bench::print_table(table);
+    return 0;
+  });
+}

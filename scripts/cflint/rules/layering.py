@@ -11,8 +11,11 @@ The repo's subsystems form a strict layering (low rank = foundational):
     rank 20  sim, exec               (event engine; worker-pool boundary)
     rank 30  net, metrics, game, world
     rank 40  stream, p2p
+    rank 45  cache                   (segment cache + transcoding over
+                                      stream/game/sim; below core so the
+                                      sender/manager can compose it)
     rank 50  core                    (assignment/scheduling/adaptation —
-                                      composes net+stream+sim)
+                                      composes net+stream+sim+cache)
     rank 60  systems                 (experiment drivers over everything)
     rank 70  bench, tests, examples  (harnesses; may include anything)
 
@@ -48,6 +51,7 @@ LAYERS: Dict[str, int] = {
     "world": 30,
     "stream": 40,
     "p2p": 40,
+    "cache": 45,
     "core": 50,
     "systems": 60,
     "bench": 70,
@@ -78,7 +82,7 @@ class IncludeLayeringRule(Rule):
     description = (
         "Quoted includes must stay inside their subsystem or point "
         "strictly down the layering DAG (util < obs < sim/exec < "
-        "net/metrics/game/world < stream/p2p < core < systems < "
+        "net/metrics/game/world < stream/p2p < cache < core < systems < "
         "bench/tests/examples); equal-rank cross-subsystem edges and "
         "unranked subsystems are violations."
     )

@@ -1,0 +1,37 @@
+#include "cache/admission.h"
+
+#include "util/check.h"
+
+namespace cloudfog::cache {
+
+const char* to_string(ServeSource source) {
+  switch (source) {
+    case ServeSource::kCacheHit: return "hit";
+    case ServeSource::kTranscode: return "transcode";
+    case ServeSource::kCloudFetch: return "fetch";
+  }
+  return "unknown";
+}
+
+JointAdmissionPolicy::JointAdmissionPolicy(AdmissionConfig config)
+    : config_(config) {
+  CF_CHECK_MSG(config.fetch_kbps > 0.0, "fetch link rate must be positive");
+  CF_CHECK_MSG(config.fetch_base_ms >= 0.0, "fetch overhead must be >= 0");
+  CF_CHECK_MSG(config.egress_cost_ms_per_kbit >= 0.0,
+               "egress price must be >= 0");
+}
+
+JointAdmissionPolicy::Decision JointAdmissionPolicy::decide(
+    bool cached_exact, bool cached_ancestor, Kbit out_kbit) const {
+  CF_CHECK_MSG(out_kbit > 0.0, "admission needs a positive content size");
+  if (cached_exact) return {ServeSource::kCacheHit, 0.0};
+  if (cached_ancestor) {
+    const TimeMs transcode = transcode_delay_ms(out_kbit);
+    if (transcode <= fetch_cost_ms(out_kbit)) {
+      return {ServeSource::kTranscode, transcode};
+    }
+  }
+  return {ServeSource::kCloudFetch, fetch_delay_ms(out_kbit)};
+}
+
+}  // namespace cloudfog::cache

@@ -1,0 +1,81 @@
+// Joint cache/compute admission policy — DESIGN.md §11.
+//
+// For every segment request a supernode can (a) serve a cached exact
+// variant, (b) transcode down-ladder from a cached higher-quality variant
+// at a modelled CPU cost, or (c) fetch the variant from the cloud, paying
+// transfer delay AND cloud egress. The policy compares modelled costs:
+//
+//   hit        cost = 0                                  (always wins)
+//   transcode  cost = transcode.delay_ms(out_kbit)
+//   fetch      cost = fetch_base_ms + out_kbit / fetch_kbps
+//                     + egress_cost_ms_per_kbit × out_kbit
+//
+// The egress term is the knob that makes this *joint*: it prices a kbit of
+// cloud uplink in milliseconds of equivalent player-visible delay, letting
+// an operator bias the node toward spending fog CPU instead of cloud
+// bandwidth. With the term at 0 the policy is purely delay-optimal; the
+// capacity × transcode-cost ablation sweeps both regimes.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/transcoder.h"
+#include "util/types.h"
+
+namespace cloudfog::cache {
+
+/// Where a request ended up being served from.
+enum class ServeSource : std::uint8_t { kCacheHit, kTranscode, kCloudFetch };
+
+const char* to_string(ServeSource source);
+
+struct AdmissionConfig {
+  TranscodeModel transcode{};
+  /// Cloud -> supernode fetch link (the cloud egress being economised).
+  Kbps fetch_kbps = 100'000.0;
+  /// Fixed request overhead of a cloud fetch (control round trip, request
+  /// queuing at the origin).
+  TimeMs fetch_base_ms = 0.5;
+  /// Price of one kbit of cloud egress, in milliseconds of equivalent
+  /// delay — the joint trade-off weight. 0 = delay-optimal only.
+  double egress_cost_ms_per_kbit = 0.0;
+};
+
+class JointAdmissionPolicy {
+ public:
+  struct Decision {
+    ServeSource source = ServeSource::kCloudFetch;
+    TimeMs delay_ms = 0.0;  // player-visible serve delay (egress bias excluded)
+  };
+
+  explicit JointAdmissionPolicy(AdmissionConfig config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Player-visible delay of a transcode producing `out_kbit`.
+  TimeMs transcode_delay_ms(Kbit out_kbit) const {
+    return config_.transcode.delay_ms(out_kbit);
+  }
+  /// Player-visible delay of a cloud fetch of `out_kbit`.
+  TimeMs fetch_delay_ms(Kbit out_kbit) const {
+    return config_.fetch_base_ms + out_kbit / config_.fetch_kbps * 1000.0;
+  }
+  /// Decision cost of a fetch: delay plus the priced egress.
+  TimeMs fetch_cost_ms(Kbit out_kbit) const {
+    return fetch_delay_ms(out_kbit) +
+           config_.egress_cost_ms_per_kbit * out_kbit;
+  }
+
+  /// The three-way decision for a request of `out_kbit`:
+  ///   * exact cached variant        -> kCacheHit, delay 0;
+  ///   * cached ancestor available   -> transcode iff its delay does not
+  ///     exceed the fetch *cost* (delay + priced egress; ties prefer the
+  ///     edge — spending local CPU over cloud bandwidth);
+  ///   * otherwise                   -> kCloudFetch.
+  Decision decide(bool cached_exact, bool cached_ancestor, Kbit out_kbit) const;
+
+ private:
+  AdmissionConfig config_;
+};
+
+}  // namespace cloudfog::cache

@@ -1,0 +1,160 @@
+#include "cache/edge_cache_service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "game/quality.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace cloudfog::cache {
+namespace {
+
+// Hot-counter byte scale: the codebase accounts in kbit, the exported
+// counters in bytes (1 kbit = 125 bytes).
+constexpr double kBytesPerKbit = 125.0;
+
+// The ladder-nominal size of a variant: level bitrate × segment duration.
+// Cache accounting and delay models use this, NOT the per-player encoded
+// size_kbit, so every player requesting the same (game, content, level)
+// agrees on what the cached object weighs.
+Kbit nominal_kbit(const stream::VideoSegment& segment) {
+  const game::QualityLevel& q = game::quality_for_level(segment.quality_level);
+  return q.bitrate_kbps * segment.duration_ms / 1000.0;
+}
+
+}  // namespace
+
+EdgeCacheService::EdgeCacheService(sim::Simulator& sim,
+                                   EdgeCacheServiceConfig config)
+    : config_(config),
+      policy_(config.admission),
+      transcoder_(sim, config.admission.transcode) {
+  CF_CHECK_MSG(config.kbit_per_slot >= 0.0,
+               "per-slot cache capacity must be >= 0");
+}
+
+void EdgeCacheService::add_supernode(NodeId node, int capacity_slots) {
+  CF_CHECK_MSG(node != kInvalidNode, "cache needs a real supernode id");
+  CF_CHECK_MSG(capacity_slots >= 0, "capacity slots must be >= 0");
+  CF_CHECK_MSG(!caches_.contains(node), "supernode already has a cache");
+  caches_.emplace(node,
+                  SegmentCache(config_.kbit_per_slot * capacity_slots));
+}
+
+void EdgeCacheService::remove_supernode(NodeId node) {
+  const auto it = caches_.find(node);
+  CF_CHECK_MSG(it != caches_.end(), "removing a supernode with no cache");
+  const std::size_t cancelled = transcoder_.cancel_owner(node);
+  totals_.cancelled_jobs += cancelled;
+  caches_.erase(it);
+  // Churn contract: nothing of the node survives — its cache entries are
+  // gone with the SegmentCache, and no job it owned can fire later.
+  CF_CHECK_MSG(!caches_.contains(node) && transcoder_.in_flight(node) == 0,
+               "cache state outlived its owning supernode");
+}
+
+const SegmentCache& EdgeCacheService::node_cache(NodeId node) const {
+  const auto it = caches_.find(node);
+  CF_CHECK_MSG(it != caches_.end(), "no cache registered for this supernode");
+  return it->second;
+}
+
+std::uint64_t EdgeCacheService::content_index(
+    const stream::VideoSegment& segment) const {
+  CF_CHECK_MSG(segment.duration_ms > 0.0, "segment needs a positive duration");
+  const auto index = static_cast<std::uint64_t>(
+      std::floor(segment.action_time_ms / segment.duration_ms));
+  if (config_.content_loop_segments == 0) return index;
+  return index % config_.content_loop_segments;
+}
+
+EdgeCacheService::ServeOutcome EdgeCacheService::request(
+    NodeId node, const stream::VideoSegment& segment, DeliverFn deliver) {
+  CF_CHECK_MSG(static_cast<bool>(deliver), "request needs a delivery");
+  const auto it = caches_.find(node);
+  CF_CHECK_MSG(it != caches_.end(), "request on a supernode with no cache");
+  SegmentCache& cache = it->second;
+
+  const std::uint64_t index = content_index(segment);
+  const SegmentKey key{segment.game, index, segment.quality_level};
+  const Kbit out_kbit = nominal_kbit(segment);
+
+  const bool cached_exact = cache.contains(key);
+  const int ancestor =
+      cached_exact ? 0
+                   : cache.best_ancestor_level(segment.game, index,
+                                               segment.quality_level);
+  const JointAdmissionPolicy::Decision decision =
+      policy_.decide(cached_exact, ancestor != 0, out_kbit);
+
+  ServeOutcome outcome;
+  outcome.source = decision.source;
+  outcome.delay_ms = decision.delay_ms;
+  outcome.content_kbit = out_kbit;
+
+  switch (decision.source) {
+    case ServeSource::kCacheHit: {
+      CF_CHECK_MSG(cache.touch(key), "hit decided on an uncached key");
+      totals_.hits += 1;
+      totals_.bytes_edge_kbit += out_kbit;
+      CF_OBS_COUNT_HOT("cache.hits", 1);
+      CF_OBS_COUNT_HOT("cache.bytes_edge",
+                       static_cast<std::uint64_t>(out_kbit * kBytesPerKbit));
+      deliver();
+      break;
+    }
+    case ServeSource::kTranscode: {
+      outcome.transcoded_from = ancestor;
+      const SegmentKey src{segment.game, index, ancestor};
+      CF_CHECK_MSG(cache.touch(src),
+                   "transcode decided without a cached ancestor");
+      // The output variant is admitted when the job completes, but the
+      // decision/accounting happen now — the simulation stays a pure
+      // function of request order either way; admit-on-complete just
+      // mirrors when the bytes exist.
+      totals_.misses += 1;
+      totals_.transcodes += 1;
+      totals_.bytes_edge_kbit += out_kbit;
+      CF_OBS_COUNT_HOT("cache.misses", 1);
+      CF_OBS_COUNT_HOT("cache.transcodes", 1);
+      CF_OBS_COUNT_HOT("cache.bytes_edge",
+                       static_cast<std::uint64_t>(out_kbit * kBytesPerKbit));
+      transcoder_.schedule(
+          node, decision.delay_ms,
+          [this, node, key, out_kbit, deliver = std::move(deliver)] {
+            auto cache_it = caches_.find(node);
+            CF_CHECK_MSG(cache_it != caches_.end(),
+                         "transcode completed on a removed supernode");
+            const std::uint64_t before = cache_it->second.evictions();
+            cache_it->second.insert(key, out_kbit);
+            totals_.evictions += cache_it->second.evictions() - before;
+            deliver();
+          });
+      break;
+    }
+    case ServeSource::kCloudFetch: {
+      totals_.misses += 1;
+      totals_.bytes_cloud_kbit += out_kbit;
+      CF_OBS_COUNT_HOT("cache.misses", 1);
+      CF_OBS_COUNT_HOT("cache.bytes_cloud",
+                       static_cast<std::uint64_t>(out_kbit * kBytesPerKbit));
+      transcoder_.schedule(
+          node, decision.delay_ms,
+          [this, node, key, out_kbit, deliver = std::move(deliver)] {
+            auto cache_it = caches_.find(node);
+            CF_CHECK_MSG(cache_it != caches_.end(),
+                         "fetch completed on a removed supernode");
+            const std::uint64_t before = cache_it->second.evictions();
+            cache_it->second.insert(key, out_kbit);
+            totals_.evictions += cache_it->second.evictions() - before;
+            deliver();
+          });
+      break;
+    }
+  }
+  if (observer_) observer_(node, segment, outcome);
+  return outcome;
+}
+
+}  // namespace cloudfog::cache

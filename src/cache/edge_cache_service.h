@@ -1,0 +1,133 @@
+// The supernode-fleet cache/compute service — DESIGN.md §11.
+//
+// One EdgeCacheService instance per simulation run owns the per-supernode
+// SegmentCache set, the Transcoder (deferred-job scheduler) and the
+// JointAdmissionPolicy, and makes the hit / transcode / fetch decision for
+// every submitted segment:
+//
+//   request(node, segment, deliver)
+//     -> kCacheHit:    deliver() runs inline (no added delay);
+//     -> kTranscode:   deliver() fires after the modelled CPU delay,
+//                      scheduled on the event engine, owned by `node`;
+//     -> kCloudFetch:  deliver() fires after the modelled transfer delay;
+//                      the fetched kbits count as cloud egress.
+//
+// Content addressing: content_index = floor(action_time / duration),
+// optionally folded modulo `content_loop_segments` — the content-reuse
+// model. A loop of N says the game's visible content (scene library, map
+// tiles, spectator feed) revisits an N-segment timeline, which is what an
+// edge cache can exploit; 0 means every segment is unique forever and the
+// cache can only help across co-located same-game players. DESIGN.md §11
+// discusses why this is the honest knob rather than a hidden assumption.
+//
+// Determinism: decisions are pure functions of (cache state, key, ladder);
+// caches/jobs are keyed by node and never iterated; delivery order is
+// event-engine order. A run with the service enabled is bit-identical
+// across repeats and --jobs widths (tests/integration pins this).
+//
+// Churn: remove_supernode cancels the node's in-flight jobs through the
+// slab engine's O(1) cancel and releases its cache; a CF_CHECK enforces
+// that no cache entry outlives its owning supernode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cache/admission.h"
+#include "cache/segment_cache.h"
+#include "cache/transcoder.h"
+#include "sim/simulator.h"
+#include "stream/video.h"
+#include "util/types.h"
+
+namespace cloudfog::cache {
+
+struct EdgeCacheServiceConfig {
+  /// Cache capacity per supernode capacity slot (total = slots × this) —
+  /// capacity proportional to node capacity, like the uplink.
+  double kbit_per_slot = 4'000.0;
+  /// Content-reuse period in segments; 0 = all content unique.
+  std::uint64_t content_loop_segments = 32;
+  AdmissionConfig admission{};
+};
+
+/// Aggregate statistics over the whole fleet (misses = transcodes +
+/// fetches: every request not served by an exact cached variant).
+struct CacheTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t transcodes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t cancelled_jobs = 0;
+  double bytes_edge_kbit = 0.0;   // served without touching the cloud
+  double bytes_cloud_kbit = 0.0;  // fetched over the cloud's uplink
+
+  std::uint64_t fetches() const { return misses - transcodes; }
+};
+
+class EdgeCacheService {
+ public:
+  /// How one request was (or is being) served.
+  struct ServeOutcome {
+    ServeSource source = ServeSource::kCloudFetch;
+    TimeMs delay_ms = 0.0;      // added before the sender sees the segment
+    Kbit content_kbit = 0.0;    // ladder-nominal variant size
+    int transcoded_from = 0;    // ancestor level (kTranscode only)
+  };
+
+  /// Observer of every decision, called synchronously at request time —
+  /// how the streaming harness attributes egress to measurement windows.
+  using ServeObserver =
+      std::function<void(NodeId node, const stream::VideoSegment& segment,
+                         const ServeOutcome& outcome)>;
+  using DeliverFn = std::function<void()>;
+
+  EdgeCacheService(sim::Simulator& sim, EdgeCacheServiceConfig config);
+
+  /// Registers a supernode's cache, sized `capacity_slots × kbit_per_slot`.
+  void add_supernode(NodeId node, int capacity_slots);
+
+  /// Releases a departing supernode: cancels its in-flight jobs (O(1) slab
+  /// cancel each) and frees its cache entries. CF_CHECKed: the node must
+  /// be registered, and nothing of it survives the call.
+  void remove_supernode(NodeId node);
+
+  bool has_supernode(NodeId node) const { return caches_.contains(node); }
+  std::size_t supernode_count() const { return caches_.size(); }
+
+  /// Decides and serves one segment request on `node`. `deliver` runs
+  /// inline for cache hits and after the modelled delay otherwise; it must
+  /// stay valid until it fires or the node is removed.
+  ServeOutcome request(NodeId node, const stream::VideoSegment& segment,
+                       DeliverFn deliver);
+
+  /// Installs/clears the decision observer. Optional: null just disables
+  /// observation; request() null-guards before invoking.
+  void set_serve_observer(ServeObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Fleet-wide counters (cumulative; removal of a node keeps its past
+  /// contribution).
+  const CacheTotals& totals() const { return totals_; }
+
+  const JointAdmissionPolicy& policy() const { return policy_; }
+  const Transcoder& transcoder() const { return transcoder_; }
+  /// Test/diagnostic inspection of one node's cache.
+  const SegmentCache& node_cache(NodeId node) const;
+
+  /// The content timeline index a segment maps to (loop folding applied).
+  std::uint64_t content_index(const stream::VideoSegment& segment) const;
+
+ private:
+  EdgeCacheServiceConfig config_;
+  JointAdmissionPolicy policy_;
+  Transcoder transcoder_;
+  // Keyed by node, never iterated: bucket order cannot reach results.
+  std::unordered_map<NodeId, SegmentCache> caches_;
+  CacheTotals totals_;
+  ServeObserver observer_;
+};
+
+}  // namespace cloudfog::cache

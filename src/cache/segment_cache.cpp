@@ -1,0 +1,127 @@
+#include "cache/segment_cache.h"
+
+#include "game/quality.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace cloudfog::cache {
+
+SegmentCache::SegmentCache(Kbit capacity_kbit) : capacity_kbit_(capacity_kbit) {
+  CF_CHECK_MSG(capacity_kbit >= 0.0, "cache capacity must be non-negative");
+}
+
+bool SegmentCache::contains(const SegmentKey& key) const {
+  return index_.contains(key);
+}
+
+bool SegmentCache::touch(const SegmentKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second != head_) {
+    unlink(it->second);
+    link_front(it->second);
+  }
+  return true;
+}
+
+int SegmentCache::best_ancestor_level(game::GameId game,
+                                      std::uint64_t content_index,
+                                      int level) const {
+  for (int above = level + 1; above <= game::kMaxQualityLevel; ++above) {
+    if (index_.contains(SegmentKey{game, content_index, above})) return above;
+  }
+  return 0;
+}
+
+bool SegmentCache::insert(const SegmentKey& key, Kbit size_kbit) {
+  if (size_kbit <= 0.0 || size_kbit > capacity_kbit_) return false;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: re-account the (possibly changed) size and bump recency.
+    Entry& e = slab_[it->second];
+    used_kbit_ += size_kbit - e.size_kbit;
+    e.size_kbit = size_kbit;
+    if (it->second != head_) {
+      unlink(it->second);
+      link_front(it->second);
+    }
+  } else {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    Entry& e = slab_[slot];
+    e.key = key;
+    e.size_kbit = size_kbit;
+    index_.emplace(key, slot);
+    link_front(slot);
+    used_kbit_ += size_kbit;
+  }
+  while (used_kbit_ > capacity_kbit_) evict_lru();
+  CF_INVARIANT(used_kbit_ <= capacity_kbit_,
+               "cache byte accounting must respect capacity after admission");
+  return true;
+}
+
+bool SegmentCache::erase(const SegmentKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::uint32_t slot = it->second;
+  used_kbit_ -= slab_[slot].size_kbit;
+  unlink(slot);
+  free_slots_.push_back(slot);
+  index_.erase(it);
+  return true;
+}
+
+void SegmentCache::clear() {
+  index_.clear();
+  free_slots_.clear();
+  slab_.clear();
+  head_ = tail_ = kNil;
+  used_kbit_ = 0.0;
+}
+
+std::vector<SegmentKey> SegmentCache::keys_mru_to_lru() const {
+  std::vector<SegmentKey> keys;
+  keys.reserve(index_.size());
+  for (std::uint32_t slot = head_; slot != kNil; slot = slab_[slot].next) {
+    keys.push_back(slab_[slot].key);
+  }
+  return keys;
+}
+
+void SegmentCache::unlink(std::uint32_t slot) {
+  Entry& e = slab_[slot];
+  if (e.prev != kNil) slab_[e.prev].next = e.next;
+  if (e.next != kNil) slab_[e.next].prev = e.prev;
+  if (head_ == slot) head_ = e.next;
+  if (tail_ == slot) tail_ = e.prev;
+  e.prev = e.next = kNil;
+}
+
+void SegmentCache::link_front(std::uint32_t slot) {
+  Entry& e = slab_[slot];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) slab_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void SegmentCache::evict_lru() {
+  CF_CHECK_MSG(tail_ != kNil, "eviction requested from an empty cache");
+  const std::uint32_t victim = tail_;
+  used_kbit_ -= slab_[victim].size_kbit;
+  index_.erase(slab_[victim].key);
+  unlink(victim);
+  free_slots_.push_back(victim);
+  ++evictions_;
+  CF_OBS_COUNT_HOT("cache.evictions", 1);
+}
+
+}  // namespace cloudfog::cache

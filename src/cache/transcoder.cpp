@@ -1,0 +1,68 @@
+#include "cache/transcoder.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudfog::cache {
+
+Transcoder::Transcoder(sim::Simulator& sim, TranscodeModel model)
+    : sim_(sim), model_(model) {
+  CF_CHECK_MSG(model.base_ms >= 0.0, "transcode base cost must be >= 0");
+  CF_CHECK_MSG(model.ms_per_kbit >= 0.0, "transcode rate cost must be >= 0");
+}
+
+sim::EventId Transcoder::schedule(NodeId owner, TimeMs delay_ms, Callback done) {
+  CF_CHECK_MSG(owner != kInvalidNode, "transcode job needs an owning node");
+  CF_CHECK_MSG(delay_ms >= 0.0, "transcode delay must be >= 0");
+  CF_CHECK_MSG(static_cast<bool>(done), "transcode job needs a completion");
+  ++jobs_started_;
+  ++in_flight_total_;
+  // The id is known only after scheduling, but the callback needs it to
+  // deregister itself — fetch it from the shared slot at fire time.
+  auto id_slot = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+  const sim::EventId id = sim_.schedule_after(
+      delay_ms, [this, owner, id_slot, done = std::move(done)] {
+        forget(owner, *id_slot);
+        ++jobs_completed_;
+        --in_flight_total_;
+        done();
+      });
+  *id_slot = id;
+  pending_[owner].push_back(id);
+  return id;
+}
+
+std::size_t Transcoder::cancel_owner(NodeId owner) {
+  const auto it = pending_.find(owner);
+  if (it == pending_.end()) return 0;
+  std::size_t cancelled = 0;
+  for (const sim::EventId id : it->second) {
+    if (sim_.cancel(id)) ++cancelled;
+  }
+  CF_CHECK_MSG(cancelled == it->second.size(),
+               "tracked job list out of sync with the event engine");
+  jobs_cancelled_ += cancelled;
+  in_flight_total_ -= cancelled;
+  pending_.erase(it);
+  return cancelled;
+}
+
+std::size_t Transcoder::in_flight(NodeId owner) const {
+  const auto it = pending_.find(owner);
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+void Transcoder::forget(NodeId owner, sim::EventId id) {
+  const auto it = pending_.find(owner);
+  CF_CHECK_MSG(it != pending_.end(), "completed job has no tracked owner");
+  auto& ids = it->second;
+  const auto pos = std::find(ids.begin(), ids.end(), id);
+  CF_CHECK_MSG(pos != ids.end(), "completed job missing from its owner list");
+  ids.erase(pos);
+  if (ids.empty()) pending_.erase(it);
+}
+
+}  // namespace cloudfog::cache

@@ -1,0 +1,79 @@
+// On-node down-ladder transcoding — DESIGN.md §11.
+//
+// A supernode holding a cached higher-quality variant of a segment can
+// synthesise a lower ladder level locally instead of pulling the variant
+// over the cloud's uplink. The CPU cost is modelled as a sim-time delay
+// proportional to the output size drawn from the quality ladder (bitrate ×
+// duration), plus a fixed per-job setup cost — the same linear shape
+// Stimpack uses to trade server resources against QoE.
+//
+// Jobs (transcodes AND cloud fetches — any deferred cache delivery) are
+// scheduled on the slab event engine and tracked per owning supernode, so
+// a supernode leaving the system cancels every in-flight job it owns via
+// the engine's O(1) generation-tagged cancel. Nothing a departed node
+// started may fire afterwards — the churn contract tests pin this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace cloudfog::cache {
+
+/// Linear CPU-cost model of a down-ladder transcode.
+struct TranscodeModel {
+  TimeMs base_ms = 2.0;             // per-job setup (decode state, context)
+  double ms_per_kbit = 0.01;        // encode throughput, output-size scaled
+
+  /// Modelled sim-time delay to synthesise an output of `out_kbit`.
+  TimeMs delay_ms(Kbit out_kbit) const {
+    return base_ms + ms_per_kbit * out_kbit;
+  }
+};
+
+/// Schedules deferred cache work (transcodes, cloud fetches) on the event
+/// engine with per-owner cancellation.
+class Transcoder {
+ public:
+  using Callback = std::function<void()>;
+
+  Transcoder(sim::Simulator& sim, TranscodeModel model);
+
+  const TranscodeModel& model() const { return model_; }
+
+  /// Runs `done` after `delay_ms` of sim time on behalf of `owner`.
+  /// Returns the engine handle (also tracked internally for cancel_owner).
+  sim::EventId schedule(NodeId owner, TimeMs delay_ms, Callback done);
+
+  /// Cancels every in-flight job of `owner` through the slab engine's O(1)
+  /// cancel; returns how many were still pending.
+  std::size_t cancel_owner(NodeId owner);
+
+  /// Jobs of `owner` still pending.
+  std::size_t in_flight(NodeId owner) const;
+  /// Jobs pending across all owners.
+  std::size_t in_flight_total() const { return in_flight_total_; }
+  std::uint64_t jobs_started() const { return jobs_started_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  std::uint64_t jobs_cancelled() const { return jobs_cancelled_; }
+
+ private:
+  void forget(NodeId owner, sim::EventId id);
+
+  sim::Simulator& sim_;
+  TranscodeModel model_;
+  // Owner -> pending engine handles, insertion-ordered. Only ever accessed
+  // by key (never iterated), so the unordered map cannot leak bucket order
+  // into results.
+  std::unordered_map<NodeId, std::vector<sim::EventId>> pending_;
+  std::size_t in_flight_total_ = 0;
+  std::uint64_t jobs_started_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_cancelled_ = 0;
+};
+
+}  // namespace cloudfog::cache

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/edge_cache_service.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -11,6 +12,12 @@ SupernodeManager::SupernodeManager(const net::Topology& topology,
                                    SupernodeManagerConfig config, util::Rng rng)
     : topology_(topology), config_(config), rng_(rng) {
   CF_CHECK_MSG(config.candidate_count >= 1, "need at least one candidate");
+}
+
+void SupernodeManager::attach_cache(cache::EdgeCacheService* service) {
+  CF_CHECK_MSG(records_.empty(),
+               "attach the cache service before registering supernodes");
+  cache_ = service;
 }
 
 void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps) {
@@ -24,6 +31,7 @@ void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps
   records_.emplace(host, rec);
   roster_.push_back(host);
   grid_.insert(host, topology_.host(host).position);
+  if (cache_ != nullptr) cache_->add_supernode(host, capacity);
   CF_INVARIANT(records_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
 }
@@ -37,6 +45,13 @@ void SupernodeManager::remove_supernode(NodeId host) {
   records_.erase(it);
   grid_.remove(host);
   roster_.erase(std::remove(roster_.begin(), roster_.end(), host), roster_.end());
+  if (cache_ != nullptr) {
+    // Departing node: its cache entries are freed and its in-flight
+    // transcode/fetch jobs cancelled through the engine's O(1) cancel.
+    cache_->remove_supernode(host);
+    CF_CHECK_MSG(!cache_->has_supernode(host),
+                 "cache entries outlived their departing supernode");
+  }
   CF_INVARIANT(records_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
 }

@@ -24,6 +24,10 @@
 #include "util/rng.h"
 #include "util/types.h"
 
+namespace cloudfog::cache {
+class EdgeCacheService;
+}
+
 namespace cloudfog::core {
 
 /// Cloud-side record of one supernode.
@@ -67,15 +71,25 @@ class SupernodeManager {
   SupernodeManager(const net::Topology& topology, SupernodeManagerConfig config,
                    util::Rng rng);
 
+  /// Couples the directory to the segment-cache service: supernodes added
+  /// after this call get a cache sized to their capacity, and departing
+  /// supernodes release their cache state (entries freed, in-flight
+  /// transcode/fetch jobs cancelled). Attach before any supernode is
+  /// registered; the service must outlive this manager. Null detaches.
+  void attach_cache(cache::EdgeCacheService* service);
+
   /// Registers a supernode (idempotent-checked: a host may register once).
   /// `host` must be a host of the topology — its coordinates feed the
-  /// spatial index.
+  /// spatial index. With a cache service attached, also provisions the
+  /// node's segment cache (capacity slots x kbit_per_slot).
   void add_supernode(NodeId host, int capacity, Kbps upload_kbps);
 
   /// Deregisters a supernode (paper: supernodes notify the central server
   /// before leaving). The caller must have reassigned (released) its
   /// players first — removing a supernode with assigned > 0 would strand
-  /// session-layer slots, so it is checked.
+  /// session-layer slots, so it is checked. With a cache service attached,
+  /// the node's cache state is released with it: entries freed, in-flight
+  /// jobs cancelled — CF_CHECKed so no cache entry outlives its supernode.
   void remove_supernode(NodeId host);
 
   bool is_supernode(NodeId host) const;
@@ -111,6 +125,7 @@ class SupernodeManager {
 
   const net::Topology& topology_;
   SupernodeManagerConfig config_;
+  cache::EdgeCacheService* cache_ = nullptr;  // optional, not owned
   util::Rng rng_;
   std::unordered_map<NodeId, SupernodeRecord> records_;
   std::vector<NodeId> roster_;  // insertion-ordered ids for determinism

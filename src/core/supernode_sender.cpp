@@ -1,5 +1,6 @@
 #include "core/supernode_sender.h"
 
+#include "cache/edge_cache_service.h"
 #include "util/check.h"
 
 namespace cloudfog::core {
@@ -23,6 +24,29 @@ SupernodeSender::SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps,
 
 void SupernodeSender::submit(const stream::VideoSegment& segment) {
   CF_CHECK_MSG(segment.size_kbit > 0.0, "segment size must be positive");
+  if (cache_service_ != nullptr) {
+    // Source the content first; the segment joins the uplink queue when it
+    // exists locally (immediately on a hit, after the modelled delay for a
+    // transcode or cloud fetch).
+    cache_service_->request(cache_self_, segment,
+                            [this, segment] { enqueue_ready(segment); });
+    return;
+  }
+  enqueue_ready(segment);
+}
+
+void SupernodeSender::attach_segment_cache(cache::EdgeCacheService* service,
+                                           NodeId self) {
+  CF_CHECK_MSG(service != nullptr, "attach needs a cache service");
+  CF_CHECK_MSG(service->has_supernode(self),
+               "this supernode is not registered with the cache service");
+  CF_CHECK_MSG(packets_submitted_ == 0,
+               "attach the cache before the first submit");
+  cache_service_ = service;
+  cache_self_ = self;
+}
+
+void SupernodeSender::enqueue_ready(const stream::VideoSegment& segment) {
   packets_submitted_ +=
       static_cast<std::uint64_t>(stream::packet_count(segment.size_kbit));
   if (discipline_ == Discipline::kDeadline) {

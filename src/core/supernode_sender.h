@@ -23,6 +23,10 @@
 #include "util/rng.h"
 #include "util/types.h"
 
+namespace cloudfog::cache {
+class EdgeCacheService;
+}
+
 namespace cloudfog::core {
 
 /// Report of one packet leaving the supernode and reaching the player.
@@ -61,9 +65,17 @@ class SupernodeSender {
                   PropagationFn propagation, DeliveryFn on_delivery,
                   util::Rng rng);
 
-  /// Accepts a rendered segment at simulator time. Under kDeadline the
+  /// Accepts a rendered segment at simulator time. With a segment cache
+  /// attached the segment is first *sourced* (cache hit / local transcode /
+  /// cloud fetch) and enters the uplink queue once the content is available
+  /// locally; without one it enqueues immediately. Under kDeadline the
   /// scheduler may drop packets of this or earlier segments per Eq (14).
   void submit(const stream::VideoSegment& segment);
+
+  /// Routes future submissions through the supernode segment cache on
+  /// behalf of supernode `self`. Attach before the first submit; the
+  /// service must be registered for `self` and outlive this sender.
+  void attach_segment_cache(cache::EdgeCacheService* service, NodeId self);
 
   /// Installs a per-player WAN bottleneck. Call before the first submit.
   /// Optional: null means "no cap", and pump() null-guards before sampling.
@@ -101,6 +113,8 @@ class SupernodeSender {
     TimeMs action_ms;
   };
 
+  /// Enqueues a segment whose content is locally available (post-cache).
+  void enqueue_ready(const stream::VideoSegment& segment);
   /// Starts transmitting the next packet if the uplink is idle.
   void pump();
   void on_transmit_done(const FifoPacket& item);
@@ -114,6 +128,8 @@ class SupernodeSender {
   RateCapFn rate_cap_;
   LossFn loss_;
   DeliveryFn on_delivery_;
+  cache::EdgeCacheService* cache_service_ = nullptr;  // optional, not owned
+  NodeId cache_self_ = kInvalidNode;  // this supernode's id in the service
   util::Rng rng_;
   bool transmitting_ = false;
   std::uint64_t packets_sent_ = 0;

@@ -43,6 +43,27 @@ struct ScenarioParams {
   /// design targets). 0 disables the cap.
   Kbit tcp_window_kbit = 256.0;
 
+  // --- supernode segment cache (DESIGN.md §11) -----------------------------
+  /// Enables the supernode segment-cache + transcoding subsystem. With the
+  /// flag off every existing output is byte-identical to the legacy model —
+  /// the cache-off run is the oracle path, like use_spatial_index.
+  bool use_segment_cache = false;
+  /// Cache capacity per supernode capacity slot (kbit); total capacity is
+  /// slots x this. 0 keeps the subsystem engaged but admits nothing — the
+  /// ablation's fetch-everything baseline.
+  double cache_kbit_per_slot = 4'000.0;
+  /// Content-reuse period in segments (0 = every segment unique forever).
+  std::uint64_t cache_content_loop_segments = 24;
+  /// Cloud -> supernode fetch link and fixed request overhead.
+  Kbps cache_fetch_kbps = 100'000.0;
+  TimeMs cache_fetch_base_ms = 0.5;
+  /// Linear transcode CPU-cost model (see cache::TranscodeModel).
+  TimeMs cache_transcode_base_ms = 2.0;
+  double cache_transcode_ms_per_kbit = 0.01;
+  /// Price of a kbit of cloud egress in equivalent delay-ms — the joint
+  /// admission trade-off weight (0 = delay-optimal only).
+  double cache_egress_cost_ms_per_kbit = 0.05;
+
   // --- pipeline timing ------------------------------------------------------
   TimeMs compute_ms = 4.0;  // game-state computation at the cloud
   TimeMs render_ms = 4.0;   // video rendering (cloud, edge or supernode)

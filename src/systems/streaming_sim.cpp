@@ -56,6 +56,7 @@ class StreamingRun {
 
  private:
   void setup_players();
+  void setup_cache();
   void setup_senders();
   void start_segment_ticks();
   void on_action(std::size_t slot);
@@ -74,6 +75,9 @@ class StreamingRun {
   StreamingOptions options_;
 
   sim::Simulator sim_;
+  // Declared after sim_ (destroyed first): pending cache events may still
+  // reference the service when the run tears down.
+  std::optional<cache::EdgeCacheService> cache_;
   util::Rng jitter_rng_{0};
   stream::SegmentFactory factory_;
   metrics::QoECollector qoe_;
@@ -139,6 +143,30 @@ void StreamingRun::setup_players() {
   }
 }
 
+void StreamingRun::setup_cache() {
+  const ScenarioParams& params = scenario_.params();
+  if (!params.use_segment_cache) return;
+  cache::EdgeCacheServiceConfig cfg;
+  cfg.kbit_per_slot = params.cache_kbit_per_slot;
+  cfg.content_loop_segments = params.cache_content_loop_segments;
+  cfg.admission.transcode.base_ms = params.cache_transcode_base_ms;
+  cfg.admission.transcode.ms_per_kbit = params.cache_transcode_ms_per_kbit;
+  cfg.admission.fetch_kbps = params.cache_fetch_kbps;
+  cfg.admission.fetch_base_ms = params.cache_fetch_base_ms;
+  cfg.admission.egress_cost_ms_per_kbit = params.cache_egress_cost_ms_per_kbit;
+  cache_.emplace(sim_, cfg);
+  // Cloud-egress attribution: every variant fetched inside the measurement
+  // window crosses the cloud's uplink, like datacenter-served segments.
+  cache_->set_serve_observer(
+      [this](NodeId, const stream::VideoSegment& seg,
+             const cache::EdgeCacheService::ServeOutcome& outcome) {
+        if (outcome.source == cache::ServeSource::kCloudFetch &&
+            in_window(seg.action_time_ms)) {
+          cloud_kbit_ += outcome.content_kbit;
+        }
+      });
+}
+
 void StreamingRun::setup_senders() {
   const ScenarioParams& params = scenario_.params();
   // Count players per shared server for fair-share computation.
@@ -173,11 +201,16 @@ void StreamingRun::setup_senders() {
         // Identify the supernode's population index for its uplink size.
         // assignment guarantees the server host belongs to a selected SN.
         Kbps uplink = params.supernode_kbps_per_slot;
+        int slots = 1;
         for (std::size_t sn : scenario_.supernode_players()) {
           if (scenario_.player_host(sn) == server) {
             uplink = scenario_.supernode_uplink_kbps(sn);
+            slots = scenario_.supernode_capacity(sn);
             break;
           }
+        }
+        if (cache_ && !cache_->has_supernode(server)) {
+          cache_->add_supernode(server, slots);
         }
         if (uses_scheduling(kind_)) {
           if (!packet_.contains(server)) {
@@ -215,6 +248,7 @@ void StreamingRun::setup_senders() {
                 trackers_.erase(it);
               }
             });
+            if (cache_) sender->attach_segment_cache(&*cache_, server);
             packet_.emplace(server, std::move(sender));
           }
         } else {
@@ -290,7 +324,12 @@ void StreamingRun::enqueue_segment(std::size_t slot, TimeMs t0) {
     }
   }
   if (ps.assignment.type == ServerType::kSupernode && uses_scheduling(kind_)) {
-    submit_packet(slot, seg);
+    submit_packet(slot, seg);  // the packet sender routes through the cache
+  } else if (ps.assignment.type == ServerType::kSupernode && cache_) {
+    // Fluid supernode senders have no cache hook: source the content here,
+    // then enqueue once it is locally available.
+    cache_->request(ps.assignment.server, seg,
+                    [this, slot, seg] { submit_fluid(slot, seg); });
   } else {
     submit_fluid(slot, seg);
   }
@@ -405,6 +444,7 @@ StreamingResult StreamingRun::run() {
   {
     CF_TIMED_SCOPE("timers.systems.setup");
     setup_players();
+    setup_cache();
     setup_senders();
     start_segment_ticks();
   }
@@ -452,6 +492,7 @@ StreamingResult StreamingRun::run() {
   }
   result.supernode_supported = sn_served;
   result.edge_supported = edge_served;
+  if (cache_) result.cache = cache_->totals();
 
   // Per-game QoE breakdown.
   std::array<double, 5> continuity_sum{};

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/edge_cache_service.h"
 #include "core/cloudfog_config.h"
 #include "exec/run_executor.h"
 #include "systems/assignment.h"
@@ -66,6 +67,10 @@ struct StreamingResult {
   std::array<std::size_t, 5> players_by_game{};
   std::array<double, 5> continuity_by_game{};
   std::array<double, 5> satisfied_by_game{};
+
+  /// Segment-cache subsystem counters (all zero with use_segment_cache
+  /// off); bytes_cloud_kbit is the egress the ablation economises.
+  cache::CacheTotals cache;
 };
 
 /// Runs one streaming simulation of `kind` over the scenario.

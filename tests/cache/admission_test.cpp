@@ -1,0 +1,112 @@
+// JointAdmissionPolicy unit tests: the three-way hit/transcode/fetch
+// decision, its boundaries, and the egress-price flip that makes the
+// policy joint rather than delay-only.
+#include "cache/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cloudfog::cache {
+namespace {
+
+AdmissionConfig config(double transcode_base, double transcode_per_kbit,
+                       double fetch_kbps, double fetch_base,
+                       double egress_price) {
+  AdmissionConfig cfg;
+  cfg.transcode.base_ms = transcode_base;
+  cfg.transcode.ms_per_kbit = transcode_per_kbit;
+  cfg.fetch_kbps = fetch_kbps;
+  cfg.fetch_base_ms = fetch_base;
+  cfg.egress_cost_ms_per_kbit = egress_price;
+  return cfg;
+}
+
+TEST(AdmissionTest, ExactHitAlwaysWins) {
+  // Even with an absurdly cheap fetch, a cached exact variant is free.
+  JointAdmissionPolicy policy(config(0.0, 0.0, 1e9, 0.0, 0.0));
+  const auto d = policy.decide(/*cached_exact=*/true, /*cached_ancestor=*/true,
+                               100.0);
+  EXPECT_EQ(d.source, ServeSource::kCacheHit);
+  EXPECT_DOUBLE_EQ(d.delay_ms, 0.0);
+}
+
+TEST(AdmissionTest, NoAncestorMeansFetch) {
+  JointAdmissionPolicy policy(config(0.0, 0.0, 100'000.0, 0.5, 10.0));
+  const auto d = policy.decide(false, false, 100.0);
+  EXPECT_EQ(d.source, ServeSource::kCloudFetch);
+  EXPECT_DOUBLE_EQ(d.delay_ms, 0.5 + 100.0 / 100'000.0 * 1000.0);
+}
+
+TEST(AdmissionTest, CheapTranscodeBeatsFetch) {
+  // transcode = 1 ms; fetch = 0.5 + 1 = 1.5 ms (no egress price needed).
+  JointAdmissionPolicy policy(config(1.0, 0.0, 100'000.0, 0.5, 0.0));
+  const auto d = policy.decide(false, true, 100.0);
+  EXPECT_EQ(d.source, ServeSource::kTranscode);
+  EXPECT_DOUBLE_EQ(d.delay_ms, 1.0);
+}
+
+TEST(AdmissionTest, CostlyTranscodeLosesToFetchWhenEgressIsFree) {
+  // transcode = 5 ms; fetch = 1.5 ms and egress costs nothing.
+  JointAdmissionPolicy policy(config(5.0, 0.0, 100'000.0, 0.5, 0.0));
+  const auto d = policy.decide(false, true, 100.0);
+  EXPECT_EQ(d.source, ServeSource::kCloudFetch);
+}
+
+TEST(AdmissionTest, EgressPriceFlipsTheDecision) {
+  // Same 5 ms transcode, but each of the 100 fetched kbit now costs
+  // 0.05 ms of priced egress: fetch cost = 1.5 + 5.0 = 6.5 > 5.0.
+  JointAdmissionPolicy policy(config(5.0, 0.0, 100'000.0, 0.5, 0.05));
+  const auto d = policy.decide(false, true, 100.0);
+  EXPECT_EQ(d.source, ServeSource::kTranscode);
+  // The *player-visible* delay is the transcode time; the egress price is
+  // a decision weight, not a latency.
+  EXPECT_DOUBLE_EQ(d.delay_ms, 5.0);
+}
+
+TEST(AdmissionTest, ExactCostTiePrefersTheEdge) {
+  // transcode = 1.5 ms == fetch cost = 0.5 + 1.0 + 0.0: spend fog CPU,
+  // not cloud bandwidth.
+  JointAdmissionPolicy policy(config(1.5, 0.0, 100'000.0, 0.5, 0.0));
+  const auto d = policy.decide(false, true, 100.0);
+  EXPECT_EQ(d.source, ServeSource::kTranscode);
+}
+
+TEST(AdmissionTest, SizeScalesBothSides) {
+  // Per-kbit transcode cost vs per-kbit egress price: small outputs
+  // transcode, large outputs fetch (transcode grows faster here).
+  JointAdmissionPolicy policy(config(0.0, 0.1, 1e9, 1.0, 0.01));
+  EXPECT_EQ(policy.decide(false, true, 10.0).source, ServeSource::kTranscode);
+  EXPECT_EQ(policy.decide(false, true, 100.0).source,
+            ServeSource::kCloudFetch);
+}
+
+TEST(AdmissionTest, DelayHelpersMatchTheModel) {
+  JointAdmissionPolicy policy(config(2.0, 0.01, 50'000.0, 0.5, 0.05));
+  EXPECT_DOUBLE_EQ(policy.transcode_delay_ms(100.0), 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(policy.fetch_delay_ms(100.0), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(policy.fetch_cost_ms(100.0), 0.5 + 2.0 + 5.0);
+}
+
+TEST(AdmissionTest, InvalidConfigRejected) {
+  EXPECT_THROW(JointAdmissionPolicy(config(2.0, 0.01, 0.0, 0.5, 0.0)),
+               std::logic_error);
+  EXPECT_THROW(JointAdmissionPolicy(config(2.0, 0.01, 1000.0, -1.0, 0.0)),
+               std::logic_error);
+  EXPECT_THROW(JointAdmissionPolicy(config(2.0, 0.01, 1000.0, 0.5, -0.1)),
+               std::logic_error);
+}
+
+TEST(AdmissionTest, NonPositiveSizeRejected) {
+  JointAdmissionPolicy policy(config(2.0, 0.01, 1000.0, 0.5, 0.0));
+  EXPECT_THROW(policy.decide(false, false, 0.0), std::logic_error);
+}
+
+TEST(AdmissionTest, ServeSourceNames) {
+  EXPECT_STREQ(to_string(ServeSource::kCacheHit), "hit");
+  EXPECT_STREQ(to_string(ServeSource::kTranscode), "transcode");
+  EXPECT_STREQ(to_string(ServeSource::kCloudFetch), "fetch");
+}
+
+}  // namespace
+}  // namespace cloudfog::cache

@@ -1,0 +1,215 @@
+// EdgeCacheService tests: the joint hit/transcode/fetch serving flow,
+// content-loop addressing, per-fleet accounting, and the churn contract
+// (a departing supernode releases its cache and cancels its jobs).
+#include "cache/edge_cache_service.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stream/video.h"
+
+namespace cloudfog::cache {
+namespace {
+
+// A level-3 (800 kbps) segment covering 100 ms => 80 kbit nominal variant.
+stream::VideoSegment segment(int level, TimeMs action_ms,
+                             game::GameId game = 0) {
+  stream::VideoSegment seg;
+  seg.id = 1;
+  seg.player = 500;
+  seg.game = game;
+  seg.quality_level = level;
+  seg.duration_ms = 100.0;
+  seg.size_kbit = 77.0;  // per-player VBR size; the cache must ignore it
+  seg.action_time_ms = action_ms;
+  seg.deadline_ms = action_ms + 70.0;
+  return seg;
+}
+
+EdgeCacheServiceConfig config(double kbit_per_slot,
+                              double egress_price = 0.05) {
+  EdgeCacheServiceConfig cfg;
+  cfg.kbit_per_slot = kbit_per_slot;
+  cfg.content_loop_segments = 10;
+  cfg.admission.egress_cost_ms_per_kbit = egress_price;
+  return cfg;
+}
+
+TEST(EdgeCacheServiceTest, FirstRequestFetchesSecondHits) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+
+  int delivered = 0;
+  const auto first = service.request(1, segment(3, 0.0), [&] { ++delivered; });
+  EXPECT_EQ(first.source, ServeSource::kCloudFetch);
+  EXPECT_DOUBLE_EQ(first.content_kbit, 80.0);  // 800 kbps x 100 ms, not 77
+  EXPECT_EQ(delivered, 0);  // fetch is deferred by the modelled delay
+  sim.run_until(10.0);
+  EXPECT_EQ(delivered, 1);
+
+  // Same content index (action 30 ms -> index 0): exact hit, inline.
+  const auto second = service.request(1, segment(3, 30.0), [&] { ++delivered; });
+  EXPECT_EQ(second.source, ServeSource::kCacheHit);
+  EXPECT_DOUBLE_EQ(second.delay_ms, 0.0);
+  EXPECT_EQ(delivered, 2);
+
+  EXPECT_EQ(service.totals().hits, 1u);
+  EXPECT_EQ(service.totals().misses, 1u);
+  EXPECT_EQ(service.totals().fetches(), 1u);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit, 80.0);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_edge_kbit, 80.0);
+}
+
+TEST(EdgeCacheServiceTest, ContentLoopFoldsTheTimeline) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  // duration 100 ms, loop 10 segments => the timeline repeats every 1 s.
+  EXPECT_EQ(service.content_index(segment(3, 0.0)), 0u);
+  EXPECT_EQ(service.content_index(segment(3, 250.0)), 2u);
+  EXPECT_EQ(service.content_index(segment(3, 1'250.0)), 2u);  // wrapped
+}
+
+TEST(EdgeCacheServiceTest, DownLadderTranscodeFromCachedAncestor) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(10'000.0));
+  service.add_supernode(1, 1);
+
+  int delivered = 0;
+  // Seed the level-5 variant (fetch), then ask for level 3 of the same
+  // content: with the egress price on, transcode (2 + 0.01x80 = 2.8 ms)
+  // beats fetch cost (0.5 + 0.8 + 0.05x80 = 5.3 ms).
+  service.request(1, segment(5, 0.0), [&] { ++delivered; });
+  sim.run_until(10.0);
+  const auto down = service.request(1, segment(3, 10.0), [&] { ++delivered; });
+  EXPECT_EQ(down.source, ServeSource::kTranscode);
+  EXPECT_EQ(down.transcoded_from, 5);
+  EXPECT_DOUBLE_EQ(down.delay_ms, 2.0 + 0.01 * 80.0);
+  EXPECT_EQ(delivered, 1);  // transcode still in flight
+  sim.run_until(20.0);
+  EXPECT_EQ(delivered, 2);
+
+  // The transcoded variant was admitted: a repeat is now an exact hit.
+  const auto again = service.request(1, segment(3, 20.0), [&] { ++delivered; });
+  EXPECT_EQ(again.source, ServeSource::kCacheHit);
+  EXPECT_EQ(service.totals().transcodes, 1u);
+  // Only the level-5 seed crossed the cloud uplink.
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit,
+                   1'800.0 * 100.0 / 1'000.0);
+}
+
+TEST(EdgeCacheServiceTest, FreeEgressMakesCostlyTranscodeFetchInstead) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(10'000.0, /*egress_price=*/0.0));
+  service.add_supernode(1, 1);
+  int delivered = 0;
+  service.request(1, segment(5, 0.0), [&] { ++delivered; });
+  sim.run_until(10.0);
+  // transcode 2.8 ms > fetch 0.5 + 0.8 = 1.3 ms and egress is free.
+  const auto down = service.request(1, segment(3, 10.0), [&] { ++delivered; });
+  EXPECT_EQ(down.source, ServeSource::kCloudFetch);
+  EXPECT_EQ(service.totals().transcodes, 0u);
+}
+
+TEST(EdgeCacheServiceTest, ZeroCapacityFetchesEverything) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(0.0));
+  service.add_supernode(1, 3);
+  int delivered = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto out =
+        service.request(1, segment(3, 30.0 * i), [&] { ++delivered; });
+    EXPECT_EQ(out.source, ServeSource::kCloudFetch);
+  }
+  sim.run_until(100.0);
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(service.totals().hits, 0u);
+  EXPECT_EQ(service.totals().misses, 4u);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit, 4 * 80.0);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_edge_kbit, 0.0);
+}
+
+TEST(EdgeCacheServiceTest, CachesArePerSupernode) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  service.add_supernode(2, 1);
+  int delivered = 0;
+  service.request(1, segment(3, 0.0), [&] { ++delivered; });
+  sim.run_until(10.0);
+  // Node 2 shares nothing with node 1: same content still misses there.
+  const auto other = service.request(2, segment(3, 10.0), [&] { ++delivered; });
+  EXPECT_EQ(other.source, ServeSource::kCloudFetch);
+  EXPECT_EQ(service.node_cache(1).entry_count(), 1u);
+  EXPECT_EQ(service.node_cache(2).entry_count(), 0u);
+}
+
+TEST(EdgeCacheServiceTest, RemoveSupernodeCancelsInFlightJobs) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  int delivered = 0;
+  service.request(1, segment(3, 0.0), [&] { ++delivered; });
+  ASSERT_EQ(service.transcoder().in_flight(1), 1u);
+
+  service.remove_supernode(1);
+  EXPECT_FALSE(service.has_supernode(1));
+  EXPECT_EQ(service.transcoder().in_flight(1), 0u);
+  EXPECT_EQ(service.totals().cancelled_jobs, 1u);
+  sim.run_until(100.0);
+  // The departed node's fetch never completes a delivery.
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(EdgeCacheServiceTest, RemovedNodeStateIsGone) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  service.remove_supernode(1);
+  EXPECT_THROW(service.node_cache(1), std::logic_error);
+  EXPECT_THROW(service.request(1, segment(3, 0.0), [] {}), std::logic_error);
+  EXPECT_THROW(service.remove_supernode(1), std::logic_error);
+  // Re-registration after churn is legal (a node may come back).
+  service.add_supernode(1, 2);
+  EXPECT_TRUE(service.has_supernode(1));
+}
+
+TEST(EdgeCacheServiceTest, DuplicateRegistrationRejected) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  EXPECT_THROW(service.add_supernode(1, 1), std::logic_error);
+}
+
+TEST(EdgeCacheServiceTest, ObserverSeesEveryDecision) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  std::vector<ServeSource> seen;
+  service.set_serve_observer(
+      [&](NodeId node, const stream::VideoSegment&,
+          const EdgeCacheService::ServeOutcome& outcome) {
+        EXPECT_EQ(node, 1);
+        seen.push_back(outcome.source);
+      });
+  service.request(1, segment(3, 0.0), [] {});
+  sim.run_until(10.0);
+  service.request(1, segment(3, 10.0), [] {});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], ServeSource::kCloudFetch);
+  EXPECT_EQ(seen[1], ServeSource::kCacheHit);
+}
+
+TEST(EdgeCacheServiceTest, CapacityScalesWithSlots) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(500.0));
+  service.add_supernode(1, 4);
+  EXPECT_DOUBLE_EQ(service.node_cache(1).capacity_kbit(), 2'000.0);
+}
+
+}  // namespace
+}  // namespace cloudfog::cache

@@ -1,0 +1,247 @@
+// SegmentCache unit tests: LRU mechanics, byte accounting, and — the main
+// event — a randomized oracle comparing the intrusive-list implementation
+// against a naive reference on every operation of long random sequences.
+#include "cache/segment_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cloudfog::cache {
+namespace {
+
+SegmentKey key(std::int64_t game, std::int64_t index, std::int64_t level) {
+  return SegmentKey{static_cast<game::GameId>(game),
+                    static_cast<std::uint64_t>(index), static_cast<int>(level)};
+}
+
+TEST(SegmentCacheTest, InsertThenContains) {
+  SegmentCache cache(100.0);
+  EXPECT_FALSE(cache.contains(key(0, 1, 3)));
+  EXPECT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  EXPECT_TRUE(cache.contains(key(0, 1, 3)));
+  EXPECT_DOUBLE_EQ(cache.used_kbit(), 40.0);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(SegmentCacheTest, ZeroCapacityNeverAdmits) {
+  SegmentCache cache(0.0);
+  EXPECT_FALSE(cache.insert(key(0, 1, 3), 1.0));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SegmentCacheTest, OversizedInsertRejectedWithoutEvicting) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 60.0));
+  EXPECT_FALSE(cache.insert(key(0, 2, 3), 150.0));
+  // The resident entry must have survived the rejected admission.
+  EXPECT_TRUE(cache.contains(key(0, 1, 3)));
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SegmentCacheTest, NonPositiveSizeRejected) {
+  SegmentCache cache(100.0);
+  EXPECT_FALSE(cache.insert(key(0, 1, 3), 0.0));
+  EXPECT_FALSE(cache.insert(key(0, 1, 3), -5.0));
+}
+
+TEST(SegmentCacheTest, EvictsLeastRecentlyUsedFirst) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  ASSERT_TRUE(cache.insert(key(0, 2, 3), 40.0));
+  // Touch the older entry: 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.touch(key(0, 1, 3)));
+  ASSERT_TRUE(cache.insert(key(0, 3, 3), 40.0));
+  EXPECT_TRUE(cache.contains(key(0, 1, 3)));
+  EXPECT_FALSE(cache.contains(key(0, 2, 3)));
+  EXPECT_TRUE(cache.contains(key(0, 3, 3)));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(SegmentCacheTest, ReinsertRefreshesRecencyAndSize) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  ASSERT_TRUE(cache.insert(key(0, 2, 3), 40.0));
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 20.0));  // refresh, shrink
+  EXPECT_DOUBLE_EQ(cache.used_kbit(), 60.0);
+  const auto order = cache.keys_mru_to_lru();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], key(0, 1, 3));
+  EXPECT_EQ(order[1], key(0, 2, 3));
+}
+
+TEST(SegmentCacheTest, ContainsDoesNotTouchRecency) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  ASSERT_TRUE(cache.insert(key(0, 2, 3), 40.0));
+  // A contains() probe of the LRU entry must not rescue it.
+  EXPECT_TRUE(cache.contains(key(0, 1, 3)));
+  ASSERT_TRUE(cache.insert(key(0, 3, 3), 40.0));
+  EXPECT_FALSE(cache.contains(key(0, 1, 3)));
+}
+
+TEST(SegmentCacheTest, EraseFreesBytes) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  EXPECT_TRUE(cache.erase(key(0, 1, 3)));
+  EXPECT_FALSE(cache.erase(key(0, 1, 3)));
+  EXPECT_DOUBLE_EQ(cache.used_kbit(), 0.0);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // Erase is not an eviction.
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SegmentCacheTest, ClearKeepsCapacity) {
+  SegmentCache cache(100.0);
+  ASSERT_TRUE(cache.insert(key(0, 1, 3), 40.0));
+  ASSERT_TRUE(cache.insert(key(0, 2, 3), 40.0));
+  cache.clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_DOUBLE_EQ(cache.used_kbit(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.capacity_kbit(), 100.0);
+  EXPECT_TRUE(cache.insert(key(0, 3, 3), 90.0));
+}
+
+TEST(SegmentCacheTest, BestAncestorFindsNearestHigherLevel) {
+  SegmentCache cache(1'000.0);
+  ASSERT_TRUE(cache.insert(key(0, 7, 5), 100.0));
+  ASSERT_TRUE(cache.insert(key(0, 7, 3), 60.0));
+  ASSERT_TRUE(cache.insert(key(1, 7, 4), 80.0));  // other game: invisible
+  EXPECT_EQ(cache.best_ancestor_level(0, 7, 2), 3);  // nearest above 2
+  EXPECT_EQ(cache.best_ancestor_level(0, 7, 3), 5);  // strictly above
+  EXPECT_EQ(cache.best_ancestor_level(0, 7, 5), 0);  // nothing above 5
+  EXPECT_EQ(cache.best_ancestor_level(0, 8, 2), 0);  // other content index
+}
+
+// --- randomized oracle ------------------------------------------------------
+//
+// Naive reference: an std::list ordered MRU-first with linear lookup. Every
+// mutation the real cache supports is mirrored here, and after each step the
+// full observable state (order, bytes, evictions) must match exactly.
+class NaiveLru {
+ public:
+  explicit NaiveLru(Kbit capacity) : capacity_(capacity) {}
+
+  bool contains(const SegmentKey& k) const { return find(k) != entries_.end(); }
+
+  bool touch(const SegmentKey& k) {
+    auto it = find(k);
+    if (it == entries_.end()) return false;
+    entries_.splice(entries_.begin(), entries_, it);
+    return true;
+  }
+
+  bool insert(const SegmentKey& k, Kbit size) {
+    if (size <= 0.0 || size > capacity_) return false;
+    auto it = find(k);
+    if (it != entries_.end()) {
+      used_ -= it->second;
+      entries_.erase(it);
+    }
+    while (used_ + size > capacity_) {
+      used_ -= entries_.back().second;
+      entries_.pop_back();
+      ++evictions_;
+    }
+    entries_.emplace_front(k, size);
+    used_ += size;
+    return true;
+  }
+
+  bool erase(const SegmentKey& k) {
+    auto it = find(k);
+    if (it == entries_.end()) return false;
+    used_ -= it->second;
+    entries_.erase(it);
+    return true;
+  }
+
+  int best_ancestor_level(game::GameId game, std::uint64_t index,
+                          int level) const {
+    int best = 0;
+    for (const auto& [k, size] : entries_) {
+      if (k.game == game && k.content_index == index && k.level > level &&
+          (best == 0 || k.level < best)) {
+        best = k.level;
+      }
+    }
+    return best;
+  }
+
+  std::vector<SegmentKey> keys_mru_to_lru() const {
+    std::vector<SegmentKey> out;
+    for (const auto& [k, size] : entries_) out.push_back(k);
+    return out;
+  }
+
+  Kbit used() const { return used_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::list<std::pair<SegmentKey, Kbit>>::const_iterator find(
+      const SegmentKey& k) const {
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const auto& e) { return e.first == k; });
+  }
+  std::list<std::pair<SegmentKey, Kbit>>::iterator find(const SegmentKey& k) {
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const auto& e) { return e.first == k; });
+  }
+
+  Kbit capacity_;
+  Kbit used_ = 0.0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<SegmentKey, Kbit>> entries_;
+};
+
+TEST(SegmentCacheOracleTest, RandomizedSequencesMatchNaiveReference) {
+  util::Rng rng(2026);
+  for (int round = 0; round < 20; ++round) {
+    const Kbit capacity =
+        50.0 + 50.0 * static_cast<double>(rng.uniform_int(0, 5));
+    SegmentCache cache(capacity);
+    NaiveLru naive(capacity);
+    for (int step = 0; step < 400; ++step) {
+      const SegmentKey k = key(rng.uniform_int(0, 1), rng.uniform_int(0, 7),
+                               rng.uniform_int(1, 5));
+      switch (rng.uniform_int(0, 4)) {
+        case 0:
+        case 1: {  // insert dominates so the cache actually fills
+          const Kbit size =
+              5.0 + 5.0 * static_cast<double>(rng.uniform_int(0, 10));
+          EXPECT_EQ(cache.insert(k, size), naive.insert(k, size));
+          break;
+        }
+        case 2:
+          EXPECT_EQ(cache.touch(k), naive.touch(k));
+          break;
+        case 3:
+          EXPECT_EQ(cache.contains(k), naive.contains(k));
+          break;
+        case 4:
+          EXPECT_EQ(cache.erase(k), naive.erase(k));
+          break;
+      }
+      ASSERT_EQ(cache.keys_mru_to_lru(), naive.keys_mru_to_lru())
+          << "round " << round << " step " << step;
+      ASSERT_DOUBLE_EQ(cache.used_kbit(), naive.used());
+      ASSERT_EQ(cache.evictions(), naive.evictions());
+      ASSERT_LE(cache.used_kbit(), cache.capacity_kbit());
+      const SegmentKey probe = key(rng.uniform_int(0, 1),
+                                   rng.uniform_int(0, 7), rng.uniform_int(1, 5));
+      ASSERT_EQ(cache.best_ancestor_level(probe.game, probe.content_index,
+                                          probe.level),
+                naive.best_ancestor_level(probe.game, probe.content_index,
+                                          probe.level));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudfog::cache

@@ -1,0 +1,121 @@
+// Transcoder unit tests: job scheduling on the event engine, per-owner
+// tracking, completion bookkeeping and the O(1) churn cancel.
+#include "cache/transcoder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace cloudfog::cache {
+namespace {
+
+TEST(TranscodeModelTest, LinearDelay) {
+  TranscodeModel model{2.0, 0.01};
+  EXPECT_DOUBLE_EQ(model.delay_ms(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(model.delay_ms(100.0), 3.0);
+}
+
+TEST(TranscoderTest, JobFiresAfterItsDelay) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  TimeMs fired_at = -1.0;
+  transcoder.schedule(7, 5.0, [&] { fired_at = sim.now(); });
+  EXPECT_EQ(transcoder.in_flight(7), 1u);
+  EXPECT_EQ(transcoder.in_flight_total(), 1u);
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_EQ(transcoder.in_flight(7), 0u);
+  EXPECT_EQ(transcoder.in_flight_total(), 0u);
+  EXPECT_EQ(transcoder.jobs_started(), 1u);
+  EXPECT_EQ(transcoder.jobs_completed(), 1u);
+  EXPECT_EQ(transcoder.jobs_cancelled(), 0u);
+}
+
+TEST(TranscoderTest, JobsTrackedPerOwner) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  int fired = 0;
+  transcoder.schedule(1, 5.0, [&] { ++fired; });
+  transcoder.schedule(1, 6.0, [&] { ++fired; });
+  transcoder.schedule(2, 7.0, [&] { ++fired; });
+  EXPECT_EQ(transcoder.in_flight(1), 2u);
+  EXPECT_EQ(transcoder.in_flight(2), 1u);
+  EXPECT_EQ(transcoder.in_flight(3), 0u);
+  EXPECT_EQ(transcoder.in_flight_total(), 3u);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(transcoder.in_flight_total(), 0u);
+}
+
+TEST(TranscoderTest, CancelOwnerStopsOnlyThatOwnersJobs) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  int fired_1 = 0, fired_2 = 0;
+  transcoder.schedule(1, 5.0, [&] { ++fired_1; });
+  transcoder.schedule(1, 6.0, [&] { ++fired_1; });
+  transcoder.schedule(2, 7.0, [&] { ++fired_2; });
+  EXPECT_EQ(transcoder.cancel_owner(1), 2u);
+  EXPECT_EQ(transcoder.in_flight(1), 0u);
+  EXPECT_EQ(transcoder.in_flight(2), 1u);
+  sim.run_until(10.0);
+  // Cancelled jobs never fire; the other owner's job is untouched.
+  EXPECT_EQ(fired_1, 0);
+  EXPECT_EQ(fired_2, 1);
+  EXPECT_EQ(transcoder.jobs_cancelled(), 2u);
+  EXPECT_EQ(transcoder.jobs_completed(), 1u);
+}
+
+TEST(TranscoderTest, CancelOwnerWithNoJobsIsANoOp) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  EXPECT_EQ(transcoder.cancel_owner(42), 0u);
+}
+
+TEST(TranscoderTest, CompletedJobsCannotBeCancelledAgain) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  int fired = 0;
+  transcoder.schedule(1, 1.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  ASSERT_EQ(fired, 1);
+  // The completed job deregistered itself; cancelling finds nothing.
+  EXPECT_EQ(transcoder.cancel_owner(1), 0u);
+}
+
+TEST(TranscoderTest, ManyJobsSurviveChurnInterleaving) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  std::vector<int> fired(4, 0);
+  for (NodeId owner = 0; owner < 4; ++owner) {
+    for (int j = 0; j < 8; ++j) {
+      transcoder.schedule(owner, 1.0 + j,
+                          [&fired, owner] { ++fired[owner]; });
+    }
+  }
+  sim.run_until(3.5);  // jobs at 1,2,3 have fired for every owner
+  EXPECT_EQ(transcoder.cancel_owner(2), 5u);
+  sim.run_until(100.0);
+  EXPECT_EQ(fired[0], 8);
+  EXPECT_EQ(fired[1], 8);
+  EXPECT_EQ(fired[2], 3);
+  EXPECT_EQ(fired[3], 8);
+  EXPECT_EQ(transcoder.jobs_started(), 32u);
+  EXPECT_EQ(transcoder.jobs_completed(), 27u);
+  EXPECT_EQ(transcoder.jobs_cancelled(), 5u);
+  EXPECT_EQ(transcoder.in_flight_total(), 0u);
+}
+
+TEST(TranscoderTest, InvalidArgumentsRejected) {
+  sim::Simulator sim;
+  Transcoder transcoder(sim, TranscodeModel{});
+  EXPECT_THROW(transcoder.schedule(kInvalidNode, 1.0, [] {}),
+               std::logic_error);
+  EXPECT_THROW(transcoder.schedule(1, -1.0, [] {}), std::logic_error);
+  EXPECT_THROW(transcoder.schedule(1, 1.0, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cloudfog::cache

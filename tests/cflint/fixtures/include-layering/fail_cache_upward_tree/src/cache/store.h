@@ -1,0 +1,3 @@
+#pragma once
+
+inline double store_capacity_kbit() { return 4000.0; }

@@ -1,0 +1,8 @@
+// Fixture: stream (rank 40) reaching up into cache (rank 45). The cache
+// subsystem sits *above* stream — it caches stream segments — so this edge
+// inverts the DAG and the layering rule must flag it.
+#pragma once
+
+#include "cache/store.h"
+
+inline double feed_capacity() { return store_capacity_kbit(); }

@@ -1,0 +1,7 @@
+// cache (rank 45) including stream (rank 40) is a downward edge — the
+// cache holds stream segments, never the other way around.
+#pragma once
+
+#include "stream/frame.h"
+
+inline double store_capacity_kbit() { return frame_kbit() * 50.0; }

@@ -1,0 +1,8 @@
+// Fixture: the legal chain around the cache rank — core (50) includes
+// cache (45), which includes stream (40). Every edge points strictly down
+// the DAG, so the layering rule must stay silent on this tree.
+#pragma once
+
+#include "cache/store.h"
+
+inline double relay_budget() { return store_capacity_kbit(); }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline double frame_kbit() { return 80.0; }
