@@ -1,0 +1,274 @@
+// Scale sweep: the session book from 10k to 1M players.
+//
+// ROADMAP item 1 ("million-player single-run scale"): the paper's fog only
+// matters if the central session book keeps up with a massive roster. This
+// bench drives core::SessionManager through a production-shaped lifecycle
+// workload at increasing population sizes and reports throughput
+// (events/sec) and per-player memory (bytes/player):
+//
+//   * prefill — 75% of the roster joins (Section III-A3 assignment each);
+//   * churn   — 25% of the roster worth of join/leave ops (50/50 mix);
+//   * supernode churn — departures with notify-before-leave failover
+//     (every affected player recovers to a backup / fresh assignment /
+//     the cloud), the departed node rejoins immediately;
+//   * QoE sampling sweeps — periodic reads of every online session's
+//     serving state, the shape the streaming pipeline's per-segment
+//     bookkeeping puts on the session book in a live service (reads
+//     outnumber lifecycle mutations by orders of magnitude).
+//
+// Every op (join, leave, per-player failover, sampled read) counts as one
+// event. The stdout table carries only deterministic columns (counts and
+// state checksums), so the CI parallel-sweeps byte-diff covers this bench
+// like every other; timings travel through the BENCH json "benchmarks"
+// section (BM_SessionChurn/<players>, ns per event) and a stderr summary.
+//
+// Gate (EXPERIMENTS.md A8): BM_SessionChurn/100000 must be >=3x faster
+// than the committed map-based seed measurement in BENCH_baseline.json:
+//   python3 scripts/bench_compare.py BENCH_baseline.json BENCH_scale.json
+//       --require-speedup 'BM_SessionChurn/100000=3'
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/session_manager.h"
+#include "net/topology.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+using namespace cloudfog;
+
+namespace {
+
+struct ScaleConfig {
+  std::size_t players = 0;
+  /// One supernode per this many players (capacity 192 slots each).
+  std::size_t players_per_supernode = 128;
+  int supernode_capacity = 192;
+  /// Full state-sampling sweeps over the online roster during the run.
+  /// Reads dominate a live service's session-book traffic (per-segment
+  /// bookkeeping touches serving state far more often than players churn),
+  /// so the mix is deliberately read-heavy.
+  std::size_t sampling_sweeps = 32;
+};
+
+struct ScaleResult {
+  std::size_t players = 0;
+  std::size_t supernodes = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t affected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t reassigned = 0;
+  std::uint64_t to_cloud = 0;
+  std::uint64_t sampled_reads = 0;
+  std::size_t final_sessions = 0;
+  std::size_t final_fog_sessions = 0;
+  double delay_checksum_ms = 0.0;  // sum of sampled stream delays
+  double demand_checksum_kbps = 0.0;
+  double bytes_per_player = 0.0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;  // measured; never printed to stdout
+};
+
+ScaleResult run_scale(const ScaleConfig& config) {
+  ScaleResult r;
+  r.players = config.players;
+  const std::size_t num_sn =
+      std::max<std::size_t>(16, config.players / config.players_per_supernode);
+  r.supernodes = num_sn;
+
+  // A dedicated lean world: the full Scenario (population model, social
+  // graph, streaming stacks) is not needed to exercise the session book.
+  net::PlacementConfig placement;
+  placement.num_players = config.players + num_sn;
+  placement.num_datacenters = 5;
+  placement.seed = 0x5ca1eull ^ static_cast<std::uint64_t>(config.players);
+  net::Topology topo = net::build_topology(
+      placement, net::LatencyParams::simulation_profile(placement.seed));
+
+  const std::vector<NodeId> player_hosts =
+      topo.hosts_with_role(net::HostRole::kPlayer);
+  CF_CHECK_EQ(player_hosts.size(), config.players + num_sn);
+
+  core::SessionManager sessions(topo, core::SupernodeManagerConfig{},
+                                core::SessionManagerConfig{},
+                                util::Rng(placement.seed).fork("sessions"));
+  const Kbps uplink =
+      static_cast<Kbps>(config.supernode_capacity) * 2'000.0;
+  for (std::size_t i = 0; i < num_sn; ++i) {
+    sessions.supernode_join(player_hosts[config.players + i],
+                            config.supernode_capacity, uplink);
+  }
+
+  util::Rng rng(placement.seed ^ 0xbe9cull);
+
+  // O(1) bench-side roster bookkeeping (swap-pop), so the harness itself
+  // never masks the layer under measurement.
+  std::vector<std::uint32_t> online, offline;
+  std::vector<std::uint32_t> slot_of(config.players, 0);  // index into lists
+  std::vector<bool> is_online(config.players, false);
+  offline.reserve(config.players);
+  online.reserve(config.players);
+  for (std::uint32_t i = 0; i < config.players; ++i) {
+    offline.push_back(i);
+    slot_of[i] = i;
+  }
+  const auto list_remove = [&slot_of](std::vector<std::uint32_t>& list,
+                                      std::uint32_t member) {
+    const std::uint32_t at = slot_of[member];
+    list[at] = list.back();
+    slot_of[list[at]] = at;
+    list.pop_back();
+  };
+  const auto list_add = [&slot_of](std::vector<std::uint32_t>& list,
+                                   std::uint32_t member) {
+    slot_of[member] = static_cast<std::uint32_t>(list.size());
+    list.push_back(member);
+  };
+
+  const auto join_one = [&](std::uint32_t p) {
+    sessions.player_join(player_hosts[p],
+                         static_cast<game::GameId>(rng.uniform_int(0, 4)));
+    list_remove(offline, p);
+    list_add(online, p);
+    is_online[p] = true;
+    ++r.joins;
+  };
+  const auto leave_one = [&](std::uint32_t p) {
+    sessions.player_leave(player_hosts[p]);
+    list_remove(online, p);
+    list_add(offline, p);
+    is_online[p] = false;
+    ++r.leaves;
+  };
+  const auto sample_sweep = [&] {
+    for (const std::uint32_t p : online) {
+      const auto s = sessions.serve_state(player_hosts[p]);
+      if (!s.on_cloud()) {
+        r.delay_checksum_ms += s.delay_ms;
+        ++r.final_fog_sessions;  // reused as scratch; reset below
+      }
+      ++r.sampled_reads;
+    }
+  };
+
+  const std::uint64_t start_us = obs::wall_now_us();
+
+  // --- prefill: 75% of the roster comes online --------------------------
+  const std::size_t prefill = config.players * 3 / 4;
+  for (std::size_t i = 0; i < prefill; ++i) {
+    join_one(offline[rng.index(offline.size())]);
+  }
+
+  // --- churn + supernode departures + sampling sweeps -------------------
+  const std::size_t churn_ops = config.players / 4;
+  const std::size_t departures_total = num_sn / 2;
+  const std::size_t depart_every =
+      departures_total > 0 ? std::max<std::size_t>(1, churn_ops / departures_total)
+                           : churn_ops + 1;
+  const std::size_t sweep_every =
+      std::max<std::size_t>(1, churn_ops / std::max<std::size_t>(1, config.sampling_sweeps));
+  std::size_t next_sn = 0;
+  for (std::size_t op = 0; op < churn_ops; ++op) {
+    if (rng.uniform() < 0.5 && !offline.empty()) {
+      join_one(offline[rng.index(offline.size())]);
+    } else if (!online.empty()) {
+      leave_one(online[rng.index(online.size())]);
+    }
+    if ((op + 1) % depart_every == 0) {
+      const NodeId host = player_hosts[config.players + next_sn];
+      next_sn = (next_sn + 1) % num_sn;
+      const core::FailoverReport report = sessions.supernode_leave(host);
+      sessions.supernode_join(host, config.supernode_capacity, uplink);
+      ++r.departures;
+      r.affected += report.players_affected;
+      r.recovered += report.recovered_to_backup;
+      r.reassigned += report.reassigned;
+      r.to_cloud += report.fell_to_cloud;
+    }
+    if ((op + 1) % sweep_every == 0) sample_sweep();
+  }
+
+  r.wall_ms =
+      static_cast<double>(obs::wall_now_us() - start_us) / 1000.0;
+  r.events = r.joins + r.leaves + r.affected + r.sampled_reads;
+
+  // --- deterministic final-state digest ---------------------------------
+  r.final_fog_sessions = sessions.supernode_sessions();
+  r.final_sessions = sessions.session_count();
+  for (NodeId sn : sessions.manager().supernodes()) {
+    r.demand_checksum_kbps += sessions.demand_kbps(sn);
+  }
+  // Hot-state footprint: everything the slab store has reserved (all
+  // parallel arrays at capacity, the handle map, the per-server directory),
+  // amortised over the roster the run was sized for.
+  r.bytes_per_player = static_cast<double>(sessions.store().bytes_reserved()) /
+                       static_cast<double>(config.players);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "scale", [&]() -> int {
+    bench::print_header("Scale sweep",
+                        "session book throughput, 10k -> 1M players");
+
+    std::vector<ScaleConfig> configs;
+    for (const std::size_t n : bench::fast_mode()
+                                   ? std::vector<std::size_t>{5'000, 20'000}
+                                   : std::vector<std::size_t>{10'000, 100'000,
+                                                              1'000'000}) {
+      ScaleConfig c;
+      c.players = n;
+      configs.push_back(c);
+    }
+
+    const auto grid = bench::run_sweep(
+        "scale_sessions", configs, 1,
+        [](const ScaleConfig& c, std::size_t) { return run_scale(c); });
+
+    util::Table table(
+        "session-book scale sweep (75% prefill, 25% churn ops, supernode "
+        "departures + failover, QoE sampling sweeps)");
+    table.set_header({"players", "supernodes", "events", "joins", "leaves",
+                      "affected", "recovered", "to_cloud", "sessions", "fog",
+                      "delay_sum_ms", "demand_kbps", "bytes/player"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const ScaleResult& r = grid[i][0];
+      table.add_row({std::to_string(r.players), std::to_string(r.supernodes),
+                     std::to_string(r.events), std::to_string(r.joins),
+                     std::to_string(r.leaves), std::to_string(r.affected),
+                     std::to_string(r.recovered), std::to_string(r.to_cloud),
+                     std::to_string(r.final_sessions),
+                     std::to_string(r.final_fog_sessions),
+                     util::format_double(r.delay_checksum_ms, 3),
+                     util::format_double(r.demand_checksum_kbps, 3),
+                     util::format_double(r.bytes_per_player, 1)});
+      // ns per event + bytes/player into the BENCH json "benchmarks"
+      // section. Timings are only meaningful from a --jobs=1 run (workers
+      // timing against each other is noise); the table above stays
+      // byte-identical at any width.
+      const double ns_per_event =
+          r.events > 0 ? r.wall_ms * 1e6 / static_cast<double>(r.events) : 0.0;
+      obs::record_bench_result("BM_SessionChurn/" + std::to_string(r.players),
+                               ns_per_event);
+      if (r.bytes_per_player > 0.0) {
+        obs::record_bench_result(
+            "session_store_bytes_per_player/" + std::to_string(r.players),
+            r.bytes_per_player);
+      }
+      std::fprintf(stderr, "bench_scale: %zu players: %.0f events/sec (%llu events, %.1f ms)\n",
+                   r.players,
+                   r.wall_ms > 0.0
+                       ? static_cast<double>(r.events) / (r.wall_ms / 1000.0)
+                       : 0.0,
+                   static_cast<unsigned long long>(r.events), r.wall_ms);
+    }
+    bench::print_table(table);
+    return 0;
+  });
+}

@@ -11,7 +11,8 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 }  // namespace
 
-GeoGrid::GeoGrid(double cell_deg) : cell_deg_(cell_deg) {
+GeoGrid::GeoGrid(double cell_deg)
+    : base_cell_deg_(cell_deg), cell_deg_(cell_deg) {
   CF_CHECK_MSG(cell_deg > 0.0, "grid cell size must be positive");
 }
 
@@ -19,70 +20,278 @@ std::int32_t GeoGrid::cell_coord(double deg) const {
   return static_cast<std::int32_t>(std::floor(deg / cell_deg_));
 }
 
-GeoGrid::CellKey GeoGrid::cell_key(std::int32_t cx, std::int32_t cy) {
-  return (static_cast<CellKey>(static_cast<std::uint32_t>(cx)) << 32) |
-         static_cast<std::uint32_t>(cy);
+std::size_t GeoGrid::table_index(std::int32_t cx, std::int32_t cy) const {
+  if (cx < table_min_cx_ || cx > table_max_cx_ || cy < table_min_cy_ ||
+      cy > table_max_cy_) {
+    return kNoCell;
+  }
+  return static_cast<std::size_t>(cy - table_min_cy_) * table_width_ +
+         static_cast<std::size_t>(cx - table_min_cx_);
+}
+
+std::size_t GeoGrid::table_cells_for(double cell_deg) const {
+  if (!ever_inserted_) return 0;
+  // 64-bit throughout: a tiny hypothetical cell size must overflow the
+  // budget check, not the arithmetic.
+  const auto lo_x = static_cast<std::int64_t>(std::floor(min_lon_ / cell_deg));
+  const auto hi_x = static_cast<std::int64_t>(std::floor(max_lon_ / cell_deg));
+  const auto lo_y = static_cast<std::int64_t>(std::floor(min_lat_ / cell_deg));
+  const auto hi_y = static_cast<std::int64_t>(std::floor(max_lat_ / cell_deg));
+  return static_cast<std::size_t>((hi_x - lo_x + 1) * (hi_y - lo_y + 1));
+}
+
+void GeoGrid::refresh_envelope_cells() {
+  if (!ever_inserted_) return;
+  min_cx_ = cell_coord(min_lon_);
+  max_cx_ = cell_coord(max_lon_);
+  min_cy_ = cell_coord(min_lat_);
+  max_cy_ = cell_coord(max_lat_);
+}
+
+void GeoGrid::insert_into_cell(const Member& m, std::int32_t cx,
+                               std::int32_t cy) {
+  const std::size_t ti = table_index(cx, cy);
+  CF_INVARIANT(ti != kNoCell && ti < cells_.size(),
+               "insert target cell must lie inside the envelope table");
+  auto& members = cells_[ti];
+  if (members.empty()) {
+    ++occupied_cells_;
+    occ_[ti >> 6] |= std::uint64_t{1} << (ti & 63);
+  }
+  const auto at = std::upper_bound(
+      members.begin(), members.end(), m,
+      [](const Member& a, const Member& b) {
+        return a.position.lat_deg != b.position.lat_deg
+                   ? a.position.lat_deg < b.position.lat_deg
+                   : a.id < b.id;
+      });
+  members.insert(at, m);
+  hottest_cell_ = std::max(hottest_cell_, members.size());
+}
+
+void GeoGrid::rebucket() {
+  std::vector<Member> all;
+  all.reserve(size_);
+  for (auto& cell : cells_) {
+    for (const Member& m : cell) all.push_back(m);
+  }
+  CF_INVARIANT(all.size() == size_, "cell table holds every member");
+  refresh_envelope_cells();
+  table_min_cx_ = min_cx_;
+  table_max_cx_ = max_cx_;
+  table_min_cy_ = min_cy_;
+  table_max_cy_ = max_cy_;
+  table_width_ = static_cast<std::size_t>(table_max_cx_ - table_min_cx_) + 1;
+  const std::size_t height =
+      static_cast<std::size_t>(table_max_cy_ - table_min_cy_) + 1;
+  cells_.assign(table_width_ * height, {});
+  occ_.assign((table_width_ * height + 63) / 64, 0);
+  occupied_cells_ = 0;
+  hottest_cell_ = 0;
+  for (const Member& m : all) {
+    insert_into_cell(m, cell_coord(m.position.lon_deg),
+                     cell_coord(m.position.lat_deg));
+  }
+}
+
+void GeoGrid::fit_table() {
+  while (table_cells_for(cell_deg_) > kMaxTableCells) cell_deg_ *= 2.0;
+  rebucket();
+}
+
+void GeoGrid::maybe_refine() {
+  while (hottest_cell_ > kSplitOccupancy) {
+    const double next = cell_deg_ * 0.5;
+    if (next < base_cell_deg_ * kMinCellDegFactor) return;
+    if (table_cells_for(next) > kMaxTableCells) return;
+    cell_deg_ = next;
+    rebucket();
+  }
 }
 
 void GeoGrid::insert(NodeId id, const net::GeoPoint& position) {
-  CF_CHECK_MSG(!member_cell_.contains(id), "id already in the grid");
-  const std::int32_t cx = cell_coord(position.lon_deg);
-  const std::int32_t cy = cell_coord(position.lat_deg);
-  const CellKey key = cell_key(cx, cy);
+  CF_CHECK_MSG(!member_pos_.contains(id), "id already in the grid");
   const double c = net::cos_lat(position);
-  cells_[key].push_back(Member{id, position, c});
-  member_cell_.emplace(id, key);
-  ++size_;
+  member_pos_.emplace(id, position);
+  bool envelope_grew = false;
   if (!ever_inserted_) {
     ever_inserted_ = true;
-    min_cx_ = max_cx_ = cx;
-    min_cy_ = max_cy_ = cy;
+    min_lat_ = max_lat_ = position.lat_deg;
+    min_lon_ = max_lon_ = position.lon_deg;
+    envelope_grew = true;
   } else {
-    min_cx_ = std::min(min_cx_, cx);
-    max_cx_ = std::max(max_cx_, cx);
-    min_cy_ = std::min(min_cy_, cy);
-    max_cy_ = std::max(max_cy_, cy);
+    if (position.lat_deg < min_lat_) {
+      min_lat_ = position.lat_deg;
+      envelope_grew = true;
+    }
+    if (position.lat_deg > max_lat_) {
+      max_lat_ = position.lat_deg;
+      envelope_grew = true;
+    }
+    if (position.lon_deg < min_lon_) {
+      min_lon_ = position.lon_deg;
+      envelope_grew = true;
+    }
+    if (position.lon_deg > max_lon_) {
+      max_lon_ = position.lon_deg;
+      envelope_grew = true;
+    }
   }
   min_cos_lat_ = std::min(min_cos_lat_, c);
+  if (envelope_grew) {
+    refresh_envelope_cells();
+    // Rebuild only when the grown envelope actually escapes the current
+    // table (the common rejoin-at-a-known-position path stays O(cell)).
+    if (min_cx_ < table_min_cx_ || max_cx_ > table_max_cx_ ||
+        min_cy_ < table_min_cy_ || max_cy_ > table_max_cy_) {
+      fit_table();
+    }
+  }
+  ++size_;  // after any rebuild: rebucket checks cells against size_
+  insert_into_cell(Member{id, position, c}, cell_coord(position.lon_deg),
+                   cell_coord(position.lat_deg));
+  maybe_refine();
 }
 
 void GeoGrid::remove(NodeId id) {
-  const auto it = member_cell_.find(id);
-  CF_CHECK_MSG(it != member_cell_.end(), "id not in the grid");
-  const auto cell_it = cells_.find(it->second);
-  CF_INVARIANT(cell_it != cells_.end(),
-               "member directory points at an existing cell");
-  auto& members = cell_it->second;
-  members.erase(std::remove_if(members.begin(), members.end(),
-                               [id](const Member& m) { return m.id == id; }),
-                members.end());
-  if (members.empty()) cells_.erase(cell_it);
-  member_cell_.erase(it);
+  const auto it = member_pos_.find(id);
+  CF_CHECK_MSG(it != member_pos_.end(), "id not in the grid");
+  const std::size_t ti = table_index(cell_coord(it->second.lon_deg),
+                                     cell_coord(it->second.lat_deg));
+  CF_INVARIANT(ti != kNoCell, "member directory points inside the table");
+  auto& members = cells_[ti];
+  const auto mit =
+      std::find_if(members.begin(), members.end(),
+                   [id](const Member& m) { return m.id == id; });
+  CF_INVARIANT(mit != members.end(), "member directory points at its cell");
+  members.erase(mit);  // shift-erase keeps the (lat, id) order intact
+  if (members.empty()) {
+    --occupied_cells_;
+    occ_[ti >> 6] &= ~(std::uint64_t{1} << (ti & 63));
+  }
+  member_pos_.erase(it);
   --size_;
+}
+
+void GeoGrid::consider(const Member& m, const net::GeoPoint& from,
+                       double from_cos_lat, std::size_t k,
+                       std::vector<std::pair<double, NodeId>>& out) {
+  if (out.size() == k) {
+    // Same rigorous pre-filter the sorted scan uses (central angle >=
+    // |delta lat|, 0.999 margin): a member it rejects is provably farther
+    // than the current k-th best, so skipping the exact haversine cannot
+    // change the result.
+    const double bound_km = net::kEarthRadiusKm *
+                            std::abs(m.position.lat_deg - from.lat_deg) *
+                            net::kDegToRad * 0.999;
+    if (bound_km > out.back().first) return;
+  }
+  const std::pair<double, NodeId> cand{
+      net::haversine_km(from, from_cos_lat, m.position, m.cos_lat), m.id};
+  if (out.size() == k) {
+    if (!(cand < out.back())) return;
+    out.pop_back();
+  }
+  out.insert(std::upper_bound(out.begin(), out.end(), cand), cand);
 }
 
 void GeoGrid::scan_cell(std::int32_t cx, std::int32_t cy,
                         const net::GeoPoint& from, double from_cos_lat,
                         std::size_t k,
                         std::vector<std::pair<double, NodeId>>& out) const {
-  const auto it = cells_.find(cell_key(cx, cy));
-  if (it == cells_.end()) return;
-  for (const Member& m : it->second) {
-    const std::pair<double, NodeId> cand{
-        net::haversine_km(from, from_cos_lat, m.position, m.cos_lat), m.id};
-    if (out.size() == k) {
-      if (!(cand < out.back())) continue;
-      out.pop_back();
+  const std::size_t ti = table_index(cx, cy);
+  if (ti == kNoCell) return;
+  if (((occ_[ti >> 6] >> (ti & 63)) & 1) == 0) return;  // empty cell
+  if (out.size() == k) {
+    // Whole-cell latitude bound: every member's latitude lies inside the
+    // cell's [cy, cy+1) band (by construction of the bucketing), so the
+    // band's latitude gap to the query lower-bounds every member's
+    // distance (central angle >= |delta lat|, same 0.999 margin as the
+    // per-member check). Kills a ring's top/bottom rows without touching
+    // their member vectors.
+    const double lo = static_cast<double>(cy) * cell_deg_;
+    const double hi = lo + cell_deg_;
+    const double gap_deg =
+        from.lat_deg < lo ? lo - from.lat_deg
+                          : (from.lat_deg > hi ? from.lat_deg - hi : 0.0);
+    if (net::kEarthRadiusKm * gap_deg * net::kDegToRad * 0.999 >
+        out.back().first) {
+      return;
     }
-    out.insert(std::upper_bound(out.begin(), out.end(), cand), cand);
+  }
+  const auto& members = cells_[ti];
+  if (members.size() <= kSortedScanCutoff) {
+    for (const Member& m : members) consider(m, from, from_cos_lat, k, out);
+    return;
+  }
+  // Hot cell (hundreds of metro-clustered members): members are sorted by
+  // (lat, id), so scan outward from the query latitude with a two-pointer
+  // and prune each side once its latitude gap alone proves every remaining
+  // member farther than the current k-th best. The bound is rigorous: the
+  // central angle between two points is at least their latitude difference,
+  // so haversine_km >= R * |dlat_rad|; the 0.999 margin absorbs rounding
+  // (ties keep scanning, as in the ring prune). Pruned members are provably
+  // outside the final top-k, so the result is identical to a full scan.
+  const auto split = std::lower_bound(
+      members.begin(), members.end(), from.lat_deg,
+      [](const Member& m, double lat) { return m.position.lat_deg < lat; });
+  std::ptrdiff_t down = (split - members.begin()) - 1;
+  std::ptrdiff_t up = split - members.begin();
+  const auto n = static_cast<std::ptrdiff_t>(members.size());
+  bool down_alive = down >= 0;
+  bool up_alive = up < n;
+  while (down_alive || up_alive) {
+    bool take_up;
+    if (!down_alive) {
+      take_up = true;
+    } else if (!up_alive) {
+      take_up = false;
+    } else {
+      // Visit the smaller latitude gap first — result-neutral, but it
+      // tightens out.back() fastest so both sides prune sooner.
+      take_up = members[static_cast<std::size_t>(up)].position.lat_deg -
+                    from.lat_deg <=
+                from.lat_deg -
+                    members[static_cast<std::size_t>(down)].position.lat_deg;
+    }
+    const Member& m =
+        members[static_cast<std::size_t>(take_up ? up : down)];
+    if (out.size() == k) {
+      const double bound_km =
+          net::kEarthRadiusKm *
+          std::abs(m.position.lat_deg - from.lat_deg) * net::kDegToRad * 0.999;
+      if (bound_km > out.back().first) {
+        // Latitude gaps are monotone along each direction of the sorted
+        // cell: everything past m on this side is at least as far.
+        if (take_up) {
+          up_alive = false;
+        } else {
+          down_alive = false;
+        }
+        continue;
+      }
+    }
+    consider(m, from, from_cos_lat, k, out);
+    if (take_up) {
+      ++up;
+      up_alive = up < n;
+    } else {
+      --down;
+      down_alive = down >= 0;
+    }
   }
 }
 
 void GeoGrid::nearest_k(const net::GeoPoint& from, std::size_t k,
                         std::vector<std::pair<double, NodeId>>& out) const {
+  nearest_k(from, net::cos_lat(from), k, out);
+}
+
+void GeoGrid::nearest_k(const net::GeoPoint& from, double from_cos,
+                        std::size_t k,
+                        std::vector<std::pair<double, NodeId>>& out) const {
   out.clear();
   if (k == 0 || size_ == 0) return;
-  const double from_cos = net::cos_lat(from);
   const std::int32_t cx = cell_coord(from.lon_deg);
   const std::int32_t cy = cell_coord(from.lat_deg);
   // Walking out to the ever-inserted envelope visits every occupied cell,
@@ -132,13 +341,41 @@ void GeoGrid::nearest_k(const net::GeoPoint& from, std::size_t k,
       scan_cell(cx, cy, from, from_cos, k, out);
       continue;
     }
-    for (std::int32_t dx = -r; dx <= r; ++dx) {
-      scan_cell(cx + dx, cy - r, from, from_cos, k, out);
-      scan_cell(cx + dx, cy + r, from, from_cos, k, out);
+    // Visit order within the ring is result-neutral (the top-k by
+    // (distance, id) does not depend on it) but not cost-neutral: going
+    // center-outward reaches the closest members first, so the k-th best
+    // tightens early and the per-member/per-cell prunes kill more of the
+    // ring's periphery.
+    for (const std::int32_t cyr : {cy - r, cy + r}) {
+      // One latitude-band evaluation per row: the band gap is the same for
+      // all 2r+1 cells of the row (scan_cell re-derives the identical
+      // bound per cell), so a dead row is skipped without probing any of
+      // its cells. Rows killed here are exactly the rows whose every cell
+      // scan_cell would reject — skipping them cannot change the result.
+      if (out.size() == k) {
+        const double lo = static_cast<double>(cyr) * cell_deg_;
+        const double hi = lo + cell_deg_;
+        const double gap_deg =
+            from.lat_deg < lo ? lo - from.lat_deg
+                              : (from.lat_deg > hi ? from.lat_deg - hi : 0.0);
+        if (net::kEarthRadiusKm * gap_deg * net::kDegToRad * 0.999 >
+            out.back().first) {
+          continue;
+        }
+      }
+      scan_cell(cx, cyr, from, from_cos, k, out);
+      for (std::int32_t a = 1; a <= r; ++a) {
+        scan_cell(cx - a, cyr, from, from_cos, k, out);
+        scan_cell(cx + a, cyr, from, from_cos, k, out);
+      }
     }
-    for (std::int32_t dy = -r + 1; dy <= r - 1; ++dy) {
-      scan_cell(cx - r, cy + dy, from, from_cos, k, out);
-      scan_cell(cx + r, cy + dy, from, from_cos, k, out);
+    for (std::int32_t b = 0; b <= r - 1; ++b) {
+      scan_cell(cx - r, cy + b, from, from_cos, k, out);
+      scan_cell(cx + r, cy + b, from, from_cos, k, out);
+      if (b > 0) {
+        scan_cell(cx - r, cy - b, from, from_cos, k, out);
+        scan_cell(cx + r, cy - b, from, from_cos, k, out);
+      }
     }
   }
 }

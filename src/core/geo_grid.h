@@ -14,6 +14,23 @@
 // bit-identical), and ties are broken by ascending id — so the result is
 // element-for-element identical to sorting all members by (distance, id)
 // and truncating to k. See DESIGN.md §8 for the determinism argument.
+//
+// Million-roster scaling (DESIGN.md §12): the fixed 2° cell assumption is
+// gone. Three mechanisms keep queries fast from a dozen members to tens of
+// thousands, none of which changes any query result:
+//
+//   * cells live in a dense table covering the ever-inserted envelope
+//     (direct indexing instead of a hash find per visited cell — ring
+//     walks touch hundreds of mostly-empty cells);
+//   * the cell size is density-adaptive: when the hottest cell exceeds
+//     kSplitOccupancy members, the grid halves cell_deg (power-of-two
+//     fractions of the configured size) and rebuilds, bounded by a minimum
+//     cell size and a kMaxTableCells envelope-table budget;
+//   * within a cell, members are kept sorted by (latitude, id) and scanned
+//     outward from the query latitude with a rigorous pruning bound
+//     (central angle >= |delta lat|, with the same 0.999 margin the ring
+//     prune uses), so a metro cell holding hundreds of co-located members
+//     costs ~k exact distances instead of a full scan.
 #pragma once
 
 #include <cstddef>
@@ -29,8 +46,9 @@ namespace cloudfog::core {
 
 class GeoGrid {
  public:
-  /// `cell_deg` trades ring-walk granularity against bucket occupancy;
-  /// 2° cells (~220 km at the equator) suit continental-US rosters.
+  /// `cell_deg` is the *coarsest* cell size (2° ~ 220 km at the equator
+  /// suits continental rosters); the grid refines it by powers of two as
+  /// density demands.
   explicit GeoGrid(double cell_deg = 2.0);
 
   /// Adds a member. Ids must be unique; positions are captured by value and
@@ -41,11 +59,20 @@ class GeoGrid {
   void remove(NodeId id);
 
   std::size_t size() const { return size_; }
+  /// Current (possibly refined) cell size in degrees.
+  double cell_deg() const { return cell_deg_; }
 
   /// Fills `out` (cleared first) with the min(k, size) nearest members in
   /// ascending (haversine_km(from, member), id) order — identical to a full
   /// brute-force sort.
   void nearest_k(const net::GeoPoint& from, std::size_t k,
+                 std::vector<std::pair<double, NodeId>>& out) const;
+
+  /// As above with cos(from's latitude) already in hand. `from_cos_lat`
+  /// MUST be net::cos_lat(from) (e.g. the precomputed Host::cos_lat) so
+  /// every haversine stays bit-identical to the one-shot overload.
+  void nearest_k(const net::GeoPoint& from, double from_cos_lat,
+                 std::size_t k,
                  std::vector<std::pair<double, NodeId>>& out) const;
 
  private:
@@ -54,24 +81,83 @@ class GeoGrid {
     net::GeoPoint position;
     double cos_lat = 1.0;
   };
-  using CellKey = std::uint64_t;
+
+  /// Hottest-cell occupancy above which the grid refines. Keyed to the
+  /// hottest cell rather than the mean: clustered rosters (metro placement)
+  /// concentrate most members into a handful of cells, which a mean over
+  /// occupied cells never sees.
+  static constexpr std::size_t kSplitOccupancy = 24;
+  /// Refinement floor (base / 64; 2° base -> ~3.5 km cells).
+  static constexpr double kMinCellDegFactor = 1.0 / 64.0;
+  /// Envelope-table budget: refinement stops (and envelope growth coarsens)
+  /// before the dense cell table would exceed this many cells.
+  static constexpr std::size_t kMaxTableCells = std::size_t{1} << 20;
+  /// Cells at most this full use the plain linear scan; larger cells use
+  /// the latitude-sorted pruned scan.
+  static constexpr std::size_t kSortedScanCutoff = 16;
+  /// table_index sentinel: the cell lies outside the envelope table (and is
+  /// therefore empty).
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
 
   std::int32_t cell_coord(double deg) const;
-  static CellKey cell_key(std::int32_t cx, std::int32_t cy);
   void scan_cell(std::int32_t cx, std::int32_t cy, const net::GeoPoint& from,
                  double from_cos_lat, std::size_t k,
                  std::vector<std::pair<double, NodeId>>& out) const;
+  static void consider(const Member& m, const net::GeoPoint& from,
+                       double from_cos_lat, std::size_t k,
+                       std::vector<std::pair<double, NodeId>>& out);
 
+  /// Dense-table index for a raw cell coordinate, or kNoCell when the cell
+  /// lies outside the ever-inserted envelope.
+  std::size_t table_index(std::int32_t cx, std::int32_t cy) const;
+  /// Envelope cell count at a hypothetical cell size (budget checks).
+  std::size_t table_cells_for(double cell_deg) const;
+  /// Re-derives the envelope cell coordinates from the degree extremes at
+  /// the current cell size.
+  void refresh_envelope_cells();
+  /// Rebuilds the dense table to the current envelope + cell size and
+  /// re-buckets every member.
+  void rebucket();
+  /// Called when an insert expands the envelope: coarsens the cell size if
+  /// the grown table would bust the budget, then rebuilds.
+  void fit_table();
+  /// Halves cell_deg while the occupancy trigger holds and the floor +
+  /// budget allow, re-bucketing every member.
+  void maybe_refine();
+  void insert_into_cell(const Member& m, std::int32_t cx, std::int32_t cy);
+
+  double base_cell_deg_;
   double cell_deg_;
-  std::unordered_map<CellKey, std::vector<Member>> cells_;
-  std::unordered_map<NodeId, CellKey> member_cell_;
+  // Dense cell table over the ever-inserted envelope: cells_[table_index].
+  // Cell members are sorted by (position.lat_deg, id).
+  std::vector<std::vector<Member>> cells_;
+  // One bit per table cell (set = non-empty). Ring walks probe hundreds of
+  // mostly-empty cells; the bitmap answers those probes from a few cache
+  // lines instead of a scattered vector-header load each.
+  std::vector<std::uint64_t> occ_;
+  std::int32_t table_min_cx_ = 1, table_max_cx_ = 0;  // empty until insert
+  std::int32_t table_min_cy_ = 1, table_max_cy_ = 0;
+  std::size_t table_width_ = 0;
+  std::size_t occupied_cells_ = 0;
+  /// Size of the fullest cell ever seen at the current cell size (exact
+  /// after a rebucket, a monotone overestimate under removals — harmless:
+  /// refinement is result-neutral, so a stale-high value can only refine
+  /// earlier than strictly needed).
+  std::size_t hottest_cell_ = 0;
+  // Member directory (positions are what remove() needs to find the cell;
+  // cell coordinates would go stale across refinements).
+  std::unordered_map<NodeId, net::GeoPoint> member_pos_;
   std::size_t size_ = 0;
 
   // Monotone envelope over every member EVER inserted (never shrunk on
   // remove): the ring walk and the longitude term of the distance bound stay
-  // conservative without tracking exact extrema under churn.
+  // conservative without tracking exact extrema under churn. The envelope is
+  // tracked in *raw degrees* and its cell coordinates re-derived whenever
+  // the cell size changes.
   bool ever_inserted_ = false;
   double min_cos_lat_ = 1.0;
+  double min_lat_ = 0.0, max_lat_ = 0.0;
+  double min_lon_ = 0.0, max_lon_ = 0.0;
   std::int32_t min_cx_ = 0, max_cx_ = 0, min_cy_ = 0, max_cy_ = 0;
 };
 

@@ -14,87 +14,85 @@ SessionManager::SessionManager(const net::Topology& topology,
       config_(config),
       rng_(rng) {
   CF_CHECK_MSG(config.shed_utilization > 0.0, "shed threshold must be positive");
+  CF_CHECK_MSG(config.max_backups <= BackupList::kMaxBackups,
+               "max_backups exceeds the inline backup capacity");
 }
 
 void SessionManager::supernode_join(NodeId host, int capacity, Kbps uplink_kbps) {
   manager_.add_supernode(host, capacity, uplink_kbps);
+  store_.register_server(host);
 }
 
-void SessionManager::attach(Session& s, NodeId target, TimeMs delay_ms) {
-  s.supernode = target;
-  s.stream_delay_ms = delay_ms;
-  served_[target].push_back(s.player);
-  demand_[target] += s.bitrate_kbps;
+void SessionManager::attach(SessionIdx idx, NodeId target, TimeMs delay_ms) {
+  store_.attach(idx, target, delay_ms);
 }
 
-void SessionManager::detach(Session& s) {
-  if (s.on_cloud()) return;
-  auto& list = served_[s.supernode];
-  list.erase(std::remove(list.begin(), list.end(), s.player), list.end());
-  demand_[s.supernode] -= s.bitrate_kbps;
-  if (demand_[s.supernode] < 0.0) demand_[s.supernode] = 0.0;
-  manager_.release(s.supernode);
-  s.supernode = kInvalidNode;
-  s.stream_delay_ms = 0.0;
+void SessionManager::detach(SessionIdx idx) {
+  const NodeId supernode = store_.supernode(idx);
+  if (supernode == kInvalidNode) return;
+  store_.detach(idx);
+  manager_.release(supernode);
 }
 
-const Session& SessionManager::player_join(NodeId player, game::GameId game) {
-  CF_CHECK_MSG(!sessions_.contains(player), "player already has a session");
+void SessionManager::record_backups(SessionIdx idx, const Assignment& a) {
+  BackupList& backups = store_.mutable_backups(idx);
+  backups.clear();
+  const std::size_t n = std::min(a.backups.size(), config_.max_backups);
+  for (std::size_t i = 0; i < n; ++i) backups.push_back(a.backups[i]);
+}
+
+Session SessionManager::player_join(NodeId player, game::GameId game) {
+  CF_CHECK_MSG(!store_.contains(player), "player already has a session");
   const game::GameProfile& profile = game::game_by_id(game);
-  Session s;
-  s.player = player;
-  s.game = game;
-  s.bitrate_kbps =
+  const Kbps bitrate =
       game::quality_for_level(profile.target_quality_level).bitrate_kbps;
 
-  const Assignment a = manager_.assign(player, profile.latency_requirement_ms);
+  // By reference: the manager's reusable scratch, valid until the next
+  // assign() (none happens before the reads below).
+  const Assignment& a = manager_.assign(player, profile.latency_requirement_ms);
+  const SessionIdx idx = store_.open(player, game, bitrate);
   if (!a.direct_to_cloud()) {
-    s.backups.assign(
-        a.backups.begin(),
-        a.backups.begin() +
-            static_cast<std::ptrdiff_t>(
-                std::min(a.backups.size(), config_.max_backups)));
-    attach(s, a.supernode, a.delay_ms);
+    record_backups(idx, a);
+    attach(idx, a.supernode, a.delay_ms);
   }
-  auto [it, inserted] = sessions_.emplace(player, std::move(s));
-  CF_DCHECK(inserted);
-  return it->second;
+  return store_.snapshot(idx);
 }
 
 void SessionManager::player_leave(NodeId player) {
-  auto it = sessions_.find(player);
-  CF_CHECK_MSG(it != sessions_.end(), "player has no session");
-  detach(it->second);
-  sessions_.erase(it);
+  const SessionIdx idx = store_.index_of(player);
+  CF_CHECK_MSG(idx.valid(), "player has no session");
+  detach(idx);
+  store_.close(idx);
 }
 
-const Session& SessionManager::session(NodeId player) const {
-  auto it = sessions_.find(player);
-  CF_CHECK_MSG(it != sessions_.end(), "player has no session");
-  return it->second;
+Session SessionManager::session(NodeId player) const {
+  const SessionIdx idx = store_.index_of(player);
+  CF_CHECK_MSG(idx.valid(), "player has no session");
+  return store_.snapshot(idx);
 }
 
-std::optional<NodeId> SessionManager::try_backups(Session& s,
-                                                  bool respect_utilization) {
-  const game::GameProfile& profile = game::game_by_id(s.game);
-  for (NodeId backup : s.backups) {
+std::optional<NodeId> SessionManager::try_backups(SessionIdx idx,
+                                                 bool respect_utilization) {
+  const game::GameProfile& profile = game::game_by_id(store_.game(idx));
+  const NodeId player = store_.player(idx);
+  const Kbps bitrate = store_.bitrate_kbps(idx);
+  for (NodeId backup : store_.backups(idx)) {
     if (!manager_.is_supernode(backup)) continue;  // backup itself left
     if (manager_.record(backup).available() <= 0) continue;
     if (respect_utilization &&
-        (utilization(backup) + s.bitrate_kbps /
-                                   manager_.record(backup).upload_kbps) >
+        (utilization(backup) + bitrate / manager_.record(backup).upload_kbps) >
             config_.shed_utilization) {
       continue;  // would just overload the neighbour
     }
     // Re-probe: the cached qualification may be stale.
-    const TimeMs delay = topology_.expected_server_one_way_ms(backup, s.player);
+    const TimeMs delay = topology_.expected_server_one_way_ms(backup, player);
     if (delay > profile.latency_requirement_ms) continue;
     // Claim the slot through the manager's bookkeeping: a direct targeted
     // claim keeps the Assignment path single-purpose.
     // (assign() would re-run candidate discovery; the backup list IS the
     // discovered candidate set, so we take the slot directly.)
     manager_.claim(backup);
-    attach(s, backup, delay);
+    attach(idx, backup, delay);
     return backup;
   }
   return std::nullopt;
@@ -104,37 +102,33 @@ FailoverReport SessionManager::supernode_leave(NodeId host) {
   CF_CHECK_MSG(manager_.is_supernode(host), "unknown supernode");
   FailoverReport report;
 
-  // Collect affected players first: recovery mutates served_.
-  std::vector<NodeId> affected;
-  if (auto it = served_.find(host); it != served_.end()) affected = it->second;
+  // Materialize the affected players first (attach order): recovery
+  // mutates the intrusive member list.
+  store_.members(host, member_scratch_);
+  const std::vector<NodeId>& affected = member_scratch_;
   report.players_affected = affected.size();
 
   // Release every affected session's slot, then remove the supernode so
   // recovery cannot pick it again.
-  for (NodeId player : affected) detach(sessions_.at(player));
-  served_.erase(host);
-  demand_.erase(host);
+  for (NodeId player : affected) detach(store_.index_of(player));
+  store_.unregister_server(host);
   manager_.remove_supernode(host);
 
   for (NodeId player : affected) {
-    Session& s = sessions_.at(player);
+    const SessionIdx idx = store_.index_of(player);
     if (config_.enable_failover) {
-      if (try_backups(s).has_value()) {
+      if (try_backups(idx).has_value()) {
         ++report.recovered_to_backup;
         continue;
       }
     }
     // Fresh Section III-A3 assignment.
-    const game::GameProfile& profile = game::game_by_id(s.game);
-    const Assignment a =
-        manager_.assign(s.player, profile.latency_requirement_ms);
+    const game::GameProfile& profile = game::game_by_id(store_.game(idx));
+    const Assignment& a =
+        manager_.assign(player, profile.latency_requirement_ms);
     if (!a.direct_to_cloud()) {
-      s.backups.assign(
-          a.backups.begin(),
-          a.backups.begin() +
-              static_cast<std::ptrdiff_t>(
-                  std::min(a.backups.size(), config_.max_backups)));
-      attach(s, a.supernode, a.delay_ms);
+      record_backups(idx, a);
+      attach(idx, a.supernode, a.delay_ms);
       ++report.reassigned;
     } else {
       ++report.fell_to_cloud;
@@ -143,21 +137,9 @@ FailoverReport SessionManager::supernode_leave(NodeId host) {
   return report;
 }
 
-Kbps SessionManager::demand_kbps(NodeId supernode) const {
-  const auto it = demand_.find(supernode);
-  return it == demand_.end() ? 0.0 : it->second;
-}
-
 double SessionManager::utilization(NodeId supernode) const {
   const Kbps uplink = manager_.record(supernode).upload_kbps;
   return uplink > 0.0 ? demand_kbps(supernode) / uplink : 0.0;
-}
-
-std::size_t SessionManager::cloud_sessions() const {
-  std::size_t n = 0;
-  for (const auto& [player, s] : sessions_)
-    if (s.on_cloud()) ++n;
-  return n;
 }
 
 RebalanceReport SessionManager::rebalance() {
@@ -172,19 +154,21 @@ RebalanceReport SessionManager::rebalance() {
     ++report.overloaded_supernodes;
     // Shed most-recently attached players first (they have the least
     // session history to disrupt) while over the threshold.
-    auto players = served_[sn];  // copy: attach/detach mutates the list
+    // Materialized copy: attach/detach mutates the intrusive list.
+    store_.members(sn, member_scratch_);
+    const std::vector<NodeId>& players = member_scratch_;
     for (auto it = players.rbegin();
          it != players.rend() && utilization(sn) > config_.shed_utilization;
          ++it) {
-      Session& s = sessions_.at(*it);
-      detach(s);
-      if (try_backups(s, /*respect_utilization=*/true).has_value()) {
+      const SessionIdx idx = store_.index_of(*it);
+      detach(idx);
+      if (try_backups(idx, /*respect_utilization=*/true).has_value()) {
         ++report.players_moved;
       } else {
         // No headroom anywhere: put the player back where it was (the slot
         // is still free — we just released it).
         manager_.claim(sn);
-        attach(s, sn, topology_.expected_server_one_way_ms(sn, s.player));
+        attach(idx, sn, topology_.expected_server_one_way_ms(sn, *it));
         break;  // nothing else will fit either
       }
     }

@@ -14,13 +14,19 @@
 //     among supernodes": supernodes whose uplink demand exceeds a
 //     utilization threshold shed their most recent players to backups
 //     with headroom.
+//
+// Storage is the structure-of-arrays SessionStore (session_store.h,
+// DESIGN.md §12): per-player state in slabs behind generation-tagged
+// handles, intrusive per-supernode member lists, and an exact integer
+// demand ledger. session()/player_join() therefore return a by-value
+// Session snapshot — coherent at the call, not live-updating.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/session_store.h"
 #include "core/supernode_manager.h"
 #include "game/game.h"
 #include "util/rng.h"
@@ -30,6 +36,7 @@ namespace cloudfog::core {
 
 struct SessionManagerConfig {
   /// Backups kept per session (the qualified-but-not-chosen candidates).
+  /// At most BackupList::kMaxBackups — backup storage is inline.
   std::size_t max_backups = 4;
   /// Use recorded backups when a supernode departs. Off = every affected
   /// player runs a fresh assignment (the ablation baseline).
@@ -39,19 +46,6 @@ struct SessionManagerConfig {
   /// rebalance() sheds players while a supernode's demand exceeds this
   /// fraction of its uplink.
   double shed_utilization = 0.9;
-};
-
-/// One player's active serving arrangement.
-struct Session {
-  NodeId player = kInvalidNode;
-  game::GameId game = -1;
-  /// Serving supernode, or kInvalidNode for direct-to-cloud.
-  NodeId supernode = kInvalidNode;
-  std::vector<NodeId> backups;      // nearest-first
-  TimeMs stream_delay_ms = 0.0;     // probed delay to the serving supernode
-  Kbps bitrate_kbps = 0.0;          // demand the session puts on its server
-
-  bool on_cloud() const { return supernode == kInvalidNode; }
 };
 
 /// Outcome of a supernode departure.
@@ -83,46 +77,57 @@ class SessionManager {
 
   // --- player lifecycle -----------------------------------------------------
   /// Assigns a joining player (Section III-A3) and opens its session.
-  const Session& player_join(NodeId player, game::GameId game);
+  Session player_join(NodeId player, game::GameId game);
   /// Closes the session, releasing any supernode slot.
   void player_leave(NodeId player);
-  bool has_session(NodeId player) const { return sessions_.contains(player); }
-  const Session& session(NodeId player) const;
+  bool has_session(NodeId player) const { return store_.contains(player); }
+  Session session(NodeId player) const;
+  /// Hot read of the player's serving state (supernode + probed delay)
+  /// without assembling a Session snapshot — the per-segment bookkeeping
+  /// shape. CF_CHECKs the session exists, like session().
+  SessionStore::ServeState serve_state(NodeId player) const {
+    return store_.serve_state(store_.index_of(player));
+  }
 
   // --- cooperation extension -------------------------------------------------
   /// Sheds load from supernodes above the utilization threshold to their
   /// players' backups. No-op unless enable_cooperation.
   RebalanceReport rebalance();
 
-  /// Demand currently placed on a supernode's uplink (kbps).
-  Kbps demand_kbps(NodeId supernode) const;
+  /// Demand currently placed on a supernode's uplink (kbps). Exact: always
+  /// the sum of the attached sessions' bitrates (integer ledger underneath).
+  Kbps demand_kbps(NodeId supernode) const { return store_.demand_kbps(supernode); }
   /// demand / uplink for a supernode.
   double utilization(NodeId supernode) const;
 
-  std::size_t session_count() const { return sessions_.size(); }
-  std::size_t cloud_sessions() const;
-  std::size_t supernode_sessions() const { return session_count() - cloud_sessions(); }
+  std::size_t session_count() const { return store_.size(); }
+  std::size_t cloud_sessions() const { return store_.cloud_count(); }
+  std::size_t supernode_sessions() const { return store_.attached_count(); }
 
   const SupernodeManager& manager() const { return manager_; }
+  /// The underlying slab store (occupancy / footprint introspection).
+  const SessionStore& store() const { return store_; }
 
  private:
   /// Moves a session onto `target` (capacity slot already taken by caller
   /// via manager). Updates indexes and demand.
-  void attach(Session& s, NodeId target, TimeMs delay_ms);
+  void attach(SessionIdx idx, NodeId target, TimeMs delay_ms);
   /// Detaches a session from its supernode (releases the slot).
-  void detach(Session& s);
+  void detach(SessionIdx idx);
   /// Tries the session's recorded backups; returns the one attached to.
   /// With `respect_utilization`, backups above the shed threshold are
   /// skipped (used by rebalance() so shedding cannot ping-pong load).
-  std::optional<NodeId> try_backups(Session& s, bool respect_utilization = false);
+  std::optional<NodeId> try_backups(SessionIdx idx,
+                                    bool respect_utilization = false);
+  /// Records an assignment's backups (truncated to max_backups) inline.
+  void record_backups(SessionIdx idx, const Assignment& a);
 
   const net::Topology& topology_;
   SupernodeManager manager_;
   SessionManagerConfig config_;
   util::Rng rng_;
-  std::unordered_map<NodeId, Session> sessions_;           // by player
-  std::unordered_map<NodeId, std::vector<NodeId>> served_; // supernode -> players
-  std::unordered_map<NodeId, Kbps> demand_;                // supernode -> kbps
+  SessionStore store_;
+  std::vector<NodeId> member_scratch_;  // supernode_leave / rebalance
 };
 
 }  // namespace cloudfog::core

@@ -1,0 +1,209 @@
+#include "core/session_store.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace cloudfog::core {
+
+std::int64_t SessionStore::to_millikbps(Kbps kbps) {
+  CF_CHECK_MSG(kbps >= 0.0, "bitrate must be non-negative");
+  const auto mkbps = static_cast<std::int64_t>(std::llround(kbps * 1000.0));
+  // Ledger exactness contract: the integer must reproduce the caller's
+  // double bit-identically, or exact accounting would silently change
+  // observable demand values.
+  CF_CHECK_MSG(from_millikbps(mkbps) == kbps,
+               "bitrate is not exactly representable in millikbps");
+  return mkbps;
+}
+
+std::uint32_t SessionStore::alloc_slot() {
+  if (free_head_ != kInvalidSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = next_[slot];
+    CF_OBS_COUNT_HOT("core.session.slot_reuse", 1);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(serve_.size());
+  CF_CHECK_MSG(slot != kInvalidSlot, "session slab is full");
+  serve_.emplace_back();
+  player_.push_back(kInvalidNode);
+  game_.push_back(-1);
+  bitrate_mkbps_.push_back(0);
+  backups_.emplace_back();
+  gen_.push_back(0);
+  prev_.push_back(kInvalidSlot);
+  next_.push_back(kInvalidSlot);
+  return slot;
+}
+
+SessionIdx SessionStore::open(NodeId player, game::GameId game,
+                              Kbps bitrate_kbps) {
+  CF_CHECK_MSG(!contains(player), "player already has a session");
+  const std::int64_t mkbps = to_millikbps(bitrate_kbps);
+  const std::uint32_t slot = alloc_slot();
+  serve_[slot] = ServeState{};
+  player_[slot] = player;
+  game_[slot] = game;
+  bitrate_mkbps_[slot] = mkbps;
+  backups_[slot].clear();
+  prev_[slot] = kInvalidSlot;
+  next_[slot] = kInvalidSlot;
+  const SessionIdx idx{slot, gen_[slot]};
+  if (player >= handle_.size()) handle_.resize(player + 1);
+  handle_[player] = idx;
+  ++live_;
+  CF_OBS_GAUGE_SET_HOT("core.session.slots_live", live_);
+  CF_OBS_GAUGE_SET_HOT("core.session.handle_load_factor", handle_load_factor());
+  return idx;
+}
+
+void SessionStore::close(SessionIdx idx) {
+  const std::uint32_t slot = checked(idx);
+  CF_CHECK_MSG(serve_[slot].supernode == kInvalidNode,
+               "closing a session still attached to a supernode");
+  handle_[player_[slot]] = SessionIdx{};
+  player_[slot] = kInvalidNode;
+  ++gen_[slot];  // invalidate outstanding handles to this slot
+  next_[slot] = free_head_;
+  free_head_ = slot;
+  --live_;
+  CF_OBS_GAUGE_SET_HOT("core.session.slots_live", live_);
+  CF_OBS_GAUGE_SET_HOT("core.session.handle_load_factor", handle_load_factor());
+}
+
+Session SessionStore::snapshot(SessionIdx idx) const {
+  const std::uint32_t slot = checked(idx);
+  Session s;
+  s.player = player_[slot];
+  s.game = game_[slot];
+  s.supernode = serve_[slot].supernode;
+  s.backups = backups_[slot];
+  s.stream_delay_ms = serve_[slot].delay_ms;
+  s.bitrate_kbps = from_millikbps(bitrate_mkbps_[slot]);
+  return s;
+}
+
+std::uint32_t SessionStore::server_slot(NodeId server) const {
+  CF_CHECK_MSG(server_registered(server), "server is not registered");
+  return server_slot_of_[server];
+}
+
+void SessionStore::register_server(NodeId server) {
+  CF_CHECK_MSG(server != kInvalidNode, "invalid server id");
+  CF_CHECK_MSG(!server_registered(server), "server already registered");
+  std::uint32_t slot;
+  if (!server_free_.empty()) {
+    slot = server_free_.back();
+    server_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(servers_.size());
+    servers_.emplace_back();
+  }
+  // A recycled slot is guaranteed clean: unregister_server checks emptiness,
+  // and the ledger invariant ties empty to zero demand.
+  servers_[slot] = ServerEntry{};
+  servers_[slot].server = server;
+  if (server >= server_slot_of_.size()) {
+    server_slot_of_.resize(server + 1, kInvalidSlot);
+  }
+  server_slot_of_[server] = slot;
+}
+
+void SessionStore::unregister_server(NodeId server) {
+  const std::uint32_t slot = server_slot(server);
+  ServerEntry& e = servers_[slot];
+  CF_CHECK_MSG(e.count == 0,
+               "unregistering a server with attached sessions — detach them "
+               "first");
+  CF_INVARIANT(e.demand_mkbps == 0,
+               "an empty server's demand ledger must be exactly zero");
+  e = ServerEntry{};
+  server_slot_of_[server] = kInvalidSlot;
+  server_free_.push_back(slot);
+}
+
+void SessionStore::attach(SessionIdx idx, NodeId server, TimeMs delay_ms) {
+  const std::uint32_t slot = checked(idx);
+  CF_CHECK_MSG(serve_[slot].supernode == kInvalidNode,
+               "session is already attached");
+  const std::uint32_t sslot = server_slot(server);
+  ServerEntry& e = servers_[sslot];
+  serve_[slot].supernode = server;
+  serve_[slot].delay_ms = delay_ms;
+  // Append at the tail: member order == attach order, exactly the order the
+  // old served_ vector kept.
+  prev_[slot] = e.tail;
+  next_[slot] = kInvalidSlot;
+  if (e.tail != kInvalidSlot) {
+    next_[e.tail] = slot;
+  } else {
+    e.head = slot;
+  }
+  e.tail = slot;
+  ++e.count;
+  e.demand_mkbps += bitrate_mkbps_[slot];
+  ++attached_;
+}
+
+void SessionStore::detach(SessionIdx idx) {
+  const std::uint32_t slot = checked(idx);
+  const NodeId server = serve_[slot].supernode;
+  if (server == kInvalidNode) return;
+  ServerEntry& e = servers_[server_slot(server)];
+  // O(1) intrusive unlink — relative order of the remaining members is
+  // untouched, exactly like the old erase-remove.
+  const std::uint32_t p = prev_[slot];
+  const std::uint32_t n = next_[slot];
+  if (p != kInvalidSlot) next_[p] = n; else e.head = n;
+  if (n != kInvalidSlot) prev_[n] = p; else e.tail = p;
+  prev_[slot] = kInvalidSlot;
+  next_[slot] = kInvalidSlot;
+  CF_CHECK_MSG(e.count > 0, "detach from an empty server");
+  --e.count;
+  e.demand_mkbps -= bitrate_mkbps_[slot];
+  CF_INVARIANT(e.demand_mkbps >= 0,
+               "exact demand ledger must never go negative");
+  serve_[slot].supernode = kInvalidNode;
+  serve_[slot].delay_ms = 0.0;
+  --attached_;
+}
+
+std::int64_t SessionStore::demand_millikbps(NodeId server) const {
+  if (!server_registered(server)) return 0;
+  return servers_[server_slot_of_[server]].demand_mkbps;
+}
+
+std::size_t SessionStore::member_count(NodeId server) const {
+  if (!server_registered(server)) return 0;
+  return servers_[server_slot_of_[server]].count;
+}
+
+void SessionStore::members(NodeId server, std::vector<NodeId>& out) const {
+  out.clear();
+  if (!server_registered(server)) return;
+  const ServerEntry& e = servers_[server_slot_of_[server]];
+  out.reserve(e.count);
+  for (std::uint32_t slot = e.head; slot != kInvalidSlot; slot = next_[slot]) {
+    out.push_back(player_[slot]);
+  }
+  CF_INVARIANT(out.size() == e.count,
+               "member list length must match the server's member count");
+}
+
+std::size_t SessionStore::bytes_reserved() const {
+  return serve_.capacity() * sizeof(ServeState) +
+         player_.capacity() * sizeof(NodeId) +
+         game_.capacity() * sizeof(game::GameId) +
+         bitrate_mkbps_.capacity() * sizeof(std::int64_t) +
+         backups_.capacity() * sizeof(BackupList) +
+         gen_.capacity() * sizeof(std::uint32_t) +
+         prev_.capacity() * sizeof(std::uint32_t) +
+         next_.capacity() * sizeof(std::uint32_t) +
+         handle_.capacity() * sizeof(SessionIdx) +
+         servers_.capacity() * sizeof(ServerEntry) +
+         server_slot_of_.capacity() * sizeof(std::uint32_t) +
+         server_free_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace cloudfog::core

@@ -1,0 +1,247 @@
+// Structure-of-arrays session slab — the million-player hot state behind
+// SessionManager (DESIGN.md §12).
+//
+// The session book used to be three unordered_maps (player→Session with a
+// heap-allocated backups vector inside, supernode→served-players vector
+// erased by linear scan, supernode→demand double accumulated by subtraction).
+// That layout tops out at PlanetLab-scale rosters: every lookup chases map
+// buckets, every session costs two heap blocks, every player_leave scans its
+// supernode's member vector, and demand drifts away from the sum of its
+// parts under long churn.
+//
+// This store keeps the same observable behaviour in parallel arrays:
+//
+//   * sessions live in SoA slabs indexed by a generation-tagged SessionIdx
+//     (slot reuse invalidates stale handles, caught by the gen check);
+//   * a dense NodeId→SessionIdx handle array replaces the player map;
+//   * backups are inline fixed-capacity (kMaxBackups) — no per-session heap;
+//   * per-supernode membership is an intrusive doubly-linked list threaded
+//     through the slabs in *attach order* (order is load-bearing: failover
+//     processes members in attach order, which drives RNG consumption);
+//   * demand is an exact integer millikbps ledger. Attach/detach add and
+//     subtract integers, so demand is always exactly the sum of the attached
+//     sessions' bitrates — no float drift, CF_INVARIANT-backed.
+//
+// Exactness contract: a bitrate enters the ledger only if it round-trips
+// kbps → millikbps → kbps bit-identically (CF_CHECKed in to_millikbps).
+// Catalog bitrates are integral kbps, so demand_kbps() returns the exact
+// double the old += accumulation produced.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "game/game.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace cloudfog::core {
+
+inline constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+/// Generation-tagged handle into the session slab. Valid until the session
+/// closes; reusing a slot bumps its generation so stale handles are caught.
+struct SessionIdx {
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t gen = 0;
+
+  bool valid() const { return slot != kInvalidSlot; }
+  friend bool operator==(const SessionIdx& a, const SessionIdx& b) {
+    return a.slot == b.slot && a.gen == b.gen;
+  }
+};
+
+/// Inline fixed-capacity backup list (nearest-first). Sized so a Session
+/// needs no heap: the paper records a handful of qualified-but-not-chosen
+/// candidates, and SessionManagerConfig::max_backups is checked against
+/// kMaxBackups at construction.
+class BackupList {
+ public:
+  static constexpr std::size_t kMaxBackups = 4;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](std::size_t i) const {
+    CF_DCHECK(i < size_);
+    return ids_[i];
+  }
+  const NodeId* begin() const { return ids_.data(); }
+  const NodeId* end() const { return ids_.data() + size_; }
+
+  void clear() { size_ = 0; }
+  void push_back(NodeId id) {
+    CF_CHECK_MSG(size_ < kMaxBackups, "backup list is full");
+    ids_[size_++] = id;
+  }
+
+ private:
+  std::array<NodeId, kMaxBackups> ids_{};
+  std::uint32_t size_ = 0;
+};
+
+/// One player's active serving arrangement — a by-value snapshot of the
+/// store's row. Reads are coherent at the call; later mutations of the
+/// store do not update an already-taken snapshot.
+struct Session {
+  NodeId player = kInvalidNode;
+  game::GameId game = -1;
+  /// Serving supernode, or kInvalidNode for direct-to-cloud.
+  NodeId supernode = kInvalidNode;
+  BackupList backups;            // nearest-first
+  TimeMs stream_delay_ms = 0.0;  // probed delay to the serving supernode
+  Kbps bitrate_kbps = 0.0;       // demand the session puts on its server
+
+  bool on_cloud() const { return supernode == kInvalidNode; }
+};
+
+/// The SoA slab store. Pure data structure: no assignment policy, no RNG —
+/// SessionManager drives it. Servers (supernodes) must be registered before
+/// sessions attach to them and may only unregister once empty.
+class SessionStore {
+ public:
+  /// Hot columns read together on every serving-state query: one 16-byte
+  /// load after the handle lookup. The read shape of a live service (per-
+  /// segment QoE bookkeeping) wants exactly these two fields, so they are
+  /// exposed without assembling a full Session snapshot.
+  struct ServeState {
+    NodeId supernode = kInvalidNode;
+    TimeMs delay_ms = 0.0;
+
+    bool on_cloud() const { return supernode == kInvalidNode; }
+  };
+
+  SessionStore() = default;
+
+  // --- demand ledger units --------------------------------------------------
+  /// kbps → exact integer millikbps. CF_CHECKs the round-trip is
+  /// bit-identical (the ledger exactness contract).
+  static std::int64_t to_millikbps(Kbps kbps);
+  static Kbps from_millikbps(std::int64_t mkbps) {
+    return static_cast<double>(mkbps) / 1000.0;
+  }
+
+  // --- session lifecycle ----------------------------------------------------
+  bool contains(NodeId player) const {
+    return player < handle_.size() && handle_[player].valid();
+  }
+  /// Opens a session in the direct-to-cloud state. The player must not
+  /// already have one.
+  SessionIdx open(NodeId player, game::GameId game, Kbps bitrate_kbps);
+  /// Closes a session. Must be detached (on cloud) first — the caller owns
+  /// the server-slot release protocol.
+  void close(SessionIdx idx);
+  /// The live handle for a player, or an invalid one.
+  SessionIdx index_of(NodeId player) const {
+    return player < handle_.size() ? handle_[player] : SessionIdx{};
+  }
+
+  std::size_t size() const { return live_; }
+  std::size_t attached_count() const { return attached_; }
+  std::size_t cloud_count() const { return live_ - attached_; }
+
+  // --- row access (generation-checked) --------------------------------------
+  NodeId player(SessionIdx idx) const { return player_[checked(idx)]; }
+  game::GameId game(SessionIdx idx) const { return game_[checked(idx)]; }
+  NodeId supernode(SessionIdx idx) const {
+    return serve_[checked(idx)].supernode;
+  }
+  bool on_cloud(SessionIdx idx) const {
+    return serve_[checked(idx)].supernode == kInvalidNode;
+  }
+  TimeMs stream_delay_ms(SessionIdx idx) const {
+    return serve_[checked(idx)].delay_ms;
+  }
+  /// The packed hot pair (serving supernode, probed delay) in one read.
+  ServeState serve_state(SessionIdx idx) const { return serve_[checked(idx)]; }
+  Kbps bitrate_kbps(SessionIdx idx) const {
+    return from_millikbps(bitrate_mkbps_[checked(idx)]);
+  }
+  const BackupList& backups(SessionIdx idx) const {
+    return backups_[checked(idx)];
+  }
+  BackupList& mutable_backups(SessionIdx idx) { return backups_[checked(idx)]; }
+  Session snapshot(SessionIdx idx) const;
+
+  // --- server registry + membership + demand --------------------------------
+  void register_server(NodeId server);
+  /// CF_CHECKs the server has no attached sessions (and therefore, by the
+  /// ledger invariant, zero demand).
+  void unregister_server(NodeId server);
+  bool server_registered(NodeId server) const {
+    return server < server_slot_of_.size() &&
+           server_slot_of_[server] != kInvalidSlot;
+  }
+
+  /// Appends the session to the server's member list tail (attach order is
+  /// preserved — it is observable through failover processing order) and
+  /// adds its bitrate to the server's demand ledger.
+  void attach(SessionIdx idx, NodeId server, TimeMs delay_ms);
+  /// Unlinks the session from its server (O(1)) and subtracts its bitrate
+  /// from the ledger. No-op for a cloud session.
+  void detach(SessionIdx idx);
+
+  std::int64_t demand_millikbps(NodeId server) const;
+  Kbps demand_kbps(NodeId server) const {
+    return from_millikbps(demand_millikbps(server));
+  }
+  std::size_t member_count(NodeId server) const;
+  /// Fills `out` (cleared first) with the server's members in attach order.
+  void members(NodeId server, std::vector<NodeId>& out) const;
+
+  // --- occupancy / footprint (bench + obs) ----------------------------------
+  std::size_t slot_capacity() const { return serve_.size(); }
+  /// Live sessions per handle-array slot (the dense map's load factor).
+  double handle_load_factor() const {
+    return handle_.empty()
+               ? 0.0
+               : static_cast<double>(live_) / static_cast<double>(handle_.size());
+  }
+  /// Bytes reserved across every array of the store (capacity, not size —
+  /// what the process actually holds). The bench reports this / players.
+  std::size_t bytes_reserved() const;
+
+ private:
+  struct ServerEntry {
+    NodeId server = kInvalidNode;  // kInvalidNode = slot free
+    std::uint32_t head = kInvalidSlot;
+    std::uint32_t tail = kInvalidSlot;
+    std::uint32_t count = 0;
+    std::int64_t demand_mkbps = 0;
+  };
+
+  std::uint32_t checked(SessionIdx idx) const {
+    CF_CHECK_MSG(idx.slot < gen_.size() && gen_[idx.slot] == idx.gen,
+                 "stale or invalid session handle");
+    return idx.slot;
+  }
+  std::uint32_t server_slot(NodeId server) const;
+  std::uint32_t alloc_slot();
+
+  // Session slabs (parallel arrays indexed by slot).
+  std::vector<ServeState> serve_;
+  std::vector<NodeId> player_;
+  std::vector<game::GameId> game_;
+  std::vector<std::int64_t> bitrate_mkbps_;
+  std::vector<BackupList> backups_;
+  std::vector<std::uint32_t> gen_;
+  // Intrusive links: the member list of the serving supernode while
+  // attached; next_ doubles as the free-list thread while the slot is free.
+  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> next_;
+  std::uint32_t free_head_ = kInvalidSlot;
+
+  // Dense player → handle map (players get small dense NodeIds).
+  std::vector<SessionIdx> handle_;
+
+  // Server slab + dense NodeId → server-slot map.
+  std::vector<ServerEntry> servers_;
+  std::vector<std::uint32_t> server_slot_of_;
+  std::vector<std::uint32_t> server_free_;
+
+  std::size_t live_ = 0;
+  std::size_t attached_ = 0;
+};
+
+}  // namespace cloudfog::core

@@ -15,34 +15,58 @@ SupernodeManager::SupernodeManager(const net::Topology& topology,
 }
 
 void SupernodeManager::attach_cache(cache::EdgeCacheService* service) {
-  CF_CHECK_MSG(records_.empty(),
+  CF_CHECK_MSG(roster_.empty(),
                "attach the cache service before registering supernodes");
   cache_ = service;
+}
+
+SupernodeRecord& SupernodeManager::rec_at(NodeId host) {
+  CF_CHECK_MSG(is_supernode(host), "host is not a registered supernode");
+  return records_[slot_of_[host]];
+}
+
+const SupernodeRecord& SupernodeManager::rec_at(NodeId host) const {
+  CF_CHECK_MSG(is_supernode(host), "host is not a registered supernode");
+  return records_[slot_of_[host]];
 }
 
 void SupernodeManager::add_supernode(NodeId host, int capacity, Kbps upload_kbps) {
   CF_CHECK_MSG(capacity >= 1, "supernode capacity must be at least 1");
   CF_CHECK_MSG(upload_kbps > 0.0, "supernode upload capacity must be positive");
-  CF_CHECK_MSG(!records_.contains(host), "host already registered as supernode");
-  SupernodeRecord rec;
+  CF_CHECK_MSG(!is_supernode(host), "host already registered as supernode");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(records_.size());
+    records_.emplace_back();
+  }
+  SupernodeRecord& rec = records_[slot];
+  rec = SupernodeRecord{};
   rec.host = host;
   rec.capacity = capacity;
   rec.upload_kbps = upload_kbps;
-  records_.emplace(host, rec);
+  if (host >= slot_of_.size()) slot_of_.resize(host + 1, kRecordSlotFree);
+  slot_of_[host] = slot;
+  total_capacity_ += capacity;
   roster_.push_back(host);
   grid_.insert(host, topology_.host(host).position);
   if (cache_ != nullptr) cache_->add_supernode(host, capacity);
-  CF_INVARIANT(records_.size() == roster_.size(),
+  CF_INVARIANT(records_.size() - free_slots_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
 }
 
 void SupernodeManager::remove_supernode(NodeId host) {
-  const auto it = records_.find(host);
-  CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
-  CF_CHECK_MSG(it->second.assigned == 0,
+  SupernodeRecord& rec = rec_at(host);
+  CF_CHECK_MSG(rec.assigned == 0,
                "removing a supernode with players still assigned — release "
                "or reassign them first");
-  records_.erase(it);
+  const std::uint32_t slot = slot_of_[host];
+  total_capacity_ -= rec.capacity;
+  rec = SupernodeRecord{};  // host reset to kInvalidNode: slot is free
+  slot_of_[host] = kRecordSlotFree;
+  free_slots_.push_back(slot);
   grid_.remove(host);
   roster_.erase(std::remove(roster_.begin(), roster_.end(), host), roster_.end());
   if (cache_ != nullptr) {
@@ -52,37 +76,37 @@ void SupernodeManager::remove_supernode(NodeId host) {
     CF_CHECK_MSG(!cache_->has_supernode(host),
                  "cache entries outlived their departing supernode");
   }
-  CF_INVARIANT(records_.size() == roster_.size(),
+  CF_INVARIANT(records_.size() - free_slots_.size() == roster_.size(),
                "supernode directory and deterministic roster must stay in sync");
 }
 
-bool SupernodeManager::is_supernode(NodeId host) const {
-  return records_.contains(host);
-}
-
 const SupernodeRecord& SupernodeManager::record(NodeId host) const {
-  const auto it = records_.find(host);
-  CF_CHECK_MSG(it != records_.end(), "host is not a registered supernode");
-  return it->second;
+  return rec_at(host);
 }
 
 const std::vector<NodeId>& SupernodeManager::supernodes() const {
   return roster_;
 }
 
-Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
+const Assignment& SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
   CF_CHECK_MSG(l_max_ms > 0.0, "latency threshold must be positive");
-  Assignment result;
-  if (records_.empty()) return result;
+  Assignment& result = assign_result_;
+  result.supernode = kInvalidNode;
+  result.delay_ms = 0.0;
+  result.backups.clear();  // keeps its capacity — no per-join allocation
+  if (roster_.empty()) return result;
 
   // Step 1 — cloud side: the closest candidates by coordinate distance
   // (node coordinates derived from IP addresses in the paper). The grid
   // index and the exhaustive scan produce element-for-element identical
   // candidate lists (same haversine doubles, ties by ascending id).
-  const net::GeoPoint player_pos = topology_.host(player).position;
+  const net::Host& player_host = topology_.host(player);
+  const net::GeoPoint player_pos = player_host.position;
   const std::size_t k = std::min(config_.candidate_count, roster_.size());
   if (config_.use_spatial_index) {
-    grid_.nearest_k(player_pos, k, candidates_);
+    // Host::cos_lat is the precomputed net::cos_lat(position) the grid
+    // would otherwise recompute per query.
+    grid_.nearest_k(player_pos, player_host.cos_lat, k, candidates_);
   } else {
     candidates_.clear();
     candidates_.reserve(roster_.size());
@@ -96,10 +120,14 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
     candidates_.resize(k);
   }
 
-  // Step 2 — player side: probe transmission delay, filter by L_max.
+  // Step 2 — player side: probe transmission delay, filter by L_max. The
+  // candidate distance is the exact haversine double the model would
+  // recompute, so the distance-carrying probe overload is result-neutral.
   qualified_.clear();
+  const net::Endpoint player_ep{player_host.id, player_host.position,
+                                player_host.last_mile_ms, player_host.cos_lat};
   for (const auto& [dist_km, sn] : candidates_) {
-    TimeMs delay = topology_.expected_server_one_way_ms(sn, player);
+    TimeMs delay = topology_.expected_server_one_way_ms(sn, player_ep, dist_km);
     if (config_.probe_jitter_sigma > 0.0) {
       delay *= rng_.lognormal(0.0, config_.probe_jitter_sigma);
     }
@@ -113,9 +141,10 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
   // Step 3 — choose the fastest qualified supernode with spare capacity;
   // the rest become backups.
   for (const Probe& p : qualified_) {
-    SupernodeRecord& rec = records_.at(p.sn);
+    SupernodeRecord& rec = records_[slot_of_[p.sn]];
     if (result.direct_to_cloud() && rec.available() > 0) {
       ++rec.assigned;
+      ++total_assigned_;
       // Trust boundary: assignment must conserve capacity — a supernode can
       // never support more players than its configured C_j.
       CF_INVARIANT(rec.assigned <= rec.capacity,
@@ -126,46 +155,37 @@ Assignment SupernodeManager::assign(NodeId player, TimeMs l_max_ms) {
       result.backups.push_back(p.sn);
     }
   }
-  // Step 4 — empty result means direct-to-cloud.
+  // Step 4 — empty result means direct-to-cloud. Cached (_HOT) instruments:
+  // assign() runs per join, and a per-call name lookup is measurable there.
   if (result.direct_to_cloud()) {
-    CF_OBS_COUNT("core.supernode.direct_to_cloud", 1);
+    CF_OBS_COUNT_HOT("core.supernode.direct_to_cloud", 1);
   } else {
-    CF_OBS_COUNT("core.supernode.assignments", 1);
-    CF_OBS_GAUGE_SET("core.supernode.assigned_total", total_assigned());
-    CF_OBS_HIST("core.supernode.assignment_delay_ms", result.delay_ms);
+    CF_OBS_COUNT_HOT("core.supernode.assignments", 1);
+    CF_OBS_GAUGE_SET_HOT("core.supernode.assigned_total", total_assigned());
+    CF_OBS_HIST_HOT("core.supernode.assignment_delay_ms", result.delay_ms);
   }
   return result;
 }
 
 void SupernodeManager::claim(NodeId supernode) {
-  auto it = records_.find(supernode);
-  CF_CHECK_MSG(it != records_.end(), "claiming an unknown supernode");
-  CF_CHECK_MSG(it->second.available() > 0, "claim without spare capacity");
-  ++it->second.assigned;
-  CF_INVARIANT(it->second.assigned <= it->second.capacity,
+  CF_CHECK_MSG(is_supernode(supernode), "claiming an unknown supernode");
+  SupernodeRecord& rec = records_[slot_of_[supernode]];
+  CF_CHECK_MSG(rec.available() > 0, "claim without spare capacity");
+  ++rec.assigned;
+  ++total_assigned_;
+  CF_INVARIANT(rec.assigned <= rec.capacity,
                "supernode assigned count must not exceed capacity");
 }
 
 void SupernodeManager::release(NodeId supernode) {
   if (supernode == kInvalidNode) return;
-  auto it = records_.find(supernode);
-  CF_CHECK_MSG(it != records_.end(), "releasing an unknown supernode");
-  CF_CHECK_MSG(it->second.assigned > 0, "release without assignment");
-  --it->second.assigned;
-  CF_INVARIANT(it->second.assigned >= 0,
+  CF_CHECK_MSG(is_supernode(supernode), "releasing an unknown supernode");
+  SupernodeRecord& rec = records_[slot_of_[supernode]];
+  CF_CHECK_MSG(rec.assigned > 0, "release without assignment");
+  --rec.assigned;
+  --total_assigned_;
+  CF_INVARIANT(rec.assigned >= 0,
                "supernode assigned count must stay non-negative");
-}
-
-std::int64_t SupernodeManager::total_capacity() const {
-  std::int64_t total = 0;
-  for (const auto& [id, rec] : records_) total += rec.capacity;
-  return total;
-}
-
-std::int64_t SupernodeManager::total_assigned() const {
-  std::int64_t total = 0;
-  for (const auto& [id, rec] : records_) total += rec.assigned;
-  return total;
 }
 
 }  // namespace cloudfog::core

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -92,8 +91,12 @@ class SupernodeManager {
   /// jobs cancelled — CF_CHECKed so no cache entry outlives its supernode.
   void remove_supernode(NodeId host);
 
-  bool is_supernode(NodeId host) const;
-  std::size_t supernode_count() const { return records_.size(); }
+  bool is_supernode(NodeId host) const {
+    return host < slot_of_.size() && slot_of_[host] != kRecordSlotFree;
+  }
+  std::size_t supernode_count() const { return roster_.size(); }
+  /// The host's directory record. The reference is valid until the next
+  /// add_supernode (the slab may grow); copy before mutating the roster.
   const SupernodeRecord& record(NodeId host) const;
   /// Registered supernodes in insertion order. The reference stays valid
   /// until the next add/remove; copy before mutating or reordering.
@@ -101,8 +104,10 @@ class SupernodeManager {
 
   /// Runs the Section III-A3 algorithm for `player` whose game tolerates at
   /// most `l_max_ms` one-way streaming delay. On success the chosen
-  /// supernode's assigned count is incremented.
-  Assignment assign(NodeId player, TimeMs l_max_ms);
+  /// supernode's assigned count is incremented. The reference points at a
+  /// scratch reused by the next assign() call (keeping the per-join backups
+  /// vector off the heap) — read or copy it before assigning again.
+  const Assignment& assign(NodeId player, TimeMs l_max_ms);
 
   /// Claims one capacity slot on a specific supernode — used by the
   /// session layer's backup failover, where candidate discovery has
@@ -112,28 +117,44 @@ class SupernodeManager {
   /// Releases the player's slot on `supernode` (no-op for the cloud).
   void release(NodeId supernode);
 
-  /// Total configured capacity across supernodes.
-  std::int64_t total_capacity() const;
-  /// Total currently assigned players.
-  std::int64_t total_assigned() const;
+  /// Total configured capacity across supernodes. O(1): maintained as a
+  /// running sum (assign() publishes the assigned total per join, so a
+  /// roster walk here would put an O(supernodes) term on the hot path).
+  std::int64_t total_capacity() const { return total_capacity_; }
+  /// Total currently assigned players. O(1), same running-sum scheme.
+  std::int64_t total_assigned() const { return total_assigned_; }
 
  private:
   struct Probe {
     TimeMs delay;
     NodeId sn;
   };
+  static constexpr std::uint32_t kRecordSlotFree = 0xffffffffu;
+
+  /// Slab record for a registered host (CF_CHECKed).
+  SupernodeRecord& rec_at(NodeId host);
+  const SupernodeRecord& rec_at(NodeId host) const;
 
   const net::Topology& topology_;
   SupernodeManagerConfig config_;
   cache::EdgeCacheService* cache_ = nullptr;  // optional, not owned
   util::Rng rng_;
-  std::unordered_map<NodeId, SupernodeRecord> records_;
+  // Directory records in a slab with a dense NodeId→slot map: lookups on
+  // the assign/claim/release hot paths are two array indexes instead of a
+  // hash-map walk. Free slots are recycled LIFO (record reuse is not
+  // observable: every read goes through the id-keyed map).
+  std::vector<SupernodeRecord> records_;
+  std::vector<std::uint32_t> slot_of_;  // NodeId → records_ slot
+  std::vector<std::uint32_t> free_slots_;
+  std::int64_t total_capacity_ = 0;  // running sums over live records
+  std::int64_t total_assigned_ = 0;
   std::vector<NodeId> roster_;  // insertion-ordered ids for determinism
   GeoGrid grid_;                // roster by position, for assign()
   // Scratch reused across assign() calls to keep the hot path free of
   // steady-state allocations.
   std::vector<std::pair<double, NodeId>> candidates_;
   std::vector<Probe> qualified_;
+  Assignment assign_result_;
 };
 
 }  // namespace cloudfog::core

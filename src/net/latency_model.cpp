@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "util/check.h"
 
 namespace cloudfog::net {
 
@@ -70,17 +71,36 @@ double LatencyModel::pair_bias_uncached(NodeId a, NodeId b) const {
   return std::exp(params_.pair_bias_sigma * z);
 }
 
-double LatencyModel::pair_bias(NodeId a, NodeId b) const {
-  const NodeId lo = std::min(a, b);
-  const NodeId hi = std::max(a, b);
-  PairEntry& e = cache_[pair_slot(lo, hi, kPairCacheSize - 1)];
-  if (e.lo != lo || e.hi != hi) {
-    e.lo = lo;
-    e.hi = hi;
-    e.bias = pair_bias_uncached(lo, hi);
-    e.d_km = -1.0;  // distance half belongs to the evicted pair
+void LatencyModel::reserve_endpoints(std::size_t num_endpoints) const {
+  std::size_t sets = kPairCacheMinSets;
+  while (sets < num_endpoints && sets < kPairCacheMaxSets) sets *= 2;
+  if (sets == sets_) return;
+  sets_ = sets;
+  cache_.assign(sets_ * kPairCacheWays, PairEntry{});
+  rr_.assign(sets_, 0);
+}
+
+LatencyModel::PairEntry& LatencyModel::find_line(NodeId lo, NodeId hi) const {
+  const std::size_t set = pair_slot(lo, hi, sets_ - 1);
+  PairEntry* ways = &cache_[set * kPairCacheWays];
+  for (std::size_t w = 0; w < kPairCacheWays; ++w) {
+    if (ways[w].lo == lo && ways[w].hi == hi) {
+      CF_OBS_COUNT_HOT("net.latency.pair_memo.hits", 1);
+      return ways[w];
+    }
   }
-  return e.bias;
+  CF_OBS_COUNT_HOT("net.latency.pair_memo.misses", 1);
+  PairEntry& e = ways[rr_[set]];
+  rr_[set] = static_cast<std::uint8_t>((rr_[set] + 1) % kPairCacheWays);
+  e.lo = lo;
+  e.hi = hi;
+  e.bias = pair_bias_uncached(lo, hi);
+  e.d_km = -1.0;  // distance half belongs to the evicted pair
+  return e;
+}
+
+double LatencyModel::pair_bias(NodeId a, NodeId b) const {
+  return find_line(std::min(a, b), std::max(a, b)).bias;
 }
 
 const LatencyModel::PairEntry& LatencyModel::pair_entry(
@@ -91,13 +111,7 @@ const LatencyModel::PairEntry& LatencyModel::pair_entry(
   const bool a_is_lo = a.id <= b.id;
   const Endpoint& lo_ep = a_is_lo ? a : b;
   const Endpoint& hi_ep = a_is_lo ? b : a;
-  PairEntry& e = cache_[pair_slot(lo_ep.id, hi_ep.id, kPairCacheSize - 1)];
-  if (e.lo != lo_ep.id || e.hi != hi_ep.id) {
-    e.lo = lo_ep.id;
-    e.hi = hi_ep.id;
-    e.bias = pair_bias_uncached(lo_ep.id, hi_ep.id);
-    e.d_km = -1.0;
-  }
+  PairEntry& e = find_line(lo_ep.id, hi_ep.id);
   if (e.d_km < 0.0 || !(e.lo_pos == lo_ep.position) ||
       !(e.hi_pos == hi_ep.position)) {
     e.lo_pos = lo_ep.position;
@@ -125,6 +139,25 @@ TimeMs LatencyModel::expected_one_way_ms(const Endpoint& a,
   // access (last-mile) delay is a property of the host, not the route, and
   // must not be scaled away by picking a lucky peer.
   const PairEntry& e = pair_entry(a, b);
+  return route_from_km(e.d_km) * e.bias + a.last_mile_ms + b.last_mile_ms;
+}
+
+TimeMs LatencyModel::expected_one_way_ms(const Endpoint& a, const Endpoint& b,
+                                         double d_km) const {
+  if (a.id == b.id) return 0.1;
+  const bool a_is_lo = a.id <= b.id;
+  const Endpoint& lo_ep = a_is_lo ? a : b;
+  const Endpoint& hi_ep = a_is_lo ? b : a;
+  PairEntry& e = find_line(lo_ep.id, hi_ep.id);
+  if (e.d_km < 0.0 || !(e.lo_pos == lo_ep.position) ||
+      !(e.hi_pos == hi_ep.position)) {
+    e.lo_pos = lo_ep.position;
+    e.hi_pos = hi_ep.position;
+    e.d_km = d_km;
+  }
+  // On a fresh hit the caller's distance must agree with the memoized one —
+  // both are the exact haversine for these positions.
+  CF_DCHECK(e.d_km == d_km);
   return route_from_km(e.d_km) * e.bias + a.last_mile_ms + b.last_mile_ms;
 }
 

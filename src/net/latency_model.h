@@ -64,20 +64,41 @@ struct Endpoint {
 
 /// Latency calculator over endpoint pairs. Logically const: every quantity
 /// is a pure deterministic function of (params, endpoints). Internally it
-/// memoizes the per-pair route bias and great-circle distance in a small
-/// direct-mapped cache — hits return the exact double a fresh computation
+/// memoizes the per-pair route bias and great-circle distance in a set-
+/// associative cache — hits return the exact double a fresh computation
 /// would, so memoization is invisible to results (DESIGN.md §8). The cache
-/// makes the model non-thread-safe; the simulation is single-threaded.
+/// starts at 4096 entries and is re-sized (power-of-two set counts, 4-way)
+/// by reserve_endpoints() as the topology announces its roster, so the
+/// working set of a million-player run does not thrash a fixed-size memo
+/// (DESIGN.md §12). The cache makes the model non-thread-safe; the
+/// simulation is single-threaded.
 class LatencyModel {
  public:
   explicit LatencyModel(LatencyParams params)
-      : params_(params), cache_(kPairCacheSize) {}
+      : params_(params),
+        cache_(kPairCacheMinSets * kPairCacheWays),
+        rr_(kPairCacheMinSets, 0) {}
 
   const LatencyParams& params() const { return params_; }
+
+  /// Scales the pair memo to a roster of `num_endpoints` hosts: the set
+  /// count becomes the clamped next power of two. Called by Topology as
+  /// hosts register; safe at any time (a re-size discards memoized lines —
+  /// results are unaffected, every line is recomputable).
+  void reserve_endpoints(std::size_t num_endpoints) const;
 
   /// Deterministic expected one-way latency (ms) between two endpoints.
   /// Symmetric: expected(a, b) == expected(b, a).
   TimeMs expected_one_way_ms(const Endpoint& a, const Endpoint& b) const;
+
+  /// As above, with the pair's great-circle distance already in hand (e.g.
+  /// from the spatial index's candidate list). `d_km` MUST be the exact
+  /// haversine_km double for the endpoints' positions (haversine is
+  /// bit-identically symmetric, so argument order does not matter); the
+  /// result and the memo state are then bit-identical to the two-argument
+  /// overload, minus the recomputation. CF_DCHECKed against the memo.
+  TimeMs expected_one_way_ms(const Endpoint& a, const Endpoint& b,
+                             double d_km) const;
 
   /// One packet's one-way latency: expected value times lognormal jitter.
   TimeMs sample_one_way_ms(const Endpoint& a, const Endpoint& b,
@@ -104,11 +125,11 @@ class LatencyModel {
   double loss_probability(const Endpoint& a, const Endpoint& b) const;
 
  private:
-  /// One direct-mapped memo line. Keyed on the unordered id pair; the bias
-  /// is valid whenever the keys match (it depends only on seed + ids), the
-  /// distance additionally requires the stored positions to match — node
-  /// ids can be rebound to new coordinates across topologies sharing a
-  /// model (tests do), so a hit must prove it cached *these* coordinates.
+  /// One memo line. Keyed on the unordered id pair; the bias is valid
+  /// whenever the keys match (it depends only on seed + ids), the distance
+  /// additionally requires the stored positions to match — node ids can be
+  /// rebound to new coordinates across topologies sharing a model (tests
+  /// do), so a hit must prove it cached *these* coordinates.
   struct PairEntry {
     NodeId lo = kInvalidNode;
     NodeId hi = kInvalidNode;
@@ -116,15 +137,29 @@ class LatencyModel {
     double bias = 0.0;
     double d_km = -1.0;  // < 0: distance half not populated
   };
-  static constexpr std::size_t kPairCacheSize = 4096;  // power of two
+  static constexpr std::size_t kPairCacheWays = 4;
+  /// 1024 sets x 4 ways = the 4096-entry footprint small runs always had.
+  static constexpr std::size_t kPairCacheMinSets = 1024;
+  /// 4096 sets x 4 ways x 56 B ~ 0.9 MB. Deliberately cache-resident: on a
+  /// large roster the join/probe traffic is dominated by first-contact
+  /// pairs (compulsory misses), so growing the memo past the L2 footprint
+  /// buys no hits and turns every miss into a DRAM round-trip — measured
+  /// ~2x slower probes at 100k players with a 15 MB memo.
+  static constexpr std::size_t kPairCacheMaxSets = std::size_t{1} << 12;
 
+  /// The memo line whose (bias, keys) cover the pair: associative lookup,
+  /// round-robin eviction within the set on a miss. Distance freshness is
+  /// the caller's business (pair_entry).
+  PairEntry& find_line(NodeId lo, NodeId hi) const;
   /// Returns the memo line for the pair, populated/refreshed as needed.
   const PairEntry& pair_entry(const Endpoint& a, const Endpoint& b) const;
   /// Backbone latency for a known great-circle distance.
   TimeMs route_from_km(double d_km) const;
 
   LatencyParams params_;
-  mutable std::vector<PairEntry> cache_;
+  mutable std::vector<PairEntry> cache_;  // sets_ x kPairCacheWays lines
+  mutable std::vector<std::uint8_t> rr_;  // per-set round-robin victim
+  mutable std::size_t sets_ = kPairCacheMinSets;
 };
 
 }  // namespace cloudfog::net

@@ -31,6 +31,10 @@ NodeId Topology::add_host(HostRole role, GeoPoint position, TimeMs last_mile_ms,
   h.cos_lat = cos_lat(position);
   h.label = std::move(label);
   hosts_.push_back(std::move(h));
+  // Keep the latency model's pair memo scaled to the roster (resizing only
+  // on power-of-two crossings; dropped memo lines are recomputable, so
+  // results never depend on when this happens).
+  model_.reserve_endpoints(hosts_.size());
   return hosts_.back().id;
 }
 
@@ -62,6 +66,23 @@ TimeMs Topology::expected_server_one_way_ms(NodeId server, NodeId client) const 
   // applies to the synthetic model.
   if (trace_lookup(server, client, &traced)) return traced;
   return model_.expected_one_way_ms(server_endpoint(server), endpoint(client));
+}
+
+TimeMs Topology::expected_server_one_way_ms(NodeId server, NodeId client,
+                                            double distance_km) const {
+  TimeMs traced = 0.0;
+  if (trace_lookup(server, client, &traced)) return traced;
+  return model_.expected_one_way_ms(server_endpoint(server), endpoint(client),
+                                    distance_km);
+}
+
+TimeMs Topology::expected_server_one_way_ms(NodeId server,
+                                            const Endpoint& client,
+                                            double distance_km) const {
+  TimeMs traced = 0.0;
+  if (trace_lookup(server, client.id, &traced)) return traced;
+  return model_.expected_one_way_ms(server_endpoint(server), client,
+                                    distance_km);
 }
 
 TimeMs Topology::sample_server_one_way_ms(NodeId server, NodeId client,

@@ -95,6 +95,17 @@ class Topology {
   /// Latency of the serving path between `server` (using its wired
   /// server-side interface) and `client` (using its access interface).
   TimeMs expected_server_one_way_ms(NodeId server, NodeId client) const;
+  /// As above, with the pair's great-circle distance already in hand (e.g.
+  /// from the supernode grid's candidate list). `distance_km` must be the
+  /// exact haversine_km double for the two hosts' positions; the result is
+  /// then bit-identical to the two-argument overload (a trace, when
+  /// attached, still takes precedence and ignores the distance).
+  TimeMs expected_server_one_way_ms(NodeId server, NodeId client,
+                                    double distance_km) const;
+  /// As above with the client endpoint already resolved (endpoint(client)).
+  /// A probe loop over k candidate servers resolves the client once.
+  TimeMs expected_server_one_way_ms(NodeId server, const Endpoint& client,
+                                    double distance_km) const;
   TimeMs expected_server_rtt_ms(NodeId server, NodeId client) const {
     return 2.0 * expected_server_one_way_ms(server, client);
   }

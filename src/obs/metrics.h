@@ -360,6 +360,9 @@ class CachedHistogram {
 #define CF_OBS_COUNT_HOT(name, n) \
   do {                            \
   } while (0)
+#define CF_OBS_GAUGE_SET_HOT(name, v) \
+  do {                                \
+  } while (0)
 #define CF_OBS_HIST_HOT(name, v) \
   do {                           \
   } while (0)
@@ -406,6 +409,15 @@ class CachedHistogram {
       thread_local ::cloudfog::obs::CachedCounter cf_obs_cc{name}; \
       cf_obs_cc.add(cf_obs_r, ::cloudfog::obs::registry_epoch(),  \
                     static_cast<std::uint64_t>(n));               \
+    }                                                             \
+  } while (0)
+#define CF_OBS_GAUGE_SET_HOT(name, v)                             \
+  do {                                                            \
+    if (::cloudfog::obs::MetricsRegistry* cf_obs_r =              \
+            ::cloudfog::obs::registry()) {                        \
+      thread_local ::cloudfog::obs::CachedGauge cf_obs_cg{name};  \
+      cf_obs_cg.set(cf_obs_r, ::cloudfog::obs::registry_epoch(),  \
+                    static_cast<double>(v));                      \
     }                                                             \
   } while (0)
 #define CF_OBS_HIST_HOT(name, v)                                  \

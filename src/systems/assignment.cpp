@@ -94,7 +94,7 @@ AssignmentPlan assign_players(SystemKind kind, const Scenario& scenario,
     if (uses_supernodes(kind) && manager.supernode_count() > 0) {
       const game::GameProfile& profile =
           game::game_by_id(scenario.player_game(pop_index));
-      const core::Assignment a =
+      const core::Assignment& a =
           manager.assign(host, profile.latency_requirement_ms);
       if (!a.direct_to_cloud()) {
         pa.server = a.supernode;

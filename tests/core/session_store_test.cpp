@@ -1,0 +1,134 @@
+// SessionStore unit tests: the SoA slab behind SessionManager (DESIGN.md
+// §12). Covers the exact integer demand ledger (a drift regression the old
+// double-accumulator book fails), the intrusive attach-order member list,
+// and generation-tagged handle invalidation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/session_store.h"
+
+namespace cloudfog::core {
+namespace {
+
+constexpr game::GameId kGame = 0;
+
+TEST(SessionStoreLedger, MillikbpsRoundTripContract) {
+  // Catalog-style integral bitrates and binary-exact fractions round-trip.
+  EXPECT_EQ(SessionStore::to_millikbps(0.0), 0);
+  EXPECT_EQ(SessionStore::to_millikbps(8000.0), 8'000'000);
+  EXPECT_EQ(SessionStore::to_millikbps(1536.125), 1'536'125);
+  EXPECT_EQ(SessionStore::from_millikbps(1'536'125), 1536.125);
+}
+
+TEST(SessionStoreLedger, DemandIsExactlyZeroAfterFullChurn) {
+  // Drift regression. The pre-slab book accumulated demand as
+  // `demand[sn] += bitrate` / `-= bitrate` in doubles; interleaving a large
+  // resident demand with many small attach/detach cycles leaves a nonzero
+  // residue there ((big + small) - small != big once the small value's low
+  // bits fall off the mantissa). The integer millikbps ledger must return
+  // to the exact resident sum, and to exact zero once everything detaches.
+  SessionStore store;
+  store.register_server(1000);
+
+  // Resident load: 100 sessions at 4500.1 kbps (not a binary fraction, but
+  // exactly representable in millikbps — the ledger contract).
+  std::vector<SessionIdx> residents;
+  for (NodeId p = 0; p < 100; ++p) {
+    const SessionIdx idx = store.open(p, kGame, 4500.1);
+    store.attach(idx, 1000, 5.0);
+    residents.push_back(idx);
+  }
+  const std::int64_t resident_mkbps = store.demand_millikbps(1000);
+  EXPECT_EQ(resident_mkbps, 100 * 4'500'100);
+
+  // Churn a small fractional-bitrate session against the large resident
+  // demand. 0.3 kbps = 300 millikbps exactly; in doubles, 450010.0 + 0.3
+  // already rounds.
+  for (int cycle = 0; cycle < 10'000; ++cycle) {
+    const SessionIdx idx = store.open(500, kGame, 0.3);
+    store.attach(idx, 1000, 5.0);
+    store.detach(idx);
+    store.close(idx);
+    ASSERT_EQ(store.demand_millikbps(1000), resident_mkbps)
+        << "ledger drifted after " << cycle + 1 << " churn cycles";
+  }
+  // Bit-exact equality, not EXPECT_NEAR: demand_kbps must be the exact
+  // double 450010.0, not something within an epsilon of it.
+  EXPECT_EQ(store.demand_kbps(1000), 450010.0);
+
+  for (const SessionIdx idx : residents) {
+    store.detach(idx);
+    store.close(idx);
+  }
+  EXPECT_EQ(store.demand_millikbps(1000), 0);
+  EXPECT_EQ(store.demand_kbps(1000), 0.0);
+  store.unregister_server(1000);  // CF_CHECKs emptiness + zero demand
+}
+
+TEST(SessionStoreMembers, AttachOrderSurvivesMiddleUnlinks) {
+  // The member list is threaded through the slabs in attach order, and the
+  // O(1) intrusive unlink must preserve the relative order of the rest —
+  // the order is load-bearing: failover processes members in attach order,
+  // which drives RNG consumption downstream.
+  SessionStore store;
+  store.register_server(1000);
+  std::vector<SessionIdx> idx;
+  for (NodeId p = 0; p < 8; ++p) {
+    idx.push_back(store.open(p, kGame, 3000.0));
+    store.attach(idx.back(), 1000, 1.0 + p);
+  }
+
+  std::vector<NodeId> members;
+  store.members(1000, members);
+  EXPECT_EQ(members, (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+  // Unlink the head, an interior member, and the tail.
+  store.detach(idx[0]);
+  store.detach(idx[3]);
+  store.detach(idx[7]);
+  store.members(1000, members);
+  EXPECT_EQ(members, (std::vector<NodeId>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(store.member_count(1000), 5u);
+
+  // Re-attach: joins at the tail, exactly like the old served_ vector.
+  store.attach(idx[3], 1000, 4.0);
+  store.members(1000, members);
+  EXPECT_EQ(members, (std::vector<NodeId>{1, 2, 4, 5, 6, 3}));
+}
+
+TEST(SessionStoreHandles, SlotReuseInvalidatesStaleHandles) {
+  SessionStore store;
+  const SessionIdx first = store.open(7, kGame, 3000.0);
+  store.close(first);
+  // The freed slot is recycled with a bumped generation: the new handle
+  // differs and the stale one no longer resolves.
+  const SessionIdx second = store.open(8, kGame, 3000.0);
+  EXPECT_EQ(second.slot, first.slot);
+  EXPECT_NE(second.gen, first.gen);
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_TRUE(store.contains(8));
+  EXPECT_THROW((void)store.player(first), std::logic_error);
+}
+
+TEST(SessionStoreFootprint, NoHeapPerSessionAndBoundedBytes) {
+  SessionStore store;
+  store.register_server(1000);
+  for (NodeId p = 0; p < 1000; ++p) {
+    const SessionIdx idx = store.open(p, kGame, 3000.0);
+    store.attach(idx, 1000, 2.0);
+    BackupList& b = store.mutable_backups(idx);
+    for (NodeId sn = 0; sn < BackupList::kMaxBackups; ++sn) b.push_back(sn);
+  }
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_EQ(store.attached_count(), 1000u);
+  // The whole store is a handful of parallel arrays: backups are inline, so
+  // per-player footprint stays near sizeof of the row (~128 B/player with
+  // slack for vector growth capacity).
+  EXPECT_LT(store.bytes_reserved(), 1000u * 256u);
+  EXPECT_GT(store.handle_load_factor(), 0.9);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

@@ -7,14 +7,17 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/session_manager.h"
 #include "exec/run_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "systems/streaming_sim.h"
+#include "util/rng.h"
 
 namespace cloudfog::systems {
 namespace {
@@ -165,6 +168,107 @@ TEST(ParallelDeterminismTest, JobsOneAndJobsEightProduceIdenticalDigests) {
   const obs::Counter* executed = registry.find_counter("sim.events.executed");
   ASSERT_NE(executed, nullptr);
   EXPECT_GT(executed->value(), 0u);
+}
+
+/// FNV-1a over every instrument of a registry, insertion-ordered: names,
+/// counter values, gauge value/peak bit patterns, histogram count + sum bit
+/// patterns — the "obs digest". Everything the _HOT cached instruments
+/// write is folded in, so a nondeterministic hot-path metric (a cache
+/// resolving against a stale registry, a lost single-writer increment)
+/// breaks the digest even when the QoE digest is clean.
+std::uint64_t obs_digest(const obs::MetricsRegistry& registry) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+  const auto mix = [&mix_byte](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      mix_byte((v >> (byte * 8)) & 0xffu);
+    }
+  };
+  registry.for_each([&](const std::string& name, const obs::Counter* c,
+                        const obs::Gauge* g, const obs::Histogram* hist) {
+    for (const char ch : name) mix_byte(static_cast<std::uint8_t>(ch));
+    if (c != nullptr) mix(c->value());
+    if (g != nullptr) {
+      mix(std::bit_cast<std::uint64_t>(g->value()));
+      mix(std::bit_cast<std::uint64_t>(g->max()));
+    }
+    if (hist != nullptr) {
+      mix(hist->count());
+      mix(std::bit_cast<std::uint64_t>(hist->sum()));
+    }
+  });
+  return h;
+}
+
+TEST(HotStateObsDigestTest, HotInstrumentsAreDeterministicAndPresent) {
+  // The slab/memo hot-path instruments (CF_OBS_*_HOT: per-callsite cached,
+  // single-writer) must be as deterministic as the QoE metrics they ride
+  // along with: two identical session-churn runs, each under a fresh
+  // registry, must produce bit-identical obs digests, and the digest must
+  // actually cover the hot-state instruments DESIGN.md §12 names.
+  const auto run_churn = [](obs::MetricsRegistry& registry) {
+    obs::ScopedRegistry install(registry);
+    // A fresh world per run: the latency model's pair memo warms up inside
+    // a topology, and its hit/miss counters are part of the digest — a
+    // shared scenario would (correctly) report more hits on the second run.
+    ScenarioParams params = ScenarioParams::simulation_defaults(7);
+    params.num_players = 400;
+    params.num_supernodes = 40;
+    const Scenario scenario = Scenario::build(params);
+    core::SessionManager mgr(scenario.topology(),
+                             core::SupernodeManagerConfig{},
+                             core::SessionManagerConfig{}, util::Rng(17));
+    util::Rng churn(99);
+    std::vector<NodeId> supernodes, joined;
+    for (const std::size_t pop : scenario.supernode_players()) {
+      const NodeId sn = scenario.player_host(pop);
+      mgr.supernode_join(sn, scenario.supernode_capacity(pop),
+                         scenario.supernode_uplink_kbps(pop));
+      supernodes.push_back(sn);
+    }
+    for (std::size_t pop = 0; joined.size() < 200; ++pop) {
+      if (scenario.is_supernode_player(pop)) continue;
+      const NodeId p = scenario.player_host(pop);
+      mgr.player_join(p, scenario.player_game(pop));
+      joined.push_back(p);
+    }
+    // Churn: leaves + rejoins recycle slots (slot_reuse), a supernode
+    // departure drives failover, both demand ledgers stay live.
+    for (int i = 0; i < 100; ++i) {
+      const std::size_t at = churn.index(joined.size());
+      const NodeId p = joined[at];
+      mgr.player_leave(p);
+      mgr.player_join(p, static_cast<game::GameId>(churn.uniform_int(0, 4)));
+    }
+    (void)mgr.supernode_leave(supernodes[churn.index(supernodes.size())]);
+  };
+
+  obs::MetricsRegistry first, second;
+  run_churn(first);
+  run_churn(second);
+  EXPECT_EQ(obs_digest(first), obs_digest(second))
+      << "hot-path instruments diverged between identical runs";
+
+  // Coverage guard: the digest is only meaningful if the hot instruments
+  // were really collected.
+  for (const char* counter : {"core.session.slot_reuse",
+                              "net.latency.pair_memo.misses",
+                              "core.supernode.assignments"}) {
+    const obs::Counter* c = first.find_counter(counter);
+    ASSERT_NE(c, nullptr) << counter;
+    EXPECT_GT(c->value(), 0u) << counter;
+  }
+  for (const char* gauge : {"core.session.slots_live",
+                            "core.session.handle_load_factor"}) {
+    const obs::Gauge* g = first.find_gauge(gauge);
+    ASSERT_NE(g, nullptr) << gauge;
+    EXPECT_TRUE(g->ever_set()) << gauge;
+    EXPECT_GT(g->max(), 0.0) << gauge;
+  }
+  ASSERT_NE(first.find_counter("net.latency.pair_memo.hits"), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(

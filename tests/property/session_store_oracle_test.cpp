@@ -1,0 +1,179 @@
+// Randomized churn oracle for the SoA session slab (DESIGN.md §12): drive
+// SessionStore and a naive map-based reference model through the same
+// random operation stream and demand they agree exactly — sizes, per-player
+// rows, per-server member order, and the integer demand ledger. The
+// reference is the data structure the slab replaced, kept deliberately
+// simple (std::map everywhere, vectors erased by scan, demand summed from
+// scratch at every check), so any divergence indicts the slab's free-list,
+// generation, or intrusive-link bookkeeping rather than the model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/session_store.h"
+#include "util/rng.h"
+
+namespace cloudfog::core {
+namespace {
+
+struct RefSession {
+  game::GameId game = -1;
+  std::int64_t bitrate_mkbps = 0;
+  NodeId server = kInvalidNode;  // kInvalidNode = on cloud
+  TimeMs delay_ms = 0.0;
+};
+
+/// The pre-slab book: maps and scan-erased vectors.
+struct Reference {
+  std::map<NodeId, RefSession> sessions;
+  std::map<NodeId, std::vector<NodeId>> served;  // attach order
+
+  bool server_registered(NodeId s) const { return served.contains(s); }
+
+  std::int64_t demand_mkbps(NodeId server) const {
+    // Summed from scratch: the reference has no incremental ledger to drift.
+    std::int64_t sum = 0;
+    const auto it = served.find(server);
+    if (it == served.end()) return 0;
+    for (NodeId p : it->second) sum += sessions.at(p).bitrate_mkbps;
+    return sum;
+  }
+};
+
+class SessionStoreOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionStoreOracle, AgreesWithNaiveMapReferenceUnderChurn) {
+  util::Rng rng(GetParam());
+  SessionStore store;
+  Reference ref;
+
+  // Small id spaces force heavy slot/server reuse — the interesting regime
+  // for generation tags and free lists.
+  constexpr NodeId kPlayers = 64;
+  constexpr NodeId kServerBase = 1000;
+  constexpr NodeId kServers = 8;
+  // Exactly millikbps-representable bitrates, fractional on purpose.
+  const double bitrates[] = {400.0, 3000.0, 4500.1, 8000.0, 0.3};
+
+  const auto check_agreement = [&] {
+    std::size_t attached = 0;
+    for (const auto& [p, rs] : ref.sessions) {
+      if (rs.server != kInvalidNode) ++attached;
+      ASSERT_TRUE(store.contains(p));
+      const SessionIdx idx = store.index_of(p);
+      ASSERT_TRUE(idx.valid());
+      const Session snap = store.snapshot(idx);
+      EXPECT_EQ(snap.player, p);
+      EXPECT_EQ(snap.game, rs.game);
+      EXPECT_EQ(snap.supernode, rs.server);
+      EXPECT_EQ(snap.stream_delay_ms, rs.delay_ms);
+      EXPECT_EQ(SessionStore::to_millikbps(snap.bitrate_kbps),
+                rs.bitrate_mkbps);
+      const SessionStore::ServeState serve = store.serve_state(idx);
+      EXPECT_EQ(serve.supernode, rs.server);
+      EXPECT_EQ(serve.delay_ms, rs.delay_ms);
+    }
+    EXPECT_EQ(store.size(), ref.sessions.size());
+    EXPECT_EQ(store.attached_count(), attached);
+    EXPECT_EQ(store.cloud_count(), ref.sessions.size() - attached);
+    for (NodeId p = 0; p < kPlayers; ++p) {
+      EXPECT_EQ(store.contains(p), ref.sessions.contains(p));
+    }
+    std::vector<NodeId> members;
+    for (NodeId s = kServerBase; s < kServerBase + kServers; ++s) {
+      EXPECT_EQ(store.server_registered(s), ref.server_registered(s));
+      if (!ref.server_registered(s)) {
+        EXPECT_EQ(store.demand_millikbps(s), 0);
+        EXPECT_EQ(store.member_count(s), 0u);
+        continue;
+      }
+      store.members(s, members);
+      EXPECT_EQ(members, ref.served.at(s)) << "member order for server " << s;
+      EXPECT_EQ(store.member_count(s), ref.served.at(s).size());
+      EXPECT_EQ(store.demand_millikbps(s), ref.demand_mkbps(s));
+    }
+  };
+
+  for (int step = 0; step < 1'000; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.30) {  // open
+      const NodeId p = static_cast<NodeId>(rng.index(kPlayers));
+      if (!ref.sessions.contains(p)) {
+        const auto game = static_cast<game::GameId>(rng.uniform_int(0, 4));
+        const double kbps = bitrates[rng.index(std::size(bitrates))];
+        store.open(p, game, kbps);
+        ref.sessions[p] =
+            RefSession{game, SessionStore::to_millikbps(kbps), kInvalidNode,
+                       0.0};
+      }
+    } else if (dice < 0.55) {  // close (detaching first, like player_leave)
+      if (!ref.sessions.empty()) {
+        auto it = ref.sessions.begin();
+        std::advance(it, static_cast<long>(rng.index(ref.sessions.size())));
+        const NodeId p = it->first;
+        const SessionIdx idx = store.index_of(p);
+        if (it->second.server != kInvalidNode) {
+          store.detach(idx);
+          auto& v = ref.served.at(it->second.server);
+          v.erase(std::find(v.begin(), v.end(), p));
+        }
+        store.close(idx);
+        ref.sessions.erase(it);
+      }
+    } else if (dice < 0.72) {  // attach a cloud session
+      std::vector<NodeId> cloud, servers;
+      for (const auto& [p, rs] : ref.sessions) {
+        if (rs.server == kInvalidNode) cloud.push_back(p);
+      }
+      for (const auto& [s, v] : ref.served) servers.push_back(s);
+      if (!cloud.empty() && !servers.empty()) {
+        const NodeId p = cloud[rng.index(cloud.size())];
+        const NodeId s = servers[rng.index(servers.size())];
+        const TimeMs delay = rng.uniform(1.0, 40.0);
+        store.attach(store.index_of(p), s, delay);
+        ref.sessions.at(p).server = s;
+        ref.sessions.at(p).delay_ms = delay;
+        ref.served.at(s).push_back(p);
+      }
+    } else if (dice < 0.85) {  // detach an attached session
+      std::vector<NodeId> attached;
+      for (const auto& [p, rs] : ref.sessions) {
+        if (rs.server != kInvalidNode) attached.push_back(p);
+      }
+      if (!attached.empty()) {
+        const NodeId p = attached[rng.index(attached.size())];
+        store.detach(store.index_of(p));
+        auto& v = ref.served.at(ref.sessions.at(p).server);
+        v.erase(std::find(v.begin(), v.end(), p));
+        ref.sessions.at(p).server = kInvalidNode;
+        ref.sessions.at(p).delay_ms = 0.0;
+      }
+    } else if (dice < 0.93) {  // register a server
+      const NodeId s = kServerBase + static_cast<NodeId>(rng.index(kServers));
+      if (!ref.server_registered(s)) {
+        store.register_server(s);
+        ref.served[s] = {};
+      }
+    } else {  // unregister an empty server
+      std::vector<NodeId> empty;
+      for (const auto& [s, v] : ref.served) {
+        if (v.empty()) empty.push_back(s);
+      }
+      if (!empty.empty()) {
+        const NodeId s = empty[rng.index(empty.size())];
+        store.unregister_server(s);
+        ref.served.erase(s);
+      }
+    }
+    if (step % 50 == 0) check_agreement();
+  }
+  check_agreement();
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, SessionStoreOracle,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cloudfog::core
