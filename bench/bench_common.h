@@ -7,12 +7,17 @@
 // reproduction target is the *shape* (see EXPERIMENTS.md).
 //
 // Environment:
-//   CLOUDFOG_BENCH_FAST=1   shrink populations/windows ~4x (smoke runs)
-//   CLOUDFOG_BENCH_SEEDS=n  number of seeds averaged (default 3)
-//   CLOUDFOG_BENCH_JOBS=n   worker-pool width for sweeps (default: cores)
+//   CLOUDFOG_BENCH_FAST=1    shrink populations/windows ~4x (smoke runs)
+//   CLOUDFOG_BENCH_SEEDS=n   number of seeds averaged (default 3)
+//   CLOUDFOG_BENCH_JOBS=n    worker-pool width for sweeps (default: cores)
+//   CLOUDFOG_BENCH_SHARDS=k  run the scenario profiles on the space-
+//                            parallel engine with k shards (default: off,
+//                            the sequential engine)
 //
 // Command line (all default to off; see obs/bench_harness.h):
 //   --jobs=N              sweep worker-pool width; 1 = sequential code path
+//   --shards=K            sim_shards for the scenario profiles (force-
+//                         sharded even at K=1, the oracle configuration)
 //   --bench-json[=PATH]   machine-readable BENCH_<name>.json artifact
 //   --metrics-out=PATH    metrics dump (.json/.csv/.jsonl)
 //   --trace-out=PATH      Chrome trace_event JSON (open in Perfetto)
@@ -20,7 +25,12 @@
 //
 // Output is bit-identical at any --jobs value: sweeps fan (config, seed)
 // runs across exec::RunExecutor, which hands results back in submission
-// order (see exec/run_executor.h and DESIGN.md §9).
+// order (see exec/run_executor.h and DESIGN.md §9). Output is likewise
+// bit-identical at any --shards value >= 1 — the sharded engine's digest
+// is invariant in the shard count (DESIGN.md §13); CI byte-diffs a
+// --shards=1 run against --shards=4 to hold that line. Only the step from
+// "unset" to "--shards=1" changes numbers (shared jitter stream vs
+// per-entity streams; see systems/scenario.h).
 #pragma once
 
 #include <cstdlib>
@@ -57,12 +67,29 @@ inline std::size_t& jobs_override() {
   static std::size_t value = 0;
   return value;
 }
+
+/// --shards override; 0 = not set (fall through to CLOUDFOG_BENCH_SHARDS).
+inline std::size_t& shards_override() {
+  static std::size_t value = 0;
+  return value;
+}
 }  // namespace detail
 
 /// Resolved sweep worker-pool width for this process.
 inline std::size_t jobs() {
   const std::size_t override_value = detail::jobs_override();
   return override_value != 0 ? override_value : exec::default_jobs();
+}
+
+/// Resolved shard count for the scenario profiles: --shards beats
+/// CLOUDFOG_BENCH_SHARDS. 0 = unset — profiles keep sim_shards = 1 and the
+/// sequential engine runs, byte-identical to releases that predate the
+/// shard runtime.
+inline std::size_t shards() {
+  const std::size_t override_value = detail::shards_override();
+  if (override_value != 0) return override_value;
+  static const long n = util::env_long_or("CLOUDFOG_BENCH_SHARDS", 1, 64, 0);
+  return static_cast<std::size_t>(n);
 }
 
 /// The process-wide sweep executor, sized by jobs(). First use pins the
@@ -80,6 +107,18 @@ inline std::size_t scaled(std::size_t full, std::size_t fast) {
 /// The full-paper-scale simulation scenario (10,000 players, 5 DCs,
 /// 45 edge servers, 600 supernodes) — shrunk 4x in fast mode with
 /// proportional edge/supernode/datacenter-uplink scaling.
+namespace detail {
+/// Applies the --shards / CLOUDFOG_BENCH_SHARDS override to a profile.
+/// Force-sharded even at one shard so `--shards=1` is the digest oracle a
+/// `--shards=K` run must byte-match.
+inline void apply_shards(systems::ScenarioParams& p) {
+  const std::size_t k = shards();
+  if (k == 0) return;
+  p.sim_shards = k;
+  p.sim_force_sharded = true;
+}
+}  // namespace detail
+
 inline systems::ScenarioParams sim_profile(std::uint64_t seed) {
   systems::ScenarioParams p = systems::ScenarioParams::simulation_defaults(seed);
   if (fast_mode()) {
@@ -88,6 +127,7 @@ inline systems::ScenarioParams sim_profile(std::uint64_t seed) {
     p.num_supernodes = 150;
     p.dc_uplink_kbps /= 4.0;
   }
+  detail::apply_shards(p);
   return p;
 }
 
@@ -100,6 +140,7 @@ inline systems::ScenarioParams planetlab_profile(std::uint64_t seed) {
     p.num_supernodes = 100;
     p.dc_uplink_kbps /= 2.0;
   }
+  detail::apply_shards(p);
   return p;
 }
 
@@ -141,11 +182,16 @@ inline int run_bench(int argc, const char* const* argv, const std::string& name,
     std::vector<std::string> known = obs::bench_flag_keys();
     known.push_back("help");
     known.push_back("jobs");
+    known.push_back("shards");
     if (flags.has("help")) {
       std::cout << "bench_" << name << " — see the file header comment.\n"
-                << "  --jobs=N  sweep worker-pool width (default: "
+                << "  --jobs=N    sweep worker-pool width (default: "
                    "CLOUDFOG_BENCH_JOBS or hardware cores; output is "
                    "bit-identical at any width)\n"
+                << "  --shards=K  run the scenario profiles on the sharded "
+                   "engine with K shards (default: CLOUDFOG_BENCH_SHARDS or "
+                   "the sequential engine; output is bit-identical at any "
+                   "K >= 1)\n"
                 << obs::bench_flags_help();
       return 0;
     }
@@ -162,6 +208,12 @@ inline int run_bench(int argc, const char* const* argv, const std::string& name,
       return 2;
     }
     detail::jobs_override() = static_cast<std::size_t>(jobs_flag);
+    const std::int64_t shards_flag = flags.get_int("shards", 0);
+    if (flags.has("shards") && (shards_flag < 1 || shards_flag > 64)) {
+      std::cerr << "--shards must be in [1, 64]\n";
+      return 2;
+    }
+    detail::shards_override() = static_cast<std::size_t>(shards_flag);
     obs::BenchHarness harness(name, obs::bench_options_from_flags(flags, name));
     return harness.run(body);
   } catch (const std::exception& e) {

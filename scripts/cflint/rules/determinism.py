@@ -125,12 +125,13 @@ DETERMINISM_RULES = [
     RegexRule(
         "raw-thread",
         re.compile(r"std::(?:jthread|async)\b|std::thread\b(?!\s*::\s*id)"),
-        "raw threading outside src/exec breaks bit-identical results; fan "
-        "work through exec::RunExecutor",
-        "std::thread/jthread/async outside src/exec, the designated thread "
-        "boundary (exec::RunExecutor pins result order to submission "
-        "order). std::thread::id is allowed: naming the current thread is "
+        "raw threading outside src/exec + src/shard breaks bit-identical "
+        "results; fan work through exec::RunExecutor or shard::BarrierPool",
+        "std::thread/jthread/async outside src/exec and src/shard, the "
+        "designated thread boundaries (exec::RunExecutor pins result order "
+        "to submission order; shard::BarrierPool pins it to window-barrier "
+        "rounds). std::thread::id is allowed: naming the current thread is "
         "not creating one.",
-        exempt_dirs=frozenset({"exec"}),
+        exempt_dirs=frozenset({"exec", "shard"}),
     ),
 ]

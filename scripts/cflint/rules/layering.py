@@ -16,6 +16,10 @@ The repo's subsystems form a strict layering (low rank = foundational):
                                       sender/manager can compose it)
     rank 50  core                    (assignment/scheduling/adaptation —
                                       composes net+stream+sim+cache)
+    rank 55  shard                   (space-parallel run machinery:
+                                      partition/inbox/barrier/window over
+                                      sim+exec+net+core; below systems so
+                                      the experiment drivers compose it)
     rank 60  systems                 (experiment drivers over everything)
     rank 70  bench, tests, examples  (harnesses; may include anything)
 
@@ -53,6 +57,7 @@ LAYERS: Dict[str, int] = {
     "p2p": 40,
     "cache": 45,
     "core": 50,
+    "shard": 55,
     "systems": 60,
     "bench": 70,
     "tests": 70,
@@ -82,9 +87,9 @@ class IncludeLayeringRule(Rule):
     description = (
         "Quoted includes must stay inside their subsystem or point "
         "strictly down the layering DAG (util < obs < sim/exec < "
-        "net/metrics/game/world < stream/p2p < cache < core < systems < "
-        "bench/tests/examples); equal-rank cross-subsystem edges and "
-        "unranked subsystems are violations."
+        "net/metrics/game/world < stream/p2p < cache < core < shard < "
+        "systems < bench/tests/examples); equal-rank cross-subsystem "
+        "edges and unranked subsystems are violations."
     )
 
     def check_file(

@@ -9,6 +9,8 @@ const char* to_string(ServeSource source) {
     case ServeSource::kCacheHit: return "hit";
     case ServeSource::kTranscode: return "transcode";
     case ServeSource::kCloudFetch: return "fetch";
+    case ServeSource::kPeerProbe: return "peer-probe";
+    case ServeSource::kPeerHit: return "peer-hit";
   }
   return "unknown";
 }

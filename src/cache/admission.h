@@ -24,8 +24,17 @@
 
 namespace cloudfog::cache {
 
-/// Where a request ended up being served from.
-enum class ServeSource : std::uint8_t { kCacheHit, kTranscode, kCloudFetch };
+/// Where a request ended up being served from. kPeerProbe marks a request
+/// handed to the cooperative cross-supernode protocol (resolution pending);
+/// kPeerHit marks its resolution out of a peer's cache (see
+/// EdgeCacheService::set_fetch_interceptor).
+enum class ServeSource : std::uint8_t {
+  kCacheHit,
+  kTranscode,
+  kCloudFetch,
+  kPeerProbe,
+  kPeerHit,
+};
 
 const char* to_string(ServeSource source);
 

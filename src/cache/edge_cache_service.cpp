@@ -134,6 +134,18 @@ EdgeCacheService::ServeOutcome EdgeCacheService::request(
       break;
     }
     case ServeSource::kCloudFetch: {
+      // Cooperative path: a peer supernode may hold the variant. The
+      // interceptor is handed a *copy* of the delivery so a false return
+      // leaves the plain fetch below fully intact.
+      if (interceptor_ && interceptor_(node, segment, out_kbit, deliver)) {
+        outcome.source = ServeSource::kPeerProbe;
+        outcome.delay_ms = 0.0;  // unknown until the protocol resolves
+        totals_.misses += 1;
+        totals_.coop_probes += 1;
+        CF_OBS_COUNT_HOT("cache.misses", 1);
+        CF_OBS_COUNT_HOT("cache.coop_probes", 1);
+        break;
+      }
       totals_.misses += 1;
       totals_.bytes_cloud_kbit += out_kbit;
       CF_OBS_COUNT_HOT("cache.misses", 1);
@@ -152,9 +164,80 @@ EdgeCacheService::ServeOutcome EdgeCacheService::request(
           });
       break;
     }
+    case ServeSource::kPeerProbe:
+    case ServeSource::kPeerHit:
+      CF_CHECK_MSG(false, "admission policy never decides a peer source");
+      break;
   }
   if (observer_) observer_(node, segment, outcome);
   return outcome;
+}
+
+bool EdgeCacheService::probe_hit(NodeId node,
+                                 const stream::VideoSegment& segment) {
+  const auto it = caches_.find(node);
+  if (it == caches_.end()) return false;  // probe raced churn: peer is gone
+  const SegmentKey key{segment.game, content_index(segment),
+                       segment.quality_level};
+  const bool hit = it->second.touch(key);
+  CF_OBS_COUNT_HOT("cache.coop_probe_hits", hit ? 1 : 0);
+  return hit;
+}
+
+void EdgeCacheService::complete_peer_fetch(NodeId node,
+                                           const stream::VideoSegment& segment,
+                                           DeliverFn deliver) {
+  CF_CHECK_MSG(static_cast<bool>(deliver), "peer fetch needs a delivery");
+  const auto it = caches_.find(node);
+  if (it == caches_.end()) return;  // requester left while probes flew
+  const SegmentKey key{segment.game, content_index(segment),
+                       segment.quality_level};
+  const Kbit out_kbit = nominal_kbit(segment);
+  totals_.coop_hits += 1;
+  totals_.bytes_peer_kbit += out_kbit;
+  CF_OBS_COUNT_HOT("cache.coop_hits", 1);
+  CF_OBS_COUNT_HOT("cache.bytes_peer",
+                   static_cast<std::uint64_t>(out_kbit * kBytesPerKbit));
+  const std::uint64_t before = it->second.evictions();
+  it->second.insert(key, out_kbit);
+  totals_.evictions += it->second.evictions() - before;
+  ServeOutcome outcome;
+  outcome.source = ServeSource::kPeerHit;
+  outcome.content_kbit = out_kbit;
+  if (observer_) observer_(node, segment, outcome);
+  deliver();
+}
+
+void EdgeCacheService::cloud_fetch_fallback(NodeId node,
+                                            const stream::VideoSegment& segment,
+                                            DeliverFn deliver) {
+  CF_CHECK_MSG(static_cast<bool>(deliver), "fallback fetch needs a delivery");
+  if (!caches_.contains(node)) return;  // requester left while probes flew
+  const SegmentKey key{segment.game, content_index(segment),
+                       segment.quality_level};
+  const Kbit out_kbit = nominal_kbit(segment);
+  const TimeMs delay = policy_.fetch_delay_ms(out_kbit);
+  // The miss was already counted when the probe round started; only the
+  // cloud egress is new information here.
+  totals_.bytes_cloud_kbit += out_kbit;
+  CF_OBS_COUNT_HOT("cache.bytes_cloud",
+                   static_cast<std::uint64_t>(out_kbit * kBytesPerKbit));
+  transcoder_.schedule(
+      node, delay,
+      [this, node, key, out_kbit, deliver = std::move(deliver)] {
+        auto cache_it = caches_.find(node);
+        CF_CHECK_MSG(cache_it != caches_.end(),
+                     "fetch completed on a removed supernode");
+        const std::uint64_t before = cache_it->second.evictions();
+        cache_it->second.insert(key, out_kbit);
+        totals_.evictions += cache_it->second.evictions() - before;
+        deliver();
+      });
+  ServeOutcome outcome;
+  outcome.source = ServeSource::kCloudFetch;
+  outcome.delay_ms = delay;
+  outcome.content_kbit = out_kbit;
+  if (observer_) observer_(node, segment, outcome);
 }
 
 }  // namespace cloudfog::cache

@@ -60,8 +60,11 @@ struct CacheTotals {
   std::uint64_t transcodes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t cancelled_jobs = 0;
+  std::uint64_t coop_probes = 0;  // misses handed to the peer protocol
+  std::uint64_t coop_hits = 0;    // of those, resolved out of a peer cache
   double bytes_edge_kbit = 0.0;   // served without touching the cloud
   double bytes_cloud_kbit = 0.0;  // fetched over the cloud's uplink
+  double bytes_peer_kbit = 0.0;   // transferred supernode-to-supernode
 
   std::uint64_t fetches() const { return misses - transcodes; }
 };
@@ -82,6 +85,18 @@ class EdgeCacheService {
       std::function<void(NodeId node, const stream::VideoSegment& segment,
                          const ServeOutcome& outcome)>;
   using DeliverFn = std::function<void()>;
+
+  /// Cooperative-fetch hook: consulted in the kCloudFetch branch of
+  /// request() before any cloud accounting happens. Returning true means
+  /// the interceptor took over sourcing the variant (peer probes are in
+  /// flight; it will eventually call complete_peer_fetch or
+  /// cloud_fetch_fallback, which own the delivery); the request is counted
+  /// as a miss + coop probe and the observer sees kPeerProbe. Returning
+  /// false falls through to the plain cloud fetch, bit-identical to having
+  /// no interceptor installed.
+  using FetchInterceptor =
+      std::function<bool(NodeId node, const stream::VideoSegment& segment,
+                         Kbit content_kbit, DeliverFn deliver)>;
 
   EdgeCacheService(sim::Simulator& sim, EdgeCacheServiceConfig config);
 
@@ -108,6 +123,36 @@ class EdgeCacheService {
     observer_ = std::move(observer);
   }
 
+  /// Installs/clears the cooperative-fetch interceptor. With none (the
+  /// default) the service behaves exactly as before this hook existed.
+  void set_fetch_interceptor(FetchInterceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+
+  // ---- cooperative-protocol state operations -----------------------------
+  // The messaging (probe propagation delays, response collection, winner
+  // choice) lives with the caller — the space-parallel shard runner — so
+  // the service stays a single-simulator state machine. These three are the
+  // only state transitions the protocol needs.
+
+  /// Peer-side probe: does `node` hold the exact variant right now? A hit
+  /// refreshes the entry's LRU position (the peer is serving real bytes).
+  /// A probe on a departed supernode is a miss, not an error — probes race
+  /// churn by design.
+  bool probe_hit(NodeId node, const stream::VideoSegment& segment);
+
+  /// Requester-side resolution of a successful peer fetch: admits the
+  /// variant into `node`'s cache, accounts the supernode-to-supernode
+  /// transfer, notifies the observer (kPeerHit) and runs `deliver`.
+  void complete_peer_fetch(NodeId node, const stream::VideoSegment& segment,
+                           DeliverFn deliver);
+
+  /// Requester-side resolution when every peer missed: the plain cloud
+  /// fetch, started now (delay + admission + delivery as in request()'s
+  /// kCloudFetch branch; observer sees kCloudFetch).
+  void cloud_fetch_fallback(NodeId node, const stream::VideoSegment& segment,
+                            DeliverFn deliver);
+
   /// Fleet-wide counters (cumulative; removal of a node keeps its past
   /// contribution).
   const CacheTotals& totals() const { return totals_; }
@@ -128,6 +173,7 @@ class EdgeCacheService {
   std::unordered_map<NodeId, SegmentCache> caches_;
   CacheTotals totals_;
   ServeObserver observer_;
+  FetchInterceptor interceptor_;
 };
 
 }  // namespace cloudfog::cache

@@ -28,8 +28,9 @@
 // per-instance and not thread-safe) and must not touch stdout/stderr;
 // print from aggregation, after execute() returns.
 //
-// This file is the only place in the repo allowed to create threads
-// (scripts/cflint, rule `raw-thread`; src/exec is the exempt boundary).
+// src/exec and src/shard are the only places in the repo allowed to create
+// threads (scripts/cflint, rule `raw-thread`): run-parallelism fans through
+// RunExecutor here, space-parallelism through shard::BarrierPool.
 #pragma once
 
 #include <cstddef>

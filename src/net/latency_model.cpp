@@ -132,6 +132,8 @@ TimeMs LatencyModel::route_ms(const Endpoint& a, const Endpoint& b) const {
   return route_from_km(pair_entry(a, b).d_km);
 }
 
+TimeMs LatencyModel::min_route_ms() const { return route_from_km(0.0); }
+
 TimeMs LatencyModel::expected_one_way_ms(const Endpoint& a,
                                          const Endpoint& b) const {
   if (a.id == b.id) return 0.1;  // loopback-ish floor

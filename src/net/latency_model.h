@@ -120,6 +120,16 @@ class LatencyModel {
   /// The unbiased backbone component (fiber + routers) of a pair's path.
   TimeMs route_ms(const Endpoint& a, const Endpoint& b) const;
 
+  /// Closed-form lower bound of route_ms over ANY pair: the backbone term
+  /// at zero great-circle distance, hops_base × per_hop_ms. Note this
+  /// bounds only the UNBIASED backbone — the per-pair path bias is
+  /// multiplicative lognormal and can fall below 1, so a real expected
+  /// one-way latency may undercut this value. The space-parallel shard
+  /// runner (DESIGN.md §13) therefore derives its conservative lookahead
+  /// from the actual minimum expected latency over its cross-shard message
+  /// edges, not from this floor.
+  TimeMs min_route_ms() const;
+
   /// Per-packet loss probability of the path (deterministic per pair:
   /// base + per-1000km x distance, scaled by the route bias, capped).
   double loss_probability(const Endpoint& a, const Endpoint& b) const;

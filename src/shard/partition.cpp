@@ -1,0 +1,90 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cloudfog::shard {
+
+Partition partition_sites(const std::vector<PartitionSite>& sites,
+                          std::size_t want_shards) {
+  CF_CHECK_GE(want_shards, std::size_t{1});
+  Partition p;
+  if (sites.empty()) {
+    p.shard_count = 1;
+    return p;
+  }
+  p.shard_count = std::min(want_shards, sites.size());
+
+  // Anchor 0: the heaviest site (ties: lowest id).
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    if (sites[i].weight > sites[first].weight ||
+        (sites[i].weight == sites[first].weight &&
+         sites[i].id < sites[first].id)) {
+      first = i;
+    }
+  }
+  p.anchor_site.push_back(first);
+
+  // Farthest-point sampling: track each site's distance to its nearest
+  // chosen anchor; the next anchor is the site where that distance peaks.
+  std::vector<double> nearest_km(sites.size(),
+                                 std::numeric_limits<double>::infinity());
+  while (p.anchor_site.size() < p.shard_count) {
+    const PartitionSite& added = sites[p.anchor_site.back()];
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      nearest_km[i] = std::min(nearest_km[i],
+                               net::haversine_km(sites[i].position,
+                                                 added.position));
+    }
+    std::size_t best = sites.size();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (nearest_km[i] <= 0.0) continue;  // an anchor, or co-located twin
+      if (best == sites.size() || nearest_km[i] > nearest_km[best] ||
+          (nearest_km[i] == nearest_km[best] &&
+           sites[i].id < sites[best].id)) {
+        best = i;
+      }
+    }
+    if (best == sites.size()) break;  // every site co-located with an anchor
+    p.anchor_site.push_back(best);
+  }
+  p.shard_count = p.anchor_site.size();
+
+  // Every site joins its nearest anchor's shard ((distance, shard) order).
+  p.site_shard.resize(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::size_t shard = 0;
+    double best_km = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < p.anchor_site.size(); ++s) {
+      const double d = net::haversine_km(
+          sites[i].position, sites[p.anchor_site[s]].position);
+      if (d < best_km) {
+        best_km = d;
+        shard = s;
+      }
+    }
+    p.site_shard[i] = shard;
+  }
+  return p;
+}
+
+AnchorIndex::AnchorIndex(const std::vector<PartitionSite>& sites,
+                         const Partition& p) {
+  CF_CHECK_MSG(!p.anchor_site.empty(), "partition has no anchors to index");
+  for (std::size_t s = 0; s < p.anchor_site.size(); ++s) {
+    const PartitionSite& anchor = sites[p.anchor_site[s]];
+    grid_.insert(anchor.id, anchor.position);
+    shard_by_anchor_.emplace(anchor.id, s);
+  }
+}
+
+std::size_t AnchorIndex::shard_of(const net::GeoPoint& position) const {
+  grid_.nearest_k(position, 1, scratch_);
+  CF_CHECK_MSG(!scratch_.empty(), "anchor index lost its anchors");
+  return shard_by_anchor_.at(scratch_.front().second);
+}
+
+}  // namespace cloudfog::shard

@@ -1,0 +1,67 @@
+// Geographic shard partitioning — DESIGN.md §13.
+//
+// The space-parallel runner splits the world into K shards along supernode
+// geography: the partition sites are the supernode server hosts (weighted
+// by how many players each serves), K anchors are chosen by farthest-point
+// sampling so the shards tile the globe instead of splitting one metro,
+// and every site joins the shard of its nearest anchor. Entities that are
+// not sites (datacenter- and edge-served players) are placed by their own
+// position through the same nearest-anchor query (AnchorIndex, backed by
+// the core::GeoGrid spatial index).
+//
+// Everything here is deterministic: every choice breaks ties on
+// (distance or weight, then lowest NodeId), so the partition is a pure
+// function of (sites, want_shards) — a prerequisite for the sharded run's
+// digest being reproducible at all.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geo_grid.h"
+#include "net/geo.h"
+#include "util/types.h"
+
+namespace cloudfog::shard {
+
+/// One partition site: a supernode server host and its serving weight.
+struct PartitionSite {
+  NodeId id = kInvalidNode;
+  net::GeoPoint position;
+  double weight = 0.0;  // players assigned to this site
+};
+
+/// A computed partition. shard_count may be lower than requested (never
+/// more shards than sites, and at least one even with no sites).
+struct Partition {
+  std::size_t shard_count = 1;
+  std::vector<std::size_t> site_shard;   // parallel to the input sites
+  std::vector<std::size_t> anchor_site;  // shard -> index into the sites
+};
+
+/// Partitions `sites` into min(want_shards, max(1, sites.size())) shards.
+/// Anchor selection: the heaviest site first (ties: lowest id), then
+/// farthest-point sampling — each further anchor is the site maximising
+/// the distance to its nearest already-chosen anchor (ties: lowest id).
+/// Site assignment: nearest anchor in (haversine_km, anchor id) order.
+Partition partition_sites(const std::vector<PartitionSite>& sites,
+                          std::size_t want_shards);
+
+/// Nearest-anchor lookup for arbitrary positions (players served by
+/// datacenters/edge servers rather than a supernode site).
+class AnchorIndex {
+ public:
+  AnchorIndex(const std::vector<PartitionSite>& sites, const Partition& p);
+
+  /// The shard whose anchor is nearest to `position` (GeoGrid order:
+  /// ascending (distance, anchor id) — deterministic).
+  std::size_t shard_of(const net::GeoPoint& position) const;
+
+ private:
+  core::GeoGrid grid_;
+  std::unordered_map<NodeId, std::size_t> shard_by_anchor_;
+  mutable std::vector<std::pair<double, NodeId>> scratch_;
+};
+
+}  // namespace cloudfog::shard

@@ -299,6 +299,21 @@ void Simulator::run_until(TimeMs horizon) {
   now_ = std::max(now_, horizon);
 }
 
+void Simulator::run_before(TimeMs bound) {
+  CF_CHECK_GE(bound, now_);  // bound must not precede current time
+  CF_CHECK_MSG(callback_depth_ == 0,
+               "step()/run_until()/run_all() must not be re-entered from an "
+               "event callback");
+  for (;;) {
+    while (!heap_.empty() && !node_live(heap_[0])) {
+      drop_dead_top();
+    }
+    if (heap_.empty() || heap_[0].when >= bound) break;
+    fire_next();
+  }
+  now_ = std::max(now_, bound);
+}
+
 void Simulator::run_all() {
   CF_CHECK_MSG(callback_depth_ == 0,
                "step()/run_until()/run_all() must not be re-entered from an "

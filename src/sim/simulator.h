@@ -75,6 +75,15 @@ class Simulator {
   /// `horizon`; the clock is left at min(horizon, last event time).
   void run_until(TimeMs horizon);
 
+  /// Conservative-window variant of run_until: fires only events with
+  /// `when` strictly BEFORE `bound` and leaves the clock exactly at
+  /// `bound`. An event landing exactly on `bound` belongs to the *next*
+  /// window — the half-open [start, bound) advance the space-parallel
+  /// shard runner (src/shard) builds its barrier protocol on: a message
+  /// arriving exactly at a window boundary is executed after the barrier,
+  /// never squeezed into the closing window.
+  void run_before(TimeMs bound);
+
   /// Runs until the queue is empty.
   void run_all();
 

@@ -1,0 +1,113 @@
+// Slab-backed storage for per-session stream state — the PR-8 treatment
+// (DESIGN.md §12) extended to the stream pipeline.
+//
+// The streaming harness historically held one heap object per player for
+// the fluid sender queue (vector<unique_ptr<QueuedSender>>) and one inline
+// optional<ReceiverBuffer> per adaptive player. At million-player scale
+// that is a million pointer indirections and allocator round-trips for
+// 48–88 bytes of POD-ish state each. SlabStore keeps the values themselves
+// in one contiguous vector (structure-of-arrays with the generation/use
+// metadata split out), recycles slots through a free list, and hands out
+// generation-tagged 64-bit handles — the same (generation << 32 | slot)
+// idiom as sim::EventId and core::session_store, so a stale handle for a
+// recycled slot is rejected in O(1).
+//
+// References returned by get() are invalidated by the next create() (the
+// slab may grow); callers hold handles, never references, across
+// scheduling boundaries. Values must be copy-assignable (slot reuse
+// assigns a freshly constructed value into the recycled cell).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudfog::stream {
+
+/// Generation-tagged slab handle: (generation >= 1) << 32 | slot.
+using StoreHandle = std::uint64_t;
+inline constexpr StoreHandle kNullHandle = 0;
+
+template <typename T>
+class SlabStore {
+ public:
+  /// Creates a value in a fresh or recycled slot and returns its handle.
+  template <typename... Args>
+  StoreHandle create(Args&&... args) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      values_[slot] = T(std::forward<Args>(args)...);
+      in_use_[slot] = 1;
+    } else {
+      CF_CHECK_MSG(
+          values_.size() < std::numeric_limits<std::uint32_t>::max(),
+          "stream slab exhausted (2^32 concurrent sessions)");
+      slot = static_cast<std::uint32_t>(values_.size());
+      values_.emplace_back(std::forward<Args>(args)...);
+      generations_.push_back(1);
+      in_use_.push_back(1);
+    }
+    ++live_;
+    return pack(slot, generations_[slot]);
+  }
+
+  /// Releases a live handle's slot back to the free list; the slot's
+  /// generation bumps so the handle (and any copy of it) goes stale.
+  void destroy(StoreHandle h) {
+    const std::uint32_t slot = checked_slot(h);
+    in_use_[slot] = 0;
+    if (++generations_[slot] == 0) {
+      generations_[slot] = 1;  // keep pack() != kNullHandle after a wrap
+    }
+    free_slots_.push_back(slot);
+    CF_INVARIANT(live_ > 0, "destroy of a live handle implies live > 0");
+    --live_;
+  }
+
+  T& get(StoreHandle h) { return values_[checked_slot(h)]; }
+  const T& get(StoreHandle h) const { return values_[checked_slot(h)]; }
+
+  /// True iff `h` names a live (created, not yet destroyed) value.
+  bool contains(StoreHandle h) const {
+    const auto slot = static_cast<std::uint32_t>(h & 0xffffffffu);
+    const auto generation = static_cast<std::uint32_t>(h >> 32);
+    return generation != 0 && slot < values_.size() && in_use_[slot] != 0 &&
+           generations_[slot] == generation;
+  }
+
+  std::size_t live() const { return live_; }
+  /// Slots ever materialised (live + free-listed) — the slab footprint.
+  std::size_t capacity() const { return values_.size(); }
+
+ private:
+  static StoreHandle pack(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<StoreHandle>(generation) << 32) | slot;
+  }
+
+  std::uint32_t checked_slot(StoreHandle h) const {
+    CF_CHECK_MSG(contains(h), "stale or null stream-slab handle");
+    return static_cast<std::uint32_t>(h & 0xffffffffu);
+  }
+
+  std::vector<T> values_;
+  std::vector<std::uint32_t> generations_;
+  std::vector<std::uint8_t> in_use_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+};
+
+class QueuedSender;
+class ReceiverBuffer;
+
+/// Slab of fluid FIFO sender queues (one per DC/edge-served player, one
+/// per fluid supernode, and the churn-failover queues of the shard runner).
+using FluidSenderStore = SlabStore<QueuedSender>;
+/// Slab of player-side receive buffers (adaptive players only).
+using ReceiverBufferStore = SlabStore<ReceiverBuffer>;
+
+}  // namespace cloudfog::stream

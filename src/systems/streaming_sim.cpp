@@ -14,6 +14,7 @@
 #include "sim/simulator.h"
 #include "stream/queued_sender.h"
 #include "stream/receiver_buffer.h"
+#include "stream/stream_store.h"
 #include "stream/video.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -42,7 +43,7 @@ struct PlayerState {
   double loss_prob = 0.0;    // per-packet network loss on the serving path
   Kbit arrived_at_last_tick = 0.0;
   std::optional<core::RateAdaptationController> controller;
-  std::optional<stream::ReceiverBuffer> buffer;
+  stream::StoreHandle buffer = stream::kNullHandle;  // in buffer_store_
 };
 
 /// The whole simulation state, wired together in run_streaming.
@@ -89,9 +90,13 @@ class StreamingRun {
   // a private queue at rate min(fair share, WAN cap). Supernodes follow the
   // paper's single-queuing-buffer model: one shared queue per supernode
   // (fluid FIFO for CloudFog/B and -adapt, packet-level deadline sender for
-  // -schedule and /A).
-  std::vector<std::unique_ptr<stream::QueuedSender>> per_player_queue_;
-  std::unordered_map<NodeId, std::unique_ptr<stream::QueuedSender>> sn_fluid_;
+  // -schedule and /A). Senders and receive buffers live in slab stores
+  // (stream/stream_store.h) — one per-player heap object each was the
+  // dominant allocator traffic at 100k+ players.
+  stream::FluidSenderStore fluid_store_;
+  stream::ReceiverBufferStore buffer_store_;
+  std::vector<stream::StoreHandle> per_player_queue_;
+  std::unordered_map<NodeId, stream::StoreHandle> sn_fluid_;
   std::unordered_map<NodeId, std::unique_ptr<core::SupernodeSender>> packet_;
   std::unordered_map<std::uint64_t, SegmentTracker> trackers_;
 
@@ -135,7 +140,8 @@ void StreamingRun::setup_players() {
     ps.level = ps.profile.target_quality_level;
     if (uses_adaptation(kind_)) {
       ps.controller.emplace(ps.profile, options_.cloudfog.adaptation);
-      ps.buffer.emplace(game::quality_for_level(ps.level).bitrate_kbps);
+      ps.buffer =
+          buffer_store_.create(game::quality_for_level(ps.level).bitrate_kbps);
     }
     pop_to_slot_[pa.pop_index] = players_.size();
     host_to_slot_[ps.host] = players_.size();
@@ -194,7 +200,7 @@ void StreamingRun::setup_senders() {
                                 : params.edge_uplink_kbps;
         Kbps share = uplink / static_cast<double>(load.at(server));
         if (ps.wan_cap_kbps > 0.0) share = std::min(share, ps.wan_cap_kbps);
-        per_player_queue_[slot] = std::make_unique<stream::QueuedSender>(share);
+        per_player_queue_[slot] = fluid_store_.create(share);
         break;
       }
       case ServerType::kSupernode: {
@@ -253,7 +259,7 @@ void StreamingRun::setup_senders() {
           }
         } else {
           if (!sn_fluid_.contains(server))
-            sn_fluid_.emplace(server, std::make_unique<stream::QueuedSender>(uplink));
+            sn_fluid_.emplace(server, fluid_store_.create(uplink));
         }
         break;
       }
@@ -271,7 +277,7 @@ void StreamingRun::start_segment_ticks() {
       // estimates are meaningful, then start the estimation cadence.
       PlayerState& ps = players_[slot];
       const Kbit tau = game::quality_for_level(ps.level).bitrate_kbps * period / 1000.0;
-      ps.buffer->on_arrival(0.0, tau);
+      buffer_store_.get(ps.buffer).on_arrival(0.0, tau);
       const TimeMs tick_phase = jitter_rng_.uniform(0.0, options_.adaptation_tick_ms);
       sim_.schedule_every(tick_phase, options_.adaptation_tick_ms,
                           [this, slot] { adaptation_tick(slot); });
@@ -338,8 +344,8 @@ void StreamingRun::enqueue_segment(std::size_t slot, TimeMs t0) {
 void StreamingRun::submit_fluid(std::size_t slot, const stream::VideoSegment& seg) {
   PlayerState& ps = players_[slot];
   const bool shared_queue = ps.assignment.type == ServerType::kSupernode;
-  stream::QueuedSender& sender = shared_queue ? *sn_fluid_.at(ps.assignment.server)
-                                              : *per_player_queue_[slot];
+  stream::QueuedSender& sender = fluid_store_.get(
+      shared_queue ? sn_fluid_.at(ps.assignment.server) : per_player_queue_[slot]);
   // Per-player queues already serialize at min(share, WAN cap). The shared
   // supernode queue serializes at the supernode uplink; a slower WAN hop to
   // this particular player then stretches the *delivery*, not the queue —
@@ -360,10 +366,10 @@ void StreamingRun::submit_fluid(std::size_t slot, const stream::VideoSegment& se
                          (1.0 - ps.loss_prob);
     qoe_.add_units(key, seg.size_kbit, on_time);
   }
-  if (ps.buffer) {
+  if (ps.buffer != stream::kNullHandle) {
     const Kbit size = seg.size_kbit;
     sim_.schedule_at(last_arrival, [this, slot, size] {
-      players_[slot].buffer->on_arrival(sim_.now(), size);
+      buffer_store_.get(players_[slot].buffer).on_arrival(sim_.now(), size);
     });
   }
 }
@@ -411,22 +417,23 @@ void StreamingRun::on_packet_delivery(const core::PacketDelivery& d) {
   // Feed the receive buffer for adaptation (deliveries are in sent order;
   // arrival jitter may reorder slightly, so the buffer event is scheduled).
   const std::size_t slot = pop_to_slot_.at(pop_index);
-  if (players_[slot].buffer && !d.lost) {
+  if (players_[slot].buffer != stream::kNullHandle && !d.lost) {
     const Kbit size = d.size_kbit;
     const TimeMs when = std::max(d.arrival_ms, sim_.now());
     sim_.schedule_at(when, [this, slot, size] {
-      players_[slot].buffer->on_arrival(sim_.now(), size);
+      buffer_store_.get(players_[slot].buffer).on_arrival(sim_.now(), size);
     });
   }
 }
 
 void StreamingRun::adaptation_tick(std::size_t slot) {
   PlayerState& ps = players_[slot];
+  stream::ReceiverBuffer& buffer = buffer_store_.get(ps.buffer);
   const TimeMs period = scenario_.params().segment_period_ms();
   const Kbps playback = game::quality_for_level(ps.level).bitrate_kbps;
   const Kbit tau = playback * period / 1000.0;
   // Windowed download rate d(t_k): data received since the last tick.
-  const Kbit arrived = ps.buffer->total_arrived_kbit();
+  const Kbit arrived = buffer.total_arrived_kbit();
   const Kbps download = (arrived - ps.arrived_at_last_tick) /
                         options_.adaptation_tick_ms * 1000.0;
   ps.arrived_at_last_tick = arrived;
@@ -434,8 +441,8 @@ void StreamingRun::adaptation_tick(std::size_t slot) {
       options_.adaptation_tick_ms, download, playback, tau);
   if (decision != core::RateAdaptationController::Decision::kHold) {
     ps.level = ps.controller->level();
-    ps.buffer->set_playback_rate(sim_.now(),
-                                 game::quality_for_level(ps.level).bitrate_kbps);
+    buffer.set_playback_rate(sim_.now(),
+                             game::quality_for_level(ps.level).bitrate_kbps);
   }
 }
 
@@ -522,6 +529,13 @@ StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
                               const StreamingOptions& options) {
   CF_CHECK_MSG(options.num_players >= 1, "need at least one player");
   CF_CHECK_MSG(options.duration_ms > 0.0, "measurement window must be positive");
+  const ScenarioParams& params = scenario.params();
+  if (params.sim_shards > 1 || params.sim_force_sharded) {
+    return run_streaming_sharded(kind, scenario, options);
+  }
+  CF_CHECK_MSG(options.supernode_churn.empty(),
+               "supernode churn requires the sharded engine "
+               "(sim_shards > 1 or sim_force_sharded)");
   StreamingRun run(kind, scenario, options);
   return run.run();
 }

@@ -36,6 +36,19 @@
 
 namespace cloudfog::systems {
 
+/// One scripted supernode membership toggle (sharded engine only): at
+/// `when_ms` the supernode hosted by player `pop_index` leaves (its
+/// players fail over to a provisioned queue at their home datacenter and
+/// its cache is released, cancelling in-flight jobs) or (re)joins (cache
+/// re-registered empty, players return). Events for one supernode must
+/// alternate; a supernode whose first event is a join starts the run
+/// absent.
+struct SupernodeChurnEvent {
+  TimeMs when_ms = 0.0;
+  std::size_t pop_index = 0;
+  bool leave = true;
+};
+
 struct StreamingOptions {
   std::size_t num_players = 2'000;
   /// When non-empty, these population indices play (num_players ignored) —
@@ -47,6 +60,13 @@ struct StreamingOptions {
   TimeMs adaptation_tick_ms = 500.0;  // estimation cadence for Eq (8)
   core::CloudFogConfig cloudfog = core::CloudFogConfig::defaults();
   std::uint64_t seed_salt = 0;     // distinguishes repeated runs
+
+  // --- sharded engine only (ScenarioParams::sim_shards, DESIGN.md §13) ----
+  /// Dynamic supernode join/leave script; rejected by the sharded engine
+  /// when the system kind uses the packet-level deadline scheduler.
+  std::vector<SupernodeChurnEvent> supernode_churn;
+  /// Worker threads driving the shard rounds; 0 = exec::default_jobs().
+  std::size_t shard_workers = 0;
 };
 
 struct StreamingResult {
@@ -73,9 +93,21 @@ struct StreamingResult {
   cache::CacheTotals cache;
 };
 
-/// Runs one streaming simulation of `kind` over the scenario.
+/// Runs one streaming simulation of `kind` over the scenario. Dispatches
+/// to the sharded engine when ScenarioParams::sim_shards > 1 (or
+/// sim_force_sharded is set); otherwise runs the sequential engine.
 StreamingResult run_streaming(SystemKind kind, const Scenario& scenario,
                               const StreamingOptions& options);
+
+/// The space-parallel engine (src/shard): partitions the world into
+/// geographic shards, runs one slab event engine per shard under
+/// conservative time windows, and produces a QoE digest that is invariant
+/// in the shard count and the worker count (tests/integration pins this
+/// against the single-shard oracle). Called via run_streaming's dispatch;
+/// exposed for tests that want a specific engine regardless of params.
+StreamingResult run_streaming_sharded(SystemKind kind,
+                                      const Scenario& scenario,
+                                      const StreamingOptions& options);
 
 /// One self-contained streaming run for the parallel batch entry point:
 /// the scenario is specified by parameters, not by reference, so every run

@@ -211,5 +211,93 @@ TEST(EdgeCacheServiceTest, CapacityScalesWithSlots) {
   EXPECT_DOUBLE_EQ(service.node_cache(1).capacity_kbit(), 2'000.0);
 }
 
+TEST(EdgeCacheServiceTest, InterceptorDecliningLeavesFetchUnchanged) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  int consulted = 0;
+  service.set_fetch_interceptor([&](NodeId, const stream::VideoSegment&, Kbit,
+                                    EdgeCacheService::DeliverFn) {
+    ++consulted;
+    return false;  // decline: the plain cloud fetch must proceed
+  });
+  int delivered = 0;
+  const auto outcome = service.request(1, segment(3, 0.0), [&] { ++delivered; });
+  EXPECT_EQ(consulted, 1);
+  EXPECT_EQ(outcome.source, ServeSource::kCloudFetch);
+  sim.run_until(10.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(service.totals().coop_probes, 0u);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit, 80.0);
+}
+
+TEST(EdgeCacheServiceTest, PeerFetchResolvesWithoutCloudEgress) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);  // requester
+  service.add_supernode(2, 1);  // peer that will hold the variant
+  // Warm the peer: node 2 fetches the variant once.
+  service.request(2, segment(3, 0.0), [] {});
+  sim.run_until(10.0);
+  const double cloud_after_warm = service.totals().bytes_cloud_kbit;
+
+  // Interceptor takes over node 1's miss and resolves it off node 2.
+  EdgeCacheService::DeliverFn pending;
+  service.set_fetch_interceptor([&](NodeId node, const stream::VideoSegment&,
+                                    Kbit, EdgeCacheService::DeliverFn deliver) {
+    EXPECT_EQ(node, 1);
+    pending = std::move(deliver);
+    return true;
+  });
+  int delivered = 0;
+  const auto probe = service.request(1, segment(3, 20.0), [&] { ++delivered; });
+  EXPECT_EQ(probe.source, ServeSource::kPeerProbe);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(service.totals().coop_probes, 1u);
+
+  EXPECT_TRUE(service.probe_hit(2, segment(3, 20.0)));
+  EXPECT_FALSE(service.probe_hit(2, segment(4, 20.0)));   // other variant
+  EXPECT_FALSE(service.probe_hit(99, segment(3, 20.0)));  // departed peer
+
+  service.complete_peer_fetch(1, segment(3, 20.0), std::move(pending));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(service.totals().coop_hits, 1u);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_peer_kbit, 80.0);
+  // No new cloud bytes — and the variant is now admitted locally: the next
+  // request on node 1 is a plain hit.
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit, cloud_after_warm);
+  const auto next = service.request(1, segment(3, 40.0), [] {});
+  EXPECT_EQ(next.source, ServeSource::kCacheHit);
+}
+
+TEST(EdgeCacheServiceTest, CloudFallbackAfterAllPeersMiss) {
+  sim::Simulator sim;
+  EdgeCacheService service(sim, config(1'000.0));
+  service.add_supernode(1, 1);
+  EdgeCacheService::DeliverFn pending;
+  service.set_fetch_interceptor([&](NodeId, const stream::VideoSegment&, Kbit,
+                                    EdgeCacheService::DeliverFn deliver) {
+    pending = std::move(deliver);
+    return true;
+  });
+  int delivered = 0;
+  service.request(1, segment(3, 0.0), [&] { ++delivered; });
+  ASSERT_TRUE(static_cast<bool>(pending));
+
+  ServeSource resolved = ServeSource::kPeerProbe;
+  service.set_serve_observer(
+      [&](NodeId, const stream::VideoSegment&,
+          const EdgeCacheService::ServeOutcome& outcome) {
+        resolved = outcome.source;
+      });
+  service.cloud_fetch_fallback(1, segment(3, 0.0), std::move(pending));
+  EXPECT_EQ(resolved, ServeSource::kCloudFetch);
+  EXPECT_EQ(delivered, 0);  // transfer delay still applies
+  sim.run_until(10.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_DOUBLE_EQ(service.totals().bytes_cloud_kbit, 80.0);
+  EXPECT_EQ(service.totals().misses, 1u);  // counted once, at probe time
+}
+
 }  // namespace
 }  // namespace cloudfog::cache

@@ -1,0 +1,8 @@
+// Fixture: core (rank 50) reaching up into shard (rank 55). The shard
+// subsystem composes core's spatial index, not the other way around, so
+// this edge inverts the DAG and the layering rule must flag it.
+#pragma once
+
+#include "shard/partition.h"
+
+inline int engine_shards() { return shard_count(); }

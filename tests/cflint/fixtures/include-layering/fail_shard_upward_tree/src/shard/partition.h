@@ -1,0 +1,3 @@
+#pragma once
+
+inline int shard_count() { return 4; }

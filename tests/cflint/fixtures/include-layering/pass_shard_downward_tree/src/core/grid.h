@@ -1,0 +1,3 @@
+#pragma once
+
+inline int grid_cells() { return 64; }

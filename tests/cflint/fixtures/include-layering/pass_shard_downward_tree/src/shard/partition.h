@@ -1,0 +1,8 @@
+// Fixture: shard (rank 55) includes core (rank 50) — strictly downward,
+// legal. Together with systems/runner.h this pins the shard sandwich:
+// core < shard < systems.
+#pragma once
+
+#include "core/grid.h"
+
+inline int shard_sites() { return grid_cells(); }

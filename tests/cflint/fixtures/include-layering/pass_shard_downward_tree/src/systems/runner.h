@@ -1,0 +1,7 @@
+// Fixture: systems (rank 60) composes shard (rank 55) — strictly
+// downward, legal.
+#pragma once
+
+#include "shard/partition.h"
+
+inline int runner_sites() { return shard_sites(); }

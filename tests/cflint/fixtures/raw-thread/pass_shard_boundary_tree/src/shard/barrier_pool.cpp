@@ -1,0 +1,16 @@
+// Fixture: src/shard is the second designated thread boundary (the
+// window-barrier worker pool), so raw std::thread here is allowed.
+#include <thread>
+#include <vector>
+
+namespace cloudfog::shard {
+
+void spin_workers(std::size_t n) {
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([] {});
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace cloudfog::shard

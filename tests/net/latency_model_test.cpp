@@ -117,5 +117,23 @@ TEST(LatencyModel, CrossCountryMagnitudeRealistic) {
   EXPECT_LT(t, 250.0);
 }
 
+TEST(LatencyModel, MinRouteMsBoundsTheUnbiasedBackboneOnly) {
+  // min_route_ms is the backbone term at zero distance: hops_base x
+  // per_hop_ms. It lower-bounds route_ms (the unbiased backbone, monotone
+  // in distance) for every pair — but NOT necessarily the biased expected
+  // latency, since the per-pair bias is multiplicative lognormal and can
+  // fall below 1. The shard runner therefore derives its lookahead from
+  // actual cross-shard edge latencies, never from this floor.
+  const LatencyParams params = LatencyParams::simulation_profile();
+  LatencyModel model(params);
+  EXPECT_DOUBLE_EQ(model.min_route_ms(), params.hops_base * params.per_hop_ms);
+  const auto a = make_endpoint(1, 40.0, -75.0, 0.0);
+  for (NodeId id = 2; id <= 20; ++id) {
+    const auto b = make_endpoint(id, -60.0 + 6.0 * static_cast<double>(id),
+                                 10.0 * static_cast<double>(id), 0.0);
+    EXPECT_GE(model.route_ms(a, b), model.min_route_ms());
+  }
+}
+
 }  // namespace
 }  // namespace cloudfog::net

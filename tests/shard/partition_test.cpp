@@ -1,0 +1,95 @@
+#include "shard/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace cloudfog::shard {
+namespace {
+
+PartitionSite site(NodeId id, double lat, double lon, double weight = 1.0) {
+  return PartitionSite{id, net::GeoPoint{lat, lon}, weight};
+}
+
+TEST(Partition, NoSitesYieldsOneShard) {
+  const Partition p = partition_sites({}, 8);
+  EXPECT_EQ(p.shard_count, 1u);
+  EXPECT_TRUE(p.site_shard.empty());
+}
+
+TEST(Partition, NeverMoreShardsThanSites) {
+  const std::vector<PartitionSite> sites = {site(1, 0.0, 0.0),
+                                            site(2, 40.0, 100.0)};
+  const Partition p = partition_sites(sites, 8);
+  EXPECT_EQ(p.shard_count, 2u);
+  EXPECT_NE(p.site_shard[0], p.site_shard[1]);
+}
+
+TEST(Partition, CoLocatedSitesCollapseToOneAnchor) {
+  // Three sites but only two distinct positions: farthest-point sampling
+  // must refuse a zero-distance anchor, so only two shards materialise.
+  const std::vector<PartitionSite> sites = {
+      site(1, 0.0, 0.0), site(2, 0.0, 0.0), site(3, 45.0, 90.0)};
+  const Partition p = partition_sites(sites, 3);
+  EXPECT_EQ(p.shard_count, 2u);
+  EXPECT_EQ(p.site_shard[0], p.site_shard[1]);
+  EXPECT_NE(p.site_shard[0], p.site_shard[2]);
+}
+
+TEST(Partition, HeaviestSiteAnchorsFirstShard) {
+  const std::vector<PartitionSite> sites = {site(1, 0.0, 0.0, 1.0),
+                                            site(2, 10.0, 10.0, 5.0),
+                                            site(3, -40.0, 120.0, 2.0)};
+  const Partition p = partition_sites(sites, 2);
+  ASSERT_EQ(p.shard_count, 2u);
+  // Shard 0's anchor is the heaviest site (index 1).
+  EXPECT_EQ(p.anchor_site[0], 1u);
+}
+
+TEST(Partition, SitesJoinNearestAnchor) {
+  // Two distant metros with satellites around each: every satellite lands
+  // with its metro.
+  const std::vector<PartitionSite> sites = {
+      site(1, 0.0, 0.0, 10.0),   site(2, 1.0, 1.0),  site(3, -1.0, 0.5),
+      site(4, 50.0, 120.0, 9.0), site(5, 49.0, 121.0)};
+  const Partition p = partition_sites(sites, 2);
+  ASSERT_EQ(p.shard_count, 2u);
+  EXPECT_EQ(p.site_shard[1], p.site_shard[0]);
+  EXPECT_EQ(p.site_shard[2], p.site_shard[0]);
+  EXPECT_EQ(p.site_shard[4], p.site_shard[3]);
+  EXPECT_NE(p.site_shard[0], p.site_shard[3]);
+}
+
+TEST(Partition, DeterministicUnderInputPermutation) {
+  const std::vector<PartitionSite> a = {
+      site(1, 0.0, 0.0, 3.0), site(2, 20.0, 40.0, 1.0),
+      site(3, -30.0, 90.0, 2.0), site(4, 60.0, -120.0, 1.0)};
+  std::vector<PartitionSite> b = {a[2], a[0], a[3], a[1]};
+  const Partition pa = partition_sites(a, 3);
+  const Partition pb = partition_sites(b, 3);
+  ASSERT_EQ(pa.shard_count, pb.shard_count);
+  // Compare by site id: the shard that holds an id must hold the same
+  // co-members regardless of input order. Map each id to its anchor's id.
+  std::map<NodeId, NodeId> anchor_of_a, anchor_of_b;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    anchor_of_a[a[i].id] = a[pa.anchor_site[pa.site_shard[i]]].id;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    anchor_of_b[b[i].id] = b[pb.anchor_site[pb.site_shard[i]]].id;
+  EXPECT_EQ(anchor_of_a, anchor_of_b);
+}
+
+TEST(AnchorIndex, MapsPositionsToNearestAnchorShard) {
+  const std::vector<PartitionSite> sites = {site(1, 0.0, 0.0, 2.0),
+                                            site(2, 50.0, 120.0, 1.0)};
+  const Partition p = partition_sites(sites, 2);
+  ASSERT_EQ(p.shard_count, 2u);
+  const AnchorIndex index(sites, p);
+  EXPECT_EQ(index.shard_of(net::GeoPoint{2.0, 3.0}), p.site_shard[0]);
+  EXPECT_EQ(index.shard_of(net::GeoPoint{48.0, 118.0}), p.site_shard[1]);
+  // Exactly at an anchor.
+  EXPECT_EQ(index.shard_of(net::GeoPoint{0.0, 0.0}), p.site_shard[0]);
+}
+
+}  // namespace
+}  // namespace cloudfog::shard
