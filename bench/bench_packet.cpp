@@ -1,0 +1,177 @@
+// Packet-path steady-state microbench: one deadline-discipline supernode
+// sender under sustained multi-player segment load, measuring the end-to-end
+// per-packet cost of the hot loop — scheduler enqueue/estimate/pop, uplink
+// serialisation events, the propagation/rate-cap/loss hooks and delivery
+// fan-out. This is the workload the burst-transmission train optimises
+// (DESIGN.md §14): between segment rounds the sender drains hundreds of
+// consecutive packets with no intervening event, so the whole round should
+// cost one sim event, not one per packet.
+//
+// stdout is a deterministic per-seed digest table (raw IEEE-754 bits of
+// every delivery folded through FNV-1a), byte-identical at any --jobs or
+// --shards value (the bench uses neither) and across the burst overhaul
+// itself — packet pops never read the clock, so the train replays the exact
+// per-packet arithmetic. Wall-clock lands in the BENCH json as
+// BM_PacketSteadyState (ns per transmitted packet); the ≥3× acceptance gate
+// vs the committed pre-overhaul seed runs through bench_compare.py
+// (EXPERIMENTS.md A10).
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/supernode_sender.h"
+#include "game/game.h"
+#include "sim/simulator.h"
+#include "stream/video.h"
+#include "util/rng.h"
+
+using namespace cloudfog;
+
+namespace {
+
+struct SeedResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t on_time = 0;
+  std::uint64_t digest = 14695981039346656037ull;  // FNV-1a offset basis
+  double wall_ms = 0.0;
+};
+
+void fold(std::uint64_t& digest, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest ^= (value >> shift) & 0xffull;
+    digest *= 1099511628211ull;  // FNV-1a prime
+  }
+}
+
+SeedResult run_seed(std::uint64_t seed) {
+  // Offered load: `players` segments every 33.3 ms, sizes 240–480 kbit
+  // (20–40 packets), ~0.9 uplink utilisation so queues build and drain
+  // every round; every 8th round is a 1.6x overload burst that pushes the
+  // scheduler into Eq (12)–(14) drop territory. Games cycle through the
+  // catalog so deadlines span 30–110 ms and loss tolerances differ.
+  const std::size_t players = bench::scaled(32, 16);
+  const double duration_ms = bench::fast_mode() ? 2'000.0 : 12'000.0;
+  const double interval_ms = 33.3;
+  const Kbps uplink_kbps = 380'000.0 * (bench::fast_mode() ? 0.5 : 1.0);
+
+  sim::Simulator sim;
+  SeedResult out;
+  util::Rng load_rng(seed * 1000003 + 17);
+
+  core::SupernodeSender sender(
+      sim, uplink_kbps, core::SupernodeSender::Discipline::kDeadline,
+      core::DeadlineSchedulerConfig{},
+      [](NodeId player, util::Rng& rng) {
+        return 4.0 + rng.uniform(0.0, 4.0) + 0.1 * static_cast<double>(player % 7);
+      },
+      [&out](const core::PacketDelivery& d) {
+        fold(out.digest, d.segment_id);
+        fold(out.digest, static_cast<std::uint64_t>(d.packet_index));
+        fold(out.digest, std::bit_cast<std::uint64_t>(d.sent_ms));
+        fold(out.digest, std::bit_cast<std::uint64_t>(
+                             d.lost ? d.deadline_ms : d.arrival_ms));
+        fold(out.digest, d.lost ? 1 : 0);
+        if (d.lost) ++out.lost;
+        if (d.on_time()) ++out.on_time;
+      },
+      util::Rng(seed).fork("packet_bench"));
+  sender.set_rate_cap([uplink_kbps](NodeId player, std::uint64_t) {
+    // Every fourth player sits behind a WAN bottleneck at half the uplink.
+    return player % 4 == 0 ? uplink_kbps / 2.0 : 0.0;
+  });
+  sender.set_loss_model(
+      [](NodeId player, std::uint64_t) { return player % 5 == 0 ? 0.01 : 0.0; });
+  sender.set_drop_observer(
+      [&out](const stream::VideoSegment& seg, int packet_index) {
+        fold(out.digest, seg.id);
+        fold(out.digest, static_cast<std::uint64_t>(packet_index));
+        fold(out.digest, 0xd0ull);  // domain-separate drops from deliveries
+      });
+
+  std::uint64_t round = 0;
+  sim::EventId ticker = sim::kInvalidEvent;
+  ticker = sim.schedule_every(interval_ms, interval_ms, [&] {
+    const TimeMs now = sim.now();
+    if (now >= duration_ms) {  // stop generating; let the queue drain
+      sim.cancel(ticker);
+      return;
+    }
+    ++round;
+    const double burst = round % 8 == 0 ? 2.5 : 1.0;
+    for (std::size_t p = 0; p < players; ++p) {
+      const game::GameProfile& game =
+          game::game_by_id(static_cast<game::GameId>(p % 5));
+      stream::VideoSegment seg;
+      seg.id = round * 1000 + p;
+      seg.player = static_cast<NodeId>(p + 1);
+      seg.game = static_cast<game::GameId>(p % 5);
+      seg.quality_level = 3;
+      seg.duration_ms = interval_ms;
+      seg.size_kbit = load_rng.uniform(240.0, 480.0) * burst;
+      seg.action_time_ms = now;
+      seg.deadline_ms = now + game.latency_requirement_ms;
+      seg.loss_tolerance = game.loss_tolerance;
+      sender.submit(seg);
+    }
+  });
+
+  const std::uint64_t start_us = obs::wall_now_us();
+  sim.run_all();
+  out.wall_ms = static_cast<double>(obs::wall_now_us() - start_us) / 1000.0;
+  out.submitted = sender.packets_submitted();
+  out.sent = sender.packets_sent();
+  out.dropped = sender.packets_dropped();
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cloudfog::bench::run_bench(argc, argv, "packet", [&]() -> int {
+    bench::print_header("Packet path",
+                        "steady-state deadline-discipline packet hot loop");
+
+    util::Table table("Packet steady state: per-seed delivery digests");
+    table.set_header({"seed", "submitted", "sent", "dropped", "lost",
+                      "on-time frac", "digest"});
+    double total_wall_ms = 0.0;
+    std::uint64_t total_sent = 0;
+    for (std::size_t s = 0; s < bench::seed_count(); ++s) {
+      const std::uint64_t seed = 7 + s * 10;
+      const SeedResult r = run_seed(seed);
+      const double delivered =
+          static_cast<double>(r.sent > 0 ? r.sent : 1);
+      table.add_row({std::to_string(seed), std::to_string(r.submitted),
+                     std::to_string(r.sent), std::to_string(r.dropped),
+                     std::to_string(r.lost),
+                     util::format_double(
+                         static_cast<double>(r.on_time) / delivered, 4),
+                     hex64(r.digest)});
+      total_wall_ms += r.wall_ms;
+      total_sent += r.sent;
+    }
+    bench::print_table(table);
+
+    const double ns_per_packet =
+        total_sent > 0 ? total_wall_ms * 1e6 / static_cast<double>(total_sent)
+                       : 0.0;
+    obs::record_bench_result("BM_PacketSteadyState", ns_per_packet);
+    obs::record_sweep_wall_ms("packet_steady_state", total_wall_ms);
+    // Timings go to stderr so stdout stays byte-stable for the CI diffs.
+    std::cerr << "packet steady state: " << total_sent << " packets in "
+              << total_wall_ms << " ms (" << ns_per_packet << " ns/packet)\n";
+    return 0;
+  });
+}

@@ -9,11 +9,13 @@ from typing import List
 
 from cflint.model import Rule
 from cflint.rules.determinism import DETERMINISM_RULES
+from cflint.rules.hotpath import StdFunctionRule
 from cflint.rules.layering import IncludeCycleRule, IncludeLayeringRule
 from cflint.rules.trust import TrustBoundaryRule
 
 ALL_RULES: List[Rule] = [
     *DETERMINISM_RULES,
+    StdFunctionRule(),
     IncludeLayeringRule(),
     IncludeCycleRule(),
     TrustBoundaryRule(),

@@ -8,41 +8,78 @@
 
 namespace cloudfog::core {
 
-std::vector<int> allocate_drops(const std::vector<double>& weights, int total) {
+void allocate_drops_into(const std::vector<double>& weights, int total,
+                         std::vector<int>& out) {
   CF_CHECK_MSG(total >= 0, "drop total must be non-negative");
-  std::vector<int> out(weights.size(), 0);
+  out.assign(weights.size(), 0);
   double weight_sum = 0.0;
   for (double w : weights) {
     CF_CHECK_MSG(w >= 0.0, "drop weights must be non-negative");
     weight_sum += w;
   }
-  if (weight_sum <= 0.0 || total == 0) return out;
+  if (weight_sum <= 0.0 || total == 0) return;
   for (std::size_t k = 0; k < weights.size(); ++k) {
     out[k] = static_cast<int>(
         std::lround(weights[k] / weight_sum * static_cast<double>(total)));
   }
+}
+
+std::vector<int> allocate_drops(const std::vector<double>& weights, int total) {
+  std::vector<int> out;
+  allocate_drops_into(weights, total, out);
   return out;
 }
 
 int QueuedSegment::remaining_packets() const {
-  int n = 0;
-  for (std::size_t i = static_cast<std::size_t>(next_packet); i < packets.size(); ++i)
-    if (!packets[i].dropped) ++n;
-  return n;
+  return std::max(0, packet_total - dropped - next_packet);
 }
 
 Kbit QueuedSegment::remaining_kbit() const {
-  Kbit total = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(next_packet); i < packets.size(); ++i)
-    if (!packets[i].dropped) total += packets[i].size_kbit;
+  // Live window is [next_packet, packet_total - dropped). Summing k full
+  // packets then the tail reproduces the old front-to-back accumulation
+  // exactly: the 12-kbit partial sums are exact integers, and the one
+  // inexact operation (adding the sub-12 tail) happens last in both.
+  const int live_end = packet_total - dropped;
+  const int full_live =
+      std::max(0, std::min(full_packets, live_end) - next_packet);
+  Kbit total = stream::kPacketKbit * static_cast<double>(full_live);
+  if (live_end > full_packets && next_packet <= full_packets)
+    total += tail_kbit;
   return total;
 }
 
 int QueuedSegment::droppable() const {
   const int budget = static_cast<int>(std::floor(
-      segment.loss_tolerance * static_cast<double>(packets.size())));
+      segment.loss_tolerance * static_cast<double>(packet_total)));
   const int available = std::min(budget - dropped, remaining_packets());
   return std::max(0, available);
+}
+
+QueuedSegment make_queued_segment(const stream::VideoSegment& segment,
+                                  TimeMs now) {
+  QueuedSegment qs;
+  qs.segment = segment;
+  qs.enqueued_ms = now;
+  qs.packet_total = stream::packet_count(segment.size_kbit);
+  if (qs.packet_total > 0) {
+    // packetize() emits n-1 full packets then min(12, what's left): every
+    // step's 12-kbit subtraction is exact (both operands sit on the same
+    // binary grid), so the iterative remainder equals this closed form bit
+    // for bit. ceil() guarantees the tail lands in (0, 12]; exactly 12
+    // means the size divides evenly and every packet is full.
+    const Kbit tail =
+        segment.size_kbit -
+        stream::kPacketKbit * static_cast<double>(qs.packet_total - 1);
+    CF_INVARIANT(tail > 0.0, "packet_count over-counted the segment");
+    if (tail >= stream::kPacketKbit) {
+      qs.full_packets = qs.packet_total;
+      qs.tail_kbit = 0.0;
+    } else {
+      qs.full_packets = qs.packet_total - 1;
+      qs.tail_kbit = tail;
+    }
+  }
+  return qs;
 }
 
 DeadlineScheduler::DeadlineScheduler(Kbps uplink_kbps,
@@ -62,10 +99,7 @@ bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now)
   }
   CF_OBS_COUNT("core.scheduler.segments_enqueued", 1);
   CF_OBS_GAUGE_SET("core.scheduler.queue_segments", queue_.size() + 1);
-  QueuedSegment qs;
-  qs.segment = segment;
-  qs.enqueued_ms = now;
-  qs.packets = stream::packetize(segment);
+  QueuedSegment qs = make_queued_segment(segment, now);
   // Insert in ascending expected arrival time t_a (ties: earlier action,
   // then id, for determinism).
   const auto pos = std::upper_bound(
@@ -91,20 +125,70 @@ bool DeadlineScheduler::enqueue(const stream::VideoSegment& segment, TimeMs now)
   return true;
 }
 
+std::size_t DeadlineScheduler::window_index_of(NodeId player) const {
+  const auto it = std::lower_bound(
+      propagation_.begin(), propagation_.end(), player,
+      [](const auto& entry, NodeId key) { return entry.first < key; });
+  if (it == propagation_.end() || it->first != player) return SIZE_MAX;
+  return static_cast<std::size_t>(it - propagation_.begin());
+}
+
+const DeadlineScheduler::PropagationWindow* DeadlineScheduler::find_window(
+    NodeId player) const {
+  const std::size_t idx = window_index_of(player);
+  return idx == SIZE_MAX ? nullptr : &propagation_[idx].second;
+}
+
+DeadlineScheduler::PropagationWindow& DeadlineScheduler::window_for(
+    NodeId player) {
+  if (last_window_ < propagation_.size() &&
+      propagation_[last_window_].first == player)
+    return propagation_[last_window_].second;
+  const auto it = std::lower_bound(
+      propagation_.begin(), propagation_.end(), player,
+      [](const auto& entry, NodeId key) { return entry.first < key; });
+  if (it != propagation_.end() && it->first == player) {
+    last_window_ = static_cast<std::size_t>(it - propagation_.begin());
+    return it->second;
+  }
+  const auto inserted = propagation_.emplace(it, player, PropagationWindow{});
+  ++window_epoch_;  // indices shifted: every cached window_idx is now stale
+  last_window_ = static_cast<std::size_t>(inserted - propagation_.begin());
+  return inserted->second;
+}
+
 void DeadlineScheduler::record_propagation(NodeId player, TimeMs prop_ms) {
   CF_CHECK_MSG(prop_ms >= 0.0, "propagation delay must be non-negative");
-  auto& history = propagation_[player];
-  history.push_back(prop_ms);
-  while (history.size() > config_.propagation_history) history.pop_front();
+  PropagationWindow& w = window_for(player);
+  if (!w.full) {
+    w.samples.reserve(config_.propagation_history);
+    w.samples.push_back(prop_ms);
+    w.full = w.samples.size() >= config_.propagation_history;
+  } else {
+    w.samples[w.next] = prop_ms;  // overwrite the oldest
+    if (++w.next >= w.samples.size()) w.next = 0;
+  }
+  // Refresh the cached Eq (13) mean. Sum oldest-to-newest so it matches the
+  // old deque's front-to-back accumulation bit for bit; the ring is walked
+  // as its two contiguous spans — [next, count) then [0, next) — which is
+  // the same element order without a division per sample. An incremental
+  // (add-new, subtract-evicted) update would drift from that sum in the
+  // low bits, so the window is re-summed in full.
+  const std::size_t count = w.samples.size();
+  double total = 0.0;
+  for (std::size_t k = w.next; k < count; ++k) total += w.samples[k];
+  for (std::size_t k = 0; k < w.next; ++k) total += w.samples[k];
+  w.mean = total / static_cast<double>(count);
 }
 
 TimeMs DeadlineScheduler::estimated_propagation_ms(NodeId player) const {
-  const auto it = propagation_.find(player);
-  if (it == propagation_.end() || it->second.empty())
+  // Pure lookup: the mean is maintained by record_propagation. This probe
+  // runs for every queued segment on every enqueue, so it must not re-walk
+  // the sample window.
+  const PropagationWindow* found = find_window(player);
+  if (found == nullptr || found->samples.empty())
     return config_.default_propagation_ms;
-  double total = 0.0;
-  for (TimeMs v : it->second) total += v;
-  return total / static_cast<double>(it->second.size());
+  return found->mean;
 }
 
 TimeMs DeadlineScheduler::estimated_arrival_ms(std::size_t position,
@@ -126,16 +210,14 @@ int DeadlineScheduler::drop_from_segment(std::size_t k, int want) {
   const int can = std::min(want, qs.droppable());
   int done = 0;
   // Drop from the tail: the last packets of a segment are the ones that
-  // would arrive after the deadline. Already-sent packets (index below
-  // next_packet) cannot be dropped.
-  for (int i = static_cast<int>(qs.packets.size()) - 1;
-       i >= qs.next_packet && done < can; --i) {
-    auto& p = qs.packets[static_cast<std::size_t>(i)];
-    if (!p.dropped) {
-      p.dropped = true;
-      ++done;
-      if (on_drop_) on_drop_(qs.segment.id, p.index);
-    }
+  // would arrive after the deadline. Dropped packets are always a suffix —
+  // the first live-from-the-back index is packet_total - dropped - 1 — and
+  // already-sent packets (index below next_packet) cannot be dropped.
+  for (int j = 0; j < can; ++j) {
+    const int index = qs.packet_total - qs.dropped - 1 - j;
+    if (index < qs.next_packet) break;  // unreachable: can <= live packets
+    ++done;
+    if (on_drop_) on_drop_(qs.segment, index);
   }
   qs.dropped += done;
   total_dropped_ += static_cast<std::uint64_t>(done);
@@ -143,7 +225,7 @@ int DeadlineScheduler::drop_from_segment(std::size_t k, int want) {
   // Trust boundary: Eq (14) must never overdraw a segment's loss-tolerance
   // budget — that is the paper's "still meeting their packet loss rate
   // requirements" guarantee.
-  CF_INVARIANT(qs.dropped <= static_cast<int>(qs.packets.size()),
+  CF_INVARIANT(qs.dropped <= qs.packet_total,
                "cannot drop more packets than the segment holds");
   CF_INVARIANT(qs.droppable() >= 0, "loss-tolerance budget overdrawn");
   return done;
@@ -159,10 +241,19 @@ void DeadlineScheduler::estimate_and_drop(TimeMs now) {
   // whenever a segment is predicted late, allocate drops per Eq (14).
   Kbit preceding = 0.0;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Kbit own = queue_[i].remaining_kbit();
+    QueuedSegment& entry = queue_[i];
+    const Kbit own = entry.remaining_kbit();
     const TimeMs l_q = transmission_ms(preceding, uplink_kbps_);
     const TimeMs l_t = transmission_ms(own, uplink_kbps_);
-    const TimeMs l_p = estimated_propagation_ms(queue_[i].segment.player);
+    // Eq (13) estimate via the segment's window memo: one indexed load in
+    // the common case, a binary search only after the window array grew.
+    if (entry.window_epoch != window_epoch_) {
+      entry.window_idx = window_index_of(entry.segment.player);
+      entry.window_epoch = window_epoch_;
+    }
+    const TimeMs l_p = entry.window_idx == SIZE_MAX
+                           ? config_.default_propagation_ms
+                           : propagation_[entry.window_idx].second.mean;
     const TimeMs estimated_arrival = now + l_q + l_t + l_p;
     const TimeMs expected_arrival = queue_[i].segment.deadline_ms;
 
@@ -176,21 +267,22 @@ void DeadlineScheduler::estimate_and_drop(TimeMs now) {
       // Slack D_i is strictly positive inside this branch, so the ceil must
       // request at least one drop; zero would mean negative slack slipped in.
       CF_INVARIANT(needed >= 1, "late segment must need at least one drop");
-      // Eq (14) weights over segments 0..i.
-      std::vector<double> weights(i + 1, 0.0);
+      // Eq (14) weights over segments 0..i (scratch buffers keep their
+      // high-water capacity, so this pass is allocation-free once warm).
+      weights_scratch_.resize(i + 1);
       for (std::size_t k = 0; k <= i; ++k) {
         const double wait_s = (now - queue_[k].enqueued_ms) / 1000.0;
         const double phi = std::exp(-config_.decay_lambda_per_s * wait_s);
-        weights[k] = queue_[k].segment.loss_tolerance * phi;
+        weights_scratch_[k] = queue_[k].segment.loss_tolerance * phi;
       }
       // Proportional allocation (Eq 14), rounded; the tolerance budget caps
       // each segment's share inside drop_from_segment.
-      const std::vector<int> shares = allocate_drops(weights, needed);
+      allocate_drops_into(weights_scratch_, needed, shares_scratch_);
       int dropped_total = 0;
       for (std::size_t k = 0; k <= i && dropped_total < needed; ++k) {
-        if (shares[k] > 0)
-          dropped_total +=
-              drop_from_segment(k, std::min(shares[k], needed - dropped_total));
+        if (shares_scratch_[k] > 0)
+          dropped_total += drop_from_segment(
+              k, std::min(shares_scratch_[k], needed - dropped_total));
       }
       // Residual pass (rounding may under-allocate): take what tolerance
       // budgets still allow, earliest segments first.
@@ -207,34 +299,42 @@ std::optional<DeadlineScheduler::NextPacket> DeadlineScheduler::pop_packet(
   CF_CHECK_GE(now, 0.0);  // a negative clock is always a caller bug
   while (!queue_.empty()) {
     QueuedSegment& head = queue_.front();
-    // Skip dropped packets.
-    while (head.next_packet < static_cast<int>(head.packets.size()) &&
-           head.packets[static_cast<std::size_t>(head.next_packet)].dropped) {
-      ++head.next_packet;
-    }
-    if (head.next_packet >= static_cast<int>(head.packets.size())) {
-      queue_.pop_front();
+    // Dropped packets are a suffix, so a next_packet at or past the live
+    // window's end means nothing is left to send: retire the segment.
+    if (head.next_packet >= head.packet_total - head.dropped) {
+      queue_.erase(queue_.begin());
       continue;
     }
     NextPacket out;
-    out.packet = head.packets[static_cast<std::size_t>(head.next_packet)];
+    out.packet.segment_id = head.segment.id;
+    out.packet.index = head.next_packet;
+    out.packet.size_kbit = head.packet_kbit(head.next_packet);
+    out.packet.deadline_ms = head.segment.deadline_ms;
     out.player = head.segment.player;
     out.game = head.segment.game;
     out.segment_action_ms = head.segment.action_time_ms;
+    out.delivery_tag = head.segment.delivery_tag;
     ++head.next_packet;
     // Retire the segment if that was its last live packet.
-    bool any_left = false;
-    for (std::size_t i = static_cast<std::size_t>(head.next_packet);
-         i < head.packets.size(); ++i) {
-      if (!head.packets[i].dropped) {
-        any_left = true;
-        break;
-      }
-    }
-    if (!any_left) queue_.pop_front();
+    if (head.next_packet >= head.packet_total - head.dropped)
+      queue_.erase(queue_.begin());
     return out;
   }
   return std::nullopt;
+}
+
+std::vector<DeadlineScheduler::PendingSegment> DeadlineScheduler::drain_pending() {
+  std::vector<PendingSegment> out;
+  out.reserve(queue_.size());
+  for (const QueuedSegment& qs : queue_) {
+    CF_INVARIANT(qs.next_packet + qs.dropped <= qs.packet_total,
+                 "queued segment over-consumed its packet budget");
+    const int live = qs.remaining_packets();
+    if (live <= 0) continue;
+    out.push_back(PendingSegment{qs.segment, live, qs.remaining_kbit()});
+  }
+  queue_.clear();
+  return out;
 }
 
 bool DeadlineScheduler::empty() const {

@@ -22,16 +22,27 @@
 // floor(L~_t * packet_count), so a scheduled game never exceeds its
 // tolerable loss rate — this realises the paper's "drop packets while still
 // meeting their packet loss rate requirements".
+//
+// Hot-loop layout (DESIGN.md §14): a queued segment stores no per-packet
+// vector. packetize() emits `u` full 12-kbit packets followed by at most one
+// tail packet whose size is whatever the iterative min/subtract loop leaves,
+// so {packet_total, full_packets, tail_kbit} reconstructs every packet —
+// and because drops always claim a suffix of the segment (the tail packets
+// are the late ones) and sends always advance a prefix, the live window is
+// [next_packet, packet_total - dropped) and remaining_kbit() is a closed
+// form that matches the old per-packet summation bit for bit. Enqueue,
+// estimate-and-drop and pop therefore run without any steady-state heap
+// allocation (the queue vector and the Eq (14) scratch buffers keep their
+// high-water capacity).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stream/video.h"
+#include "util/small_function.h"
 #include "util/types.h"
 
 namespace cloudfog::core {
@@ -42,6 +53,11 @@ namespace cloudfog::core {
 /// pass (and per-segment tolerance caps) settles the difference. Exposed
 /// for direct testing against the paper's formula.
 std::vector<int> allocate_drops(const std::vector<double>& weights, int total);
+
+/// In-place variant used on the hot path: resizes `out` to weights.size()
+/// and writes each segment's share without allocating beyond out's capacity.
+void allocate_drops_into(const std::vector<double>& weights, int total,
+                         std::vector<int>& out);
 
 struct DeadlineSchedulerConfig {
   /// lambda of the exponential decay phi = e^(-lambda * t), t in seconds the
@@ -57,18 +73,43 @@ struct DeadlineSchedulerConfig {
   TimeMs default_propagation_ms = 20.0;
 };
 
-/// One queued segment plus its per-packet drop state.
+/// One queued segment plus its per-packet drop state, packets implicit:
+/// index i < full_packets is a 12-kbit packet, index full_packets (when
+/// tail_kbit > 0) is the tail. Sent packets are the prefix [0, next_packet);
+/// dropped packets are the suffix [packet_total - dropped, packet_total).
 struct QueuedSegment {
   stream::VideoSegment segment;
   TimeMs enqueued_ms = 0.0;
-  std::vector<stream::Packet> packets;
+  int packet_total = 0;    // n: packets this segment splits into
+  int full_packets = 0;    // u: leading packets of exactly kPacketKbit
+  Kbit tail_kbit = 0.0;    // size of packet u (0 when none)
   int next_packet = 0;     // first unsent, possibly-dropped packet index
   int dropped = 0;         // packets marked dropped in this segment
 
+  /// Scheduler-internal memo: index of this player's Eq (13) window in the
+  /// scheduler's sorted window array, valid only while window_epoch matches
+  /// the scheduler's counter (the array grew otherwise — its indices
+  /// shifted). SIZE_MAX = the player had no window when last resolved. Lets
+  /// the estimate-and-drop pass read the cached propagation mean with one
+  /// indexed load instead of a binary search per queued segment.
+  std::size_t window_idx = SIZE_MAX;
+  std::uint64_t window_epoch = 0;
+
+  /// Size of packet `index` as packetize() would have emitted it.
+  Kbit packet_kbit(int index) const {
+    return index < full_packets ? stream::kPacketKbit : tail_kbit;
+  }
   int remaining_packets() const;   // unsent and not dropped
   Kbit remaining_kbit() const;     // size still to transmit
   int droppable() const;           // loss-tolerance budget still available
 };
+
+/// Builds the vectorless queue record for `segment` enqueued at `now`:
+/// derives {packet_total, full_packets, tail_kbit} in closed form from
+/// packetize()'s contract (shared by the deadline queue and the sender's
+/// FIFO ring) without materialising the packets.
+QueuedSegment make_queued_segment(const stream::VideoSegment& segment,
+                                  TimeMs now);
 
 /// The sender-buffer scheduler. It owns queue ordering and the drop policy;
 /// actual transmission timing is driven by a sender (see SupernodeSender).
@@ -82,8 +123,11 @@ class DeadlineScheduler {
   bool enqueue(const stream::VideoSegment& segment, TimeMs now);
 
   /// Observer invoked for every packet the Eq (14) policy drops — lets
-  /// harnesses keep exact per-segment accounting.
-  using DropObserver = std::function<void(std::uint64_t segment_id, int packet_index)>;
+  /// harnesses keep exact per-segment accounting. Receives the owning
+  /// segment (carrying its delivery_tag) and the dropped packet's index.
+  using DropObserver =
+      util::small_function<void(const stream::VideoSegment& segment,
+                                int packet_index)>;
   /// Optional pure sink with no legal-value constraint: null clears it,
   /// and every invocation site null-guards (see drop_from_segment).
   void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }  // lint:allow(trust-boundary)
@@ -101,8 +145,21 @@ class DeadlineScheduler {
     NodeId player = kInvalidNode;
     game::GameId game = -1;
     TimeMs segment_action_ms = 0.0;
+    std::uint64_t delivery_tag = 0;  // the segment's tracker slab handle
   };
   std::optional<NextPacket> pop_packet(TimeMs now);
+
+  /// A queued remainder released by drain_pending() (supernode churn: the
+  /// departing supernode abandons its queue and the session fails over).
+  struct PendingSegment {
+    stream::VideoSegment segment;
+    int remaining_packets = 0;  // unsent, not dropped
+    Kbit remaining_kbit = 0.0;
+  };
+  /// Empties the queue, returning every segment that still had unsent live
+  /// packets. No drop accounting runs — the packets are not shed by the
+  /// Eq (14) policy, they leave with the supernode. Rare path; allocates.
+  std::vector<PendingSegment> drain_pending();
 
   bool empty() const;
   std::size_t queued_segments() const { return queue_.size(); }
@@ -116,17 +173,54 @@ class DeadlineScheduler {
   TimeMs estimated_arrival_ms(std::size_t position, TimeMs now) const;
 
  private:
+  /// Fixed-size Eq (13) sample window: a ring over the last m measurements,
+  /// summed oldest-to-newest so the mean reproduces the old deque's
+  /// front-to-back accumulation bit for bit. The mean is recomputed once
+  /// per recorded sample (it cannot change between records), so the
+  /// estimate probe — which estimate_and_drop runs for every queued
+  /// segment on every enqueue — is a pure lookup.
+  struct PropagationWindow {
+    std::vector<TimeMs> samples;  // sized once to m on first record
+    std::size_t next = 0;         // slot the next sample overwrites
+    bool full = false;
+    TimeMs mean = 0.0;  // oldest-to-newest sum / size, valid unless empty
+  };
+
   /// Runs the estimate-and-drop pass (Eq 12 check + Eq 14 allocation).
   void estimate_and_drop(TimeMs now);
 
   /// Drops up to `want` packets from queue position `k`; returns dropped.
   int drop_from_segment(std::size_t k, int want);
 
+  /// Binary search over the sorted `propagation_` vector; SIZE_MAX when the
+  /// player has no window yet.
+  std::size_t window_index_of(NodeId player) const;
+  /// Same search, as a pointer; null when the player has no window yet.
+  const PropagationWindow* find_window(NodeId player) const;
+  /// Like find_window but inserts an empty window on miss (rare: once per
+  /// player, the only time `propagation_` grows).
+  PropagationWindow& window_for(NodeId player);
+
   Kbps uplink_kbps_;
   DeadlineSchedulerConfig config_;
-  std::deque<QueuedSegment> queue_;  // ascending segment.deadline_ms
+  std::vector<QueuedSegment> queue_;  // ascending segment.deadline_ms
   DropObserver on_drop_;
-  std::unordered_map<NodeId, std::deque<TimeMs>> propagation_;
+  /// Eq (13) windows, sorted by player id. A supernode serves tens of
+  /// players, so a binary search over a flat array beats a hash map on the
+  /// packet path (record_propagation runs once per delivered packet, and
+  /// estimate_and_drop probes a window per queued segment per enqueue).
+  std::vector<std::pair<NodeId, PropagationWindow>> propagation_;
+  /// One-entry memo for window_for: a segment's packets complete
+  /// back-to-back for the same player, so the common case is a repeat of
+  /// the previous lookup. An index stays valid across emplaces (window_for
+  /// re-assigns it on every call), so no invalidation hook is needed.
+  std::size_t last_window_ = SIZE_MAX;
+  /// Bumped whenever `propagation_` grows (indices shift); validates the
+  /// per-QueuedSegment window_idx memo. Starts at 1 so a fresh segment's
+  /// epoch of 0 is always stale.
+  std::uint64_t window_epoch_ = 1;
+  std::vector<double> weights_scratch_;  // Eq (14) weights, reused per pass
+  std::vector<int> shares_scratch_;      // Eq (14) shares, reused per pass
   std::uint64_t total_dropped_ = 0;
   std::uint64_t overflow_segments_ = 0;
 };

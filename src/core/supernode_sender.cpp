@@ -1,5 +1,8 @@
 #include "core/supernode_sender.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "cache/edge_cache_service.h"
 #include "util/check.h"
 
@@ -10,7 +13,7 @@ SupernodeSender::SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps,
                                  DeadlineSchedulerConfig scheduler_config,
                                  PropagationFn propagation, DeliveryFn on_delivery,
                                  util::Rng rng)
-    : sim_(sim),
+    : sim_(&sim),
       uplink_kbps_(uplink_kbps),
       discipline_(discipline),
       scheduler_(uplink_kbps, scheduler_config),
@@ -20,6 +23,11 @@ SupernodeSender::SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps,
   CF_CHECK_MSG(uplink_kbps > 0.0, "uplink rate must be positive");
   CF_CHECK_MSG(static_cast<bool>(propagation_), "propagation sampler required");
   CF_CHECK_MSG(static_cast<bool>(on_delivery_), "delivery observer required");
+}
+
+void SupernodeSender::set_burst_limit(std::size_t limit) {
+  CF_CHECK_GE(limit, std::size_t{1});
+  burst_limit_ = limit;
 }
 
 void SupernodeSender::submit(const stream::VideoSegment& segment) {
@@ -50,12 +58,9 @@ void SupernodeSender::enqueue_ready(const stream::VideoSegment& segment) {
   packets_submitted_ +=
       static_cast<std::uint64_t>(stream::packet_count(segment.size_kbit));
   if (discipline_ == Discipline::kDeadline) {
-    scheduler_.enqueue(segment, sim_.now());
+    scheduler_.enqueue(segment, sim_->now());
   } else {
-    for (const stream::Packet& p : stream::packetize(segment)) {
-      fifo_.push_back(
-          FifoPacket{p, segment.player, segment.game, segment.action_time_ms});
-    }
+    fifo_push(make_queued_segment(segment, sim_->now()));
   }
   pump();
 }
@@ -65,31 +70,141 @@ std::uint64_t SupernodeSender::packets_dropped() const {
                                               : 0;
 }
 
-void SupernodeSender::pump() {
-  if (transmitting_) return;
-  FifoPacket item;
-  if (discipline_ == Discipline::kDeadline) {
-    auto next = scheduler_.pop_packet(sim_.now());
-    if (!next) return;
-    item.packet = next->packet;
-    item.player = next->player;
-    item.game = next->game;
-    item.action_ms = next->segment_action_ms;
-  } else {
-    if (fifo_.empty()) return;
-    item = fifo_.front();
-    fifo_.pop_front();
+std::vector<DeadlineScheduler::PendingSegment> SupernodeSender::drain_pending() {
+  if (discipline_ == Discipline::kDeadline) return scheduler_.drain_pending();
+  CF_INVARIANT(fifo_count_ <= fifo_buf_.size(),
+               "FIFO ring count exceeds its storage");
+  std::vector<DeadlineScheduler::PendingSegment> out;
+  out.reserve(fifo_count_);
+  for (std::size_t k = 0; k < fifo_count_; ++k) {
+    const QueuedSegment& qs = fifo_buf_[(fifo_head_ + k) % fifo_buf_.size()];
+    const int live = qs.remaining_packets();
+    if (live <= 0) continue;
+    out.push_back(DeadlineScheduler::PendingSegment{qs.segment, live,
+                                                    qs.remaining_kbit()});
   }
-  transmitting_ = true;
-  const TimeMs tx = transmission_ms(item.packet.size_kbit, uplink_kbps_);
-  sim_.schedule_after(tx, [this, item] { on_transmit_done(item); });
+  fifo_head_ = 0;
+  fifo_count_ = 0;
+  return out;
 }
 
-void SupernodeSender::on_transmit_done(const FifoPacket& item) {
-  transmitting_ = false;
+void SupernodeSender::fifo_push(QueuedSegment qs) {
+  if (fifo_count_ == fifo_buf_.size()) {
+    // Grow the ring (unwrapping head to 0); amortised, and never on the
+    // steady-state path once the backlog's high-water mark is reached.
+    const std::size_t old_cap = fifo_buf_.size();
+    std::vector<QueuedSegment> next(std::max<std::size_t>(8, old_cap * 2));
+    for (std::size_t k = 0; k < fifo_count_; ++k)
+      next[k] = std::move(fifo_buf_[(fifo_head_ + k) % old_cap]);
+    fifo_buf_ = std::move(next);
+    fifo_head_ = 0;
+  }
+  fifo_buf_[(fifo_head_ + fifo_count_) % fifo_buf_.size()] = std::move(qs);
+  ++fifo_count_;
+}
+
+bool SupernodeSender::fifo_pop(FifoPacket& out) {
+  while (fifo_count_ > 0) {
+    QueuedSegment& head = fifo_buf_[fifo_head_];
+    if (head.next_packet >= head.packet_total) {
+      fifo_head_ = (fifo_head_ + 1) % fifo_buf_.size();
+      --fifo_count_;
+      continue;
+    }
+    out.packet.segment_id = head.segment.id;
+    out.packet.index = head.next_packet;
+    out.packet.size_kbit = head.packet_kbit(head.next_packet);
+    out.packet.deadline_ms = head.segment.deadline_ms;
+    out.packet.dropped = false;
+    out.player = head.segment.player;
+    out.game = head.segment.game;
+    out.action_ms = head.segment.action_time_ms;
+    out.delivery_tag = head.segment.delivery_tag;
+    ++head.next_packet;
+    if (head.next_packet >= head.packet_total) {
+      fifo_head_ = (fifo_head_ + 1) % fifo_buf_.size();
+      --fifo_count_;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool SupernodeSender::pop_next(FifoPacket& out, TimeMs clock) {
+  if (discipline_ == Discipline::kDeadline) {
+    auto next = scheduler_.pop_packet(clock);
+    if (!next) return false;
+    out.packet = next->packet;
+    out.player = next->player;
+    out.game = next->game;
+    out.action_ms = next->segment_action_ms;
+    out.delivery_tag = next->delivery_tag;
+    return true;
+  }
+  return fifo_pop(out);
+}
+
+void SupernodeSender::pump() {
+  if (transmitting_) return;
+  // A submit is often one of several at this timestamp (an engine tick
+  // fans out a whole batch), and the later ones are invisible to both the
+  // event-queue peek and the run horizon — so no inline completion here.
+  // Pop one packet and arm its completion event, exactly the old
+  // per-packet path; the burst train runs from that event, where every
+  // same-time submit is already in the queue.
+  FifoPacket item;
+  if (!pop_next(item, sim_->now())) return;
+  transmitting_ = true;
+  const TimeMs done =
+      sim_->now() + transmission_ms(item.packet.size_kbit, uplink_kbps_);
+  sim_->schedule_at(done, [this, item] {
+    const TimeMs at = sim_->now();
+    complete(item, at);
+    run_train(at);
+  });
+}
+
+void SupernodeSender::run_train(TimeMs clock) {
+  std::size_t inline_completions = 0;
+  for (;;) {
+    FifoPacket item;
+    if (!pop_next(item, clock)) {
+      transmitting_ = false;
+      return;
+    }
+    transmitting_ = true;
+    const TimeMs done =
+        clock + transmission_ms(item.packet.size_kbit, uplink_kbps_);
+    // Break the train whenever any sim event lands at or before this
+    // packet's completion: that event may mutate the queue (a submit, a
+    // churn drain), so the next pop decision must wait for it. The peek is
+    // a conservative lower bound — a tombstone can only break the train
+    // early, which re-arms and re-checks, never reorders anything. Past the
+    // run horizon the heap says nothing about future inputs (a direct
+    // submit() from driver code between run_*() calls, a cross-shard
+    // message delivered at the next window barrier), so the train arms a
+    // real event there and lets the heap decide the interleaving — outside
+    // any run loop the horizon is -infinity and every packet takes the
+    // one-event-per-packet path.
+    if (done > sim_->run_horizon() || sim_->next_event_time() <= done ||
+        inline_completions + 1 >= burst_limit_) {
+      sim_->schedule_at(done, [this, item] {
+        const TimeMs at = sim_->now();
+        complete(item, at);
+        run_train(at);
+      });
+      return;
+    }
+    complete(item, done);
+    ++inline_completions;
+    clock = done;
+  }
+}
+
+void SupernodeSender::complete(const FifoPacket& item, TimeMs at) {
   ++packets_sent_;
   // Network loss: the packet left the uplink but never reaches the player.
-  if (loss_ && rng_.bernoulli(loss_(item.player))) {
+  if (loss_ && rng_.bernoulli(loss_(item.player, item.delivery_tag))) {
     ++packets_lost_;
     PacketDelivery d;
     d.player = item.player;
@@ -99,15 +214,15 @@ void SupernodeSender::on_transmit_done(const FifoPacket& item) {
     d.size_kbit = item.packet.size_kbit;
     d.action_ms = item.action_ms;
     d.deadline_ms = item.packet.deadline_ms;
-    d.sent_ms = sim_.now();
+    d.sent_ms = at;
     d.lost = true;
+    d.delivery_tag = item.delivery_tag;
     on_delivery_(d);
-    pump();
     return;
   }
   TimeMs prop = propagation_(item.player, rng_);
   if (rate_cap_) {
-    const Kbps cap = rate_cap_(item.player);
+    const Kbps cap = rate_cap_(item.player, item.delivery_tag);
     if (cap > 0.0 && cap < uplink_kbps_) {
       // WAN bottleneck transit: the packet trickles through the slow hop.
       prop += transmission_ms(item.packet.size_kbit, cap) -
@@ -122,12 +237,12 @@ void SupernodeSender::on_transmit_done(const FifoPacket& item) {
   d.size_kbit = item.packet.size_kbit;
   d.action_ms = item.action_ms;
   d.deadline_ms = item.packet.deadline_ms;
-  d.sent_ms = sim_.now();
-  d.arrival_ms = sim_.now() + prop;
+  d.sent_ms = at;
+  d.arrival_ms = at + prop;
+  d.delivery_tag = item.delivery_tag;
   // Feed the Eq (13) propagation history (as if acknowledged).
   scheduler_.record_propagation(item.player, prop);
   on_delivery_(d);
-  pump();
 }
 
 }  // namespace cloudfog::core

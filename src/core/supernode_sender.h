@@ -11,16 +11,36 @@
 // The sender measures each delivered packet's propagation delay back into
 // the scheduler (the paper's "records the propagation delay of m recently
 // sent packets for each player", Eq 13).
+//
+// Burst transmission (DESIGN.md §14): the uplink drains in back-to-back
+// trains. A submit on an idle uplink never completes inline — it pops one
+// packet and arms its completion event (the submit is often one of a batch
+// at the same timestamp, and the later ones are invisible to any peek);
+// trains run from the sender's own completion events. There, after popping
+// a packet the sender computes its completion time `done` against an
+// explicitly threaded clock; if `done` is within the simulator's run
+// horizon and no sim event lands at or before it (and the burst limit
+// allows) the packet completes *inline* at `done` and the train continues
+// — otherwise one sim event is armed at `done` and the train resumes
+// there. The timeline is identical to the old
+// one-event-per-packet sender: a train only skips event-queue round trips
+// that nothing could observe — the run-horizon gate keeps it honest where
+// the event queue is blind (direct submits between run_*() calls, shard
+// window barriers). Contract this imposes on delivery callbacks:
+// they run logically at PacketDelivery::sent_ms, which mid-train is ahead
+// of Simulator::now() — take times from the delivery record, never from
+// the sim clock.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <limits>
+#include <vector>
 
 #include "core/deadline_scheduler.h"
 #include "sim/simulator.h"
 #include "stream/video.h"
 #include "util/rng.h"
+#include "util/small_function.h"
 #include "util/types.h"
 
 namespace cloudfog::cache {
@@ -41,6 +61,7 @@ struct PacketDelivery {
   TimeMs sent_ms = 0.0;      // last bit left the uplink
   TimeMs arrival_ms = 0.0;   // reached the player (meaningless when lost)
   bool lost = false;         // dropped in the network, never arrived
+  std::uint64_t delivery_tag = 0;  // the segment's tag as submitted
   bool on_time() const { return !lost && arrival_ms <= deadline_ms; }
 };
 
@@ -49,21 +70,34 @@ class SupernodeSender {
   enum class Discipline { kFifo, kDeadline };
 
   /// Samples the propagation delay of one packet to `player`.
-  using PropagationFn = std::function<TimeMs(NodeId player, util::Rng& rng)>;
+  using PropagationFn =
+      util::small_function<TimeMs(NodeId player, util::Rng& rng)>;
   /// Optional per-player WAN bottleneck rate (kbps); <= 0 means none. A
   /// packet to a capped player takes size/rate extra transit time after
   /// leaving the uplink — the bottleneck stretches delivery, it does not
-  /// block the shared sender queue.
-  using RateCapFn = std::function<Kbps(NodeId player)>;
+  /// block the shared sender queue. `delivery_tag` is the segment's tag so
+  /// slab-indexed harnesses can reach their per-session state directly.
+  using RateCapFn =
+      util::small_function<Kbps(NodeId player, std::uint64_t delivery_tag)>;
   /// Optional per-player network loss probability in [0, 1).
-  using LossFn = std::function<double(NodeId player)>;
-  /// Observer invoked for every delivered packet.
-  using DeliveryFn = std::function<void(const PacketDelivery&)>;
+  using LossFn =
+      util::small_function<double(NodeId player, std::uint64_t delivery_tag)>;
+  /// Observer invoked for every delivered packet. Runs logically at
+  /// PacketDelivery::sent_ms — mid-train that is ahead of Simulator::now(),
+  /// so read times from the record, not from the sim clock.
+  using DeliveryFn = util::small_function<void(const PacketDelivery&), 64>;
 
   SupernodeSender(sim::Simulator& sim, Kbps uplink_kbps, Discipline discipline,
                   DeadlineSchedulerConfig scheduler_config,
                   PropagationFn propagation, DeliveryFn on_delivery,
                   util::Rng rng);
+
+  /// Movable so slab stores can hold senders by value — but in-flight
+  /// completion events capture `this`, so a sender may only be moved while
+  /// no transmission is pending: create every sender before the first event
+  /// runs and never grow the store afterwards.
+  SupernodeSender(SupernodeSender&&) = default;
+  SupernodeSender& operator=(SupernodeSender&&) = default;
 
   /// Accepts a rendered segment at simulator time. With a segment cache
   /// attached the segment is first *sourced* (cache hit / local transcode /
@@ -78,13 +112,19 @@ class SupernodeSender {
   void attach_segment_cache(cache::EdgeCacheService* service, NodeId self);
 
   /// Installs a per-player WAN bottleneck. Call before the first submit.
-  /// Optional: null means "no cap", and pump() null-guards before sampling.
+  /// Optional: null means "no cap", and complete() null-guards before sampling.
   void set_rate_cap(RateCapFn cap) { rate_cap_ = std::move(cap); }  // lint:allow(trust-boundary)
 
   /// Installs a per-player packet-loss model. Lost packets are reported
   /// through the delivery observer with lost = true.
-  /// Optional: null means "lossless", and pump() null-guards before sampling.
+  /// Optional: null means "lossless", and complete() null-guards before sampling.
   void set_loss_model(LossFn loss) { loss_ = std::move(loss); }  // lint:allow(trust-boundary)
+
+  /// Caps how many packets one train completes inline before the sender
+  /// falls back to arming a sim event (default: unlimited). A limit of 1
+  /// reproduces the old one-event-per-packet timeline exactly — the
+  /// equivalence oracle in tests/core runs both and compares digests.
+  void set_burst_limit(std::size_t limit);
 
   Discipline discipline() const { return discipline_; }
   Kbps uplink_kbps() const { return uplink_kbps_; }
@@ -105,25 +145,48 @@ class SupernodeSender {
     scheduler_.set_drop_observer(std::move(observer));
   }
 
+  /// Abandons the queued backlog (supernode churn): empties whichever
+  /// queue the discipline uses and returns the segments that still had
+  /// unsent packets. The in-flight packet, if any, still completes.
+  std::vector<DeadlineScheduler::PendingSegment> drain_pending();
+
  private:
   struct FifoPacket {
     stream::Packet packet;
     NodeId player;
     game::GameId game;
     TimeMs action_ms;
+    std::uint64_t delivery_tag;
   };
 
   /// Enqueues a segment whose content is locally available (post-cache).
   void enqueue_ready(const stream::VideoSegment& segment);
-  /// Starts transmitting the next packet if the uplink is idle.
+  /// If the uplink is idle, pops one packet and arms its completion event
+  /// (never inline — same-timestamp submits may still be pending).
   void pump();
-  void on_transmit_done(const FifoPacket& item);
+  /// Drains the queue back-to-back from `clock` (>= sim time) until it
+  /// empties, a sim event intervenes, or the burst limit is hit.
+  void run_train(TimeMs clock);
+  /// Pops the next packet under the current discipline.
+  bool pop_next(FifoPacket& out, TimeMs clock);
+  /// Completes one transmission at explicit time `at`: samples loss /
+  /// propagation / rate cap and reports the delivery.
+  void complete(const FifoPacket& item, TimeMs at);
 
-  sim::Simulator& sim_;
+  // --- segment-granular FIFO ring (kFifo) -------------------------------
+  // Stores whole segments with the same implicit packet layout the
+  // deadline queue uses; packets are derived on demand, so steady-state
+  // pushes and pops never allocate (the ring keeps its high-water size).
+  void fifo_push(QueuedSegment qs);
+  bool fifo_pop(FifoPacket& out);
+
+  sim::Simulator* sim_;
   Kbps uplink_kbps_;
   Discipline discipline_;
   DeadlineScheduler scheduler_;   // used only under kDeadline
-  std::deque<FifoPacket> fifo_;   // used only under kFifo
+  std::vector<QueuedSegment> fifo_buf_;  // ring storage (kFifo)
+  std::size_t fifo_head_ = 0;
+  std::size_t fifo_count_ = 0;
   PropagationFn propagation_;
   RateCapFn rate_cap_;
   LossFn loss_;
@@ -132,6 +195,7 @@ class SupernodeSender {
   NodeId cache_self_ = kInvalidNode;  // this supernode's id in the service
   util::Rng rng_;
   bool transmitting_ = false;
+  std::size_t burst_limit_ = std::numeric_limits<std::size_t>::max();
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_submitted_ = 0;
   std::uint64_t packets_lost_ = 0;

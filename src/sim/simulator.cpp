@@ -40,7 +40,7 @@ EventId Simulator::push(TimeMs when, Callback fn, TimeMs period) {
     slots_.emplace_back();
   }
   Slot& s = slots_[slot];
-  s.fn.swap(fn);  // s.fn is empty (cleared on release); swap skips a temp
+  s.fn = std::move(fn);  // s.fn is empty (cleared on release)
   s.period = period;
   s.cancelled = false;
   s.in_use = true;
@@ -288,6 +288,7 @@ void Simulator::run_until(TimeMs horizon) {
   CF_CHECK_MSG(callback_depth_ == 0,
                "step()/run_until()/run_all() must not be re-entered from an "
                "event callback");
+  RunScope run_scope(*this, horizon);
   for (;;) {
     // Peek through tombstones to find the next live event time.
     while (!heap_.empty() && !node_live(heap_[0])) {
@@ -304,6 +305,12 @@ void Simulator::run_before(TimeMs bound) {
   CF_CHECK_MSG(callback_depth_ == 0,
                "step()/run_until()/run_all() must not be re-entered from an "
                "event callback");
+  // The inline horizon is `bound` inclusive even though events at exactly
+  // `bound` belong to the next window: a completion landing exactly on the
+  // boundary was scheduled before any barrier-delivered message at the same
+  // timestamp, so it would fire first anyway — completing it inline cannot
+  // change the interleaving.
+  RunScope run_scope(*this, bound);
   for (;;) {
     while (!heap_.empty() && !node_live(heap_[0])) {
       drop_dead_top();
@@ -318,6 +325,7 @@ void Simulator::run_all() {
   CF_CHECK_MSG(callback_depth_ == 0,
                "step()/run_until()/run_all() must not be re-entered from an "
                "event callback");
+  RunScope run_scope(*this, std::numeric_limits<TimeMs>::infinity());
   while (fire_next()) {
   }
 }

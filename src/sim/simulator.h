@@ -19,16 +19,22 @@
 // purged eagerly once tombstones outnumber live nodes. While a callback is
 // executing the purge is deferred to fire_next's tail: compacting
 // mid-callback would release the executing slot (destroying the running
-// std::function and letting a same-callback schedule_* recycle its
-// storage). Callbacks may throw — the slot is still reclaimed — but must
-// not re-enter step()/run_until()/run_all() (checked).
+// callback and letting a same-callback schedule_* recycle its storage).
+// Callbacks may throw — the slot is still reclaimed — but must not
+// re-enter step()/run_until()/run_all() (checked).
+//
+// Callbacks are util::small_function (DESIGN.md §14): captures live inline
+// in the slab record and a capture larger than kCallbackCapacity is a
+// compile error at the scheduling site, so the schedule/fire cycle can
+// never allocate — not just "doesn't in steady state".
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <limits>
 #include <vector>
 
+#include "util/small_function.h"
 #include "util/types.h"
 
 namespace cloudfog::sim {
@@ -41,10 +47,16 @@ namespace cloudfog::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Inline capture budget for event callbacks. Sized for the largest hot
+/// capture in the tree (the sender's per-packet completion closure); grow it
+/// deliberately if a new callsite trips the static_assert — every slab slot
+/// carries this many bytes.
+inline constexpr std::size_t kCallbackCapacity = 96;
+
 /// Single-threaded discrete-event simulator.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::small_function<void(), kCallbackCapacity>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -86,6 +98,32 @@ class Simulator {
 
   /// Runs until the queue is empty.
   void run_all();
+
+  /// Conservative O(1) peek at the earliest pending event time: +infinity
+  /// when the heap is empty, otherwise the root's timestamp — which may be
+  /// a cancelled tombstone, so the returned time is a *lower bound* on the
+  /// next live event. That direction is the safe one for the burst
+  /// transmission trains (DESIGN.md §14): a train breaks whenever
+  /// next_event_time() <= its in-flight completion, so a stale tombstone
+  /// can only break a train early, never let it run past a live event.
+  /// Never releases slots, so it is safe to call from inside a callback
+  /// (unlike the run_* peek loop, which reclaims dead tops as it goes).
+  TimeMs next_event_time() const {
+    return heap_.empty() ? std::numeric_limits<TimeMs>::infinity()
+                         : heap_[0].when;
+  }
+
+  /// Upper bound on the timestamp of any event the currently-executing
+  /// run_*() call may still fire: the bound argument during run_until() and
+  /// run_before(), +infinity during run_all(), and -infinity when no run
+  /// loop is active (including bare step()). Burst transmission trains
+  /// (DESIGN.md §14) consult this before completing a packet inline at a
+  /// future timestamp: beyond the run horizon the heap says nothing about
+  /// future inputs — a direct submit() from driver code between run calls,
+  /// or a cross-shard message delivered at the next window barrier — so
+  /// the train must arm a real event there and let the heap decide the
+  /// interleaving.
+  TimeMs run_horizon() const { return run_horizon_; }
 
   /// Number of live pending events (cancelled tombstones excluded; a
   /// periodic event counts once).
@@ -132,7 +170,7 @@ class Simulator {
 
   /// RAII around a running callback. Tracks callback depth so cancel()
   /// defers tombstone purges while any callback executes (a purge would
-  /// release_slot() the executing slot, destroying the std::function that
+  /// release_slot() the executing slot, destroying the callback that
   /// is mid-invocation), and — when given a slot — releases it even if the
   /// callback throws, so one-shot slots cannot leak on unwind.
   struct CallbackScope {
@@ -152,6 +190,23 @@ class Simulator {
     std::uint32_t slot_;
   };
 
+  /// RAII for run_horizon_ across one run_*() call: installs the bound and
+  /// restores the idle value (-infinity) even if a callback throws. Run
+  /// loops cannot nest (checked), so restoring to the constant is exact.
+  struct RunScope {
+    RunScope(Simulator& sim, TimeMs horizon) : sim_(sim) {
+      sim_.run_horizon_ = horizon;
+    }
+    ~RunScope() {
+      sim_.run_horizon_ = -std::numeric_limits<TimeMs>::infinity();
+    }
+    RunScope(const RunScope&) = delete;
+    RunScope& operator=(const RunScope&) = delete;
+
+   private:
+    Simulator& sim_;
+  };
+
   EventId push(TimeMs when, Callback fn, TimeMs period);
   void release_slot(std::uint32_t slot);
   void heap_push(const HeapNode& n);
@@ -165,6 +220,7 @@ class Simulator {
   bool fire_next();
 
   TimeMs now_ = 0.0;
+  TimeMs run_horizon_ = -std::numeric_limits<TimeMs>::infinity();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;

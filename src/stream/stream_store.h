@@ -14,8 +14,11 @@
 //
 // References returned by get() are invalidated by the next create() (the
 // slab may grow); callers hold handles, never references, across
-// scheduling boundaries. Values must be copy-assignable (slot reuse
-// assigns a freshly constructed value into the recycled cell).
+// scheduling boundaries. Values must be move-assignable (slot reuse
+// assigns a freshly constructed value into the recycled cell). Values
+// whose address escapes into scheduled callbacks (SupernodeSender's
+// in-flight completion events capture `this`) must all be created before
+// the first event runs — growth moves the slab.
 #pragma once
 
 #include <cstdint>

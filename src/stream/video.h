@@ -34,6 +34,11 @@ struct VideoSegment {
   TimeMs action_time_ms = 0.0;  // t_m: the triggering action / frame due time
   TimeMs deadline_ms = 0.0;     // t_a = t_m + latency requirement
   double loss_tolerance = 0.0;  // L~_t of the segment's game
+  // Dense per-segment routing handle the submitting harness may stamp (the
+  // tracker slab slot, DESIGN.md §14); carried through the scheduler and
+  // handed back on every delivery and drop so the hot path never needs a
+  // hash lookup on segment id. 0 = untagged.
+  std::uint64_t delivery_tag = 0;
 };
 
 /// One packet of a segment.

@@ -120,56 +120,64 @@ CooperationExperimentResult run_cooperation_experiment(
   // A striped half-segment needs its own tracker-visible id; the factory
   // keeps ids unique, so halves register as separate segments of the same
   // (player, action) and share a combined tracker via their own entries.
+  // The event callbacks capture one reference to these named stages plus
+  // the (player, t0) identity — the full [&] capture set would outgrow the
+  // sim's inline callback budget.
+  auto submit_segment = [&](NodeId player, TimeMs t0) {
+    Player& p = players[player];
+    stream::VideoSegment seg = factory.make(
+        player, p.profile.id, p.profile.target_quality_level, period, t0);
+    if (config.segment_size_sigma > 0.0) {
+      const double sigma = config.segment_size_sigma;
+      seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
+    }
+    const bool measured = in_window(t0);
+    if (measured) {
+      qoe.player(player).units_total +=
+          static_cast<double>(stream::packet_count(seg.size_kbit));
+    }
+    if (config.enable_striping) {
+      auto halves = stripe(seg);
+      Tracker t;
+      t.player = player;
+      t.action_ms = t0;
+      t.live = stream::packet_count(seg.size_kbit);
+      t.measured = measured;
+      trackers.emplace(seg.id, t);
+      for (std::size_t s = 0; s < 2; ++s) {
+        if (halves[s].size_kbit <= 0.0) continue;
+        halves[s].id = seg.id * 2'000'000 + s;  // distinct wire ids
+        alias.emplace(halves[s].id, seg.id);
+        // Half s goes to (primary + s) mod 2: primary gets the even
+        // half, the partner the odd one.
+        senders[(static_cast<std::size_t>(p.primary) + s) % 2]->submit(
+            halves[s]);
+      }
+    } else {
+      Tracker t;
+      t.player = player;
+      t.action_ms = t0;
+      t.live = stream::packet_count(seg.size_kbit);
+      t.measured = measured;
+      trackers.emplace(seg.id, t);
+      senders[static_cast<std::size_t>(p.primary)]->submit(seg);
+    }
+  };
+  auto player_tick = [&](NodeId player) {
+    const TimeMs t0 = sim.now();
+    if (t0 >= window_end) return;
+    const TimeMs pipeline =
+        config.pipeline_ms *
+        jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
+    sim.schedule_after(pipeline, [&submit_segment, player, t0] {
+      submit_segment(player, t0);
+    });
+  };
   for (std::size_t i = 0; i < players.size(); ++i) {
     const auto player = static_cast<NodeId>(i);
     const TimeMs phase = setup_rng.uniform(0.0, period);
-    sim.schedule_every(phase, period, [&, player] {
-      const TimeMs t0 = sim.now();
-      if (t0 >= window_end) return;
-      const TimeMs pipeline =
-          config.pipeline_ms *
-          jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
-      sim.schedule_after(pipeline, [&, player, t0] {
-        Player& p = players[player];
-        stream::VideoSegment seg = factory.make(
-            player, p.profile.id, p.profile.target_quality_level, period, t0);
-        if (config.segment_size_sigma > 0.0) {
-          const double sigma = config.segment_size_sigma;
-          seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
-        }
-        const bool measured = in_window(t0);
-        if (measured) {
-          qoe.player(player).units_total +=
-              static_cast<double>(stream::packet_count(seg.size_kbit));
-        }
-        if (config.enable_striping) {
-          auto halves = stripe(seg);
-          Tracker t;
-          t.player = player;
-          t.action_ms = t0;
-          t.live = stream::packet_count(seg.size_kbit);
-          t.measured = measured;
-          trackers.emplace(seg.id, t);
-          for (std::size_t s = 0; s < 2; ++s) {
-            if (halves[s].size_kbit <= 0.0) continue;
-            halves[s].id = seg.id * 2'000'000 + s;  // distinct wire ids
-            alias.emplace(halves[s].id, seg.id);
-            // Half s goes to (primary + s) mod 2: primary gets the even
-            // half, the partner the odd one.
-            senders[(static_cast<std::size_t>(p.primary) + s) % 2]->submit(
-                halves[s]);
-          }
-        } else {
-          Tracker t;
-          t.player = player;
-          t.action_ms = t0;
-          t.live = stream::packet_count(seg.size_kbit);
-          t.measured = measured;
-          trackers.emplace(seg.id, t);
-          senders[static_cast<std::size_t>(p.primary)]->submit(seg);
-        }
-      });
-    });
+    sim.schedule_every(phase, period,
+                       [&player_tick, player] { player_tick(player); });
   }
 
   sim.run_until(window_end + config.drain_ms);

@@ -35,7 +35,10 @@
 // provisioned at setup with a static share of the DC uplink (base DC load
 // plus every at-risk player homed there); join re-registers an empty cache
 // and the players return. Churn is shard-local by the co-location
-// invariant. The packet-level scheduler kinds reject churn.
+// invariant. Under the packet-level scheduler kinds a leave additionally
+// drains the departed sender's queued backlog and streams each segment's
+// unsent remainder through the owning player's failover fluid queue (the
+// in-flight packet, if any, still completes on the old path).
 #include "systems/streaming_sim.h"
 
 #include <algorithm>
@@ -71,8 +74,13 @@ namespace cloudfog::systems {
 namespace {
 
 /// Per-segment bookkeeping for packet-level (deadline-scheduled) delivery.
+/// Lives in the owning shard's tracker slab; the slab handle travels with
+/// the segment as VideoSegment::delivery_tag, so every per-packet hook
+/// reaches this record (and through `slot`, the player) without a hash
+/// lookup.
 struct SegmentTracker {
   std::size_t pop_index = 0;
+  std::size_t slot = 0;  // global player slot (players_ index)
   TimeMs action_ms = 0.0;
   int live_packets = 0;
   TimeMs last_arrival = 0.0;
@@ -97,6 +105,9 @@ struct ShardPlayer {
   stream::StoreHandle failover_queue = stream::kNullHandle;
   double failover_loss_prob = 0.0;
   bool failed_over = false;
+  /// Handle of this player's supernode packet sender in the owning shard's
+  /// packet_store (scheduling kinds only) — submit never hashes.
+  stream::StoreHandle packet_sender = stream::kNullHandle;
   /// Private sample stream: every stochastic draw this player causes
   /// (pipeline jitter, VBR size, fluid propagation) comes from here.
   util::Rng rng{0};
@@ -131,10 +142,16 @@ struct Shard {
   stream::SegmentFactory factory;
   metrics::QoECollector qoe;
   std::optional<cache::EdgeCacheService> cache;
-  // Keyed by node / segment id, never iterated.
+  // Keyed by node, setup/churn only — never touched per packet.
   std::unordered_map<NodeId, stream::StoreHandle> sn_fluid;
-  std::unordered_map<NodeId, std::unique_ptr<core::SupernodeSender>> packet;
-  std::unordered_map<std::uint64_t, SegmentTracker> trackers;
+  std::unordered_map<NodeId, stream::StoreHandle> packet;
+  // Packet senders by value; completion events capture sender addresses,
+  // so the slab must not grow once the first event runs — every sender is
+  // created in setup_senders().
+  stream::SlabStore<core::SupernodeSender> packet_store;
+  // Per-segment trackers; handles travel as VideoSegment::delivery_tag.
+  // Grows freely (no tracker address ever escapes into a callback).
+  stream::SlabStore<SegmentTracker> tracker_store;
   std::map<NodeId, NodeLedger> ledger;  // NodeId order: canonical reduce
   std::uint64_t drops = 0;
 };
@@ -193,10 +210,12 @@ class ShardedStreamingRun {
   void on_action(std::size_t slot);
   void enqueue_segment(std::size_t slot, TimeMs t0);
   void submit_fluid(std::size_t slot, const stream::VideoSegment& seg);
-  void submit_packet(std::size_t slot, const stream::VideoSegment& seg);
+  void submit_packet(std::size_t slot, stream::VideoSegment seg);
   void on_packet_delivery(std::size_t s, const core::PacketDelivery& d);
   void adaptation_tick(std::size_t slot);
   void apply_churn(NodeId server, bool leave);
+  void fail_over_segment(Shard& sh,
+                         const core::DeadlineScheduler::PendingSegment& pending);
   void start_probe_round(std::size_t s, NodeId node,
                          const stream::VideoSegment& seg, Kbit kbit,
                          cache::EdgeCacheService::DeliverFn deliver);
@@ -224,8 +243,6 @@ class ShardedStreamingRun {
 
   util::Rng jitter_base_{0};  // parent of every per-entity stream
   std::vector<ShardPlayer> players_;
-  std::unordered_map<std::size_t, std::size_t> pop_to_slot_;
-  std::unordered_map<NodeId, std::size_t> host_to_slot_;
   std::map<NodeId, SupernodeInfo> sn_infos_;  // NodeId order everywhere
   std::map<NodeId, std::vector<CoopNeighbor>> coop_;
   std::vector<shard::PartitionSite> sites_;  // parallel to sn_infos_ order
@@ -277,8 +294,6 @@ void ShardedStreamingRun::setup_players() {
           1.0, scenario_.topology().expected_server_rtt_ms(pa.server, ps.host));
       ps.wan_cap_kbps = params.tcp_window_kbit / (rtt / 1000.0);
     }
-    pop_to_slot_[pa.pop_index] = players_.size();
-    host_to_slot_[ps.host] = players_.size();
     players_.push_back(std::move(ps));
   }
 }
@@ -494,45 +509,48 @@ void ShardedStreamingRun::setup_senders() {
     const std::size_t s = info.shard;
     Shard& sh = *shards_[s];
     if (uses_scheduling(kind_)) {
-      auto sender = std::make_unique<core::SupernodeSender>(
+      const stream::StoreHandle handle = sh.packet_store.create(
           *sh.sim, info.uplink_kbps,
           core::SupernodeSender::Discipline::kDeadline,
           options_.cloudfog.scheduler,
-          [this, server, s](NodeId player, util::Rng& rng) {
-            return shards_[s]->topo.sample_server_one_way_ms(server, player,
-                                                             rng);
-          },
-          [this, s](const core::PacketDelivery& d) {
-            on_packet_delivery(s, d);
-          },
+          core::SupernodeSender::PropagationFn(
+              [this, server, s](NodeId player, util::Rng& rng) {
+                return shards_[s]->topo.sample_server_one_way_ms(server, player,
+                                                                 rng);
+              }),
+          core::SupernodeSender::DeliveryFn(
+              [this, s](const core::PacketDelivery& d) {
+                on_packet_delivery(s, d);
+              }),
           jitter_base_.fork("sn" + std::to_string(server)));
-      sender->set_rate_cap([this](NodeId player_host) {
-        const auto it = host_to_slot_.find(player_host);
-        return it == host_to_slot_.end() ? 0.0
-                                         : players_[it->second].wan_cap_kbps;
+      core::SupernodeSender& sender = sh.packet_store.get(handle);
+      // The delivery tag is the tracker slab handle: every per-packet hook
+      // reaches its player's state with two array indexes, never a hash.
+      sender.set_rate_cap([this, s](NodeId, std::uint64_t tag) {
+        return players_[shards_[s]->tracker_store.get(tag).slot].wan_cap_kbps;
       });
-      sender->set_loss_model([this](NodeId player_host) {
-        const auto it = host_to_slot_.find(player_host);
-        return it == host_to_slot_.end() ? 0.0
-                                         : players_[it->second].loss_prob;
+      sender.set_loss_model([this, s](NodeId, std::uint64_t tag) {
+        return players_[shards_[s]->tracker_store.get(tag).slot].loss_prob;
       });
-      sender->set_drop_observer([this, s](std::uint64_t segment_id, int) {
-        Shard& owner = *shards_[s];
-        auto it = owner.trackers.find(segment_id);
-        if (it == owner.trackers.end()) return;
-        --it->second.live_packets;
-        if (it->second.measured) ++owner.drops;
-        if (it->second.live_packets <= 0) {
-          if (it->second.delivered_any && it->second.measured) {
-            owner.qoe.add_latency(
-                static_cast<NodeId>(it->second.pop_index),
-                it->second.last_arrival - it->second.action_ms);
-          }
-          owner.trackers.erase(it);
-        }
-      });
-      if (sh.cache) sender->attach_segment_cache(&*sh.cache, server);
-      sh.packet.emplace(server, std::move(sender));
+      sender.set_drop_observer(
+          [this, s](const stream::VideoSegment& seg, int) {
+            Shard& owner = *shards_[s];
+            if (!owner.tracker_store.contains(seg.delivery_tag)) return;
+            SegmentTracker& t = owner.tracker_store.get(seg.delivery_tag);
+            --t.live_packets;
+            if (t.measured) ++owner.drops;
+            if (t.live_packets <= 0) {
+              if (t.delivered_any && t.measured) {
+                owner.qoe.add_latency(static_cast<NodeId>(t.pop_index),
+                                      t.last_arrival - t.action_ms);
+              }
+              owner.tracker_store.destroy(seg.delivery_tag);
+            }
+          });
+      if (sh.cache) sender.attach_segment_cache(&*sh.cache, server);
+      sh.packet.emplace(server, handle);
+      for (std::size_t slot : info.player_slots)
+        players_[slot].packet_sender = handle;
     } else {
       sh.sn_fluid.emplace(server, sh.fluid_store.create(info.uplink_kbps));
     }
@@ -709,29 +727,31 @@ void ShardedStreamingRun::submit_fluid(std::size_t slot,
 }
 
 void ShardedStreamingRun::submit_packet(std::size_t slot,
-                                        const stream::VideoSegment& seg) {
+                                        stream::VideoSegment seg) {
   ShardPlayer& ps = players_[slot];
   Shard& sh = *shards_[ps.shard];
-  core::SupernodeSender& sender = *sh.packet.at(ps.assignment.server);
-  SegmentTracker tracker;
+  const stream::StoreHandle tag = sh.tracker_store.create();
+  SegmentTracker& tracker = sh.tracker_store.get(tag);
   tracker.pop_index = ps.pop_index;
+  tracker.slot = slot;
   tracker.action_ms = seg.action_time_ms;
   tracker.live_packets = stream::packet_count(seg.size_kbit);
   tracker.measured = in_window(seg.action_time_ms);
-  sh.trackers.emplace(seg.id, tracker);
   if (tracker.measured) {
     sh.qoe.player(static_cast<NodeId>(ps.pop_index)).units_total +=
         static_cast<double>(tracker.live_packets);
   }
-  sender.submit(seg);
+  seg.delivery_tag = tag;
+  // submit() may fire the drop observer, which can destroy trackers (this
+  // one included) — don't touch `tracker` past this point.
+  sh.packet_store.get(ps.packet_sender).submit(seg);
 }
 
 void ShardedStreamingRun::on_packet_delivery(std::size_t s,
                                              const core::PacketDelivery& d) {
   Shard& sh = *shards_[s];
-  auto it = sh.trackers.find(d.segment_id);
-  if (it == sh.trackers.end()) return;
-  SegmentTracker& tracker = it->second;
+  if (!sh.tracker_store.contains(d.delivery_tag)) return;
+  SegmentTracker& tracker = sh.tracker_store.get(d.delivery_tag);
   const auto key = static_cast<NodeId>(tracker.pop_index);
   if (tracker.measured && d.on_time()) {
     sh.qoe.player(key).units_on_time += 1.0;
@@ -741,14 +761,13 @@ void ShardedStreamingRun::on_packet_delivery(std::size_t s,
     tracker.last_arrival = std::max(tracker.last_arrival, d.arrival_ms);
   }
   --tracker.live_packets;
-  const std::size_t pop_index = tracker.pop_index;
+  const std::size_t slot = tracker.slot;
   if (tracker.live_packets <= 0) {
     if (tracker.measured && tracker.delivered_any) {
       sh.qoe.add_latency(key, tracker.last_arrival - tracker.action_ms);
     }
-    sh.trackers.erase(it);
+    sh.tracker_store.destroy(d.delivery_tag);
   }
-  const std::size_t slot = pop_to_slot_.at(pop_index);
   if (players_[slot].buffer != stream::kNullHandle && !d.lost) {
     const Kbit size = d.size_kbit;
     const TimeMs when = std::max(d.arrival_ms, sh.sim->now());
@@ -789,12 +808,68 @@ void ShardedStreamingRun::apply_churn(NodeId server, bool leave) {
     }
     for (std::size_t slot : info.player_slots)
       players_[slot].failed_over = true;
+    if (uses_scheduling(kind_)) {
+      // The departing sender abandons its queued backlog; each segment's
+      // unsent remainder streams from the owning player's home DC through
+      // the failover fluid queue. The in-flight packet (if any) still
+      // completes on the old path and settles its tracker normally.
+      core::SupernodeSender& sender =
+          sh.packet_store.get(sh.packet.at(server));
+      for (const core::DeadlineScheduler::PendingSegment& pending :
+           sender.drain_pending()) {
+        fail_over_segment(sh, pending);
+      }
+    }
   } else {
     if (sh.cache && !sh.cache->has_supernode(server)) {
       sh.cache->add_supernode(server, info.slots);
     }
     for (std::size_t slot : info.player_slots)
       players_[slot].failed_over = false;
+  }
+}
+
+void ShardedStreamingRun::fail_over_segment(
+    Shard& sh, const core::DeadlineScheduler::PendingSegment& pending) {
+  const stream::VideoSegment& seg = pending.segment;
+  if (!sh.tracker_store.contains(seg.delivery_tag)) return;
+  SegmentTracker& tracker = sh.tracker_store.get(seg.delivery_tag);
+  ShardPlayer& ps = players_[tracker.slot];
+  stream::QueuedSender& fluid = sh.fluid_store.get(ps.failover_queue);
+  const stream::SendSchedule sched =
+      fluid.enqueue(sh.sim->now(), pending.remaining_kbit);
+  const TimeMs prop =
+      sh.topo.sample_server_one_way_ms(ps.assignment.home_dc, ps.host, ps.rng);
+  const TimeMs last_arrival = sched.end + prop;
+  if (in_window(seg.action_time_ms)) ps.cloud_kbit += pending.remaining_kbit;
+  if (tracker.measured && pending.remaining_kbit > 0.0) {
+    // Fluid on-time fraction scaled to packet units and discounted by the
+    // fallback path's loss — the fluid analogue of per-packet on_time().
+    const Kbit on_time_kbit =
+        sched.sent_by(seg.deadline_ms - prop, pending.remaining_kbit);
+    sh.qoe.player(static_cast<NodeId>(tracker.pop_index)).units_on_time +=
+        on_time_kbit / pending.remaining_kbit *
+        static_cast<double>(pending.remaining_packets) *
+        (1.0 - ps.failover_loss_prob);
+  }
+  tracker.delivered_any = true;
+  tracker.last_arrival = std::max(tracker.last_arrival, last_arrival);
+  tracker.live_packets -= pending.remaining_packets;
+  if (ps.buffer != stream::kNullHandle) {
+    const Kbit size = pending.remaining_kbit;
+    const std::size_t slot = tracker.slot;
+    sh.sim->schedule_at(last_arrival, [this, slot, size] {
+      ShardPlayer& p = players_[slot];
+      Shard& owner = *shards_[p.shard];
+      owner.buffer_store.get(p.buffer).on_arrival(owner.sim->now(), size);
+    });
+  }
+  if (tracker.live_packets <= 0) {
+    if (tracker.measured && tracker.delivered_any) {
+      sh.qoe.add_latency(static_cast<NodeId>(tracker.pop_index),
+                         tracker.last_arrival - tracker.action_ms);
+    }
+    sh.tracker_store.destroy(seg.delivery_tag);
   }
 }
 
@@ -861,7 +936,8 @@ void ShardedStreamingRun::post_or_local(std::size_t src, std::size_t dst,
 }
 
 StreamingResult ShardedStreamingRun::assemble() {
-  for (const auto& sh : shards_) sh->trackers.clear();
+  // Trackers for segments still in flight at the horizon stay in their
+  // shard's slab; the stores die with the shards.
 
   // Each player lives in exactly one shard, so the merged collector is a
   // disjoint union; the map key order makes every aggregate canonical.
@@ -963,8 +1039,6 @@ StreamingResult ShardedStreamingRun::assemble() {
 
 StreamingResult ShardedStreamingRun::run() {
   CF_TIMED_SCOPE("timers.systems.run_streaming_sharded");
-  CF_CHECK_MSG(options_.supernode_churn.empty() || !uses_scheduling(kind_),
-               "supernode churn requires a fluid sender kind");
   {
     CF_TIMED_SCOPE("timers.systems.shard_setup");
     setup_players();

@@ -1,6 +1,5 @@
 #include "systems/streaming_sim.h"
 
-#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -24,7 +23,11 @@ namespace cloudfog::systems {
 namespace {
 
 /// Per-segment bookkeeping for packet-level (deadline-scheduled) delivery.
+/// Lives in a slab store; the segment's delivery_tag is its handle, so the
+/// sender hands every delivery and drop straight back to its tracker slot —
+/// no per-packet hash lookup.
 struct SegmentTracker {
+  std::size_t slot = 0;       // owning player's index in players_
   std::size_t pop_index = 0;
   TimeMs action_ms = 0.0;
   int live_packets = 0;       // not yet delivered nor dropped
@@ -44,6 +47,7 @@ struct PlayerState {
   Kbit arrived_at_last_tick = 0.0;
   std::optional<core::RateAdaptationController> controller;
   stream::StoreHandle buffer = stream::kNullHandle;  // in buffer_store_
+  stream::StoreHandle packet_sender = stream::kNullHandle;  // in packet_store_
 };
 
 /// The whole simulation state, wired together in run_streaming.
@@ -63,7 +67,7 @@ class StreamingRun {
   void on_action(std::size_t slot);
   void enqueue_segment(std::size_t slot, TimeMs t0);
   void submit_fluid(std::size_t slot, const stream::VideoSegment& seg);
-  void submit_packet(std::size_t slot, const stream::VideoSegment& seg);
+  void submit_packet(std::size_t slot, stream::VideoSegment seg);
   void on_packet_delivery(const core::PacketDelivery& d);
   void adaptation_tick(std::size_t slot);
   bool in_window(TimeMs t0) const {
@@ -83,8 +87,6 @@ class StreamingRun {
   stream::SegmentFactory factory_;
   metrics::QoECollector qoe_;
   std::vector<PlayerState> players_;
-  std::unordered_map<std::size_t, std::size_t> pop_to_slot_;
-  std::unordered_map<NodeId, std::size_t> host_to_slot_;
 
   // Datacenters and edge servers serve flows in parallel: each player gets
   // a private queue at rate min(fair share, WAN cap). Supernodes follow the
@@ -97,8 +99,14 @@ class StreamingRun {
   stream::ReceiverBufferStore buffer_store_;
   std::vector<stream::StoreHandle> per_player_queue_;
   std::unordered_map<NodeId, stream::StoreHandle> sn_fluid_;
-  std::unordered_map<NodeId, std::unique_ptr<core::SupernodeSender>> packet_;
-  std::unordered_map<std::uint64_t, SegmentTracker> trackers_;
+  // Packet senders and segment trackers are slab-stored too: a segment's
+  // delivery_tag is its tracker handle and each player caches its sender
+  // handle, so the per-packet hot path (pop, deliver, drop) runs without a
+  // single hash lookup. Every sender is created in setup_senders(), before
+  // any event runs — in-flight completion events capture the sender's
+  // address, so the slab must never grow (move values) after that.
+  stream::SlabStore<core::SupernodeSender> packet_store_;
+  stream::SlabStore<SegmentTracker> tracker_store_;
 
   // Measurement accumulators.
   Kbit cloud_kbit_ = 0.0;
@@ -143,8 +151,6 @@ void StreamingRun::setup_players() {
       ps.buffer =
           buffer_store_.create(game::quality_for_level(ps.level).bitrate_kbps);
     }
-    pop_to_slot_[pa.pop_index] = players_.size();
-    host_to_slot_[ps.host] = players_.size();
     players_.push_back(std::move(ps));
   }
 }
@@ -179,6 +185,9 @@ void StreamingRun::setup_senders() {
   std::unordered_map<NodeId, std::size_t> load;
   for (const PlayerState& ps : players_) ++load[ps.assignment.server];
 
+  // Setup-only index: which packet-sender slab handle serves each shared
+  // supernode. Players cache their handle; the map dies with this scope.
+  std::unordered_map<NodeId, stream::StoreHandle> packet_by_server;
   per_player_queue_.resize(players_.size());
   for (std::size_t slot = 0; slot < players_.size(); ++slot) {
     PlayerState& ps = players_[slot];
@@ -219,44 +228,50 @@ void StreamingRun::setup_senders() {
           cache_->add_supernode(server, slots);
         }
         if (uses_scheduling(kind_)) {
-          if (!packet_.contains(server)) {
-            auto sender = std::make_unique<core::SupernodeSender>(
+          auto handle_it = packet_by_server.find(server);
+          if (handle_it == packet_by_server.end()) {
+            const stream::StoreHandle h = packet_store_.create(
                 sim_, uplink, core::SupernodeSender::Discipline::kDeadline,
                 options_.cloudfog.scheduler,
-                [this, server](NodeId player, util::Rng& rng) {
-                  return scenario_.topology().sample_server_one_way_ms(server, player,
-                                                                       rng);
-                },
-                [this](const core::PacketDelivery& d) { on_packet_delivery(d); },
+                core::SupernodeSender::PropagationFn(
+                    [this, server](NodeId player, util::Rng& rng) {
+                      return scenario_.topology().sample_server_one_way_ms(
+                          server, player, rng);
+                    }),
+                core::SupernodeSender::DeliveryFn(
+                    [this](const core::PacketDelivery& d) {
+                      on_packet_delivery(d);
+                    }),
                 jitter_rng_.fork("sn" + std::to_string(server)));
-            sender->set_rate_cap([this](NodeId player_host) {
-              const auto it = host_to_slot_.find(player_host);
-              return it == host_to_slot_.end() ? 0.0
-                                               : players_[it->second].wan_cap_kbps;
+            core::SupernodeSender& sender = packet_store_.get(h);
+            // The delivery_tag is the segment's tracker handle: the hooks
+            // reach their player state through the tracker slot directly.
+            sender.set_rate_cap([this](NodeId, std::uint64_t tag) {
+              return players_[tracker_store_.get(tag).slot].wan_cap_kbps;
             });
-            sender->set_loss_model([this](NodeId player_host) {
-              const auto it = host_to_slot_.find(player_host);
-              return it == host_to_slot_.end() ? 0.0
-                                               : players_[it->second].loss_prob;
+            sender.set_loss_model([this](NodeId, std::uint64_t tag) {
+              return players_[tracker_store_.get(tag).slot].loss_prob;
             });
-            sender->set_drop_observer([this](std::uint64_t segment_id, int) {
-              auto it = trackers_.find(segment_id);
-              if (it == trackers_.end()) return;
-              --it->second.live_packets;
-              if (it->second.measured) ++drops_;
-              // Dropped packets count against continuity; units were added
-              // at submit time, so nothing to add here.
-              if (it->second.live_packets <= 0) {
-                if (it->second.delivered_any && it->second.measured) {
-                  qoe_.add_latency(static_cast<NodeId>(it->second.pop_index),
-                                   it->second.last_arrival - it->second.action_ms);
-                }
-                trackers_.erase(it);
-              }
-            });
-            if (cache_) sender->attach_segment_cache(&*cache_, server);
-            packet_.emplace(server, std::move(sender));
+            sender.set_drop_observer(
+                [this](const stream::VideoSegment& seg, int) {
+                  if (!tracker_store_.contains(seg.delivery_tag)) return;
+                  SegmentTracker& t = tracker_store_.get(seg.delivery_tag);
+                  --t.live_packets;
+                  if (t.measured) ++drops_;
+                  // Dropped packets count against continuity; units were
+                  // added at submit time, so nothing to add here.
+                  if (t.live_packets <= 0) {
+                    if (t.delivered_any && t.measured) {
+                      qoe_.add_latency(static_cast<NodeId>(t.pop_index),
+                                       t.last_arrival - t.action_ms);
+                    }
+                    tracker_store_.destroy(seg.delivery_tag);
+                  }
+                });
+            if (cache_) sender.attach_segment_cache(&*cache_, server);
+            handle_it = packet_by_server.emplace(server, h).first;
           }
+          ps.packet_sender = handle_it->second;
         } else {
           if (!sn_fluid_.contains(server))
             sn_fluid_.emplace(server, fluid_store_.create(uplink));
@@ -374,27 +389,31 @@ void StreamingRun::submit_fluid(std::size_t slot, const stream::VideoSegment& se
   }
 }
 
-void StreamingRun::submit_packet(std::size_t slot, const stream::VideoSegment& seg) {
+void StreamingRun::submit_packet(std::size_t slot, stream::VideoSegment seg) {
   PlayerState& ps = players_[slot];
-  core::SupernodeSender& sender = *packet_.at(ps.assignment.server);
-  SegmentTracker tracker;
+  // One slab slot per in-flight segment; the handle rides in the segment's
+  // delivery_tag and comes back on every delivery/drop/hook call.
+  const stream::StoreHandle tag = tracker_store_.create();
+  SegmentTracker& tracker = tracker_store_.get(tag);
+  tracker.slot = slot;
   tracker.pop_index = ps.pop_index;
   tracker.action_ms = seg.action_time_ms;
   tracker.live_packets = stream::packet_count(seg.size_kbit);
   tracker.measured = in_window(seg.action_time_ms);
-  trackers_.emplace(seg.id, tracker);
   if (tracker.measured) {
     // Continuity denominator: every packet of the segment.
     qoe_.player(static_cast<NodeId>(ps.pop_index)).units_total +=
         static_cast<double>(tracker.live_packets);
   }
-  sender.submit(seg);
+  seg.delivery_tag = tag;
+  // submit() can drop packets of this segment synchronously (Eq 14), which
+  // may destroy the tracker — don't touch `tracker` past this point.
+  packet_store_.get(ps.packet_sender).submit(seg);
 }
 
 void StreamingRun::on_packet_delivery(const core::PacketDelivery& d) {
-  auto it = trackers_.find(d.segment_id);
-  if (it == trackers_.end()) return;
-  SegmentTracker& tracker = it->second;
+  if (!tracker_store_.contains(d.delivery_tag)) return;
+  SegmentTracker& tracker = tracker_store_.get(d.delivery_tag);
   const auto key = static_cast<NodeId>(tracker.pop_index);
   if (tracker.measured && d.on_time()) {
     qoe_.player(key).units_on_time += 1.0;
@@ -404,7 +423,7 @@ void StreamingRun::on_packet_delivery(const core::PacketDelivery& d) {
     tracker.last_arrival = std::max(tracker.last_arrival, d.arrival_ms);
   }
   --tracker.live_packets;
-  const std::size_t pop_index = tracker.pop_index;
+  const std::size_t slot = tracker.slot;
   if (tracker.live_packets <= 0) {
     // Only segments with at least one real delivery yield a latency sample
     // (a fully lost/dropped segment has no arrival to measure — it already
@@ -412,11 +431,10 @@ void StreamingRun::on_packet_delivery(const core::PacketDelivery& d) {
     if (tracker.measured && tracker.delivered_any) {
       qoe_.add_latency(key, tracker.last_arrival - tracker.action_ms);
     }
-    trackers_.erase(it);
+    tracker_store_.destroy(d.delivery_tag);
   }
   // Feed the receive buffer for adaptation (deliveries are in sent order;
   // arrival jitter may reorder slightly, so the buffer event is scheduled).
-  const std::size_t slot = pop_to_slot_.at(pop_index);
   if (players_[slot].buffer != stream::kNullHandle && !d.lost) {
     const Kbit size = d.size_kbit;
     const TimeMs when = std::max(d.arrival_ms, sim_.now());
@@ -470,9 +488,10 @@ StreamingResult StreamingRun::run() {
   CF_OBS_COUNT("systems.streaming.runs", 1);
   CF_OBS_COUNT("systems.streaming.segments_generated", segments_);
 
-  // Flush any still-live trackers: their undelivered packets stay counted
-  // in units_total (missed), and completed-latency samples are skipped.
-  trackers_.clear();
+  // Still-live trackers (segments in flight at the horizon) simply stay in
+  // the slab until it is destroyed with the run: their undelivered packets
+  // remain counted in units_total (missed), and completed-latency samples
+  // are skipped.
 
   StreamingResult result;
   result.mean_response_latency_ms = qoe_.mean_response_latency_ms();

@@ -62,8 +62,9 @@ struct StreamingOptions {
   std::uint64_t seed_salt = 0;     // distinguishes repeated runs
 
   // --- sharded engine only (ScenarioParams::sim_shards, DESIGN.md §13) ----
-  /// Dynamic supernode join/leave script; rejected by the sharded engine
-  /// when the system kind uses the packet-level deadline scheduler.
+  /// Dynamic supernode join/leave script. Under the packet-level deadline
+  /// scheduler a leave drains the departed sender's queued backlog and
+  /// streams each remainder through the player's failover fluid queue.
   std::vector<SupernodeChurnEvent> supernode_churn;
   /// Worker threads driving the shard rounds; 0 = exec::default_jobs().
   std::size_t shard_workers = 0;

@@ -137,10 +137,10 @@ SupernodeExperimentResult run_supernode_experiment(
       rng.fork("prop"));
   if (config.network_loss_rate > 0.0) {
     sender.set_loss_model(
-        [&](NodeId) { return config.network_loss_rate; });
+        [&](NodeId, std::uint64_t) { return config.network_loss_rate; });
   }
-  sender.set_drop_observer([&](std::uint64_t segment_id, int) {
-    auto it = trackers.find(segment_id);
+  sender.set_drop_observer([&](const stream::VideoSegment& seg, int) {
+    auto it = trackers.find(seg.id);
     if (it == trackers.end()) return;
     Tracker& t = it->second;
     if (t.measured) ++drops;
@@ -152,62 +152,68 @@ SupernodeExperimentResult run_supernode_experiment(
     }
   });
 
-  // Per-player action/segment cadence.
+  // Per-player action/segment cadence. The event callbacks capture one
+  // reference to these named stages plus the (player, t0) identity — the
+  // full [&] capture set would outgrow the sim's inline callback budget.
   TimeMs last_render_enqueue = 0.0;
+  auto submit_segment = [&](NodeId player, TimeMs t0) {
+    Player& p = players[player];
+    stream::VideoSegment seg =
+        factory.make(player, p.profile.id, p.level, period, t0);
+    if (p.encoder.has_value()) {
+      // Structured GOP sizes; the frame's actual (actuated) level wins.
+      const auto frame = p.encoder->next_frame(jitter_rng);
+      seg.size_kbit = frame.size_kbit *
+                      static_cast<double>(config.frames_per_segment);
+      seg.quality_level = frame.level;
+    } else if (config.segment_size_sigma > 0.0) {
+      const double sigma = config.segment_size_sigma;
+      seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
+    }
+    Tracker t;
+    t.player = player;
+    t.action_ms = t0;
+    t.live = stream::packet_count(seg.size_kbit);
+    t.measured = in_window(t0);
+    if (t.measured) {
+      qoe.player(player).units_total += static_cast<double>(t.live);
+      submitted += static_cast<std::uint64_t>(t.live);
+      level_stats.add(static_cast<double>(p.level));
+    }
+    trackers.emplace(seg.id, t);
+    sender.submit(seg);
+  };
+  auto player_tick = [&](NodeId player) {
+    const TimeMs t0 = sim.now();
+    if (t0 >= window_end) return;
+    TimeMs pipeline =
+        config.pipeline_ms *
+        jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
+    if (render_stage.has_value()) {
+      // The frame renders after the update arrives, queueing behind the
+      // other players' frames on the shared GPU.
+      const auto& q = game::quality_for_level(players[player].level);
+      const double megapixels =
+          static_cast<double>(q.width) * static_cast<double>(q.height) / 1e6;
+      // QueuedSender requires monotone enqueue times; pipeline jitter can
+      // reorder frame-ready instants, so clamp to the last enqueue.
+      const TimeMs ready = std::max(sim.now() + pipeline, last_render_enqueue);
+      const auto sched = render_stage->enqueue(ready, megapixels);
+      last_render_enqueue = sched.enqueued;
+      pipeline = sched.end - sim.now();
+    }
+    sim.schedule_after(pipeline, [&submit_segment, player, t0] {
+      submit_segment(player, t0);
+    });
+  };
   Kbps offered = 0.0;
   for (std::size_t i = 0; i < players.size(); ++i) {
     offered +=
         game::quality_for_level(players[i].profile.target_quality_level).bitrate_kbps;
     const auto player = static_cast<NodeId>(i);
     const TimeMs phase = setup_rng.uniform(0.0, period);
-    sim.schedule_every(phase, period, [&, player] {
-      const TimeMs t0 = sim.now();
-      if (t0 >= window_end) return;
-      TimeMs pipeline =
-          config.pipeline_ms *
-          jitter_rng.lognormal(0.0, config.pipeline_jitter_sigma);
-      if (render_stage.has_value()) {
-        // The frame renders after the update arrives, queueing behind the
-        // other players' frames on the shared GPU.
-        const auto& q = game::quality_for_level(players[player].level);
-        const double megapixels =
-            static_cast<double>(q.width) * static_cast<double>(q.height) / 1e6;
-        // QueuedSender requires monotone enqueue times; pipeline jitter can
-        // reorder frame-ready instants, so clamp to the last enqueue.
-        const TimeMs ready =
-            std::max(sim.now() + pipeline, last_render_enqueue);
-        const auto sched = render_stage->enqueue(ready, megapixels);
-        last_render_enqueue = sched.enqueued;
-        pipeline = sched.end - sim.now();
-      }
-      sim.schedule_after(pipeline, [&, player, t0] {
-        Player& p = players[player];
-        stream::VideoSegment seg =
-            factory.make(player, p.profile.id, p.level, period, t0);
-        if (p.encoder.has_value()) {
-          // Structured GOP sizes; the frame's actual (actuated) level wins.
-          const auto frame = p.encoder->next_frame(jitter_rng);
-          seg.size_kbit = frame.size_kbit *
-                          static_cast<double>(config.frames_per_segment);
-          seg.quality_level = frame.level;
-        } else if (config.segment_size_sigma > 0.0) {
-          const double sigma = config.segment_size_sigma;
-          seg.size_kbit *= jitter_rng.lognormal(-0.5 * sigma * sigma, sigma);
-        }
-        Tracker t;
-        t.player = player;
-        t.action_ms = t0;
-        t.live = stream::packet_count(seg.size_kbit);
-        t.measured = in_window(t0);
-        if (t.measured) {
-          qoe.player(player).units_total += static_cast<double>(t.live);
-          submitted += static_cast<std::uint64_t>(t.live);
-          level_stats.add(static_cast<double>(p.level));
-        }
-        trackers.emplace(seg.id, t);
-        sender.submit(seg);
-      });
-    });
+    sim.schedule_every(phase, period,
+                       [&player_tick, player] { player_tick(player); });
     if (config.adaptation) {
       const TimeMs tick_phase = setup_rng.uniform(0.0, config.adaptation_tick_ms);
       sim.schedule_every(tick_phase, config.adaptation_tick_ms, [&, player] {

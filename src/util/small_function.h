@@ -1,0 +1,153 @@
+// Fixed-capacity move-only callable with inline storage: the event-loop
+// replacement for `std::function` on the packet hot path (DESIGN.md §14).
+//
+// `std::function` guarantees to hold *any* callable, so large captures go to
+// the heap — and on the packet path every sim event and sender hook used to
+// pay that allocation. `small_function<R(Args...), Capacity>` inverts the
+// contract: the capture must fit in `Capacity` bytes (enforced at compile
+// time by a static_assert at the construction site), storage is always
+// inline, and no code path ever allocates. Conversion is a hard error, not a
+// silent fallback, so growing a lambda past the budget fails the build
+// instead of quietly reintroducing the allocation.
+//
+// Semantics mirror the subset of std::function the engine uses:
+//   * move-only (move leaves the source empty; self-move is a no-op)
+//   * `operator() const` may invoke a mutable lambda (storage is mutable,
+//     matching std::function's shallow-const behaviour)
+//   * assigning nullptr (or an empty small_function) clears
+//   * a target may destroy or re-assign the small_function that is invoking
+//     it — invoke() reads the trampoline pointer before entering the target,
+//     the same discipline the slab engine uses for self-cancelling events.
+//
+// Trivially-movable captures (function pointers, capture-less lambdas,
+// [this]/value captures of trivial types — the common case on the hot path)
+// take the `manage_ == nullptr` fast path: moves are a memcpy of the inline
+// buffer and destruction is a no-op.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cloudfog::util {
+
+inline constexpr std::size_t kSmallFunctionDefaultCapacity = 48;
+
+template <typename Signature,
+          std::size_t Capacity = kSmallFunctionDefaultCapacity>
+class small_function;  // primary template; only R(Args...) is defined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class small_function<R(Args...), Capacity> {
+ public:
+  small_function() = default;
+  small_function(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, small_function> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  small_function(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for this small_function's inline "
+                  "buffer; shrink the capture or raise the capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* storage, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+          std::forward<Args>(args)...);
+    };
+    if constexpr (!(std::is_trivially_move_constructible_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {  // relocate src -> dst, then destroy src
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        } else {  // destroy dst
+          std::launder(reinterpret_cast<Fn*>(dst))->~Fn();
+        }
+      };
+    }
+  }
+
+  small_function(small_function&& other) noexcept { move_from(other); }
+
+  small_function& operator=(small_function&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    move_from(other);
+    return *this;
+  }
+
+  small_function& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  small_function(const small_function&) = delete;
+  small_function& operator=(const small_function&) = delete;
+
+  ~small_function() { reset(); }
+
+  /// Swaps two small_functions (used by container recycling).
+  void swap(small_function& other) noexcept {
+    small_function tmp(std::move(other));
+    other = std::move(*this);
+    *this = std::move(tmp);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    // Read the trampoline before entering the target: the target may
+    // destroy or re-assign *this from inside its own invocation.
+    auto* invoke = invoke_;
+    return invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// Transfers other's target into empty *this and empties other.
+  void move_from(small_function& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(storage_, other.storage_);
+    } else if (other.invoke_ != nullptr) {
+      // The whole buffer is copied even when the target is smaller than
+      // Capacity; the tail bytes beyond it may be uninitialized, which is
+      // fine for raw byte storage but trips GCC's tracker.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+      std::memcpy(storage_, other.storage_, Capacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(void*, Args...);
+  /// dst, src: src != null relocates src into dst; src == null destroys dst.
+  using Manage = void (*)(void*, void*);
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;  // null: trivial memcpy move, no-op destroy
+  alignas(std::max_align_t) mutable std::byte storage_[Capacity];
+};
+
+}  // namespace cloudfog::util

@@ -1,0 +1,16 @@
+// Fixture: std::function inside src/sim, the packet hot path.
+#pragma once
+
+#include <functional>
+
+namespace cloudfog::sim {
+
+class Ticker {
+ public:
+  using Callback = std::function<void()>;
+
+ private:
+  Callback on_tick_;
+};
+
+}  // namespace cloudfog::sim

@@ -1,0 +1,15 @@
+// Fixture: std::function outside the hot-path subsystems (src/systems
+// executor fan-out plumbing) is out of scope by design.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace cloudfog::systems {
+
+struct Fanout {
+  std::vector<std::pair<int, std::function<int()>>> tasks;
+};
+
+}  // namespace cloudfog::systems

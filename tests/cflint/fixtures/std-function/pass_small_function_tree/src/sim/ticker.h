@@ -1,0 +1,17 @@
+// Fixture: the sanctioned hot-path callable — util::small_function with an
+// explicit inline capacity. A comment naming std::function must not fire.
+#pragma once
+
+#include "util/small_function.h"
+
+namespace cloudfog::sim {
+
+class Ticker {
+ public:
+  using Callback = util::small_function<void(), 64>;
+
+ private:
+  Callback on_tick_;
+};
+
+}  // namespace cloudfog::sim

@@ -168,8 +168,8 @@ TEST(DeadlineScheduler, ToleranceWeightedDropShares) {
   c.default_propagation_ms = 5.0;
   DeadlineScheduler sched(1'200.0, c);  // 10 ms per packet
   std::vector<std::pair<std::uint64_t, int>> drops;
-  sched.set_drop_observer([&](std::uint64_t id, int index) {
-    drops.emplace_back(id, index);
+  sched.set_drop_observer([&](const stream::VideoSegment& seg, int index) {
+    drops.emplace_back(seg.id, index);
   });
   auto tolerant = make_segment(1, 10, 4, 120.0, 0.0);  // 10 pkts, tol 0.6
   tolerant.deadline_ms = 200.0;
@@ -228,8 +228,9 @@ TEST(DeadlineScheduler, DecayFavorsDroppingFresherSegments) {
   c.default_propagation_ms = 5.0;
   DeadlineScheduler sched(1'200.0, c);  // 10 ms per packet
   std::vector<std::uint64_t> dropped_ids;
-  sched.set_drop_observer(
-      [&](std::uint64_t id, int) { dropped_ids.push_back(id); });
+  sched.set_drop_observer([&](const stream::VideoSegment& seg, int) {
+    dropped_ids.push_back(seg.id);
+  });
   auto seg_a = make_segment(1, 10, 4, 120.0, 0.0);  // 10 packets
   seg_a.deadline_ms = 2'500.0;
   sched.enqueue(seg_a, 0.0);

@@ -1,0 +1,143 @@
+// Zero-allocation proof for the packet hot loop (DESIGN.md §14): a global
+// operator-new interposer counts every heap allocation in the process, and
+// the steady-state window of a sustained deadline-discipline run — sim
+// events through the slab, scheduler enqueue/pop through its pools, burst
+// trains, small_function hooks, FIFO-ring reuse — must perform none.
+//
+// This file replaces ::operator new/delete for its whole binary, so it gets
+// a test binary of its own (alloc_tests); mixing it into core_tests would
+// make every other core test run under the interposer too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/supernode_sender.h"
+#include "game/game.h"
+#include "sim/simulator.h"
+#include "stream/video.h"
+#include "util/rng.h"
+
+namespace {
+
+// Plain (non-atomic) state: the simulator and this test are single-threaded,
+// and the counter must itself stay allocation- and lock-free.
+bool g_counting = false;
+std::uint64_t g_allocs = 0;
+
+void note_alloc() {
+  if (g_counting) ++g_allocs;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace cloudfog::core {
+namespace {
+
+TEST(PacketAllocInterposer, SteadyStateRunsAllocationFree) {
+  const std::size_t players = 16;
+  const double interval_ms = 33.3;
+  const double warmup_ms = 2'000.0;
+  const double measure_ms = 2'000.0;
+  const Kbps uplink_kbps = 190'000.0;
+
+  sim::Simulator sim;
+  util::Rng load_rng(99);
+  std::uint64_t digest = 14695981039346656037ull;
+
+  SupernodeSender sender(
+      sim, uplink_kbps, SupernodeSender::Discipline::kDeadline,
+      DeadlineSchedulerConfig{},
+      [](NodeId player, util::Rng& rng) {
+        return 4.0 + rng.uniform(0.0, 4.0) +
+               0.1 * static_cast<double>(player % 7);
+      },
+      [&digest](const PacketDelivery& d) {
+        digest ^= d.segment_id + static_cast<std::uint64_t>(d.packet_index);
+        digest *= 1099511628211ull;
+      },
+      util::Rng(5).fork("alloc_probe"));
+  sender.set_rate_cap([uplink_kbps](NodeId player, std::uint64_t) {
+    return player % 4 == 0 ? uplink_kbps / 2.0 : 0.0;
+  });
+  sender.set_loss_model(
+      [](NodeId player, std::uint64_t) { return player % 5 == 0 ? 0.01 : 0.0; });
+  sender.set_drop_observer([&digest](const stream::VideoSegment& seg, int) {
+    digest ^= seg.id;
+    digest *= 1099511628211ull;
+  });
+
+  // The same sustained load in warmup and measurement — every eighth round
+  // is an overload spike, so the queue/pool/slab high-water marks (and the
+  // scheduler's drop path) are all reached before counting starts.
+  std::uint64_t round = 0;
+  sim.schedule_every(interval_ms, interval_ms, [&] {
+    ++round;
+    const TimeMs now = sim.now();
+    const double burst = round % 8 == 0 ? 2.0 : 1.0;
+    for (std::size_t p = 0; p < players; ++p) {
+      const game::GameProfile& game =
+          game::game_by_id(static_cast<game::GameId>(p % 5));
+      stream::VideoSegment seg;
+      seg.id = round * 1000 + p;
+      seg.player = static_cast<NodeId>(p + 1);
+      seg.game = static_cast<game::GameId>(p % 5);
+      seg.quality_level = 3;
+      seg.duration_ms = interval_ms;
+      seg.size_kbit = load_rng.uniform(240.0, 400.0) * burst;
+      seg.action_time_ms = now;
+      seg.deadline_ms = now + game.latency_requirement_ms;
+      seg.loss_tolerance = game.loss_tolerance;
+      sender.submit(seg);
+    }
+  });
+
+  sim.run_until(warmup_ms);
+  const std::uint64_t sent_at_warmup = sender.packets_sent();
+
+  g_allocs = 0;
+  g_counting = true;
+  sim.run_until(warmup_ms + measure_ms);
+  g_counting = false;
+
+  // The window did real work...
+  EXPECT_GT(sender.packets_sent(), sent_at_warmup + 10'000u);
+  EXPECT_NE(digest, 14695981039346656037ull);
+  // ...and none of it touched the heap.
+  EXPECT_EQ(g_allocs, 0u);
+}
+
+}  // namespace
+}  // namespace cloudfog::core

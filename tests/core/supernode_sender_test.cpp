@@ -97,7 +97,8 @@ TEST(SupernodeSenderDeadline, PropagationHistoryFeedsScheduler) {
 TEST(SupernodeSenderDeadline, DropsWhenOverloaded) {
   Harness h(SupernodeSender::Discipline::kDeadline, 120.0);  // 100 ms/packet
   int drops = 0;
-  h.sender->set_drop_observer([&](std::uint64_t, int) { ++drops; });
+  h.sender->set_drop_observer(
+      [&](const stream::VideoSegment&, int) { ++drops; });
   h.sender->submit(make_segment(1, 7, 4, 36.0, 0.0, 110.0));  // infeasible
   h.sim.run_all();
   EXPECT_GT(drops, 0);
@@ -136,7 +137,7 @@ TEST(SupernodeSender, RateCapStretchesDeliveryNotQueue) {
   Harness h(SupernodeSender::Discipline::kFifo);
   // WAN bottleneck at 600 kbps: each 12-kbit packet gains 20 - 10 = 10 ms
   // of transit, but the uplink still frees every 10 ms.
-  h.sender->set_rate_cap([](NodeId) { return 600.0; });
+  h.sender->set_rate_cap([](NodeId, std::uint64_t) { return 600.0; });
   h.sender->submit(make_segment(1, 7, 4, 24.0, 0.0, 1'000.0));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 2u);

@@ -187,12 +187,38 @@ TEST(ShardedStreaming, ChurnRequiresShardedEngine) {
                std::logic_error);
 }
 
-TEST(ShardedStreaming, ChurnRejectsSchedulingKinds) {
-  const Scenario scenario = Scenario::build(small_params(1, 2));
-  StreamingOptions o = fast_options();
-  o.supernode_churn.push_back({900.0, scenario.supernode_players().front(), true});
-  EXPECT_THROW(run_streaming(SystemKind::kCloudFogA, scenario, o),
-               std::logic_error);
+TEST(ShardedStreaming, ChurnWithSchedulingDigestInvariant) {
+  // Churn is legal under the packet-level deadline scheduler (DESIGN.md
+  // §14): a leave drains the departed sender's backlog into the failover
+  // fluid queues. The drain runs in the departed supernode's own shard and
+  // samples only per-player RNG streams, so the digest must stay invariant
+  // in the shard count — the same oracle contract as the fluid kinds.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Scenario oracle_scenario = Scenario::build(small_params(seed, 1));
+    const StreamingResult oracle = run_streaming(
+        SystemKind::kCloudFogA, oracle_scenario, churn_options(oracle_scenario));
+    EXPECT_GT(oracle.segments_generated, 1'000u);
+    for (std::size_t shards : {2u, 4u, 8u}) {
+      const Scenario scenario = Scenario::build(small_params(seed, shards));
+      const StreamingResult r = run_streaming(SystemKind::kCloudFogA, scenario,
+                                              churn_options(scenario));
+      EXPECT_EQ(digest(r), digest(oracle))
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardedStreaming, ChurnWithSchedulingFailsOverToTheCloud) {
+  // While every supernode is down its players (and the drained remainders
+  // of their queued segments) stream from the home DC, so measured cloud
+  // egress must strictly exceed the no-churn run, with no segment lost.
+  const Scenario scenario = Scenario::build(small_params(1, 4));
+  const StreamingResult with_churn =
+      run_streaming(SystemKind::kCloudFogA, scenario, churn_options(scenario));
+  const StreamingResult without =
+      run_streaming(SystemKind::kCloudFogA, scenario, fast_options());
+  EXPECT_GT(with_churn.cloud_uplink_mbps, without.cloud_uplink_mbps);
+  EXPECT_EQ(with_churn.segments_generated, without.segments_generated);
 }
 
 TEST(ShardedStreaming, ChurnEventsMustAlternate) {

@@ -44,7 +44,8 @@ TEST_P(SenderConservation, EveryPacketIsAccounted) {
       [&](const core::PacketDelivery& d) { d.lost ? ++lost : ++delivered; },
       rng.fork("prop"));
   if (param.loss_rate > 0.0) {
-    sender.set_loss_model([&](NodeId) { return param.loss_rate; });
+    sender.set_loss_model(
+        [&](NodeId, std::uint64_t) { return param.loss_rate; });
   }
 
   // Random segment stream: sizes, games and timings all vary.
@@ -91,7 +92,9 @@ TEST_P(SchedulerBudget, DropsStayWithinToleranceBudgets) {
   stream::SegmentFactory factory;
   std::map<std::uint64_t, int> drops_per_segment;
   std::map<std::uint64_t, std::pair<int, double>> segment_info;  // packets, tol
-  sched.set_drop_observer([&](std::uint64_t id, int) { ++drops_per_segment[id]; });
+  sched.set_drop_observer([&](const stream::VideoSegment& seg, int) {
+    ++drops_per_segment[seg.id];
+  });
 
   TimeMs now = 0.0;
   for (int i = 0; i < 60; ++i) {

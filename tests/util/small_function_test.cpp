@@ -1,0 +1,163 @@
+// util::small_function (DESIGN.md §14): the fixed-capacity, inline-storage
+// callable the packet hot path uses instead of std::function. The suite
+// pins down the semantics the engine relies on — move-only transfer that
+// empties the source, nullptr clearing, non-trivial capture destruction,
+// the trivial memcpy fast path, and the self-recycle discipline that lets
+// a target destroy or re-assign the small_function invoking it.
+#include "util/small_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace cloudfog::util {
+namespace {
+
+TEST(SmallFunction, DefaultAndNullptrAreEmpty) {
+  small_function<int()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  small_function<int()> null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(SmallFunction, InvokesTargetWithArgumentsAndResult) {
+  small_function<int(int, int)> add = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(SmallFunction, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  small_function<void()> f = [&calls] { ++calls; };
+  small_function<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallFunction, MoveAssignmentReplacesExistingTarget) {
+  int first = 0;
+  int second = 0;
+  small_function<void()> f = [&first] { ++first; };
+  f = small_function<void()>([&second] { ++second; });
+  f();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SmallFunction, NullptrAssignmentClears) {
+  small_function<void()> f = [] {};
+  ASSERT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, NonTrivialCaptureIsDestroyedExactlyOnce) {
+  // A shared_ptr capture takes the managed (manage_ != nullptr) path:
+  // destruction must release the capture, and a moved-from holder must not
+  // double-release it.
+  auto token = std::make_shared<int>(42);
+  {
+    small_function<int()> f = [token] { return *token; };
+    EXPECT_EQ(token.use_count(), 2);
+    small_function<int()> g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // relocated, not duplicated
+    EXPECT_EQ(g(), 42);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // both holders gone, capture released
+}
+
+TEST(SmallFunction, TrivialCaptureSurvivesMoveChain) {
+  // [value] captures of trivial types take the memcpy fast path; a chain of
+  // moves must preserve the payload bit-for-bit.
+  small_function<int()> a = [x = 7, y = 35] { return x + y; };
+  small_function<int()> b = std::move(a);
+  small_function<int()> c;
+  c = std::move(b);
+  EXPECT_EQ(c(), 42);
+}
+
+TEST(SmallFunction, MutableLambdaKeepsStateAcrossCalls) {
+  small_function<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(SmallFunction, SwapExchangesTargets) {
+  small_function<int()> one = [] { return 1; };
+  small_function<int()> two = [] { return 2; };
+  one.swap(two);
+  EXPECT_EQ(one(), 2);
+  EXPECT_EQ(two(), 1);
+  small_function<int()> empty;
+  one.swap(empty);
+  EXPECT_FALSE(static_cast<bool>(one));
+  EXPECT_EQ(empty(), 2);
+}
+
+TEST(SmallFunction, TargetMayReassignItsOwnHolderMidInvocation) {
+  // The slab engine's self-cancel discipline: a fired event callback may
+  // schedule_* into its own recycled slot, re-assigning the small_function
+  // that is currently executing. invoke() must have read everything it
+  // needs before entering the target.
+  small_function<int()> f;
+  int replaced_calls = 0;
+  f = [&f, &replaced_calls] {
+    f = [&replaced_calls] {
+      ++replaced_calls;
+      return 2;
+    };
+    return 1;
+  };
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(replaced_calls, 1);
+}
+
+TEST(SmallFunction, TargetMayDestroyItsOwnHolderMidInvocation) {
+  auto holder = std::make_unique<small_function<int()>>();
+  *holder = [&holder] {
+    holder.reset();  // destroys the small_function that is executing
+    return 9;
+  };
+  EXPECT_EQ((*holder)(), 9);
+  EXPECT_EQ(holder, nullptr);
+}
+
+TEST(SmallFunction, CapacityAdmitsCapturesUpToTheBudget) {
+  // Exactly at the default budget: six 8-byte values = 48 bytes. One more
+  // would trip the construction-site static_assert (a compile error, which
+  // is the point of the design — not testable at runtime).
+  static_assert(kSmallFunctionDefaultCapacity == 48);
+  double a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;
+  small_function<double()> g = [a, b, c, d, e, f] {
+    return a + b + c + d + e + f;
+  };
+  EXPECT_DOUBLE_EQ(g(), 21.0);
+  // A larger capacity admits larger captures at the same signature.
+  small_function<double(), 96> big = [a, b, c, d, e, f, x = a, y = b, z = c] {
+    return a + b + c + d + e + f + x + y + z;
+  };
+  EXPECT_DOUBLE_EQ(big(), 27.0);
+}
+
+TEST(SmallFunction, SelfMoveAssignIsANoOp) {
+  small_function<int()> f = [] { return 5; };
+  small_function<int()>& alias = f;
+  f = std::move(alias);
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(SmallFunction, FunctionPointerTarget) {
+  struct Local {
+    static int twice(int x) { return 2 * x; }
+  };
+  small_function<int(int)> f = &Local::twice;
+  EXPECT_EQ(f(21), 42);
+}
+
+}  // namespace
+}  // namespace cloudfog::util
